@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *
+ *   1. Store->exclusive-prefetch conversion (Section 3.3) on/off.
+ *   2. MESI E state on/off (it is what makes SI pay off for
+ *      migratory data).
+ *   3. Adaptive A-R synchronization (paper future work) vs the best
+ *      and worst fixed policies.
+ *   4. Deviation-check strictness (recovery lag 0 vs 1) on a workload
+ *      engineered to deviate.
+ *   5. Busy-quantum sensitivity (timing-model robustness).
+ */
+
+#include "bench_common.hh"
+
+using namespace slipsim;
+using namespace slipsim::bench;
+
+namespace
+{
+
+ExperimentResult
+runWith(const std::string &wl, const Options &opts, int cmps,
+        RunConfig rc, std::function<void(MachineParams &)> tweak = {})
+{
+    Options o = figOptions(wl, opts);
+    MachineParams mp = figMachine(wl, opts, cmps);
+    if (tweak)
+        tweak(mp);
+    return runExperiment(wl, o, mp, rc);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+    banner("Ablations: slipstream design choices", opts);
+    int cmps = static_cast<int>(opts.getInt("cmps", 16));
+
+    // --- 1. store->prefetch conversion ---------------------------------
+    {
+        std::cout << "1. store->exclusive-prefetch conversion "
+                     "(slipstream G0, speedup vs single)\n";
+        Table t({"workload", "with convert", "without", "delta"});
+        for (const std::string wl : {"sor", "ocean", "mg", "sp"}) {
+            RunConfig single;
+            auto rs = runWith(wl, opts, cmps, single);
+
+            RunConfig slip;
+            slip.mode = Mode::Slipstream;
+            slip.arPolicy = ArPolicy::ZeroTokenGlobal;
+            slip.features.storeConvert = true;
+            auto ron = runWith(wl, opts, cmps, slip);
+            slip.features.storeConvert = false;
+            auto roff = runWith(wl, opts, cmps, slip);
+
+            double son = static_cast<double>(rs.cycles) /
+                         static_cast<double>(ron.cycles);
+            double soff = static_cast<double>(rs.cycles) /
+                          static_cast<double>(roff.cycles);
+            t.addRow({wl, Table::num(son, 3), Table::num(soff, 3),
+                      Table::pct(100.0 * (son - soff) / soff, 1)});
+        }
+        emit(t, opts);
+    }
+
+    // --- 2. MESI E state -------------------------------------------------
+    {
+        std::cout << "2. MESI E state (slipstream +TL+SI, speedup vs "
+                     "single on the same protocol)\n";
+        Table t({"workload", "with E", "without E"});
+        for (const std::string wl : {"water-ns", "migratory", "mg"}) {
+            RunConfig single;
+            RunConfig slip;
+            slip.mode = Mode::Slipstream;
+            slip.arPolicy = ArPolicy::OneTokenGlobal;
+            slip.features.transparentLoads = true;
+            slip.features.selfInvalidation = true;
+
+            auto tweakOn = [](MachineParams &mp) {
+                mp.mesiEState = true;
+            };
+            auto tweakOff = [](MachineParams &mp) {
+                mp.mesiEState = false;
+            };
+            auto s_on = runWith(wl, opts, cmps, single, tweakOn);
+            auto p_on = runWith(wl, opts, cmps, slip, tweakOn);
+            auto s_off = runWith(wl, opts, cmps, single, tweakOff);
+            auto p_off = runWith(wl, opts, cmps, slip, tweakOff);
+            t.addRow({wl,
+                      Table::num(static_cast<double>(s_on.cycles) /
+                                     static_cast<double>(p_on.cycles),
+                                 3),
+                      Table::num(static_cast<double>(s_off.cycles) /
+                                     static_cast<double>(p_off.cycles),
+                                 3)});
+        }
+        emit(t, opts);
+    }
+
+    // --- 3. adaptive A-R policy -----------------------------------------
+    {
+        std::cout << "3. adaptive A-R synchronization vs fixed "
+                     "policies (speedup vs single)\n";
+        Table t({"workload", "best fixed", "worst fixed", "adaptive",
+                 "switches"});
+        for (const auto &wl : slipWorkloads()) {
+            int wl_cmps = wl == "fft" ? 4 : cmps;
+            RunConfig single;
+            auto rs = runWith(wl, opts, wl_cmps, single);
+            double base = static_cast<double>(rs.cycles);
+
+            double best = 0, worst = 1e30;
+            for (ArPolicy p : allPolicies()) {
+                RunConfig slip;
+                slip.mode = Mode::Slipstream;
+                slip.arPolicy = p;
+                auto r = runWith(wl, opts, wl_cmps, slip);
+                double s = base / static_cast<double>(r.cycles);
+                best = std::max(best, s);
+                worst = std::min(worst, s);
+            }
+
+            RunConfig ad;
+            ad.mode = Mode::Slipstream;
+            ad.arPolicy = ArPolicy::ZeroTokenGlobal;  // start tight
+            ad.adaptiveAr = true;
+            auto ra = runWith(wl, opts, wl_cmps, ad);
+            t.addRow({wl, Table::num(best, 3), Table::num(worst, 3),
+                      Table::num(base / static_cast<double>(ra.cycles),
+                                 3),
+                      std::to_string(static_cast<long long>(
+                          ra.stats.get("run.policySwitches")))});
+        }
+        emit(t, opts);
+    }
+
+    // --- 4. deviation-check strictness -----------------------------------
+    {
+        std::cout << "4. deviation-check strictness on the divergent "
+                     "workload (8 CMPs)\n";
+        Table t({"recovery", "lag", "cycles", "recoveries",
+                 "verified"});
+        for (int variant = 0; variant < 3; ++variant) {
+            RunConfig rc;
+            rc.mode = Mode::Slipstream;
+            rc.recoveryEnabled = variant > 0;
+            rc.recoveryLagSessions = variant == 1 ? 0 : 1;
+            MachineParams mp = machineFromOptions(opts);
+            mp.numCmps = 8;
+            Options o;
+            o.set("sessions", "8");
+            auto r = runExperiment("divergent", o, mp, rc);
+            t.addRow({rc.recoveryEnabled ? "on" : "off",
+                      std::to_string(rc.recoveryLagSessions),
+                      std::to_string(r.cycles),
+                      std::to_string(r.recoveries),
+                      r.verified ? "yes" : "NO"});
+        }
+        emit(t, opts);
+    }
+
+    // --- 5. busy-quantum sensitivity ------------------------------------
+    {
+        std::cout << "5. busy-quantum sensitivity (sor, slipstream "
+                     "G0; results should be nearly flat)\n";
+        Table t({"quantum", "cycles", "vs q=2000"});
+        RunConfig slip;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = ArPolicy::ZeroTokenGlobal;
+        Tick baseline = 0;
+        for (Tick q : {Tick(500), Tick(2000), Tick(8000)}) {
+            auto tweak = [q](MachineParams &mp) {
+                mp.busyQuantum = q;
+            };
+            auto r = runWith("sor", opts, cmps, slip, tweak);
+            if (q == 2000)
+                baseline = r.cycles;
+            t.addRow({std::to_string(q), std::to_string(r.cycles),
+                      baseline ? Table::num(
+                                     static_cast<double>(r.cycles) /
+                                         static_cast<double>(baseline),
+                                     4)
+                               : "-"});
+        }
+        emit(t, opts);
+    }
+
+    return 0;
+}

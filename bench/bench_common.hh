@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench accepts:
+ *   cmps=N ...       machine overrides (see machineFromOptions)
+ *   --paper          Table-2 problem sizes (slow!)
+ *   --quick          extra-small sizes for smoke runs
+ *   --csv            CSV instead of aligned tables
+ * plus per-workload size overrides (n=, mol=, ...).
+ */
+
+#ifndef SLIPSIM_BENCH_COMMON_HH
+#define SLIPSIM_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+namespace bench
+{
+
+/** The nine Table-2 benchmarks, in the paper's habitual order. */
+inline const std::vector<std::string> &
+paperWorkloads()
+{
+    static const std::vector<std::string> v = {
+        "cg", "fft", "lu", "mg", "ocean",
+        "sor", "sp", "water-ns", "water-sp",
+    };
+    return v;
+}
+
+/** Figure-6..10 subset: benchmarks with slipstream potential. */
+inline const std::vector<std::string> &
+slipWorkloads()
+{
+    static const std::vector<std::string> v = {
+        "cg", "fft", "mg", "ocean", "sor", "sp", "water-ns",
+    };
+    return v;
+}
+
+/**
+ * Calibrated per-benchmark run options: "fig" sizes keep the paper's
+ * communication/computation regime at bench-friendly runtimes;
+ * --paper switches to Table 2 sizes; --quick shrinks further.
+ * User-provided options override everything.
+ */
+inline Options
+figOptions(const std::string &wl, const Options &user)
+{
+    Options o = user;
+    auto def = [&](const char *k, const char *v) {
+        if (!user.has(k))
+            o.set(k, v);
+    };
+
+    const bool paper = user.getBool("paper", false);
+    const bool quick = user.getBool("quick", false);
+
+    if (paper)
+        def("paper", "true");
+
+    if (wl == "sor") {
+        def("n", paper ? "1024" : (quick ? "66" : "258"));
+        def("iters", quick ? "2" : "4");
+    } else if (wl == "lu") {
+        def("n", paper ? "512" : (quick ? "64" : "256"));
+        def("block", "16");
+    } else if (wl == "fft") {
+        def("m", paper ? "65536" : (quick ? "1024" : "16384"));
+    } else if (wl == "ocean") {
+        def("n", paper ? "258" : (quick ? "66" : "130"));
+        def("steps", quick ? "1" : "2");
+    } else if (wl == "water-ns") {
+        def("mol", paper ? "512" : (quick ? "64" : "512"));
+        def("steps", "1");
+        def("l2kb", "128");  // Table 1 footnote: Water uses 128 KB
+    } else if (wl == "water-sp") {
+        def("mol", paper ? "512" : (quick ? "64" : "512"));
+        def("steps", quick ? "1" : "2");
+        def("l2kb", "128");
+    } else if (wl == "cg") {
+        def("n", paper ? "1400" : (quick ? "256" : "1400"));
+        def("iters", quick ? "3" : "5");
+    } else if (wl == "mg") {
+        def("n", paper ? "32" : (quick ? "8" : "32"));
+        def("cycles", "1");
+    } else if (wl == "sp") {
+        def("n", "16");
+        def("iters", quick ? "1" : "2");
+    }
+    return o;
+}
+
+/** Machine for a workload: applies the workload's L2 override. */
+inline MachineParams
+figMachine(const std::string &wl, const Options &user, int cmps)
+{
+    Options o = figOptions(wl, user);
+    MachineParams mp = machineFromOptions(o);
+    mp.numCmps = cmps;
+    return mp;
+}
+
+/** Run one configuration with the bench-calibrated options. */
+inline ExperimentResult
+runFig(const std::string &wl, const Options &user, int cmps,
+       const RunConfig &rc)
+{
+    Options o = figOptions(wl, user);
+    MachineParams mp = figMachine(wl, user, cmps);
+    ExperimentResult r = runExperiment(wl, o, mp, rc);
+    if (!r.verified) {
+        warn("%s (%s, %d CMPs) failed verification!", wl.c_str(),
+             modeName(rc.mode), cmps);
+    }
+    return r;
+}
+
+/** All four A-R policies, paper order. */
+inline const std::vector<ArPolicy> &
+allPolicies()
+{
+    static const std::vector<ArPolicy> v = {
+        ArPolicy::OneTokenLocal, ArPolicy::ZeroTokenLocal,
+        ArPolicy::OneTokenGlobal, ArPolicy::ZeroTokenGlobal,
+    };
+    return v;
+}
+
+/** Emit a table as text or CSV per the --csv flag. */
+inline void
+emit(const Table &t, const Options &opts)
+{
+    if (opts.getBool("csv", false))
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::cout << "\n";
+}
+
+/** Standard bench banner. */
+inline void
+banner(const std::string &title, const Options &opts)
+{
+    std::cout << "=== " << title << " ===\n";
+    if (opts.getBool("paper", false))
+        std::cout << "(Table-2 paper problem sizes)\n";
+    std::cout << "\n";
+}
+
+} // namespace bench
+} // namespace slipsim
+
+#endif // SLIPSIM_BENCH_COMMON_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 1: speedup of two tasks per CMP (double mode) over one task
+ * per CMP (single mode), for 2..16 CMPs.
+ *
+ * Paper shape: ratios below ~1.6, shrinking as CMPs grow; some
+ * workloads drop below 1.0 at 16 CMPs — applying extra processors as
+ * more parallel tasks stops paying as the scalability limit nears.
+ */
+
+#include "bench_common.hh"
+
+using namespace slipsim;
+using namespace slipsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+    banner("Figure 1: double mode vs single mode", opts);
+
+    const std::vector<std::string> workloads = {
+        "water-sp", "mg", "sor", "cg", "water-ns", "ocean",
+    };
+    const std::vector<int> cmp_counts = {2, 4, 8, 16};
+
+    Table t({"workload", "2 CMPs", "4 CMPs", "8 CMPs", "16 CMPs"});
+    for (const auto &wl : workloads) {
+        std::vector<std::string> row{wl};
+        for (int cmps : cmp_counts) {
+            RunConfig single;
+            single.mode = Mode::Single;
+            RunConfig dbl;
+            dbl.mode = Mode::Double;
+            auto rs = runFig(wl, opts, cmps, single);
+            auto rd = runFig(wl, opts, cmps, dbl);
+            row.push_back(Table::num(
+                static_cast<double>(rs.cycles) /
+                    static_cast<double>(rd.cycles), 3));
+        }
+        t.addRow(row);
+    }
+    emit(t, opts);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 4: speedup of single-mode execution over sequential (one
+ * task, one CMP) for all nine benchmarks on 2, 4, 8, and 16 CMPs.
+ *
+ * Paper shape: three groups — {Water-SP, LU, SOR} keep scaling;
+ * {Water-NS, Ocean, MG, CG, SP} show diminishing returns; FFT
+ * degrades beyond 4 CMPs.
+ */
+
+#include "bench_common.hh"
+
+using namespace slipsim;
+using namespace slipsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+    banner("Figure 4: single-mode speedup over sequential", opts);
+
+    const std::vector<int> cmp_counts = {2, 4, 8, 16};
+
+    Table t({"workload", "2 CMPs", "4 CMPs", "8 CMPs", "16 CMPs"});
+    for (const auto &wl : paperWorkloads()) {
+        RunConfig single;
+        single.mode = Mode::Single;
+        auto seq = runFig(wl, opts, 1, single);
+        std::vector<std::string> row{wl};
+        for (int cmps : cmp_counts) {
+            auto r = runFig(wl, opts, cmps, single);
+            row.push_back(Table::num(
+                static_cast<double>(seq.cycles) /
+                    static_cast<double>(r.cycles), 2));
+        }
+        t.addRow(row);
+    }
+    emit(t, opts);
+    return 0;
+}

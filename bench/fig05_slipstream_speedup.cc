@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 5: speedup of slipstream mode (all four A-R synchronization
+ * policies) and double mode, relative to single mode, for 2..16 CMPs.
+ *
+ * Paper shape: slipstream beats the best of single/double for 7 of 9
+ * benchmarks by 16 CMPs (12-19% with prefetching only); LU and
+ * Water-SP still prefer double.  No A-R policy wins consistently:
+ * FFT/Water-NS/MG/SOR lean L1, Ocean/SP lean G0, CG leans L0.
+ */
+
+#include "bench_common.hh"
+
+using namespace slipsim;
+using namespace slipsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+    banner("Figure 5: slipstream and double modes vs single", opts);
+
+    std::vector<int> cmp_counts = {2, 4, 8, 16};
+    if (opts.getBool("quick", false))
+        cmp_counts = {4, 16};
+
+    for (const auto &wl : paperWorkloads()) {
+        std::cout << "--- " << wl << " ---\n";
+        Table t({"CMPs", "double", "slip-L1", "slip-L0", "slip-G1",
+                 "slip-G0", "best", "best vs max(single,double)"});
+        for (int cmps : cmp_counts) {
+            RunConfig single;
+            single.mode = Mode::Single;
+            auto rs = runFig(wl, opts, cmps, single);
+            double base = static_cast<double>(rs.cycles);
+
+            RunConfig dbl;
+            dbl.mode = Mode::Double;
+            auto rd = runFig(wl, opts, cmps, dbl);
+            double dspeed = base / static_cast<double>(rd.cycles);
+
+            std::vector<std::string> row{std::to_string(cmps),
+                                         Table::num(dspeed, 3)};
+            double best_slip = 0.0;
+            std::string best_name = "-";
+            for (ArPolicy p : allPolicies()) {
+                RunConfig slip;
+                slip.mode = Mode::Slipstream;
+                slip.arPolicy = p;
+                auto r = runFig(wl, opts, cmps, slip);
+                double s = base / static_cast<double>(r.cycles);
+                row.push_back(Table::num(s, 3));
+                if (s > best_slip) {
+                    best_slip = s;
+                    best_name = arPolicyName(p);
+                }
+            }
+            // Paper's headline metric: best slipstream over the best
+            // conventional mode.
+            double conv = std::max(1.0, dspeed);
+            row.push_back(best_name);
+            row.push_back(Table::num(best_slip / conv, 3));
+            t.addRow(row);
+        }
+        emit(t, opts);
+    }
+    return 0;
+}

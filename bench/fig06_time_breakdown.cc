@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 6: average execution-time breakdown (busy, memory stall,
+ * A-R sync, barrier, lock) for single, double, and slipstream modes
+ * on a 16-CMP system, relative to single mode.  Slipstream uses the
+ * best-performing A-R policy per benchmark, and both the R-stream and
+ * A-stream breakdowns are shown.
+ *
+ * Paper shape: most of slipstream's gain is reduced memory stall;
+ * LU and Water-SP show little stall in single mode (<~8%), which is
+ * why slipstream cannot help them.
+ */
+
+#include "bench_common.hh"
+
+using namespace slipsim;
+using namespace slipsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+    banner("Figure 6: execution time breakdown at 16 CMPs", opts);
+
+    Table t({"workload", "config", "busy", "stall", "A-R", "barrier",
+             "lock", "total"});
+
+    for (const auto &wl : paperWorkloads()) {
+        // FFT's absolute single-mode performance degrades past 4
+        // CMPs; the paper compares it at 4.
+        int cmps = wl == "fft" ? 4
+                               : static_cast<int>(
+                                     opts.getInt("cmps", 16));
+
+        RunConfig single;
+        single.mode = Mode::Single;
+        auto rs = runFig(wl, opts, cmps, single);
+        double base = 0;
+        for (double c : rs.rCats)
+            base += c;
+
+        auto addRow = [&](const std::string &cfg,
+                          const std::array<double, numTimeCats> &cats) {
+            double total = 0;
+            for (double c : cats)
+                total += c;
+            t.addRow({wl, cfg,
+                      Table::pct(100.0 * cats[0] / base, 1),
+                      Table::pct(100.0 * cats[1] / base, 1),
+                      Table::pct(100.0 * cats[4] / base, 1),
+                      Table::pct(100.0 * cats[2] / base, 1),
+                      Table::pct(100.0 * cats[3] / base, 1),
+                      Table::pct(100.0 * total / base, 1)});
+        };
+
+        addRow("single", rs.rCats);
+
+        RunConfig dbl;
+        dbl.mode = Mode::Double;
+        auto rd = runFig(wl, opts, cmps, dbl);
+        addRow("double", rd.rCats);
+
+        // Best slipstream policy for this benchmark.
+        ExperimentResult best;
+        best.cycles = maxTick;
+        for (ArPolicy p : allPolicies()) {
+            RunConfig slip;
+            slip.mode = Mode::Slipstream;
+            slip.arPolicy = p;
+            auto r = runFig(wl, opts, cmps, slip);
+            if (r.cycles < best.cycles)
+                best = r;
+        }
+        addRow(std::string("slip-R (") + arPolicyName(best.policy) +
+                   ")",
+               best.rCats);
+        addRow(std::string("slip-A (") + arPolicyName(best.policy) +
+                   ")",
+               best.aCats);
+    }
+    emit(t, opts);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 7: breakdown of shared-data memory requests under slipstream
+ * mode for each A-R policy, split into A-Timely / A-Late / A-Only and
+ * R-Timely / R-Late / R-Only, for reads (top graph) and exclusive
+ * requests (bottom graph).
+ *
+ * Paper shape: G0 (tightest) has the lowest A-Timely reads and the
+ * highest A-Timely exclusives (stores convert to prefetches only in
+ * the same session); L1 (loosest) is the opposite, with the highest
+ * premature A-Only reads.
+ */
+
+#include "bench_common.hh"
+
+using namespace slipsim;
+using namespace slipsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+    banner("Figure 7: shared-data request classification", opts);
+
+    int cmps = static_cast<int>(opts.getInt("cmps", 16));
+
+    for (bool reads : {true, false}) {
+        std::cout << (reads ? "Read requests\n"
+                            : "Exclusive requests\n");
+        Table t({"workload", "policy", "A-Timely", "A-Late", "A-Only",
+                 "R-Timely", "R-Late", "R-Only"});
+        for (const auto &wl : paperWorkloads()) {
+            int wl_cmps = wl == "fft" ? 4 : cmps;
+            for (ArPolicy p :
+                 {ArPolicy::OneTokenLocal, ArPolicy::ZeroTokenLocal,
+                  ArPolicy::OneTokenGlobal,
+                  ArPolicy::ZeroTokenGlobal}) {
+                RunConfig slip;
+                slip.mode = Mode::Slipstream;
+                slip.arPolicy = p;
+                auto r = runFig(wl, opts, wl_cmps, slip);
+                std::vector<std::string> row{wl, arPolicyName(p)};
+                for (StreamKind s :
+                     {StreamKind::AStream, StreamKind::RStream}) {
+                    for (FetchClass c :
+                         {FetchClass::Timely, FetchClass::Late,
+                          FetchClass::Only}) {
+                        row.push_back(
+                            Table::pct(r.classPct(reads, s, c), 1));
+                    }
+                }
+                t.addRow(row);
+            }
+        }
+        emit(t, opts);
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 9: fraction of A-stream read requests issued as transparent
+ * loads (one-token-global A-R sync, SI enabled), and the split of
+ * transparent loads into transparent replies vs upgraded (normal)
+ * replies.
+ *
+ * Paper shape: 19-45% of A-stream reads go transparent (27% average);
+ * about 59% of them receive transparent replies and 41% are upgraded.
+ */
+
+#include "bench_common.hh"
+
+using namespace slipsim;
+using namespace slipsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+    banner("Figure 9: transparent load breakdown", opts);
+
+    int cmps = static_cast<int>(opts.getInt("cmps", 16));
+
+    Table t({"workload", "A read reqs", "transparent", "% of A reads",
+             "transparent replies", "upgraded replies",
+             "% transparent"});
+    double tot_pct = 0, tot_trans = 0, cnt = 0;
+    for (const auto &wl : slipWorkloads()) {
+        int wl_cmps = wl == "fft" ? 4 : cmps;
+        RunConfig slip;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = ArPolicy::OneTokenGlobal;
+        slip.features.transparentLoads = true;
+        slip.features.selfInvalidation = true;
+        auto r = runFig(wl, opts, wl_cmps, slip);
+
+        std::uint64_t issued = r.transparentReplies + r.upgradedReplies;
+        double pct = r.transparentPct();
+        double trans_share =
+            issued ? 100.0 * static_cast<double>(r.transparentReplies) /
+                         static_cast<double>(issued)
+                   : 0.0;
+        t.addRow({wl, std::to_string(r.aReadMisses),
+                  std::to_string(issued), Table::pct(pct, 1),
+                  std::to_string(r.transparentReplies),
+                  std::to_string(r.upgradedReplies),
+                  Table::pct(trans_share, 1)});
+        tot_pct += pct;
+        tot_trans += trans_share;
+        cnt += 1;
+    }
+    t.addRow({"average", "-", "-", Table::pct(tot_pct / cnt, 1), "-",
+              "-", Table::pct(tot_trans / cnt, 1)});
+    emit(t, opts);
+    return 0;
+}

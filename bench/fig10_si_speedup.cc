@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 10: speedup of slipstream over the best of single and double
+ * for three configurations — prefetching only (one-token global),
+ * prefetching + transparent loads, and prefetching + transparent
+ * loads + self-invalidation.  16 CMPs (FFT at 4).
+ *
+ * Paper shape: transparent loads alone are mixed (they reduce
+ * prefetching for FFT/MG/SOR, help CG/Ocean/SP/Water-NS by ~4%);
+ * adding SI recovers and extends the gains (up to ~29% total).
+ */
+
+#include "bench_common.hh"
+
+using namespace slipsim;
+using namespace slipsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+    banner("Figure 10: transparent loads and self-invalidation", opts);
+
+    int cmps = static_cast<int>(opts.getInt("cmps", 16));
+
+    Table t({"workload", "pref only", "pref+TL", "pref+TL+SI",
+             "siInv", "siDowngrade"});
+    for (const auto &wl : slipWorkloads()) {
+        int wl_cmps = wl == "fft" ? 4 : cmps;
+
+        RunConfig single;
+        single.mode = Mode::Single;
+        auto rs = runFig(wl, opts, wl_cmps, single);
+        RunConfig dbl;
+        dbl.mode = Mode::Double;
+        auto rd = runFig(wl, opts, wl_cmps, dbl);
+        double best_conv = static_cast<double>(
+            std::min(rs.cycles, rd.cycles));
+
+        std::vector<std::string> row{wl};
+        std::uint64_t si_inv = 0, si_down = 0;
+        for (int conf = 0; conf < 3; ++conf) {
+            RunConfig slip;
+            slip.mode = Mode::Slipstream;
+            slip.arPolicy = ArPolicy::OneTokenGlobal;
+            slip.features.transparentLoads = conf >= 1;
+            slip.features.selfInvalidation = conf >= 2;
+            auto r = runFig(wl, opts, wl_cmps, slip);
+            row.push_back(Table::num(
+                best_conv / static_cast<double>(r.cycles), 3));
+            if (conf == 2) {
+                si_inv = r.siInvalidated;
+                si_down = r.siDowngraded;
+            }
+        }
+        row.push_back(std::to_string(si_inv));
+        row.push_back(std::to_string(si_down));
+        t.addRow(row);
+    }
+    emit(t, opts);
+    return 0;
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates: event
+ * queue throughput, cache-array lookups, coroutine call overhead,
+ * functional-memory access, directory transaction processing, and an
+ * end-to-end events-per-second figure for a small workload run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "mem/cache_array.hh"
+#include "sim/coro.hh"
+#include "sim/event_queue.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            eq.schedule(static_cast<Tick>(i % 97), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    struct Line
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+
+        void
+        reset()
+        {
+            valid = false;
+        }
+    };
+    CacheArray<Line> c(1024 * 1024, 4);
+    for (Addr a = 0; a < 512 * lineBytes; a += lineBytes) {
+        Line *v = c.victimFor(a, [](const Line &) { return true; });
+        v->valid = true;
+        v->lineAddr = a;
+        c.touch(v);
+    }
+    Addr probe = 0;
+    for (auto _ : state) {
+        Line *l = c.find(probe);
+        benchmark::DoNotOptimize(l);
+        if (l)
+            c.touch(l);
+        probe = (probe + lineBytes) % (512 * lineBytes);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_CoroutineCallReturn(benchmark::State &state)
+{
+    auto leaf = [](int v) -> Coro<int> { co_return v + 1; };
+    for (auto _ : state) {
+        auto outer = [&]() -> Coro<void> {
+            int acc = 0;
+            for (int i = 0; i < 64; ++i)
+                acc = co_await leaf(acc);
+            benchmark::DoNotOptimize(acc);
+        };
+        Coro<void> c = outer();
+        c.start();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CoroutineCallReturn);
+
+void
+BM_FunctionalMemoryRw(benchmark::State &state)
+{
+    FunctionalMemory m;
+    Addr a = 0x10000000;
+    double v = 1.0;
+    for (auto _ : state) {
+        m.write<double>(a, v);
+        v = m.read<double>(a) + 1.0;
+        a = 0x10000000 + (static_cast<Addr>(v) * 64) % (1 << 20);
+    }
+    benchmark::DoNotOptimize(v);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalMemoryRw);
+
+void
+BM_DirectoryTransaction(benchmark::State &state)
+{
+    setQuiet(true);
+    MachineParams mp;
+    mp.numCmps = 4;
+    RunConfig rc;
+    System sys(mp, rc);
+    Addr base = sys.allocator().alloc(1 << 20, Placement::Interleaved);
+
+    Addr a = base;
+    for (auto _ : state) {
+        MemReq req;
+        req.lineAddr = lineAlign(a);
+        req.type = ReqType::Read;
+        req.node = 0;
+        bool done = false;
+        sys.memory().node(0).access(req, 0, [&] { done = true; });
+        sys.eventq().run();
+        benchmark::DoNotOptimize(done);
+        a += lineBytes * 7;
+        if (a >= base + (1 << 20))
+            a = base;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectoryTransaction);
+
+void
+BM_EndToEndSorRun(benchmark::State &state)
+{
+    setQuiet(true);
+    Options o;
+    o.set("n", "66");
+    o.set("iters", "2");
+    MachineParams mp;
+    mp.numCmps = static_cast<int>(state.range(0));
+    RunConfig rc;
+    rc.mode = state.range(1) ? Mode::Slipstream : Mode::Single;
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        auto r = runExperiment("sor", o, mp, rc);
+        sim_cycles += r.cycles;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["simCycles"] = static_cast<double>(
+        sim_cycles / std::max<std::uint64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_EndToEndSorRun)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * mode_explorer: compare execution modes for one workload.
+ *
+ * Usage:
+ *   example_mode_explorer [workload=sor] [cmps=8] [n=...] [...]
+ *       [policies=L1,L0,G0,G1] [tl=true] [si=true] [quiet]
+ *
+ * Runs the workload in single, double, and slipstream modes (each
+ * requested A-R policy, plus optional transparent-load /
+ * self-invalidation variants) and prints a comparison table with the
+ * execution-time breakdown.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string item;
+    while (std::getline(is, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+std::vector<std::string>
+breakdownCells(const ExperimentResult &r, double base_cycles)
+{
+    std::vector<std::string> cells;
+    for (int c = 0; c < numTimeCats; ++c) {
+        cells.push_back(Table::pct(
+            100.0 * r.rCats[c] / base_cycles, 1));
+    }
+    return cells;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    if (opts.getBool("quiet", true))
+        setQuiet(true);
+
+    std::string wl = opts.getString("workload", "sor");
+    MachineParams mp = machineFromOptions(opts);
+    if (!opts.has("cmps"))
+        mp.numCmps = 8;
+
+    RunConfig base;
+    base.mode = Mode::Single;
+
+    std::cout << "workload: " << wl << ", CMPs: " << mp.numCmps
+              << "\n\n";
+
+    Table t({"config", "cycles", "speedup vs single", "verified",
+             "busy%", "stall%", "barrier%", "lock%", "arSync%"});
+
+    auto addRow = [&](const std::string &name,
+                      const ExperimentResult &r, double single) {
+        std::vector<std::string> row{
+            name, std::to_string(r.cycles),
+            Table::num(single / static_cast<double>(r.cycles), 3),
+            r.verified ? "yes" : "NO"};
+        double total = r.rTotal();
+        for (int c = 0; c < numTimeCats; ++c)
+            row.push_back(Table::pct(100.0 * r.rCats[c] / total, 1));
+        t.addRow(row);
+    };
+
+    auto single = runExperiment(wl, opts, mp, base);
+    addRow("single", single,
+           static_cast<double>(single.cycles));
+
+    if (opts.has("stats")) {
+        std::cout << "single-mode statistics (prefix filter '"
+                  << opts.getString("stats") << "'):\n";
+        std::string prefix = opts.getString("stats");
+        for (const auto &[k, v] : single.stats.all()) {
+            if (prefix.empty() || k.rfind(prefix, 0) == 0)
+                std::cout << "  " << k << " = " << v << "\n";
+        }
+    }
+
+    RunConfig dbl = base;
+    dbl.mode = Mode::Double;
+    auto rd = runExperiment(wl, opts, mp, dbl);
+    addRow("double", rd, static_cast<double>(single.cycles));
+
+    for (const std::string &pname :
+         splitList(opts.getString("policies", "L1,L0,G0,G1"))) {
+        RunConfig slip = base;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = arPolicyFromName(pname);
+        slip.features.transparentLoads = opts.getBool("tl", false);
+        slip.features.selfInvalidation = opts.getBool("si", false);
+        auto rs = runExperiment(wl, opts, mp, slip);
+        std::string label = "slip-" + pname;
+        if (slip.features.selfInvalidation)
+            label += "+TL+SI";
+        else if (slip.features.transparentLoads)
+            label += "+TL";
+        addRow(label, rs, static_cast<double>(single.cycles));
+
+        if (opts.getBool("astream", false)) {
+            double atot = 0;
+            for (double c : rs.aCats)
+                atot += c;
+            std::vector<std::string> arow{label + " (A)", "-", "-",
+                                          "-"};
+            for (int c = 0; c < numTimeCats; ++c) {
+                arow.push_back(Table::pct(
+                    100.0 * rs.aCats[c] / std::max(atot, 1.0), 1));
+            }
+            t.addRow(arow);
+        }
+    }
+
+    t.print(std::cout);
+
+    if (opts.getBool("classes", false)) {
+        std::cout << "\nshared-request classification "
+                     "(% of all read / exclusive requests):\n";
+        Table ct({"config", "A-Timely", "A-Late", "A-Only", "R-Timely",
+                  "R-Late", "R-Only", "xA-Timely", "xA-Late", "xA-Only",
+                  "xR-Timely", "xR-Late", "xR-Only", "TL%", "siInv",
+                  "siDown"});
+        for (const std::string &pname :
+             splitList(opts.getString("policies", "L1,L0,G0,G1"))) {
+            RunConfig slip;
+            slip.mode = Mode::Slipstream;
+            slip.arPolicy = arPolicyFromName(pname);
+            slip.features.transparentLoads = opts.getBool("tl", false);
+            slip.features.selfInvalidation = opts.getBool("si", false);
+            auto rs = runExperiment(wl, opts, mp, slip);
+            std::vector<std::string> row{"slip-" + pname};
+            for (bool reads : {true, false}) {
+                for (StreamKind s :
+                     {StreamKind::AStream, StreamKind::RStream}) {
+                    for (FetchClass c :
+                         {FetchClass::Timely, FetchClass::Late,
+                          FetchClass::Only}) {
+                        row.push_back(Table::pct(
+                            rs.classPct(reads, s, c), 1));
+                    }
+                }
+            }
+            row.push_back(Table::pct(rs.transparentPct(), 1));
+            row.push_back(std::to_string(rs.siInvalidated));
+            row.push_back(std::to_string(rs.siDowngraded));
+            ct.addRow(row);
+        }
+        ct.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * policy_advisor: recommend an A-R synchronization scheme for a given
+ * program — one of the paper's stated future-work goals ("extending
+ * the analysis to recommend an A-R synchronization scheme for a given
+ * program").
+ *
+ *   $ example_policy_advisor workload=ocean cmps=16 [...]
+ *
+ * The advisor (1) measures all four fixed policies, (2) explains the
+ * outcome using the Figure-7 request classification (premature
+ * fetches vs lateness), (3) compares against the adaptive controller,
+ * and (4) prints a recommendation, including whether slipstream mode
+ * is worth enabling at all for this program.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+
+    std::string wl = opts.getString("workload", "ocean");
+    MachineParams mp = machineFromOptions(opts);
+    if (!opts.has("cmps"))
+        mp.numCmps = 16;
+
+    std::cout << "policy advisor: " << wl << " on " << mp.numCmps
+              << " CMP nodes\n\n";
+
+    // Baselines.
+    RunConfig single;
+    auto rs = runExperiment(wl, opts, mp, single);
+    RunConfig dbl;
+    dbl.mode = Mode::Double;
+    auto rd = runExperiment(wl, opts, mp, dbl);
+    double base = static_cast<double>(rs.cycles);
+
+    Table t({"config", "speedup vs single", "A-Timely", "A-Late",
+             "A-Only", "verdict"});
+    t.addRow({"single", "1.000", "-", "-", "-", ""});
+    t.addRow({"double",
+              Table::num(base / static_cast<double>(rd.cycles), 3), "-",
+              "-", "-", ""});
+
+    double best_speed = 0;
+    ArPolicy best_policy = ArPolicy::OneTokenLocal;
+    for (ArPolicy p :
+         {ArPolicy::OneTokenLocal, ArPolicy::ZeroTokenLocal,
+          ArPolicy::OneTokenGlobal, ArPolicy::ZeroTokenGlobal}) {
+        RunConfig slip;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = p;
+        auto r = runExperiment(wl, opts, mp, slip);
+        double s = base / static_cast<double>(r.cycles);
+
+        double timely =
+            r.classPct(true, StreamKind::AStream, FetchClass::Timely);
+        double late =
+            r.classPct(true, StreamKind::AStream, FetchClass::Late);
+        double only =
+            r.classPct(true, StreamKind::AStream, FetchClass::Only);
+        std::string verdict;
+        if (only > 20.0)
+            verdict = "A-stream too far ahead (premature fetches)";
+        else if (late > 40.0)
+            verdict = "A-stream barely ahead (little hiding)";
+        else if (timely > 20.0)
+            verdict = "effective prefetching";
+
+        t.addRow({std::string("slipstream-") + arPolicyName(p),
+                  Table::num(s, 3), Table::pct(timely, 1),
+                  Table::pct(late, 1), Table::pct(only, 1), verdict});
+        if (s > best_speed) {
+            best_speed = s;
+            best_policy = p;
+        }
+    }
+
+    // The adaptive controller (paper future work).
+    RunConfig ad;
+    ad.mode = Mode::Slipstream;
+    ad.arPolicy = ArPolicy::ZeroTokenGlobal;
+    ad.adaptiveAr = true;
+    auto ra = runExperiment(wl, opts, mp, ad);
+    t.addRow({"slipstream-adaptive",
+              Table::num(base / static_cast<double>(ra.cycles), 3), "-",
+              "-", "-",
+              std::to_string(static_cast<long long>(
+                  ra.stats.get("run.policySwitches"))) +
+                  " policy switches"});
+    t.print(std::cout);
+
+    // Recommendation.
+    double dspeed = base / static_cast<double>(rd.cycles);
+    std::cout << "\nrecommendation: ";
+    if (best_speed > std::max(1.0, dspeed)) {
+        std::cout << "enable slipstream mode with "
+                  << arPolicyName(best_policy) << " ("
+                  << Table::num(
+                         100.0 * (best_speed / std::max(1.0, dspeed) -
+                                  1.0), 1)
+                  << "% over the best conventional mode)\n";
+    } else if (dspeed > 1.05) {
+        std::cout << "keep double mode (still "
+                  << Table::num(dspeed, 2)
+                  << "x single; concurrency has not saturated)\n";
+    } else {
+        std::cout << "use single mode (neither extra concurrency nor "
+                     "slipstream pays at this scale)\n";
+    }
+
+    // Stall diagnosis, Figure-6 style.
+    double stall_frac =
+        rs.rCats[static_cast<int>(TimeCat::Stall)] / rs.rTotal();
+    if (stall_frac < 0.10 && best_speed < 1.02) {
+        std::cout << "note: single-mode stall is only "
+                  << Table::pct(100.0 * stall_frac, 1)
+                  << " of execution -- as the paper observes for "
+                     "LU/Water-SP, there is too little memory stall "
+                     "for slipstream to attack.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: run one benchmark under single, double, and slipstream
+ * modes on an 8-CMP machine and print what happened.
+ *
+ *   $ example_quickstart [workload=sor] [cmps=8] [...]
+ *
+ * This is the smallest complete use of the slipsim public API:
+ * pick a workload, describe the machine, choose a run configuration,
+ * call runExperiment(), and read the result.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+
+    // 1. The machine: Table-1 latencies, 8 dual-processor CMP nodes.
+    MachineParams machine = machineFromOptions(opts);
+    if (!opts.has("cmps"))
+        machine.numCmps = 8;
+
+    // 2. The workload: any of the registered kernels.
+    std::string name = opts.getString("workload", "sor");
+    std::cout << "workload: " << name << "\n";
+    std::cout << "machine:  " << machine.numCmps
+              << " CMP nodes (2 processors each)\n\n";
+
+    // 3. Run each execution mode (Figure 2 of the paper).
+    Tick single_cycles = 0;
+    for (Mode mode :
+         {Mode::Single, Mode::Double, Mode::Slipstream}) {
+        RunConfig cfg;
+        cfg.mode = mode;
+        cfg.arPolicy = ArPolicy::OneTokenGlobal;
+        // Full slipstream: prefetching + transparent loads + SI.
+        cfg.features.transparentLoads = mode == Mode::Slipstream;
+        cfg.features.selfInvalidation = mode == Mode::Slipstream;
+
+        ExperimentResult r = runExperiment(name, opts, machine, cfg);
+        if (mode == Mode::Single)
+            single_cycles = r.cycles;
+
+        std::cout << modeName(mode) << ":\n";
+        std::cout << "  cycles:   " << r.cycles << "\n";
+        std::cout << "  speedup:  "
+                  << static_cast<double>(single_cycles) /
+                         static_cast<double>(r.cycles)
+                  << " (vs single)\n";
+        std::cout << "  verified: " << (r.verified ? "yes" : "NO")
+                  << "\n";
+        if (mode == Mode::Slipstream) {
+            std::cout << "  A-stream recoveries: " << r.recoveries
+                      << "\n";
+            std::cout << "  transparent loads:   "
+                      << r.transparentReplies + r.upgradedReplies
+                      << " (" << r.transparentReplies
+                      << " transparent, " << r.upgradedReplies
+                      << " upgraded)\n";
+            std::cout << "  self-invalidations:  " << r.siInvalidated
+                      << " invalidated, " << r.siDowngraded
+                      << " downgraded\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

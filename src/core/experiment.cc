@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Experiment runner implementation.
+ */
+
+#include "core/experiment.hh"
+
+#include <ostream>
+
+#include "core/system.hh"
+#include "runtime/parallel_runtime.hh"
+
+namespace slipsim
+{
+
+std::uint64_t
+ExperimentResult::totalClassified(bool reads) const
+{
+    std::uint64_t total = 0;
+    for (int s = 0; s < 2; ++s) {
+        for (int c = 0; c < 3; ++c)
+            total += reads ? clsReads[s][c] : clsExcls[s][c];
+    }
+    return total;
+}
+
+double
+ExperimentResult::classPct(bool reads, StreamKind s, FetchClass c) const
+{
+    std::uint64_t total = totalClassified(reads);
+    if (total == 0)
+        return 0.0;
+    int si = s == StreamKind::AStream ? 0 : 1;
+    int ci = static_cast<int>(c);
+    std::uint64_t v = reads ? clsReads[si][ci] : clsExcls[si][ci];
+    return 100.0 * static_cast<double>(v) / static_cast<double>(total);
+}
+
+double
+ExperimentResult::transparentPct() const
+{
+    if (aReadMisses == 0)
+        return 0.0;
+    return 100.0 *
+           static_cast<double>(transparentReplies + upgradedReplies) /
+           static_cast<double>(aReadMisses);
+}
+
+double
+ExperimentResult::rTotal() const
+{
+    double t = 0;
+    for (double c : rCats)
+        t += c;
+    return t;
+}
+
+void
+ExperimentResult::summarize(std::ostream &os) const
+{
+    os << workload << " mode=" << modeName(mode);
+    if (mode == Mode::Slipstream)
+        os << "/" << arPolicyName(policy);
+    os << " cmps=" << numCmps << " cycles=" << cycles
+       << " verified=" << (verified ? "yes" : "NO")
+       << " recoveries=" << recoveries << "\n";
+}
+
+ExperimentResult
+runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
+              Tick tick_limit)
+{
+    System sys(mp, cfg);
+    ParallelRuntime rt(sys.eventq(), sys.machine(), sys.memory(),
+                       sys.procPtrs(), sys.allocator(), sys.functional(),
+                       wl, cfg);
+    rt.setup();
+    Tick end = rt.run(tick_limit);
+
+    ExperimentResult r;
+    r.workload = wl.name();
+    r.mode = cfg.mode;
+    r.policy = cfg.arPolicy;
+    r.features = cfg.features;
+    r.numCmps = mp.numCmps;
+    r.cycles = end;
+    r.recoveries = rt.totalRecoveries();
+    r.verified = cfg.verify ? wl.verify(sys.functional()) : true;
+
+    // Per-task time breakdown, averaged over tasks.
+    int ntasks = rt.numTasks();
+    for (TaskId t = 0; t < ntasks; ++t) {
+        Processor &p = rt.taskCtx(t).processor();
+        for (int c = 0; c < numTimeCats; ++c) {
+            r.rCats[c] += static_cast<double>(
+                p.catCycles(static_cast<TimeCat>(c)));
+        }
+    }
+    for (double &c : r.rCats)
+        c /= ntasks;
+
+    if (cfg.mode == Mode::Slipstream) {
+        for (TaskId t = 0; t < ntasks; ++t) {
+            Processor &p = rt.aCtx(t).processor();
+            for (int c = 0; c < numTimeCats; ++c) {
+                r.aCats[c] += static_cast<double>(
+                    p.catCycles(static_cast<TimeCat>(c)));
+            }
+        }
+        for (double &c : r.aCats)
+            c /= ntasks;
+    }
+
+    // Memory-system statistics.
+    MemorySystem &ms = sys.memory();
+    for (NodeId n = 0; n < mp.numCmps; ++n) {
+        NodeMemory &nm = ms.node(n);
+        const FetchClassStats &fc = nm.fetchClasses();
+        for (int s = 0; s < 2; ++s) {
+            for (int c = 0; c < 3; ++c) {
+                r.clsReads[s][c] += fc.reads[s][c];
+                r.clsExcls[s][c] += fc.excls[s][c];
+            }
+        }
+        r.aReadMisses += nm.aReadMisses;
+        r.siInvalidated += nm.siInvalidated;
+        r.siDowngraded += nm.siDowngraded;
+
+        DirectoryController &d = ms.dir(n);
+        r.transparentReplies += d.transparentReplies;
+        r.upgradedReplies += d.upgradedReplies;
+    }
+
+    ms.dumpStats(r.stats);
+    for (TaskId t = 0; t < ntasks; ++t)
+        rt.taskCtx(t).processor().dumpStats(r.stats, "rproc");
+    if (cfg.mode == Mode::Slipstream) {
+        for (TaskId t = 0; t < ntasks; ++t)
+            rt.aCtx(t).processor().dumpStats(r.stats, "aproc");
+    }
+    r.stats.set("run.cycles", static_cast<double>(end));
+    r.stats.set("run.recoveries", static_cast<double>(r.recoveries));
+    if (cfg.mode == Mode::Slipstream) {
+        double switches = 0;
+        for (TaskId t = 0; t < ntasks; ++t)
+            switches += static_cast<double>(
+                rt.pair(t).policySwitches);
+        r.stats.set("run.policySwitches", switches);
+    }
+
+    return r;
+}
+
+MachineParams
+machineFromOptions(const Options &opts)
+{
+    MachineParams mp;
+    mp.numCmps = static_cast<int>(opts.getInt("cmps", mp.numCmps));
+    mp.l1Bytes = static_cast<std::uint32_t>(
+        opts.getInt("l1kb", mp.l1Bytes / 1024) * 1024);
+    mp.l2Bytes = static_cast<std::uint32_t>(
+        opts.getInt("l2kb", mp.l2Bytes / 1024) * 1024);
+    mp.l2Assoc = static_cast<std::uint32_t>(
+        opts.getInt("l2assoc", mp.l2Assoc));
+    mp.l2Mshrs = static_cast<std::uint32_t>(
+        opts.getInt("mshrs", mp.l2Mshrs));
+    mp.busTime = static_cast<Tick>(opts.getInt("busTime", mp.busTime));
+    mp.netTime = static_cast<Tick>(opts.getInt("netTime", mp.netTime));
+    mp.memTime = static_cast<Tick>(opts.getInt("memTime", mp.memTime));
+    mp.piLocalDCTime = static_cast<Tick>(
+        opts.getInt("dcLocal", mp.piLocalDCTime));
+    mp.niLocalDCTime = static_cast<Tick>(
+        opts.getInt("dcRemote", mp.niLocalDCTime));
+    mp.netPortOccupancy = static_cast<Tick>(
+        opts.getInt("portOcc", mp.netPortOccupancy));
+    mp.busCtrlOccupancy = static_cast<Tick>(
+        opts.getInt("busCtrlOcc", mp.busCtrlOccupancy));
+    mp.busDataOccupancy = static_cast<Tick>(
+        opts.getInt("busDataOcc", mp.busDataOccupancy));
+    mp.memBankOccupancy = static_cast<Tick>(
+        opts.getInt("memBankOcc", mp.memBankOccupancy));
+    mp.l2PortOccupancy = static_cast<Tick>(
+        opts.getInt("l2occ", mp.l2PortOccupancy));
+    mp.busyQuantum = static_cast<Tick>(
+        opts.getInt("quantum", mp.busyQuantum));
+    mp.mesiEState = opts.getBool("mesiE", mp.mesiEState);
+    return mp;
+}
+
+ExperimentResult
+runExperiment(const std::string &workload_name, const Options &wl_opts,
+              const MachineParams &mp, const RunConfig &cfg,
+              Tick tick_limit)
+{
+    auto wl = makeWorkload(workload_name, wl_opts);
+    return runExperiment(*wl, mp, cfg, tick_limit);
+}
+
+} // namespace slipsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment runner: execute (workload, machine, run-config) and
+ * collect everything the paper's figures need.
+ */
+
+#ifndef SLIPSIM_CORE_EXPERIMENT_HH
+#define SLIPSIM_CORE_EXPERIMENT_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "cpu/processor.hh"
+#include "mem/params.hh"
+#include "runtime/mode.hh"
+#include "sim/stats.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+
+/** Everything measured by one run. */
+struct ExperimentResult
+{
+    std::string workload;
+    Mode mode = Mode::Single;
+    ArPolicy policy = ArPolicy::OneTokenLocal;
+    SlipFeatures features;
+    int numCmps = 0;
+
+    /** Program completion time (cycles). */
+    Tick cycles = 0;
+
+    /** Workload verification outcome. */
+    bool verified = false;
+
+    /** A-stream kill/re-fork count. */
+    std::uint64_t recoveries = 0;
+
+    /** Average per-task execution-time breakdown (Figure 6);
+     *  aCats is all-zero outside slipstream mode. */
+    std::array<double, numTimeCats> rCats{};
+    std::array<double, numTimeCats> aCats{};
+
+    /** Shared-data fetch classification (Figure 7):
+     *  [stream A=0/R=1][Timely, Late, Only]. */
+    std::uint64_t clsReads[2][3]{};
+    std::uint64_t clsExcls[2][3]{};
+
+    /** Transparent-load accounting (Figure 9). */
+    std::uint64_t aReadMisses = 0;
+    std::uint64_t transparentReplies = 0;
+    std::uint64_t upgradedReplies = 0;
+
+    /** Self-invalidation activity. */
+    std::uint64_t siInvalidated = 0;
+    std::uint64_t siDowngraded = 0;
+
+    /** Full merged statistics from every component. */
+    StatSet stats;
+
+    // --- derived helpers ---------------------------------------------------
+
+    /** Total classified read (or exclusive) fetches. */
+    std::uint64_t totalClassified(bool reads) const;
+
+    /** Percentage of read/exclusive fetches in one (stream, class)
+     *  bucket, as plotted in Figure 7. */
+    double classPct(bool reads, StreamKind s, FetchClass c) const;
+
+    /** Percent of A-stream read requests issued transparently. */
+    double transparentPct() const;
+
+    /** Sum of rCats (average R-task accounted cycles). */
+    double rTotal() const;
+
+    /** Print a human-readable summary. */
+    void summarize(std::ostream &os) const;
+};
+
+/**
+ * Run one experiment.  Builds a fresh System, runs @p wl under @p cfg,
+ * verifies, and gathers statistics.
+ *
+ * @param tick_limit aborts (via fatal) if exceeded — a backstop
+ *        against runaway configurations.
+ */
+ExperimentResult runExperiment(Workload &wl, const MachineParams &mp,
+                               const RunConfig &cfg,
+                               Tick tick_limit = maxTick);
+
+/** Convenience: construct the workload by name, run, destroy. */
+ExperimentResult runExperiment(const std::string &workload_name,
+                               const Options &wl_opts,
+                               const MachineParams &mp,
+                               const RunConfig &cfg,
+                               Tick tick_limit = maxTick);
+
+/**
+ * Build MachineParams from command-line options: cmps, l1kb, l2kb,
+ * l2assoc, mshrs, busTime, netTime, memTime, dcLocal, dcRemote,
+ * portOcc, quantum.  Unset options keep Table 1 defaults.
+ */
+MachineParams machineFromOptions(const Options &opts);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CORE_EXPERIMENT_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table implementation.
+ */
+
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+Table::Table(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    SLIPSIM_ASSERT(row.size() == header.size(),
+            "row arity %zu != header arity %zu", row.size(),
+            header.size());
+    body.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : body) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) {
+                os << std::string(width[c] - row[c].size() + 2, ' ');
+            }
+        }
+        os << "\n";
+    };
+
+    emit(header);
+    size_t total = 0;
+    for (size_t c = 0; c < header.size(); ++c)
+        total += width[c] + (c + 1 < header.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : body)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit(header);
+    for (const auto &row : body)
+        emit(row);
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+Table::pct(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v);
+    return buf;
+}
+
+} // namespace slipsim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small table/CSV emitters shared by benches and examples.
+ */
+
+#ifndef SLIPSIM_CORE_REPORT_HH
+#define SLIPSIM_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slipsim
+{
+
+/** Fixed-width aligned text table with an optional CSV form. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row (same arity as the header). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 3);
+
+    /** Format as a percentage with @p prec decimals. */
+    static std::string pct(double v, int prec = 1);
+
+    size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CORE_REPORT_HH

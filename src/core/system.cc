@@ -1,0 +1,42 @@
+/**
+ * @file
+ * System construction.
+ */
+
+#include "core/system.hh"
+
+namespace slipsim
+{
+
+System::System(const MachineParams &p, const RunConfig &cfg)
+    : params(p), alloc(p.numCmps)
+{
+    params.siHintsEnabled = cfg.mode == Mode::Slipstream &&
+                            cfg.features.selfInvalidation;
+
+    ms = std::make_unique<MemorySystem>(eq, params, alloc, fmem);
+
+    const bool slip = cfg.mode == Mode::Slipstream;
+    procs.reserve(static_cast<size_t>(params.numCmps) * 2);
+    for (NodeId n = 0; n < params.numCmps; ++n) {
+        ms->node(n).setClassifyEnabled(slip);
+        for (int slot = 0; slot < 2; ++slot) {
+            StreamKind s = (slip && slot == 1) ? StreamKind::AStream
+                                               : StreamKind::RStream;
+            procs.push_back(std::make_unique<Processor>(
+                    n, slot, s, eq, ms->node(n), params));
+        }
+    }
+}
+
+std::vector<Processor *>
+System::procPtrs()
+{
+    std::vector<Processor *> out;
+    out.reserve(procs.size());
+    for (auto &p : procs)
+        out.push_back(p.get());
+    return out;
+}
+
+} // namespace slipsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * System: one fully-wired CMP-based multiprocessor instance
+ * (processors, caches, directories, network, functional memory) built
+ * from MachineParams for a particular run configuration.
+ */
+
+#ifndef SLIPSIM_CORE_SYSTEM_HH
+#define SLIPSIM_CORE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/processor.hh"
+#include "mem/functional_mem.hh"
+#include "mem/memory_system.hh"
+#include "mem/params.hh"
+#include "runtime/mode.hh"
+#include "sim/event_queue.hh"
+
+namespace slipsim
+{
+
+/** A complete simulated machine (Figure 2's hardware). */
+class System
+{
+  public:
+    System(const MachineParams &p, const RunConfig &cfg);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    EventQueue &eventq() { return eq; }
+    const MachineParams &machine() const { return params; }
+    SharedAllocator &allocator() { return alloc; }
+    FunctionalMemory &functional() { return fmem; }
+    MemorySystem &memory() { return *ms; }
+
+    /** Processor @p slot (0/1) of node @p node. */
+    Processor &proc(NodeId node, int slot)
+    { return *procs[node * 2 + slot]; }
+
+    /** All processors, indexed node*2+slot. */
+    std::vector<Processor *> procPtrs();
+
+  private:
+    MachineParams params;
+    EventQueue eq;
+    FunctionalMemory fmem;
+    SharedAllocator alloc;
+    std::unique_ptr<MemorySystem> ms;
+    std::vector<std::unique_ptr<Processor>> procs;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CORE_SYSTEM_HH

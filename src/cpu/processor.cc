@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Processor implementation.
+ */
+
+#include "cpu/processor.hh"
+
+#include <sstream>
+
+namespace slipsim
+{
+
+const char *
+timeCatName(TimeCat c)
+{
+    switch (c) {
+      case TimeCat::Busy:
+        return "busy";
+      case TimeCat::Stall:
+        return "stall";
+      case TimeCat::Barrier:
+        return "barrier";
+      case TimeCat::Lock:
+        return "lock";
+      case TimeCat::ArSync:
+        return "arSync";
+      default:
+        return "?";
+    }
+}
+
+Processor::Processor(NodeId node_id, int slot_id, StreamKind s,
+                     EventQueue &event_queue, NodeMemory &l2_cache,
+                     const MachineParams &p)
+    : node(node_id), slot(slot_id), stream(s), eq(event_queue),
+      l2(l2_cache), params(p), l1(p.l1Bytes, p.l1Assoc)
+{
+    l2.registerL1(slot, &l1);
+}
+
+void
+Processor::flushBusy()
+{
+    cats[static_cast<int>(TimeCat::Busy)] += localAccum;
+    localAccum = 0;
+}
+
+void
+Processor::startTask(Coro<void> &&task, Tick start_delay,
+                     std::function<void()> on_done)
+{
+    SLIPSIM_ASSERT(!running(), "processor already has a task");
+    root = std::move(task);
+    token = std::make_shared<TaskToken>();
+    onDone = std::move(on_done);
+    taskFinished = false;
+    localAccum = 0;
+    suspendedHandle = nullptr;
+    sleeping = false;
+
+    auto tok = token;
+    eq.scheduleIn(start_delay, [this, tok]() {
+        if (!tok->alive)
+            return;
+        root.start();
+        maybeFinish();
+    });
+}
+
+void
+Processor::maybeFinish()
+{
+    if (!root.done() || taskFinished)
+        return;
+    // Trailing busy work accumulated after the last suspension is
+    // part of the task's execution time: retire at now + localAccum.
+    Tick finish = eq.now() + localAccum;
+    flushBusy();
+    if (finish > eq.now()) {
+        auto tok = token;
+        eq.schedule(finish, [this, tok]() {
+            if (!tok->alive)
+                return;
+            maybeFinish();
+        });
+        return;
+    }
+    taskFinished = true;
+    doneTick = eq.now();
+    if (onDone)
+        onDone();
+}
+
+void
+Processor::killTask()
+{
+    if (token)
+        token->alive = false;
+    suspendedHandle = nullptr;
+    sleeping = false;
+    // Unflushed busy time of the killed stream is discarded along with
+    // its speculative work.
+    localAccum = 0;
+    root = Coro<void>();
+}
+
+void
+Processor::resumeTask()
+{
+    auto h = suspendedHandle;
+    suspendedHandle = nullptr;
+    sleeping = false;
+    SLIPSIM_ASSERT(h, "resume without suspended handle");
+    h.resume();
+    root.maybeRethrow();
+    maybeFinish();
+}
+
+void
+Processor::issueMem(MemReq req, std::coroutine_handle<> h,
+                    TimeCat wait_cat)
+{
+    Tick proc_now = eq.now() + localAccum;
+    flushBusy();
+    suspendedHandle = h;
+    suspendTick = proc_now;
+    suspendCat = wait_cat;
+
+    auto tok = token;
+    eq.schedule(proc_now, [this, req, tok]() {
+        if (!tok->alive)
+            return;
+        l2.access(req, slot, [this, tok]() {
+            if (!tok->alive)
+                return;
+            cats[static_cast<int>(suspendCat)] += eq.now() - suspendTick;
+            resumeTask();
+        });
+    });
+}
+
+void
+Processor::issuePrefetch(MemReq req)
+{
+    Tick proc_now = eq.now() + localAccum;
+    auto tok = token;
+    eq.schedule(proc_now, [this, req, tok]() {
+        // Prefetches issued by a since-killed A-stream are still in the
+        // machine; let them land (they only move cache state).
+        (void)tok;
+        l2.access(req, slot, nullptr);
+    });
+}
+
+void
+Processor::sleepOn(std::coroutine_handle<> h, TimeCat wait_cat)
+{
+    Tick proc_now = eq.now() + localAccum;
+    flushBusy();
+    suspendedHandle = h;
+    suspendTick = proc_now;
+    suspendCat = wait_cat;
+    sleeping = true;
+}
+
+void
+Processor::wake()
+{
+    SLIPSIM_ASSERT(sleeping && suspendedHandle,
+            "wake() on a processor that is not sleeping");
+    sleeping = false;
+    Tick wake_tick = eq.now() > suspendTick ? eq.now() : suspendTick;
+    cats[static_cast<int>(suspendCat)] += wake_tick - suspendTick;
+
+    auto tok = token;
+    eq.schedule(wake_tick, [this, tok]() {
+        if (!tok->alive)
+            return;
+        resumeTask();
+    });
+}
+
+void
+Processor::yieldNow(std::coroutine_handle<> h)
+{
+    Tick proc_now = eq.now() + localAccum;
+    flushBusy();
+    suspendedHandle = h;
+    suspendTick = proc_now;
+    suspendCat = TimeCat::Busy;
+
+    auto tok = token;
+    eq.schedule(proc_now, [this, tok]() {
+        if (!tok->alive)
+            return;
+        resumeTask();
+    });
+}
+
+Tick
+Processor::totalCycles() const
+{
+    Tick total = 0;
+    for (auto c : cats)
+        total += c;
+    return total;
+}
+
+void
+Processor::dumpStats(StatSet &out, const std::string &prefix) const
+{
+    for (int c = 0; c < numTimeCats; ++c) {
+        out.add(prefix + ".cycles." +
+                    timeCatName(static_cast<TimeCat>(c)),
+                static_cast<double>(cats[c]));
+    }
+    out.add(prefix + ".l1.hits", static_cast<double>(l1.hitCount()));
+    out.add(prefix + ".l1.misses", static_cast<double>(l1.missCount()));
+}
+
+std::string
+Processor::stuckDescription() const
+{
+    if (!running() || !suspendedHandle)
+        return "";
+    std::ostringstream os;
+    os << "proc(node=" << node << ",slot=" << slot << ") waiting on "
+       << timeCatName(suspendCat) << " since tick " << suspendTick;
+    return os.str();
+}
+
+} // namespace slipsim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * In-order, blocking-memory-access processor model (MIPSY-like, 1 GHz,
+ * one busy cycle per instruction cycle).
+ *
+ * The processor drives one simulated task (a Coro<void>).  Busy work
+ * accumulates lazily in localAccum and is synchronized with the event
+ * queue whenever the task suspends (miss, sync wait, or quantum yield),
+ * so L1 hits and compute cost no events.  Every wait is charged to one
+ * of the paper's Figure-6 time categories.
+ */
+
+#ifndef SLIPSIM_CPU_PROCESSOR_HH
+#define SLIPSIM_CPU_PROCESSOR_HH
+
+#include <array>
+#include <coroutine>
+#include <functional>
+
+#include "mem/l1_cache.hh"
+#include "mem/mem_req.hh"
+#include "mem/node_memory.hh"
+#include "mem/params.hh"
+#include "sim/coro.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** Execution-time categories (Figure 6 of the paper). */
+enum class TimeCat : int
+{
+    Busy = 0,   //!< compute + cache hits
+    Stall,      //!< waiting for memory
+    Barrier,    //!< barrier synchronization
+    Lock,       //!< lock synchronization
+    ArSync,     //!< A-R synchronization (slipstream only)
+    NumCats,
+};
+
+constexpr int numTimeCats = static_cast<int>(TimeCat::NumCats);
+
+/** Printable name of a time category. */
+const char *timeCatName(TimeCat c);
+
+/**
+ * One processor of a CMP.  Owns a private L1 and runs at most one task
+ * coroutine for the duration of an experiment.
+ */
+class Processor
+{
+  public:
+    Processor(NodeId node, int slot, StreamKind stream, EventQueue &eq,
+              NodeMemory &l2, const MachineParams &p);
+
+    Processor(const Processor &) = delete;
+    Processor &operator=(const Processor &) = delete;
+
+    // --- task lifecycle ---------------------------------------------------
+
+    /**
+     * Attach and start a task.  @p start_delay cycles are charged as
+     * busy before the first instruction (fork cost).  @p on_done runs
+     * when the task's root coroutine completes.
+     */
+    void startTask(Coro<void> &&task, Tick start_delay,
+                   std::function<void()> on_done);
+
+    /** Kill the running task (A-stream recovery).  Pending completion
+     *  events are disarmed via the liveness token. */
+    void killTask();
+
+    /** True once the task completed normally. */
+    bool finished() const { return taskFinished; }
+
+    /** True if a task is attached and not finished. */
+    bool running() const
+    {
+        return static_cast<bool>(root) && !taskFinished;
+    }
+
+    // --- synchronous fast paths (no suspension) ----------------------------
+
+    /** Accumulate @p n busy cycles. */
+    void addBusy(Tick n) { localAccum += n; }
+
+    /** True when the task should yield to bound time skew. */
+    bool needYield() const { return localAccum >= params.busyQuantum; }
+
+    /** L1 lookup for a load (hit => 1-cycle fast path). */
+    bool l1Hit(Addr line_addr) { return l1.lookup(line_addr); }
+
+    /** Fast store: node already owns the line exclusively. */
+    bool
+    storeFast(Addr line_addr, bool in_cs)
+    {
+        return l2.storeOwnedFast(line_addr, slot, in_cs, stream);
+    }
+
+    // --- suspension primitives (called from awaiters) -----------------------
+
+    /**
+     * Issue a (blocking) memory access at the processor's current local
+     * time and suspend until it completes.  The wait is charged to
+     * @p wait_cat.
+     */
+    void issueMem(MemReq req, std::coroutine_handle<> h, TimeCat wait_cat);
+
+    /** Issue a non-blocking access (exclusive prefetch). */
+    void issuePrefetch(MemReq req);
+
+    /**
+     * Suspend until an external wake() (barrier/lock/token waits).
+     * Wait time is charged to @p wait_cat.
+     */
+    void sleepOn(std::coroutine_handle<> h, TimeCat wait_cat);
+
+    /** Wake a task suspended with sleepOn(). */
+    void wake();
+
+    /** Quantum yield: resynchronize local time with the event queue. */
+    void yieldNow(std::coroutine_handle<> h);
+
+    /** Charge an immediate latency (e.g. semaphore access) as busy. */
+    void chargeBusy(Tick n) { localAccum += n; }
+
+    // --- accounting ---------------------------------------------------------
+
+    /** Processor-local current time (event time + pending busy). */
+    Tick localNow() const { return eq.now() + localAccum; }
+
+    /** Cycles spent in @p c (flushed accounting only). */
+    Tick catCycles(TimeCat c) const
+    { return cats[static_cast<int>(c)]; }
+
+    /** Total accounted cycles. */
+    Tick totalCycles() const;
+
+    /** Tick at which the task finished (valid once finished()). */
+    Tick finishTick() const { return doneTick; }
+
+    void dumpStats(StatSet &out, const std::string &prefix) const;
+
+    NodeId nodeId() const { return node; }
+    int slotId() const { return slot; }
+    StreamKind streamKind() const { return stream; }
+    void setStreamKind(StreamKind s) { stream = s; }
+    L1Cache &l1Cache() { return l1; }
+    NodeMemory &l2Cache() { return l2; }
+    EventQueue &eventq() { return eq; }
+    const MachineParams &machine() const { return params; }
+    const TaskTokenPtr &taskToken() const { return token; }
+
+    /** Description of a stuck task, for deadlock diagnostics. */
+    std::string stuckDescription() const;
+
+  private:
+    void flushBusy();
+    void resumeTask();
+    void maybeFinish();
+
+    NodeId node;
+    int slot;
+    StreamKind stream;
+    EventQueue &eq;
+    NodeMemory &l2;
+    const MachineParams &params;
+
+    L1Cache l1;
+    Coro<void> root;
+    TaskTokenPtr token;
+    std::function<void()> onDone;
+
+    std::coroutine_handle<> suspendedHandle = nullptr;
+    Tick suspendTick = 0;
+    TimeCat suspendCat = TimeCat::Stall;
+    bool sleeping = false;
+
+    Tick localAccum = 0;
+    std::array<Tick, numTimeCats> cats{};
+    bool taskFinished = false;
+    Tick doneTick = 0;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CPU_PROCESSOR_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Generic set-associative tag array with true-LRU replacement.
+ *
+ * The payload type carries per-line protocol state; the array only
+ * manages placement and recency.
+ */
+
+#ifndef SLIPSIM_MEM_CACHE_ARRAY_HH
+#define SLIPSIM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/**
+ * Set-associative array of LineT.  LineT must provide:
+ *   bool valid;  Addr lineAddr;  void reset();
+ */
+template <typename LineT>
+class CacheArray
+{
+  public:
+    CacheArray(std::uint32_t bytes, std::uint32_t assoc)
+        : associativity(assoc)
+    {
+        SLIPSIM_ASSERT(assoc > 0, "associativity must be positive");
+        std::uint32_t lines = bytes / lineBytes;
+        SLIPSIM_ASSERT(lines % assoc == 0,
+                "cache bytes not divisible into sets");
+        numSets = lines / assoc;
+        SLIPSIM_ASSERT((numSets & (numSets - 1)) == 0,
+                "set count must be a power of two");
+        sets.resize(lines);
+        lru.resize(lines);
+        for (std::uint32_t i = 0; i < lines; ++i) {
+            sets[i].reset();
+            sets[i].valid = false;
+            lru[i] = i % assoc;
+        }
+    }
+
+    /** Find a valid line; does not update recency. */
+    LineT *
+    find(Addr line_addr)
+    {
+        std::uint32_t base = setBase(line_addr);
+        for (std::uint32_t w = 0; w < associativity; ++w) {
+            LineT &l = sets[base + w];
+            if (l.valid && l.lineAddr == line_addr)
+                return &l;
+        }
+        return nullptr;
+    }
+
+    const LineT *
+    find(Addr line_addr) const
+    {
+        return const_cast<CacheArray *>(this)->find(line_addr);
+    }
+
+    /** Mark a line most-recently-used. */
+    void
+    touch(const LineT *line)
+    {
+        std::uint32_t idx = index(line);
+        std::uint32_t base = (idx / associativity) * associativity;
+        std::uint32_t way = idx - base;
+        std::uint32_t cur = lru[idx];
+        // Age everything younger than this line.
+        for (std::uint32_t w = 0; w < associativity; ++w) {
+            if (lru[base + w] < cur)
+                ++lru[base + w];
+        }
+        lru[base + way] = 0;
+        (void)way;
+    }
+
+    /**
+     * Choose a victim slot for @p line_addr.  Prefers an invalid way,
+     * else the least-recently-used way for which @p evictable returns
+     * true.  Returns nullptr if no way is evictable (caller retries).
+     */
+    template <typename Pred>
+    LineT *
+    victimFor(Addr line_addr, Pred evictable)
+    {
+        std::uint32_t base = setBase(line_addr);
+        LineT *best = nullptr;
+        std::uint32_t best_age = 0;
+        for (std::uint32_t w = 0; w < associativity; ++w) {
+            LineT &l = sets[base + w];
+            if (!l.valid)
+                return &l;
+            if (evictable(l) && (!best || lru[base + w] > best_age)) {
+                best = &l;
+                best_age = lru[base + w];
+            }
+        }
+        return best;
+    }
+
+    /** Visit every valid line. */
+    template <typename Fn>
+    void
+    forEach(Fn fn)
+    {
+        for (auto &l : sets) {
+            if (l.valid)
+                fn(l);
+        }
+    }
+
+    /** Invalidate everything (between experiments). */
+    void
+    reset()
+    {
+        for (auto &l : sets) {
+            l.reset();
+            l.valid = false;
+        }
+    }
+
+    std::uint32_t assoc() const { return associativity; }
+    std::uint32_t setCount() const { return numSets; }
+
+  private:
+    std::uint32_t
+    setBase(Addr line_addr) const
+    {
+        std::uint64_t set =
+            (line_addr / lineBytes) & (numSets - 1);
+        return static_cast<std::uint32_t>(set) * associativity;
+    }
+
+    std::uint32_t
+    index(const LineT *line) const
+    {
+        return static_cast<std::uint32_t>(line - sets.data());
+    }
+
+    std::uint32_t associativity;
+    std::uint32_t numSets;
+    std::vector<LineT> sets;
+    std::vector<std::uint32_t> lru;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * DirectoryController implementation: the fully-mapped invalidate
+ * protocol with transparent loads, future sharers, and SI hints.
+ */
+
+#include "mem/directory.hh"
+
+#include "mem/memory_system.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace slipsim
+{
+
+DirectoryController::DirectoryController(NodeId home_node,
+                                         MemorySystem &mem_sys,
+                                         const MachineParams &p)
+    : home(home_node), ms(mem_sys), params(p), dc("dc")
+{
+}
+
+const DirEntry *
+DirectoryController::probe(Addr line_addr) const
+{
+    auto it = entries.find(line_addr);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+void
+DirectoryController::handle(const MemReq &req, ReplyFn reply)
+{
+    EventQueue &eq = ms.eventq();
+    DirEntry &e = entry(req.lineAddr);
+    Tick now = eq.now();
+
+    // Per-line transaction serialization: wait out the busy window.
+    if (now < e.busyUntil) {
+        eq.schedule(e.busyUntil, [this, req, reply = std::move(reply)]() {
+            handle(req, reply);
+        });
+        return;
+    }
+
+    SLIPSIM_TRACE_MSG(TraceFlag::Coherence, now, "dir",
+            "home %d handles %s line %llx from node %d%s%s",
+            home,
+            req.type == ReqType::Read
+                ? (req.wantTransparent ? "TransGetS" : "GetS")
+                : (req.type == ReqType::Excl ? "GetX" : "PrefX"),
+            (unsigned long long)req.lineAddr, req.node,
+            req.stream == StreamKind::AStream ? " [A]" : "",
+            req.inCS ? " [CS]" : "");
+
+    ++requests;
+    const bool local = req.node == home;
+    if (local)
+        ++localRequests;
+
+    const Tick occ = local ? params.piLocalDCTime : params.niLocalDCTime;
+    Tick t = dc.reserve(now, occ);
+
+    ReplyInfo info;
+    Tick reply_arrival = 0;
+    bool extend_busy = true;
+
+    // Delivery of the reply data into the requesting node's L2,
+    // starting from @p from with data ready at @p ready.
+    auto deliver = [&](NodeId from, Tick ready) -> Tick {
+        if (from == req.node)
+            return ms.busCross(req.node, ready, true);
+        Tick a = ms.oneWay(from, req.node, ready);
+        a = ms.dir(req.node).server().reserve(a, params.niRemoteDCTime);
+        return ms.busCross(req.node, a, true);
+    };
+
+    if (req.isRead()) {
+        if (e.state == DirEntry::St::Excl) {
+            SLIPSIM_ASSERT(e.owner != req.node,
+                    "read miss from the exclusive owner");
+            if (req.wantTransparent) {
+                // Transparent reply: stale copy from memory; owner
+                // keeps exclusivity but is advised to self-invalidate.
+                ++memoryFetches;
+                ++transparentReplies;
+                if (params.siHintsEnabled) {
+                    ++siHintsToOwner;
+                    ms.node(e.owner).markSiHint(req.lineAddr);
+                }
+                e.future |= bit(req.node);
+                info.transparent = true;
+                reply_arrival = deliver(home, ms.memAccess(home, t));
+                extend_busy = false;  // no coherence state change
+            } else {
+                // 3-hop: forward to owner; owner downgrades and sends
+                // the data directly to the requester (plus a writeback
+                // to home, off the critical path).
+                ++fwdGetS;
+                NodeId owner = e.owner;
+                Tick fwd = ms.oneWay(home, owner, t);
+                Tick at_owner = ms.dir(owner).server().reserve(
+                        fwd, params.niRemoteDCTime);
+                bool had = ms.node(owner).downgradeToShared(req.lineAddr);
+                Tick served;
+                if (had) {
+                    served = ms.busCross(owner, at_owner, false);
+                    served = ms.busCross(owner,
+                                         served + params.l2HitTime,
+                                         true);
+                } else {
+                    served = at_owner + params.memTime;
+                }
+                if (owner == req.node) {
+                    // Cannot happen (asserted above), but keep deliver
+                    // semantics total.
+                    reply_arrival = served + params.busTime;
+                } else {
+                    Tick a = ms.oneWay(owner, req.node, served);
+                    a = ms.dir(req.node).server().reserve(
+                            a, params.niRemoteDCTime);
+                    reply_arrival = a + params.busTime;
+                }
+                e.state = DirEntry::St::Shared;
+                e.sharers = bit(owner) | bit(req.node);
+                e.owner = invalidNode;
+                if (req.stream == StreamKind::RStream)
+                    e.future &= ~bit(req.node);
+            }
+        } else {
+            // Idle or Shared: serve from memory.
+            ++memoryFetches;
+            if (req.wantTransparent) {
+                // Upgraded to a normal load; recorded as a sharer AND
+                // a future sharer.
+                ++upgradedReplies;
+                e.future |= bit(req.node);
+            }
+            if (params.mesiEState && e.state == DirEntry::St::Idle &&
+                !req.wantTransparent) {
+                // MESI E state: sole reader takes the line exclusive,
+                // so a subsequent store by the same node is free —
+                // this is what makes self-invalidation pay off for
+                // migratory data on the Origin-like protocol.
+                e.state = DirEntry::St::Excl;
+                e.owner = req.node;
+                e.sharers = 0;
+                info.exclusive = true;
+            } else {
+                e.state = DirEntry::St::Shared;
+                e.sharers |= bit(req.node);
+            }
+            if (req.stream == StreamKind::RStream &&
+                !req.wantTransparent) {
+                e.future &= ~bit(req.node);
+            }
+            reply_arrival = deliver(home, ms.memAccess(home, t));
+        }
+    } else {
+        // Exclusive request (GETX / upgrade / exclusive prefetch).
+        if (req.stream == StreamKind::RStream)
+            e.future &= ~bit(req.node);
+
+        if (e.state == DirEntry::St::Excl) {
+            SLIPSIM_ASSERT(e.owner != req.node,
+                    "exclusive miss from the exclusive owner");
+            // 3-hop ownership transfer.
+            ++fwdGetX;
+            NodeId owner = e.owner;
+            Tick fwd = ms.oneWay(home, owner, t);
+            Tick at_owner = ms.dir(owner).server().reserve(
+                    fwd, params.niRemoteDCTime);
+            bool had = ms.node(owner).invalidateLine(req.lineAddr);
+            Tick served;
+            NodeId data_from;
+            if (had) {
+                served = ms.busCross(owner, at_owner, false);
+                served = ms.busCross(owner, served + params.l2HitTime,
+                                     true);
+                data_from = owner;
+            } else {
+                // Owner raced a writeback; serve from memory.
+                ++memoryFetches;
+                served = ms.memAccess(home, t);
+                data_from = home;
+            }
+            reply_arrival = deliver(data_from, served);
+            e.owner = req.node;
+            e.sharers = 0;
+        } else {
+            // Idle/Shared: invalidate other sharers, grant ownership.
+            bool is_upgrade = e.state == DirEntry::St::Shared &&
+                              (e.sharers & bit(req.node));
+            Tick data_ready = t;
+            if (!is_upgrade) {
+                ++memoryFetches;
+                data_ready = ms.memAccess(home, t);
+            }
+
+            std::uint64_t others = e.sharers & ~bit(req.node);
+            Tick ack_done = data_ready;
+            for (NodeId s = 0; s < ms.numNodes(); ++s) {
+                if (!(others & bit(s)))
+                    continue;
+                ++invalidationsSent;
+                Tick iv = ms.oneWay(home, s, t);
+                ms.node(s).invalidateLine(req.lineAddr);
+                Tick ack = ms.oneWay(s, home, iv + params.l2HitTime);
+                if (ack > ack_done)
+                    ack_done = ack;
+            }
+            e.state = DirEntry::St::Excl;
+            e.owner = req.node;
+            e.sharers = 0;
+            reply_arrival = deliver(home, ack_done);
+        }
+
+        info.exclusive = true;
+        // Future-sharing knowledge travels with the exclusive reply as
+        // a self-invalidation hint (Figure 8, right).
+        if (params.siHintsEnabled &&
+            req.stream == StreamKind::RStream &&
+            (e.future & ~bit(req.node))) {
+            info.siHint = true;
+            ++siHintsWithReply;
+        }
+    }
+
+    if (extend_busy)
+        e.busyUntil = reply_arrival;
+
+    eq.schedule(reply_arrival, [reply = std::move(reply), info]() {
+        reply(info);
+    });
+}
+
+void
+DirectoryController::noteSharedEviction(NodeId node, Addr line_addr)
+{
+    auto it = entries.find(line_addr);
+    if (it == entries.end())
+        return;
+    DirEntry &e = it->second;
+    e.future &= ~bit(node);
+    if (e.state == DirEntry::St::Shared) {
+        e.sharers &= ~bit(node);
+        if (e.sharers == 0)
+            e.state = DirEntry::St::Idle;
+    }
+}
+
+void
+DirectoryController::noteWriteback(NodeId node, Addr line_addr)
+{
+    auto it = entries.find(line_addr);
+    if (it == entries.end())
+        return;
+    DirEntry &e = it->second;
+    e.future &= ~bit(node);
+    if (e.state == DirEntry::St::Excl && e.owner == node) {
+        e.state = DirEntry::St::Idle;
+        e.owner = invalidNode;
+        e.sharers = 0;
+    }
+}
+
+void
+DirectoryController::noteDowngrade(NodeId node, Addr line_addr)
+{
+    auto it = entries.find(line_addr);
+    if (it == entries.end())
+        return;
+    DirEntry &e = it->second;
+    if (e.state == DirEntry::St::Excl && e.owner == node) {
+        e.state = DirEntry::St::Shared;
+        e.sharers = bit(node);
+        e.owner = invalidNode;
+    }
+}
+
+void
+DirectoryController::noteTransparentEviction(NodeId node, Addr line_addr)
+{
+    auto it = entries.find(line_addr);
+    if (it == entries.end())
+        return;
+    it->second.future &= ~bit(node);
+}
+
+void
+DirectoryController::dumpStats(StatSet &out) const
+{
+    out.add("dir.requests", static_cast<double>(requests));
+    out.add("dir.localRequests", static_cast<double>(localRequests));
+    out.add("dir.fwdGetS", static_cast<double>(fwdGetS));
+    out.add("dir.fwdGetX", static_cast<double>(fwdGetX));
+    out.add("dir.invalidationsSent",
+            static_cast<double>(invalidationsSent));
+    out.add("dir.transparentReplies",
+            static_cast<double>(transparentReplies));
+    out.add("dir.upgradedReplies",
+            static_cast<double>(upgradedReplies));
+    out.add("dir.siHintsToOwner", static_cast<double>(siHintsToOwner));
+    out.add("dir.siHintsWithReply",
+            static_cast<double>(siHintsWithReply));
+    out.add("dir.memoryFetches", static_cast<double>(memoryFetches));
+    out.add("dir.busyTicks", static_cast<double>(dc.totalBusy()));
+    out.add("dir.waitTicks", static_cast<double>(dc.totalWait()));
+}
+
+} // namespace slipsim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fully-mapped invalidate-based directory controller (one per node,
+ * home for the pages the allocator placed there).
+ *
+ * Transactions are executed with *immediate authoritative state*: when
+ * the directory processes a request, all global coherence state (its
+ * own entry, remote L2 lines) is updated at once, while the latency the
+ * requester perceives is computed as a flow through the contended
+ * resources (DC occupancy, network ports, memory).  A per-line busy
+ * window serializes conflicting transactions, which makes the protocol
+ * race-free by construction (DESIGN.md §5.4).
+ */
+
+#ifndef SLIPSIM_MEM_DIRECTORY_HH
+#define SLIPSIM_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "mem/mem_req.hh"
+#include "mem/params.hh"
+#include "net/resource.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+class MemorySystem;
+
+/** Home-side state of one cache line. */
+struct DirEntry
+{
+    enum class St : std::uint8_t { Idle, Shared, Excl };
+    St state = St::Idle;
+    std::uint64_t sharers = 0;   //!< bitmask over nodes
+    NodeId owner = invalidNode;
+    std::uint64_t future = 0;    //!< future-sharer bits (Section 4.2)
+    Tick busyUntil = 0;          //!< per-line transaction serialization
+};
+
+/** Directory + memory controller of one node. */
+class DirectoryController
+{
+  public:
+    using ReplyFn = std::function<void(const ReplyInfo &)>;
+
+    DirectoryController(NodeId home, MemorySystem &ms,
+                        const MachineParams &p);
+
+    DirectoryController(const DirectoryController &) = delete;
+    DirectoryController &operator=(const DirectoryController &) = delete;
+
+    /**
+     * Process a request arriving at this home at the current tick.
+     * Reschedules itself if the line is inside another transaction's
+     * busy window.  @p reply runs (via the event queue) when the data
+     * reaches the requesting L2.
+     */
+    void handle(const MemReq &req, ReplyFn reply);
+
+    // --- zero-latency notifications (replacement hints etc.) -------------
+
+    /** A node silently evicted a Shared copy. */
+    void noteSharedEviction(NodeId node, Addr line_addr);
+
+    /** A node wrote back / invalidated its Exclusive copy (PutX). */
+    void noteWriteback(NodeId node, Addr line_addr);
+
+    /** A node self-invalidation-downgraded its Exclusive copy to
+     *  Shared (data written back to memory). */
+    void noteDowngrade(NodeId node, Addr line_addr);
+
+    /** A node evicted a transparent (non-coherent) copy; only the
+     *  future-sharer prediction for that node is reset. */
+    void noteTransparentEviction(NodeId node, Addr line_addr);
+
+    /** The DC server (occupancy contention point). */
+    Resource &server() { return dc; }
+
+    /** Inspect an entry (tests); null if never touched. */
+    const DirEntry *probe(Addr line_addr) const;
+
+    void dumpStats(StatSet &out) const;
+
+    NodeId homeId() const { return home; }
+
+    // Counters (public for experiment collection).
+    std::uint64_t requests = 0;
+    std::uint64_t localRequests = 0;
+    std::uint64_t fwdGetS = 0;
+    std::uint64_t fwdGetX = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t transparentReplies = 0;
+    std::uint64_t upgradedReplies = 0;
+    std::uint64_t siHintsToOwner = 0;
+    std::uint64_t siHintsWithReply = 0;
+    std::uint64_t memoryFetches = 0;
+
+  private:
+    DirEntry &entry(Addr line_addr) { return entries[line_addr]; }
+
+    static std::uint64_t bit(NodeId n)
+    { return std::uint64_t(1) << n; }
+
+    NodeId home;
+    MemorySystem &ms;
+    const MachineParams &params;
+    Resource dc;
+    std::unordered_map<Addr, DirEntry> entries;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_MEM_DIRECTORY_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SharedAllocator implementation.
+ */
+
+#include "mem/functional_mem.hh"
+
+namespace slipsim
+{
+
+Addr
+SharedAllocator::alloc(size_t bytes, Placement place, int parts,
+                       NodeId node)
+{
+    constexpr Addr pb = FunctionalMemory::pageBytes;
+
+    // Round the allocation to whole pages so placements don't interfere.
+    Addr base = nextAddr;
+    SLIPSIM_ASSERT(base % pb == 0, "allocator base misaligned");
+    size_t pages = (bytes + pb - 1) / pb;
+    if (pages == 0)
+        pages = 1;
+    nextAddr = base + pages * pb;
+
+    switch (place) {
+      case Placement::Interleaved:
+        for (size_t i = 0; i < pages; ++i) {
+            homeMap[base / pb + i] =
+                static_cast<NodeId>(i % static_cast<size_t>(numNodes));
+        }
+        break;
+
+      case Placement::Partitioned: {
+        SLIPSIM_ASSERT(parts > 0, "partitioned alloc needs parts > 0");
+        // Chunk i of the data belongs to task i; home it where that
+        // task runs.  With more parts than pages, several partitions
+        // share a page (homed with the first).
+        for (size_t i = 0; i < pages; ++i) {
+            int part = static_cast<int>(
+                (i * static_cast<size_t>(parts)) / pages);
+            NodeId home = static_cast<NodeId>(
+                (part / tasksPerNode) % numNodes);
+            homeMap[base / pb + i] = home;
+        }
+        break;
+      }
+
+      case Placement::Fixed:
+        SLIPSIM_ASSERT(node >= 0 && node < numNodes, "bad fixed home");
+        for (size_t i = 0; i < pages; ++i)
+            homeMap[base / pb + i] = node;
+        break;
+    }
+
+    return base;
+}
+
+} // namespace slipsim

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Functional (value) backing store for the simulated shared address
+ * space, plus a home-node-aware allocator.
+ *
+ * slipsim keeps a single authoritative copy of every shared value (no
+ * per-cache data replication); caches and directories model timing and
+ * coherence *state* only.  R-streams only consume shared data under
+ * synchronization, so the single copy is indistinguishable from a
+ * coherent system for them.  A-stream stores are simply never applied
+ * here, which is exactly the paper's "store is executed but not
+ * committed" semantics.
+ */
+
+#ifndef SLIPSIM_MEM_FUNCTIONAL_MEM_HH
+#define SLIPSIM_MEM_FUNCTIONAL_MEM_HH
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** Sparse paged value store for the simulated shared segment. */
+class FunctionalMemory
+{
+  public:
+    static constexpr Addr pageBytes = 4096;
+
+    /** Read a trivially-copyable value at @p addr. */
+    template <typename T>
+    T
+    read(Addr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T out{};
+        readBytes(addr, &out, sizeof(T));
+        return out;
+    }
+
+    /** Write a trivially-copyable value at @p addr. */
+    template <typename T>
+    void
+    write(Addr addr, const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        writeBytes(addr, &v, sizeof(T));
+    }
+
+    void
+    readBytes(Addr addr, void *out, size_t n) const
+    {
+        auto *dst = static_cast<unsigned char *>(out);
+        while (n > 0) {
+            Addr page = addr / pageBytes;
+            size_t off = addr % pageBytes;
+            size_t chunk = std::min(n, pageBytes - off);
+            auto it = pages.find(page);
+            if (it == pages.end()) {
+                std::memset(dst, 0, chunk);
+            } else {
+                std::memcpy(dst, it->second->data() + off, chunk);
+            }
+            dst += chunk;
+            addr += chunk;
+            n -= chunk;
+        }
+    }
+
+    void
+    writeBytes(Addr addr, const void *in, size_t n)
+    {
+        auto *src = static_cast<const unsigned char *>(in);
+        while (n > 0) {
+            Addr page = addr / pageBytes;
+            size_t off = addr % pageBytes;
+            size_t chunk = std::min(n, pageBytes - off);
+            auto &p = pages[page];
+            if (!p)
+                p = std::make_unique<Page>(pageBytes, 0);
+            std::memcpy(p->data() + off, src, chunk);
+            src += chunk;
+            addr += chunk;
+            n -= chunk;
+        }
+    }
+
+    /** Number of touched 4 KB pages. */
+    size_t touchedPages() const { return pages.size(); }
+
+    void clear() { pages.clear(); }
+
+  private:
+    using Page = std::vector<unsigned char>;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+/** Page-placement policy for a shared allocation. */
+enum class Placement
+{
+    Interleaved,  //!< round-robin 4 KB pages across all homes
+    Partitioned,  //!< contiguous chunks, one per task partition
+    Fixed,        //!< every page homed on one node
+};
+
+/**
+ * Hands out line-aligned regions of the simulated shared segment and
+ * records the home node of every page (approximating IRIX first-touch /
+ * Origin page placement, which the paper's benchmarks rely on).
+ */
+class SharedAllocator
+{
+  public:
+    /** Shared segment base; anything below is not simulated memory. */
+    static constexpr Addr sharedBase = 0x10000000;
+
+    explicit
+    SharedAllocator(int num_nodes)
+        : numNodes(num_nodes), nextAddr(sharedBase)
+    {
+        SLIPSIM_ASSERT(num_nodes > 0, "need at least one node");
+    }
+
+    /**
+     * Allocate @p bytes with the given placement.
+     * @param parts for Placement::Partitioned, the number of equal
+     *              chunks (usually the task count); chunk i is homed on
+     *              the node running task i.
+     * @param node  for Placement::Fixed, the home node.
+     */
+    Addr alloc(size_t bytes, Placement place = Placement::Interleaved,
+               int parts = 1, NodeId node = 0);
+
+    /** Home node of @p addr. */
+    NodeId
+    homeOf(Addr addr) const
+    {
+        Addr page = addr / FunctionalMemory::pageBytes;
+        auto it = homeMap.find(page);
+        SLIPSIM_ASSERT(it != homeMap.end(),
+                "address %llx outside any shared allocation",
+                (unsigned long long)addr);
+        return it->second;
+    }
+
+    /** True if @p addr lies in the shared segment handed out so far. */
+    bool
+    isShared(Addr addr) const
+    {
+        return addr >= sharedBase && addr < nextAddr;
+    }
+
+    /** Total bytes allocated. */
+    size_t allocated() const { return nextAddr - sharedBase; }
+
+    /** Map task index to the node that runs it (identity by default;
+     *  double mode maps two tasks per node). */
+    void setTasksPerNode(int tpn) { tasksPerNode = tpn; }
+
+  private:
+    int numNodes;
+    int tasksPerNode = 1;
+    Addr nextAddr;
+    std::unordered_map<Addr, NodeId> homeMap;  // page -> home
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_MEM_FUNCTIONAL_MEM_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Private per-processor L1 data cache (presence/timing only).
+ *
+ * Values live in FunctionalMemory; the L1 tracks which shared lines a
+ * processor can reach in one cycle.  The shared L2 keeps the two L1s of
+ * a CMP coherent by back-invalidating them on L2 eviction, external
+ * invalidation, or a store by the peer processor.
+ */
+
+#ifndef SLIPSIM_MEM_L1_CACHE_HH
+#define SLIPSIM_MEM_L1_CACHE_HH
+
+#include <cstdint>
+
+#include "mem/cache_array.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** Tag-only L1 line. */
+struct L1Line
+{
+    bool valid = false;
+    Addr lineAddr = 0;
+
+    void
+    reset()
+    {
+        valid = false;
+        lineAddr = 0;
+    }
+};
+
+/** 32 KB / 2-way / 1-cycle-hit private data cache. */
+class L1Cache
+{
+  public:
+    L1Cache(std::uint32_t bytes, std::uint32_t assoc)
+        : array(bytes, assoc)
+    {}
+
+    /** Probe for @p line_addr; updates recency on hit. */
+    bool
+    lookup(Addr line_addr)
+    {
+        if (L1Line *l = array.find(line_addr)) {
+            array.touch(l);
+            ++hits;
+            return true;
+        }
+        ++misses;
+        return false;
+    }
+
+    /** Install @p line_addr (evicting LRU silently). */
+    void
+    insert(Addr line_addr)
+    {
+        if (L1Line *l = array.find(line_addr)) {
+            array.touch(l);
+            return;
+        }
+        L1Line *v = array.victimFor(line_addr,
+                [](const L1Line &) { return true; });
+        v->valid = true;
+        v->lineAddr = line_addr;
+        array.touch(v);
+    }
+
+    /** Drop @p line_addr if present (back-invalidation from L2). */
+    void
+    invalidate(Addr line_addr)
+    {
+        if (L1Line *l = array.find(line_addr)) {
+            l->valid = false;
+            ++backInvalidations;
+        }
+    }
+
+    std::uint64_t hitCount() const { return hits; }
+    std::uint64_t missCount() const { return misses; }
+    std::uint64_t backInvalidationCount() const
+    { return backInvalidations; }
+
+  private:
+    CacheArray<L1Line> array;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t backInvalidations = 0;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_MEM_L1_CACHE_HH

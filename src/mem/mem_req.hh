@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared request/reply types of the coherence fabric.
+ */
+
+#ifndef SLIPSIM_MEM_MEM_REQ_HH
+#define SLIPSIM_MEM_MEM_REQ_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** Classes of request a node's L2 sends to a home directory. */
+enum class ReqType : std::uint8_t
+{
+    Read,    //!< GETS: read a line (shared)
+    Excl,    //!< GETX / upgrade: obtain exclusive ownership
+    PrefEx,  //!< non-blocking exclusive prefetch (A-stream store convert)
+};
+
+/** A miss request as seen by the home directory. */
+struct MemReq
+{
+    Addr lineAddr = 0;
+    ReqType type = ReqType::Read;
+    NodeId node = 0;                        //!< requesting node
+    StreamKind stream = StreamKind::RStream;
+    bool wantTransparent = false;           //!< A-stream transparent load
+    bool inCS = false;                      //!< issued inside critical sec.
+    bool statsExempt = false;               //!< sync-fabric traffic
+    /** A-stream session lead (aSession - rSession) at issue, clamped
+     *  to [0,3]; diagnostic for prefetch-timing studies. */
+    std::uint8_t gap = 0;
+
+    bool isRead() const { return type == ReqType::Read; }
+};
+
+/** Reply metadata returned by the directory with the data. */
+struct ReplyInfo
+{
+    /** The fill is a transparent (non-coherent, A-only) copy. */
+    bool transparent = false;
+    /** The requester should mark the line for self-invalidation. */
+    bool siHint = false;
+    /** The fill grants exclusive ownership. */
+    bool exclusive = false;
+};
+
+/** Classification of a shared-data fetch (Figure 7 of the paper). */
+enum class FetchClass : std::uint8_t
+{
+    Timely,  //!< fetched data later referenced by the companion stream
+    Late,    //!< companion referenced it while the fetch was in flight
+    Only,    //!< evicted/invalidated before any companion reference
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_MEM_MEM_REQ_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * MemorySystem implementation.
+ */
+
+#include "mem/memory_system.hh"
+
+namespace slipsim
+{
+
+MemorySystem::MemorySystem(EventQueue &event_queue,
+                           const MachineParams &p,
+                           SharedAllocator &allocator,
+                           FunctionalMemory &functional_mem)
+    : eq(event_queue), params(p), alloc(allocator), fmem(functional_mem)
+{
+    SLIPSIM_ASSERT(p.numCmps >= 1 && p.numCmps <= 64,
+            "node count must be in [1,64] (sharer bitmask width)");
+    nodes.reserve(p.numCmps);
+    dirs.reserve(p.numCmps);
+    niIn.reserve(p.numCmps);
+    niOut.reserve(p.numCmps);
+    for (NodeId n = 0; n < p.numCmps; ++n) {
+        nodes.push_back(std::make_unique<NodeMemory>(n, *this, params));
+        dirs.push_back(
+            std::make_unique<DirectoryController>(n, *this, params));
+        niIn.emplace_back("niIn");
+        niOut.emplace_back("niOut");
+        nodeBus.emplace_back("bus");
+        memBank.emplace_back("mem");
+    }
+}
+
+Tick
+MemorySystem::oneWay(NodeId from, NodeId to, Tick earliest)
+{
+    ++messages;
+    if (from == to)
+        return earliest + params.busTime;
+    ++remoteHops;
+    Tick t = niOut[from].reserveCutThrough(earliest,
+                                           params.netPortOccupancy);
+    t += params.netTime;
+    t = niIn[to].reserveCutThrough(t, params.netPortOccupancy);
+    return t;
+}
+
+void
+MemorySystem::finalizeStats()
+{
+    for (auto &n : nodes)
+        n->finalizeClassification();
+}
+
+void
+MemorySystem::dumpStats(StatSet &out) const
+{
+    for (const auto &n : nodes)
+        n->dumpStats(out);
+    for (const auto &d : dirs)
+        d->dumpStats(out);
+    out.add("net.messages", static_cast<double>(messages));
+    out.add("net.remoteHops", static_cast<double>(remoteHops));
+    double port_wait = 0;
+    for (const auto &r : niIn)
+        port_wait += static_cast<double>(r.totalWait());
+    for (const auto &r : niOut)
+        port_wait += static_cast<double>(r.totalWait());
+    out.add("net.portWaitTicks", port_wait);
+    double bus_wait = 0, mem_wait = 0;
+    for (const auto &r : nodeBus)
+        bus_wait += static_cast<double>(r.totalWait());
+    for (const auto &r : memBank)
+        mem_wait += static_cast<double>(r.totalWait());
+    out.add("bus.waitTicks", bus_wait);
+    out.add("mem.bankWaitTicks", mem_wait);
+}
+
+} // namespace slipsim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The machine-wide memory fabric: all node L2s, all home directories,
+ * the interconnection network, and the functional value store.
+ */
+
+#ifndef SLIPSIM_MEM_MEMORY_SYSTEM_HH
+#define SLIPSIM_MEM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/directory.hh"
+#include "mem/functional_mem.hh"
+#include "mem/node_memory.hh"
+#include "mem/params.hh"
+#include "net/resource.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/**
+ * Owns every timing component of the memory hierarchy below the L1s
+ * and provides the transit-time helpers the directory uses to price
+ * message hops (fixed-delay network, contention at NI ports).
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(EventQueue &eq, const MachineParams &p,
+                 SharedAllocator &alloc, FunctionalMemory &fmem);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    NodeMemory &node(NodeId n) { return *nodes[n]; }
+    DirectoryController &dir(NodeId n) { return *dirs[n]; }
+
+    /** Home directory responsible for @p line_addr. */
+    DirectoryController &
+    homeOf(Addr line_addr)
+    {
+        return *dirs[alloc.homeOf(line_addr)];
+    }
+
+    NodeId homeNodeOf(Addr line_addr) const
+    { return alloc.homeOf(line_addr); }
+
+    EventQueue &eventq() { return eq; }
+    const MachineParams &machine() const { return params; }
+    SharedAllocator &allocator() { return alloc; }
+    FunctionalMemory &functional() { return fmem; }
+
+    /**
+     * Price one message hop from @p from to @p to, ready to leave at
+     * @p earliest.  Intra-node hops cost the node bus; inter-node hops
+     * serialize at the sender's NI output and the receiver's NI input
+     * around the fixed network transit.
+     * @return arrival tick.
+     */
+    Tick oneWay(NodeId from, NodeId to, Tick earliest);
+
+    /**
+     * Cross node @p n's L2<->DC bus (either direction), ready at
+     * @p earliest; @p data selects the data-message occupancy.
+     * Cut-through: latency is busTime, occupancy queues later traffic.
+     * @return arrival tick on the far side.
+     */
+    Tick
+    busCross(NodeId n, Tick earliest, bool data)
+    {
+        Tick occ = data ? params.busDataOccupancy
+                        : params.busCtrlOccupancy;
+        return nodeBus[n].reserveCutThrough(earliest, occ) +
+               params.busTime;
+    }
+
+    /**
+     * Fetch a line from node @p n's local memory, ready at
+     * @p earliest.  The banks are a throughput resource; the access
+     * latency itself is memTime.
+     * @return tick the data is available at the DC.
+     */
+    Tick
+    memAccess(NodeId n, Tick earliest)
+    {
+        return memBank[n].reserveCutThrough(earliest,
+                                            params.memBankOccupancy) +
+               params.memTime;
+    }
+
+    /** Final classification sweep + cross-component stats. */
+    void finalizeStats();
+
+    void dumpStats(StatSet &out) const;
+
+    int numNodes() const { return params.numCmps; }
+
+    // Network-level counters.
+    std::uint64_t messages = 0;
+    std::uint64_t remoteHops = 0;
+
+  private:
+    EventQueue &eq;
+    const MachineParams &params;
+    SharedAllocator &alloc;
+    FunctionalMemory &fmem;
+
+    std::vector<std::unique_ptr<NodeMemory>> nodes;
+    std::vector<std::unique_ptr<DirectoryController>> dirs;
+    std::vector<Resource> niIn;
+    std::vector<Resource> niOut;
+    std::vector<Resource> nodeBus;
+    std::vector<Resource> memBank;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * NodeMemory (shared L2) implementation.
+ */
+
+#include "mem/node_memory.hh"
+
+#include <utility>
+
+#include "mem/memory_system.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace slipsim
+{
+
+NodeMemory::NodeMemory(NodeId node_id, MemorySystem &mem_sys,
+                       const MachineParams &p)
+    : id(node_id), ms(mem_sys), params(p),
+      array(p.l2Bytes, p.l2Assoc),
+      l2Port("l2port")
+{
+}
+
+bool
+NodeMemory::storeOwnedFast(Addr line_addr, int proc_slot, bool in_cs,
+                           StreamKind stream)
+{
+    L2Line *line = array.find(line_addr);
+    if (!line || line->transparent || line->state != L2Line::St::Excl)
+        return false;
+
+    touchClassify(*line, stream);
+    if (stream == StreamKind::RStream && in_cs)
+        line->writtenInCS = true;
+
+    // A store makes the peer L1 copy stale within the node.
+    int peer = proc_slot ^ 1;
+    if ((line->l1Mask & (1u << peer)) && l1s[peer]) {
+        l1s[peer]->invalidate(line_addr);
+        line->l1Mask &= ~(1u << peer);
+    }
+    array.touch(line);
+    return true;
+}
+
+bool
+NodeMemory::ownedInL2(Addr line_addr) const
+{
+    const L2Line *line = array.find(line_addr);
+    return line && !line->transparent &&
+           line->state == L2Line::St::Excl;
+}
+
+bool
+NodeMemory::presentFor(Addr line_addr, StreamKind stream) const
+{
+    const L2Line *line = array.find(line_addr);
+    return line &&
+           (!line->transparent || stream == StreamKind::AStream);
+}
+
+void
+NodeMemory::touchClassify(L2Line &line, StreamKind stream)
+{
+    if (!classifyEnabled || !line.slipTracked || line.classified)
+        return;
+    if (line.fetchedBy != stream) {
+        classStats.record(line.fetchedBy, line.fetchWasRead,
+                          FetchClass::Timely);
+        line.classified = true;
+        if (line.fetchedBy == StreamKind::AStream) {
+            timelyDelaySum += ms.eventq().now() - line.fillTick;
+            ++timelyDelayCnt;
+        }
+    }
+}
+
+void
+NodeMemory::dropClassify(L2Line &line)
+{
+    if (!classifyEnabled || !line.slipTracked || line.classified)
+        return;
+    classStats.record(line.fetchedBy, line.fetchWasRead,
+                      FetchClass::Only);
+    line.classified = true;
+}
+
+void
+NodeMemory::access(const MemReq &req, int proc_slot,
+                   std::function<void()> done)
+{
+    EventQueue &eq = ms.eventq();
+    const Addr la = req.lineAddr;
+    L2Line *line = array.find(la);
+
+    // Any reference by the companion stream resolves a tracked fill as
+    // Timely, whether or not this access itself hits.
+    if (line)
+        touchClassify(*line, req.stream);
+
+    const bool visible =
+        line && (!line->transparent || req.stream == StreamKind::AStream);
+
+    if (visible) {
+        bool hit = req.isRead() ||
+                   (line->state == L2Line::St::Excl && !line->transparent);
+        if (hit) {
+            if (req.type != ReqType::PrefEx)
+                ++demandHits;
+            array.touch(line);
+            if (req.isRead() && l1s[proc_slot]) {
+                line->l1Mask |= (1u << proc_slot);
+                l1s[proc_slot]->insert(la);
+            }
+            if (req.type == ReqType::Excl &&
+                req.stream == StreamKind::RStream && req.inCS) {
+                line->writtenInCS = true;
+            }
+            Tick start = l2Port.reserveCutThrough(eq.now(),
+                                                  params.l2PortOccupancy);
+            if (done)
+                eq.schedule(start + params.l2HitTime, std::move(done));
+            return;
+        }
+    }
+
+    // --- miss path -------------------------------------------------------
+
+    auto it = mshrs.find(la);
+    if (it != mshrs.end()) {
+        Mshr &m = it->second;
+
+        // Decide whether this access can merge into the outstanding
+        // fetch or must re-issue after it lands.
+        bool reissue = false;
+        if (m.req.wantTransparent && req.stream == StreamKind::RStream) {
+            // A transparent fill is invisible to the R-stream.
+            reissue = true;
+        } else if (req.type != ReqType::Read &&
+                   m.req.type == ReqType::Read) {
+            // Ownership wanted but only data is coming.
+            reissue = true;
+        }
+
+        if (reissue) {
+            if (req.type == ReqType::PrefEx)
+                return;  // drop the prefetch rather than queue it
+            m.reissues.push_back(
+                [this, req, proc_slot, done = std::move(done)]() mutable {
+                    access(req, proc_slot, std::move(done));
+                });
+            return;
+        }
+
+        ++mergedRequests;
+        if (classifyEnabled && !req.statsExempt &&
+            !m.req.statsExempt && req.stream != m.req.stream &&
+            !m.classifiedLate) {
+            classStats.record(m.req.stream, m.req.isRead(),
+                              FetchClass::Late);
+            m.classifiedLate = true;
+            if (m.req.stream == StreamKind::AStream) {
+                m.mergeTick = eq.now();
+            }
+        }
+        if (req.type != ReqType::PrefEx && done) {
+            m.waiters.push_back(Waiter{proc_slot, req.isRead(),
+                                       std::move(done)});
+        }
+        return;
+    }
+
+    // New miss: allocate an MSHR (retry later when full).
+    if (mshrs.size() >= params.l2Mshrs) {
+        if (req.type == ReqType::PrefEx)
+            return;  // prefetches are droppable
+        eq.scheduleIn(params.l2HitTime,
+                [this, req, proc_slot, done = std::move(done)]() mutable {
+                    access(req, proc_slot, std::move(done));
+                });
+        return;
+    }
+
+    Mshr &m = mshrs[la];
+    m.req = req;
+    m.issueTick = eq.now();
+    if (req.type == ReqType::PrefEx) {
+        ++prefExIssued;
+    } else {
+        ++demandMisses;
+        if (req.isRead()) {
+            ++readMisses;
+            if (req.stream == StreamKind::AStream && !req.statsExempt) {
+                ++aReadMisses;
+                ++aFetchesByGap[req.gap > 3 ? 3 : req.gap];
+            }
+        } else {
+            ++exclMisses;
+        }
+        if (done)
+            m.waiters.push_back(Waiter{proc_slot, req.isRead(),
+                                       std::move(done)});
+    }
+
+    // Request path: L2 tag check (pipelined), bus to the local DC,
+    // then — for a remote home — the outgoing-DC occupancy and the
+    // network hop.
+    Tick t = l2Port.reserveCutThrough(eq.now(), params.l2PortOccupancy);
+    t = ms.busCross(id, t, false);
+    NodeId home_node = ms.homeNodeOf(la);
+    if (home_node != id) {
+        t = ms.dir(id).server().reserve(t, params.piRemoteDCTime);
+        t = ms.oneWay(id, home_node, t);
+    }
+
+    eq.schedule(t, [this, req, home_node]() {
+        ms.dir(home_node).handle(req, [this, req](const ReplyInfo &info) {
+            handleFill(req, info);
+        });
+    });
+}
+
+void
+NodeMemory::evict(L2Line &line)
+{
+    ++evictions;
+    dropClassify(line);
+    backInvalidateL1(line);
+    DirectoryController &home = ms.homeOf(line.lineAddr);
+    if (line.transparent) {
+        home.noteTransparentEviction(id, line.lineAddr);
+    } else if (line.state == L2Line::St::Excl) {
+        home.noteWriteback(id, line.lineAddr);
+    } else {
+        home.noteSharedEviction(id, line.lineAddr);
+    }
+    line.valid = false;
+    line.siMarked = false;
+}
+
+void
+NodeMemory::handleFill(const MemReq &req, const ReplyInfo &info)
+{
+    EventQueue &eq = ms.eventq();
+    const Addr la = req.lineAddr;
+
+    auto it = mshrs.find(la);
+    SLIPSIM_ASSERT(it != mshrs.end(), "fill without MSHR");
+    Mshr m = std::move(it->second);
+    mshrs.erase(it);
+    if (m.req.type != ReqType::PrefEx)
+        missLatency.sample(eq.now() - m.issueTick);
+
+    L2Line *line = array.find(la);
+    if (!line) {
+        line = array.victimFor(la, [](const L2Line &) { return true; });
+        SLIPSIM_ASSERT(line, "no victim available");
+        if (line->valid)
+            evict(*line);
+    } else {
+        // In-place upgrade or transparent-line replacement: the old
+        // fill's classification resolves now.
+        if (line->transparent && !info.transparent)
+            dropClassify(*line);
+        backInvalidateL1(*line);
+    }
+
+    bool was_valid_same = line->valid && line->lineAddr == la;
+    bool kept_written = was_valid_same && line->writtenInCS;
+
+    line->valid = true;
+    line->lineAddr = la;
+    line->state = info.exclusive ? L2Line::St::Excl : L2Line::St::Shared;
+    line->transparent = info.transparent;
+    line->writtenInCS = kept_written ||
+        (req.type == ReqType::Excl &&
+         req.stream == StreamKind::RStream && req.inCS);
+    line->l1Mask = 0;
+
+    if (info.siHint && !line->siMarked) {
+        line->siMarked = true;
+        siQueue.push_back(la);
+        ++siHintsReceived;
+    }
+
+    line->fillTick = eq.now();
+    if (m.mergeTick) {
+        lateWaitSum += eq.now() - m.mergeTick;
+        ++lateWaitCnt;
+    }
+    line->slipTracked = classifyEnabled && !req.statsExempt;
+    line->fetchedBy = req.stream;
+    line->fetchWasRead = req.isRead();
+    line->classified = m.classifiedLate;
+    if (info.transparent)
+        ++transparentFills;
+
+    array.touch(line);
+
+    for (auto &w : m.waiters) {
+        if (w.wasRead && l1s[w.slot]) {
+            line->l1Mask |= (1u << w.slot);
+            l1s[w.slot]->insert(la);
+        }
+        eq.scheduleIn(0, std::move(w.done));
+    }
+    for (auto &r : m.reissues)
+        eq.scheduleIn(1, std::move(r));
+}
+
+bool
+NodeMemory::downgradeToShared(Addr line_addr)
+{
+    L2Line *line = array.find(line_addr);
+    if (!line || line->transparent)
+        return false;
+    if (line->state == L2Line::St::Excl)
+        line->state = L2Line::St::Shared;
+    return true;
+}
+
+bool
+NodeMemory::invalidateLine(Addr line_addr)
+{
+    L2Line *line = array.find(line_addr);
+    if (!line || line->transparent)
+        return false;
+    ++externalInvalidations;
+    dropClassify(*line);
+    backInvalidateL1(*line);
+    line->valid = false;
+    line->siMarked = false;
+    return true;
+}
+
+void
+NodeMemory::markSiHint(Addr line_addr)
+{
+    L2Line *line = array.find(line_addr);
+    if (!line || line->transparent ||
+        line->state != L2Line::St::Excl || line->siMarked) {
+        return;
+    }
+    line->siMarked = true;
+    siQueue.push_back(line_addr);
+    ++siHintsReceived;
+}
+
+void
+NodeMemory::drainSiQueue()
+{
+    if (siDrainActive || siQueue.empty())
+        return;
+    siDrainActive = true;
+    processSiEntry();
+}
+
+void
+NodeMemory::processSiEntry()
+{
+    if (siQueue.empty()) {
+        siDrainActive = false;
+        return;
+    }
+    Addr la = siQueue.front();
+    siQueue.pop_front();
+    SLIPSIM_TRACE_MSG(TraceFlag::Cache, ms.eventq().now(), "l2",
+            "node %d self-invalidation drain of line %llx", id,
+            (unsigned long long)la);
+
+    L2Line *line = array.find(la);
+    if (line && line->siMarked) {
+        line->siMarked = false;
+        if (line->state == L2Line::St::Excl && !line->transparent) {
+            if (line->writtenInCS) {
+                // Migratory: invalidate so the next writer gets the
+                // line from memory without a remote fetch.
+                ms.homeOf(la).noteWriteback(id, la);
+                dropClassify(*line);
+                backInvalidateL1(*line);
+                line->valid = false;
+                ++siInvalidated;
+            } else {
+                // Producer-consumer: write back and keep a shared copy.
+                ms.homeOf(la).noteDowngrade(id, la);
+                line->state = L2Line::St::Shared;
+                line->writtenInCS = false;
+                ++siDowngraded;
+            }
+        }
+    }
+
+    // Peak rate: one action every siDrainInterval cycles, overlapped
+    // with the synchronization the R-stream is performing.
+    ms.eventq().scheduleIn(params.siDrainInterval,
+                           [this]() { processSiEntry(); });
+}
+
+void
+NodeMemory::finalizeClassification()
+{
+    array.forEach([this](L2Line &l) { dropClassify(l); });
+    for (auto &[la, m] : mshrs) {
+        if (classifyEnabled && !m.req.statsExempt && !m.classifiedLate &&
+            m.req.type != ReqType::PrefEx) {
+            classStats.record(m.req.stream, m.req.isRead(),
+                              FetchClass::Only);
+            m.classifiedLate = true;
+        }
+    }
+}
+
+void
+NodeMemory::dumpStats(StatSet &out) const
+{
+    out.add("l2.demandHits", static_cast<double>(demandHits));
+    out.add("l2.demandMisses", static_cast<double>(demandMisses));
+    out.add("l2.readMisses", static_cast<double>(readMisses));
+    out.add("l2.exclMisses", static_cast<double>(exclMisses));
+    out.add("l2.prefExIssued", static_cast<double>(prefExIssued));
+    out.add("l2.mergedRequests", static_cast<double>(mergedRequests));
+    out.add("l2.transparentFills", static_cast<double>(transparentFills));
+    out.add("l2.siInvalidated", static_cast<double>(siInvalidated));
+    out.add("l2.siDowngraded", static_cast<double>(siDowngraded));
+    out.add("l2.siHintsReceived", static_cast<double>(siHintsReceived));
+    out.add("l2.evictions", static_cast<double>(evictions));
+    out.add("l2.externalInvalidations",
+            static_cast<double>(externalInvalidations));
+    missLatency.dumpInto(out, "l2.missLatency");
+    out.add("l2.timelyDelaySum", static_cast<double>(timelyDelaySum));
+    out.add("l2.timelyDelayCnt", static_cast<double>(timelyDelayCnt));
+    out.add("l2.lateWaitSum", static_cast<double>(lateWaitSum));
+    out.add("l2.lateWaitCnt", static_cast<double>(lateWaitCnt));
+    for (int g = 0; g < 4; ++g) {
+        out.add("l2.aFetchGap" + std::to_string(g),
+                static_cast<double>(aFetchesByGap[g]));
+    }
+
+    static const char *streams[2] = {"A", "R"};
+    static const char *classes[3] = {"Timely", "Late", "Only"};
+    for (int s = 0; s < 2; ++s) {
+        for (int c = 0; c < 3; ++c) {
+            out.add(std::string("class.read.") + streams[s] + classes[c],
+                    static_cast<double>(classStats.reads[s][c]));
+            out.add(std::string("class.excl.") + streams[s] + classes[c],
+                    static_cast<double>(classStats.excls[s][c]));
+        }
+    }
+}
+
+} // namespace slipsim

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Per-CMP shared L2 cache: MSHRs with cross-processor request merging,
+ * transparent-line support, fetch classification (Figure 7), and the
+ * self-invalidation queue (Section 4 of the paper).
+ */
+
+#ifndef SLIPSIM_MEM_NODE_MEMORY_HH
+#define SLIPSIM_MEM_NODE_MEMORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/l1_cache.hh"
+#include "mem/mem_req.hh"
+#include "mem/params.hh"
+#include "net/resource.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+class MemorySystem;
+
+/** L2 line with coherence + slipstream bookkeeping. */
+struct L2Line
+{
+    bool valid = false;
+    Addr lineAddr = 0;
+    /** Tick the current fill landed (diagnostics). */
+    Tick fillTick = 0;
+
+    enum class St : std::uint8_t { Shared, Excl };
+    St state = St::Shared;
+
+    /** Non-coherent copy visible only to the A-stream. */
+    bool transparent = false;
+    /** The line has been written inside a critical section (migratory
+     *  heuristic input for self-invalidation). */
+    bool writtenInCS = false;
+    /** Marked for self-invalidation at the next sync point. */
+    bool siMarked = false;
+    /** Which of the two local L1s hold a copy (bitmask). */
+    std::uint8_t l1Mask = 0;
+
+    // --- fetch classification (Figure 7) ---------------------------------
+    /** Fill is tracked for A/R classification. */
+    bool slipTracked = false;
+    /** Stream whose request fetched the line. */
+    StreamKind fetchedBy = StreamKind::RStream;
+    /** The fetch was a read (vs exclusive). */
+    bool fetchWasRead = true;
+    /** The fetch has already been classified. */
+    bool classified = false;
+
+    void
+    reset()
+    {
+        *this = L2Line{};
+    }
+};
+
+/** Per-stream, per-class fetch counters for Figure 7. */
+struct FetchClassStats
+{
+    // [stream A=0 / R=1][Timely, Late, Only]
+    std::uint64_t reads[2][3] = {};
+    std::uint64_t excls[2][3] = {};
+
+    void
+    record(StreamKind s, bool was_read, FetchClass c)
+    {
+        int si = s == StreamKind::AStream ? 0 : 1;
+        auto &arr = was_read ? reads : excls;
+        ++arr[si][static_cast<int>(c)];
+    }
+};
+
+/**
+ * The unified shared L2 cache of one CMP node, plus its miss handling.
+ *
+ * All timing flows through the node's L2 port Resource (intra-node
+ * contention between the two processors — one of the reasons double
+ * mode can lose) and, on misses, through the directory/network fabric
+ * owned by MemorySystem.
+ */
+class NodeMemory
+{
+  public:
+    NodeMemory(NodeId id, MemorySystem &ms, const MachineParams &p);
+
+    NodeMemory(const NodeMemory &) = delete;
+    NodeMemory &operator=(const NodeMemory &) = delete;
+
+    /** Attach processor @p slot's L1 for back-invalidation. */
+    void
+    registerL1(int slot, L1Cache *l1)
+    {
+        l1s[slot] = l1;
+    }
+
+    /** Enable Figure-7 A/R fetch classification (slipstream mode). */
+    void setClassifyEnabled(bool on) { classifyEnabled = on; }
+
+    /**
+     * Fast-path ownership probe for stores: true if the node holds the
+     * line exclusively (non-transparent), in which case the store
+     * retires in one cycle through the store buffer.  Updates the
+     * migratory heuristic and invalidates the peer L1 copy.
+     */
+    bool storeOwnedFast(Addr line_addr, int proc_slot, bool in_cs,
+                        StreamKind stream);
+
+    /** Read-only probe: does the L2 hold this line exclusively? */
+    bool ownedInL2(Addr line_addr) const;
+
+    /** Read-only probe: is the line present and visible to @p stream? */
+    bool presentFor(Addr line_addr, StreamKind stream) const;
+
+    /**
+     * Access the L2 (after an L1 miss, or for ownership).  @p done is
+     * called (via the event queue) when the access completes; for
+     * ReqType::PrefEx @p done may be null (fire-and-forget).
+     */
+    void access(const MemReq &req, int proc_slot,
+                std::function<void()> done);
+
+    /**
+     * Drain the self-invalidation queue: called when the local R-stream
+     * reaches a synchronization point.  Lines written in a critical
+     * section are invalidated (migratory); others are written back and
+     * downgraded (producer-consumer).  One line per siDrainInterval,
+     * asynchronously.
+     */
+    void drainSiQueue();
+
+    // --- operations invoked by a home directory (authoritative-state
+    //     updates, applied at transaction-processing time) ----------------
+
+    /** Owner downgrade for a forwarded GETS.  @return true if the line
+     *  was present (owner supplies data). */
+    bool downgradeToShared(Addr line_addr);
+
+    /** Invalidate the line (forwarded GETX / sharer invalidation).
+     *  @return true if the line was present. */
+    bool invalidateLine(Addr line_addr);
+
+    /** Record a self-invalidation hint for an owned line. */
+    void markSiHint(Addr line_addr);
+
+    /** The L2 port (intra-node contention point). */
+    Resource &port() { return l2Port; }
+
+    NodeId nodeId() const { return id; }
+
+    /** Number of L2 lines currently marked for self-invalidation. */
+    size_t siPendingCount() const { return siQueue.size(); }
+
+    /** Classify still-unclassified tracked fills at end of simulation. */
+    void finalizeClassification();
+
+    /** Publish statistics. */
+    void dumpStats(StatSet &out) const;
+
+    /** Raw classification counters (Figure 7). */
+    const FetchClassStats &fetchClasses() const { return classStats; }
+
+    // Aggregate counters, exposed for experiments.
+    std::uint64_t demandHits = 0;
+    std::uint64_t demandMisses = 0;
+    std::uint64_t aReadMisses = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t exclMisses = 0;
+    std::uint64_t prefExIssued = 0;
+    std::uint64_t mergedRequests = 0;
+    std::uint64_t transparentFills = 0;
+    std::uint64_t siInvalidated = 0;
+    std::uint64_t siDowngraded = 0;
+    std::uint64_t siHintsReceived = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t externalInvalidations = 0;
+
+    /** Demand-miss latency distribution (issue -> fill). */
+    Histogram missLatency;
+
+    // Prefetch-timing diagnostics (A-stream fetches only).
+    std::uint64_t aFetchesByGap[4] = {};
+    std::uint64_t timelyDelaySum = 0;   //!< fill -> first R touch
+    std::uint64_t timelyDelayCnt = 0;
+    std::uint64_t lateWaitSum = 0;      //!< merge -> fill (R's wait)
+    std::uint64_t lateWaitCnt = 0;
+
+  private:
+    struct Waiter
+    {
+        int slot;
+        bool wasRead;
+        std::function<void()> done;
+    };
+
+    struct Mshr
+    {
+        MemReq req;
+        bool classifiedLate = false;
+        Tick mergeTick = 0;
+        Tick issueTick = 0;
+        std::vector<Waiter> waiters;
+        /** Accesses that must re-issue once this fill lands (stream
+         *  visibility or type mismatch). */
+        std::vector<std::function<void()>> reissues;
+    };
+
+    /** Touch-side classification: a companion-stream reference to a
+     *  tracked line resolves its fetch as Timely. */
+    void touchClassify(L2Line &line, StreamKind stream);
+
+    /** Classify a tracked fill as Only when its line is dropped. */
+    void dropClassify(L2Line &line);
+
+    /** Install a fill; evicts a victim if needed. */
+    void handleFill(const MemReq &req, const ReplyInfo &info);
+
+    /** Evict @p line (notifying its home). */
+    void evict(L2Line &line);
+
+    /** Invalidate both L1 copies of a line. */
+    void
+    backInvalidateL1(L2Line &line)
+    {
+        for (int s = 0; s < 2; ++s) {
+            if ((line.l1Mask & (1u << s)) && l1s[s])
+                l1s[s]->invalidate(line.lineAddr);
+        }
+        line.l1Mask = 0;
+    }
+
+    void processSiEntry();
+
+    NodeId id;
+    MemorySystem &ms;
+    const MachineParams &params;
+
+    CacheArray<L2Line> array;
+    Resource l2Port;
+    L1Cache *l1s[2] = {nullptr, nullptr};
+
+    std::unordered_map<Addr, Mshr> mshrs;
+    std::deque<Addr> siQueue;
+    bool siDrainActive = false;
+
+    bool classifyEnabled = false;
+    FetchClassStats classStats;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_MEM_NODE_MEMORY_HH

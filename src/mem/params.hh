@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Machine parameters: Table 1 of the paper (Origin-3000-like latencies)
+ * plus cache geometry and slipstream-support knobs.
+ */
+
+#ifndef SLIPSIM_MEM_PARAMS_HH
+#define SLIPSIM_MEM_PARAMS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/**
+ * Full machine description.  Defaults reproduce Table 1: the minimum
+ * latency to bring data into the L2 on a remote miss is 290 cycles and a
+ * local miss requires 170 cycles (validated by
+ * bench/table1_latency_validation and tests/mem).
+ */
+struct MachineParams
+{
+    /** Number of CMP nodes (each has two processors). */
+    int numCmps = 16;
+
+    // --- Table 1: memory/network latencies (cycles) -------------------
+    /** Transit, L2 to directory controller. */
+    Tick busTime = 30;
+    /** Occupancy of DC on a local miss. */
+    Tick piLocalDCTime = 60;
+    /** Occupancy of local DC on an outgoing (remote) miss. */
+    Tick piRemoteDCTime = 10;
+    /** Occupancy of local DC on an incoming reply/forward. */
+    Tick niRemoteDCTime = 10;
+    /** Occupancy of the remote (home) DC on a remote miss. */
+    Tick niLocalDCTime = 60;
+    /** Transit, interconnection network. */
+    Tick netTime = 50;
+    /** Latency for DC to local memory. */
+    Tick memTime = 50;
+
+    /** Per-message occupancy at a network input/output port
+     *  (contention point; the transit itself is netTime). */
+    Tick netPortOccupancy = 4;
+
+    /** Per-crossing occupancy of a node's L2<->DC bus for control
+     *  messages (requests); the transit latency itself is busTime.
+     *  Cut-through: only queueing under load adds delay. */
+    Tick busCtrlOccupancy = 4;
+
+    /** Per-crossing bus occupancy for data-carrying messages (a cache
+     *  line at paper-era bus width). */
+    Tick busDataOccupancy = 32;
+
+    /** Occupancy of a home node's memory banks per line fetch (DRAM
+     *  bandwidth; the access latency itself is memTime). */
+    Tick memBankOccupancy = 40;
+
+    // --- Cache geometry ------------------------------------------------
+    /** L1 data cache: 32 KB, 2-way, 1-cycle hit. */
+    std::uint32_t l1Bytes = 32 * 1024;
+    std::uint32_t l1Assoc = 2;
+    Tick l1HitTime = 1;
+
+    /** L2 unified cache: 1 MB, 4-way, 10-cycle hit.
+     *  (The paper uses 128 KB for Water to match its working set;
+     *  benches set this per workload.) */
+    std::uint32_t l2Bytes = 1024 * 1024;
+    std::uint32_t l2Assoc = 4;
+    Tick l2HitTime = 10;
+
+    /** Max outstanding L2 misses per node. */
+    std::uint32_t l2Mshrs = 16;
+
+    /** Per-access occupancy of the shared L2 port (pipelined; the
+     *  intra-node contention point between the two processors). */
+    Tick l2PortOccupancy = 4;
+
+    /** Grant the MESI E state to the sole reader of an Idle line
+     *  (Origin-like).  Ablatable: without E, migratory read-then-write
+     *  sequences cost two transactions and self-invalidation loses
+     *  most of its benefit. */
+    bool mesiEState = true;
+
+    // --- Slipstream support ---------------------------------------------
+    /** Directory issues self-invalidation hints (Section 4.2); set by
+     *  the experiment harness from RunConfig::features. */
+    bool siHintsEnabled = false;
+
+    /** Cycles between successive self-invalidation actions when the
+     *  L2 drains its SI queue at a synchronization point ("initiated at
+     *  a peak rate of one every four cycles"). */
+    Tick siDrainInterval = 4;
+
+    /** Cost charged for killing + re-forking a deviated A-stream. */
+    Tick forkPenalty = 10000;
+
+    /** A-R semaphore access cost (shared hardware register). */
+    Tick arSemaphoreTime = 2;
+
+    /** Processor busy-quantum: a running task yields to the event queue
+     *  after accumulating this many unsynchronized local cycles, bounding
+     *  skew between tasks. */
+    Tick busyQuantum = 2000;
+
+    /** Total processors in the machine. */
+    int numProcs() const { return numCmps * 2; }
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_MEM_PARAMS_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-pair A-R synchronization state: the token semaphore (a shared
+ * hardware register in the paper) plus the channel through which the
+ * R-stream passes global-operation results and dynamic-scheduling
+ * decisions to its A-stream.
+ */
+
+#ifndef SLIPSIM_RUNTIME_AR_SYNC_HH
+#define SLIPSIM_RUNTIME_AR_SYNC_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** Shared state of one (R-stream, A-stream) pair. */
+struct SlipPair
+{
+    TaskId tid = 0;
+
+    /** Sessions the R-stream has completed (barriers/event-waits
+     *  passed). */
+    int rSession = 0;
+    /** Sessions the A-stream has entered. */
+    int aSession = 0;
+
+    /** Token semaphore (atomic read-modify-write register). */
+    int tokens = 0;
+
+    /** A is blocked at its barrier point waiting for a token. */
+    bool aAtBarrier = false;
+    /** Wake closure for an A-stream blocked on the token semaphore. */
+    std::function<void()> aTokenWaiter;
+
+    /** A-stream finished its task. */
+    bool aFinished = false;
+
+    /** Ordered results of R-only global operations / scheduling
+     *  decisions, consumed by the A-stream in the same order. */
+    std::vector<std::uint64_t> published;
+    /** Wake closure for an A-stream waiting on the next published
+     *  value. */
+    std::function<void()> publishWaiter;
+
+    /** Times this pair's A-stream was killed and re-forked. */
+    std::uint64_t recoveries = 0;
+
+    // --- adaptive A-R synchronization -----------------------------------
+    /** Policy currently in force for this pair. */
+    int policyRung = 0;
+    /** Policy switches performed by the adaptive controller. */
+    std::uint64_t policySwitches = 0;
+    /** Classification snapshot at the last evaluation
+     *  ([A=0/R=1][Timely/Late/Only], reads + exclusives). */
+    std::uint64_t lastSnap[2][3] = {{0, 0, 0}, {0, 0, 0}};
+    /** Sessions since the last evaluation. */
+    int sessionsSinceAdapt = 0;
+
+    /** R inserts a token; unblocks a waiting A-stream. */
+    void
+    insertToken()
+    {
+        ++tokens;
+        if (aTokenWaiter) {
+            auto w = std::move(aTokenWaiter);
+            aTokenWaiter = nullptr;
+            w();
+        }
+    }
+
+    /** Reset A-side transient state on recovery. */
+    void
+    resetForRecovery(int initial_tokens)
+    {
+        aSession = 0;           // re-counted during fast-forward
+        tokens = initial_tokens;
+        aAtBarrier = false;
+        aTokenWaiter = nullptr;
+        publishWaiter = nullptr;
+        aFinished = false;
+    }
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_RUNTIME_AR_SYNC_HH

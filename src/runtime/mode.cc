@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Mode/policy name helpers.
+ */
+
+#include "runtime/mode.hh"
+
+namespace slipsim
+{
+
+const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::Single:
+        return "single";
+      case Mode::Double:
+        return "double";
+      case Mode::Slipstream:
+        return "slipstream";
+      default:
+        return "?";
+    }
+}
+
+const char *
+arPolicyName(ArPolicy p)
+{
+    switch (p) {
+      case ArPolicy::OneTokenLocal:
+        return "L1";
+      case ArPolicy::ZeroTokenLocal:
+        return "L0";
+      case ArPolicy::ZeroTokenGlobal:
+        return "G0";
+      case ArPolicy::OneTokenGlobal:
+        return "G1";
+      default:
+        return "?";
+    }
+}
+
+ArPolicy
+arPolicyFromName(const std::string &name)
+{
+    if (name == "L1")
+        return ArPolicy::OneTokenLocal;
+    if (name == "L0")
+        return ArPolicy::ZeroTokenLocal;
+    if (name == "G0")
+        return ArPolicy::ZeroTokenGlobal;
+    if (name == "G1")
+        return ArPolicy::OneTokenGlobal;
+    fatal("unknown A-R policy '%s' (use L1, L0, G0, or G1)",
+          name.c_str());
+}
+
+} // namespace slipsim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Execution modes and slipstream configuration (Figure 2 of the paper).
+ */
+
+#ifndef SLIPSIM_RUNTIME_MODE_HH
+#define SLIPSIM_RUNTIME_MODE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+/** How the two processors of each CMP are used. */
+enum class Mode
+{
+    Single,      //!< one task per CMP, second processor idle
+    Double,      //!< two independent parallel tasks per CMP
+    Slipstream,  //!< R-stream + reduced A-stream per CMP
+};
+
+/** A-R synchronization policies (Section 3.2 / Figure 5). */
+enum class ArPolicy
+{
+    OneTokenLocal,    //!< L1: A may lead by a session; token on R entry
+    ZeroTokenLocal,   //!< L0: token on R entry, no initial lead
+    ZeroTokenGlobal,  //!< G0: token on R exit, no initial lead (tightest)
+    OneTokenGlobal,   //!< G1: token on R exit, one-session lead (loosest
+                      //!< of the global pair)
+};
+
+/** Initial token pool for a policy. */
+constexpr int
+arInitialTokens(ArPolicy p)
+{
+    return (p == ArPolicy::OneTokenLocal ||
+            p == ArPolicy::OneTokenGlobal) ? 1 : 0;
+}
+
+/** True if the R-stream inserts the token when *entering* the barrier
+ *  (local policies); false for insertion on exit (global policies). */
+constexpr bool
+arTokenOnEntry(ArPolicy p)
+{
+    return p == ArPolicy::OneTokenLocal || p == ArPolicy::ZeroTokenLocal;
+}
+
+const char *modeName(Mode m);
+const char *arPolicyName(ArPolicy p);
+ArPolicy arPolicyFromName(const std::string &name);
+
+/**
+ * Tightness ladder for the adaptive controller, loosest (largest
+ * A-stream lead) to tightest: L1 > G1 > L0 > G0.
+ */
+constexpr ArPolicy arLadder[4] = {
+    ArPolicy::ZeroTokenGlobal,  // tightest
+    ArPolicy::ZeroTokenLocal,
+    ArPolicy::OneTokenGlobal,
+    ArPolicy::OneTokenLocal,    // loosest
+};
+
+/** Rung of @p p on the ladder (0 = tightest). */
+constexpr int
+arLadderIndex(ArPolicy p)
+{
+    for (int i = 0; i < 4; ++i) {
+        if (arLadder[i] == p)
+            return i;
+    }
+    return 0;
+}
+
+/** Optional slipstream optimizations (Sections 3.3 and 4). */
+struct SlipFeatures
+{
+    /** Convert skipped same-session non-CS stores into exclusive
+     *  prefetches (basic slipstream prefetching, Section 3.3). */
+    bool storeConvert = true;
+    /** A-stream issues transparent loads when ahead / in a critical
+     *  section (Section 4.1). */
+    bool transparentLoads = false;
+    /** Directory sends self-invalidation hints; L2 drains its SI queue
+     *  at sync points (Section 4.2). */
+    bool selfInvalidation = false;
+};
+
+/** Full run configuration for one experiment. */
+struct RunConfig
+{
+    Mode mode = Mode::Single;
+    ArPolicy arPolicy = ArPolicy::OneTokenLocal;
+    SlipFeatures features;
+
+    /**
+     * Adaptive A-R synchronization (a "future work" item of the
+     * paper): each pair starts at arPolicy and re-evaluates every
+     * adaptInterval sessions — too many premature (A-Only) fetches
+     * tighten the policy, too many Late fetches loosen it.
+     */
+    bool adaptiveAr = false;
+    /** Sessions between adaptive re-evaluations. */
+    int adaptInterval = 4;
+
+    /** Enable A-stream deviation recovery (kill + re-fork). */
+    bool recoveryEnabled = true;
+    /** Sessions of A lag tolerated before declaring deviation.
+     *  0 reproduces the paper's strict check; the default of 1 avoids
+     *  spurious kills from sub-session timing noise (DESIGN.md §5.5). */
+    int recoveryLagSessions = 1;
+
+    /** Verify workload results against the reference after the run. */
+    bool verify = true;
+
+    std::uint64_t seed = 1;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_RUNTIME_MODE_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * ParallelRuntime implementation.
+ */
+
+#include "runtime/parallel_runtime.hh"
+
+#include <sstream>
+
+#include "sim/trace.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+
+ParallelRuntime::ParallelRuntime(EventQueue &event_queue,
+                                 const MachineParams &machine_params,
+                                 MemorySystem &mem_sys,
+                                 std::vector<Processor *> processors,
+                                 SharedAllocator &shared_alloc,
+                                 FunctionalMemory &functional_mem,
+                                 Workload &wl, const RunConfig &config)
+    : eq(event_queue), params(machine_params), ms(mem_sys),
+      procs(std::move(processors)), allocator(shared_alloc),
+      functional(functional_mem), workload(wl), cfg(config)
+{
+    switch (cfg.mode) {
+      case Mode::Single:
+      case Mode::Slipstream:
+        nTasks = params.numCmps;
+        allocator.setTasksPerNode(1);
+        break;
+      case Mode::Double:
+        nTasks = params.numCmps * 2;
+        allocator.setTasksPerNode(2);
+        break;
+    }
+}
+
+ParallelRuntime::~ParallelRuntime() = default;
+
+int
+ParallelRuntime::makeBarrier(int participants)
+{
+    if (participants < 0)
+        participants = nTasks;
+    // Counter and release-flag lines share a page (one home).
+    NodeId home = static_cast<NodeId>(barriers.size()) %
+                  params.numCmps;
+    Addr base = allocator.alloc(FunctionalMemory::pageBytes,
+                                Placement::Fixed, 1, home);
+    barriers.push_back(std::make_unique<SyncBarrier>(
+            static_cast<int>(barriers.size()), participants, base,
+            base + lineBytes));
+    return barriers.back()->id();
+}
+
+int
+ParallelRuntime::makeLock(NodeId home)
+{
+    if (home == invalidNode)
+        home = nextLockHome++ % params.numCmps;
+    Addr base = allocator.alloc(FunctionalMemory::pageBytes,
+                                Placement::Fixed, 1, home);
+    locks.push_back(std::make_unique<SyncLock>(
+            static_cast<int>(locks.size()), base));
+    return locks.back()->id();
+}
+
+int
+ParallelRuntime::makeFlag(NodeId home)
+{
+    if (home == invalidNode)
+        home = static_cast<NodeId>(flags.size()) % params.numCmps;
+    Addr base = allocator.alloc(FunctionalMemory::pageBytes,
+                                Placement::Fixed, 1, home);
+    flags.push_back(std::make_unique<EventFlag>(
+            static_cast<int>(flags.size()), base));
+    return flags.back()->id();
+}
+
+void
+ParallelRuntime::setup()
+{
+    workload.setup(*this);
+
+    const bool slip = cfg.mode == Mode::Slipstream;
+    for (TaskId t = 0; t < nTasks; ++t) {
+        SlipPair *pr = nullptr;
+        if (slip) {
+            pairs.push_back(std::make_unique<SlipPair>());
+            pr = pairs.back().get();
+            pr->tid = t;
+            pr->tokens = arInitialTokens(cfg.arPolicy);
+            pr->policyRung = arLadderIndex(cfg.arPolicy);
+        }
+
+        Processor *rproc;
+        if (cfg.mode == Mode::Double) {
+            rproc = procs[t];  // node t/2, slot t%2
+        } else {
+            rproc = procs[t * 2];  // slot 0 of node t
+        }
+        rCtxs.push_back(std::make_unique<TaskContext>(
+                *this, *rproc, t, nTasks, StreamKind::RStream, pr));
+
+        if (slip) {
+            Processor *aproc = procs[t * 2 + 1];
+            aCtxs.push_back(std::make_unique<TaskContext>(
+                    *this, *aproc, t, nTasks, StreamKind::AStream, pr));
+        }
+    }
+}
+
+Tick
+ParallelRuntime::run(Tick limit)
+{
+    SLIPSIM_ASSERT(!ran, "runtime can only run once");
+    ran = true;
+    SLIPSIM_ASSERT(!rCtxs.empty(), "setup() was not called");
+
+    rDone = 0;
+    for (TaskId t = 0; t < nTasks; ++t) {
+        TaskContext &ctx = *rCtxs[t];
+        ctx.processor().startTask(workload.task(ctx), 0,
+                                  [this]() { ++rDone; });
+    }
+    if (cfg.mode == Mode::Slipstream) {
+        for (TaskId t = 0; t < nTasks; ++t) {
+            TaskContext &ctx = *aCtxs[t];
+            SlipPair *pr = pairs[t].get();
+            ctx.processor().startTask(workload.task(ctx), 0,
+                    [pr]() { pr->aFinished = true; });
+        }
+    }
+
+    while (rDone < nTasks) {
+        if (eq.now() > limit) {
+            fatal("simulation exceeded tick limit %llu",
+                  (unsigned long long)limit);
+        }
+        if (!eq.step()) {
+            fatal("event queue drained with %d/%d tasks incomplete "
+                  "(deadlock?) at tick %llu: %s",
+                  nTasks - rDone, nTasks,
+                  (unsigned long long)eq.now(),
+                  stuckDiagnostic().c_str());
+        }
+    }
+
+    end = eq.now();
+
+    // Surviving A-streams are torn down with the program.
+    for (auto &actx : aCtxs) {
+        if (actx->processor().running())
+            actx->processor().killTask();
+    }
+
+    ms.finalizeStats();
+    return end;
+}
+
+void
+ParallelRuntime::recoverAStream(SlipPair &pr)
+{
+    ++pr.recoveries;
+    ++recoveries;
+    SLIPSIM_TRACE_MSG(TraceFlag::Slipstream, eq.now(), "runtime",
+            "deviation: killing and re-forking A-stream of task %d "
+            "(rSession=%d aSession=%d)", pr.tid, pr.rSession,
+            pr.aSession);
+
+    TaskContext &actx = *aCtxs[pr.tid];
+    Processor &aproc = actx.processor();
+    aproc.killTask();
+
+    ArPolicy cur = cfg.adaptiveAr ? arLadder[pr.policyRung]
+                                  : cfg.arPolicy;
+    pr.resetForRecovery(arInitialTokens(cur));
+    actx.beginFastForward(pr.rSession);
+
+    SlipPair *prp = &pr;
+    aproc.startTask(workload.task(actx), params.forkPenalty,
+                    [prp]() { prp->aFinished = true; });
+}
+
+std::string
+ParallelRuntime::stuckDiagnostic() const
+{
+    std::ostringstream os;
+    for (const auto *p : procs) {
+        std::string d = p->stuckDescription();
+        if (!d.empty())
+            os << d << "; ";
+    }
+    for (const auto &b : barriers) {
+        if (b->waiting() > 0) {
+            os << "barrier " << b->id() << " holds " << b->waiting()
+               << "/" << b->participantCount() << " waiters; ";
+        }
+    }
+    for (const auto &l : locks) {
+        if (l->isHeld() || l->waiting() > 0) {
+            os << "lock " << l->id() << (l->isHeld() ? " held" : "")
+               << " waiters=" << l->waiting() << "; ";
+        }
+    }
+    return os.str();
+}
+
+} // namespace slipsim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The slipstream-aware parallel runtime: creates tasks per execution
+ * mode (Figure 2), owns synchronization objects, runs the program to
+ * completion, and performs A-stream deviation recovery.
+ */
+
+#ifndef SLIPSIM_RUNTIME_PARALLEL_RUNTIME_HH
+#define SLIPSIM_RUNTIME_PARALLEL_RUNTIME_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/processor.hh"
+#include "mem/memory_system.hh"
+#include "runtime/ar_sync.hh"
+#include "runtime/mode.hh"
+#include "runtime/sync_objects.hh"
+#include "runtime/task_context.hh"
+
+namespace slipsim
+{
+
+class Workload;
+
+/** Services and orchestration for one program run. */
+class ParallelRuntime
+{
+  public:
+    /**
+     * @param procs  all processors, indexed node*2+slot.
+     */
+    ParallelRuntime(EventQueue &eq, const MachineParams &params,
+                    MemorySystem &ms, std::vector<Processor *> procs,
+                    SharedAllocator &alloc, FunctionalMemory &fmem,
+                    Workload &workload, const RunConfig &cfg);
+
+    ParallelRuntime(const ParallelRuntime &) = delete;
+    ParallelRuntime &operator=(const ParallelRuntime &) = delete;
+    ~ParallelRuntime();
+
+    // --- workload-facing services (used during Workload::setup) -----------
+
+    /** Create a barrier over all tasks (or @p participants of them). */
+    int makeBarrier(int participants = -1);
+
+    /** Create a lock (home node round-robin unless specified). */
+    int makeLock(NodeId home = invalidNode);
+
+    /** Create an event flag. */
+    int makeFlag(NodeId home = invalidNode);
+
+    SharedAllocator &alloc() { return allocator; }
+    FunctionalMemory &fmem() { return functional; }
+    const MachineParams &machine() const { return params; }
+    int numTasks() const { return nTasks; }
+    Mode mode() const { return cfg.mode; }
+    const SlipFeatures &features() const { return cfg.features; }
+    const RunConfig &config() const { return cfg; }
+
+    // --- execution -----------------------------------------------------------
+
+    /** Run Workload::setup and create all task contexts. */
+    void setup();
+
+    /** Execute the program; @return completion tick. */
+    Tick run(Tick limit = maxTick);
+
+    /** Kill a deviated A-stream and re-fork it (Section 3.2). */
+    void recoverAStream(SlipPair &pair);
+
+    // --- results ----------------------------------------------------------------
+
+    Tick endTick() const { return end; }
+    std::uint64_t totalRecoveries() const { return recoveries; }
+
+    SyncBarrier &barrierObj(int id) { return *barriers.at(id); }
+    SyncLock &lockObj(int id) { return *locks.at(id); }
+    EventFlag &flagObj(int id) { return *flags.at(id); }
+
+    /** Contexts of the R-side tasks (task i). */
+    TaskContext &taskCtx(TaskId t) { return *rCtxs.at(t); }
+    /** Context of task i's A-stream (slipstream mode only). */
+    TaskContext &aCtx(TaskId t) { return *aCtxs.at(t); }
+
+    /** Per-pair slipstream state (slipstream mode only). */
+    SlipPair &pair(TaskId t) { return *pairs.at(t); }
+
+    const std::vector<Processor *> &processors() const { return procs; }
+
+  private:
+    std::string stuckDiagnostic() const;
+
+    EventQueue &eq;
+    const MachineParams &params;
+    MemorySystem &ms;
+    std::vector<Processor *> procs;
+    SharedAllocator &allocator;
+    FunctionalMemory &functional;
+    Workload &workload;
+    RunConfig cfg;
+
+    int nTasks = 0;
+    int rDone = 0;
+
+    std::vector<std::unique_ptr<SyncBarrier>> barriers;
+    std::vector<std::unique_ptr<SyncLock>> locks;
+    std::vector<std::unique_ptr<EventFlag>> flags;
+
+    std::vector<std::unique_ptr<SlipPair>> pairs;
+    std::vector<std::unique_ptr<TaskContext>> rCtxs;
+    std::vector<std::unique_ptr<TaskContext>> aCtxs;
+
+    int nextLockHome = 0;
+    Tick end = 0;
+    std::uint64_t recoveries = 0;
+    bool ran = false;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_RUNTIME_PARALLEL_RUNTIME_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Synchronization object implementations.
+ */
+
+#include "runtime/sync_objects.hh"
+
+#include "runtime/task_context.hh"
+
+namespace slipsim
+{
+
+Coro<void>
+SyncBarrier::enter(TaskContext &ctx)
+{
+    // Arrival: read-modify-write of the barrier counter line (the
+    // line migrates from arrival to arrival — classic ANL barrier).
+    co_await ctx.syncAccess(ctrLine, ReqType::Excl);
+    ctx.processor().addBusy(4);  // macro bookkeeping
+    ++arrived;
+
+    if (arrived == participants) {
+        arrived = 0;
+        ++generation;
+        // Release: write the flag line, then wake everyone.
+        co_await ctx.syncAccess(flagLine, ReqType::Excl);
+        auto ws = std::move(waiters);
+        waiters.clear();
+        for (auto *p : ws)
+            p->wake();
+    } else {
+        waiters.push_back(&ctx.processor());
+        co_await ctx.sleep(TimeCat::Barrier);
+        // Woken: observe the release flag (a shared fetch — every
+        // waiter pulls the line the releaser just wrote).
+        co_await ctx.syncAccess(flagLine, ReqType::Read);
+    }
+}
+
+Coro<void>
+SyncLock::acquire(TaskContext &ctx)
+{
+    while (held) {
+        q.push_back(&ctx.processor());
+        co_await ctx.sleep(TimeCat::Lock);
+    }
+    held = true;
+    ++acquires;
+    // Test-and-set on the lock line (exclusive access migrates it
+    // from the previous holder).
+    co_await ctx.syncAccess(line, ReqType::Excl);
+    ctx.processor().addBusy(2);
+}
+
+Coro<void>
+SyncLock::release(TaskContext &ctx)
+{
+    // Clear the lock word; the holder normally still owns the line.
+    co_await ctx.syncAccess(line, ReqType::Excl);
+    held = false;
+    if (!q.empty()) {
+        Processor *next = q.front();
+        q.pop_front();
+        next->wake();
+    }
+}
+
+Coro<void>
+EventFlag::wait(TaskContext &ctx)
+{
+    if (!isSet) {
+        waiters.push_back(&ctx.processor());
+        co_await ctx.sleep(TimeCat::Barrier);
+    }
+    co_await ctx.syncAccess(line, ReqType::Read);
+}
+
+Coro<void>
+EventFlag::set(TaskContext &ctx)
+{
+    co_await ctx.syncAccess(line, ReqType::Excl);
+    isSet = true;
+    auto ws = std::move(waiters);
+    waiters.clear();
+    for (auto *p : ws)
+        p->wake();
+}
+
+} // namespace slipsim

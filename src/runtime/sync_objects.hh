@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Synchronization objects of the slipstream-aware parallel library.
+ *
+ * Barriers, locks, and event flags occupy real lines of the simulated
+ * shared address space: every arrival/acquire performs an exclusive
+ * access on the object's line, so synchronization generates authentic
+ * migratory coherence traffic (which the self-invalidation heuristic
+ * keys on).  Blocked waiters sleep on a wake list rather than spinning
+ * (test-and-test-and-set with local spinning behaves this way).
+ */
+
+#ifndef SLIPSIM_RUNTIME_SYNC_OBJECTS_HH
+#define SLIPSIM_RUNTIME_SYNC_OBJECTS_HH
+
+#include <deque>
+#include <vector>
+
+#include "sim/coro.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+class Processor;
+class TaskContext;
+
+/** Centralized sense-reversing barrier over two shared lines. */
+class SyncBarrier
+{
+  public:
+    SyncBarrier(int id, int participants, Addr ctr_line, Addr flag_line)
+        : id_(id), participants(participants), ctrLine(ctr_line),
+          flagLine(flag_line)
+    {}
+
+    /** R-stream arrival: counter update, then wait or release. */
+    Coro<void> enter(TaskContext &ctx);
+
+    int id() const { return id_; }
+    int participantCount() const { return participants; }
+
+    /** Tasks currently blocked (diagnostics). */
+    size_t waiting() const { return waiters.size(); }
+
+    std::uint64_t episodes() const { return generation; }
+
+  private:
+    int id_;
+    int participants;
+    Addr ctrLine;
+    Addr flagLine;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    std::vector<Processor *> waiters;
+};
+
+/** Queue lock over one shared line. */
+class SyncLock
+{
+  public:
+    SyncLock(int id, Addr line) : id_(id), line(line) {}
+
+    /** Acquire (R-streams only; A-streams skip locks entirely). */
+    Coro<void> acquire(TaskContext &ctx);
+
+    /** Release and wake the next waiter. */
+    Coro<void> release(TaskContext &ctx);
+
+    int id() const { return id_; }
+    bool isHeld() const { return held; }
+    size_t waiting() const { return q.size(); }
+    std::uint64_t acquisitions() const { return acquires; }
+
+  private:
+    int id_;
+    Addr line;
+    bool held = false;
+    std::deque<Processor *> q;
+    std::uint64_t acquires = 0;
+};
+
+/** One-shot (resettable) event flag over one shared line. */
+class EventFlag
+{
+  public:
+    EventFlag(int id, Addr line) : id_(id), line(line) {}
+
+    /** Block until the flag is set (a session boundary, like a
+     *  barrier). */
+    Coro<void> wait(TaskContext &ctx);
+
+    /** Set the flag and wake all waiters. */
+    Coro<void> set(TaskContext &ctx);
+
+    /** Host-level reset for reuse across phases. */
+    void clear() { isSet = false; }
+
+    int id() const { return id_; }
+    bool set_p() const { return isSet; }
+    size_t waiting() const { return waiters.size(); }
+
+  private:
+    int id_;
+    Addr line;
+    bool isSet = false;
+    std::vector<Processor *> waiters;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_RUNTIME_SYNC_OBJECTS_HH

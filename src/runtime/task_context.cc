@@ -1,0 +1,399 @@
+/**
+ * @file
+ * TaskContext implementation: slipstream reduction semantics.
+ */
+
+#include "runtime/task_context.hh"
+
+#include "runtime/parallel_runtime.hh"
+#include "sim/trace.hh"
+
+namespace slipsim
+{
+
+TaskContext::TaskContext(ParallelRuntime &runtime, Processor &processor,
+                         TaskId task_id, int ntasks, StreamKind s,
+                         SlipPair *slip_pair)
+    : rt(runtime), proc(&processor), fmem(&runtime.fmem()),
+      taskId(task_id), nTasks(ntasks), stream(s), pair(slip_pair),
+      rng_(runtime.config().seed * 1000003 +
+           static_cast<std::uint64_t>(task_id) * 2 +
+           (s == StreamKind::AStream ? 1 : 0))
+{
+}
+
+bool
+TaskContext::prepLoad(Addr addr, MemReq &req)
+{
+    if (fastForward)
+        return false;
+    proc->addBusy(1);
+
+    Addr line = lineAlign(addr);
+    if (proc->l1Hit(line))
+        return false;
+
+    req.lineAddr = line;
+    req.type = ReqType::Read;
+    req.node = proc->nodeId();
+    req.stream = stream;
+    req.inCS = lockDepth > 0;
+    req.statsExempt = false;
+    req.wantTransparent = false;
+    if (isAStream() && pair) {
+        int g = pair->aSession - pair->rSession;
+        req.gap = static_cast<std::uint8_t>(g < 0 ? 0 : (g > 3 ? 3 : g));
+    }
+    if (isAStream() && rt.features().transparentLoads && pair) {
+        // Transparent when the A-stream has skipped ahead of its
+        // R-stream or is inside a (skipped) critical section.
+        bool ahead = pair->aSession > pair->rSession;
+        req.wantTransparent = ahead || lockDepth > 0;
+    }
+    return true;
+}
+
+bool
+TaskContext::prepStore(Addr addr, MemReq &req)
+{
+    if (fastForward)
+        return false;
+    proc->addBusy(1);
+
+    Addr line = lineAlign(addr);
+    if (isAStream()) {
+        // The store executes in the pipeline but is never committed.
+        // Same session + outside critical sections: convert to an
+        // exclusive prefetch on behalf of the R-stream (Section 3.3).
+        if (rt.features().storeConvert && pair &&
+            pair->aSession == pair->rSession && lockDepth == 0 &&
+            !proc->l2Cache().ownedInL2(line)) {
+            MemReq pf;
+            pf.lineAddr = line;
+            pf.type = ReqType::PrefEx;
+            pf.node = proc->nodeId();
+            pf.stream = StreamKind::AStream;
+            proc->issuePrefetch(pf);
+        }
+        return false;
+    }
+
+    if (proc->storeFast(line, lockDepth > 0))
+        return false;
+
+    req.lineAddr = line;
+    req.type = ReqType::Excl;
+    req.node = proc->nodeId();
+    req.stream = stream;
+    req.inCS = lockDepth > 0;
+    req.statsExempt = false;
+    req.wantTransparent = false;
+    return true;
+}
+
+bool
+TaskContext::prepSync(MemReq &req)
+{
+    proc->addBusy(1);
+    if (req.isRead())
+        return !proc->l1Hit(req.lineAddr);
+    return !proc->storeFast(req.lineAddr, lockDepth > 0);
+}
+
+Coro<void>
+TaskContext::loadRange(Addr addr, size_t bytes)
+{
+    Addr end = addr + bytes;
+    for (Addr a = lineAlign(addr); a < end; a += lineBytes) {
+        co_await ld<std::uint8_t>(a);
+        if (!fastForward)
+            proc->addBusy(lineBytes / 8 - 1);  // remaining words
+    }
+}
+
+Coro<void>
+TaskContext::storeRange(Addr addr, size_t bytes)
+{
+    Addr end = addr + bytes;
+    for (Addr a = lineAlign(addr); a < end; a += lineBytes) {
+        co_await st<std::uint8_t>(a, 0);
+        if (!fastForward)
+            proc->addBusy(lineBytes / 8 - 1);
+    }
+}
+
+Coro<void>
+TaskContext::ldBuf(Addr addr, void *out, size_t bytes)
+{
+    Addr end = addr + bytes;
+    for (Addr a = lineAlign(addr); a < end; a += lineBytes) {
+        co_await ld<std::uint8_t>(a < addr ? addr : a);
+        if (!fastForward)
+            proc->addBusy(lineBytes / 8 - 1);
+    }
+    fmem->readBytes(addr, out, bytes);
+}
+
+Coro<void>
+TaskContext::stBuf(Addr addr, const void *in, size_t bytes)
+{
+    const auto *src = static_cast<const unsigned char *>(in);
+    Addr end = addr + bytes;
+    for (Addr a = lineAlign(addr); a < end; a += lineBytes) {
+        Addr pos = a < addr ? addr : a;
+        co_await st<std::uint8_t>(pos, src[pos - addr]);
+        if (!fastForward)
+            proc->addBusy(lineBytes / 8 - 1);
+    }
+    if (!isAStream())
+        fmem->writeBytes(addr, in, bytes);
+}
+
+Coro<void>
+TaskContext::arBarrierPoint()
+{
+    // A-stream at a session boundary: consume a token or wait.
+    if (fastForward) {
+        ++pair->aSession;
+        if (pair->aSession >= ffTarget)
+            fastForward = false;
+        co_return;
+    }
+
+    proc->chargeBusy(rt.machine().arSemaphoreTime);
+    pair->aAtBarrier = true;
+    while (pair->tokens == 0) {
+        pair->aTokenWaiter = [p = proc]() { p->wake(); };
+        co_await sleep(TimeCat::ArSync);
+    }
+    --pair->tokens;
+    ++pair->aSession;
+    pair->aAtBarrier = false;
+    SLIPSIM_TRACE_MSG(TraceFlag::Slipstream, proc->eventq().now(),
+            "a-stream", "task %d enters session %d (tokens left %d)",
+            taskId, pair->aSession, pair->tokens);
+}
+
+ArPolicy
+TaskContext::currentArPolicy() const
+{
+    const RunConfig &cfg = rt.config();
+    if (cfg.adaptiveAr && pair)
+        return arLadder[pair->policyRung];
+    return cfg.arPolicy;
+}
+
+void
+TaskContext::rPreSync()
+{
+    if (!pair)
+        return;
+
+    // Self-invalidation drains overlap with the synchronization.
+    if (rt.features().selfInvalidation)
+        proc->l2Cache().drainSiQueue();
+
+    // Deviation check: has the A-stream reached the end of this
+    // session (within the configured tolerance)?
+    const RunConfig &cfg = rt.config();
+    if (cfg.recoveryEnabled && !pair->aFinished) {
+        int reached = pair->aSession + (pair->aAtBarrier ? 1 : 0);
+        if (reached + cfg.recoveryLagSessions < pair->rSession + 1)
+            rt.recoverAStream(*pair);
+    }
+
+    if (arTokenOnEntry(currentArPolicy()))
+        pair->insertToken();
+}
+
+void
+TaskContext::rPostSync()
+{
+    if (!pair)
+        return;
+    if (!arTokenOnEntry(currentArPolicy()))
+        pair->insertToken();
+    ++pair->rSession;
+
+    const RunConfig &cfg = rt.config();
+    if (cfg.adaptiveAr &&
+        ++pair->sessionsSinceAdapt >= cfg.adaptInterval) {
+        pair->sessionsSinceAdapt = 0;
+        adaptArPolicy();
+    }
+}
+
+void
+TaskContext::adaptArPolicy()
+{
+    // Evaluate this pair's recent fetch quality (the two streams own
+    // the node, so the node's classification is the pair's).  Too
+    // many premature (A-Only) fetches: the A-stream is running too
+    // far ahead — tighten.  Mostly Late activity — either the
+    // A-stream's fetches are barely ahead (A-Late) or the A-stream is
+    // glued behind its R-stream (R-Late) — loosen.
+    const FetchClassStats &fc = proc->l2Cache().fetchClasses();
+    std::uint64_t d[2][3];
+    for (int s = 0; s < 2; ++s) {
+        for (int c = 0; c < 3; ++c) {
+            std::uint64_t cur = fc.reads[s][c] + fc.excls[s][c];
+            d[s][c] = cur - pair->lastSnap[s][c];
+            pair->lastSnap[s][c] = cur;
+        }
+    }
+    constexpr int only = static_cast<int>(FetchClass::Only);
+    constexpr int late = static_cast<int>(FetchClass::Late);
+    std::uint64_t a_total = d[0][0] + d[0][1] + d[0][2];
+    std::uint64_t all = a_total + d[1][0] + d[1][1] + d[1][2];
+    if (all < 16)
+        return;  // not enough evidence this window
+
+    std::uint64_t glued = d[0][late] + d[1][late];
+    if (a_total >= 8 && d[0][only] * 100 > a_total * 30 &&
+        pair->policyRung > 0) {
+        --pair->policyRung;
+        ++pair->policySwitches;
+    } else if (glued * 100 > all * 50 && pair->policyRung < 3) {
+        ++pair->policyRung;
+        ++pair->policySwitches;
+    }
+}
+
+Coro<void>
+TaskContext::barrier(int id)
+{
+    if (isAStream()) {
+        co_await arBarrierPoint();
+        co_return;
+    }
+    rPreSync();
+    routineCat = TimeCat::Barrier;
+    co_await rt.barrierObj(id).enter(*this);
+    routineCat = TimeCat::Stall;
+    rPostSync();
+}
+
+Coro<void>
+TaskContext::lock(int id)
+{
+    if (isAStream()) {
+        ++lockDepth;
+        if (!fastForward)
+            proc->addBusy(1);
+        co_return;
+    }
+    routineCat = TimeCat::Lock;
+    co_await rt.lockObj(id).acquire(*this);
+    routineCat = TimeCat::Stall;
+    ++lockDepth;
+}
+
+Coro<void>
+TaskContext::unlock(int id)
+{
+    if (isAStream()) {
+        --lockDepth;
+        if (!fastForward)
+            proc->addBusy(1);
+        co_return;
+    }
+    --lockDepth;
+    routineCat = TimeCat::Lock;
+    co_await rt.lockObj(id).release(*this);
+    routineCat = TimeCat::Stall;
+    if (pair && rt.features().selfInvalidation)
+        proc->l2Cache().drainSiQueue();
+}
+
+Coro<void>
+TaskContext::eventWait(int id)
+{
+    // An event-wait ends a session, exactly like a barrier.
+    if (isAStream()) {
+        co_await arBarrierPoint();
+        co_return;
+    }
+    rPreSync();
+    routineCat = TimeCat::Barrier;
+    co_await rt.flagObj(id).wait(*this);
+    routineCat = TimeCat::Stall;
+    rPostSync();
+}
+
+Coro<void>
+TaskContext::eventSet(int id)
+{
+    if (isAStream()) {
+        if (!fastForward)
+            proc->addBusy(1);
+        co_return;
+    }
+    routineCat = TimeCat::Barrier;
+    co_await rt.flagObj(id).set(*this);
+    routineCat = TimeCat::Stall;
+}
+
+Coro<std::uint64_t>
+TaskContext::globalOp(std::function<std::uint64_t()> fn, Tick cost)
+{
+    if (isAStream() && pair) {
+        std::uint64_t v = co_await consumePublished();
+        co_return v;
+    }
+    if (!fastForward)
+        proc->addBusy(cost);
+    std::uint64_t v = fn();
+    if (pair) {
+        pair->published.push_back(v);
+        if (pair->publishWaiter) {
+            auto w = std::move(pair->publishWaiter);
+            pair->publishWaiter = nullptr;
+            w();
+        }
+    }
+    co_return v;
+}
+
+std::uint64_t
+TaskContext::publishDecision(std::uint64_t v)
+{
+    SLIPSIM_ASSERT(!isAStream(), "A-stream cannot publish decisions");
+    proc->chargeBusy(rt.machine().arSemaphoreTime);
+    if (pair) {
+        pair->published.push_back(v);
+        if (pair->publishWaiter) {
+            auto w = std::move(pair->publishWaiter);
+            pair->publishWaiter = nullptr;
+            w();
+        }
+    }
+    return v;
+}
+
+Coro<std::uint64_t>
+TaskContext::consumeDecision()
+{
+    SLIPSIM_ASSERT(isAStream() && pair,
+            "consumeDecision is for A-streams");
+    std::uint64_t v = co_await consumePublished();
+    co_return v;
+}
+
+Coro<std::uint64_t>
+TaskContext::consumePublished()
+{
+    size_t idx = publishedIndex++;
+    if (fastForward) {
+        SLIPSIM_ASSERT(idx < pair->published.size(),
+                "fast-forward ran past the published-value log");
+        co_return pair->published[idx];
+    }
+    proc->chargeBusy(rt.machine().arSemaphoreTime);
+    while (pair->published.size() <= idx) {
+        pair->publishWaiter = [p = proc]() { p->wake(); };
+        co_await sleep(TimeCat::ArSync);
+    }
+    co_return pair->published[idx];
+}
+
+} // namespace slipsim

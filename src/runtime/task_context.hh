@@ -1,0 +1,361 @@
+/**
+ * @file
+ * TaskContext: the API simulated kernels program against.
+ *
+ * A kernel is a Coro<void> coroutine receiving a TaskContext.  The same
+ * kernel code runs in every mode; when the context belongs to an
+ * A-stream, the slipstream reduction rules of the paper are applied
+ * transparently:
+ *   - synchronization (barriers, event-waits, locks) is skipped; the
+ *     A-R token semaphore is consulted at barrier/event points;
+ *   - shared-memory stores are executed but never committed, and may
+ *     be converted to exclusive prefetches (same session, not in a
+ *     critical section);
+ *   - loads may be issued as transparent loads when the A-stream is a
+ *     session ahead or inside a (skipped) critical section;
+ *   - global operations consume the R-stream's published results.
+ */
+
+#ifndef SLIPSIM_RUNTIME_TASK_CONTEXT_HH
+#define SLIPSIM_RUNTIME_TASK_CONTEXT_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+
+#include "cpu/processor.hh"
+#include "mem/functional_mem.hh"
+#include "runtime/ar_sync.hh"
+#include "runtime/mode.hh"
+#include "sim/coro.hh"
+#include "sim/random.hh"
+
+namespace slipsim
+{
+
+class ParallelRuntime;
+
+/** Suspend until an external wake() (used by sync objects). */
+struct SleepAwaiter
+{
+    Processor *proc;
+    TimeCat cat;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        proc->sleepOn(h, cat);
+    }
+
+    void await_resume() const noexcept {}
+};
+
+class TaskContext
+{
+  public:
+    TaskContext(ParallelRuntime &rt, Processor &proc, TaskId tid,
+                int ntasks, StreamKind stream, SlipPair *pair);
+
+    // --- identity -----------------------------------------------------
+
+    TaskId tid() const { return taskId; }
+    int numTasks() const { return nTasks; }
+    bool isAStream() const { return stream == StreamKind::AStream; }
+    StreamKind streamKind() const { return stream; }
+    Rng &rng() { return rng_; }
+    Processor &processor() { return *proc; }
+    ParallelRuntime &runtime() { return rt; }
+
+    // --- memory accesses ------------------------------------------------
+
+    /** Typed shared-memory load: `T v = co_await ctx.ld<T>(addr);` */
+    template <typename T>
+    auto
+    ld(Addr addr)
+    {
+        struct Awaiter
+        {
+            TaskContext *ctx;
+            Addr addr;
+            MemReq req;
+            bool miss = false;
+
+            bool
+            await_ready()
+            {
+                miss = ctx->prepLoad(addr, req);
+                return !miss && !ctx->proc->needYield();
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                if (miss)
+                    ctx->proc->issueMem(req, h, ctx->waitCat());
+                else
+                    ctx->proc->yieldNow(h);
+            }
+
+            T
+            await_resume()
+            {
+                return ctx->fmem->read<T>(addr);
+            }
+        };
+        return Awaiter{this, addr, {}, false};
+    }
+
+    /** Typed shared-memory store: `co_await ctx.st<T>(addr, v);` */
+    template <typename T>
+    auto
+    st(Addr addr, T value)
+    {
+        struct Awaiter
+        {
+            TaskContext *ctx;
+            Addr addr;
+            T value;
+            MemReq req;
+            bool miss = false;
+
+            bool
+            await_ready()
+            {
+                miss = ctx->prepStore(addr, req);
+                return !miss && !ctx->proc->needYield();
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                if (miss)
+                    ctx->proc->issueMem(req, h, ctx->waitCat());
+                else
+                    ctx->proc->yieldNow(h);
+            }
+
+            void
+            await_resume()
+            {
+                // A-stream stores execute but are never committed.
+                if (!ctx->isAStream())
+                    ctx->fmem->write<T>(addr, value);
+            }
+        };
+        return Awaiter{this, addr, value, {}, false};
+    }
+
+    /** Read-modify-write helper: `co_await ctx.rmw<T>(addr, fn)`. */
+    template <typename T, typename Fn>
+    Coro<void>
+    rmw(Addr addr, Fn fn)
+    {
+        T v = co_await ld<T>(addr);
+        co_await st<T>(addr, fn(v));
+    }
+
+    /** Charge @p n cycles of private compute / private-data work. */
+    auto
+    compute(Tick n)
+    {
+        struct Awaiter
+        {
+            TaskContext *ctx;
+
+            bool await_ready() const { return !ctx->proc->needYield(); }
+
+            void
+            await_suspend(std::coroutine_handle<> h) const
+            {
+                ctx->proc->yieldNow(h);
+            }
+
+            void await_resume() const {}
+        };
+        if (!fastForward)
+            proc->addBusy(n);
+        return Awaiter{this};
+    }
+
+    /** Touch every line of [addr, addr+bytes) with loads (streaming
+     *  read of a shared block; one access per line plus one busy cycle
+     *  per additional word is charged via wordsPerLineCost). */
+    Coro<void> loadRange(Addr addr, size_t bytes);
+
+    /** Write every line of [addr, addr+bytes). */
+    Coro<void> storeRange(Addr addr, size_t bytes);
+
+    /**
+     * Block load: touch every line of [addr, addr+bytes) with loads,
+     * then copy the (completion-time) values into @p out.  Charges one
+     * cycle per word.
+     */
+    Coro<void> ldBuf(Addr addr, void *out, size_t bytes);
+
+    /**
+     * Block store: line-granular store timing; the values from @p in
+     * become visible when the last line store completes (A-stream
+     * values are dropped, as always).
+     */
+    Coro<void> stBuf(Addr addr, const void *in, size_t bytes);
+
+    // --- synchronization ---------------------------------------------------
+
+    /** Barrier: R-streams synchronize; A-streams consume an A-R token
+     *  and skip (Section 3.2). */
+    Coro<void> barrier(int id);
+
+    /** Acquire a lock (A-streams skip, tracking critical-section
+     *  depth). */
+    Coro<void> lock(int id);
+
+    /** Release a lock. */
+    Coro<void> unlock(int id);
+
+    /** Wait for an event flag (a session boundary, like a barrier). */
+    Coro<void> eventWait(int id);
+
+    /** Set an event flag. */
+    Coro<void> eventSet(int id);
+
+    // --- global operations & dynamic scheduling ------------------------------
+
+    /**
+     * A global operation (system call, I/O, allocation) that must be
+     * performed exactly once: the R-stream executes @p fn (charging
+     * @p cost busy cycles) and publishes the result; the A-stream
+     * consumes the published value without executing @p fn.
+     */
+    Coro<std::uint64_t> globalOp(std::function<std::uint64_t()> fn,
+                                 Tick cost = 200);
+
+    /**
+     * Publish a dynamic-scheduling decision (R-stream side).  The
+     * kernel computes the decision with ordinary simulated accesses
+     * first, then publishes it for the A-stream.
+     */
+    std::uint64_t publishDecision(std::uint64_t v);
+
+    /** Consume the next published decision (A-stream side). */
+    Coro<std::uint64_t> consumeDecision();
+
+    // --- slipstream internals (used by the runtime & sync objects) ----------
+
+    /** Wait category for memory issued from the current routine. */
+    TimeCat
+    waitCat() const
+    {
+        return routineCat;
+    }
+
+    /** Memory access on a synchronization line (stats-exempt). */
+    auto
+    syncAccess(Addr line_addr, ReqType type)
+    {
+        struct Awaiter
+        {
+            TaskContext *ctx;
+            MemReq req;
+            bool miss = false;
+
+            bool
+            await_ready()
+            {
+                miss = ctx->prepSync(req);
+                return !miss;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ctx->proc->issueMem(req, h, ctx->waitCat());
+            }
+
+            void await_resume() const {}
+        };
+        MemReq req;
+        req.lineAddr = lineAlign(line_addr);
+        req.type = type;
+        req.node = proc->nodeId();
+        req.stream = stream;
+        req.inCS = lockDepth > 0;
+        req.statsExempt = true;
+        return Awaiter{this, req, false};
+    }
+
+    SleepAwaiter
+    sleep(TimeCat cat)
+    {
+        return SleepAwaiter{proc, cat};
+    }
+
+    /** Enter fast-forward replay up to session @p target (recovery). */
+    void
+    beginFastForward(int target)
+    {
+        fastForward = target > 0;
+        ffTarget = target;
+        publishedIndex = 0;
+        lockDepth = 0;
+    }
+
+    bool inFastForward() const { return fastForward; }
+
+    SlipPair *slipPair() { return pair; }
+
+    int lockDepthNow() const { return lockDepth; }
+
+  private:
+    friend class ParallelRuntime;
+
+    /** Synchronous part of a load; true if a suspension is needed. */
+    bool prepLoad(Addr addr, MemReq &req);
+
+    /** Synchronous part of a store; true if a suspension is needed. */
+    bool prepStore(Addr addr, MemReq &req);
+
+    /** Synchronous part of a sync-line access. */
+    bool prepSync(MemReq &req);
+
+    /** A-stream barrier point: consume a token (Section 3.2). */
+    Coro<void> arBarrierPoint();
+
+    /** R-stream pre-barrier duties: SI drain, deviation check, local
+     *  token insertion. */
+    void rPreSync();
+
+    /** R-stream post-barrier duties: global token insertion, session
+     *  accounting, adaptive-policy evaluation. */
+    void rPostSync();
+
+    /** Policy in force (fixed, or the pair's adaptive rung). */
+    ArPolicy currentArPolicy() const;
+
+    /** One adaptive-controller evaluation (every adaptInterval
+     *  sessions). */
+    void adaptArPolicy();
+
+    /** Wait for and return published value @p idx. */
+    Coro<std::uint64_t> consumePublished();
+
+    ParallelRuntime &rt;
+    Processor *proc;
+    FunctionalMemory *fmem;
+    TaskId taskId;
+    int nTasks;
+    StreamKind stream;
+    SlipPair *pair;
+
+    TimeCat routineCat = TimeCat::Stall;
+    int lockDepth = 0;
+    bool fastForward = false;
+    int ffTarget = 0;
+    size_t publishedIndex = 0;
+    Rng rng_;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_RUNTIME_TASK_CONTEXT_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Options parsing.
+ */
+
+#include "sim/config.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+Options
+Options::parse(int argc, const char *const *argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        // Strip leading dashes.
+        size_t start = 0;
+        while (start < arg.size() && arg[start] == '-')
+            ++start;
+        bool dashed = start > 0;
+        std::string body = arg.substr(start);
+
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            opts.kv[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (dashed) {
+            opts.kv[body] = "true";  // bare flag
+        } else {
+            opts.pos.push_back(body);
+        }
+    }
+    return opts;
+}
+
+std::int64_t
+Options::getInt(const std::string &name, std::int64_t def) const
+{
+    auto it = kv.find(name);
+    if (it == kv.end())
+        return def;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option %s: '%s' is not an integer", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+Options::getDouble(const std::string &name, double def) const
+{
+    auto it = kv.find(name);
+    if (it == kv.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option %s: '%s' is not a number", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+Options::getBool(const std::string &name, bool def) const
+{
+    auto it = kv.find(name);
+    if (it == kv.end())
+        return def;
+    const std::string &s = it->second;
+    if (s == "true" || s == "1" || s == "yes" || s == "on")
+        return true;
+    if (s == "false" || s == "0" || s == "no" || s == "off")
+        return false;
+    fatal("option %s: '%s' is not a boolean", name.c_str(), s.c_str());
+}
+
+} // namespace slipsim

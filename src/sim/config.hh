@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simple key=value configuration overlay used by benches and examples.
+ *
+ * Parameter structs carry compiled-in defaults; an Options object parsed
+ * from the command line overrides individual fields by name.
+ */
+
+#ifndef SLIPSIM_SIM_CONFIG_HH
+#define SLIPSIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slipsim
+{
+
+/** Parsed command-line options: flags plus key=value pairs. */
+class Options
+{
+  public:
+    Options() = default;
+
+    /** Parse argv-style arguments ("--key=value", "--flag", "key=value"). */
+    static Options parse(int argc, const char *const *argv);
+
+    /** True if "--name" or "name=..." was given. */
+    bool has(const std::string &name) const { return kv.count(name) != 0; }
+
+    /** String value, or @p def if absent. */
+    std::string
+    getString(const std::string &name, const std::string &def = "") const
+    {
+        auto it = kv.find(name);
+        return it == kv.end() ? def : it->second;
+    }
+
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+    double getDouble(const std::string &name, double def) const;
+    bool getBool(const std::string &name, bool def) const;
+
+    /** Manually set an option (used by tests). */
+    void set(const std::string &name, const std::string &value)
+    { kv[name] = value; }
+
+    const std::map<std::string, std::string> &all() const { return kv; }
+
+    /** Positional (non key=value, non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return pos; }
+
+  private:
+    std::map<std::string, std::string> kv;
+    std::vector<std::string> pos;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_CONFIG_HH

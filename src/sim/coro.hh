@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Minimal nested-coroutine task library used to express simulated tasks.
+ *
+ * A simulated task (an R-stream or A-stream) is a C++20 coroutine of type
+ * Coro<void>.  Tasks call sub-coroutines with `co_await sub(...)`
+ * (symmetric transfer, so arbitrarily deep logical stacks cost no host
+ * stack) and suspend on simulated operations (memory accesses,
+ * synchronization) via awaiters provided by the cpu/ layer.
+ *
+ * Cancellation: destroying the root Coro object destroys the whole
+ * logical stack, because each frame owns its child's handle through the
+ * awaiter object stored in the frame.  A task that may be resumed later
+ * by a scheduled event is protected by a TaskToken: the event checks
+ * `token->alive` before resuming, so a killed A-stream is never resumed
+ * from a stale completion event.
+ */
+
+#ifndef SLIPSIM_SIM_CORO_HH
+#define SLIPSIM_SIM_CORO_HH
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+/** Liveness token shared between a task and events that may resume it. */
+struct TaskToken
+{
+    bool alive = true;
+};
+
+using TaskTokenPtr = std::shared_ptr<TaskToken>;
+
+template <typename T>
+class Coro;
+
+namespace coro_detail
+{
+
+struct FinalAwaiter
+{
+    std::coroutine_handle<> continuation;
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<>) const noexcept
+    {
+        // Hand control back to the awaiting parent, or to the resumer
+        // (the event loop) when this was the root coroutine.
+        return continuation ? continuation : std::noop_coroutine();
+    }
+
+    void await_resume() const noexcept {}
+};
+
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    FinalAwaiter
+    final_suspend() noexcept
+    {
+        return FinalAwaiter{continuation};
+    }
+
+    void unhandled_exception() { exception = std::current_exception(); }
+};
+
+} // namespace coro_detail
+
+/**
+ * An eager-free, lazily-started coroutine task.  The Coro object owns the
+ * coroutine frame; letting it go out of scope destroys the frame (and,
+ * transitively, any suspended children).
+ */
+template <typename T = void>
+class Coro
+{
+  public:
+    struct promise_type : coro_detail::PromiseBase
+    {
+        alignas(T) unsigned char storage[sizeof(T)];
+        bool hasValue = false;
+
+        Coro
+        get_return_object()
+        {
+            return Coro(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        template <typename U>
+        void
+        return_value(U &&v)
+        {
+            ::new (static_cast<void *>(storage)) T(std::forward<U>(v));
+            hasValue = true;
+        }
+
+        ~promise_type()
+        {
+            if (hasValue)
+                reinterpret_cast<T *>(storage)->~T();
+        }
+
+        T &
+        value()
+        {
+            SLIPSIM_ASSERT(hasValue, "coroutine produced no value");
+            return *reinterpret_cast<T *>(storage);
+        }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Coro() = default;
+    explicit Coro(Handle h) : handle(h) {}
+    Coro(const Coro &) = delete;
+    Coro &operator=(const Coro &) = delete;
+
+    Coro(Coro &&o) noexcept : handle(std::exchange(o.handle, nullptr)) {}
+
+    Coro &
+    operator=(Coro &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle = std::exchange(o.handle, nullptr);
+        }
+        return *this;
+    }
+
+    ~Coro() { destroy(); }
+
+    /** True if a frame is attached. */
+    explicit operator bool() const { return handle != nullptr; }
+
+    /** True once the coroutine has run to completion. */
+    bool done() const { return !handle || handle.done(); }
+
+    /**
+     * Start (or continue) the coroutine from outside coroutine context —
+     * used only for the root task by the processor.  Resumption after
+     * suspension on a simulated operation happens through the handle the
+     * awaiter captured, not through this object.
+     */
+    void
+    start()
+    {
+        SLIPSIM_ASSERT(handle && !handle.done(), "starting dead coroutine");
+        handle.resume();
+        maybeRethrow();
+    }
+
+    /** Rethrow an exception that escaped the coroutine body, if any. */
+    void
+    maybeRethrow()
+    {
+        if (handle && handle.done() && handle.promise().exception)
+            std::rethrow_exception(handle.promise().exception);
+    }
+
+    /** Result of a completed coroutine. */
+    T &
+    result()
+    {
+        SLIPSIM_ASSERT(done(), "result() on unfinished coroutine");
+        maybeRethrow();
+        return handle.promise().value();
+    }
+
+    // --- awaiter interface: `co_await child()` ------------------------
+
+    bool await_ready() const noexcept { return !handle || handle.done(); }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        handle.promise().continuation = parent;
+        return handle;    // symmetric transfer into the child
+    }
+
+    T
+    await_resume()
+    {
+        maybeRethrow();
+        return std::move(handle.promise().value());
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle) {
+            handle.destroy();
+            handle = nullptr;
+        }
+    }
+
+    Handle handle = nullptr;
+};
+
+/** Specialization for void-returning coroutines. */
+template <>
+class Coro<void>
+{
+  public:
+    struct promise_type : coro_detail::PromiseBase
+    {
+        Coro
+        get_return_object()
+        {
+            return Coro(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_void() noexcept {}
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Coro() = default;
+    explicit Coro(Handle h) : handle(h) {}
+    Coro(const Coro &) = delete;
+    Coro &operator=(const Coro &) = delete;
+    Coro(Coro &&o) noexcept : handle(std::exchange(o.handle, nullptr)) {}
+
+    Coro &
+    operator=(Coro &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle = std::exchange(o.handle, nullptr);
+        }
+        return *this;
+    }
+
+    ~Coro() { destroy(); }
+
+    explicit operator bool() const { return handle != nullptr; }
+    bool done() const { return !handle || handle.done(); }
+
+    void
+    start()
+    {
+        SLIPSIM_ASSERT(handle && !handle.done(), "starting dead coroutine");
+        handle.resume();
+        maybeRethrow();
+    }
+
+    void
+    maybeRethrow()
+    {
+        if (handle && handle.done() && handle.promise().exception)
+            std::rethrow_exception(handle.promise().exception);
+    }
+
+    bool await_ready() const noexcept { return !handle || handle.done(); }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        handle.promise().continuation = parent;
+        return handle;
+    }
+
+    void
+    await_resume()
+    {
+        maybeRethrow();
+    }
+
+    /** Release the frame early (kill). */
+    void
+    destroy()
+    {
+        if (handle) {
+            handle.destroy();
+            handle = nullptr;
+        }
+    }
+
+  private:
+    Handle handle = nullptr;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_CORO_HH

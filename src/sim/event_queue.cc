@@ -1,0 +1,48 @@
+/**
+ * @file
+ * EventQueue implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace slipsim
+{
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // priority_queue::top() is const; the callback must be moved out
+    // before pop, so copy the metadata and move the closure.
+    Entry e = std::move(const_cast<Entry &>(heap.top()));
+    heap.pop();
+    SLIPSIM_ASSERT(e.when >= _now, "time went backwards");
+    _now = e.when;
+    ++nProcessed;
+    e.cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!heap.empty() && heap.top().when <= limit)
+        step();
+
+    if (heap.empty()) {
+        for (auto &check : drainChecks) {
+            std::string diag = check();
+            if (!diag.empty()) {
+                fatal("event queue drained with incomplete simulation "
+                      "(deadlock?) at tick %llu: %s",
+                      (unsigned long long)_now, diag.c_str());
+            }
+        }
+    }
+    return _now;
+}
+
+} // namespace slipsim

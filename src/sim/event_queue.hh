@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic discrete-event queue: the heart of the simulator.
+ *
+ * Events are callbacks scheduled at an absolute tick.  Ties are broken by
+ * insertion order (FIFO), which keeps simulations bit-for-bit
+ * reproducible across runs and platforms.
+ */
+
+#ifndef SLIPSIM_SIM_EVENT_QUEUE_HH
+#define SLIPSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/**
+ * A single-threaded discrete-event scheduler.
+ *
+ * Components schedule closures at absolute ticks; run() drains the queue
+ * in (tick, insertion-order) order.  The queue also provides a deadlock
+ * diagnostic hook: if the queue empties while registered "liveness"
+ * checkers say the simulation is incomplete, run() reports the stuck
+ * state via fatal().
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p cb to run at absolute tick @p when (>= now()). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        SLIPSIM_ASSERT(when >= _now,
+                "schedule in the past (when=%llu now=%llu)",
+                (unsigned long long)when, (unsigned long long)_now);
+        heap.push(Entry{when, seq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void scheduleIn(Tick delta, Callback cb)
+    { schedule(_now + delta, std::move(cb)); }
+
+    /** True if no events are pending. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return heap.size(); }
+
+    /** Total number of events processed so far. */
+    std::uint64_t processed() const { return nProcessed; }
+
+    /**
+     * Run until the queue is empty or @p limit is reached.
+     * @return the tick of the last processed event.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Process exactly one event, if any.  @return true if one ran. */
+    bool step();
+
+    /**
+     * Register a diagnostic callback invoked if the queue drains; it
+     * should return a non-empty description if the simulation is
+     * actually stuck (e.g. tasks still blocked on a barrier).
+     */
+    void
+    addDrainCheck(std::function<std::string()> check)
+    {
+        drainChecks.push_back(std::move(check));
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Tick _now = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t nProcessed = 0;
+    std::vector<std::function<std::string()>> drainChecks;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Implementation of the logging sinks.
+ */
+
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+namespace slipsim
+{
+
+namespace
+{
+bool quietFlag = false;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+namespace detail
+{
+
+void
+logMessage(const char *prefix, const std::string &msg)
+{
+    // panic/fatal always print; warn/inform respect quiet mode.
+    bool isError = prefix[0] == 'p' || prefix[0] == 'f';
+    if (quietFlag && !isError)
+        return;
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+} // namespace detail
+} // namespace slipsim

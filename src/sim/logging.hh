@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Error/status reporting in the gem5 idiom: panic() for simulator bugs,
+ * fatal() for user errors, warn()/inform() for status.
+ */
+
+#ifndef SLIPSIM_SIM_LOGGING_HH
+#define SLIPSIM_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace slipsim
+{
+
+/** Thrown by panic(); a condition that indicates a simulator bug. */
+struct PanicError : std::logic_error
+{
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(); a condition caused by bad user input/config. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail
+{
+
+void logMessage(const char *prefix, const std::string &msg);
+
+template <typename... Args>
+std::string
+formatMessage(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        int n = std::snprintf(nullptr, 0, fmt, args...);
+        if (n < 0)
+            return std::string(fmt);
+        std::string out(static_cast<size_t>(n), '\0');
+        std::snprintf(out.data(), out.size() + 1, fmt, args...);
+        return out;
+    }
+}
+
+} // namespace detail
+
+/**
+ * Report a simulator bug and abort the simulation by throwing PanicError.
+ * Use when something happened that should never happen regardless of what
+ * the user does.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    auto msg = detail::formatMessage(fmt, std::forward<Args>(args)...);
+    detail::logMessage("panic", msg);
+    throw PanicError(msg);
+}
+
+/**
+ * Report a user error (bad configuration, invalid arguments) and stop the
+ * simulation by throwing FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    auto msg = detail::formatMessage(fmt, std::forward<Args>(args)...);
+    detail::logMessage("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Alert the user to questionable-but-survivable behaviour. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    detail::logMessage("warn",
+            detail::formatMessage(fmt, std::forward<Args>(args)...));
+}
+
+/** Normal operating status message. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    detail::logMessage("info",
+            detail::formatMessage(fmt, std::forward<Args>(args)...));
+}
+
+namespace detail
+{
+
+template <typename... Args>
+[[noreturn]] void
+assertFail(const char *cond, const char *fmt, Args &&...args)
+{
+    auto msg = formatMessage(fmt, std::forward<Args>(args)...);
+    panic("assertion failed: %s: %s", cond, msg.c_str());
+}
+
+} // namespace detail
+
+/** panic() unless the condition holds. */
+#define SLIPSIM_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::slipsim::detail::assertFail(#cond, __VA_ARGS__);             \
+    } while (0)
+
+/** Globally silence warn()/inform() output (used by benches/tests). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_LOGGING_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Simulations must never consult wall-clock entropy; every stochastic
+ * choice flows from an explicit seed so runs are reproducible.
+ */
+
+#ifndef SLIPSIM_SIM_RANDOM_HH
+#define SLIPSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace slipsim
+{
+
+/** Small, fast, seedable RNG (xoshiro256**, public-domain algorithm). */
+class Rng
+{
+  public:
+    explicit
+    Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to fill the state from a single word.
+        std::uint64_t x = seed;
+        for (auto &w : s) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            w = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Modulo bias is irrelevant at simulator scales.
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    inRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_RANDOM_HH

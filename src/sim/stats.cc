@@ -1,0 +1,40 @@
+/**
+ * @file
+ * StatSet implementation.
+ */
+
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace slipsim
+{
+
+void
+Histogram::dumpInto(StatSet &out, const std::string &prefix) const
+{
+    out.add(prefix + ".samples", static_cast<double>(count));
+    out.add(prefix + ".sum", static_cast<double>(sum));
+    out.set(prefix + ".mean", mean());
+    out.set(prefix + ".max", static_cast<double>(maxSeen));
+    out.set(prefix + ".p90ub",
+            static_cast<double>(percentileUpperBound(0.9)));
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[k, v] : values) {
+        os << std::left << std::setw(48) << k << " ";
+        if (v == std::floor(v) && std::abs(v) < 1e15) {
+            os << static_cast<long long>(v);
+        } else {
+            os << std::setprecision(6) << v;
+        }
+        os << "\n";
+    }
+}
+
+} // namespace slipsim

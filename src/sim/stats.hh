@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components keep plain counters internally and publish them into a
+ * StatSet when asked; experiments merge per-component StatSets into a
+ * result.  Keys are hierarchical dotted names ("l2.node0.readMisses").
+ */
+
+#ifndef SLIPSIM_SIM_STATS_HH
+#define SLIPSIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace slipsim
+{
+
+/**
+ * Power-of-two-bucketed histogram (for latency distributions).
+ * Bucket i counts samples in [2^i, 2^(i+1)); bucket 0 covers [0, 2).
+ */
+class Histogram
+{
+  public:
+    static constexpr int numBuckets = 24;
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        int b = 0;
+        while (b + 1 < numBuckets &&
+               v >= (std::uint64_t(1) << (b + 1))) {
+            ++b;
+        }
+        ++buckets[b];
+        sum += v;
+        ++count;
+        if (v > maxSeen)
+            maxSeen = v;
+    }
+
+    std::uint64_t samples() const { return count; }
+    std::uint64_t total() const { return sum; }
+    std::uint64_t maxValue() const { return maxSeen; }
+
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+
+    /** Smallest value v such that >= frac of samples are <= 2^v-ish
+     *  (bucket upper bound); a coarse percentile. */
+    std::uint64_t
+    percentileUpperBound(double frac) const
+    {
+        std::uint64_t want = static_cast<std::uint64_t>(
+            frac * static_cast<double>(count));
+        std::uint64_t seen = 0;
+        for (int b = 0; b < numBuckets; ++b) {
+            seen += buckets[b];
+            if (seen >= want)
+                return std::uint64_t(1) << (b + 1);
+        }
+        return maxSeen;
+    }
+
+    std::uint64_t bucket(int i) const { return buckets[i]; }
+
+    /** Publish under dotted names ("<prefix>.mean" etc.). */
+    void dumpInto(class StatSet &out, const std::string &prefix) const;
+
+    void
+    merge(const Histogram &o)
+    {
+        for (int b = 0; b < numBuckets; ++b)
+            buckets[b] += o.buckets[b];
+        sum += o.sum;
+        count += o.count;
+        maxSeen = std::max(maxSeen, o.maxSeen);
+    }
+
+  private:
+    std::uint64_t buckets[numBuckets] = {};
+    std::uint64_t sum = 0;
+    std::uint64_t count = 0;
+    std::uint64_t maxSeen = 0;
+};
+
+/** An ordered map of named scalar statistics. */
+class StatSet
+{
+  public:
+    /** Set (overwrite) a statistic. */
+    void set(const std::string &name, double v) { values[name] = v; }
+
+    /** Accumulate into a statistic (creates it at 0 first). */
+    void add(const std::string &name, double v) { values[name] += v; }
+
+    /** Fetch a statistic; 0 if absent. */
+    double
+    get(const std::string &name) const
+    {
+        auto it = values.find(name);
+        return it == values.end() ? 0.0 : it->second;
+    }
+
+    /** True if the statistic exists. */
+    bool has(const std::string &name) const
+    { return values.count(name) != 0; }
+
+    /** Merge another set, summing overlapping keys. */
+    void
+    merge(const StatSet &o)
+    {
+        for (const auto &[k, v] : o.values)
+            values[k] += v;
+    }
+
+    /** Merge another set under a name prefix. */
+    void
+    mergePrefixed(const std::string &prefix, const StatSet &o)
+    {
+        for (const auto &[k, v] : o.values)
+            values[prefix + "." + k] += v;
+    }
+
+    /** Write "name value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::map<std::string, double> &all() const { return values; }
+
+    bool empty() const { return values.empty(); }
+    void clear() { values.clear(); }
+
+  private:
+    std::map<std::string, double> values;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_STATS_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Trace facility implementation.
+ */
+
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace slipsim
+{
+namespace Trace
+{
+
+namespace
+{
+
+std::uint32_t traceMask = 0;
+bool envChecked = false;
+
+std::uint32_t
+flagFromName(const std::string &name)
+{
+    if (name == "Coherence")
+        return static_cast<std::uint32_t>(TraceFlag::Coherence);
+    if (name == "Cache")
+        return static_cast<std::uint32_t>(TraceFlag::Cache);
+    if (name == "Slipstream")
+        return static_cast<std::uint32_t>(TraceFlag::Slipstream);
+    if (name == "Sync")
+        return static_cast<std::uint32_t>(TraceFlag::Sync);
+    if (name == "Task")
+        return static_cast<std::uint32_t>(TraceFlag::Task);
+    if (name == "All")
+        return ~0u;
+    warn("unknown trace flag '%s' ignored", name.c_str());
+    return 0;
+}
+
+} // namespace
+
+std::uint32_t
+mask()
+{
+    if (!envChecked)
+        initFromEnv();
+    return traceMask;
+}
+
+void
+enable(const std::string &list)
+{
+    envChecked = true;
+    traceMask = 0;
+    std::istringstream is(list);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (!item.empty())
+            traceMask |= flagFromName(item);
+    }
+}
+
+void
+initFromEnv()
+{
+    envChecked = true;
+    const char *env = std::getenv("SLIPSIM_TRACE");
+    if (env && *env)
+        enable(env);
+}
+
+void
+print(Tick now, const char *where, const std::string &msg)
+{
+    std::fprintf(stderr, "%10llu: %s: %s\n",
+                 static_cast<unsigned long long>(now), where,
+                 msg.c_str());
+}
+
+const char *
+flagName(TraceFlag flag)
+{
+    switch (flag) {
+      case TraceFlag::Coherence:
+        return "Coherence";
+      case TraceFlag::Cache:
+        return "Cache";
+      case TraceFlag::Slipstream:
+        return "Slipstream";
+      case TraceFlag::Sync:
+        return "Sync";
+      case TraceFlag::Task:
+        return "Task";
+      default:
+        return "?";
+    }
+}
+
+} // namespace Trace
+} // namespace slipsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout slipsim.
+ */
+
+#ifndef SLIPSIM_SIM_TYPES_HH
+#define SLIPSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace slipsim
+{
+
+/** Simulated time, in processor cycles (1 GHz clock in the paper). */
+using Tick = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Index of a CMP node (0 .. numCmps-1). */
+using NodeId = std::int32_t;
+
+/** Global index of a processor (node * 2 + slot). */
+using ProcId = std::int32_t;
+
+/** Index of a parallel task (R-stream task id). */
+using TaskId = std::int32_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for invalid node. */
+constexpr NodeId invalidNode = -1;
+
+/** Cache line size, bytes.  Fixed system-wide (Origin-like 128B lines
+ *  would also work; 64B is used so the scaled-down working sets keep
+ *  realistic line counts). */
+constexpr unsigned lineBytes = 64;
+
+/** Mask an address down to its cache-line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(lineBytes - 1);
+}
+
+/** Stream identity within a slipstream pair. */
+enum class StreamKind : std::uint8_t
+{
+    RStream,    //!< the full (architecturally correct) task
+    AStream,    //!< the reduced, speculative advanced task
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_TYPES_HH

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * CG: NAS conjugate-gradient kernel (Table 2: n = 1400).
+ *
+ * Sparse SPD matrix-vector products with row partitioning; the search
+ * vector p is read by every task (wide sharing), and the dot-product
+ * reductions are accumulated into shared scalars under a lock with
+ * barriers around them — the reduction-variable pattern of the paper.
+ * Reduction order is timing-dependent, so verification uses a
+ * tolerance against a host CG with canonical order.
+ */
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "runtime/parallel_runtime.hh"
+#include "runtime/task_context.hh"
+#include "sim/random.hh"
+#include "workloads/grid.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+namespace
+{
+
+class CgWorkload : public Workload
+{
+  public:
+    explicit
+    CgWorkload(const Options &o)
+        : n(static_cast<size_t>(
+              o.getInt("n", o.getBool("paper", false) ? 1400 : 256))),
+          iters(static_cast<int>(o.getInt("iters", 6))),
+          nnzPerRow(static_cast<size_t>(o.getInt("nnz", 56)))
+    {
+        buildMatrix();
+    }
+
+    std::string name() const override { return "cg"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return "n=" + std::to_string(n) + ", " + std::to_string(iters) +
+               " CG iterations";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        const int nt = rt.numTasks();
+        auto v = [&](SharedVec &sv) {
+            sv.n = n;
+            sv.base = rt.alloc().alloc(n * sizeof(double),
+                                       Placement::Partitioned, nt);
+        };
+        v(x);
+        v(r);
+        v(p);
+        v(q);
+        scalars = rt.alloc().alloc(FunctionalMemory::pageBytes,
+                                   Placement::Fixed, 1, 0);
+        redLock = rt.makeLock(0);
+        bar = rt.makeBarrier();
+
+        // x = 0, r = p = b.
+        std::vector<double> b = rhs();
+        writeVec(rt.fmem(), x.base, std::vector<double>(n, 0.0));
+        writeVec(rt.fmem(), r.base, b);
+        writeVec(rt.fmem(), p.base, b);
+        writeVec(rt.fmem(), q.base, std::vector<double>(n, 0.0));
+
+        // scalars: [0]=rho, [1]=pq, [2]=rhoNew
+        for (int i = 0; i < 3; ++i)
+            rt.fmem().write<double>(scalarAt(i), 0.0);
+        // rho = b.b (host init; measured region starts at iteration
+        // loop, as in NAS).
+        double rho = 0.0;
+        for (double bv : b)
+            rho += bv * bv;
+        rt.fmem().write<double>(scalarAt(0), rho);
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        Span rows = partition(n, ctx.tid(), ctx.numTasks());
+
+        for (int it = 0; it < iters; ++it) {
+            // q = A p  (reads p across all partitions).
+            for (size_t i = rows.lo; i < rows.hi; ++i) {
+                double acc = 0.0;
+                for (size_t k = rowPtr[i]; k < rowPtr[i + 1]; ++k) {
+                    double pv =
+                        co_await ctx.ld<double>(p.at(colIdx[k]));
+                    acc += vals[k] * pv;
+                    co_await ctx.compute(2);
+                }
+                co_await ctx.st<double>(q.at(i), acc);
+            }
+
+            // pq = sum p.q  (reduction under a lock).
+            double local = 0.0;
+            for (size_t i = rows.lo; i < rows.hi; ++i) {
+                double pv = co_await ctx.ld<double>(p.at(i));
+                double qv = co_await ctx.ld<double>(q.at(i));
+                local += pv * qv;
+                co_await ctx.compute(2);
+            }
+            if (ctx.tid() == 0) {
+                // Reset the accumulator for this iteration first.
+                co_await ctx.st<double>(scalarAt(1), 0.0);
+            }
+            co_await ctx.barrier(bar);
+            co_await ctx.lock(redLock);
+            double g = co_await ctx.ld<double>(scalarAt(1));
+            co_await ctx.st<double>(scalarAt(1), g + local);
+            co_await ctx.unlock(redLock);
+            co_await ctx.barrier(bar);
+
+            double rho = co_await ctx.ld<double>(scalarAt(0));
+            double pq = co_await ctx.ld<double>(scalarAt(1));
+            double alpha = rho / pq;
+
+            // x += alpha p;  r -= alpha q;  local rho' partial.
+            local = 0.0;
+            for (size_t i = rows.lo; i < rows.hi; ++i) {
+                double xv = co_await ctx.ld<double>(x.at(i));
+                double pv = co_await ctx.ld<double>(p.at(i));
+                co_await ctx.st<double>(x.at(i), xv + alpha * pv);
+                double rv = co_await ctx.ld<double>(r.at(i));
+                double qv = co_await ctx.ld<double>(q.at(i));
+                double nr = rv - alpha * qv;
+                co_await ctx.st<double>(r.at(i), nr);
+                local += nr * nr;
+                co_await ctx.compute(6);
+            }
+            if (ctx.tid() == 0)
+                co_await ctx.st<double>(scalarAt(2), 0.0);
+            co_await ctx.barrier(bar);
+            co_await ctx.lock(redLock);
+            double g2 = co_await ctx.ld<double>(scalarAt(2));
+            co_await ctx.st<double>(scalarAt(2), g2 + local);
+            co_await ctx.unlock(redLock);
+            co_await ctx.barrier(bar);
+
+            double rhoNew = co_await ctx.ld<double>(scalarAt(2));
+            double beta = rhoNew / rho;
+
+            // p = r + beta p.
+            for (size_t i = rows.lo; i < rows.hi; ++i) {
+                double rv = co_await ctx.ld<double>(r.at(i));
+                double pv = co_await ctx.ld<double>(p.at(i));
+                co_await ctx.st<double>(p.at(i), rv + beta * pv);
+                co_await ctx.compute(2);
+            }
+            if (ctx.tid() == 0)
+                co_await ctx.st<double>(scalarAt(0), rhoNew);
+            co_await ctx.barrier(bar);
+        }
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        // Host CG in canonical order.
+        std::vector<double> b = rhs();
+        std::vector<double> hx(n, 0.0), hr = b, hp = b, hq(n, 0.0);
+        double rho = 0.0;
+        for (double bv : b)
+            rho += bv * bv;
+        for (int it = 0; it < iters; ++it) {
+            for (size_t i = 0; i < n; ++i) {
+                double acc = 0.0;
+                for (size_t k = rowPtr[i]; k < rowPtr[i + 1]; ++k)
+                    acc += vals[k] * hp[colIdx[k]];
+                hq[i] = acc;
+            }
+            double pq = 0.0;
+            for (size_t i = 0; i < n; ++i)
+                pq += hp[i] * hq[i];
+            double alpha = rho / pq;
+            double rhoNew = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+                hx[i] += alpha * hp[i];
+                hr[i] -= alpha * hq[i];
+                rhoNew += hr[i] * hr[i];
+            }
+            double beta = rhoNew / rho;
+            for (size_t i = 0; i < n; ++i)
+                hp[i] = hr[i] + beta * hp[i];
+            rho = rhoNew;
+        }
+
+        std::vector<double> gx = readVec(m, x.base, n);
+        double scale = 0.0;
+        for (double v : hx)
+            scale = std::max(scale, std::abs(v));
+        return maxAbsDiff(gx, hx) <= 1e-9 * std::max(scale, 1.0);
+    }
+
+  private:
+    Addr
+    scalarAt(int i) const
+    {
+        // One scalar per line to avoid false sharing between them.
+        return scalars + static_cast<Addr>(i) * lineBytes;
+    }
+
+    void
+    buildMatrix()
+    {
+        // Deterministic sparse SPD-ish matrix: strong diagonal plus
+        // nnzPerRow-1 symmetric off-diagonal entries.
+        Rng rng(42);
+        std::vector<std::vector<std::pair<size_t, double>>> rows(n);
+        for (size_t i = 0; i < n; ++i) {
+            rows[i].push_back({i, static_cast<double>(nnzPerRow) + 4});
+            for (size_t e = 0; e + 1 < nnzPerRow; ++e) {
+                size_t j = rng.below(n);
+                if (j == i)
+                    continue;
+                double v = 0.5 / (1.0 + static_cast<double>(e));
+                rows[i].push_back({j, v});
+            }
+        }
+        rowPtr.assign(n + 1, 0);
+        for (size_t i = 0; i < n; ++i)
+            rowPtr[i + 1] = rowPtr[i] + rows[i].size();
+        for (size_t i = 0; i < n; ++i) {
+            for (auto &[j, v] : rows[i]) {
+                colIdx.push_back(j);
+                vals.push_back(v);
+            }
+        }
+    }
+
+    std::vector<double>
+    rhs() const
+    {
+        std::vector<double> b(n);
+        for (size_t i = 0; i < n; ++i)
+            b[i] = 1.0 + 0.001 * static_cast<double>(i % 97);
+        return b;
+    }
+
+    size_t n;
+    int iters;
+    size_t nnzPerRow;
+    SharedVec x, r, p, q;
+    Addr scalars = 0;
+    int redLock = 0;
+    int bar = 0;
+    std::vector<size_t> rowPtr, colIdx;
+    std::vector<double> vals;
+};
+
+WorkloadRegistrar regCg("cg", [](const Options &o) {
+    return std::make_unique<CgWorkload>(o);
+});
+
+} // namespace
+} // namespace slipsim

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * FFT: Splash-2-style six-step 1-D complex FFT (Table 2: 64K points).
+ *
+ * The m points are viewed as an s x s matrix (s = sqrt(m)) with rows
+ * block-partitioned.  Transpose phases read columns across every other
+ * task's partition — the all-to-all communication that limits FFT's
+ * scalability in Figure 4.  Row FFTs and twiddles are local.
+ * Verification is bit-exact against a host run of the same algorithm.
+ */
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "runtime/parallel_runtime.hh"
+#include "runtime/task_context.hh"
+#include "workloads/grid.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+namespace
+{
+
+using Cplx = std::pair<double, double>;
+
+/** In-place iterative radix-2 FFT of @p a (length power of two). */
+void
+fftRow(std::vector<double> &re, std::vector<double> &im)
+{
+    const size_t len = re.size();
+    // Bit reversal.
+    for (size_t i = 1, j = 0; i < len; ++i) {
+        size_t bit = len >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    for (size_t blk = 2; blk <= len; blk <<= 1) {
+        double ang = -2.0 * M_PI / static_cast<double>(blk);
+        double wr = std::cos(ang), wi = std::sin(ang);
+        for (size_t i = 0; i < len; i += blk) {
+            double cr = 1.0, ci = 0.0;
+            for (size_t k = 0; k < blk / 2; ++k) {
+                double ur = re[i + k], ui = im[i + k];
+                double vr = re[i + k + blk / 2] * cr -
+                            im[i + k + blk / 2] * ci;
+                double vi = re[i + k + blk / 2] * ci +
+                            im[i + k + blk / 2] * cr;
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + blk / 2] = ur - vr;
+                im[i + k + blk / 2] = ui - vi;
+                double ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+    }
+}
+
+class FftWorkload : public Workload
+{
+  public:
+    explicit
+    FftWorkload(const Options &o)
+    {
+        size_t m = static_cast<size_t>(o.getInt(
+            "m", o.getBool("paper", false) ? 65536 : 4096));
+        s = 1;
+        while (s * s < m)
+            s <<= 1;
+        if (s * s != m)
+            fatal("fft: m (%zu) must be a power of 4", m);
+    }
+
+    std::string name() const override { return "fft"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(s * s) + " complex doubles (" +
+               std::to_string(s) + "x" + std::to_string(s) + ")";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        // Complex matrix: interleaved re/im, row-major; two buffers.
+        const size_t bytes = s * s * 2 * sizeof(double);
+        a.base = rt.alloc().alloc(bytes, Placement::Partitioned,
+                                  rt.numTasks());
+        b.base = rt.alloc().alloc(bytes, Placement::Partitioned,
+                                  rt.numTasks());
+        a.rows = b.rows = s;
+        a.cols = b.cols = 2 * s;  // 2 doubles per complex
+        bar = rt.makeBarrier();
+        writeVec(rt.fmem(), a.base, initial());
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        Span rows = partition(s, ctx.tid(), ctx.numTasks());
+
+        co_await transpose(ctx, rows, a, b);
+        co_await ctx.barrier(bar);
+        co_await fftRows(ctx, rows, b, /*twiddle=*/true);
+        co_await ctx.barrier(bar);
+        co_await transpose(ctx, rows, b, a);
+        co_await ctx.barrier(bar);
+        co_await fftRows(ctx, rows, a, /*twiddle=*/false);
+        co_await ctx.barrier(bar);
+        co_await transpose(ctx, rows, a, b);
+        co_await ctx.barrier(bar);
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        std::vector<double> va = initial();
+        std::vector<double> vb(va.size(), 0.0);
+        hostTranspose(va, vb);
+        hostFftRows(vb, true);
+        hostTranspose(vb, va);
+        hostFftRows(va, false);
+        hostTranspose(va, vb);
+        return maxAbsDiff(readVec(m, b.base, vb.size()), vb) == 0.0;
+    }
+
+  private:
+    /** dst[r][c] = src[c][r] for my rows r of dst. */
+    Coro<void>
+    transpose(TaskContext &ctx, Span rows, const SharedGrid2D &src,
+              const SharedGrid2D &dst)
+    {
+        std::vector<double> rowbuf(2 * s);
+        for (size_t r = rows.lo; r < rows.hi; ++r) {
+            for (size_t c = 0; c < s; ++c) {
+                // Element (c, r) of src: a strided remote read.
+                double re = co_await ctx.ld<double>(src.at(c, 2 * r));
+                double im =
+                    co_await ctx.ld<double>(src.at(c, 2 * r + 1));
+                rowbuf[2 * c] = re;
+                rowbuf[2 * c + 1] = im;
+                co_await ctx.compute(2);
+            }
+            co_await ctx.stBuf(dst.rowAddr(r), rowbuf.data(),
+                               dst.rowBytes());
+        }
+    }
+
+    /** FFT (and optional twiddle) of my rows, in place. */
+    Coro<void>
+    fftRows(TaskContext &ctx, Span rows, const SharedGrid2D &g,
+            bool twiddle)
+    {
+        std::vector<double> buf(2 * s);
+        std::vector<double> re(s), im(s);
+        for (size_t r = rows.lo; r < rows.hi; ++r) {
+            co_await ctx.ldBuf(g.rowAddr(r), buf.data(), g.rowBytes());
+            for (size_t c = 0; c < s; ++c) {
+                re[c] = buf[2 * c];
+                im[c] = buf[2 * c + 1];
+            }
+            fftRow(re, im);
+            if (twiddle)
+                twiddleRow(re, im, r);
+            for (size_t c = 0; c < s; ++c) {
+                buf[2 * c] = re[c];
+                buf[2 * c + 1] = im[c];
+            }
+            // ~5 n log n flops for the FFT.
+            co_await ctx.compute(static_cast<Tick>(
+                5 * s * std::lround(std::log2(s))));
+            co_await ctx.stBuf(g.rowAddr(r), buf.data(), g.rowBytes());
+        }
+    }
+
+    void
+    twiddleRow(std::vector<double> &re, std::vector<double> &im,
+               size_t r) const
+    {
+        for (size_t c = 0; c < s; ++c) {
+            double ang = -2.0 * M_PI * static_cast<double>(r) *
+                         static_cast<double>(c) /
+                         static_cast<double>(s * s);
+            double wr = std::cos(ang), wi = std::sin(ang);
+            double nr = re[c] * wr - im[c] * wi;
+            im[c] = re[c] * wi + im[c] * wr;
+            re[c] = nr;
+        }
+    }
+
+    std::vector<double>
+    initial() const
+    {
+        std::vector<double> v(s * s * 2);
+        for (size_t i = 0; i < s * s; ++i) {
+            v[2 * i] = std::sin(0.001 * static_cast<double>(i));
+            v[2 * i + 1] = std::cos(0.002 * static_cast<double>(i));
+        }
+        return v;
+    }
+
+    void
+    hostTranspose(const std::vector<double> &src,
+                  std::vector<double> &dst) const
+    {
+        for (size_t r = 0; r < s; ++r) {
+            for (size_t c = 0; c < s; ++c) {
+                dst[(r * s + c) * 2] = src[(c * s + r) * 2];
+                dst[(r * s + c) * 2 + 1] = src[(c * s + r) * 2 + 1];
+            }
+        }
+    }
+
+    void
+    hostFftRows(std::vector<double> &v, bool twiddle) const
+    {
+        std::vector<double> re(s), im(s);
+        for (size_t r = 0; r < s; ++r) {
+            for (size_t c = 0; c < s; ++c) {
+                re[c] = v[(r * s + c) * 2];
+                im[c] = v[(r * s + c) * 2 + 1];
+            }
+            fftRow(re, im);
+            if (twiddle)
+                twiddleRow(re, im, r);
+            for (size_t c = 0; c < s; ++c) {
+                v[(r * s + c) * 2] = re[c];
+                v[(r * s + c) * 2 + 1] = im[c];
+            }
+        }
+    }
+
+    size_t s = 0;
+    SharedGrid2D a, b;
+    int bar = 0;
+};
+
+WorkloadRegistrar regFft("fft", [](const Options &o) {
+    return std::make_unique<FftWorkload>(o);
+});
+
+} // namespace
+} // namespace slipsim

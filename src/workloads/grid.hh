@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared-array helpers used by the benchmark kernels: typed address
+ * arithmetic over the simulated shared segment, partitioning helpers,
+ * and host-side mirrors for verification.
+ */
+
+#ifndef SLIPSIM_WORKLOADS_GRID_HH
+#define SLIPSIM_WORKLOADS_GRID_HH
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "mem/functional_mem.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** A shared 1-D array of doubles. */
+struct SharedVec
+{
+    Addr base = 0;
+    size_t n = 0;
+
+    Addr at(size_t i) const { return base + i * sizeof(double); }
+    size_t bytes() const { return n * sizeof(double); }
+};
+
+/** A shared row-major 2-D array of doubles. */
+struct SharedGrid2D
+{
+    Addr base = 0;
+    size_t rows = 0;
+    size_t cols = 0;
+
+    size_t idx(size_t r, size_t c) const { return r * cols + c; }
+
+    Addr
+    at(size_t r, size_t c) const
+    {
+        return base + idx(r, c) * sizeof(double);
+    }
+
+    Addr rowAddr(size_t r) const { return at(r, 0); }
+    size_t rowBytes() const { return cols * sizeof(double); }
+    size_t bytes() const { return rows * cols * sizeof(double); }
+};
+
+/** A shared row-major 3-D array of doubles (z-major planes). */
+struct SharedGrid3D
+{
+    Addr base = 0;
+    size_t nz = 0, ny = 0, nx = 0;
+
+    size_t
+    idx(size_t z, size_t y, size_t x) const
+    {
+        return (z * ny + y) * nx + x;
+    }
+
+    Addr
+    at(size_t z, size_t y, size_t x) const
+    {
+        return base + idx(z, y, x) * sizeof(double);
+    }
+
+    size_t planeBytes() const { return ny * nx * sizeof(double); }
+    size_t bytes() const { return nz * ny * nx * sizeof(double); }
+};
+
+/** Contiguous block partition [lo, hi) of n items for task t of nt. */
+struct Span
+{
+    size_t lo, hi;
+
+    size_t size() const { return hi - lo; }
+};
+
+inline Span
+partition(size_t n, int t, int nt)
+{
+    return Span{n * static_cast<size_t>(t) / static_cast<size_t>(nt),
+                n * (static_cast<size_t>(t) + 1) /
+                    static_cast<size_t>(nt)};
+}
+
+/** Read a shared vector into host memory (verification). */
+inline std::vector<double>
+readVec(const FunctionalMemory &m, Addr base, size_t n)
+{
+    std::vector<double> out(n);
+    m.readBytes(base, out.data(), n * sizeof(double));
+    return out;
+}
+
+/** Write a host vector into shared memory (initialization). */
+inline void
+writeVec(FunctionalMemory &m, Addr base, const std::vector<double> &v)
+{
+    m.writeBytes(base, v.data(), v.size() * sizeof(double));
+}
+
+/** Max absolute difference between two host vectors. */
+inline double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double worst = 0.0;
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    if (a.size() != b.size())
+        return 1e30;
+    return worst;
+}
+
+} // namespace slipsim
+
+#endif // SLIPSIM_WORKLOADS_GRID_HH

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * LU: blocked dense LU factorization without pivoting, Splash-2 style
+ * (Table 2: 512x512).
+ *
+ * Blocks are laid out contiguously and assigned 2-D-cyclically to
+ * tasks; each outer step factorizes the diagonal block, updates the
+ * perimeter, then the interior, with barriers between phases.  Every
+ * task performs the identical floating-point sequence per element, so
+ * verification is bit-exact against a sequential host reference.
+ */
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "runtime/parallel_runtime.hh"
+#include "runtime/task_context.hh"
+#include "workloads/grid.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+namespace
+{
+
+class LuWorkload : public Workload
+{
+  public:
+    explicit
+    LuWorkload(const Options &o)
+        : n(static_cast<size_t>(
+              o.getInt("n", o.getBool("paper", false) ? 512 : 64))),
+          blockDim(static_cast<size_t>(o.getInt("block", 16)))
+    {
+        if (n % blockDim != 0)
+            fatal("lu: n (%zu) must be a multiple of block (%zu)", n,
+                  blockDim);
+        nb = n / blockDim;
+    }
+
+    std::string name() const override { return "lu"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(n) + "x" + std::to_string(n) +
+               ", block " + std::to_string(blockDim);
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        ntasks = rt.numTasks();
+        // Task grid p1 x p2 for 2-D cyclic block ownership.
+        p1 = 1;
+        while ((p1 * 2) * (p1 * 2) <= ntasks)
+            p1 *= 2;
+        while (ntasks % p1 != 0)
+            p1 /= 2;
+        p2 = ntasks / p1;
+
+        // Each block is contiguous and homed on its owner's node.
+        const size_t bbytes = blockDim * blockDim * sizeof(double);
+        blocks.resize(nb * nb);
+        for (size_t bi = 0; bi < nb; ++bi) {
+            for (size_t bj = 0; bj < nb; ++bj) {
+                int own = owner(bi, bj);
+                NodeId node = static_cast<NodeId>(
+                    own / (rt.mode() == Mode::Double ? 2 : 1));
+                node %= rt.machine().numCmps;
+                blocks[bi * nb + bj] = rt.alloc().alloc(
+                    bbytes, Placement::Fixed, 1, node);
+            }
+        }
+        bar = rt.makeBarrier();
+
+        std::vector<double> a = initial();
+        for (size_t bi = 0; bi < nb; ++bi) {
+            for (size_t bj = 0; bj < nb; ++bj) {
+                std::vector<double> blk = gatherBlock(a, bi, bj);
+                rt.fmem().writeBytes(blocks[bi * nb + bj], blk.data(),
+                                     bbytes);
+            }
+        }
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        const size_t B = blockDim;
+        const size_t bbytes = B * B * sizeof(double);
+        std::vector<double> diag(B * B), mine(B * B), other(B * B);
+
+        for (size_t k = 0; k < nb; ++k) {
+            // Phase 1: factor the diagonal block.
+            if (owner(k, k) == ctx.tid()) {
+                co_await ctx.ldBuf(blockAddr(k, k), diag.data(),
+                                   bbytes);
+                factorDiag(diag);
+                co_await ctx.compute(flops(2 * B * B * B / 3));
+                co_await ctx.stBuf(blockAddr(k, k), diag.data(),
+                                   bbytes);
+            }
+            co_await ctx.barrier(bar);
+
+            // Phase 2: perimeter row (k,j) and column (i,k) updates.
+            co_await ctx.ldBuf(blockAddr(k, k), diag.data(), bbytes);
+            for (size_t j = k + 1; j < nb; ++j) {
+                if (owner(k, j) != ctx.tid())
+                    continue;
+                co_await ctx.ldBuf(blockAddr(k, j), mine.data(),
+                                   bbytes);
+                lowerSolve(diag, mine);
+                co_await ctx.compute(flops(B * B * B));
+                co_await ctx.stBuf(blockAddr(k, j), mine.data(),
+                                   bbytes);
+            }
+            for (size_t i = k + 1; i < nb; ++i) {
+                if (owner(i, k) != ctx.tid())
+                    continue;
+                co_await ctx.ldBuf(blockAddr(i, k), mine.data(),
+                                   bbytes);
+                upperSolve(diag, mine);
+                co_await ctx.compute(flops(B * B * B));
+                co_await ctx.stBuf(blockAddr(i, k), mine.data(),
+                                   bbytes);
+            }
+            co_await ctx.barrier(bar);
+
+            // Phase 3: interior updates A[i][j] -= A[i][k] * A[k][j].
+            for (size_t i = k + 1; i < nb; ++i) {
+                for (size_t j = k + 1; j < nb; ++j) {
+                    if (owner(i, j) != ctx.tid())
+                        continue;
+                    co_await ctx.ldBuf(blockAddr(i, k), diag.data(),
+                                       bbytes);
+                    co_await ctx.ldBuf(blockAddr(k, j), other.data(),
+                                       bbytes);
+                    co_await ctx.ldBuf(blockAddr(i, j), mine.data(),
+                                       bbytes);
+                    matmulSub(diag, other, mine);
+                    co_await ctx.compute(flops(2 * B * B * B));
+                    co_await ctx.stBuf(blockAddr(i, j), mine.data(),
+                                       bbytes);
+                }
+            }
+            co_await ctx.barrier(bar);
+        }
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        // Sequential blocked LU with the identical per-element
+        // arithmetic.
+        const size_t B = blockDim;
+        std::vector<double> a = initial();
+        std::vector<std::vector<double>> blk(nb * nb);
+        for (size_t bi = 0; bi < nb; ++bi)
+            for (size_t bj = 0; bj < nb; ++bj)
+                blk[bi * nb + bj] = gatherBlock(a, bi, bj);
+
+        for (size_t k = 0; k < nb; ++k) {
+            factorDiag(blk[k * nb + k]);
+            for (size_t j = k + 1; j < nb; ++j)
+                lowerSolve(blk[k * nb + k], blk[k * nb + j]);
+            for (size_t i = k + 1; i < nb; ++i)
+                upperSolve(blk[k * nb + k], blk[i * nb + k]);
+            for (size_t i = k + 1; i < nb; ++i)
+                for (size_t j = k + 1; j < nb; ++j)
+                    matmulSub(blk[i * nb + k], blk[k * nb + j],
+                              blk[i * nb + j]);
+        }
+
+        const size_t bbytes = B * B * sizeof(double);
+        for (size_t bi = 0; bi < nb; ++bi) {
+            for (size_t bj = 0; bj < nb; ++bj) {
+                std::vector<double> got(B * B);
+                m.readBytes(blocks[bi * nb + bj], got.data(), bbytes);
+                if (maxAbsDiff(got, blk[bi * nb + bj]) != 0.0)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    int
+    owner(size_t bi, size_t bj) const
+    {
+        return static_cast<int>((bi % static_cast<size_t>(p1)) *
+                                    static_cast<size_t>(p2) +
+                                bj % static_cast<size_t>(p2));
+    }
+
+    Addr blockAddr(size_t bi, size_t bj) const
+    { return blocks[bi * nb + bj]; }
+
+    static Tick
+    flops(size_t f)
+    {
+        return static_cast<Tick>(f);
+    }
+
+    std::vector<double>
+    initial() const
+    {
+        // Diagonally dominant, deterministic.
+        std::vector<double> a(n * n);
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+                a[i * n + j] =
+                    i == j ? static_cast<double>(n)
+                           : 1.0 / (1.0 + std::abs(
+                                 static_cast<double>(i) -
+                                 static_cast<double>(j)));
+            }
+        }
+        return a;
+    }
+
+    std::vector<double>
+    gatherBlock(const std::vector<double> &a, size_t bi,
+                size_t bj) const
+    {
+        const size_t B = blockDim;
+        std::vector<double> blk(B * B);
+        for (size_t r = 0; r < B; ++r)
+            for (size_t c = 0; c < B; ++c)
+                blk[r * B + c] = a[(bi * B + r) * n + bj * B + c];
+        return blk;
+    }
+
+    /** In-place LU of a BxB block (no pivoting). */
+    void
+    factorDiag(std::vector<double> &d) const
+    {
+        const size_t B = blockDim;
+        for (size_t k = 0; k < B; ++k) {
+            for (size_t i = k + 1; i < B; ++i) {
+                d[i * B + k] /= d[k * B + k];
+                for (size_t j = k + 1; j < B; ++j)
+                    d[i * B + j] -= d[i * B + k] * d[k * B + j];
+            }
+        }
+    }
+
+    /** Row block: A[k][j] := L(k,k)^-1 A[k][j]. */
+    void
+    lowerSolve(const std::vector<double> &d,
+               std::vector<double> &b) const
+    {
+        const size_t B = blockDim;
+        for (size_t c = 0; c < B; ++c) {
+            for (size_t r = 1; r < B; ++r) {
+                for (size_t k = 0; k < r; ++k)
+                    b[r * B + c] -= d[r * B + k] * b[k * B + c];
+            }
+        }
+    }
+
+    /** Column block: A[i][k] := A[i][k] U(k,k)^-1. */
+    void
+    upperSolve(const std::vector<double> &d,
+               std::vector<double> &b) const
+    {
+        const size_t B = blockDim;
+        for (size_t r = 0; r < B; ++r) {
+            for (size_t c = 0; c < B; ++c) {
+                for (size_t k = 0; k < c; ++k)
+                    b[r * B + c] -= b[r * B + k] * d[k * B + c];
+                b[r * B + c] /= d[c * B + c];
+            }
+        }
+    }
+
+    /** C -= A * B. */
+    void
+    matmulSub(const std::vector<double> &a,
+              const std::vector<double> &b,
+              std::vector<double> &c) const
+    {
+        const size_t B = blockDim;
+        for (size_t r = 0; r < B; ++r) {
+            for (size_t k = 0; k < B; ++k) {
+                double ark = a[r * B + k];
+                for (size_t j = 0; j < B; ++j)
+                    c[r * B + j] -= ark * b[k * B + j];
+            }
+        }
+    }
+
+    size_t n;
+    size_t blockDim;
+    size_t nb;
+    int ntasks = 0;
+    int p1 = 1, p2 = 1;
+    int bar = 0;
+    std::vector<Addr> blocks;
+};
+
+WorkloadRegistrar regLu("lu", [](const Options &o) {
+    return std::make_unique<LuWorkload>(o);
+});
+
+} // namespace
+} // namespace slipsim

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * MG: NAS multigrid kernel (Table 2: 32x32x32).
+ *
+ * V-cycles on a 3-D grid: Jacobi smoothing (7-point stencil),
+ * residual, restriction to a coarse grid, coarse smoothing,
+ * prolongation + correction.  Grids are partitioned by z-planes with
+ * barriers between operators; plane boundaries are the inter-task
+ * communication.  Jacobi (two-array) smoothing is order-independent,
+ * so verification is bit-exact.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "runtime/parallel_runtime.hh"
+#include "runtime/task_context.hh"
+#include "workloads/grid.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+namespace
+{
+
+class MgWorkload : public Workload
+{
+  public:
+    explicit
+    MgWorkload(const Options &o)
+        : nf(static_cast<size_t>(
+              o.getInt("n", o.getBool("paper", false) ? 32 : 16))),
+          cycles(static_cast<int>(o.getInt("cycles", 2))),
+          smooths(static_cast<int>(o.getInt("smooth", 2)))
+    {
+        if (nf % 2 != 0)
+            fatal("mg: n must be even");
+        nc = nf / 2;
+    }
+
+    std::string name() const override { return "mg"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(nf) + "^3, " + std::to_string(cycles) +
+               " V-cycles";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        const int nt = rt.numTasks();
+        auto g3 = [&](SharedGrid3D &g, size_t dim) {
+            g.nz = g.ny = g.nx = dim;
+            g.base = rt.alloc().alloc(g.bytes(),
+                                      Placement::Partitioned, nt);
+        };
+        g3(u, nf);
+        g3(tmp, nf);
+        g3(res, nf);
+        g3(uc, nc);
+        g3(tmpc, nc);
+        bar = rt.makeBarrier();
+
+        writeVec(rt.fmem(), u.base, initialU());
+        writeVec(rt.fmem(), tmp.base,
+                 std::vector<double>(u.bytes() / 8, 0.0));
+        writeVec(rt.fmem(), res.base,
+                 std::vector<double>(res.bytes() / 8, 0.0));
+        writeVec(rt.fmem(), uc.base,
+                 std::vector<double>(uc.bytes() / 8, 0.0));
+        writeVec(rt.fmem(), tmpc.base,
+                 std::vector<double>(tmpc.bytes() / 8, 0.0));
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        for (int cyc = 0; cyc < cycles; ++cyc) {
+            // Fine smoothing: u <-> tmp Jacobi pairs.
+            for (int s = 0; s < smooths; ++s) {
+                co_await smooth(ctx, u, tmp);
+                co_await ctx.barrier(bar);
+                co_await smooth(ctx, tmp, u);
+                co_await ctx.barrier(bar);
+            }
+            // Residual and restriction to the coarse grid.
+            co_await residual(ctx, u, res);
+            co_await ctx.barrier(bar);
+            co_await restrictTo(ctx, res, uc);
+            co_await ctx.barrier(bar);
+            // Coarse smoothing.
+            for (int s = 0; s < smooths; ++s) {
+                co_await smooth(ctx, uc, tmpc);
+                co_await ctx.barrier(bar);
+                co_await smooth(ctx, tmpc, uc);
+                co_await ctx.barrier(bar);
+            }
+            // Prolongate and correct the fine grid.
+            co_await prolongate(ctx, uc, u);
+            co_await ctx.barrier(bar);
+        }
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        const size_t N = nf * nf * nf;
+        std::vector<double> hu = initialU(), htmp(N, 0.0), hres(N, 0.0);
+        std::vector<double> huc(nc * nc * nc, 0.0),
+            htmpc(nc * nc * nc, 0.0);
+
+        for (int cyc = 0; cyc < cycles; ++cyc) {
+            for (int s = 0; s < smooths; ++s) {
+                hostSmooth(hu, htmp, nf);
+                hostSmooth(htmp, hu, nf);
+            }
+            hostResidual(hu, hres, nf);
+            hostRestrict(hres, huc);
+            for (int s = 0; s < smooths; ++s) {
+                hostSmooth(huc, htmpc, nc);
+                hostSmooth(htmpc, huc, nc);
+            }
+            hostProlongate(huc, hu);
+        }
+        return maxAbsDiff(readVec(m, u.base, N), hu) == 0.0;
+    }
+
+  private:
+    Span
+    zPart(TaskContext &ctx, size_t dim) const
+    {
+        Span s = partition(dim - 2, ctx.tid(), ctx.numTasks());
+        return Span{s.lo + 1, s.hi + 1};
+    }
+
+    /** dst = weighted Jacobi step of src (7-point). */
+    Coro<void>
+    smooth(TaskContext &ctx, const SharedGrid3D &src,
+           const SharedGrid3D &dst)
+    {
+        Span zs = zPart(ctx, src.nz);
+        for (size_t z = zs.lo; z < zs.hi; ++z) {
+            for (size_t y = 1; y < src.ny - 1; ++y) {
+                for (size_t x = 1; x < src.nx - 1; ++x) {
+                    double c =
+                        co_await ctx.ld<double>(src.at(z, y, x));
+                    double zm =
+                        co_await ctx.ld<double>(src.at(z - 1, y, x));
+                    double zp =
+                        co_await ctx.ld<double>(src.at(z + 1, y, x));
+                    double ym =
+                        co_await ctx.ld<double>(src.at(z, y - 1, x));
+                    double yp =
+                        co_await ctx.ld<double>(src.at(z, y + 1, x));
+                    double xm =
+                        co_await ctx.ld<double>(src.at(z, y, x - 1));
+                    double xp =
+                        co_await ctx.ld<double>(src.at(z, y, x + 1));
+                    co_await ctx.st<double>(
+                        dst.at(z, y, x),
+                        0.5 * c +
+                            (zm + zp + ym + yp + xm + xp) / 12.0);
+                    co_await ctx.compute(8);
+                }
+            }
+        }
+    }
+
+    Coro<void>
+    residual(TaskContext &ctx, const SharedGrid3D &src,
+             const SharedGrid3D &dst)
+    {
+        Span zs = zPart(ctx, src.nz);
+        for (size_t z = zs.lo; z < zs.hi; ++z) {
+            for (size_t y = 1; y < src.ny - 1; ++y) {
+                for (size_t x = 1; x < src.nx - 1; ++x) {
+                    double c =
+                        co_await ctx.ld<double>(src.at(z, y, x));
+                    double zm =
+                        co_await ctx.ld<double>(src.at(z - 1, y, x));
+                    double zp =
+                        co_await ctx.ld<double>(src.at(z + 1, y, x));
+                    double ym =
+                        co_await ctx.ld<double>(src.at(z, y - 1, x));
+                    double yp =
+                        co_await ctx.ld<double>(src.at(z, y + 1, x));
+                    double xm =
+                        co_await ctx.ld<double>(src.at(z, y, x - 1));
+                    double xp =
+                        co_await ctx.ld<double>(src.at(z, y, x + 1));
+                    co_await ctx.st<double>(
+                        dst.at(z, y, x),
+                        6.0 * c - (zm + zp + ym + yp + xm + xp));
+                    co_await ctx.compute(8);
+                }
+            }
+        }
+    }
+
+    /** Coarse(z,y,x) = average of the 8 fine children. */
+    Coro<void>
+    restrictTo(TaskContext &ctx, const SharedGrid3D &fine,
+               const SharedGrid3D &coarse)
+    {
+        Span zs = zPart(ctx, coarse.nz);
+        for (size_t z = zs.lo; z < zs.hi; ++z) {
+            for (size_t y = 1; y < coarse.ny - 1; ++y) {
+                for (size_t x = 1; x < coarse.nx - 1; ++x) {
+                    double acc = 0.0;
+                    for (int dz = 0; dz < 2; ++dz) {
+                        for (int dy = 0; dy < 2; ++dy) {
+                            for (int dx = 0; dx < 2; ++dx) {
+                                acc += co_await ctx.ld<double>(
+                                    fine.at(2 * z + dz, 2 * y + dy,
+                                            2 * x + dx));
+                            }
+                        }
+                    }
+                    co_await ctx.st<double>(coarse.at(z, y, x),
+                                            acc / 8.0);
+                    co_await ctx.compute(9);
+                }
+            }
+        }
+    }
+
+    /** Fine += injected coarse correction. */
+    Coro<void>
+    prolongate(TaskContext &ctx, const SharedGrid3D &coarse,
+               const SharedGrid3D &fine)
+    {
+        Span zs = zPart(ctx, coarse.nz);
+        for (size_t z = zs.lo; z < zs.hi; ++z) {
+            for (size_t y = 1; y < coarse.ny - 1; ++y) {
+                for (size_t x = 1; x < coarse.nx - 1; ++x) {
+                    double c =
+                        co_await ctx.ld<double>(coarse.at(z, y, x));
+                    for (int dz = 0; dz < 2; ++dz) {
+                        for (int dy = 0; dy < 2; ++dy) {
+                            for (int dx = 0; dx < 2; ++dx) {
+                                Addr a = fine.at(2 * z + dz,
+                                                 2 * y + dy,
+                                                 2 * x + dx);
+                                double f =
+                                    co_await ctx.ld<double>(a);
+                                co_await ctx.st<double>(
+                                    a, f + 0.25 * c);
+                            }
+                        }
+                    }
+                    co_await ctx.compute(16);
+                }
+            }
+        }
+    }
+
+    // --- host reference ----------------------------------------------------
+
+    static void
+    hostSmooth(const std::vector<double> &src, std::vector<double> &dst,
+               size_t n)
+    {
+        auto at = [n](size_t z, size_t y, size_t x) {
+            return (z * n + y) * n + x;
+        };
+        for (size_t z = 1; z < n - 1; ++z) {
+            for (size_t y = 1; y < n - 1; ++y) {
+                for (size_t x = 1; x < n - 1; ++x) {
+                    dst[at(z, y, x)] = 0.5 * src[at(z, y, x)] +
+                        (src[at(z - 1, y, x)] + src[at(z + 1, y, x)] +
+                         src[at(z, y - 1, x)] + src[at(z, y + 1, x)] +
+                         src[at(z, y, x - 1)] + src[at(z, y, x + 1)]) /
+                            12.0;
+                }
+            }
+        }
+    }
+
+    static void
+    hostResidual(const std::vector<double> &src,
+                 std::vector<double> &dst, size_t n)
+    {
+        auto at = [n](size_t z, size_t y, size_t x) {
+            return (z * n + y) * n + x;
+        };
+        for (size_t z = 1; z < n - 1; ++z) {
+            for (size_t y = 1; y < n - 1; ++y) {
+                for (size_t x = 1; x < n - 1; ++x) {
+                    dst[at(z, y, x)] = 6.0 * src[at(z, y, x)] -
+                        (src[at(z - 1, y, x)] + src[at(z + 1, y, x)] +
+                         src[at(z, y - 1, x)] + src[at(z, y + 1, x)] +
+                         src[at(z, y, x - 1)] + src[at(z, y, x + 1)]);
+                }
+            }
+        }
+    }
+
+    void
+    hostRestrict(const std::vector<double> &fine,
+                 std::vector<double> &coarse) const
+    {
+        auto atF = [this](size_t z, size_t y, size_t x) {
+            return (z * nf + y) * nf + x;
+        };
+        auto atC = [this](size_t z, size_t y, size_t x) {
+            return (z * nc + y) * nc + x;
+        };
+        for (size_t z = 1; z < nc - 1; ++z) {
+            for (size_t y = 1; y < nc - 1; ++y) {
+                for (size_t x = 1; x < nc - 1; ++x) {
+                    double acc = 0.0;
+                    for (int dz = 0; dz < 2; ++dz)
+                        for (int dy = 0; dy < 2; ++dy)
+                            for (int dx = 0; dx < 2; ++dx)
+                                acc += fine[atF(2 * z + dz, 2 * y + dy,
+                                                2 * x + dx)];
+                    coarse[atC(z, y, x)] = acc / 8.0;
+                }
+            }
+        }
+    }
+
+    void
+    hostProlongate(const std::vector<double> &coarse,
+                   std::vector<double> &fine) const
+    {
+        auto atF = [this](size_t z, size_t y, size_t x) {
+            return (z * nf + y) * nf + x;
+        };
+        auto atC = [this](size_t z, size_t y, size_t x) {
+            return (z * nc + y) * nc + x;
+        };
+        for (size_t z = 1; z < nc - 1; ++z) {
+            for (size_t y = 1; y < nc - 1; ++y) {
+                for (size_t x = 1; x < nc - 1; ++x) {
+                    double c = coarse[atC(z, y, x)];
+                    for (int dz = 0; dz < 2; ++dz)
+                        for (int dy = 0; dy < 2; ++dy)
+                            for (int dx = 0; dx < 2; ++dx)
+                                fine[atF(2 * z + dz, 2 * y + dy,
+                                         2 * x + dx)] += 0.25 * c;
+                }
+            }
+        }
+    }
+
+    std::vector<double>
+    initialU() const
+    {
+        std::vector<double> v(nf * nf * nf);
+        for (size_t i = 0; i < v.size(); ++i)
+            v[i] = (i % 13 == 0) ? 1.0 : ((i % 7 == 0) ? -1.0 : 0.0);
+        return v;
+    }
+
+    size_t nf, nc;
+    int cycles;
+    int smooths;
+    SharedGrid3D u, tmp, res, uc, tmpc;
+    int bar = 0;
+};
+
+WorkloadRegistrar regMg("mg", [](const Options &o) {
+    return std::make_unique<MgWorkload>(o);
+});
+
+} // namespace
+} // namespace slipsim

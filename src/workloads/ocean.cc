@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Ocean: simplified Splash-2 Ocean (Table 2: 258x258).
+ *
+ * Each timestep performs red-black relaxation passes on the stream
+ * function, a Laplacian update of the vorticity grid, and a global
+ * error reduction under a lock — the reduction-variable pattern the
+ * paper calls out.  Rows are block-partitioned; barriers separate
+ * phases.  Relaxation and stencils verify bit-exactly; the reduction
+ * (max) is order-independent, so the whole workload verifies exactly.
+ */
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "runtime/parallel_runtime.hh"
+#include "runtime/task_context.hh"
+#include "workloads/grid.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+namespace
+{
+
+class OceanWorkload : public Workload
+{
+  public:
+    explicit
+    OceanWorkload(const Options &o)
+        : n(static_cast<size_t>(
+              o.getInt("n", o.getBool("paper", false) ? 258 : 66))),
+          steps(static_cast<int>(o.getInt("steps", 2))),
+          relaxPasses(static_cast<int>(o.getInt("relax", 2)))
+    {}
+
+    std::string name() const override { return "ocean"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(n) + "x" + std::to_string(n) + ", " +
+               std::to_string(steps) + " timesteps";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        psi.rows = psi.cols = q.rows = q.cols = n;
+        psi.base = rt.alloc().alloc(psi.bytes(),
+                                    Placement::Partitioned,
+                                    rt.numTasks());
+        q.base = rt.alloc().alloc(q.bytes(), Placement::Partitioned,
+                                  rt.numTasks());
+        err = rt.alloc().alloc(lineBytes, Placement::Fixed, 1, 0);
+        errLock = rt.makeLock(0);
+        bar = rt.makeBarrier();
+
+        writeVec(rt.fmem(), psi.base, initialPsi());
+        writeVec(rt.fmem(), q.base,
+                 std::vector<double>(n * n, 0.0));
+        rt.fmem().write<double>(err, 0.0);
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        Span rows = partition(n - 2, ctx.tid(), ctx.numTasks());
+        const size_t rlo = rows.lo + 1, rhi = rows.hi + 1;
+
+        for (int step = 0; step < steps; ++step) {
+            // Phase A: red-black relaxation of psi toward q.
+            for (int pass = 0; pass < relaxPasses; ++pass) {
+                for (int color = 0; color < 2; ++color) {
+                    for (size_t r = rlo; r < rhi; ++r) {
+                        size_t c0 = 1 + ((r + 1 + color) & 1);
+                        for (size_t c = c0; c < n - 1; c += 2) {
+                            double up = co_await ctx.ld<double>(
+                                psi.at(r - 1, c));
+                            double dn = co_await ctx.ld<double>(
+                                psi.at(r + 1, c));
+                            double lf = co_await ctx.ld<double>(
+                                psi.at(r, c - 1));
+                            double rg = co_await ctx.ld<double>(
+                                psi.at(r, c + 1));
+                            double rhs =
+                                co_await ctx.ld<double>(q.at(r, c));
+                            co_await ctx.st<double>(
+                                psi.at(r, c),
+                                0.25 * (up + dn + lf + rg - rhs));
+                            co_await ctx.compute(5);
+                        }
+                    }
+                    co_await ctx.barrier(bar);
+                }
+            }
+
+            // Phase B: vorticity update q = laplacian(psi) * dt.
+            for (size_t r = rlo; r < rhi; ++r) {
+                for (size_t c = 1; c < n - 1; ++c) {
+                    double up =
+                        co_await ctx.ld<double>(psi.at(r - 1, c));
+                    double dn =
+                        co_await ctx.ld<double>(psi.at(r + 1, c));
+                    double lf =
+                        co_await ctx.ld<double>(psi.at(r, c - 1));
+                    double rg =
+                        co_await ctx.ld<double>(psi.at(r, c + 1));
+                    double ce = co_await ctx.ld<double>(psi.at(r, c));
+                    co_await ctx.st<double>(
+                        q.at(r, c),
+                        0.1 * (up + dn + lf + rg - 4.0 * ce));
+                    co_await ctx.compute(6);
+                }
+            }
+            co_await ctx.barrier(bar);
+
+            // Phase C: global error reduction (max |q|) under a lock.
+            double local = 0.0;
+            for (size_t r = rlo; r < rhi; ++r) {
+                for (size_t c = 1; c < n - 1; ++c) {
+                    double v = co_await ctx.ld<double>(q.at(r, c));
+                    local = std::max(local, std::abs(v));
+                    co_await ctx.compute(2);
+                }
+            }
+            co_await ctx.lock(errLock);
+            double g = co_await ctx.ld<double>(err);
+            if (local > g)
+                co_await ctx.st<double>(err, local);
+            co_await ctx.unlock(errLock);
+            co_await ctx.barrier(bar);
+        }
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        std::vector<double> rpsi = initialPsi();
+        std::vector<double> rq(n * n, 0.0);
+        double rerr = 0.0;
+        for (int step = 0; step < steps; ++step) {
+            for (int pass = 0; pass < relaxPasses; ++pass) {
+                for (int color = 0; color < 2; ++color) {
+                    for (size_t r = 1; r < n - 1; ++r) {
+                        size_t c0 = 1 + ((r + 1 + color) & 1);
+                        for (size_t c = c0; c < n - 1; c += 2) {
+                            rpsi[r * n + c] = 0.25 *
+                                (rpsi[(r - 1) * n + c] +
+                                 rpsi[(r + 1) * n + c] +
+                                 rpsi[r * n + c - 1] +
+                                 rpsi[r * n + c + 1] - rq[r * n + c]);
+                        }
+                    }
+                }
+            }
+            for (size_t r = 1; r < n - 1; ++r) {
+                for (size_t c = 1; c < n - 1; ++c) {
+                    rq[r * n + c] = 0.1 *
+                        (rpsi[(r - 1) * n + c] + rpsi[(r + 1) * n + c] +
+                         rpsi[r * n + c - 1] + rpsi[r * n + c + 1] -
+                         4.0 * rpsi[r * n + c]);
+                }
+            }
+            for (size_t r = 1; r < n - 1; ++r)
+                for (size_t c = 1; c < n - 1; ++c)
+                    rerr = std::max(rerr, std::abs(rq[r * n + c]));
+        }
+        if (maxAbsDiff(readVec(m, psi.base, n * n), rpsi) != 0.0)
+            return false;
+        if (maxAbsDiff(readVec(m, q.base, n * n), rq) != 0.0)
+            return false;
+        return m.read<double>(err) == rerr;
+    }
+
+  private:
+    std::vector<double>
+    initialPsi() const
+    {
+        std::vector<double> v(n * n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+            v[i] = std::sin(0.1 * static_cast<double>(i));
+            v[(n - 1) * n + i] = 1.0;
+        }
+        return v;
+    }
+
+    size_t n;
+    int steps;
+    int relaxPasses;
+    SharedGrid2D psi, q;
+    Addr err = 0;
+    int errLock = 0;
+    int bar = 0;
+};
+
+WorkloadRegistrar regOcean("ocean", [](const Options &o) {
+    return std::make_unique<OceanWorkload>(o);
+});
+
+} // namespace
+} // namespace slipsim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SOR: red-black successive over-relaxation on a 2-D grid
+ * (Table 2: 1024x1024).
+ *
+ * Rows are block-partitioned; each half-sweep (one color) ends in a
+ * barrier, so neighbouring tasks exchange boundary rows every session.
+ * Red-black ordering makes the arithmetic independent of task
+ * interleaving, so verification is bit-exact against a host reference.
+ */
+
+#include <memory>
+
+#include "runtime/parallel_runtime.hh"
+#include "runtime/task_context.hh"
+#include "workloads/grid.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+namespace
+{
+
+class SorWorkload : public Workload
+{
+  public:
+    explicit
+    SorWorkload(const Options &o)
+        : n(static_cast<size_t>(
+              o.getInt("n", o.getBool("paper", false) ? 1024 : 128))),
+          iters(static_cast<int>(o.getInt("iters", 4))),
+          flop(static_cast<Tick>(o.getInt("flop", 4)))
+    {}
+
+    std::string name() const override { return "sor"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(n) + "x" + std::to_string(n) + ", " +
+               std::to_string(iters) + " iterations";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        grid.rows = grid.cols = n;
+        grid.base = rt.alloc().alloc(grid.bytes(),
+                                     Placement::Partitioned,
+                                     rt.numTasks());
+        bar = rt.makeBarrier();
+        writeVec(rt.fmem(), grid.base, initial());
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        // Interior rows 1..n-2, block-partitioned.
+        Span rows = partition(n - 2, ctx.tid(), ctx.numTasks());
+        const size_t rlo = rows.lo + 1, rhi = rows.hi + 1;
+
+        for (int it = 0; it < iters; ++it) {
+            for (int color = 0; color < 2; ++color) {
+                for (size_t r = rlo; r < rhi; ++r) {
+                    size_t c0 = 1 + ((r + 1 + color) & 1);
+                    for (size_t c = c0; c < n - 1; c += 2) {
+                        double up =
+                            co_await ctx.ld<double>(grid.at(r - 1, c));
+                        double dn =
+                            co_await ctx.ld<double>(grid.at(r + 1, c));
+                        double lf =
+                            co_await ctx.ld<double>(grid.at(r, c - 1));
+                        double rg =
+                            co_await ctx.ld<double>(grid.at(r, c + 1));
+                        co_await ctx.st<double>(
+                            grid.at(r, c), 0.25 * (up + dn + lf + rg));
+                        co_await ctx.compute(flop);
+                    }
+                }
+                co_await ctx.barrier(bar);
+            }
+        }
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        std::vector<double> ref = initial();
+        for (int it = 0; it < iters; ++it) {
+            for (int color = 0; color < 2; ++color) {
+                for (size_t r = 1; r < n - 1; ++r) {
+                    size_t c0 = 1 + ((r + 1 + color) & 1);
+                    for (size_t c = c0; c < n - 1; c += 2) {
+                        ref[r * n + c] = 0.25 *
+                            (ref[(r - 1) * n + c] +
+                             ref[(r + 1) * n + c] +
+                             ref[r * n + c - 1] + ref[r * n + c + 1]);
+                    }
+                }
+            }
+        }
+        return maxAbsDiff(readVec(m, grid.base, n * n), ref) == 0.0;
+    }
+
+  private:
+    std::vector<double>
+    initial() const
+    {
+        std::vector<double> v(n * n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+            v[i] = 1.0;                      // top boundary
+            v[(n - 1) * n + i] = 2.0;        // bottom
+            v[i * n] = 0.5;                  // left
+            v[i * n + n - 1] = 1.5;          // right
+        }
+        return v;
+    }
+
+    size_t n;
+    int iters;
+    Tick flop;
+    SharedGrid2D grid;
+    int bar = 0;
+};
+
+WorkloadRegistrar regSor("sor", [](const Options &o) {
+    return std::make_unique<SorWorkload>(o);
+});
+
+} // namespace
+} // namespace slipsim

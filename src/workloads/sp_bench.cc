@@ -1,0 +1,189 @@
+/**
+ * @file
+ * SP: NAS scalar-pentadiagonal-style ADI solver (Table 2: 16x16x16),
+ * simplified to scalar tridiagonal line solves.
+ *
+ * Each iteration performs implicit sweeps along x, y, and z.  The x
+ * and y sweeps are partitioned by z-planes (lines stay inside a
+ * task's slab); the z sweep is partitioned by y, so every line
+ * crosses all z-planes — the heavy all-task communication that limits
+ * SP's scalability.  Line solves write disjoint elements in a fixed
+ * order, so verification is bit-exact.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "runtime/parallel_runtime.hh"
+#include "runtime/task_context.hh"
+#include "workloads/grid.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+namespace
+{
+
+class SpWorkload : public Workload
+{
+  public:
+    explicit
+    SpWorkload(const Options &o)
+        : n(static_cast<size_t>(
+              o.getInt("n", o.getBool("paper", false) ? 16 : 12))),
+          iters(static_cast<int>(o.getInt("iters", 2)))
+    {}
+
+    std::string name() const override { return "sp"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(n) + "^3, " + std::to_string(iters) +
+               " ADI iterations";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        u.nz = u.ny = u.nx = n;
+        u.base = rt.alloc().alloc(u.bytes(), Placement::Partitioned,
+                                  rt.numTasks());
+        bar = rt.makeBarrier();
+        writeVec(rt.fmem(), u.base, initialU());
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        std::vector<double> line(n);
+        Span zs = partition(n, ctx.tid(), ctx.numTasks());
+        Span ys = partition(n, ctx.tid(), ctx.numTasks());
+
+        for (int it = 0; it < iters; ++it) {
+            // x-sweep: contiguous lines within my z-slab.
+            for (size_t z = zs.lo; z < zs.hi; ++z) {
+                for (size_t y = 0; y < n; ++y) {
+                    co_await ctx.ldBuf(u.at(z, y, 0), line.data(),
+                                       n * sizeof(double));
+                    thomas(line);
+                    co_await ctx.compute(8 * n);
+                    co_await ctx.stBuf(u.at(z, y, 0), line.data(),
+                                       n * sizeof(double));
+                }
+            }
+            co_await ctx.barrier(bar);
+
+            // y-sweep: strided lines within my z-slab.
+            for (size_t z = zs.lo; z < zs.hi; ++z) {
+                for (size_t x = 0; x < n; ++x) {
+                    for (size_t y = 0; y < n; ++y)
+                        line[y] = co_await ctx.ld<double>(u.at(z, y, x));
+                    thomas(line);
+                    co_await ctx.compute(8 * n);
+                    for (size_t y = 0; y < n; ++y)
+                        co_await ctx.st<double>(u.at(z, y, x), line[y]);
+                }
+            }
+            co_await ctx.barrier(bar);
+
+            // z-sweep: partitioned by y; lines cross every z-plane
+            // (reads and writes into every other task's slab).
+            for (size_t y = ys.lo; y < ys.hi; ++y) {
+                for (size_t x = 0; x < n; ++x) {
+                    for (size_t z = 0; z < n; ++z)
+                        line[z] = co_await ctx.ld<double>(u.at(z, y, x));
+                    thomas(line);
+                    co_await ctx.compute(8 * n);
+                    for (size_t z = 0; z < n; ++z)
+                        co_await ctx.st<double>(u.at(z, y, x), line[z]);
+                }
+            }
+            co_await ctx.barrier(bar);
+        }
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        std::vector<double> hu = initialU();
+        std::vector<double> line(n);
+        auto at = [this](size_t z, size_t y, size_t x) {
+            return (z * n + y) * n + x;
+        };
+        for (int it = 0; it < iters; ++it) {
+            for (size_t z = 0; z < n; ++z) {
+                for (size_t y = 0; y < n; ++y) {
+                    for (size_t x = 0; x < n; ++x)
+                        line[x] = hu[at(z, y, x)];
+                    thomas(line);
+                    for (size_t x = 0; x < n; ++x)
+                        hu[at(z, y, x)] = line[x];
+                }
+            }
+            for (size_t z = 0; z < n; ++z) {
+                for (size_t x = 0; x < n; ++x) {
+                    for (size_t y = 0; y < n; ++y)
+                        line[y] = hu[at(z, y, x)];
+                    thomas(line);
+                    for (size_t y = 0; y < n; ++y)
+                        hu[at(z, y, x)] = line[y];
+                }
+            }
+            for (size_t y = 0; y < n; ++y) {
+                for (size_t x = 0; x < n; ++x) {
+                    for (size_t z = 0; z < n; ++z)
+                        line[z] = hu[at(z, y, x)];
+                    thomas(line);
+                    for (size_t z = 0; z < n; ++z)
+                        hu[at(z, y, x)] = line[z];
+                }
+            }
+        }
+        return maxAbsDiff(readVec(m, u.base, n * n * n), hu) == 0.0;
+    }
+
+  private:
+    /** Thomas algorithm for (I - sigma*Dxx) with constant
+     *  coefficients; solves in place. */
+    static void
+    thomas(std::vector<double> &d)
+    {
+        const size_t len = d.size();
+        const double a = -0.25, b = 1.5, c = -0.25;
+        static thread_local std::vector<double> cp, dp;
+        cp.assign(len, 0.0);
+        dp.assign(len, 0.0);
+        cp[0] = c / b;
+        dp[0] = d[0] / b;
+        for (size_t i = 1; i < len; ++i) {
+            double mdiv = b - a * cp[i - 1];
+            cp[i] = c / mdiv;
+            dp[i] = (d[i] - a * dp[i - 1]) / mdiv;
+        }
+        d[len - 1] = dp[len - 1];
+        for (size_t i = len - 1; i-- > 0;)
+            d[i] = dp[i] - cp[i] * d[i + 1];
+    }
+
+    std::vector<double>
+    initialU() const
+    {
+        std::vector<double> v(n * n * n);
+        for (size_t i = 0; i < v.size(); ++i)
+            v[i] = static_cast<double>((i * 31 % 101)) / 101.0;
+        return v;
+    }
+
+    size_t n;
+    int iters;
+    SharedGrid3D u;
+    int bar = 0;
+};
+
+WorkloadRegistrar regSp("sp", [](const Options &o) {
+    return std::make_unique<SpWorkload>(o);
+});
+
+} // namespace
+} // namespace slipsim

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Synthetic workloads used by tests and examples:
+ *
+ *  - "stream":    partitioned read-modify-write sweeps with barriers
+ *                 (no sharing; the simplest verifiable SPMD program).
+ *  - "neighbor":  producer-consumer nearest-neighbour exchange.
+ *  - "migratory": lock-protected shared counters (migratory lines).
+ *  - "divergent": the A-stream reads a stale work descriptor and does
+ *                 far more work than the R-stream — exercises deviation
+ *                 detection and recovery.
+ *  - "dynamic":   dynamically scheduled chunk queue using
+ *                 publishDecision/consumeDecision.
+ */
+
+#include <algorithm>
+#include <memory>
+
+#include "runtime/parallel_runtime.hh"
+#include "runtime/task_context.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+namespace
+{
+
+constexpr Addr dbl = sizeof(double);
+constexpr Addr u64 = sizeof(std::uint64_t);
+
+// --------------------------------------------------------------------------
+class StreamWorkload : public Workload
+{
+  public:
+    explicit
+    StreamWorkload(const Options &o)
+        : n(static_cast<size_t>(o.getInt("n", 4096))),
+          iters(static_cast<int>(o.getInt("iters", 4)))
+    {}
+
+    std::string name() const override { return "stream"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(n) + " doubles, " +
+               std::to_string(iters) + " sweeps";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        ntasks = rt.numTasks();
+        data = rt.alloc().alloc(n * dbl, Placement::Partitioned, ntasks);
+        bar = rt.makeBarrier();
+        for (size_t i = 0; i < n; ++i)
+            rt.fmem().write<double>(data + i * dbl, 0.5 * i);
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        const size_t nt = ctx.numTasks();
+        const size_t lo = n * ctx.tid() / nt;
+        const size_t hi = n * (ctx.tid() + 1) / nt;
+        for (int it = 0; it < iters; ++it) {
+            for (size_t i = lo; i < hi; ++i) {
+                double v = co_await ctx.ld<double>(data + i * dbl);
+                co_await ctx.st<double>(data + i * dbl, v + 1.0);
+                co_await ctx.compute(2);
+            }
+            co_await ctx.barrier(bar);
+        }
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        for (size_t i = 0; i < n; ++i) {
+            double v = m.read<double>(data + i * dbl);
+            if (v != 0.5 * i + iters)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    size_t n;
+    int iters;
+    int ntasks = 0;
+    int bar = 0;
+    Addr data = 0;
+};
+
+// --------------------------------------------------------------------------
+class NeighborWorkload : public Workload
+{
+  public:
+    explicit
+    NeighborWorkload(const Options &o)
+        : n(static_cast<size_t>(o.getInt("n", 4096))),
+          iters(static_cast<int>(o.getInt("iters", 4)))
+    {}
+
+    std::string name() const override { return "neighbor"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(n) + " doubles, " +
+               std::to_string(iters) + " exchanges";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        ntasks = rt.numTasks();
+        cur = rt.alloc().alloc(n * dbl, Placement::Partitioned, ntasks);
+        nxt = rt.alloc().alloc(n * dbl, Placement::Partitioned, ntasks);
+        bar = rt.makeBarrier();
+        for (size_t i = 0; i < n; ++i) {
+            rt.fmem().write<double>(cur + i * dbl,
+                                    static_cast<double>(i % 17));
+            rt.fmem().write<double>(nxt + i * dbl, 0.0);
+        }
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        const size_t nt = ctx.numTasks();
+        const size_t lo = n * ctx.tid() / nt;
+        const size_t hi = n * (ctx.tid() + 1) / nt;
+        Addr a = cur, b = nxt;
+        for (int it = 0; it < iters; ++it) {
+            for (size_t i = lo; i < hi; ++i) {
+                size_t il = i == 0 ? n - 1 : i - 1;
+                size_t ir = i == n - 1 ? 0 : i + 1;
+                double vl = co_await ctx.ld<double>(a + il * dbl);
+                double vc = co_await ctx.ld<double>(a + i * dbl);
+                double vr = co_await ctx.ld<double>(a + ir * dbl);
+                co_await ctx.st<double>(b + i * dbl,
+                                        (vl + vc + vr) / 3.0);
+                co_await ctx.compute(4);
+            }
+            co_await ctx.barrier(bar);
+            std::swap(a, b);
+        }
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        // Host-side reference computation.
+        std::vector<double> ref(n), tmp(n);
+        for (size_t i = 0; i < n; ++i)
+            ref[i] = static_cast<double>(i % 17);
+        for (int it = 0; it < iters; ++it) {
+            for (size_t i = 0; i < n; ++i) {
+                size_t il = i == 0 ? n - 1 : i - 1;
+                size_t ir = i == n - 1 ? 0 : i + 1;
+                tmp[i] = (ref[il] + ref[i] + ref[ir]) / 3.0;
+            }
+            ref.swap(tmp);
+        }
+        Addr final = iters % 2 == 0 ? cur : nxt;
+        for (size_t i = 0; i < n; ++i) {
+            double v = m.read<double>(final + i * dbl);
+            if (std::abs(v - ref[i]) > 1e-9)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    size_t n;
+    int iters;
+    int ntasks = 0;
+    int bar = 0;
+    Addr cur = 0, nxt = 0;
+};
+
+// --------------------------------------------------------------------------
+class MigratoryWorkload : public Workload
+{
+  public:
+    explicit
+    MigratoryWorkload(const Options &o)
+        : counters(static_cast<int>(o.getInt("counters", 8))),
+          updates(static_cast<int>(o.getInt("updates", 32)))
+    {}
+
+    std::string name() const override { return "migratory"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(counters) + " counters x " +
+               std::to_string(updates) + " updates/task";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        ntasks = rt.numTasks();
+        // One counter per line so each is an independent migratory
+        // object.
+        data = rt.alloc().alloc(
+            static_cast<size_t>(counters) * lineBytes,
+            Placement::Interleaved);
+        bar = rt.makeBarrier();
+        for (int c = 0; c < counters; ++c) {
+            lockIds.push_back(rt.makeLock());
+            rt.fmem().write<std::uint64_t>(
+                data + static_cast<Addr>(c) * lineBytes, 0);
+        }
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        for (int u = 0; u < updates; ++u) {
+            int c = (ctx.tid() + u) % counters;
+            Addr a = data + static_cast<Addr>(c) * lineBytes;
+            co_await ctx.lock(lockIds[c]);
+            std::uint64_t v = co_await ctx.ld<std::uint64_t>(a);
+            co_await ctx.compute(8);
+            co_await ctx.st<std::uint64_t>(a, v + 1);
+            co_await ctx.unlock(lockIds[c]);
+            co_await ctx.compute(32);
+        }
+        co_await ctx.barrier(bar);
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        std::uint64_t total = 0;
+        for (int c = 0; c < counters; ++c) {
+            total += m.read<std::uint64_t>(
+                data + static_cast<Addr>(c) * lineBytes);
+        }
+        return total == static_cast<std::uint64_t>(ntasks) * updates;
+    }
+
+  private:
+    int counters;
+    int updates;
+    int ntasks = 0;
+    int bar = 0;
+    Addr data = 0;
+    std::vector<int> lockIds;
+};
+
+// --------------------------------------------------------------------------
+class DivergentWorkload : public Workload
+{
+  public:
+    explicit
+    DivergentWorkload(const Options &o)
+        : sessions(static_cast<int>(o.getInt("sessions", 6))),
+          bigWork(static_cast<Tick>(o.getInt("bigWork", 200000))),
+          smallWork(static_cast<Tick>(o.getInt("smallWork", 200)))
+    {}
+
+    std::string name() const override { return "divergent"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(sessions) + " sessions";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        ntasks = rt.numTasks();
+        // One work descriptor per session, initialized huge; each
+        // session's R-streams shrink the *next* session's descriptor
+        // before doing their (small) work.  An A-stream running ahead
+        // reads the stale huge value and burns bigWork cycles,
+        // falling behind its R-stream -> deviation.
+        work = rt.alloc().alloc(
+            static_cast<size_t>(sessions + 1) * lineBytes,
+            Placement::Fixed, 1, 0);
+        done = rt.alloc().alloc(
+            static_cast<size_t>(ntasks) * lineBytes,
+            Placement::Partitioned, ntasks);
+        bar = rt.makeBarrier();
+        for (int s = 0; s <= sessions; ++s) {
+            rt.fmem().write<std::uint64_t>(
+                work + static_cast<Addr>(s) * lineBytes, bigWork);
+        }
+        rt.fmem().write<std::uint64_t>(work, smallWork);  // session 0
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        for (int s = 0; s < sessions; ++s) {
+            // Shrink the next session's descriptor (A-streams skip
+            // this store, so a leading A-stream later reads bigWork).
+            if (ctx.tid() == 0) {
+                co_await ctx.st<std::uint64_t>(
+                    work + static_cast<Addr>(s + 1) * lineBytes,
+                    smallWork);
+            }
+            std::uint64_t w = co_await ctx.ld<std::uint64_t>(
+                work + static_cast<Addr>(s) * lineBytes);
+            co_await ctx.compute(static_cast<Tick>(w));
+            co_await ctx.barrier(bar);
+        }
+        co_await ctx.st<std::uint64_t>(
+            done + static_cast<Addr>(ctx.tid()) * lineBytes, 1);
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        for (int t = 0; t < ntasks; ++t) {
+            if (m.read<std::uint64_t>(
+                    done + static_cast<Addr>(t) * lineBytes) != 1) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    int sessions;
+    Tick bigWork;
+    Tick smallWork;
+    int ntasks = 0;
+    int bar = 0;
+    Addr work = 0;
+    Addr done = 0;
+};
+
+// --------------------------------------------------------------------------
+class DynamicWorkload : public Workload
+{
+  public:
+    explicit
+    DynamicWorkload(const Options &o)
+        : chunks(static_cast<int>(o.getInt("chunks", 64))),
+          chunkWork(static_cast<Tick>(o.getInt("chunkWork", 500)))
+    {}
+
+    std::string name() const override { return "dynamic"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(chunks) + " chunks";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        ntasks = rt.numTasks();
+        next = rt.alloc().alloc(lineBytes, Placement::Fixed, 1, 0);
+        out = rt.alloc().alloc(
+            static_cast<size_t>(chunks) * lineBytes,
+            Placement::Interleaved);
+        qlock = rt.makeLock(0);
+        bar = rt.makeBarrier();
+        rt.fmem().write<std::uint64_t>(next, 0);
+        for (int c = 0; c < chunks; ++c) {
+            rt.fmem().write<std::uint64_t>(
+                out + static_cast<Addr>(c) * lineBytes, 0);
+        }
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        // Dynamic scheduling: the R-stream pulls chunks from a shared
+        // queue under a lock and publishes each decision; the A-stream
+        // consumes decisions instead of touching the queue
+        // (Section 3.1, "dynamic scheduling").
+        while (true) {
+            std::uint64_t c;
+            if (ctx.isAStream()) {
+                c = co_await ctx.consumeDecision();
+            } else {
+                co_await ctx.lock(qlock);
+                c = co_await ctx.ld<std::uint64_t>(next);
+                co_await ctx.st<std::uint64_t>(next, c + 1);
+                co_await ctx.unlock(qlock);
+                ctx.publishDecision(c);
+            }
+            if (c >= static_cast<std::uint64_t>(chunks))
+                break;
+            // Process the chunk: touch its line and do some work.
+            Addr a = out + static_cast<Addr>(c) * lineBytes;
+            std::uint64_t v = co_await ctx.ld<std::uint64_t>(a);
+            co_await ctx.compute(chunkWork);
+            co_await ctx.st<std::uint64_t>(a, v + 1);
+        }
+        co_await ctx.barrier(bar);
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        for (int c = 0; c < chunks; ++c) {
+            if (m.read<std::uint64_t>(
+                    out + static_cast<Addr>(c) * lineBytes) != 1) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    int chunks;
+    Tick chunkWork;
+    int ntasks = 0;
+    int bar = 0;
+    int qlock = 0;
+    Addr next = 0;
+    Addr out = 0;
+};
+
+WorkloadRegistrar regStream("stream", [](const Options &o) {
+    return std::make_unique<StreamWorkload>(o);
+});
+WorkloadRegistrar regNeighbor("neighbor", [](const Options &o) {
+    return std::make_unique<NeighborWorkload>(o);
+});
+WorkloadRegistrar regMigratory("migratory", [](const Options &o) {
+    return std::make_unique<MigratoryWorkload>(o);
+});
+WorkloadRegistrar regDivergent("divergent", [](const Options &o) {
+    return std::make_unique<DivergentWorkload>(o);
+});
+WorkloadRegistrar regDynamic("dynamic", [](const Options &o) {
+    return std::make_unique<DynamicWorkload>(o);
+});
+
+} // namespace
+} // namespace slipsim

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Water-NS: n-squared molecular dynamics (Table 2: 512 molecules).
+ *
+ * Each molecule is a ~1.3 KB record (positions, derivatives, forces),
+ * as in Splash-2 Water; a pair interaction reads the position region
+ * of both records (several cache lines each).  The pair list is
+ * block-partitioned and forces accumulate into private partials that
+ * are merged into the shared records under per-molecule locks
+ * (Splash-2 INTERF).  With the paper's 128 KB Water L2, the record
+ * working set does not fit, which is what makes Water-NS
+ * stall-dominated and slipstream-friendly.  Accumulation order is
+ * timing-dependent, so verification uses a tolerance.
+ */
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "runtime/parallel_runtime.hh"
+#include "runtime/task_context.hh"
+#include "workloads/grid.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+namespace
+{
+
+class WaterNsWorkload : public Workload
+{
+  public:
+    explicit
+    WaterNsWorkload(const Options &o)
+        : nmol(static_cast<size_t>(
+              o.getInt("mol", o.getBool("paper", false) ? 512 : 64))),
+          steps(static_cast<int>(o.getInt("steps", 2))),
+          pairFlop(static_cast<Tick>(o.getInt("pairflop", 800))),
+          recBytes(static_cast<size_t>(o.getInt("record", 1344)))
+    {
+        recBytes = (recBytes + lineBytes - 1) / lineBytes * lineBytes;
+    }
+
+    std::string name() const override { return "water-ns"; }
+
+    std::string
+    sizeDescription() const override
+    {
+        return std::to_string(nmol) + " molecules (" +
+               std::to_string(recBytes) + "B records), " +
+               std::to_string(steps) + " timesteps";
+    }
+
+    void
+    setup(ParallelRuntime &rt) override
+    {
+        const int nt = rt.numTasks();
+        recs = rt.alloc().alloc(nmol * recBytes,
+                                Placement::Partitioned, nt);
+        vel.base = rt.alloc().alloc(3 * nmol * sizeof(double),
+                                    Placement::Partitioned, nt);
+        vel.n = 3 * nmol;
+        bar = rt.makeBarrier();
+        for (size_t i = 0; i < nmol; ++i)
+            molLocks.push_back(rt.makeLock());
+
+        std::vector<double> p = initialPos();
+        for (size_t i = 0; i < nmol; ++i) {
+            rt.fmem().writeBytes(posAddr(i), &p[3 * i],
+                                 3 * sizeof(double));
+            double zero[3] = {0, 0, 0};
+            rt.fmem().writeBytes(frcAddr(i), zero, sizeof(zero));
+        }
+        writeVec(rt.fmem(), vel.base,
+                 std::vector<double>(3 * nmol, 0.0));
+    }
+
+    Coro<void>
+    task(TaskContext &ctx) override
+    {
+        Span mine = partition(nmol, ctx.tid(), ctx.numTasks());
+        const size_t npairs = nmol * (nmol - 1) / 2;
+        Span pairs = partition(npairs, ctx.tid(), ctx.numTasks());
+        std::vector<double> buf(posRegion / sizeof(double));
+
+        for (int step = 0; step < steps; ++step) {
+            // Predict: drift own molecules, zero own accumulators.
+            for (size_t i = mine.lo; i < mine.hi; ++i) {
+                double p[3], v[3];
+                co_await ctx.ldBuf(posAddr(i), buf.data(), posRegion);
+                for (int d = 0; d < 3; ++d) {
+                    p[d] = buf[d];
+                    v[d] = co_await ctx.ld<double>(vel.at(3 * i + d));
+                    buf[d] = p[d] + dt * v[d];
+                }
+                co_await ctx.compute(12);
+                co_await ctx.stBuf(posAddr(i), buf.data(), posRegion);
+                double zero[3] = {0, 0, 0};
+                co_await ctx.stBuf(frcAddr(i), zero, sizeof(zero));
+            }
+            co_await ctx.barrier(bar);
+
+            // Forces: my slice of the pair list.  Both molecules'
+            // shared accumulators are updated per pair under their
+            // locks (Splash-2 INTERF / UPDATE_FORCES) — the lock and
+            // store traffic the A-stream skips to build its lead.
+            for (size_t k = pairs.lo; k < pairs.hi; ++k) {
+                auto [i, j] = unflatten(k);
+                double pi[3], pj[3], f[3];
+                co_await readPos(ctx, i, pi);
+                co_await readPos(ctx, j, pj);
+                pairForce(pi, pj, f);
+                co_await ctx.compute(pairFlop);
+
+                co_await ctx.lock(molLocks[i]);
+                for (int d = 0; d < 3; ++d) {
+                    Addr a = frcAddr(i) +
+                             static_cast<Addr>(d) * sizeof(double);
+                    double cur = co_await ctx.ld<double>(a);
+                    co_await ctx.st<double>(a, cur + f[d]);
+                }
+                co_await ctx.unlock(molLocks[i]);
+
+                co_await ctx.lock(molLocks[j]);
+                for (int d = 0; d < 3; ++d) {
+                    Addr a = frcAddr(j) +
+                             static_cast<Addr>(d) * sizeof(double);
+                    double cur = co_await ctx.ld<double>(a);
+                    co_await ctx.st<double>(a, cur - f[d]);
+                }
+                co_await ctx.unlock(molLocks[j]);
+            }
+            co_await ctx.barrier(bar);
+
+            // Correct: integrate own molecules.
+            for (size_t i = mine.lo; i < mine.hi; ++i) {
+                for (int d = 0; d < 3; ++d) {
+                    double v =
+                        co_await ctx.ld<double>(vel.at(3 * i + d));
+                    double f = co_await ctx.ld<double>(
+                        frcAddr(i) +
+                        static_cast<Addr>(d) * sizeof(double));
+                    co_await ctx.st<double>(vel.at(3 * i + d),
+                                            v + dt * f);
+                    co_await ctx.compute(2);
+                }
+            }
+            co_await ctx.barrier(bar);
+        }
+    }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        std::vector<double> rp = initialPos();
+        std::vector<double> rv(3 * nmol, 0.0), rf(3 * nmol, 0.0);
+        for (int step = 0; step < steps; ++step) {
+            for (size_t i = 0; i < nmol; ++i) {
+                for (int d = 0; d < 3; ++d) {
+                    rp[3 * i + d] += dt * rv[3 * i + d];
+                    rf[3 * i + d] = 0.0;
+                }
+            }
+            for (size_t i = 0; i < nmol; ++i) {
+                for (size_t j = i + 1; j < nmol; ++j) {
+                    double f[3];
+                    pairForce(&rp[3 * i], &rp[3 * j], f);
+                    for (int d = 0; d < 3; ++d) {
+                        rf[3 * i + d] += f[d];
+                        rf[3 * j + d] -= f[d];
+                    }
+                }
+            }
+            for (size_t i = 0; i < nmol; ++i)
+                for (int d = 0; d < 3; ++d)
+                    rv[3 * i + d] += dt * rf[3 * i + d];
+        }
+
+        double worst = 0.0;
+        for (size_t i = 0; i < nmol; ++i) {
+            double p[3];
+            m.readBytes(posAddr(i), p, sizeof(p));
+            for (int d = 0; d < 3; ++d)
+                worst = std::max(worst,
+                                 std::abs(p[d] - rp[3 * i + d]));
+        }
+        double dv = maxAbsDiff(readVec(m, vel.base, 3 * nmol), rv);
+        return worst < 1e-9 && dv < 1e-9;
+    }
+
+  private:
+    /** Position region of molecule i's record (atom coordinates:
+     *  several lines, read per pair interaction). */
+    Addr posAddr(size_t i) const { return recs + i * recBytes; }
+
+    /** Force-accumulator region (separate lines, lock-protected). */
+    Addr
+    frcAddr(size_t i) const
+    {
+        return recs + i * recBytes + recBytes / 2;
+    }
+
+    /** Read molecule i's atom positions (touches the whole position
+     *  region like Splash-2's 9-atom CSHIFT reads). */
+    Coro<void>
+    readPos(TaskContext &ctx, size_t i, double *out)
+    {
+        std::vector<double> buf(posRegion / sizeof(double));
+        co_await ctx.ldBuf(posAddr(i), buf.data(), posRegion);
+        for (int d = 0; d < 3; ++d)
+            out[d] = buf[d];
+    }
+
+    std::pair<size_t, size_t>
+    unflatten(size_t k) const
+    {
+        size_t i = 0;
+        size_t rowlen = nmol - 1;
+        while (k >= rowlen) {
+            k -= rowlen;
+            --rowlen;
+            ++i;
+        }
+        return {i, i + 1 + k};
+    }
+
+    static void
+    pairForce(const double *pi, const double *pj, double *f)
+    {
+        double dx = pi[0] - pj[0], dy = pi[1] - pj[1],
+               dz = pi[2] - pj[2];
+        double r2 = dx * dx + dy * dy + dz * dz + 0.1;
+        double inv = 1.0 / (r2 * r2);
+        f[0] = dx * inv;
+        f[1] = dy * inv;
+        f[2] = dz * inv;
+    }
+
+    std::vector<double>
+    initialPos() const
+    {
+        std::vector<double> p(3 * nmol);
+        size_t side = static_cast<size_t>(
+            std::ceil(std::cbrt(static_cast<double>(nmol))));
+        for (size_t i = 0; i < nmol; ++i) {
+            p[3 * i] = static_cast<double>(i % side);
+            p[3 * i + 1] = static_cast<double>((i / side) % side);
+            p[3 * i + 2] = static_cast<double>(i / (side * side));
+        }
+        return p;
+    }
+
+    static constexpr double dt = 0.001;
+    /** Bytes of a record's position region (9 atoms x 3 dims x 8B,
+     *  rounded to lines). */
+    static constexpr size_t posRegion = 256;
+
+    size_t nmol;
+    int steps;
+    Tick pairFlop;
+    size_t recBytes;
+    Addr recs = 0;
+    SharedVec vel;
+    std::vector<int> molLocks;
+    int bar = 0;
+};
+
+WorkloadRegistrar regWaterNs("water-ns", [](const Options &o) {
+    return std::make_unique<WaterNsWorkload>(o);
+});
+
+} // namespace
+} // namespace slipsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Workload registry.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+std::map<std::string, WorkloadFactory> &
+registry()
+{
+    static std::map<std::string, WorkloadFactory> r;
+    return r;
+}
+
+} // namespace
+
+void
+registerWorkload(const std::string &name, WorkloadFactory factory)
+{
+    registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const Options &opts)
+{
+    auto it = registry().find(name);
+    if (it == registry().end()) {
+        std::string known;
+        for (const auto &[k, v] : registry())
+            known += (known.empty() ? "" : ", ") + k;
+        fatal("unknown workload '%s' (known: %s)", name.c_str(),
+              known.c_str());
+    }
+    return it->second(opts);
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[k, v] : registry())
+        names.push_back(k);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace slipsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Workload interface and registry.
+ *
+ * A workload is an SPMD program: setup() allocates its shared data and
+ * synchronization objects and initializes values; task() is the
+ * per-task kernel (the same coroutine body runs as R-stream, A-stream,
+ * or plain task depending on the context); verify() checks the final
+ * shared-memory contents, which also proves A-streams never corrupted
+ * shared state.
+ */
+
+#ifndef SLIPSIM_WORKLOADS_WORKLOAD_HH
+#define SLIPSIM_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/coro.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+class FunctionalMemory;
+class ParallelRuntime;
+class TaskContext;
+
+/** Base class of every benchmark kernel. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short registry name ("sor", "fft", ...). */
+    virtual std::string name() const = 0;
+
+    /** One-line description of the configured problem size. */
+    virtual std::string sizeDescription() const = 0;
+
+    /**
+     * Allocate shared data (via rt.alloc()), create barriers/locks
+     * (via rt.makeBarrier()/rt.makeLock()), and initialize values in
+     * rt.fmem().  Called once before tasks start.
+     */
+    virtual void setup(ParallelRuntime &rt) = 0;
+
+    /** The SPMD kernel body; ctx.tid()/ctx.numTasks() identify the
+     *  partition. */
+    virtual Coro<void> task(TaskContext &ctx) = 0;
+
+    /**
+     * Validate the final shared-memory contents (residual/checksum
+     * against a host-side reference).  @return true if correct.
+     */
+    virtual bool verify(FunctionalMemory &mem) const = 0;
+};
+
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(const Options &)>;
+
+/** Register a workload factory under @p name (static-init safe). */
+void registerWorkload(const std::string &name, WorkloadFactory factory);
+
+/** Instantiate a registered workload.  fatal() if unknown. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const Options &opts = {});
+
+/** Names of all registered workloads, sorted. */
+std::vector<std::string> workloadNames();
+
+/** Helper used by workload translation units to self-register. */
+struct WorkloadRegistrar
+{
+    WorkloadRegistrar(const std::string &name, WorkloadFactory f)
+    {
+        registerWorkload(name, std::move(f));
+    }
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_WORKLOADS_WORKLOAD_HH

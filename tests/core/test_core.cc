@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Core-layer tests: Table helpers, machineFromOptions, experiment
+ * result derivations, and workload registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "workloads/workload.hh"
+
+using namespace slipsim;
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a", "long-header", "c"});
+    t.addRow({"xxxx", "1", "2"});
+    std::ostringstream os;
+    t.print(os);
+    std::string text = os.str();
+    // Header and row lines must be equally long prefixes up to "c".
+    EXPECT_NE(text.find("long-header"), std::string::npos);
+    EXPECT_NE(text.find("xxxx"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RowArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
+}
+
+TEST(MachineOptions, DefaultsAreTableOne)
+{
+    Options o;
+    MachineParams mp = machineFromOptions(o);
+    EXPECT_EQ(mp.busTime, 30u);
+    EXPECT_EQ(mp.piLocalDCTime, 60u);
+    EXPECT_EQ(mp.netTime, 50u);
+    EXPECT_EQ(mp.memTime, 50u);
+    EXPECT_EQ(mp.l2Bytes, 1024u * 1024u);
+}
+
+TEST(MachineOptions, OverridesApply)
+{
+    Options o;
+    o.set("cmps", "8");
+    o.set("l2kb", "128");
+    o.set("netTime", "75");
+    MachineParams mp = machineFromOptions(o);
+    EXPECT_EQ(mp.numCmps, 8);
+    EXPECT_EQ(mp.l2Bytes, 128u * 1024u);
+    EXPECT_EQ(mp.netTime, 75u);
+}
+
+TEST(Registry, AllPaperBenchmarksRegistered)
+{
+    auto names = workloadNames();
+    for (const char *wl : {"sor", "lu", "fft", "ocean", "water-ns",
+                           "water-sp", "cg", "mg", "sp"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), wl),
+                  names.end())
+            << wl;
+    }
+}
+
+TEST(Registry, UnknownWorkloadIsFatal)
+{
+    EXPECT_THROW(makeWorkload("no-such-kernel"), FatalError);
+}
+
+TEST(ExperimentResult, ClassPctSumsTo100)
+{
+    MachineParams mp;
+    mp.numCmps = 4;
+    RunConfig rc;
+    rc.mode = Mode::Slipstream;
+    Options o;
+    o.set("n", "66");
+    auto r = runExperiment("sor", o, mp, rc);
+
+    double total = 0;
+    for (StreamKind s : {StreamKind::AStream, StreamKind::RStream}) {
+        for (FetchClass c : {FetchClass::Timely, FetchClass::Late,
+                             FetchClass::Only}) {
+            total += r.classPct(true, s, c);
+        }
+    }
+    EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST(ExperimentResult, StatsCarrySummaryKeys)
+{
+    MachineParams mp;
+    mp.numCmps = 2;
+    RunConfig rc;
+    Options o;
+    o.set("n", "512");
+    auto r = runExperiment("stream", o, mp, rc);
+    EXPECT_TRUE(r.stats.has("run.cycles"));
+    EXPECT_GT(r.stats.get("net.messages"), 0.0);
+    EXPECT_GT(r.stats.get("rproc.cycles.busy"), 0.0);
+}
+
+TEST(ExperimentResult, SummarizeMentionsModeAndWorkload)
+{
+    MachineParams mp;
+    mp.numCmps = 2;
+    RunConfig rc;
+    rc.mode = Mode::Slipstream;
+    Options o;
+    o.set("n", "512");
+    auto r = runExperiment("stream", o, mp, rc);
+    std::ostringstream os;
+    r.summarize(os);
+    EXPECT_NE(os.str().find("stream"), std::string::npos);
+    EXPECT_NE(os.str().find("slipstream"), std::string::npos);
+}
+
+TEST(Experiment, SlipstreamUsesBothProcessorsOfEachNode)
+{
+    MachineParams mp;
+    mp.numCmps = 2;
+    RunConfig rc;
+    rc.mode = Mode::Slipstream;
+    Options o;
+    o.set("n", "2048");
+    auto r = runExperiment("stream", o, mp, rc);
+    EXPECT_GT(r.stats.get("aproc.cycles.busy"), 0.0);
+    EXPECT_GT(r.stats.get("rproc.cycles.busy"), 0.0);
+}

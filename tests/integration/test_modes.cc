@@ -1,0 +1,186 @@
+/**
+ * @file
+ * End-to-end integration tests: run the synthetic workloads under
+ * every execution mode and A-R policy; results must verify and
+ * slipstream invariants must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+MachineParams
+smallMachine(int cmps)
+{
+    MachineParams mp;
+    mp.numCmps = cmps;
+    return mp;
+}
+
+RunConfig
+cfgFor(Mode m, ArPolicy p = ArPolicy::OneTokenLocal)
+{
+    RunConfig rc;
+    rc.mode = m;
+    rc.arPolicy = p;
+    return rc;
+}
+
+} // namespace
+
+TEST(Modes, StreamVerifiesInSingleMode)
+{
+    auto r = runExperiment("stream", {}, smallMachine(4),
+                           cfgFor(Mode::Single));
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(Modes, StreamVerifiesInDoubleMode)
+{
+    auto r = runExperiment("stream", {}, smallMachine(4),
+                           cfgFor(Mode::Double));
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Modes, StreamVerifiesInSlipstreamMode)
+{
+    auto r = runExperiment("stream", {}, smallMachine(4),
+                           cfgFor(Mode::Slipstream));
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.recoveries, 0u);
+}
+
+TEST(Modes, AllPoliciesVerifyOnNeighbor)
+{
+    for (ArPolicy p : {ArPolicy::OneTokenLocal, ArPolicy::ZeroTokenLocal,
+                       ArPolicy::ZeroTokenGlobal,
+                       ArPolicy::OneTokenGlobal}) {
+        auto r = runExperiment("neighbor", {}, smallMachine(4),
+                               cfgFor(Mode::Slipstream, p));
+        EXPECT_TRUE(r.verified) << "policy " << arPolicyName(p);
+        EXPECT_EQ(r.recoveries, 0u) << "policy " << arPolicyName(p);
+    }
+}
+
+TEST(Modes, MigratoryVerifiesEverywhere)
+{
+    for (Mode m : {Mode::Single, Mode::Double, Mode::Slipstream}) {
+        auto r = runExperiment("migratory", {}, smallMachine(4),
+                               cfgFor(m));
+        EXPECT_TRUE(r.verified) << "mode " << modeName(m);
+    }
+}
+
+TEST(Modes, SequentialBaselineRuns)
+{
+    auto r = runExperiment("stream", {}, smallMachine(1),
+                           cfgFor(Mode::Single));
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Modes, MoreCmpsRunFasterOnPartitionedWork)
+{
+    Options o;
+    o.set("n", "8192");
+    auto r1 = runExperiment("stream", o, smallMachine(1),
+                            cfgFor(Mode::Single));
+    auto r8 = runExperiment("stream", o, smallMachine(8),
+                            cfgFor(Mode::Single));
+    EXPECT_TRUE(r1.verified);
+    EXPECT_TRUE(r8.verified);
+    EXPECT_LT(r8.cycles * 3, r1.cycles);  // at least ~3x speedup on 8
+}
+
+TEST(Modes, SlipstreamPrefetchesForNeighbor)
+{
+    Options o;
+    o.set("n", "8192");
+    o.set("iters", "6");
+    auto slip = runExperiment("neighbor", o, smallMachine(4),
+                              cfgFor(Mode::Slipstream));
+    EXPECT_TRUE(slip.verified);
+    // The A-stream must have produced useful (Timely or Late)
+    // prefetches.
+    std::uint64_t a_useful = slip.clsReads[0][0] + slip.clsReads[0][1];
+    EXPECT_GT(a_useful, 0u);
+}
+
+TEST(Modes, AStreamNeverCorruptsSharedState)
+{
+    // The divergent workload makes the A-stream compute garbage; the
+    // R-streams' results must still verify.
+    RunConfig rc = cfgFor(Mode::Slipstream);
+    rc.recoveryEnabled = false;  // even without recovery
+    auto r = runExperiment("divergent", {}, smallMachine(2), rc);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Modes, DivergentAStreamTriggersRecovery)
+{
+    RunConfig rc = cfgFor(Mode::Slipstream, ArPolicy::OneTokenLocal);
+    rc.recoveryEnabled = true;
+    rc.recoveryLagSessions = 0;  // paper-strict check
+    auto r = runExperiment("divergent", {}, smallMachine(2), rc);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.recoveries, 0u);
+}
+
+TEST(Modes, WellBehavedWorkloadsNeedNoRecovery)
+{
+    RunConfig rc = cfgFor(Mode::Slipstream, ArPolicy::OneTokenLocal);
+    rc.recoveryEnabled = true;
+    for (const char *wl : {"stream", "neighbor", "migratory"}) {
+        auto r = runExperiment(wl, {}, smallMachine(4), rc);
+        EXPECT_TRUE(r.verified) << wl;
+        EXPECT_EQ(r.recoveries, 0u) << wl;
+    }
+}
+
+TEST(Modes, DynamicSchedulingAccommodated)
+{
+    for (Mode m : {Mode::Single, Mode::Double, Mode::Slipstream}) {
+        auto r = runExperiment("dynamic", {}, smallMachine(2),
+                               cfgFor(m));
+        EXPECT_TRUE(r.verified) << modeName(m);
+    }
+}
+
+TEST(Modes, TransparentLoadsAndSiVerify)
+{
+    RunConfig rc = cfgFor(Mode::Slipstream, ArPolicy::OneTokenGlobal);
+    rc.features.transparentLoads = true;
+    rc.features.selfInvalidation = true;
+    for (const char *wl : {"neighbor", "migratory"}) {
+        auto r = runExperiment(wl, {}, smallMachine(4), rc);
+        EXPECT_TRUE(r.verified) << wl;
+    }
+}
+
+TEST(Modes, BreakdownAccountsAllCategories)
+{
+    auto r = runExperiment("migratory", {}, smallMachine(4),
+                           cfgFor(Mode::Slipstream));
+    EXPECT_GT(r.rCats[static_cast<int>(TimeCat::Busy)], 0.0);
+    EXPECT_GT(r.rCats[static_cast<int>(TimeCat::Stall)], 0.0);
+    EXPECT_GT(r.rCats[static_cast<int>(TimeCat::Lock)], 0.0);
+    EXPECT_GT(r.rCats[static_cast<int>(TimeCat::Barrier)], 0.0);
+    // A-stream skips locks/barriers entirely.
+    EXPECT_EQ(r.aCats[static_cast<int>(TimeCat::Barrier)], 0.0);
+    EXPECT_EQ(r.aCats[static_cast<int>(TimeCat::Lock)], 0.0);
+}
+
+TEST(Modes, DeterministicAcrossRuns)
+{
+    auto a = runExperiment("neighbor", {}, smallMachine(4),
+                           cfgFor(Mode::Slipstream));
+    auto b = runExperiment("neighbor", {}, smallMachine(4),
+                           cfgFor(Mode::Slipstream));
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats.get("net.messages"), b.stats.get("net.messages"));
+}

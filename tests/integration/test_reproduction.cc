@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Reproduction-claim regression tests: the key shapes EXPERIMENTS.md
+ * reports must keep holding as the code evolves.  Sizes are moderate
+ * so the whole file runs in a few seconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+ExperimentResult
+run(const std::string &wl, const Options &o, int cmps, RunConfig rc,
+    int l2kb = 0)
+{
+    MachineParams mp = machineFromOptions(o);
+    mp.numCmps = cmps;
+    if (l2kb)
+        mp.l2Bytes = static_cast<std::uint32_t>(l2kb) * 1024;
+    return runExperiment(wl, o, mp, rc);
+}
+
+} // namespace
+
+TEST(Reproduction, MgSlipstreamBeatsBothConventionalModesAt16)
+{
+    // EXPERIMENTS.md Figure 5: MG at 16 CMPs, slipstream-L0 wins over
+    // both single and double by >5%.
+    Options o;
+    o.set("n", "32");
+    o.set("cycles", "1");
+    RunConfig single;
+    RunConfig dbl;
+    dbl.mode = Mode::Double;
+    RunConfig slip;
+    slip.mode = Mode::Slipstream;
+    slip.arPolicy = ArPolicy::ZeroTokenLocal;
+
+    auto rs = run("mg", o, 16, single);
+    auto rd = run("mg", o, 16, dbl);
+    auto rp = run("mg", o, 16, slip);
+    EXPECT_LT(static_cast<double>(rp.cycles) * 1.05,
+              static_cast<double>(rs.cycles));
+    EXPECT_LT(static_cast<double>(rp.cycles) * 1.05,
+              static_cast<double>(rd.cycles));
+}
+
+TEST(Reproduction, FftDoubleModeDegradesBelowSingleAt16)
+{
+    // Figure 1/5 shape: FFT's double mode collapses at 16 CMPs while
+    // slipstream stays near single.
+    Options o;
+    o.set("m", "16384");
+    RunConfig single;
+    RunConfig dbl;
+    dbl.mode = Mode::Double;
+    auto rs = run("fft", o, 16, single);
+    auto rd = run("fft", o, 16, dbl);
+    EXPECT_GT(rd.cycles, rs.cycles);
+}
+
+TEST(Reproduction, DoubleOverSingleDeclinesWithCmpCount)
+{
+    // Figure 1 shape, on MG: the double/single ratio at 16 CMPs is
+    // well below the ratio at 2.
+    Options o;
+    o.set("n", "32");
+    o.set("cycles", "1");
+    RunConfig single;
+    RunConfig dbl;
+    dbl.mode = Mode::Double;
+    auto r2s = run("mg", o, 2, single);
+    auto r2d = run("mg", o, 2, dbl);
+    auto r16s = run("mg", o, 16, single);
+    auto r16d = run("mg", o, 16, dbl);
+    double ratio2 = static_cast<double>(r2s.cycles) /
+                    static_cast<double>(r2d.cycles);
+    double ratio16 = static_cast<double>(r16s.cycles) /
+                     static_cast<double>(r16d.cycles);
+    EXPECT_LT(ratio16 + 0.1, ratio2);
+}
+
+TEST(Reproduction, TransparentLoadsAloneReducePrefetchingOnSor)
+{
+    // Figure 10 shape: adding TL (without SI) hurts SOR.
+    Options o;
+    o.set("n", "130");
+    o.set("iters", "2");
+    RunConfig pref;
+    pref.mode = Mode::Slipstream;
+    pref.arPolicy = ArPolicy::OneTokenGlobal;
+    RunConfig tl = pref;
+    tl.features.transparentLoads = true;
+    auto rp = run("sor", o, 16, pref);
+    auto rt = run("sor", o, 16, tl);
+    EXPECT_GT(rt.cycles, rp.cycles);
+}
+
+TEST(Reproduction, SelfInvalidationRecoversWaterNs)
+{
+    // Figure 10 shape: water-ns gains substantially from TL+SI over
+    // prefetching alone (the migratory accumulators).
+    Options o;
+    o.set("mol", "192");
+    o.set("steps", "1");
+    RunConfig pref;
+    pref.mode = Mode::Slipstream;
+    pref.arPolicy = ArPolicy::OneTokenGlobal;
+    RunConfig si = pref;
+    si.features.transparentLoads = true;
+    si.features.selfInvalidation = true;
+    auto rp = run("water-ns", o, 8, pref, /*l2kb=*/128);
+    auto rsi = run("water-ns", o, 8, si, /*l2kb=*/128);
+    EXPECT_LT(static_cast<double>(rsi.cycles) * 1.03,
+              static_cast<double>(rp.cycles));
+    EXPECT_GT(rsi.siInvalidated + rsi.siDowngraded, 100u);
+}
+
+TEST(Reproduction, LooseSyncMaximizesTimelyTightMaximizesLate)
+{
+    // Figure 7 contrast on SOR: L1 has more A-Timely reads than G0;
+    // G0 has more A-Late reads than L1.
+    Options o;
+    o.set("n", "130");
+    o.set("iters", "2");
+    RunConfig l1;
+    l1.mode = Mode::Slipstream;
+    l1.arPolicy = ArPolicy::OneTokenLocal;
+    RunConfig g0 = l1;
+    g0.arPolicy = ArPolicy::ZeroTokenGlobal;
+    auto rl = run("sor", o, 16, l1);
+    auto rg = run("sor", o, 16, g0);
+    auto timely = [](const ExperimentResult &r) {
+        return r.classPct(true, StreamKind::AStream,
+                          FetchClass::Timely);
+    };
+    auto late = [](const ExperimentResult &r) {
+        return r.classPct(true, StreamKind::AStream, FetchClass::Late);
+    };
+    EXPECT_GT(timely(rl), timely(rg));
+    EXPECT_GT(late(rg), late(rl));
+}
+
+TEST(Reproduction, LuHasTooLittleStallForSlipstream)
+{
+    // Figure 6 shape: LU's single-mode stall fraction is the smallest
+    // of the dense kernels and slipstream gives it nothing.
+    Options o;
+    o.set("n", "128");
+    o.set("block", "16");
+    RunConfig single;
+    auto rs = run("lu", o, 16, single);
+    RunConfig slip;
+    slip.mode = Mode::Slipstream;
+    slip.arPolicy = ArPolicy::ZeroTokenGlobal;
+    auto rp = run("lu", o, 16, slip);
+    // No slipstream gain beyond noise.
+    EXPECT_GT(static_cast<double>(rp.cycles) * 1.02,
+              static_cast<double>(rs.cycles));
+}
+
+TEST(Reproduction, WaterSpKeepsScalingSoDoubleWins)
+{
+    // Figures 4/5: Water-SP still has concurrency headroom at 16
+    // CMPs, so double handily beats slipstream (which is ~neutral).
+    Options o;
+    o.set("mol", "256");
+    o.set("steps", "1");
+    RunConfig single;
+    RunConfig dbl;
+    dbl.mode = Mode::Double;
+    RunConfig slip;
+    slip.mode = Mode::Slipstream;
+    auto rs = run("water-sp", o, 16, single, 128);
+    auto rd = run("water-sp", o, 16, dbl, 128);
+    auto rp = run("water-sp", o, 16, slip, 128);
+    EXPECT_LT(rd.cycles, rp.cycles);
+    // Slipstream stays within a few percent of single (harmless).
+    EXPECT_LT(static_cast<double>(rp.cycles),
+              1.10 * static_cast<double>(rs.cycles));
+}

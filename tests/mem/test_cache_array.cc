@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the set-associative array, L1 cache, functional
+ * memory, and shared allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.hh"
+#include "mem/functional_mem.hh"
+#include "mem/l1_cache.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+struct TestLine
+{
+    bool valid = false;
+    Addr lineAddr = 0;
+    int payload = 0;
+
+    void
+    reset()
+    {
+        valid = false;
+        lineAddr = 0;
+        payload = 0;
+    }
+};
+
+Addr
+lineN(unsigned set, unsigned tag, unsigned num_sets)
+{
+    return (static_cast<Addr>(tag) * num_sets + set) * lineBytes;
+}
+
+} // namespace
+
+TEST(CacheArray, FindMissesOnEmpty)
+{
+    CacheArray<TestLine> c(8 * lineBytes, 2);
+    EXPECT_EQ(c.find(0), nullptr);
+    EXPECT_EQ(c.setCount(), 4u);
+}
+
+TEST(CacheArray, InsertAndFind)
+{
+    CacheArray<TestLine> c(8 * lineBytes, 2);
+    Addr a = lineN(1, 3, 4);
+    TestLine *v = c.victimFor(a, [](const TestLine &) { return true; });
+    ASSERT_NE(v, nullptr);
+    v->valid = true;
+    v->lineAddr = a;
+    v->payload = 42;
+    c.touch(v);
+    TestLine *f = c.find(a);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->payload, 42);
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed)
+{
+    CacheArray<TestLine> c(8 * lineBytes, 2);  // 4 sets, 2 ways
+    const unsigned sets = 4;
+    Addr a0 = lineN(2, 0, sets), a1 = lineN(2, 1, sets),
+         a2 = lineN(2, 2, sets);
+
+    for (Addr a : {a0, a1}) {
+        TestLine *v =
+            c.victimFor(a, [](const TestLine &) { return true; });
+        v->valid = true;
+        v->lineAddr = a;
+        c.touch(v);
+    }
+    // Touch a0 so a1 is LRU.
+    c.touch(c.find(a0));
+
+    TestLine *victim =
+        c.victimFor(a2, [](const TestLine &) { return true; });
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->lineAddr, a1);
+}
+
+TEST(CacheArray, VictimPredicateFiltersWays)
+{
+    CacheArray<TestLine> c(4 * lineBytes, 2);  // 2 sets
+    const unsigned sets = 2;
+    Addr a0 = lineN(0, 0, sets), a1 = lineN(0, 1, sets),
+         a2 = lineN(0, 2, sets);
+    for (Addr a : {a0, a1}) {
+        TestLine *v =
+            c.victimFor(a, [](const TestLine &) { return true; });
+        v->valid = true;
+        v->lineAddr = a;
+        c.touch(v);
+    }
+    // Only a0 evictable.
+    TestLine *victim = c.victimFor(
+        a2, [&](const TestLine &l) { return l.lineAddr == a0; });
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->lineAddr, a0);
+    // Nothing evictable -> nullptr.
+    EXPECT_EQ(c.victimFor(a2, [](const TestLine &) { return false; }),
+              nullptr);
+}
+
+TEST(CacheArray, DistinctSetsDoNotConflict)
+{
+    CacheArray<TestLine> c(8 * lineBytes, 2);
+    const unsigned sets = 4;
+    for (unsigned s = 0; s < sets; ++s) {
+        Addr a = lineN(s, 7, sets);
+        TestLine *v =
+            c.victimFor(a, [](const TestLine &) { return true; });
+        EXPECT_FALSE(v->valid);  // always an empty way available
+        v->valid = true;
+        v->lineAddr = a;
+        c.touch(v);
+    }
+    for (unsigned s = 0; s < sets; ++s)
+        EXPECT_NE(c.find(lineN(s, 7, sets)), nullptr);
+}
+
+TEST(L1Cache, HitAfterInsert)
+{
+    L1Cache l1(1024, 2);
+    EXPECT_FALSE(l1.lookup(0));
+    l1.insert(0);
+    EXPECT_TRUE(l1.lookup(0));
+    EXPECT_EQ(l1.hitCount(), 1u);
+    EXPECT_EQ(l1.missCount(), 1u);
+}
+
+TEST(L1Cache, InvalidateRemoves)
+{
+    L1Cache l1(1024, 2);
+    l1.insert(lineBytes);
+    l1.invalidate(lineBytes);
+    EXPECT_FALSE(l1.lookup(lineBytes));
+    EXPECT_EQ(l1.backInvalidationCount(), 1u);
+}
+
+TEST(L1Cache, CapacityEvictionIsSilent)
+{
+    // 2 sets x 2 ways; 3 lines mapping to one set evict the LRU.
+    L1Cache l1(4 * lineBytes, 2);
+    Addr a0 = 0, a1 = 2 * lineBytes, a2 = 4 * lineBytes;
+    l1.insert(a0);
+    l1.insert(a1);
+    l1.insert(a2);
+    EXPECT_FALSE(l1.lookup(a0));
+    EXPECT_TRUE(l1.lookup(a1));
+    EXPECT_TRUE(l1.lookup(a2));
+}
+
+TEST(FunctionalMemory, ReadsZeroWhenUntouched)
+{
+    FunctionalMemory m;
+    EXPECT_EQ(m.read<std::uint64_t>(0x12345678), 0u);
+    EXPECT_EQ(m.touchedPages(), 0u);
+}
+
+TEST(FunctionalMemory, RoundTripsTypedValues)
+{
+    FunctionalMemory m;
+    m.write<double>(0x1000, 3.25);
+    m.write<std::uint32_t>(0x2000, 0xdeadbeef);
+    EXPECT_EQ(m.read<double>(0x1000), 3.25);
+    EXPECT_EQ(m.read<std::uint32_t>(0x2000), 0xdeadbeefu);
+}
+
+TEST(FunctionalMemory, CrossPageAccess)
+{
+    FunctionalMemory m;
+    Addr boundary = FunctionalMemory::pageBytes - 4;
+    std::uint64_t v = 0x1122334455667788ull;
+    m.write<std::uint64_t>(boundary, v);
+    EXPECT_EQ(m.read<std::uint64_t>(boundary), v);
+    EXPECT_EQ(m.touchedPages(), 2u);
+}
+
+TEST(SharedAllocator, InterleavedHomesRotate)
+{
+    SharedAllocator a(4);
+    Addr base = a.alloc(4 * FunctionalMemory::pageBytes,
+                        Placement::Interleaved);
+    for (int p = 0; p < 4; ++p) {
+        EXPECT_EQ(a.homeOf(base + p * FunctionalMemory::pageBytes), p);
+    }
+}
+
+TEST(SharedAllocator, PartitionedHomesFollowTasks)
+{
+    SharedAllocator a(4);
+    a.setTasksPerNode(1);
+    Addr base = a.alloc(8 * FunctionalMemory::pageBytes,
+                        Placement::Partitioned, 4);
+    // 8 pages, 4 parts -> 2 pages per part, homed on nodes 0..3.
+    for (int p = 0; p < 8; ++p) {
+        EXPECT_EQ(a.homeOf(base + p * FunctionalMemory::pageBytes),
+                  p / 2);
+    }
+}
+
+TEST(SharedAllocator, PartitionedWithTwoTasksPerNode)
+{
+    SharedAllocator a(2);
+    a.setTasksPerNode(2);
+    Addr base = a.alloc(4 * FunctionalMemory::pageBytes,
+                        Placement::Partitioned, 4);
+    // Parts 0,1 -> node 0; parts 2,3 -> node 1.
+    EXPECT_EQ(a.homeOf(base + 0 * FunctionalMemory::pageBytes), 0);
+    EXPECT_EQ(a.homeOf(base + 1 * FunctionalMemory::pageBytes), 0);
+    EXPECT_EQ(a.homeOf(base + 2 * FunctionalMemory::pageBytes), 1);
+    EXPECT_EQ(a.homeOf(base + 3 * FunctionalMemory::pageBytes), 1);
+}
+
+TEST(SharedAllocator, FixedHome)
+{
+    SharedAllocator a(4);
+    Addr base = a.alloc(2 * FunctionalMemory::pageBytes,
+                        Placement::Fixed, 1, 3);
+    EXPECT_EQ(a.homeOf(base), 3);
+    EXPECT_EQ(a.homeOf(base + FunctionalMemory::pageBytes), 3);
+}
+
+TEST(SharedAllocator, IsSharedTracksAllocations)
+{
+    SharedAllocator a(2);
+    EXPECT_FALSE(a.isShared(SharedAllocator::sharedBase));
+    Addr base = a.alloc(100);
+    EXPECT_TRUE(a.isShared(base));
+    EXPECT_TRUE(a.isShared(base + 99));
+    EXPECT_FALSE(a.isShared(0x100));
+}
+
+TEST(SharedAllocator, HomeOfUnallocatedPanics)
+{
+    SharedAllocator a(2);
+    EXPECT_THROW(a.homeOf(SharedAllocator::sharedBase + (1 << 30)),
+                 PanicError);
+}

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Directory/L2 corner cases: races between evictions, SI drains, and
+ * in-flight transactions; MSHR exhaustion; transparent-copy eviction;
+ * future-bit lifecycle; downgrade paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+class CornerTest : public ::testing::Test
+{
+  protected:
+    CornerTest()
+    {
+        mp.numCmps = 4;
+        rc.mode = Mode::Slipstream;
+        rc.features.transparentLoads = true;
+        rc.features.selfInvalidation = true;
+        sys = std::make_unique<System>(mp, rc);
+    }
+
+    void
+    rebuild()
+    {
+        sys = std::make_unique<System>(mp, rc);
+    }
+
+    Addr
+    lineAt(NodeId home)
+    {
+        return sys->allocator().alloc(FunctionalMemory::pageBytes,
+                                      Placement::Fixed, 1, home);
+    }
+
+    Tick
+    access(NodeId node, Addr a, ReqType t,
+           StreamKind s = StreamKind::RStream, bool transparent = false,
+           bool in_cs = false)
+    {
+        MemReq req;
+        req.lineAddr = a;
+        req.type = t;
+        req.node = node;
+        req.stream = s;
+        req.wantTransparent = transparent;
+        req.inCS = in_cs;
+        Tick start = sys->eventq().now();
+        Tick done = maxTick;
+        sys->memory().node(node).access(req, 0,
+                [&] { done = sys->eventq().now(); });
+        sys->eventq().run();
+        EXPECT_NE(done, maxTick);
+        return done - start;
+    }
+
+    /** Issue without draining (overlapping transactions). */
+    void
+    issue(NodeId node, Addr a, ReqType t, bool *done_flag = nullptr)
+    {
+        MemReq req;
+        req.lineAddr = a;
+        req.type = t;
+        req.node = node;
+        sys->memory().node(node).access(req, 0, [done_flag] {
+            if (done_flag)
+                *done_flag = true;
+        });
+    }
+
+    const DirEntry *
+    dirEntry(Addr a)
+    {
+        return sys->memory().homeOf(a).probe(a);
+    }
+
+    MachineParams mp;
+    RunConfig rc;
+    std::unique_ptr<System> sys;
+};
+
+} // namespace
+
+TEST_F(CornerTest, SiDrainRacingOwnershipTransferIsHarmless)
+{
+    // Node 0 owns with an SI mark; node 2 takes ownership while the
+    // mark is queued; the later drain must not corrupt state.
+    Addr a = lineAt(1);
+    access(0, a, ReqType::Excl);
+    access(3, a, ReqType::Read, StreamKind::AStream, true);  // mark @0
+    EXPECT_EQ(sys->memory().node(0).siPendingCount(), 1u);
+
+    access(2, a, ReqType::Excl);  // steals the line from node 0
+    sys->memory().node(0).drainSiQueue();
+    sys->eventq().run();
+
+    EXPECT_EQ(sys->memory().node(0).siInvalidated, 0u);
+    EXPECT_EQ(sys->memory().node(0).siDowngraded, 0u);
+    EXPECT_EQ(dirEntry(a)->owner, 2);
+    EXPECT_TRUE(sys->memory().node(2).ownedInL2(a));
+}
+
+TEST_F(CornerTest, SiMarkSurvivesUntilDrainWhenUncontested)
+{
+    Addr a = lineAt(1);
+    access(0, a, ReqType::Excl);
+    access(3, a, ReqType::Read, StreamKind::AStream, true);
+    sys->memory().node(0).drainSiQueue();
+    sys->eventq().run();
+    EXPECT_EQ(sys->memory().node(0).siDowngraded, 1u);
+    // Marked lines drain exactly once.
+    sys->memory().node(0).drainSiQueue();
+    sys->eventq().run();
+    EXPECT_EQ(sys->memory().node(0).siDowngraded, 1u);
+}
+
+TEST_F(CornerTest, TransparentEvictionClearsFutureBit)
+{
+    mp.l2Bytes = 4 * lineBytes;
+    mp.l2Assoc = 2;
+    rebuild();
+
+    Addr base = sys->allocator().alloc(FunctionalMemory::pageBytes,
+                                       Placement::Fixed, 1, 1);
+    Addr a = base;
+    access(0, a, ReqType::Excl);  // node 0 owns
+    access(2, a, ReqType::Read, StreamKind::AStream, true);
+    EXPECT_EQ(dirEntry(a)->future, 1u << 2);
+
+    // Force eviction of node 2's transparent copy: fill its set.
+    access(2, base + 2 * lineBytes, ReqType::Read);
+    access(2, base + 4 * lineBytes, ReqType::Read);
+    EXPECT_EQ(dirEntry(a)->future, 0u);
+}
+
+TEST_F(CornerTest, OverlappingTransactionsOnOneLineSerialize)
+{
+    Addr a = lineAt(1);
+    bool d0 = false, d2 = false, d3 = false;
+    issue(0, a, ReqType::Excl, &d0);
+    issue(2, a, ReqType::Excl, &d2);
+    issue(3, a, ReqType::Read, &d3);
+    sys->eventq().run();
+    EXPECT_TRUE(d0 && d2 && d3);
+    // Final state is coherent: the read (last transaction in line
+    // order) left the line Shared with node 3 a sharer, or a writer
+    // still owns it — never both.
+    const DirEntry *e = dirEntry(a);
+    if (e->state == DirEntry::St::Excl) {
+        EXPECT_TRUE(sys->memory().node(e->owner).ownedInL2(a));
+    } else {
+        EXPECT_NE(e->sharers & (1u << 3), 0u);
+    }
+}
+
+TEST_F(CornerTest, MshrExhaustionRetriesWithoutLoss)
+{
+    mp.l2Mshrs = 2;
+    rebuild();
+    Addr base = sys->allocator().alloc(FunctionalMemory::pageBytes,
+                                       Placement::Fixed, 1, 1);
+    int completed = 0;
+    for (int i = 0; i < 8; ++i) {
+        MemReq req;
+        req.lineAddr = base + static_cast<Addr>(i) * lineBytes;
+        req.type = ReqType::Read;
+        req.node = 0;
+        sys->memory().node(0).access(req, 0, [&] { ++completed; });
+    }
+    sys->eventq().run();
+    EXPECT_EQ(completed, 8);
+}
+
+TEST_F(CornerTest, PrefetchDroppedWhenMshrsFull)
+{
+    mp.l2Mshrs = 1;
+    rebuild();
+    Addr base = sys->allocator().alloc(FunctionalMemory::pageBytes,
+                                       Placement::Fixed, 1, 1);
+    bool done = false;
+    issue(0, base, ReqType::Excl, &done);
+
+    MemReq pf;
+    pf.lineAddr = base + lineBytes;
+    pf.type = ReqType::PrefEx;
+    pf.node = 0;
+    pf.stream = StreamKind::AStream;
+    sys->memory().node(0).access(pf, 1, nullptr);  // dropped silently
+    sys->eventq().run();
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(sys->memory().node(0).ownedInL2(base + lineBytes));
+}
+
+TEST_F(CornerTest, RStreamReissuesAfterTransparentFill)
+{
+    // An R access that arrives while a transparent fetch is in flight
+    // must re-issue a coherent fetch after the transparent fill.
+    Addr a = lineAt(1);
+    access(0, a, ReqType::Excl);  // make it exclusive elsewhere
+
+    MemReq ta;
+    ta.lineAddr = a;
+    ta.type = ReqType::Read;
+    ta.node = 2;
+    ta.stream = StreamKind::AStream;
+    ta.wantTransparent = true;
+    bool a_done = false, r_done = false;
+    sys->memory().node(2).access(ta, 1, [&] { a_done = true; });
+
+    MemReq rr;
+    rr.lineAddr = a;
+    rr.type = ReqType::Read;
+    rr.node = 2;
+    rr.stream = StreamKind::RStream;
+    sys->memory().node(2).access(rr, 0, [&] { r_done = true; });
+
+    sys->eventq().run();
+    EXPECT_TRUE(a_done);
+    EXPECT_TRUE(r_done);
+    // After both, the R-visible copy exists and the home lists node 2.
+    EXPECT_TRUE(sys->memory().node(2).presentFor(a,
+                                                 StreamKind::RStream));
+    const DirEntry *e = dirEntry(a);
+    EXPECT_TRUE(e->state == DirEntry::St::Shared &&
+                (e->sharers & (1u << 2)));
+}
+
+TEST_F(CornerTest, UpgradeRacingInvalidationFallsBackToFullFetch)
+{
+    Addr a = lineAt(1);
+    access(0, a, ReqType::Read);
+    access(2, a, ReqType::Read);  // Shared {0, 2}
+
+    // Node 0 upgrades while node 2's exclusive request is in flight;
+    // home order decides, both complete, exactly one owner remains.
+    bool d0 = false, d2 = false;
+    issue(0, a, ReqType::Excl, &d0);
+    issue(2, a, ReqType::Excl, &d2);
+    sys->eventq().run();
+    EXPECT_TRUE(d0 && d2);
+    const DirEntry *e = dirEntry(a);
+    EXPECT_EQ(e->state, DirEntry::St::Excl);
+    NodeId owner = e->owner;
+    EXPECT_TRUE(owner == 0 || owner == 2);
+    EXPECT_TRUE(sys->memory().node(owner).ownedInL2(a));
+    EXPECT_FALSE(sys->memory().node(owner ^ 2).ownedInL2(a));
+}
+
+TEST_F(CornerTest, SharedEvictionLeavesOtherSharersIntact)
+{
+    mp.l2Bytes = 4 * lineBytes;
+    mp.l2Assoc = 2;
+    rebuild();
+    Addr base = sys->allocator().alloc(FunctionalMemory::pageBytes,
+                                       Placement::Fixed, 1, 1);
+    Addr a = base;
+    access(0, a, ReqType::Read);
+    access(2, a, ReqType::Read);  // Shared {0, 2}
+    // Evict node 0's copy via set pressure.
+    access(0, base + 2 * lineBytes, ReqType::Read);
+    access(0, base + 4 * lineBytes, ReqType::Read);
+    const DirEntry *e = dirEntry(a);
+    EXPECT_EQ(e->state, DirEntry::St::Shared);
+    EXPECT_EQ(e->sharers, 1u << 2);
+    EXPECT_TRUE(sys->memory().node(2).presentFor(a,
+                                                 StreamKind::RStream));
+}
+
+TEST_F(CornerTest, DowngradedLineServesLaterReadsFromMemory)
+{
+    Addr a = lineAt(1);
+    access(0, a, ReqType::Excl);
+    access(2, a, ReqType::Read, StreamKind::AStream, true);
+    sys->memory().node(0).drainSiQueue();
+    sys->eventq().run();
+    // Producer kept a Shared copy (producer-consumer downgrade)...
+    EXPECT_TRUE(sys->memory().node(0).presentFor(a,
+                                                 StreamKind::RStream));
+    EXPECT_FALSE(sys->memory().node(0).ownedInL2(a));
+    // ...and the consumer's later read costs exactly the 290-cycle
+    // memory fetch, not a 3-hop intervention.
+    EXPECT_EQ(access(3, a, ReqType::Read), 290u);
+}

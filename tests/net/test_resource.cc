@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Resource (FIFO server) and network-path tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "net/resource.hh"
+
+using namespace slipsim;
+
+TEST(Resource, UncontendedReservationAddsOccupancy)
+{
+    Resource r("t");
+    EXPECT_EQ(r.reserve(100, 60), 160u);
+    EXPECT_EQ(r.availableAt(), 160u);
+}
+
+TEST(Resource, BackToBackReservationsQueue)
+{
+    Resource r("t");
+    EXPECT_EQ(r.reserve(0, 60), 60u);
+    EXPECT_EQ(r.reserve(10, 60), 120u);   // waits 50
+    EXPECT_EQ(r.reserve(500, 60), 560u);  // idle gap, no wait
+    EXPECT_EQ(r.totalWait(), 50u);
+    EXPECT_EQ(r.totalBusy(), 180u);
+    EXPECT_EQ(r.totalUses(), 3u);
+}
+
+TEST(Resource, CutThroughAddsNoServiceLatency)
+{
+    Resource r("t");
+    EXPECT_EQ(r.reserveCutThrough(100, 40), 100u);  // proceeds at once
+    EXPECT_EQ(r.reserveCutThrough(110, 40), 140u);  // queues behind
+    EXPECT_EQ(r.availableAt(), 180u);
+}
+
+TEST(Resource, ResetClearsState)
+{
+    Resource r("t");
+    r.reserve(0, 100);
+    r.reset();
+    EXPECT_EQ(r.availableAt(), 0u);
+    EXPECT_EQ(r.totalBusy(), 0u);
+}
+
+TEST(Network, OneWayIntraNodeIsBusTime)
+{
+    MachineParams mp;
+    mp.numCmps = 2;
+    RunConfig rc;
+    System sys(mp, rc);
+    EXPECT_EQ(sys.memory().oneWay(0, 0, 1000), 1000u + mp.busTime);
+}
+
+TEST(Network, OneWayInterNodeIsNetTimeUncontended)
+{
+    MachineParams mp;
+    mp.numCmps = 2;
+    RunConfig rc;
+    System sys(mp, rc);
+    EXPECT_EQ(sys.memory().oneWay(0, 1, 1000), 1000u + mp.netTime);
+}
+
+TEST(Network, PortContentionDelaysBursts)
+{
+    MachineParams mp;
+    mp.numCmps = 2;
+    RunConfig rc;
+    System sys(mp, rc);
+    // A burst of messages from node 0 serializes at its NI output.
+    Tick first = sys.memory().oneWay(0, 1, 0);
+    Tick fourth = 0;
+    for (int i = 0; i < 3; ++i)
+        fourth = sys.memory().oneWay(0, 1, 0);
+    EXPECT_EQ(first, mp.netTime);
+    EXPECT_EQ(fourth, 3 * mp.netPortOccupancy + mp.netTime);
+}
+
+TEST(Network, BusCrossingQueuesDataMessages)
+{
+    MachineParams mp;
+    mp.numCmps = 2;
+    RunConfig rc;
+    System sys(mp, rc);
+    Tick a = sys.memory().busCross(0, 0, true);
+    Tick b = sys.memory().busCross(0, 0, true);
+    EXPECT_EQ(a, mp.busTime);
+    EXPECT_EQ(b, mp.busDataOccupancy + mp.busTime);
+}
+
+TEST(Network, MemoryBanksThrottleFetchRate)
+{
+    MachineParams mp;
+    mp.numCmps = 2;
+    RunConfig rc;
+    System sys(mp, rc);
+    Tick a = sys.memory().memAccess(0, 0);
+    Tick b = sys.memory().memAccess(0, 0);
+    EXPECT_EQ(a, mp.memTime);
+    EXPECT_EQ(b, mp.memBankOccupancy + mp.memTime);
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Adaptive A-R synchronization tests (the paper's "varying the scheme
+ * dynamically" future-work item).
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "core/experiment.hh"
+
+using namespace slipsim;
+using namespace slipsim::test;
+
+TEST(AdaptiveAr, LadderOrderAndIndexing)
+{
+    EXPECT_EQ(arLadder[0], ArPolicy::ZeroTokenGlobal);
+    EXPECT_EQ(arLadder[3], ArPolicy::OneTokenLocal);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(arLadderIndex(arLadder[i]), i);
+}
+
+TEST(AdaptiveAr, RunsAndVerifiesOnBenchmarks)
+{
+    MachineParams mp;
+    mp.numCmps = 4;
+    RunConfig rc;
+    rc.mode = Mode::Slipstream;
+    rc.adaptiveAr = true;
+    rc.adaptInterval = 2;
+    Options o;
+    o.set("n", "66");
+    o.set("iters", "8");
+    auto r = runExperiment("sor", o, mp, rc);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(AdaptiveAr, LoosensWhenPrefetchesAreLate)
+{
+    // A producer-consumer pattern where a tight policy leaves the
+    // A-stream glued to the R-stream (all fetches Late): the
+    // controller must move off the tightest rung.
+    int bar = -1;
+    Addr data = 0;
+    const int sessions = 16;
+    const size_t block = 64;  // lines per task per session
+    Harness *hp = nullptr;
+    RunConfig cfg;
+    cfg.adaptiveAr = true;
+    cfg.adaptInterval = 2;
+    Harness h(
+        2, Mode::Slipstream,
+        [&](ParallelRuntime &rt) {
+            bar = rt.makeBarrier();
+            data = rt.alloc().alloc(
+                2 * sessions * block * lineBytes,
+                Placement::Interleaved);
+        },
+        [&](TaskContext &ctx) -> Coro<void> {
+            for (int s = 0; s < sessions; ++s) {
+                // Read a fresh region each session (cold misses the
+                // A-stream could prefetch if it were allowed ahead).
+                Addr base = data +
+                    static_cast<Addr>(s) * 2 * block * lineBytes +
+                    static_cast<Addr>(ctx.tid()) * block * lineBytes;
+                co_await ctx.loadRange(base, block * lineBytes);
+                co_await ctx.barrier(bar);
+            }
+            if (!ctx.isAStream())
+                co_await ctx.compute(20000);
+        },
+        ArPolicy::ZeroTokenGlobal, &cfg);
+    hp = &h;
+    h.run();
+    EXPECT_GT(hp->rt->pair(0).policySwitches, 0u);
+    EXPECT_GT(hp->rt->pair(0).policyRung, 0);
+}

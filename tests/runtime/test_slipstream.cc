@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Slipstream-runtime unit tests: A-R token policies, A-stream
+ * reduction semantics (skipped stores, skipped sync, prefetch
+ * conversion, transparent-load conditions), deviation recovery, and
+ * fast-forward replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+
+using namespace slipsim;
+using namespace slipsim::test;
+
+namespace
+{
+
+/** Workload: R records session-entry ticks; A records its own. */
+struct SessionTrace
+{
+    std::vector<int> aSessionsAtRBarrier;
+};
+
+} // namespace
+
+TEST(ArSync, InitialTokensMatchPolicy)
+{
+    EXPECT_EQ(arInitialTokens(ArPolicy::OneTokenLocal), 1);
+    EXPECT_EQ(arInitialTokens(ArPolicy::ZeroTokenLocal), 0);
+    EXPECT_EQ(arInitialTokens(ArPolicy::OneTokenGlobal), 1);
+    EXPECT_EQ(arInitialTokens(ArPolicy::ZeroTokenGlobal), 0);
+    EXPECT_TRUE(arTokenOnEntry(ArPolicy::OneTokenLocal));
+    EXPECT_TRUE(arTokenOnEntry(ArPolicy::ZeroTokenLocal));
+    EXPECT_FALSE(arTokenOnEntry(ArPolicy::OneTokenGlobal));
+    EXPECT_FALSE(arTokenOnEntry(ArPolicy::ZeroTokenGlobal));
+}
+
+TEST(ArSync, PolicyNamesRoundTrip)
+{
+    for (ArPolicy p :
+         {ArPolicy::OneTokenLocal, ArPolicy::ZeroTokenLocal,
+          ArPolicy::OneTokenGlobal, ArPolicy::ZeroTokenGlobal}) {
+        EXPECT_EQ(arPolicyFromName(arPolicyName(p)), p);
+    }
+    EXPECT_THROW(arPolicyFromName("bogus"), FatalError);
+}
+
+TEST(ArSync, TokenInsertWakesWaitingAStream)
+{
+    SlipPair pair;
+    pair.tokens = 0;
+    bool woken = false;
+    pair.aTokenWaiter = [&] { woken = true; };
+    pair.insertToken();
+    EXPECT_TRUE(woken);
+    EXPECT_EQ(pair.tokens, 1);
+    EXPECT_EQ(pair.aTokenWaiter, nullptr);
+}
+
+TEST(Slipstream, ZeroTokenGlobalKeepsAWithinSession)
+{
+    // Under G0 the A-stream may not enter session k+1 before its
+    // R-stream *exits* barrier k: the A session counter can never
+    // exceed the R session counter.
+    int bar = -1;
+    bool bound_ok = true;
+    Harness h(
+        2, Mode::Slipstream,
+        [&](ParallelRuntime &rt) { bar = rt.makeBarrier(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            for (int s = 0; s < 4; ++s) {
+                if (ctx.isAStream() && ctx.slipPair() &&
+                    ctx.slipPair()->aSession >
+                        ctx.slipPair()->rSession) {
+                    bound_ok = false;
+                }
+                co_await ctx.compute(500);
+                co_await ctx.barrier(bar);
+            }
+        },
+        ArPolicy::ZeroTokenGlobal);
+    h.run();
+    EXPECT_TRUE(bound_ok);
+}
+
+TEST(Slipstream, OneTokenLocalAllowsOneSessionLead)
+{
+    int bar = -1;
+    int max_lead = 0;
+    Harness h(
+        2, Mode::Slipstream,
+        [&](ParallelRuntime &rt) { bar = rt.makeBarrier(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            for (int s = 0; s < 6; ++s) {
+                if (ctx.isAStream() && ctx.slipPair()) {
+                    max_lead = std::max(
+                        max_lead, ctx.slipPair()->aSession -
+                                      ctx.slipPair()->rSession);
+                }
+                // R does extra work the A-stream does not skip, so
+                // the A-stream finishes each session first and leans
+                // on the token pool.
+                co_await ctx.compute(200);
+                co_await ctx.barrier(bar);
+            }
+        },
+        ArPolicy::OneTokenLocal);
+    h.run();
+    EXPECT_GE(max_lead, 1);
+    EXPECT_LE(max_lead, 2);  // one token + the in-session barrier gap
+}
+
+TEST(Slipstream, AStreamStoresNeverReachSharedMemory)
+{
+    Addr cells = 0;
+    Harness h(
+        2, Mode::Slipstream,
+        [&](ParallelRuntime &rt) {
+            cells = rt.alloc().alloc(2 * lineBytes,
+                                     Placement::Partitioned, 2);
+            rt.fmem().write<std::uint64_t>(cells, 7);
+            rt.fmem().write<std::uint64_t>(cells + lineBytes, 7);
+        },
+        [&](TaskContext &ctx) -> Coro<void> {
+            Addr own = cells +
+                       static_cast<Addr>(ctx.tid()) * lineBytes;
+            Addr other = cells + static_cast<Addr>(1 - ctx.tid()) *
+                                     lineBytes;
+            if (ctx.isAStream()) {
+                // Scribble on BOTH cells; none of it may commit.
+                co_await ctx.st<std::uint64_t>(own, 666);
+                co_await ctx.st<std::uint64_t>(other, 666);
+            } else {
+                std::uint64_t v = co_await ctx.ld<std::uint64_t>(own);
+                co_await ctx.st<std::uint64_t>(own, v + 1);
+            }
+        });
+    h.run();
+    EXPECT_EQ(h.sys->functional().read<std::uint64_t>(cells), 8u);
+    EXPECT_EQ(h.sys->functional().read<std::uint64_t>(
+                  cells + lineBytes), 8u);
+}
+
+TEST(Slipstream, AStreamSkipsLocks)
+{
+    int lk = -1;
+    Harness h(
+        2, Mode::Slipstream,
+        [&](ParallelRuntime &rt) { lk = rt.makeLock(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            co_await ctx.lock(lk);
+            co_await ctx.compute(100);
+            co_await ctx.unlock(lk);
+        });
+    h.run();
+    // Only the two R-streams actually acquired.
+    EXPECT_EQ(h.rt->lockObj(lk).acquisitions(), 2u);
+    // And the A-streams spent no time in the lock category.
+    for (TaskId t = 0; t < 2; ++t) {
+        EXPECT_EQ(h.rt->aCtx(t).processor().catCycles(TimeCat::Lock),
+                  0u);
+    }
+}
+
+TEST(Slipstream, StoreConvertIssuesExclusivePrefetch)
+{
+    // The A-stream's same-session, non-CS store to an unowned line
+    // becomes a PrefEx; the R-stream's later store then hits.
+    Addr cell = 0;
+    Harness h(
+        2, Mode::Slipstream,
+        [&](ParallelRuntime &rt) {
+            cell = rt.alloc().alloc(lineBytes, Placement::Fixed, 1, 1);
+        },
+        [&](TaskContext &ctx) -> Coro<void> {
+            if (ctx.tid() == 0) {
+                if (ctx.isAStream()) {
+                    co_await ctx.st<std::uint64_t>(cell, 1);
+                } else {
+                    co_await ctx.compute(5000);  // let A run ahead
+                    co_await ctx.st<std::uint64_t>(cell, 2);
+                }
+            }
+            co_return;
+        });
+    h.run();
+    EXPECT_GE(h.sys->memory().node(0).prefExIssued, 1u);
+    EXPECT_EQ(h.sys->functional().read<std::uint64_t>(cell), 2u);
+}
+
+TEST(Slipstream, NoTransparentLoadsWhenFeatureOff)
+{
+    Addr cell = 0;
+    Harness h(
+        2, Mode::Slipstream,
+        [&](ParallelRuntime &rt) {
+            cell = rt.alloc().alloc(lineBytes, Placement::Fixed, 1, 1);
+        },
+        [&](TaskContext &ctx) -> Coro<void> {
+            std::uint64_t v = co_await ctx.ld<std::uint64_t>(cell);
+            (void)v;
+            co_return;
+        });
+    h.run();
+    for (NodeId n = 0; n < 2; ++n) {
+        EXPECT_EQ(h.sys->memory().dir(n).transparentReplies, 0u);
+        EXPECT_EQ(h.sys->memory().dir(n).upgradedReplies, 0u);
+    }
+}
+
+TEST(Slipstream, RecoveryFastForwardReplaysPrivateState)
+{
+    // Force a deviation (A burns far more cycles than R in session 0)
+    // and check the re-forked A-stream continues correctly: its
+    // post-recovery loads still work and verification passes.
+    int bar = -1;
+    Addr data = 0;
+    std::uint64_t a_after_recovery = 0;
+    RunConfig cfg;
+    cfg.recoveryEnabled = true;
+    cfg.recoveryLagSessions = 0;  // paper-strict deviation check
+    Harness h(
+        2, Mode::Slipstream,
+        [&](ParallelRuntime &rt) {
+            bar = rt.makeBarrier();
+            data = rt.alloc().alloc(lineBytes);
+            rt.fmem().write<std::uint64_t>(data, 42);
+        },
+        [&](TaskContext &ctx) -> Coro<void> {
+            // Session 0: the A-stream alone does a huge compute, so
+            // the R-stream reaches the barrier first -> deviation.
+            if (ctx.isAStream())
+                co_await ctx.compute(500000);
+            co_await ctx.barrier(bar);
+            // Session 1: the re-forked A-stream works normally.
+            std::uint64_t v = co_await ctx.ld<std::uint64_t>(data);
+            if (ctx.isAStream() && ctx.tid() == 0)
+                a_after_recovery = v;
+            co_await ctx.barrier(bar);
+            if (!ctx.isAStream())
+                co_await ctx.compute(800000);  // let A catch up & finish
+        },
+        ArPolicy::OneTokenLocal, &cfg);
+    h.run();
+    EXPECT_GE(h.rt->totalRecoveries(), 1u);
+    EXPECT_EQ(a_after_recovery, 42u);
+}
+
+TEST(Slipstream, PublishConsumeOrderedAcrossMany)
+{
+    std::vector<std::uint64_t> consumed;
+    Harness h(
+        1, Mode::Slipstream,
+        [&](ParallelRuntime &) {},
+        [&](TaskContext &ctx) -> Coro<void> {
+            for (std::uint64_t i = 0; i < 20; ++i) {
+                if (ctx.isAStream()) {
+                    consumed.push_back(
+                        co_await ctx.consumeDecision());
+                } else {
+                    co_await ctx.compute(100);
+                    ctx.publishDecision(i * 3);
+                }
+            }
+            if (!ctx.isAStream())
+                co_await ctx.compute(20000);  // let A drain the log
+        });
+    h.run();
+    ASSERT_EQ(consumed.size(), 20u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_EQ(consumed[i], i * 3);
+}
+
+TEST(Slipstream, BreakdownSeparatesArSyncTime)
+{
+    int bar = -1;
+    Harness h(
+        2, Mode::Slipstream,
+        [&](ParallelRuntime &rt) { bar = rt.makeBarrier(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            for (int s = 0; s < 4; ++s) {
+                co_await ctx.compute(20000);
+                co_await ctx.barrier(bar);
+            }
+        },
+        ArPolicy::ZeroTokenGlobal);
+    h.run();
+    // A-streams wait on tokens (they skip the barriers themselves).
+    Tick ar = h.rt->aCtx(0).processor().catCycles(TimeCat::ArSync);
+    EXPECT_GT(ar, 0u);
+    EXPECT_EQ(h.rt->aCtx(0).processor().catCycles(TimeCat::Barrier),
+              0u);
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Runtime synchronization tests: barriers, locks, event flags, and
+ * their timing/coherence side effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+
+using namespace slipsim;
+using namespace slipsim::test;
+
+TEST(SyncBarrier, AllTasksLeaveTogether)
+{
+    // Each task records its barrier-exit tick; all must match the
+    // last arriver's release (within the release fan-out).
+    std::vector<Tick> exits;
+    int bar = -1;
+    Harness h(
+        4, Mode::Single,
+        [&](ParallelRuntime &rt) {
+            bar = rt.makeBarrier();
+            exits.assign(rt.numTasks(), 0);
+        },
+        [&](TaskContext &ctx) -> Coro<void> {
+            // Stagger arrivals.
+            co_await ctx.compute(1000 * (ctx.tid() + 1));
+            co_await ctx.barrier(bar);
+            exits[ctx.tid()] = ctx.processor().eventq().now();
+        });
+    h.run();
+    Tick last_arrival_work = 4000;
+    for (Tick e : exits) {
+        EXPECT_GE(e, last_arrival_work);
+        // Exits cluster: release + flag re-read, not another epoch.
+        EXPECT_LT(e, last_arrival_work + 5000);
+    }
+}
+
+TEST(SyncBarrier, ReusableAcrossEpochs)
+{
+    int bar = -1;
+    std::vector<int> counter(1, 0);
+    bool order_ok = true;
+    Harness h(
+        2, Mode::Single,
+        [&](ParallelRuntime &rt) { bar = rt.makeBarrier(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            for (int ep = 0; ep < 5; ++ep) {
+                if (ctx.tid() == 0)
+                    ++counter[0];
+                co_await ctx.barrier(bar);
+                // After each barrier, task 1 must observe the epoch's
+                // increment.
+                if (ctx.tid() == 1 && counter[0] != ep + 1)
+                    order_ok = false;
+                co_await ctx.barrier(bar);
+            }
+        });
+    h.run();
+    EXPECT_TRUE(order_ok);
+    EXPECT_EQ(counter[0], 5);
+}
+
+TEST(SyncBarrier, GeneratesMigratoryCounterTraffic)
+{
+    int bar = -1;
+    Harness h(
+        4, Mode::Single,
+        [&](ParallelRuntime &rt) { bar = rt.makeBarrier(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            co_await ctx.barrier(bar);
+        });
+    h.run();
+    // The barrier counter line migrates through every node: the homes
+    // saw exclusive traffic.
+    std::uint64_t fwd = 0;
+    for (NodeId n = 0; n < 4; ++n)
+        fwd += h.sys->memory().dir(n).fwdGetX;
+    EXPECT_GE(fwd, 2u);
+}
+
+TEST(SyncLock, MutualExclusionUnderContention)
+{
+    int lk = -1;
+    int inside = 0;
+    bool exclusive = true;
+    Harness h(
+        4, Mode::Single,
+        [&](ParallelRuntime &rt) { lk = rt.makeLock(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            for (int i = 0; i < 5; ++i) {
+                co_await ctx.lock(lk);
+                if (++inside != 1)
+                    exclusive = false;
+                co_await ctx.compute(50);
+                // A simulated yield point inside the critical section.
+                co_await ctx.compute(3000);
+                --inside;
+                co_await ctx.unlock(lk);
+                co_await ctx.compute(10);
+            }
+        });
+    h.run();
+    EXPECT_TRUE(exclusive);
+    EXPECT_EQ(h.rt->lockObj(lk).acquisitions(), 20u);
+    EXPECT_FALSE(h.rt->lockObj(lk).isHeld());
+}
+
+TEST(SyncLock, WaitTimeChargedToLockCategory)
+{
+    int lk = -1;
+    Harness h(
+        2, Mode::Single,
+        [&](ParallelRuntime &rt) { lk = rt.makeLock(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            co_await ctx.lock(lk);
+            co_await ctx.compute(20000);
+            co_await ctx.unlock(lk);
+        });
+    h.run();
+    // One of the tasks waited ~20k cycles on the lock.
+    Tick lock_wait =
+        h.rt->taskCtx(0).processor().catCycles(TimeCat::Lock) +
+        h.rt->taskCtx(1).processor().catCycles(TimeCat::Lock);
+    EXPECT_GT(lock_wait, 15000u);
+}
+
+TEST(EventFlag, WaitBlocksUntilSet)
+{
+    int flag = -1;
+    Tick consumer_done = 0;
+    Harness h(
+        2, Mode::Single,
+        [&](ParallelRuntime &rt) { flag = rt.makeFlag(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            if (ctx.tid() == 0) {
+                co_await ctx.compute(50000);
+                co_await ctx.eventSet(flag);
+            } else {
+                co_await ctx.eventWait(flag);
+                consumer_done = ctx.processor().eventq().now();
+            }
+        });
+    h.run();
+    EXPECT_GE(consumer_done, 50000u);
+}
+
+TEST(EventFlag, WaitPassesImmediatelyWhenSet)
+{
+    int flag = -1;
+    Tick consumer_done = 0;
+    Harness h(
+        2, Mode::Single,
+        [&](ParallelRuntime &rt) { flag = rt.makeFlag(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            if (ctx.tid() == 0) {
+                co_await ctx.eventSet(flag);
+            } else {
+                co_await ctx.compute(80000);
+                co_await ctx.eventWait(flag);
+                consumer_done = ctx.processor().eventq().now();
+            }
+        });
+    h.run();
+    // No extra epoch of waiting beyond the consumer's own compute.
+    EXPECT_LT(consumer_done, 95000u);
+}
+
+TEST(Runtime, DeadlockIsDiagnosedNotHung)
+{
+    int bar = -1;
+    Harness h(
+        2, Mode::Single,
+        [&](ParallelRuntime &rt) { bar = rt.makeBarrier(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            // Task 1 never reaches the barrier.
+            if (ctx.tid() == 0)
+                co_await ctx.barrier(bar);
+            else
+                co_return;
+        });
+    EXPECT_THROW(h.run(), FatalError);
+}
+
+TEST(Runtime, TickLimitAborts)
+{
+    int bar = -1;
+    Harness h(
+        2, Mode::Single,
+        [&](ParallelRuntime &rt) { bar = rt.makeBarrier(); },
+        [&](TaskContext &ctx) -> Coro<void> {
+            for (int i = 0; i < 1000000; ++i)
+                co_await ctx.compute(10000);
+            co_await ctx.barrier(bar);
+        });
+    EXPECT_THROW(h.rt->run(100000), FatalError);
+}
+
+TEST(Runtime, GlobalOpExecutedOncePerPair)
+{
+    // In slipstream mode the R-stream executes the operation and the
+    // A-stream consumes the published result.
+    int executions = 0;
+    std::vector<std::uint64_t> a_values;
+    Harness h(
+        2, Mode::Slipstream,
+        [&](ParallelRuntime &) {},
+        [&](TaskContext &ctx) -> Coro<void> {
+            std::uint64_t v = co_await ctx.globalOp([&] {
+                ++executions;
+                return std::uint64_t(1234);
+            });
+            if (ctx.isAStream())
+                a_values.push_back(v);
+            else
+                co_await ctx.compute(20000);  // let the A-streams finish
+        });
+    h.run();
+    EXPECT_EQ(executions, 2);  // once per R task, never for A
+    ASSERT_EQ(a_values.size(), 2u);
+    EXPECT_EQ(a_values[0], 1234u);
+    EXPECT_EQ(a_values[1], 1234u);
+}

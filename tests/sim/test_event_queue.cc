@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace slipsim;
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(50, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 10)
+            eq.scheduleIn(7, chain);
+    };
+    eq.scheduleIn(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(eq.now(), 9u * 7u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [&] {
+        EXPECT_THROW(eq.schedule(50, [] {}), PanicError);
+    });
+    eq.run();
+}
+
+TEST(EventQueue, RunUntilLimitStopsEarly)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(10, [&] { ++ran; });
+    eq.schedule(20, [&] { ++ran; });
+    eq.schedule(30, [&] { ++ran; });
+    eq.run(20);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, StepProcessesExactlyOne)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(1, [&] { ++ran; });
+    eq.schedule(2, [&] { ++ran; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(ran, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(ran, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, DrainCheckReportsStuckSimulation)
+{
+    EventQueue eq;
+    eq.addDrainCheck([] { return std::string("tasks blocked"); });
+    eq.schedule(1, [] {});
+    EXPECT_THROW(eq.run(), FatalError);
+}
+
+TEST(EventQueue, ProcessedCounterCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.processed(), 5u);
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Histogram tests, plus the end-to-end miss-latency distribution
+ * sanity check (the hierarchy's latencies must land in the buckets
+ * Table 1 predicts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "sim/stats.hh"
+
+using namespace slipsim;
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.maxValue(), 0u);
+}
+
+TEST(Histogram, BucketsByPowerOfTwo)
+{
+    Histogram h;
+    h.sample(0);    // bucket 0: [0,2)
+    h.sample(1);    // bucket 0
+    h.sample(2);    // bucket 1: [2,4)
+    h.sample(3);    // bucket 1
+    h.sample(170);  // bucket 7: [128,256)
+    h.sample(290);  // bucket 8: [256,512)
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(7), 1u);
+    EXPECT_EQ(h.bucket(8), 1u);
+    EXPECT_EQ(h.samples(), 6u);
+    EXPECT_EQ(h.maxValue(), 290u);
+}
+
+TEST(Histogram, MeanAndPercentile)
+{
+    Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.sample(100);
+    for (int i = 0; i < 10; ++i)
+        h.sample(10000);
+    EXPECT_NEAR(h.mean(), (90 * 100 + 10 * 10000) / 100.0, 1e-9);
+    // 90% of samples are <= 128 (bucket upper bound of 100).
+    EXPECT_LE(h.percentileUpperBound(0.9), 128u);
+    EXPECT_GT(h.percentileUpperBound(0.999), 8192u);
+}
+
+TEST(Histogram, MergeAccumulates)
+{
+    Histogram a, b;
+    a.sample(5);
+    b.sample(300);
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 2u);
+    EXPECT_EQ(a.maxValue(), 300u);
+}
+
+TEST(Histogram, DumpIntoPublishesKeys)
+{
+    Histogram h;
+    h.sample(42);
+    StatSet s;
+    h.dumpInto(s, "test");
+    EXPECT_EQ(s.get("test.samples"), 1.0);
+    EXPECT_EQ(s.get("test.mean"), 42.0);
+    EXPECT_EQ(s.get("test.max"), 42.0);
+}
+
+TEST(Histogram, EndToEndMissLatenciesMatchTableOne)
+{
+    // In a stream run, every demand-miss latency must be at least the
+    // 170-cycle local minimum and the mean must sit in the 170..600
+    // range Table 1 implies for a small machine.
+    MachineParams mp;
+    mp.numCmps = 4;
+    RunConfig rc;
+    Options o;
+    o.set("n", "4096");
+    auto r = runExperiment("stream", o, mp, rc);
+    double n = r.stats.get("l2.missLatency.samples");
+    double mean = r.stats.get("l2.missLatency.sum") / n;
+    EXPECT_GT(n, 100.0);
+    EXPECT_GE(mean, 170.0);
+    EXPECT_LE(mean, 800.0);
+}

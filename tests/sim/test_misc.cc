@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for stats, config, RNG, and logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+using namespace slipsim;
+
+TEST(StatSet, SetAddGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("x"), 0.0);
+    EXPECT_FALSE(s.has("x"));
+    s.set("x", 3.0);
+    s.add("x", 2.0);
+    EXPECT_EQ(s.get("x"), 5.0);
+    EXPECT_TRUE(s.has("x"));
+}
+
+TEST(StatSet, MergeSumsOverlappingKeys)
+{
+    StatSet a, b;
+    a.set("k", 1);
+    a.set("only.a", 2);
+    b.set("k", 10);
+    b.set("only.b", 20);
+    a.merge(b);
+    EXPECT_EQ(a.get("k"), 11.0);
+    EXPECT_EQ(a.get("only.a"), 2.0);
+    EXPECT_EQ(a.get("only.b"), 20.0);
+}
+
+TEST(StatSet, MergePrefixedNamespaces)
+{
+    StatSet a, b;
+    b.set("hits", 4);
+    a.mergePrefixed("l2", b);
+    EXPECT_EQ(a.get("l2.hits"), 4.0);
+}
+
+TEST(StatSet, DumpIsOrderedAndParsable)
+{
+    StatSet s;
+    s.set("b", 2);
+    s.set("a", 1.5);
+    std::ostringstream os;
+    s.dump(os);
+    std::string text = os.str();
+    EXPECT_LT(text.find("a"), text.find("b"));
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+}
+
+TEST(Options, ParsesKeyValueAndFlags)
+{
+    const char *argv[] = {"prog", "--cmps=8", "--quiet",
+                          "mode=double", "positional"};
+    Options o = Options::parse(5, argv);
+    EXPECT_EQ(o.getInt("cmps", 0), 8);
+    EXPECT_TRUE(o.getBool("quiet", false));
+    EXPECT_EQ(o.getString("mode"), "double");
+    ASSERT_EQ(o.positional().size(), 1u);
+    EXPECT_EQ(o.positional()[0], "positional");
+}
+
+TEST(Options, DefaultsWhenAbsent)
+{
+    Options o;
+    EXPECT_EQ(o.getInt("missing", 42), 42);
+    EXPECT_EQ(o.getDouble("missing", 2.5), 2.5);
+    EXPECT_FALSE(o.getBool("missing", false));
+    EXPECT_EQ(o.getString("missing", "d"), "d");
+}
+
+TEST(Options, RejectsMalformedNumbers)
+{
+    Options o;
+    o.set("n", "12abc");
+    EXPECT_THROW(o.getInt("n", 0), FatalError);
+    o.set("f", "maybe");
+    EXPECT_THROW(o.getBool("f", false), FatalError);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(10), 10u);
+        auto v = r.inRange(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        double d = r.real();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ReasonablyUniform)
+{
+    Rng r(99);
+    int buckets[8] = {};
+    for (int i = 0; i < 8000; ++i)
+        ++buckets[r.below(8)];
+    for (int b : buckets) {
+        EXPECT_GT(b, 800);
+        EXPECT_LT(b, 1200);
+    }
+}
+
+TEST(Logging, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("bug %d", 1), PanicError);
+    EXPECT_THROW(fatal("user error %s", "x"), FatalError);
+}
+
+TEST(Logging, AssertMacroFiresOnFalse)
+{
+    EXPECT_THROW(SLIPSIM_ASSERT(1 == 2, "math broke"), PanicError);
+    SLIPSIM_ASSERT(1 == 1, "fine");  // must not throw
+}

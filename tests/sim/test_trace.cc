@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Trace-facility tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+struct TraceGuard
+{
+    ~TraceGuard() { Trace::enable(""); }
+};
+
+} // namespace
+
+TEST(Trace, DisabledByDefault)
+{
+    TraceGuard g;
+    Trace::enable("");
+    EXPECT_FALSE(Trace::active(TraceFlag::Coherence));
+    EXPECT_FALSE(Trace::active(TraceFlag::Slipstream));
+}
+
+TEST(Trace, EnableSelectsCategories)
+{
+    TraceGuard g;
+    Trace::enable("Coherence,Sync");
+    EXPECT_TRUE(Trace::active(TraceFlag::Coherence));
+    EXPECT_TRUE(Trace::active(TraceFlag::Sync));
+    EXPECT_FALSE(Trace::active(TraceFlag::Cache));
+}
+
+TEST(Trace, AllEnablesEverything)
+{
+    TraceGuard g;
+    Trace::enable("All");
+    for (TraceFlag f : {TraceFlag::Coherence, TraceFlag::Cache,
+                        TraceFlag::Slipstream, TraceFlag::Sync,
+                        TraceFlag::Task}) {
+        EXPECT_TRUE(Trace::active(f)) << Trace::flagName(f);
+    }
+}
+
+TEST(Trace, UnknownFlagIsIgnored)
+{
+    TraceGuard g;
+    Trace::enable("NoSuchFlag,Cache");
+    EXPECT_TRUE(Trace::active(TraceFlag::Cache));
+    EXPECT_FALSE(Trace::active(TraceFlag::Coherence));
+}
+
+TEST(Trace, FlagNamesRoundTrip)
+{
+    EXPECT_STREQ(Trace::flagName(TraceFlag::Coherence), "Coherence");
+    EXPECT_STREQ(Trace::flagName(TraceFlag::Slipstream), "Slipstream");
+}
+
+TEST(Trace, MacroCompilesAndIsCheap)
+{
+    TraceGuard g;
+    Trace::enable("");
+    // Must not evaluate expensively or crash when disabled.
+    SLIPSIM_TRACE_MSG(TraceFlag::Cache, 123, "test", "value %d", 42);
+    Trace::enable("Cache");
+    SLIPSIM_TRACE_MSG(TraceFlag::Cache, 123, "test", "value %d", 42);
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Test utilities: an inline workload defined by lambdas, and a
+ * ready-made harness that builds a System + ParallelRuntime around it.
+ */
+
+#ifndef SLIPSIM_TESTS_TEST_UTIL_HH
+#define SLIPSIM_TESTS_TEST_UTIL_HH
+
+#include <functional>
+#include <memory>
+
+#include "core/system.hh"
+#include "runtime/parallel_runtime.hh"
+#include "runtime/task_context.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+namespace test
+{
+
+/** A workload whose setup/task/verify are lambdas. */
+class LambdaWorkload : public Workload
+{
+  public:
+    using SetupFn = std::function<void(ParallelRuntime &)>;
+    using TaskFn = std::function<Coro<void>(TaskContext &)>;
+    using VerifyFn = std::function<bool(FunctionalMemory &)>;
+
+    LambdaWorkload(SetupFn s, TaskFn t,
+                   VerifyFn v = [](FunctionalMemory &) { return true; })
+        : setupFn(std::move(s)), taskFn(std::move(t)),
+          verifyFn(std::move(v))
+    {}
+
+    std::string name() const override { return "lambda"; }
+    std::string sizeDescription() const override { return "test"; }
+
+    void setup(ParallelRuntime &rt) override { setupFn(rt); }
+
+    Coro<void> task(TaskContext &ctx) override { return taskFn(ctx); }
+
+    bool
+    verify(FunctionalMemory &m) const override
+    {
+        return verifyFn(m);
+    }
+
+  private:
+    SetupFn setupFn;
+    TaskFn taskFn;
+    VerifyFn verifyFn;
+};
+
+/** System + runtime wired around a LambdaWorkload. */
+struct Harness
+{
+    MachineParams mp;
+    RunConfig rc;
+    LambdaWorkload wl;
+    std::unique_ptr<System> sys;
+    std::unique_ptr<ParallelRuntime> rt;
+
+    Harness(int cmps, Mode mode, LambdaWorkload::SetupFn setup,
+            LambdaWorkload::TaskFn task,
+            ArPolicy policy = ArPolicy::OneTokenLocal,
+            const RunConfig *cfg = nullptr)
+        : wl(std::move(setup), std::move(task))
+    {
+        mp.numCmps = cmps;
+        if (cfg)
+            rc = *cfg;
+        rc.mode = mode;
+        rc.arPolicy = policy;
+        sys = std::make_unique<System>(mp, rc);
+        rt = std::make_unique<ParallelRuntime>(
+            sys->eventq(), sys->machine(), sys->memory(),
+            sys->procPtrs(), sys->allocator(), sys->functional(), wl,
+            rc);
+        rt->setup();
+    }
+
+    Tick run() { return rt->run(); }
+};
+
+} // namespace test
+} // namespace slipsim
+
+#endif // SLIPSIM_TESTS_TEST_UTIL_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Parameterized correctness sweep: every paper benchmark runs and
+ * verifies under every execution mode (and, for slipstream, every A-R
+ * policy and feature set).  Verification doubles as the proof that
+ * A-streams never corrupt shared state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+/** Tiny problem sizes so the full matrix stays fast. */
+Options
+tinyOpts(const std::string &wl)
+{
+    Options o;
+    if (wl == "sor")
+        o.set("n", "34");
+    if (wl == "lu") {
+        o.set("n", "32");
+        o.set("block", "8");
+    }
+    if (wl == "fft")
+        o.set("m", "256");
+    if (wl == "ocean") {
+        o.set("n", "26");
+        o.set("steps", "1");
+    }
+    if (wl == "water-ns") {
+        o.set("mol", "24");
+        o.set("steps", "1");
+    }
+    if (wl == "water-sp") {
+        o.set("mol", "32");
+        o.set("steps", "1");
+    }
+    if (wl == "cg") {
+        o.set("n", "96");
+        o.set("iters", "3");
+    }
+    if (wl == "mg") {
+        o.set("n", "8");
+        o.set("cycles", "1");
+    }
+    if (wl == "sp") {
+        o.set("n", "8");
+        o.set("iters", "1");
+    }
+    return o;
+}
+
+const char *const paperBenchmarks[] = {
+    "sor", "lu", "fft", "ocean", "water-ns",
+    "water-sp", "cg", "mg", "sp",
+};
+
+using ModeCase = std::tuple<const char *, Mode>;
+
+class BenchmarkModeTest
+    : public ::testing::TestWithParam<ModeCase>
+{};
+
+} // namespace
+
+TEST_P(BenchmarkModeTest, RunsAndVerifies)
+{
+    auto [wl, mode] = GetParam();
+    MachineParams mp;
+    mp.numCmps = 4;
+    RunConfig rc;
+    rc.mode = mode;
+
+    auto r = runExperiment(wl, tinyOpts(wl), mp, rc,
+                           /*tick_limit=*/500'000'000);
+    EXPECT_TRUE(r.verified) << wl << " in " << modeName(mode);
+    EXPECT_GT(r.cycles, 0u);
+    if (mode == Mode::Slipstream)
+        EXPECT_EQ(r.recoveries, 0u) << wl;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkModeTest,
+    ::testing::Combine(::testing::ValuesIn(paperBenchmarks),
+                       ::testing::Values(Mode::Single, Mode::Double,
+                                         Mode::Slipstream)),
+    [](const ::testing::TestParamInfo<ModeCase> &info) {
+        std::string name = std::get<0>(info.param);
+        for (auto &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return name + "_" + modeName(std::get<1>(info.param));
+    });
+
+// --- slipstream policy / feature sweeps on a subset -----------------------
+
+using PolicyCase = std::tuple<const char *, ArPolicy>;
+
+class PolicyTest : public ::testing::TestWithParam<PolicyCase>
+{};
+
+TEST_P(PolicyTest, SlipstreamVerifiesUnderPolicy)
+{
+    auto [wl, policy] = GetParam();
+    MachineParams mp;
+    mp.numCmps = 4;
+    RunConfig rc;
+    rc.mode = Mode::Slipstream;
+    rc.arPolicy = policy;
+
+    auto r = runExperiment(wl, tinyOpts(wl), mp, rc,
+                           /*tick_limit=*/500'000'000);
+    EXPECT_TRUE(r.verified) << wl << " under " << arPolicyName(policy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyTest,
+    ::testing::Combine(::testing::Values("sor", "ocean", "cg",
+                                         "water-ns"),
+                       ::testing::Values(ArPolicy::OneTokenLocal,
+                                         ArPolicy::ZeroTokenLocal,
+                                         ArPolicy::ZeroTokenGlobal,
+                                         ArPolicy::OneTokenGlobal)),
+    [](const ::testing::TestParamInfo<PolicyCase> &info) {
+        std::string name = std::get<0>(info.param);
+        for (auto &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return name + "_" + arPolicyName(std::get<1>(info.param));
+    });
+
+class FeatureTest : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(FeatureTest, TransparentLoadsAndSiVerify)
+{
+    MachineParams mp;
+    mp.numCmps = 4;
+    RunConfig rc;
+    rc.mode = Mode::Slipstream;
+    rc.arPolicy = ArPolicy::OneTokenGlobal;
+    rc.features.transparentLoads = true;
+    rc.features.selfInvalidation = true;
+
+    auto r = runExperiment(GetParam(), tinyOpts(GetParam()), mp, rc,
+                           /*tick_limit=*/500'000'000);
+    EXPECT_TRUE(r.verified) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SiFeatures, FeatureTest,
+    ::testing::ValuesIn(paperBenchmarks),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return name;
+    });

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Edge-case and property sweeps over the benchmark kernels: odd node
+ * counts (partitions with remainders, more tasks than rows/cells),
+ * single-node slipstream, determinism, and host-reference
+ * self-consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+Options
+tiny(const std::string &wl)
+{
+    Options o;
+    if (wl == "sor")
+        o.set("n", "34");
+    if (wl == "lu") {
+        o.set("n", "32");
+        o.set("block", "8");
+    }
+    if (wl == "fft")
+        o.set("m", "256");
+    if (wl == "ocean") {
+        o.set("n", "26");
+        o.set("steps", "1");
+    }
+    if (wl == "water-ns") {
+        o.set("mol", "24");
+        o.set("steps", "1");
+    }
+    if (wl == "water-sp") {
+        o.set("mol", "32");
+        o.set("steps", "1");
+    }
+    if (wl == "cg") {
+        o.set("n", "64");
+        o.set("iters", "2");
+    }
+    if (wl == "mg") {
+        o.set("n", "8");
+        o.set("cycles", "1");
+    }
+    if (wl == "sp") {
+        o.set("n", "8");
+        o.set("iters", "1");
+    }
+    return o;
+}
+
+using OddCase = std::tuple<const char *, int>;
+
+class OddNodeCountTest : public ::testing::TestWithParam<OddCase>
+{
+};
+
+} // namespace
+
+TEST_P(OddNodeCountTest, VerifiesWithRemainderPartitions)
+{
+    auto [wl, cmps] = GetParam();
+    MachineParams mp;
+    mp.numCmps = cmps;
+    RunConfig rc;
+    rc.mode = Mode::Slipstream;
+    auto r = runExperiment(wl, tiny(wl), mp, rc,
+                           /*tick_limit=*/500'000'000);
+    EXPECT_TRUE(r.verified) << wl << " @ " << cmps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OddNodeCountTest,
+    ::testing::Combine(
+        ::testing::Values("sor", "lu", "fft", "ocean", "water-ns",
+                          "water-sp", "cg", "mg", "sp"),
+        ::testing::Values(1, 3, 5)),
+    [](const ::testing::TestParamInfo<OddCase> &info) {
+        std::string name = std::get<0>(info.param);
+        for (auto &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return name + "_cmps" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(WorkloadEdge, MoreTasksThanInteriorRows)
+{
+    // sor with n=10 has 8 interior rows; 16 tasks in double mode on 8
+    // CMPs means several tasks get empty partitions.
+    Options o;
+    o.set("n", "10");
+    o.set("iters", "2");
+    MachineParams mp;
+    mp.numCmps = 8;
+    RunConfig rc;
+    rc.mode = Mode::Double;
+    auto r = runExperiment("sor", o, mp, rc);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(WorkloadEdge, MoreTasksThanMolecules)
+{
+    Options o;
+    o.set("mol", "8");
+    o.set("steps", "1");
+    MachineParams mp;
+    mp.numCmps = 8;
+    RunConfig rc;
+    rc.mode = Mode::Double;  // 16 tasks, 8 molecules
+    auto r = runExperiment("water-ns", o, mp, rc);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(WorkloadEdge, DeterministicAcrossRepeatedRuns)
+{
+    for (const char *wl : {"cg", "water-ns", "mg"}) {
+        MachineParams mp;
+        mp.numCmps = 4;
+        RunConfig rc;
+        rc.mode = Mode::Slipstream;
+        rc.features.transparentLoads = true;
+        rc.features.selfInvalidation = true;
+        auto a = runExperiment(wl, tiny(wl), mp, rc);
+        auto b = runExperiment(wl, tiny(wl), mp, rc);
+        EXPECT_EQ(a.cycles, b.cycles) << wl;
+        EXPECT_EQ(a.stats.get("net.messages"),
+                  b.stats.get("net.messages"))
+            << wl;
+        EXPECT_EQ(a.transparentReplies, b.transparentReplies) << wl;
+    }
+}
+
+TEST(WorkloadEdge, SizeDescriptionsAreInformative)
+{
+    for (const char *wl : {"sor", "lu", "fft", "ocean", "water-ns",
+                           "water-sp", "cg", "mg", "sp"}) {
+        auto w = makeWorkload(wl, tiny(wl));
+        EXPECT_FALSE(w->sizeDescription().empty()) << wl;
+        EXPECT_EQ(w->name(), wl);
+    }
+}
+
+TEST(WorkloadEdge, PaperFlagSelectsTableTwoSizes)
+{
+    Options o;
+    o.set("paper", "true");
+    EXPECT_NE(makeWorkload("sor", o)->sizeDescription().find("1024"),
+              std::string::npos);
+    EXPECT_NE(makeWorkload("fft", o)->sizeDescription().find("65536"),
+              std::string::npos);
+    EXPECT_NE(
+        makeWorkload("water-ns", o)->sizeDescription().find("512"),
+        std::string::npos);
+    EXPECT_NE(makeWorkload("cg", o)->sizeDescription().find("1400"),
+              std::string::npos);
+    EXPECT_NE(makeWorkload("mg", o)->sizeDescription().find("32"),
+              std::string::npos);
+}
+
+TEST(WorkloadEdge, BadConfigurationsAreFatal)
+{
+    Options bad;
+    bad.set("n", "100");
+    bad.set("block", "16");  // 100 % 16 != 0
+    EXPECT_THROW(makeWorkload("lu", bad), FatalError);
+
+    Options bad_fft;
+    bad_fft.set("m", "100");  // not a power of 4
+    EXPECT_THROW(makeWorkload("fft", bad_fft), FatalError);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Negative verification tests: each kernel's verify() must actually
+ * detect corrupted results (otherwise the mode/policy sweeps prove
+ * nothing), and the runtime must expose verification failures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "runtime/parallel_runtime.hh"
+#include "workloads/workload.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+Options
+tiny(const std::string &wl)
+{
+    Options o;
+    if (wl == "sor")
+        o.set("n", "34");
+    if (wl == "lu") {
+        o.set("n", "32");
+        o.set("block", "8");
+    }
+    if (wl == "fft")
+        o.set("m", "256");
+    if (wl == "ocean") {
+        o.set("n", "26");
+        o.set("steps", "1");
+    }
+    if (wl == "water-ns") {
+        o.set("mol", "24");
+        o.set("steps", "1");
+    }
+    if (wl == "water-sp") {
+        o.set("mol", "32");
+        o.set("steps", "1");
+    }
+    if (wl == "cg") {
+        o.set("n", "64");
+        o.set("iters", "2");
+    }
+    if (wl == "mg") {
+        o.set("n", "8");
+        o.set("cycles", "1");
+    }
+    if (wl == "sp") {
+        o.set("n", "8");
+        o.set("iters", "1");
+    }
+    return o;
+}
+
+class VerificationTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+} // namespace
+
+TEST_P(VerificationTest, DetectsCorruptedResults)
+{
+    const std::string wl = GetParam();
+    MachineParams mp;
+    mp.numCmps = 2;
+    RunConfig rc;
+
+    auto w = makeWorkload(wl, tiny(wl));
+    System sys(mp, rc);
+    ParallelRuntime rt(sys.eventq(), sys.machine(), sys.memory(),
+                       sys.procPtrs(), sys.allocator(),
+                       sys.functional(), *w, rc);
+    rt.setup();
+    rt.run();
+
+    ASSERT_TRUE(w->verify(sys.functional())) << "clean run must pass";
+
+    // Corrupt the head of every allocated page: whatever region the
+    // kernel verifies, some of it is now garbage.
+    FunctionalMemory &m = sys.functional();
+    Addr base = SharedAllocator::sharedBase;
+    size_t span = sys.allocator().allocated();
+    for (Addr off = 0; off < span;
+         off += FunctionalMemory::pageBytes) {
+        for (int i = 0; i < 8; ++i) {
+            m.write<double>(base + off + static_cast<Addr>(i) * 8,
+                            -1.2345e30);
+        }
+    }
+    EXPECT_FALSE(w->verify(m)) << wl << " verify() missed corruption";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, VerificationTest,
+    ::testing::Values("sor", "lu", "fft", "ocean", "water-ns",
+                      "water-sp", "cg", "mg", "sp", "stream",
+                      "neighbor", "migratory"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return name;
+    });
