@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_double_vs_single.dir/fig01_double_vs_single.cc.o"
+  "CMakeFiles/fig01_double_vs_single.dir/fig01_double_vs_single.cc.o.d"
+  "fig01_double_vs_single"
+  "fig01_double_vs_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_double_vs_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

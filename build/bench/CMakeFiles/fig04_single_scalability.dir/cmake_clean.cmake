@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_single_scalability.dir/fig04_single_scalability.cc.o"
+  "CMakeFiles/fig04_single_scalability.dir/fig04_single_scalability.cc.o.d"
+  "fig04_single_scalability"
+  "fig04_single_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_single_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_transparent_loads.dir/fig09_transparent_loads.cc.o"
+  "CMakeFiles/fig09_transparent_loads.dir/fig09_transparent_loads.cc.o.d"
+  "fig09_transparent_loads"
+  "fig09_transparent_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_transparent_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_latency_validation.dir/table1_latency_validation.cc.o"
+  "CMakeFiles/table1_latency_validation.dir/table1_latency_validation.cc.o.d"
+  "table1_latency_validation"
+  "table1_latency_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_latency_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

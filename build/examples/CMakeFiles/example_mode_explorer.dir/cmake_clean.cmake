@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mode_explorer.dir/mode_explorer.cpp.o"
+  "CMakeFiles/example_mode_explorer.dir/mode_explorer.cpp.o.d"
+  "example_mode_explorer"
+  "example_mode_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mode_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_advisor.dir/policy_advisor.cpp.o"
+  "CMakeFiles/example_policy_advisor.dir/policy_advisor.cpp.o.d"
+  "example_policy_advisor"
+  "example_policy_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/slipsim.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/slipsim.dir/core/report.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/core/report.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/slipsim.dir/core/system.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/core/system.cc.o.d"
+  "/root/repo/src/cpu/processor.cc" "src/CMakeFiles/slipsim.dir/cpu/processor.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/cpu/processor.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/CMakeFiles/slipsim.dir/mem/directory.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/mem/directory.cc.o.d"
+  "/root/repo/src/mem/functional_mem.cc" "src/CMakeFiles/slipsim.dir/mem/functional_mem.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/mem/functional_mem.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/slipsim.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/node_memory.cc" "src/CMakeFiles/slipsim.dir/mem/node_memory.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/mem/node_memory.cc.o.d"
+  "/root/repo/src/runtime/mode.cc" "src/CMakeFiles/slipsim.dir/runtime/mode.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/runtime/mode.cc.o.d"
+  "/root/repo/src/runtime/parallel_runtime.cc" "src/CMakeFiles/slipsim.dir/runtime/parallel_runtime.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/runtime/parallel_runtime.cc.o.d"
+  "/root/repo/src/runtime/sync_objects.cc" "src/CMakeFiles/slipsim.dir/runtime/sync_objects.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/runtime/sync_objects.cc.o.d"
+  "/root/repo/src/runtime/task_context.cc" "src/CMakeFiles/slipsim.dir/runtime/task_context.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/runtime/task_context.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/slipsim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/slipsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/slipsim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/slipsim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/slipsim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workloads/cg.cc" "src/CMakeFiles/slipsim.dir/workloads/cg.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/cg.cc.o.d"
+  "/root/repo/src/workloads/fft.cc" "src/CMakeFiles/slipsim.dir/workloads/fft.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/fft.cc.o.d"
+  "/root/repo/src/workloads/lu.cc" "src/CMakeFiles/slipsim.dir/workloads/lu.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/lu.cc.o.d"
+  "/root/repo/src/workloads/mg.cc" "src/CMakeFiles/slipsim.dir/workloads/mg.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/mg.cc.o.d"
+  "/root/repo/src/workloads/ocean.cc" "src/CMakeFiles/slipsim.dir/workloads/ocean.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/ocean.cc.o.d"
+  "/root/repo/src/workloads/sor.cc" "src/CMakeFiles/slipsim.dir/workloads/sor.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/sor.cc.o.d"
+  "/root/repo/src/workloads/sp_bench.cc" "src/CMakeFiles/slipsim.dir/workloads/sp_bench.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/sp_bench.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/slipsim.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/synthetic.cc.o.d"
+  "/root/repo/src/workloads/water_ns.cc" "src/CMakeFiles/slipsim.dir/workloads/water_ns.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/water_ns.cc.o.d"
+  "/root/repo/src/workloads/water_sp.cc" "src/CMakeFiles/slipsim.dir/workloads/water_sp.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/water_sp.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/slipsim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/slipsim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for slipsim.
+# This may be replaced when dependencies are built.

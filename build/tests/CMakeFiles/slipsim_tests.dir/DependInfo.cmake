@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_core.cc" "tests/CMakeFiles/slipsim_tests.dir/core/test_core.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/core/test_core.cc.o.d"
+  "/root/repo/tests/cpu/test_processor.cc" "tests/CMakeFiles/slipsim_tests.dir/cpu/test_processor.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/cpu/test_processor.cc.o.d"
+  "/root/repo/tests/integration/test_modes.cc" "tests/CMakeFiles/slipsim_tests.dir/integration/test_modes.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/integration/test_modes.cc.o.d"
+  "/root/repo/tests/integration/test_reproduction.cc" "tests/CMakeFiles/slipsim_tests.dir/integration/test_reproduction.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/integration/test_reproduction.cc.o.d"
+  "/root/repo/tests/mem/test_cache_array.cc" "tests/CMakeFiles/slipsim_tests.dir/mem/test_cache_array.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/mem/test_cache_array.cc.o.d"
+  "/root/repo/tests/mem/test_protocol.cc" "tests/CMakeFiles/slipsim_tests.dir/mem/test_protocol.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/mem/test_protocol.cc.o.d"
+  "/root/repo/tests/mem/test_protocol_corners.cc" "tests/CMakeFiles/slipsim_tests.dir/mem/test_protocol_corners.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/mem/test_protocol_corners.cc.o.d"
+  "/root/repo/tests/mem/test_protocol_random.cc" "tests/CMakeFiles/slipsim_tests.dir/mem/test_protocol_random.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/mem/test_protocol_random.cc.o.d"
+  "/root/repo/tests/net/test_resource.cc" "tests/CMakeFiles/slipsim_tests.dir/net/test_resource.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/net/test_resource.cc.o.d"
+  "/root/repo/tests/runtime/test_adaptive.cc" "tests/CMakeFiles/slipsim_tests.dir/runtime/test_adaptive.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/runtime/test_adaptive.cc.o.d"
+  "/root/repo/tests/runtime/test_slipstream.cc" "tests/CMakeFiles/slipsim_tests.dir/runtime/test_slipstream.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/runtime/test_slipstream.cc.o.d"
+  "/root/repo/tests/runtime/test_sync.cc" "tests/CMakeFiles/slipsim_tests.dir/runtime/test_sync.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/runtime/test_sync.cc.o.d"
+  "/root/repo/tests/sim/test_coro.cc" "tests/CMakeFiles/slipsim_tests.dir/sim/test_coro.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/sim/test_coro.cc.o.d"
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/CMakeFiles/slipsim_tests.dir/sim/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/sim/test_event_queue.cc.o.d"
+  "/root/repo/tests/sim/test_histogram.cc" "tests/CMakeFiles/slipsim_tests.dir/sim/test_histogram.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/sim/test_histogram.cc.o.d"
+  "/root/repo/tests/sim/test_misc.cc" "tests/CMakeFiles/slipsim_tests.dir/sim/test_misc.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/sim/test_misc.cc.o.d"
+  "/root/repo/tests/sim/test_trace.cc" "tests/CMakeFiles/slipsim_tests.dir/sim/test_trace.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/sim/test_trace.cc.o.d"
+  "/root/repo/tests/workloads/test_benchmarks.cc" "tests/CMakeFiles/slipsim_tests.dir/workloads/test_benchmarks.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/workloads/test_benchmarks.cc.o.d"
+  "/root/repo/tests/workloads/test_edge_cases.cc" "tests/CMakeFiles/slipsim_tests.dir/workloads/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/workloads/test_edge_cases.cc.o.d"
+  "/root/repo/tests/workloads/test_verification.cc" "tests/CMakeFiles/slipsim_tests.dir/workloads/test_verification.cc.o" "gcc" "tests/CMakeFiles/slipsim_tests.dir/workloads/test_verification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
