@@ -10,7 +10,12 @@
  *   4. Deviation-check strictness (recovery lag 0 vs 1) on a workload
  *      engineered to deviate.
  *   5. Busy-quantum sensitivity (timing-model robustness).
+ *
+ * All sections' runs are enqueued into one sweep and simulated
+ * together (jobs=N workers), then the tables are formatted in order.
  */
+
+#include <functional>
 
 #include "bench_common.hh"
 
@@ -20,15 +25,15 @@ using namespace slipsim::bench;
 namespace
 {
 
-ExperimentResult
-runWith(const std::string &wl, const Options &opts, int cmps,
-        RunConfig rc, std::function<void(MachineParams &)> tweak = {})
+std::size_t
+addWith(Sweep &sweep, const std::string &wl, const Options &opts,
+        int cmps, const RunConfig &rc,
+        const std::function<void(MachineParams &)> &tweak = {})
 {
-    Options o = figOptions(wl, opts);
     MachineParams mp = figMachine(wl, opts, cmps);
     if (tweak)
         tweak(mp);
-    return runExperiment(wl, o, mp, rc);
+    return sweep.addMachine(wl, opts, mp, rc);
 }
 
 } // namespace
@@ -41,28 +46,129 @@ main(int argc, char **argv)
     banner("Ablations: slipstream design choices", opts);
     int cmps = static_cast<int>(opts.getInt("cmps", 16));
 
+    Sweep sweep(opts);
+
+    // --- 1. store->prefetch conversion: enqueue ------------------------
+    const std::vector<std::string> s1_wls = {"sor", "ocean", "mg", "sp"};
+    struct S1
+    {
+        std::size_t single, on, off;
+    };
+    std::vector<S1> s1(s1_wls.size());
+    for (std::size_t w = 0; w < s1_wls.size(); ++w) {
+        RunConfig single;
+        s1[w].single = addWith(sweep, s1_wls[w], opts, cmps, single);
+
+        RunConfig slip;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = ArPolicy::ZeroTokenGlobal;
+        slip.features.storeConvert = true;
+        s1[w].on = addWith(sweep, s1_wls[w], opts, cmps, slip);
+        slip.features.storeConvert = false;
+        s1[w].off = addWith(sweep, s1_wls[w], opts, cmps, slip);
+    }
+
+    // --- 2. MESI E state: enqueue --------------------------------------
+    const std::vector<std::string> s2_wls = {"water-ns", "migratory",
+                                             "mg"};
+    struct S2
+    {
+        std::size_t s_on, p_on, s_off, p_off;
+    };
+    std::vector<S2> s2(s2_wls.size());
+    for (std::size_t w = 0; w < s2_wls.size(); ++w) {
+        RunConfig single;
+        RunConfig slip;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = ArPolicy::OneTokenGlobal;
+        slip.features.transparentLoads = true;
+        slip.features.selfInvalidation = true;
+
+        auto tweakOn = [](MachineParams &mp) { mp.mesiEState = true; };
+        auto tweakOff = [](MachineParams &mp) {
+            mp.mesiEState = false;
+        };
+        s2[w].s_on = addWith(sweep, s2_wls[w], opts, cmps, single,
+                             tweakOn);
+        s2[w].p_on = addWith(sweep, s2_wls[w], opts, cmps, slip,
+                             tweakOn);
+        s2[w].s_off = addWith(sweep, s2_wls[w], opts, cmps, single,
+                              tweakOff);
+        s2[w].p_off = addWith(sweep, s2_wls[w], opts, cmps, slip,
+                              tweakOff);
+    }
+
+    // --- 3. adaptive A-R policy: enqueue -------------------------------
+    struct S3
+    {
+        std::size_t single;
+        std::vector<std::size_t> fixed;
+        std::size_t adaptive;
+    };
+    std::vector<S3> s3(slipWorkloads().size());
+    for (std::size_t w = 0; w < slipWorkloads().size(); ++w) {
+        const auto &wl = slipWorkloads()[w];
+        int wl_cmps = wl == "fft" ? 4 : cmps;
+        RunConfig single;
+        s3[w].single = addWith(sweep, wl, opts, wl_cmps, single);
+
+        for (ArPolicy p : allPolicies()) {
+            RunConfig slip;
+            slip.mode = Mode::Slipstream;
+            slip.arPolicy = p;
+            s3[w].fixed.push_back(
+                addWith(sweep, wl, opts, wl_cmps, slip));
+        }
+
+        RunConfig ad;
+        ad.mode = Mode::Slipstream;
+        ad.arPolicy = ArPolicy::ZeroTokenGlobal;  // start tight
+        ad.adaptiveAr = true;
+        s3[w].adaptive = addWith(sweep, wl, opts, wl_cmps, ad);
+    }
+
+    // --- 4. deviation-check strictness: enqueue ------------------------
+    std::vector<std::size_t> s4(3);
+    for (int variant = 0; variant < 3; ++variant) {
+        RunConfig rc;
+        rc.mode = Mode::Slipstream;
+        rc.recoveryEnabled = variant > 0;
+        rc.recoveryLagSessions = variant == 1 ? 0 : 1;
+        MachineParams mp = machineFromOptions(opts);
+        mp.numCmps = 8;
+        Options o;
+        o.set("sessions", "8");
+        s4[variant] = sweep.addMachine("divergent", o, mp, rc);
+    }
+
+    // --- 5. busy-quantum sensitivity: enqueue --------------------------
+    const std::vector<Tick> s5_quanta = {Tick(500), Tick(2000),
+                                         Tick(8000)};
+    std::vector<std::size_t> s5;
+    for (Tick q : s5_quanta) {
+        RunConfig slip;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = ArPolicy::ZeroTokenGlobal;
+        s5.push_back(addWith(sweep, "sor", opts, cmps, slip,
+                             [q](MachineParams &mp) {
+                                 mp.busyQuantum = q;
+                             }));
+    }
+
+    sweep.run();
+
     // --- 1. store->prefetch conversion ---------------------------------
     {
         std::cout << "1. store->exclusive-prefetch conversion "
                      "(slipstream G0, speedup vs single)\n";
         Table t({"workload", "with convert", "without", "delta"});
-        for (const std::string wl : {"sor", "ocean", "mg", "sp"}) {
-            RunConfig single;
-            auto rs = runWith(wl, opts, cmps, single);
-
-            RunConfig slip;
-            slip.mode = Mode::Slipstream;
-            slip.arPolicy = ArPolicy::ZeroTokenGlobal;
-            slip.features.storeConvert = true;
-            auto ron = runWith(wl, opts, cmps, slip);
-            slip.features.storeConvert = false;
-            auto roff = runWith(wl, opts, cmps, slip);
-
-            double son = static_cast<double>(rs.cycles) /
-                         static_cast<double>(ron.cycles);
-            double soff = static_cast<double>(rs.cycles) /
-                          static_cast<double>(roff.cycles);
-            t.addRow({wl, Table::num(son, 3), Table::num(soff, 3),
+        for (std::size_t w = 0; w < s1_wls.size(); ++w) {
+            double base = static_cast<double>(sweep[s1[w].single].cycles);
+            double son =
+                base / static_cast<double>(sweep[s1[w].on].cycles);
+            double soff =
+                base / static_cast<double>(sweep[s1[w].off].cycles);
+            t.addRow({s1_wls[w], Table::num(son, 3), Table::num(soff, 3),
                       Table::pct(100.0 * (son - soff) / soff, 1)});
         }
         emit(t, opts);
@@ -73,31 +179,19 @@ main(int argc, char **argv)
         std::cout << "2. MESI E state (slipstream +TL+SI, speedup vs "
                      "single on the same protocol)\n";
         Table t({"workload", "with E", "without E"});
-        for (const std::string wl : {"water-ns", "migratory", "mg"}) {
-            RunConfig single;
-            RunConfig slip;
-            slip.mode = Mode::Slipstream;
-            slip.arPolicy = ArPolicy::OneTokenGlobal;
-            slip.features.transparentLoads = true;
-            slip.features.selfInvalidation = true;
-
-            auto tweakOn = [](MachineParams &mp) {
-                mp.mesiEState = true;
-            };
-            auto tweakOff = [](MachineParams &mp) {
-                mp.mesiEState = false;
-            };
-            auto s_on = runWith(wl, opts, cmps, single, tweakOn);
-            auto p_on = runWith(wl, opts, cmps, slip, tweakOn);
-            auto s_off = runWith(wl, opts, cmps, single, tweakOff);
-            auto p_off = runWith(wl, opts, cmps, slip, tweakOff);
-            t.addRow({wl,
-                      Table::num(static_cast<double>(s_on.cycles) /
-                                     static_cast<double>(p_on.cycles),
-                                 3),
-                      Table::num(static_cast<double>(s_off.cycles) /
-                                     static_cast<double>(p_off.cycles),
-                                 3)});
+        for (std::size_t w = 0; w < s2_wls.size(); ++w) {
+            t.addRow({s2_wls[w],
+                      Table::num(
+                          static_cast<double>(sweep[s2[w].s_on].cycles) /
+                              static_cast<double>(
+                                  sweep[s2[w].p_on].cycles),
+                          3),
+                      Table::num(
+                          static_cast<double>(
+                              sweep[s2[w].s_off].cycles) /
+                              static_cast<double>(
+                                  sweep[s2[w].p_off].cycles),
+                          3)});
         }
         emit(t, opts);
     }
@@ -108,29 +202,18 @@ main(int argc, char **argv)
                      "policies (speedup vs single)\n";
         Table t({"workload", "best fixed", "worst fixed", "adaptive",
                  "switches"});
-        for (const auto &wl : slipWorkloads()) {
-            int wl_cmps = wl == "fft" ? 4 : cmps;
-            RunConfig single;
-            auto rs = runWith(wl, opts, wl_cmps, single);
-            double base = static_cast<double>(rs.cycles);
-
+        for (std::size_t w = 0; w < slipWorkloads().size(); ++w) {
+            double base =
+                static_cast<double>(sweep[s3[w].single].cycles);
             double best = 0, worst = 1e30;
-            for (ArPolicy p : allPolicies()) {
-                RunConfig slip;
-                slip.mode = Mode::Slipstream;
-                slip.arPolicy = p;
-                auto r = runWith(wl, opts, wl_cmps, slip);
-                double s = base / static_cast<double>(r.cycles);
+            for (std::size_t f : s3[w].fixed) {
+                double s = base / static_cast<double>(sweep[f].cycles);
                 best = std::max(best, s);
                 worst = std::min(worst, s);
             }
-
-            RunConfig ad;
-            ad.mode = Mode::Slipstream;
-            ad.arPolicy = ArPolicy::ZeroTokenGlobal;  // start tight
-            ad.adaptiveAr = true;
-            auto ra = runWith(wl, opts, wl_cmps, ad);
-            t.addRow({wl, Table::num(best, 3), Table::num(worst, 3),
+            const auto &ra = sweep[s3[w].adaptive];
+            t.addRow({slipWorkloads()[w], Table::num(best, 3),
+                      Table::num(worst, 3),
                       Table::num(base / static_cast<double>(ra.cycles),
                                  3),
                       std::to_string(static_cast<long long>(
@@ -146,17 +229,10 @@ main(int argc, char **argv)
         Table t({"recovery", "lag", "cycles", "recoveries",
                  "verified"});
         for (int variant = 0; variant < 3; ++variant) {
-            RunConfig rc;
-            rc.mode = Mode::Slipstream;
-            rc.recoveryEnabled = variant > 0;
-            rc.recoveryLagSessions = variant == 1 ? 0 : 1;
-            MachineParams mp = machineFromOptions(opts);
-            mp.numCmps = 8;
-            Options o;
-            o.set("sessions", "8");
-            auto r = runExperiment("divergent", o, mp, rc);
-            t.addRow({rc.recoveryEnabled ? "on" : "off",
-                      std::to_string(rc.recoveryLagSessions),
+            const auto &r = sweep[s4[variant]];
+            bool recovery_on = variant > 0;
+            int lag = variant == 1 ? 0 : 1;
+            t.addRow({recovery_on ? "on" : "off", std::to_string(lag),
                       std::to_string(r.cycles),
                       std::to_string(r.recoveries),
                       r.verified ? "yes" : "NO"});
@@ -169,18 +245,13 @@ main(int argc, char **argv)
         std::cout << "5. busy-quantum sensitivity (sor, slipstream "
                      "G0; results should be nearly flat)\n";
         Table t({"quantum", "cycles", "vs q=2000"});
-        RunConfig slip;
-        slip.mode = Mode::Slipstream;
-        slip.arPolicy = ArPolicy::ZeroTokenGlobal;
         Tick baseline = 0;
-        for (Tick q : {Tick(500), Tick(2000), Tick(8000)}) {
-            auto tweak = [q](MachineParams &mp) {
-                mp.busyQuantum = q;
-            };
-            auto r = runWith("sor", opts, cmps, slip, tweak);
-            if (q == 2000)
+        for (std::size_t i = 0; i < s5_quanta.size(); ++i) {
+            const auto &r = sweep[s5[i]];
+            if (s5_quanta[i] == 2000)
                 baseline = r.cycles;
-            t.addRow({std::to_string(q), std::to_string(r.cycles),
+            t.addRow({std::to_string(s5_quanta[i]),
+                      std::to_string(r.cycles),
                       baseline ? Table::num(
                                      static_cast<double>(r.cycles) /
                                          static_cast<double>(baseline),

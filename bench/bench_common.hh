@@ -13,12 +13,14 @@
 #ifndef SLIPSIM_BENCH_COMMON_HH
 #define SLIPSIM_BENCH_COMMON_HH
 
+#include <cstddef>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 #include "sim/logging.hh"
 
 namespace slipsim
@@ -110,20 +112,67 @@ figMachine(const std::string &wl, const Options &user, int cmps)
     return mp;
 }
 
-/** Run one configuration with the bench-calibrated options. */
-inline ExperimentResult
-runFig(const std::string &wl, const Options &user, int cmps,
-       const RunConfig &rc)
+/**
+ * Deferred sweep builder: the bench enqueues every configuration it
+ * will need up front, run() simulates them all across `jobs` worker
+ * threads (jobs=N option; default all hardware threads), and the bench
+ * then formats its tables from the indexed results.  Results are
+ * gathered in submission order, so the emitted tables are bit-identical
+ * to a sequential run regardless of jobs.
+ */
+class Sweep
 {
-    Options o = figOptions(wl, user);
-    MachineParams mp = figMachine(wl, user, cmps);
-    ExperimentResult r = runExperiment(wl, o, mp, rc);
-    if (!r.verified) {
-        warn("%s (%s, %d CMPs) failed verification!", wl.c_str(),
-             modeName(rc.mode), cmps);
+  public:
+    explicit Sweep(const Options &opts)
+        : jobs(static_cast<unsigned>(opts.getInt("jobs", 0)))
+    {
     }
-    return r;
-}
+
+    /** Enqueue one bench-calibrated run; @return its result index. */
+    std::size_t
+    add(const std::string &wl, const Options &user, int cmps,
+        const RunConfig &rc)
+    {
+        return addMachine(wl, user, figMachine(wl, user, cmps), rc);
+    }
+
+    /** Enqueue a run with explicit (possibly tweaked) machine params. */
+    std::size_t
+    addMachine(const std::string &wl, const Options &user,
+               const MachineParams &mp, const RunConfig &rc)
+    {
+        points.push_back(SweepPoint{wl, figOptions(wl, user), mp, rc,
+                                    maxTick});
+        return points.size() - 1;
+    }
+
+    /** Simulate every queued point.  Verification failures are warned
+     *  about in submission order, as a sequential run would. */
+    void
+    run()
+    {
+        res = runSweep(points, SweepConfig{jobs});
+        for (std::size_t i = 0; i < res.size(); ++i) {
+            if (!res[i].verified) {
+                warn("%s (%s, %d CMPs) failed verification!",
+                     points[i].workload.c_str(),
+                     modeName(points[i].cfg.mode),
+                     points[i].machine.numCmps);
+            }
+        }
+    }
+
+    const ExperimentResult &
+    operator[](std::size_t idx) const
+    {
+        return res.at(idx);
+    }
+
+  private:
+    unsigned jobs;
+    std::vector<SweepPoint> points;
+    std::vector<ExperimentResult> res;
+};
 
 /** All four A-R policies, paper order. */
 inline const std::vector<ArPolicy> &

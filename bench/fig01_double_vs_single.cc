@@ -25,19 +25,32 @@ main(int argc, char **argv)
     };
     const std::vector<int> cmp_counts = {2, 4, 8, 16};
 
-    Table t({"workload", "2 CMPs", "4 CMPs", "8 CMPs", "16 CMPs"});
-    for (const auto &wl : workloads) {
-        std::vector<std::string> row{wl};
+    Sweep sweep(opts);
+    struct Cell
+    {
+        std::size_t single, dbl;
+    };
+    std::vector<std::vector<Cell>> cells(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         for (int cmps : cmp_counts) {
             RunConfig single;
             single.mode = Mode::Single;
             RunConfig dbl;
             dbl.mode = Mode::Double;
-            auto rs = runFig(wl, opts, cmps, single);
-            auto rd = runFig(wl, opts, cmps, dbl);
+            cells[w].push_back(
+                Cell{sweep.add(workloads[w], opts, cmps, single),
+                     sweep.add(workloads[w], opts, cmps, dbl)});
+        }
+    }
+    sweep.run();
+
+    Table t({"workload", "2 CMPs", "4 CMPs", "8 CMPs", "16 CMPs"});
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        std::vector<std::string> row{workloads[w]};
+        for (const Cell &c : cells[w]) {
             row.push_back(Table::num(
-                static_cast<double>(rs.cycles) /
-                    static_cast<double>(rd.cycles), 3));
+                static_cast<double>(sweep[c.single].cycles) /
+                    static_cast<double>(sweep[c.dbl].cycles), 3));
         }
         t.addRow(row);
     }

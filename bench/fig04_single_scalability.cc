@@ -22,17 +22,30 @@ main(int argc, char **argv)
 
     const std::vector<int> cmp_counts = {2, 4, 8, 16};
 
-    Table t({"workload", "2 CMPs", "4 CMPs", "8 CMPs", "16 CMPs"});
-    for (const auto &wl : paperWorkloads()) {
+    Sweep sweep(opts);
+    struct Row
+    {
+        std::size_t seq;
+        std::vector<std::size_t> scaled;
+    };
+    std::vector<Row> rows(paperWorkloads().size());
+    for (std::size_t w = 0; w < paperWorkloads().size(); ++w) {
+        const auto &wl = paperWorkloads()[w];
         RunConfig single;
         single.mode = Mode::Single;
-        auto seq = runFig(wl, opts, 1, single);
-        std::vector<std::string> row{wl};
-        for (int cmps : cmp_counts) {
-            auto r = runFig(wl, opts, cmps, single);
+        rows[w].seq = sweep.add(wl, opts, 1, single);
+        for (int cmps : cmp_counts)
+            rows[w].scaled.push_back(sweep.add(wl, opts, cmps, single));
+    }
+    sweep.run();
+
+    Table t({"workload", "2 CMPs", "4 CMPs", "8 CMPs", "16 CMPs"});
+    for (std::size_t w = 0; w < paperWorkloads().size(); ++w) {
+        std::vector<std::string> row{paperWorkloads()[w]};
+        for (std::size_t idx : rows[w].scaled) {
             row.push_back(Table::num(
-                static_cast<double>(seq.cycles) /
-                    static_cast<double>(r.cycles), 2));
+                static_cast<double>(sweep[rows[w].seq].cycles) /
+                    static_cast<double>(sweep[idx].cycles), 2));
         }
         t.addRow(row);
     }

@@ -25,35 +25,55 @@ main(int argc, char **argv)
     if (opts.getBool("quick", false))
         cmp_counts = {4, 16};
 
-    for (const auto &wl : paperWorkloads()) {
-        std::cout << "--- " << wl << " ---\n";
-        Table t({"CMPs", "double", "slip-L1", "slip-L0", "slip-G1",
-                 "slip-G0", "best", "best vs max(single,double)"});
+    Sweep sweep(opts);
+    struct Cell
+    {
+        std::size_t single, dbl;
+        std::vector<std::size_t> slips;
+    };
+    std::vector<std::vector<Cell>> cells(paperWorkloads().size());
+    for (std::size_t w = 0; w < paperWorkloads().size(); ++w) {
+        const auto &wl = paperWorkloads()[w];
         for (int cmps : cmp_counts) {
+            Cell c;
             RunConfig single;
             single.mode = Mode::Single;
-            auto rs = runFig(wl, opts, cmps, single);
-            double base = static_cast<double>(rs.cycles);
-
+            c.single = sweep.add(wl, opts, cmps, single);
             RunConfig dbl;
             dbl.mode = Mode::Double;
-            auto rd = runFig(wl, opts, cmps, dbl);
-            double dspeed = base / static_cast<double>(rd.cycles);
-
-            std::vector<std::string> row{std::to_string(cmps),
-                                         Table::num(dspeed, 3)};
-            double best_slip = 0.0;
-            std::string best_name = "-";
+            c.dbl = sweep.add(wl, opts, cmps, dbl);
             for (ArPolicy p : allPolicies()) {
                 RunConfig slip;
                 slip.mode = Mode::Slipstream;
                 slip.arPolicy = p;
-                auto r = runFig(wl, opts, cmps, slip);
-                double s = base / static_cast<double>(r.cycles);
+                c.slips.push_back(sweep.add(wl, opts, cmps, slip));
+            }
+            cells[w].push_back(std::move(c));
+        }
+    }
+    sweep.run();
+
+    for (std::size_t w = 0; w < paperWorkloads().size(); ++w) {
+        std::cout << "--- " << paperWorkloads()[w] << " ---\n";
+        Table t({"CMPs", "double", "slip-L1", "slip-L0", "slip-G1",
+                 "slip-G0", "best", "best vs max(single,double)"});
+        for (std::size_t k = 0; k < cmp_counts.size(); ++k) {
+            const Cell &c = cells[w][k];
+            double base = static_cast<double>(sweep[c.single].cycles);
+            double dspeed =
+                base / static_cast<double>(sweep[c.dbl].cycles);
+
+            std::vector<std::string> row{std::to_string(cmp_counts[k]),
+                                         Table::num(dspeed, 3)};
+            double best_slip = 0.0;
+            std::string best_name = "-";
+            for (std::size_t s_i = 0; s_i < c.slips.size(); ++s_i) {
+                double s = base /
+                    static_cast<double>(sweep[c.slips[s_i]].cycles);
                 row.push_back(Table::num(s, 3));
                 if (s > best_slip) {
                     best_slip = s;
-                    best_name = arPolicyName(p);
+                    best_name = arPolicyName(allPolicies()[s_i]);
                 }
             }
             // Paper's headline metric: best slipstream over the best

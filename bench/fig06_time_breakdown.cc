@@ -23,10 +23,15 @@ main(int argc, char **argv)
     setQuiet(true);
     banner("Figure 6: execution time breakdown at 16 CMPs", opts);
 
-    Table t({"workload", "config", "busy", "stall", "A-R", "barrier",
-             "lock", "total"});
-
-    for (const auto &wl : paperWorkloads()) {
+    Sweep sweep(opts);
+    struct Group
+    {
+        std::size_t single, dbl;
+        std::vector<std::size_t> slips;
+    };
+    std::vector<Group> groups(paperWorkloads().size());
+    for (std::size_t w = 0; w < paperWorkloads().size(); ++w) {
+        const auto &wl = paperWorkloads()[w];
         // FFT's absolute single-mode performance degrades past 4
         // CMPs; the paper compares it at 4.
         int cmps = wl == "fft" ? 4
@@ -35,7 +40,26 @@ main(int argc, char **argv)
 
         RunConfig single;
         single.mode = Mode::Single;
-        auto rs = runFig(wl, opts, cmps, single);
+        groups[w].single = sweep.add(wl, opts, cmps, single);
+        RunConfig dbl;
+        dbl.mode = Mode::Double;
+        groups[w].dbl = sweep.add(wl, opts, cmps, dbl);
+        for (ArPolicy p : allPolicies()) {
+            RunConfig slip;
+            slip.mode = Mode::Slipstream;
+            slip.arPolicy = p;
+            groups[w].slips.push_back(sweep.add(wl, opts, cmps, slip));
+        }
+    }
+    sweep.run();
+
+    Table t({"workload", "config", "busy", "stall", "A-R", "barrier",
+             "lock", "total"});
+
+    for (std::size_t w = 0; w < paperWorkloads().size(); ++w) {
+        const auto &wl = paperWorkloads()[w];
+        const Group &g = groups[w];
+        const auto &rs = sweep[g.single];
         double base = 0;
         for (double c : rs.rCats)
             base += c;
@@ -55,29 +79,20 @@ main(int argc, char **argv)
         };
 
         addRow("single", rs.rCats);
-
-        RunConfig dbl;
-        dbl.mode = Mode::Double;
-        auto rd = runFig(wl, opts, cmps, dbl);
-        addRow("double", rd.rCats);
+        addRow("double", sweep[g.dbl].rCats);
 
         // Best slipstream policy for this benchmark.
-        ExperimentResult best;
-        best.cycles = maxTick;
-        for (ArPolicy p : allPolicies()) {
-            RunConfig slip;
-            slip.mode = Mode::Slipstream;
-            slip.arPolicy = p;
-            auto r = runFig(wl, opts, cmps, slip);
-            if (r.cycles < best.cycles)
-                best = r;
+        const ExperimentResult *best = &sweep[g.slips[0]];
+        for (std::size_t s_i = 1; s_i < g.slips.size(); ++s_i) {
+            if (sweep[g.slips[s_i]].cycles < best->cycles)
+                best = &sweep[g.slips[s_i]];
         }
-        addRow(std::string("slip-R (") + arPolicyName(best.policy) +
+        addRow(std::string("slip-R (") + arPolicyName(best->policy) +
                    ")",
-               best.rCats);
-        addRow(std::string("slip-A (") + arPolicyName(best.policy) +
+               best->rCats);
+        addRow(std::string("slip-A (") + arPolicyName(best->policy) +
                    ")",
-               best.aCats);
+               best->aCats);
     }
     emit(t, opts);
     return 0;

@@ -25,22 +25,35 @@ main(int argc, char **argv)
 
     int cmps = static_cast<int>(opts.getInt("cmps", 16));
 
+    // One run per (workload, policy) serves both the read and the
+    // exclusive table — runs are deterministic, so the classification
+    // counters are the same either way.
+    Sweep sweep(opts);
+    std::vector<std::vector<std::size_t>> runs(paperWorkloads().size());
+    for (std::size_t w = 0; w < paperWorkloads().size(); ++w) {
+        const auto &wl = paperWorkloads()[w];
+        int wl_cmps = wl == "fft" ? 4 : cmps;
+        for (ArPolicy p : allPolicies()) {
+            RunConfig slip;
+            slip.mode = Mode::Slipstream;
+            slip.arPolicy = p;
+            runs[w].push_back(sweep.add(wl, opts, wl_cmps, slip));
+        }
+    }
+    sweep.run();
+
     for (bool reads : {true, false}) {
         std::cout << (reads ? "Read requests\n"
                             : "Exclusive requests\n");
         Table t({"workload", "policy", "A-Timely", "A-Late", "A-Only",
                  "R-Timely", "R-Late", "R-Only"});
-        for (const auto &wl : paperWorkloads()) {
-            int wl_cmps = wl == "fft" ? 4 : cmps;
-            for (ArPolicy p :
-                 {ArPolicy::OneTokenLocal, ArPolicy::ZeroTokenLocal,
-                  ArPolicy::OneTokenGlobal,
-                  ArPolicy::ZeroTokenGlobal}) {
-                RunConfig slip;
-                slip.mode = Mode::Slipstream;
-                slip.arPolicy = p;
-                auto r = runFig(wl, opts, wl_cmps, slip);
-                std::vector<std::string> row{wl, arPolicyName(p)};
+        for (std::size_t w = 0; w < paperWorkloads().size(); ++w) {
+            for (std::size_t p_i = 0; p_i < allPolicies().size();
+                 ++p_i) {
+                const auto &r = sweep[runs[w][p_i]];
+                std::vector<std::string> row{
+                    paperWorkloads()[w],
+                    arPolicyName(allPolicies()[p_i])};
                 for (StreamKind s :
                      {StreamKind::AStream, StreamKind::RStream}) {
                     for (FetchClass c :

@@ -23,10 +23,8 @@ main(int argc, char **argv)
 
     int cmps = static_cast<int>(opts.getInt("cmps", 16));
 
-    Table t({"workload", "A read reqs", "transparent", "% of A reads",
-             "transparent replies", "upgraded replies",
-             "% transparent"});
-    double tot_pct = 0, tot_trans = 0, cnt = 0;
+    Sweep sweep(opts);
+    std::vector<std::size_t> runs;
     for (const auto &wl : slipWorkloads()) {
         int wl_cmps = wl == "fft" ? 4 : cmps;
         RunConfig slip;
@@ -34,7 +32,17 @@ main(int argc, char **argv)
         slip.arPolicy = ArPolicy::OneTokenGlobal;
         slip.features.transparentLoads = true;
         slip.features.selfInvalidation = true;
-        auto r = runFig(wl, opts, wl_cmps, slip);
+        runs.push_back(sweep.add(wl, opts, wl_cmps, slip));
+    }
+    sweep.run();
+
+    Table t({"workload", "A read reqs", "transparent", "% of A reads",
+             "transparent replies", "upgraded replies",
+             "% transparent"});
+    double tot_pct = 0, tot_trans = 0, cnt = 0;
+    for (std::size_t w = 0; w < slipWorkloads().size(); ++w) {
+        const auto &wl = slipWorkloads()[w];
+        const auto &r = sweep[runs[w]];
 
         std::uint64_t issued = r.transparentReplies + r.upgradedReplies;
         double pct = r.transparentPct();

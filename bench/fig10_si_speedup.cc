@@ -24,38 +24,50 @@ main(int argc, char **argv)
 
     int cmps = static_cast<int>(opts.getInt("cmps", 16));
 
-    Table t({"workload", "pref only", "pref+TL", "pref+TL+SI",
-             "siInv", "siDowngrade"});
-    for (const auto &wl : slipWorkloads()) {
+    Sweep sweep(opts);
+    struct Group
+    {
+        std::size_t single, dbl;
+        std::size_t confs[3];
+    };
+    std::vector<Group> groups(slipWorkloads().size());
+    for (std::size_t w = 0; w < slipWorkloads().size(); ++w) {
+        const auto &wl = slipWorkloads()[w];
         int wl_cmps = wl == "fft" ? 4 : cmps;
 
         RunConfig single;
         single.mode = Mode::Single;
-        auto rs = runFig(wl, opts, wl_cmps, single);
+        groups[w].single = sweep.add(wl, opts, wl_cmps, single);
         RunConfig dbl;
         dbl.mode = Mode::Double;
-        auto rd = runFig(wl, opts, wl_cmps, dbl);
-        double best_conv = static_cast<double>(
-            std::min(rs.cycles, rd.cycles));
-
-        std::vector<std::string> row{wl};
-        std::uint64_t si_inv = 0, si_down = 0;
+        groups[w].dbl = sweep.add(wl, opts, wl_cmps, dbl);
         for (int conf = 0; conf < 3; ++conf) {
             RunConfig slip;
             slip.mode = Mode::Slipstream;
             slip.arPolicy = ArPolicy::OneTokenGlobal;
             slip.features.transparentLoads = conf >= 1;
             slip.features.selfInvalidation = conf >= 2;
-            auto r = runFig(wl, opts, wl_cmps, slip);
-            row.push_back(Table::num(
-                best_conv / static_cast<double>(r.cycles), 3));
-            if (conf == 2) {
-                si_inv = r.siInvalidated;
-                si_down = r.siDowngraded;
-            }
+            groups[w].confs[conf] = sweep.add(wl, opts, wl_cmps, slip);
         }
-        row.push_back(std::to_string(si_inv));
-        row.push_back(std::to_string(si_down));
+    }
+    sweep.run();
+
+    Table t({"workload", "pref only", "pref+TL", "pref+TL+SI",
+             "siInv", "siDowngrade"});
+    for (std::size_t w = 0; w < slipWorkloads().size(); ++w) {
+        const Group &g = groups[w];
+        double best_conv = static_cast<double>(
+            std::min(sweep[g.single].cycles, sweep[g.dbl].cycles));
+
+        std::vector<std::string> row{slipWorkloads()[w]};
+        for (int conf = 0; conf < 3; ++conf) {
+            row.push_back(Table::num(
+                best_conv /
+                    static_cast<double>(sweep[g.confs[conf]].cycles),
+                3));
+        }
+        row.push_back(std::to_string(sweep[g.confs[2]].siInvalidated));
+        row.push_back(std::to_string(sweep[g.confs[2]].siDowngraded));
         t.addRow(row);
     }
     emit(t, opts);

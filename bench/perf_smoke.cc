@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Perf smoke check: time a small fixed sweep and report event
+ * throughput as one line of JSON, so CI (or a human) can spot
+ * hot-path regressions without running the full figure benches.
+ *
+ *   {"events_per_sec": ..., "wall_ms": ..., "sweep_jobs": ...}
+ *
+ * Defaults to jobs=1 so the headline number is single-thread
+ * events/sec of the simulator core; pass jobs=N to smoke the sweep
+ * engine instead.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace slipsim;
+using namespace slipsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+
+    unsigned jobs =
+        static_cast<unsigned>(opts.getInt("jobs", 1));
+
+    // The Figure-1 grid — six kernels with different sharing patterns
+    // at 2..16 CMPs in single and double mode — plus one slipstream
+    // run.  Several seconds of simulation, long enough that the
+    // throughput number is stable against scheduler noise.
+    std::vector<SweepPoint> points;
+    for (const char *wl :
+         {"water-sp", "mg", "sor", "cg", "water-ns", "ocean"}) {
+        Options o = figOptions(wl, opts);
+        for (int cmps : {2, 4, 8, 16}) {
+            MachineParams mp = figMachine(wl, opts, cmps);
+            RunConfig single;
+            points.push_back(SweepPoint{wl, o, mp, single, maxTick});
+            RunConfig dbl;
+            dbl.mode = Mode::Double;
+            points.push_back(SweepPoint{wl, o, mp, dbl, maxTick});
+        }
+    }
+    {
+        Options o = figOptions("mg", opts);
+        MachineParams mp = figMachine("mg", opts, 16);
+        RunConfig slip;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = ArPolicy::ZeroTokenGlobal;
+        points.push_back(SweepPoint{"mg", o, mp, slip, maxTick});
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<ExperimentResult> res =
+        runSweep(points, SweepConfig{jobs});
+    auto t1 = std::chrono::steady_clock::now();
+
+    double events = 0;
+    for (const ExperimentResult &r : res)
+        events += r.stats.get("run.events");
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double eps = wall_ms > 0 ? events / (wall_ms / 1000.0) : 0;
+
+    std::printf("{\"events_per_sec\": %.0f, \"wall_ms\": %.1f, "
+                "\"sweep_jobs\": %u}\n",
+                eps, wall_ms, resolveJobs(jobs));
+    return 0;
+}

@@ -139,6 +139,8 @@ runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
             rt.aCtx(t).processor().dumpStats(r.stats, "aproc");
     }
     r.stats.set("run.cycles", static_cast<double>(end));
+    r.stats.set("run.events",
+                static_cast<double>(sys.eventq().processed()));
     r.stats.set("run.recoveries", static_cast<double>(r.recoveries));
     if (cfg.mode == Mode::Slipstream) {
         double switches = 0;

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Parallel sweep runner implementation.
+ */
+
+#include "core/sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace slipsim
+{
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+void
+runParallel(std::vector<std::function<void()>> tasks, unsigned jobs)
+{
+    const std::size_t n = tasks.size();
+    if (n == 0)
+        return;
+
+    std::vector<std::exception_ptr> errors(n);
+    unsigned workers = resolveJobs(jobs);
+    if (workers > n)
+        workers = static_cast<unsigned>(n);
+
+    auto runOne = [&](std::size_t i) {
+        try {
+            tasks[i]();
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            runOne(i);
+    } else {
+        // Self-scheduling: workers claim the next unstarted task, so a
+        // few long-running points don't idle the rest of the pool.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            while (true) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                runOne(i);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    // Rethrow the first failure by submission index — the same error a
+    // sequential run would have hit first.
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+std::vector<ExperimentResult>
+runSweep(const std::vector<SweepPoint> &points, const SweepConfig &cfg)
+{
+    std::vector<ExperimentResult> results(points.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        tasks.push_back([&points, &results, i]() {
+            const SweepPoint &p = points[i];
+            results[i] = runExperiment(p.workload, p.opts, p.machine,
+                                       p.cfg, p.tickLimit);
+        });
+    }
+    runParallel(std::move(tasks), cfg.jobs);
+    return results;
+}
+
+} // namespace slipsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parallel sweep runner: execute many independent experiments across a
+ * pool of worker threads.
+ *
+ * The figure benches are sweeps over (workload, machine, run-config)
+ * grids in which every point is a self-contained simulation — a fresh
+ * System, its own EventQueue, no state shared with any other point.
+ * runSweep() exploits that: points are distributed over `jobs` worker
+ * threads, each simulated to completion on its worker, and the results
+ * are returned *in submission order*.  Because each simulation is
+ * single-threaded and deterministic, the gathered results — and hence
+ * any table or CSV formatted from them — are bit-identical whatever the
+ * value of `jobs`.
+ *
+ * Mutable process-wide state the workers touch (the quiet flag, the
+ * trace mask, the workload registry, the coroutine frame pool) is
+ * atomic, locked, or thread-local; see the respective headers.
+ */
+
+#ifndef SLIPSIM_CORE_SWEEP_HH
+#define SLIPSIM_CORE_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "mem/params.hh"
+#include "runtime/mode.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** One point of a sweep: a fully-specified experiment. */
+struct SweepPoint
+{
+    std::string workload;
+    Options opts;
+    MachineParams machine;
+    RunConfig cfg;
+    Tick tickLimit = maxTick;
+};
+
+/** Sweep execution parameters. */
+struct SweepConfig
+{
+    /** Worker threads; 0 selects the hardware concurrency. */
+    unsigned jobs = 0;
+};
+
+/** Number of workers a SweepConfig{jobs} resolves to. */
+unsigned resolveJobs(unsigned jobs);
+
+/**
+ * Run every task exactly once, distributed over @p jobs worker threads
+ * (inline when that resolves to one).  Tasks are claimed in submission
+ * order but complete in any order; they must be mutually independent.
+ * If tasks throw, the first exception by submission index is rethrown
+ * after all workers have drained.
+ */
+void runParallel(std::vector<std::function<void()>> tasks,
+                 unsigned jobs = 0);
+
+/**
+ * Run every sweep point and return the results in submission order.
+ * Deterministic: the result vector is identical for any jobs value.
+ */
+std::vector<ExperimentResult>
+runSweep(const std::vector<SweepPoint> &points,
+         const SweepConfig &cfg = {});
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CORE_SWEEP_HH

@@ -47,7 +47,7 @@ Processor::flushBusy()
 
 void
 Processor::startTask(Coro<void> &&task, Tick start_delay,
-                     std::function<void()> on_done)
+                     InlineCallback on_done)
 {
     SLIPSIM_ASSERT(!running(), "processor already has a task");
     root = std::move(task);

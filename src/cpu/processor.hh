@@ -66,7 +66,7 @@ class Processor
      * when the task's root coroutine completes.
      */
     void startTask(Coro<void> &&task, Tick start_delay,
-                   std::function<void()> on_done);
+                   InlineCallback on_done);
 
     /** Kill the running task (A-stream recovery).  Pending completion
      *  events are disarmed via the liveness token. */
@@ -171,7 +171,7 @@ class Processor
     L1Cache l1;
     Coro<void> root;
     TaskTokenPtr token;
-    std::function<void()> onDone;
+    InlineCallback onDone;
 
     std::coroutine_handle<> suspendedHandle = nullptr;
     Tick suspendTick = 0;

@@ -36,9 +36,10 @@ DirectoryController::handle(const MemReq &req, ReplyFn reply)
 
     // Per-line transaction serialization: wait out the busy window.
     if (now < e.busyUntil) {
-        eq.schedule(e.busyUntil, [this, req, reply = std::move(reply)]() {
-            handle(req, reply);
-        });
+        eq.schedule(e.busyUntil,
+                [this, req, reply = std::move(reply)]() mutable {
+                    handle(req, std::move(reply));
+                });
         return;
     }
 
@@ -228,9 +229,7 @@ DirectoryController::handle(const MemReq &req, ReplyFn reply)
     if (extend_busy)
         e.busyUntil = reply_arrival;
 
-    eq.schedule(reply_arrival, [reply = std::move(reply), info]() {
-        reply(info);
-    });
+    reply(reply_arrival, info);
 }
 
 void

@@ -16,12 +16,12 @@
 #define SLIPSIM_MEM_DIRECTORY_HH
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 
 #include "mem/mem_req.hh"
 #include "mem/params.hh"
 #include "net/resource.hh"
+#include "sim/inline_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -45,7 +45,7 @@ struct DirEntry
 class DirectoryController
 {
   public:
-    using ReplyFn = std::function<void(const ReplyInfo &)>;
+    using ReplyFn = InlineFunction<void(Tick, const ReplyInfo &)>;
 
     DirectoryController(NodeId home, MemorySystem &ms,
                         const MachineParams &p);
@@ -56,8 +56,10 @@ class DirectoryController
     /**
      * Process a request arriving at this home at the current tick.
      * Reschedules itself if the line is inside another transaction's
-     * busy window.  @p reply runs (via the event queue) when the data
-     * reaches the requesting L2.
+     * busy window.  @p reply is invoked synchronously at
+     * transaction-processing time with the tick at which the data
+     * reaches the requesting L2; the requester schedules its fill at
+     * that tick.
      */
     void handle(const MemReq &req, ReplyFn reply);
 

@@ -88,7 +88,7 @@ NodeMemory::dropClassify(L2Line &line)
 
 void
 NodeMemory::access(const MemReq &req, int proc_slot,
-                   std::function<void()> done)
+                   InlineCallback done)
 {
     EventQueue &eq = ms.eventq();
     const Addr la = req.lineAddr;
@@ -215,9 +215,16 @@ NodeMemory::access(const MemReq &req, int proc_slot,
     }
 
     eq.schedule(t, [this, req, home_node]() {
-        ms.dir(home_node).handle(req, [this, req](const ReplyInfo &info) {
-            handleFill(req, info);
-        });
+        // The directory executes the transaction immediately and hands
+        // back the tick at which the data reaches this L2; scheduling
+        // the fill here keeps the event capture small (this + req +
+        // info fit inline).
+        ms.dir(home_node).handle(req,
+                [this, req](Tick at, const ReplyInfo &info) {
+                    ms.eventq().schedule(at, [this, req, info]() {
+                        handleFill(req, info);
+                    });
+                });
     });
 }
 

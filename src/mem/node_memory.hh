@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +18,7 @@
 #include "mem/mem_req.hh"
 #include "mem/params.hh"
 #include "net/resource.hh"
+#include "sim/inline_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -128,7 +128,7 @@ class NodeMemory
      * ReqType::PrefEx @p done may be null (fire-and-forget).
      */
     void access(const MemReq &req, int proc_slot,
-                std::function<void()> done);
+                InlineCallback done);
 
     /**
      * Drain the self-invalidation queue: called when the local R-stream
@@ -200,7 +200,7 @@ class NodeMemory
     {
         int slot;
         bool wasRead;
-        std::function<void()> done;
+        InlineCallback done;
     };
 
     struct Mshr
@@ -212,7 +212,7 @@ class NodeMemory
         std::vector<Waiter> waiters;
         /** Accesses that must re-issue once this fill lands (stream
          *  visibility or type mismatch). */
-        std::vector<std::function<void()>> reissues;
+        std::vector<InlineCallback> reissues;
     };
 
     /** Touch-side classification: a companion-stream reference to a

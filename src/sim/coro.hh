@@ -20,6 +20,7 @@
 #define SLIPSIM_SIM_CORO_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <memory>
 #include <utility>
@@ -43,6 +44,78 @@ class Coro;
 namespace coro_detail
 {
 
+/**
+ * Thread-local size-bucketed free list for coroutine frames.
+ *
+ * Every simulated memory access runs through small sub-coroutines
+ * (ldBuf/stBuf and friends), so frame allocation is the hottest malloc
+ * source in the whole simulator — tens of millions of alloc/free pairs
+ * per run, with stack-like lifetime.  Recycling frames through a free
+ * list turns that into a pointer pop/push.  The pool is thread-local:
+ * each sweep worker owns its frames outright, so no locking is needed
+ * and a frame is always freed on the thread that allocated it.
+ */
+class FramePool
+{
+  public:
+    static void *
+    alloc(std::size_t n)
+    {
+        if (n > maxBytes)
+            return ::operator new(n);
+        Pool &p = pool();
+        const std::size_t b = bin(n);
+        if (void *blk = p.bins[b]) {
+            p.bins[b] = *static_cast<void **>(blk);
+            return blk;
+        }
+        return ::operator new((b + 1) * granule);
+    }
+
+    static void
+    free(void *blk, std::size_t n) noexcept
+    {
+        if (n > maxBytes) {
+            ::operator delete(blk);
+            return;
+        }
+        Pool &p = pool();
+        const std::size_t b = bin(n);
+        *static_cast<void **>(blk) = p.bins[b];
+        p.bins[b] = blk;
+    }
+
+  private:
+    static constexpr std::size_t granule = 64;
+    static constexpr std::size_t maxBytes = 2048;
+    static constexpr std::size_t numBins = maxBytes / granule;
+
+    static std::size_t bin(std::size_t n) { return (n - 1) / granule; }
+
+    struct Pool
+    {
+        void *bins[numBins] = {};
+
+        ~Pool()
+        {
+            for (void *head : bins) {
+                while (head) {
+                    void *next = *static_cast<void **>(head);
+                    ::operator delete(head);
+                    head = next;
+                }
+            }
+        }
+    };
+
+    static Pool &
+    pool()
+    {
+        static thread_local Pool p;
+        return p;
+    }
+};
+
 struct FinalAwaiter
 {
     std::coroutine_handle<> continuation;
@@ -64,6 +137,12 @@ struct PromiseBase
 {
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
+
+    /** Route coroutine-frame storage through the thread-local pool. */
+    static void *operator new(std::size_t n)
+    { return FramePool::alloc(n); }
+    static void operator delete(void *p, std::size_t n) noexcept
+    { FramePool::free(p, n); }
 
     std::suspend_always initial_suspend() noexcept { return {}; }
 

@@ -5,34 +5,156 @@
 
 #include "sim/event_queue.hh"
 
+#include <bit>
 #include <utility>
 
 namespace slipsim
 {
 
+void
+EventQueue::pushRing(Tick when, Callback cb)
+{
+    std::uint32_t idx;
+    if (freeHead != npos) {
+        idx = freeHead;
+        Node &n = pool[idx];
+        freeHead = n.next;
+        n.when = when;
+        n.seq = seq++;
+        n.next = npos;
+        n.cb = std::move(cb);
+    } else {
+        idx = static_cast<std::uint32_t>(pool.size());
+        pool.push_back(Node{when, seq++, npos, std::move(cb)});
+    }
+
+    const std::size_t slot = static_cast<std::size_t>(when) & ringMask;
+    if (bucketHead[slot] == npos) {
+        bucketHead[slot] = idx;
+        occupied[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+        summary |= std::uint64_t(1) << (slot >> 6);
+    } else {
+        pool[bucketTail[slot]].next = idx;
+    }
+    bucketTail[slot] = idx;
+    ++ringCount;
+}
+
+std::size_t
+EventQueue::findNextRingSlot() const
+{
+    // All ring entries have when in [_now, _now + horizon), so circular
+    // slot order starting at _now's slot is increasing-tick order.  The
+    // summary word locates the nearest non-empty 64-slot group with one
+    // ctz, making the lookup O(1) regardless of how sparse the ring is.
+    const std::size_t start = static_cast<std::size_t>(_now) & ringMask;
+    const std::size_t sw = start >> 6;
+    std::uint64_t word =
+        occupied[sw] & (~std::uint64_t(0) << (start & 63));
+    if (word) {
+        return (sw << 6) +
+               static_cast<std::size_t>(std::countr_zero(word));
+    }
+
+    // Bit k of the rotated summary is group (sw + 1 + k) mod numWords;
+    // a full wrap back to sw covers the slots below `start`.
+    const std::uint64_t rot =
+        std::rotr(summary, static_cast<int>((sw + 1) % 64));
+    SLIPSIM_ASSERT(rot != 0,
+            "ring occupancy bitmap inconsistent (ringCount=%zu)",
+            ringCount);
+    const std::size_t w =
+        (sw + 1 + static_cast<std::size_t>(std::countr_zero(rot))) &
+        (numWords - 1);
+    return (w << 6) +
+           static_cast<std::size_t>(std::countr_zero(occupied[w]));
+}
+
+bool
+EventQueue::peekNext(Tick &when, bool &fromRing, std::size_t &slot) const
+{
+    const Node *rn = nullptr;
+    if (ringCount > 0) {
+        slot = findNextRingSlot();
+        rn = &pool[bucketHead[slot]];
+    }
+    const HeapEntry *he = heap.empty() ? nullptr : &heap.top();
+
+    if (rn && he) {
+        // Same-tick events may straddle the lanes (scheduled far ahead
+        // into the heap, then again near-term into the ring); the
+        // global sequence number restores exact FIFO order.
+        fromRing = rn->when != he->when ? rn->when < he->when
+                                        : rn->seq < he->seq;
+    } else if (!rn && !he) {
+        return false;
+    } else {
+        fromRing = rn != nullptr;
+    }
+    when = fromRing ? rn->when : he->when;
+    return true;
+}
+
+void
+EventQueue::dispatch(bool fromRing, std::size_t slot)
+{
+    Tick when;
+    Callback cb;
+    if (fromRing) {
+        // All pool bookkeeping must finish before the callback runs:
+        // it may schedule new events, growing (reallocating) the pool.
+        const std::uint32_t idx = bucketHead[slot];
+        Node &n = pool[idx];
+        when = n.when;
+        cb = std::move(n.cb);
+        bucketHead[slot] = n.next;
+        if (bucketHead[slot] == npos) {
+            occupied[slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+            if (occupied[slot >> 6] == 0)
+                summary &= ~(std::uint64_t(1) << (slot >> 6));
+        }
+        n.next = freeHead;  // LIFO reuse keeps the hot set in cache
+        freeHead = idx;
+        --ringCount;
+    } else {
+        // priority_queue::top() is const; the callback must be moved
+        // out before pop.
+        HeapEntry &top = const_cast<HeapEntry &>(heap.top());
+        when = top.when;
+        cb = std::move(top.cb);
+        heap.pop();
+    }
+    SLIPSIM_ASSERT(when >= _now, "time went backwards");
+    _now = when;
+    ++nProcessed;
+    cb();
+}
+
 bool
 EventQueue::step()
 {
-    if (heap.empty())
+    Tick when;
+    bool fromRing = false;
+    std::size_t slot = 0;
+    if (!peekNext(when, fromRing, slot))
         return false;
-    // priority_queue::top() is const; the callback must be moved out
-    // before pop, so copy the metadata and move the closure.
-    Entry e = std::move(const_cast<Entry &>(heap.top()));
-    heap.pop();
-    SLIPSIM_ASSERT(e.when >= _now, "time went backwards");
-    _now = e.when;
-    ++nProcessed;
-    e.cb();
+    dispatch(fromRing, slot);
     return true;
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!heap.empty() && heap.top().when <= limit)
-        step();
+    while (true) {
+        Tick when;
+        bool fromRing = false;
+        std::size_t slot = 0;
+        if (!peekNext(when, fromRing, slot) || when > limit)
+            break;
+        dispatch(fromRing, slot);
+    }
 
-    if (heap.empty()) {
+    if (empty()) {
         for (auto &check : drainChecks) {
             std::string diag = check();
             if (!diag.empty()) {

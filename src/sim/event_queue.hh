@@ -10,12 +10,14 @@
 #ifndef SLIPSIM_SIM_EVENT_QUEUE_HH
 #define SLIPSIM_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -30,13 +32,39 @@ namespace slipsim
  * diagnostic hook: if the queue empties while registered "liveness"
  * checkers say the simulation is incomplete, run() reports the stuck
  * state via fatal().
+ *
+ * Events live in one of two lanes, both allocation-free on the schedule
+ * path for common capture sizes (callbacks are InlineCallback, which
+ * stores small captures in place instead of on the heap):
+ *
+ *  - a calendar ring of `horizon` single-tick buckets for events within
+ *    `horizon` ticks of now().  Measured across the figure benches,
+ *    >99.8% of scheduleIn() deltas are shorter than 1024 ticks (cache
+ *    latencies, port occupancies, coherence hops), so almost all
+ *    traffic lands here.  Buckets are FIFO lists of pool-allocated
+ *    nodes linked by 32-bit indices; freed nodes are reused LIFO, so
+ *    the hot set stays small and in cache and steady state performs no
+ *    allocation at all;
+ *  - a binary heap for the far future (busy quanta, drain intervals).
+ *
+ * A global sequence number orders events within a tick across both
+ * lanes, so the documented FIFO tie-break is exact regardless of which
+ * lane an event landed in.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
-    EventQueue() = default;
+    /** Ring span in ticks; deltas >= horizon take the heap lane. */
+    static constexpr std::size_t horizon = 1024;
+
+    EventQueue()
+    {
+        bucketHead.fill(npos);
+        bucketTail.fill(npos);
+        pool.reserve(initialPool);
+    }
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -50,7 +78,10 @@ class EventQueue
         SLIPSIM_ASSERT(when >= _now,
                 "schedule in the past (when=%llu now=%llu)",
                 (unsigned long long)when, (unsigned long long)_now);
-        heap.push(Entry{when, seq++, std::move(cb)});
+        if (when - _now < horizon)
+            pushRing(when, std::move(cb));
+        else
+            heap.push(HeapEntry{when, seq++, std::move(cb)});
     }
 
     /** Schedule @p cb to run @p delta ticks from now. */
@@ -58,10 +89,10 @@ class EventQueue
     { schedule(_now + delta, std::move(cb)); }
 
     /** True if no events are pending. */
-    bool empty() const { return heap.empty(); }
+    bool empty() const { return ringCount == 0 && heap.empty(); }
 
     /** Number of pending events. */
-    size_t pending() const { return heap.size(); }
+    size_t pending() const { return ringCount + heap.size(); }
 
     /** Total number of events processed so far. */
     std::uint64_t processed() const { return nProcessed; }
@@ -87,20 +118,63 @@ class EventQueue
     }
 
   private:
-    struct Entry
+    static constexpr std::size_t ringMask = horizon - 1;
+    static constexpr std::size_t numWords = horizon / 64;
+    static constexpr std::uint32_t npos = 0xffffffffu;
+    static constexpr std::size_t initialPool = 256;
+    static_assert((horizon & (horizon - 1)) == 0, "horizon must be 2^k");
+    static_assert(numWords <= 64, "summary must fit one word");
+
+    /** A ring event; nodes are pooled and linked per bucket in FIFO
+     *  order by 32-bit pool indices. */
+    struct Node
     {
-        Tick when;
-        std::uint64_t seq;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t next = npos;
+        Callback cb;
+    };
+
+    struct HeapEntry
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
         Callback cb;
 
         bool
-        operator>(const Entry &o) const
+        operator>(const HeapEntry &o) const
         {
             return when != o.when ? when > o.when : seq > o.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    void pushRing(Tick when, Callback cb);
+
+    /** Slot of the earliest ring event; ringCount must be non-zero. */
+    std::size_t findNextRingSlot() const;
+
+    /**
+     * Locate the earliest pending event.  @return false if the queue
+     * is empty; otherwise @p when is its tick, @p fromRing its lane,
+     * and @p slot its bucket when ring-resident.
+     */
+    bool peekNext(Tick &when, bool &fromRing, std::size_t &slot) const;
+
+    /** Pop and dispatch the event peekNext() chose. */
+    void dispatch(bool fromRing, std::size_t slot);
+
+    std::vector<Node> pool;
+    std::uint32_t freeHead = npos;
+    std::array<std::uint32_t, horizon> bucketHead;
+    std::array<std::uint32_t, horizon> bucketTail;
+    /** Per-slot occupancy bits plus a one-bit-per-word summary: the
+     *  next occupied slot is found with two ctz steps, not a scan. */
+    std::array<std::uint64_t, numWords> occupied{};
+    std::uint64_t summary = 0;
+    std::size_t ringCount = 0;
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>> heap;
     Tick _now = 0;
     std::uint64_t seq = 0;
     std::uint64_t nProcessed = 0;

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callables, used for event callbacks
+ * and completion handlers throughout the memory system.
+ *
+ * std::function heap-allocates any capture larger than two pointers,
+ * which puts one malloc/free pair on every schedule()/dispatch in the
+ * simulator's inner loop.  InlineFunction stores captures up to
+ * inlineSize bytes directly inside the object (covering `this` plus a
+ * MemReq plus a liveness token, the largest hot-path capture), only
+ * falling back to the heap for oversized or over-aligned callables.
+ * It is move-only, so it can also carry move-only captures (e.g.
+ * std::unique_ptr), which std::function cannot.
+ */
+
+#ifndef SLIPSIM_SIM_INLINE_FUNCTION_HH
+#define SLIPSIM_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace slipsim
+{
+
+template <typename Sig>
+class InlineFunction;
+
+/** A move-only `R(Args...)` callable with inline storage for small
+ *  captures. */
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)>
+{
+  public:
+    /** Bytes of capture stored without heap allocation.  Sized for the
+     *  largest common event capture: a `this` pointer, a MemReq, and a
+     *  shared_ptr liveness token (8 + 24 + 16). */
+    static constexpr std::size_t inlineSize = 48;
+
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(storage)) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(storage))
+                Fn *(new Fn(std::forward<F>(f)));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept { moveFrom(o); }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    R
+    operator()(Args... args)
+    {
+        return ops->invoke(storage, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    /** True if the held callable lives in the inline buffer (tests). */
+    bool usesInlineStorage() const noexcept
+    { return ops != nullptr && ops->inlineStored; }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *buf, Args &&...args);
+        /** Move the callable from @p src into raw @p dst and destroy
+         *  the source (buffers never overlap).  Null when `trivial`. */
+        void (*relocate)(void *src, void *dst) noexcept;
+        /** Null when destruction is a no-op (trivial case). */
+        void (*destroy)(void *buf) noexcept;
+        bool inlineStored;
+        /** Relocatable by memcpy with no destructor: moves and resets
+         *  need no indirect calls — the event-loop common case. */
+        bool trivial;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineSize &&
+               alignof(Fn) <= alignof(void *) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static R
+    invokeInline(void *buf, Args &&...args)
+    {
+        return (*std::launder(static_cast<Fn *>(buf)))(
+                std::forward<Args>(args)...);
+    }
+
+    template <typename Fn>
+    static R
+    invokeHeap(void *buf, Args &&...args)
+    {
+        return (**std::launder(static_cast<Fn **>(buf)))(
+                std::forward<Args>(args)...);
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        &invokeInline<Fn>,
+        std::is_trivially_copyable_v<Fn>
+            ? nullptr
+            : +[](void *src, void *dst) noexcept {
+                  Fn *f = std::launder(static_cast<Fn *>(src));
+                  ::new (dst) Fn(std::move(*f));
+                  f->~Fn();
+              },
+        std::is_trivially_destructible_v<Fn>
+            ? nullptr
+            : +[](void *buf) noexcept
+              { std::launder(static_cast<Fn *>(buf))->~Fn(); },
+        true,
+        std::is_trivially_copyable_v<Fn> &&
+            std::is_trivially_destructible_v<Fn>,
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        &invokeHeap<Fn>,
+        [](void *src, void *dst) noexcept {
+            Fn **p = std::launder(static_cast<Fn **>(src));
+            ::new (dst) Fn *(*p);
+        },
+        [](void *buf) noexcept
+        { delete *std::launder(static_cast<Fn **>(buf)); },
+        false,
+        false,
+    };
+
+    void
+    moveFrom(InlineFunction &o) noexcept
+    {
+        ops = o.ops;
+        o.ops = nullptr;
+        if (!ops)
+            return;
+        if (ops->trivial)
+            std::memcpy(storage, o.storage, inlineSize);
+        else
+            ops->relocate(o.storage, storage);
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops) {
+            if (ops->destroy)
+                ops->destroy(storage);
+            ops = nullptr;
+        }
+    }
+
+    const Ops *ops = nullptr;
+    alignas(void *) unsigned char storage[inlineSize];
+};
+
+/** The event-callback type: a small-buffer `void()` closure. */
+using InlineCallback = InlineFunction<void()>;
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_INLINE_FUNCTION_HH

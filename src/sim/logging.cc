@@ -5,26 +5,31 @@
 
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace slipsim
 {
 
 namespace
 {
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
+// Serializes writes so messages from concurrent sweep workers never
+// interleave mid-line.
+std::mutex logMutex;
 }
 
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 isQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -35,8 +40,9 @@ logMessage(const char *prefix, const std::string &msg)
 {
     // panic/fatal always print; warn/inform respect quiet mode.
     bool isError = prefix[0] == 'p' || prefix[0] == 'f';
-    if (quietFlag && !isError)
+    if (quietFlag.load(std::memory_order_relaxed) && !isError)
         return;
+    std::lock_guard<std::mutex> lock(logMutex);
     std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
 }
 

@@ -5,6 +5,7 @@
 
 #include "sim/trace.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -17,8 +18,10 @@ namespace Trace
 namespace
 {
 
-std::uint32_t traceMask = 0;
-bool envChecked = false;
+// Atomics: mask() is consulted from every sweep worker thread; the
+// one-time lazy env check must not race.
+std::atomic<std::uint32_t> traceMask{0};
+std::atomic<bool> envChecked{false};
 
 std::uint32_t
 flagFromName(const std::string &name)
@@ -44,31 +47,33 @@ flagFromName(const std::string &name)
 std::uint32_t
 mask()
 {
-    if (!envChecked)
+    if (!envChecked.load(std::memory_order_acquire))
         initFromEnv();
-    return traceMask;
+    return traceMask.load(std::memory_order_relaxed);
 }
 
 void
 enable(const std::string &list)
 {
-    envChecked = true;
-    traceMask = 0;
+    std::uint32_t m = 0;
     std::istringstream is(list);
     std::string item;
     while (std::getline(is, item, ',')) {
         if (!item.empty())
-            traceMask |= flagFromName(item);
+            m |= flagFromName(item);
     }
+    traceMask.store(m, std::memory_order_relaxed);
+    envChecked.store(true, std::memory_order_release);
 }
 
 void
 initFromEnv()
 {
-    envChecked = true;
     const char *env = std::getenv("SLIPSIM_TRACE");
     if (env && *env)
         enable(env);
+    else
+        envChecked.store(true, std::memory_order_release);
 }
 
 void

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 
 #include "sim/logging.hh"
 
@@ -15,6 +16,15 @@ namespace slipsim
 
 namespace
 {
+
+// Registration happens from static initializers (single-threaded), but
+// lookups come from sweep worker threads; guard both for safety.
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 std::map<std::string, WorkloadFactory> &
 registry()
@@ -28,26 +38,35 @@ registry()
 void
 registerWorkload(const std::string &name, WorkloadFactory factory)
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     registry()[name] = std::move(factory);
 }
 
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name, const Options &opts)
 {
-    auto it = registry().find(name);
-    if (it == registry().end()) {
-        std::string known;
-        for (const auto &[k, v] : registry())
-            known += (known.empty() ? "" : ", ") + k;
-        fatal("unknown workload '%s' (known: %s)", name.c_str(),
-              known.c_str());
+    WorkloadFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        auto it = registry().find(name);
+        if (it == registry().end()) {
+            std::string known;
+            for (const auto &[k, v] : registry())
+                known += (known.empty() ? "" : ", ") + k;
+            fatal("unknown workload '%s' (known: %s)", name.c_str(),
+                  known.c_str());
+        }
+        factory = it->second;
     }
-    return it->second(opts);
+    // Invoke outside the lock: factories may themselves log or touch
+    // other globals.
+    return factory(opts);
 }
 
 std::vector<std::string>
 workloadNames()
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     std::vector<std::string> names;
     for (const auto &[k, v] : registry())
         names.push_back(k);

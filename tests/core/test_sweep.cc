@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: parallel results must be
+ * bit-identical to sequential ones, and failures must propagate the
+ * way a sequential loop would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+/** A small grid mixing modes, workloads (including "sp", whose bench
+ *  kernels use thread_local scratch), and machine sizes. */
+std::vector<SweepPoint>
+testGrid()
+{
+    std::vector<SweepPoint> points;
+    auto add = [&](const char *wl, const char *size_key,
+                   const char *size_val, int cmps, Mode mode) {
+        SweepPoint p;
+        p.workload = wl;
+        p.opts.set(size_key, size_val);
+        p.opts.set("iters", "2");
+        p.machine.numCmps = cmps;
+        p.cfg.mode = mode;
+        if (mode == Mode::Slipstream)
+            p.cfg.arPolicy = ArPolicy::ZeroTokenGlobal;
+        points.push_back(p);
+    };
+    add("sor", "n", "34", 2, Mode::Single);
+    add("sor", "n", "34", 2, Mode::Double);
+    add("sor", "n", "34", 2, Mode::Slipstream);
+    add("sor", "n", "34", 4, Mode::Slipstream);
+    add("sp", "n", "8", 2, Mode::Single);
+    add("sp", "n", "8", 2, Mode::Slipstream);
+    add("mg", "n", "8", 2, Mode::Single);
+    add("mg", "n", "8", 2, Mode::Slipstream);
+    return points;
+}
+
+} // namespace
+
+TEST(Sweep, ResolveJobs)
+{
+    EXPECT_EQ(resolveJobs(1), 1u);
+    EXPECT_EQ(resolveJobs(7), 7u);
+    EXPECT_GE(resolveJobs(0), 1u);  // hardware concurrency fallback
+}
+
+TEST(Sweep, RunParallelRunsEveryTaskOnce)
+{
+    std::atomic<int> counter{0};
+    std::vector<bool> ran(100, false);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 100; ++i) {
+        tasks.push_back([&counter, &ran, i] {
+            ran[i] = true;
+            counter.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    runParallel(std::move(tasks), 4);
+    EXPECT_EQ(counter.load(), 100);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(ran[i]);
+}
+
+TEST(Sweep, RunParallelRethrowsFirstErrorBySubmissionIndex)
+{
+    // Whatever order the workers reach them in, the error reported
+    // must be the one a sequential loop would have hit first.
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+        tasks.push_back([i] {
+            if (i == 3 || i == 11)
+                throw std::runtime_error("task " + std::to_string(i));
+        });
+    }
+    try {
+        runParallel(std::move(tasks), 4);
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 3");
+    }
+}
+
+TEST(Sweep, ParallelMatchesSequential)
+{
+    setQuiet(true);
+    std::vector<ExperimentResult> seq =
+        runSweep(testGrid(), SweepConfig{1});
+    std::vector<ExperimentResult> par =
+        runSweep(testGrid(), SweepConfig{4});
+
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i) + " (" +
+                     seq[i].workload + ")");
+        EXPECT_EQ(seq[i].cycles, par[i].cycles);
+        EXPECT_EQ(seq[i].verified, par[i].verified);
+        EXPECT_TRUE(seq[i].verified);
+        EXPECT_EQ(seq[i].recoveries, par[i].recoveries);
+        // Every statistic, not just the headline number: the full
+        // ordered map must be identical key-for-key, value-for-value.
+        EXPECT_EQ(seq[i].stats.all(), par[i].stats.all());
+    }
+}
+
+TEST(Sweep, ResultsComeBackInSubmissionOrder)
+{
+    setQuiet(true);
+    std::vector<SweepPoint> points = testGrid();
+    std::vector<ExperimentResult> res =
+        runSweep(points, SweepConfig{4});
+    ASSERT_EQ(res.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(res[i].workload, points[i].workload);
+        EXPECT_EQ(res[i].mode, points[i].cfg.mode);
+        EXPECT_EQ(res[i].numCmps, points[i].machine.numCmps);
+    }
+}

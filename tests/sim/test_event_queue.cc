@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 
 using namespace slipsim;
 
@@ -116,4 +118,118 @@ TEST(EventQueue, ProcessedCounterCounts)
         eq.schedule(i, [] {});
     eq.run();
     EXPECT_EQ(eq.processed(), 5u);
+}
+
+TEST(EventQueue, SameTickFifoStress)
+{
+    // 10k events at one tick must dispatch in exact submission order,
+    // exercising the pooled ring bucket's chain growth.
+    EventQueue eq;
+    constexpr int n = 10000;
+    std::vector<int> order;
+    order.reserve(n);
+    for (int i = 0; i < n; ++i)
+        eq.schedule(42, [&order, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        ASSERT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAtCurrentTickDuringDispatch)
+{
+    // An event scheduled for the tick being dispatched runs in the
+    // same pass, after everything already queued at that tick.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(0);
+        eq.schedule(10, [&] { order.push_back(2); });
+    });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, MoveOnlyCaptureCallback)
+{
+    // InlineCallback is move-only, so callbacks may own move-only
+    // state — something std::function could never carry.
+    EventQueue eq;
+    int seen = 0;
+    auto p = std::make_unique<int>(77);
+    eq.schedule(3, [&seen, p = std::move(p)] { seen = *p; });
+    eq.run();
+    EXPECT_EQ(seen, 77);
+}
+
+TEST(EventQueue, CrossLaneSameTickFifoMerge)
+{
+    // An event scheduled far in the future lands in the heap lane; a
+    // later event at the *same* tick, scheduled once the tick is
+    // within the ring horizon, lands in the ring.  Dispatch must merge
+    // the two lanes in submission (sequence) order.
+    EventQueue eq;
+    const Tick target = 5000;  // > ring horizon from tick 0
+    std::vector<int> order;
+    eq.schedule(target, [&] { order.push_back(0); });  // heap lane
+    eq.schedule(target - 10, [&] {
+        // now() is within the horizon of `target`: ring lane.
+        eq.schedule(target, [&] { order.push_back(1); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(InlineFunction, SmallCaptureStaysInline)
+{
+    int x = 5;
+    InlineCallback cb([&x] { x += 1; });
+    EXPECT_TRUE(cb.usesInlineStorage());
+    cb();
+    EXPECT_EQ(x, 6);
+}
+
+TEST(InlineFunction, LargeCaptureFallsBackToHeap)
+{
+    struct Big
+    {
+        char pad[128];
+    };
+    Big big{};
+    big.pad[0] = 9;
+    char got = 0;
+    InlineFunction<void()> cb([big, &got] { got = big.pad[0]; });
+    EXPECT_FALSE(cb.usesInlineStorage());
+    cb();
+    EXPECT_EQ(got, 9);
+}
+
+TEST(InlineFunction, MoveTransfersOwnership)
+{
+    auto p = std::make_unique<int>(31);
+    InlineCallback a([p = std::move(p)] { (void)*p; });
+    EXPECT_TRUE(static_cast<bool>(a));
+    InlineCallback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    b = nullptr;
+    EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(InlineFunction, ArgumentsAndReturnValues)
+{
+    InlineFunction<int(int, int)> add([](int a, int b) {
+        return a + b;
+    });
+    EXPECT_EQ(add(2, 3), 5);
+
+    // Reference arguments pass through without copies.
+    InlineFunction<void(std::vector<int> &)> push(
+        [](std::vector<int> &v) { v.push_back(1); });
+    std::vector<int> v;
+    push(v);
+    EXPECT_EQ(v.size(), 1u);
 }
