@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Random-traffic coherence fuzzer (src/check/ front end).
+ *
+ * Drives many seeded fuzz runs — each a fresh 4-node System under the
+ * ProtocolChecker with value tracking on — in parallel across worker
+ * threads, shrinks the first failure to a minimal op list, and dumps it
+ * as a replayable JSON trace.
+ *
+ *   fuzz_coherence --seeds 200 --jobs 4        # the standard sweep
+ *   fuzz_coherence --seeds 1 --seed0 7 --ops 4000
+ *   fuzz_coherence --inject 3                  # drop the 3rd inval (must fail)
+ *   fuzz_coherence --replay fuzz_failure.json  # re-run a dumped trace
+ *
+ * Options (both --key value and key=value spellings work):
+ *   seeds=N   number of seeds to run              (default 100)
+ *   seed0=N   first seed                          (default 1)
+ *   jobs=N    worker threads, 0 = all hardware    (default 0)
+ *   ops=N     ops per seed                        (default 1500)
+ *   nodes=N   CMP count                           (default 4)
+ *   lines=N   address-pool size                   (default 32)
+ *   l2kb=N    per-node L2 size in KB              (default 8)
+ *   inject=N  drop the Nth invalidation per home  (default 0 = off)
+ *   out=FILE  failure-trace path                  (default fuzz_failure.json)
+ *   replay=FILE  replay a trace instead of fuzzing
+ *   --no-transparent / --no-si   disable those features
+ *
+ * Exit status: 0 when every run is clean, 1 on any violation.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "check/traffic_gen.hh"
+#include "core/sweep.hh"
+#include "sim/config.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+/**
+ * Options::parse only understands --flag and key=value; fold the
+ * conventional "--key value" spelling into "key=value" for the keys
+ * that take one, so `fuzz_coherence --seeds 200 --jobs 4` works.
+ */
+Options
+parseArgs(int argc, char **argv)
+{
+    static const char *const valueKeys[] = {
+        "seeds", "seed0", "jobs", "ops", "nodes", "lines",
+        "l2kb", "inject", "out", "replay", "shrink-runs",
+    };
+    std::vector<std::string> folded;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        bool joined = false;
+        if (a.size() > 2 && a.compare(0, 2, "--") == 0 &&
+            a.find('=') == std::string::npos && i + 1 < argc) {
+            for (const char *k : valueKeys) {
+                if (a.compare(2, std::string::npos, k) == 0) {
+                    folded.push_back(a.substr(2) + "=" + argv[++i]);
+                    joined = true;
+                    break;
+                }
+            }
+        }
+        if (!joined)
+            folded.push_back(std::move(a));
+    }
+    std::vector<const char *> cargv;
+    cargv.push_back(argv[0]);
+    for (const std::string &s : folded)
+        cargv.push_back(s.c_str());
+    return Options::parse(static_cast<int>(cargv.size()), cargv.data());
+}
+
+FuzzConfig
+configFromOptions(const Options &opts)
+{
+    FuzzConfig cfg;
+    cfg.nodes = static_cast<int>(opts.getInt("nodes", cfg.nodes));
+    cfg.lines = static_cast<int>(opts.getInt("lines", cfg.lines));
+    cfg.ops = static_cast<int>(opts.getInt("ops", cfg.ops));
+    cfg.l2KB = static_cast<std::uint32_t>(
+        opts.getInt("l2kb", static_cast<std::int64_t>(cfg.l2KB)));
+    cfg.transparentLoads = !opts.getBool("no-transparent", false);
+    cfg.selfInvalidation = !opts.getBool("no-si", false);
+    cfg.faults.dropNthInvalidation =
+        static_cast<int>(opts.getInt("inject", 0));
+    return cfg;
+}
+
+void
+printReport(const char *tag, const FuzzReport &rep)
+{
+    std::printf("%s: %s  transactions=%llu  issued=%d  completed=%d  "
+                "a_divergences=%llu  violations=%llu\n",
+                tag, rep.failed ? "FAIL" : "ok",
+                (unsigned long long)rep.transactions, rep.issued,
+                rep.completed, (unsigned long long)rep.aDivergences,
+                (unsigned long long)rep.violations);
+    if (rep.failed)
+        std::printf("  first violation: %s\n", rep.firstViolation.c_str());
+}
+
+int
+replayTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "fuzz_coherence: cannot open %s\n",
+                     path.c_str());
+        return 2;
+    }
+    FuzzConfig cfg;
+    std::uint64_t seed = 0;
+    std::vector<FuzzOp> ops;
+    if (!readFuzzTrace(is, cfg, seed, ops)) {
+        std::fprintf(stderr, "fuzz_coherence: %s is not a fuzz trace\n",
+                     path.c_str());
+        return 2;
+    }
+    std::printf("replaying %s: seed=%llu nodes=%d lines=%d ops=%zu\n",
+                path.c_str(), (unsigned long long)seed, cfg.nodes,
+                cfg.lines, ops.size());
+    FuzzReport rep = runFuzzOps(cfg, ops);
+    printReport("replay", rep);
+    return rep.failed ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv);
+
+    if (opts.has("replay"))
+        return replayTrace(opts.getString("replay"));
+
+    const FuzzConfig cfg = configFromOptions(opts);
+    const std::uint64_t seed0 =
+        static_cast<std::uint64_t>(opts.getInt("seed0", 1));
+    const int seeds = static_cast<int>(opts.getInt("seeds", 100));
+    const unsigned jobs =
+        static_cast<unsigned>(opts.getInt("jobs", 0));
+    const std::size_t shrinkRuns =
+        static_cast<std::size_t>(opts.getInt("shrink-runs", 400));
+    const std::string outPath =
+        opts.getString("out", "fuzz_failure.json");
+
+    std::printf("fuzz_coherence: %d seeds from %llu, %d nodes, "
+                "%d lines, %d ops/seed, %u jobs%s\n",
+                seeds, (unsigned long long)seed0, cfg.nodes, cfg.lines,
+                cfg.ops, resolveJobs(jobs),
+                cfg.faults.dropNthInvalidation
+                    ? " [fault injection on]" : "");
+
+    std::atomic<std::uint64_t> transactions{0}, divergences{0};
+    std::mutex mtx;
+    std::uint64_t firstBadSeed = 0;
+    std::string firstBadDetail;
+    bool anyFailed = false;
+    int firstBadIdx = -1;
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(static_cast<std::size_t>(seeds));
+    for (int i = 0; i < seeds; ++i) {
+        const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+        tasks.push_back([&, seed, i]() {
+            FuzzReport rep = runFuzzSeed(cfg, seed);
+            transactions += rep.transactions;
+            divergences += rep.aDivergences;
+            if (rep.failed) {
+                std::lock_guard<std::mutex> g(mtx);
+                // Keep the lowest-index failure so the shrunk trace is
+                // deterministic whatever the jobs value.
+                if (!anyFailed || i < firstBadIdx) {
+                    anyFailed = true;
+                    firstBadIdx = i;
+                    firstBadSeed = seed;
+                    firstBadDetail = rep.firstViolation;
+                }
+            }
+        });
+    }
+    runParallel(std::move(tasks), jobs);
+
+    std::printf("fuzz_coherence: %llu directory transactions checked, "
+                "%llu A-stream divergences observed\n",
+                (unsigned long long)transactions.load(),
+                (unsigned long long)divergences.load());
+
+    if (!anyFailed) {
+        std::printf("fuzz_coherence: all %d seeds clean\n", seeds);
+        return 0;
+    }
+
+    std::printf("fuzz_coherence: seed %llu FAILED: %s\n",
+                (unsigned long long)firstBadSeed, firstBadDetail.c_str());
+    std::vector<FuzzOp> ops = generateFuzzOps(cfg, firstBadSeed);
+    const std::size_t before = ops.size();
+    ops = shrinkFuzzOps(cfg, std::move(ops), shrinkRuns);
+    FuzzReport rep = runFuzzOps(cfg, ops);
+    std::printf("fuzz_coherence: shrunk %zu ops -> %zu\n", before,
+                ops.size());
+    printReport("shrunk", rep);
+
+    std::ofstream os(outPath);
+    if (os) {
+        writeFuzzTrace(os, cfg, firstBadSeed, ops, rep);
+        std::printf("fuzz_coherence: trace written to %s "
+                    "(replay with --replay %s)\n",
+                    outPath.c_str(), outPath.c_str());
+    } else {
+        std::fprintf(stderr, "fuzz_coherence: cannot write %s\n",
+                     outPath.c_str());
+    }
+    return 1;
+}

@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hh"
 
@@ -66,8 +67,20 @@ main(int argc, char **argv)
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     double eps = wall_ms > 0 ? events / (wall_ms / 1000.0) : 0;
 
-    std::printf("{\"events_per_sec\": %.0f, \"wall_ms\": %.1f, "
-                "\"sweep_jobs\": %u}\n",
-                eps, wall_ms, resolveJobs(jobs));
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "{\"events_per_sec\": %.0f, \"wall_ms\": %.1f, "
+                  "\"sweep_jobs\": %u}",
+                  eps, wall_ms, resolveJobs(jobs));
+    std::printf("%s\n", line);
+
+    // Append to the perf log (one JSON object per line) so successive
+    // runs accumulate a throughput history CI can diff.
+    std::string log = opts.getString("perf-out", "BENCH_perf.json");
+    std::ofstream os(log, std::ios::app);
+    if (os)
+        os << line << "\n";
+    else
+        warn("perf_smoke: cannot append to %s", log.c_str());
     return 0;
 }

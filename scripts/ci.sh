@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI driver: build and test slipsim in a Release configuration and an
+# address+undefined sanitizer configuration.
+#
+#   scripts/ci.sh              # both configs
+#   scripts/ci.sh release      # Release only
+#   scripts/ci.sh sanitize     # sanitizers only
+#
+# Each config runs the full default ctest suite (which includes the
+# fixed-seed fuzz smoke).  The 1000-seed fuzz sweep stays opt-in:
+#   ctest --test-dir build-release -L fuzz-long
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+WHAT="${1:-all}"
+
+build_and_test() {
+    local dir="$1"
+    shift
+    echo "=== configure $dir ==="
+    cmake -B "$dir" -S . "$@"
+    echo "=== build $dir ==="
+    cmake --build "$dir" -j "$JOBS"
+    echo "=== test $dir ==="
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+if [[ "$WHAT" == "all" || "$WHAT" == "release" ]]; then
+    build_and_test build-release -DCMAKE_BUILD_TYPE=Release
+fi
+
+if [[ "$WHAT" == "all" || "$WHAT" == "sanitize" ]]; then
+    build_and_test build-san \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSLIPSIM_SANITIZE=address,undefined
+fi
+
+echo "=== ci.sh: all requested configurations passed ==="

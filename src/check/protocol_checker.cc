@@ -1,0 +1,337 @@
+/**
+ * @file
+ * ProtocolChecker implementation.
+ */
+
+#include "check/protocol_checker.hh"
+
+#include <sstream>
+
+#include "mem/directory.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+const char *
+stateName(DirEntry::St s)
+{
+    switch (s) {
+      case DirEntry::St::Idle:
+        return "Idle";
+      case DirEntry::St::Shared:
+        return "Shared";
+      case DirEntry::St::Excl:
+        return "Excl";
+    }
+    return "?";
+}
+
+} // namespace
+
+ProtocolChecker::ProtocolChecker(MemorySystem &mem_sys, bool track_values)
+    : ms(mem_sys), trackValues(track_values)
+{
+    l1Lines.resize(static_cast<std::size_t>(ms.numNodes()) * 2);
+    ms.setObserver(this);
+}
+
+ProtocolChecker::~ProtocolChecker()
+{
+    if (ms.observer() == this)
+        ms.setObserver(nullptr);
+}
+
+void
+ProtocolChecker::record(Addr line_addr, NodeId node, const char *kind,
+                        std::string detail)
+{
+    ++violationCount;
+    if (found.size() >= maxRecorded)
+        return;
+    Violation v;
+    v.tick = ms.eventq().now();
+    v.lineAddr = line_addr;
+    v.node = node;
+    v.kind = kind;
+    v.detail = std::move(detail);
+    found.push_back(std::move(v));
+}
+
+std::string
+ProtocolChecker::firstViolation() const
+{
+    if (found.empty())
+        return "";
+    const Violation &v = found.front();
+    std::ostringstream os;
+    os << v.kind << " @tick " << v.tick << " line 0x" << std::hex
+       << v.lineAddr << std::dec << " node " << v.node << ": "
+       << v.detail;
+    return os.str();
+}
+
+void
+ProtocolChecker::sweepLine(Addr line_addr)
+{
+    ++sweepsRun;
+    const DirEntry *e = ms.homeOf(line_addr).probe(line_addr);
+    const int nodes = ms.numNodes();
+
+    // I5: entry well-formedness.
+    if (e) {
+        if (e->state == DirEntry::St::Excl && e->owner == invalidNode) {
+            record(line_addr, invalidNode, "excl-without-owner",
+                   "home entry Excl but owner unset");
+        }
+        if (e->state != DirEntry::St::Excl && e->owner != invalidNode) {
+            record(line_addr, e->owner, "owner-outside-excl",
+                   std::string("home entry ") + stateName(e->state) +
+                       " still names an owner");
+        }
+    }
+
+    int owners = 0;
+    for (NodeId n = 0; n < nodes; ++n) {
+        const bool owned = ms.node(n).ownedInL2(line_addr);
+        const bool present_r =
+            ms.node(n).presentFor(line_addr, StreamKind::RStream);
+        const bool present_a =
+            ms.node(n).presentFor(line_addr, StreamKind::AStream);
+        const bool transparent_copy = present_a && !present_r;
+
+        if (owned) {
+            ++owners;
+            // I1: the home must agree about the owner.
+            if (!e || e->state != DirEntry::St::Excl) {
+                record(line_addr, n, "owner-not-recorded",
+                       std::string("L2 holds the line Excl but home "
+                                   "entry is ") +
+                           (e ? stateName(e->state) : "absent"));
+            } else if (e->owner != n) {
+                record(line_addr, n, "owner-mismatch",
+                       "home names node " + std::to_string(e->owner) +
+                           " as owner");
+            }
+        }
+
+        if (present_r && !owned) {
+            // I2: every coherent copy is known to the home.
+            if (!e || e->state == DirEntry::St::Idle) {
+                record(line_addr, n, "hidden-copy",
+                       "L2 holds a coherent copy of a line the home "
+                       "thinks nobody caches");
+            } else if (e->state == DirEntry::St::Shared &&
+                       !(e->sharers & (std::uint64_t(1) << n))) {
+                record(line_addr, n, "hidden-sharer",
+                       "L2 holds a Shared copy missing from the "
+                       "sharer list");
+            } else if (e->state == DirEntry::St::Excl && e->owner != n) {
+                record(line_addr, n, "stale-copy",
+                       "L2 still holds a copy after exclusivity moved "
+                       "to node " + std::to_string(e->owner) +
+                       " (lost invalidation)");
+            }
+        }
+
+        if (transparent_copy && e &&
+            !ms.node(n).missOutstanding(line_addr)) {
+            // I4: transparent copies stay outside the coherent state.
+            // A node upgrading its transparent copy is exempt while the
+            // coherent fill is in flight: the home records the new
+            // sharer/owner at transaction time, but the old transparent
+            // line survives locally until the fill replaces it.
+            if (e->state == DirEntry::St::Shared &&
+                (e->sharers & (std::uint64_t(1) << n))) {
+                record(line_addr, n, "transparent-sharer",
+                       "transparent copy recorded in the sharer list");
+            }
+            if (e->state == DirEntry::St::Excl && e->owner == n) {
+                record(line_addr, n, "transparent-owner",
+                       "transparent copy recorded as exclusive owner");
+            }
+        }
+    }
+
+    // I1: global single-writer.
+    if (owners > 1) {
+        record(line_addr, invalidNode, "multiple-owners",
+               std::to_string(owners) + " L2s hold the line Excl");
+    }
+}
+
+void
+ProtocolChecker::onDirTransaction(const MemReq &req, const ReplyInfo &,
+                                  const DirEntry &, Tick)
+{
+    ++transactionsObserved;
+    linesSeen.insert(req.lineAddr);
+    sweepLine(req.lineAddr);
+}
+
+void
+ProtocolChecker::onDirNote(DirNote kind, NodeId node, Addr line_addr,
+                           const DirEntry *)
+{
+    linesSeen.insert(line_addr);
+    if (kind == DirNote::Writeback && trackValues) {
+        // The writeback must carry the last committed value; since
+        // functional memory is the single value copy, this catches any
+        // path that let a store bypass the commit protocol.
+        auto it = shadow.find(line_addr);
+        if (it != shadow.end()) {
+            std::uint64_t mem_val =
+                ms.functional().read<std::uint64_t>(line_addr);
+            if (mem_val != it->second.value) {
+                std::ostringstream os;
+                os << "writeback value 0x" << std::hex << mem_val
+                   << " != last committed 0x" << it->second.value
+                   << std::dec << " (writer node "
+                   << it->second.writer << ")";
+                record(line_addr, node, "writeback-value", os.str());
+            }
+        }
+    }
+}
+
+void
+ProtocolChecker::onL2(L2Event ev, NodeId node, Addr line_addr, bool,
+                      bool transparent)
+{
+    linesSeen.insert(line_addr);
+    switch (ev) {
+      case L2Event::Fill:
+        if (transparent) {
+            auto it = shadow.find(line_addr);
+            transparentVersion[nodeLineKey(node, line_addr)] =
+                it == shadow.end() ? 0 : it->second.version;
+        }
+        break;
+      case L2Event::Evict:
+      case L2Event::ExternalInvalidate:
+      case L2Event::SiInvalidate:
+        // I3: the L2 must have back-invalidated its L1s first.
+        for (int slot = 0; slot < 2; ++slot) {
+            const auto &set = l1Lines[static_cast<std::size_t>(node) * 2 +
+                                      slot];
+            if (set.count(line_addr)) {
+                record(line_addr, node, "l1-after-l2-drop",
+                       "L1 slot " + std::to_string(slot) +
+                           " still holds a line its L2 dropped");
+            }
+        }
+        break;
+      case L2Event::Downgrade:
+      case L2Event::SiDowngrade:
+        break;
+    }
+}
+
+void
+ProtocolChecker::onL1(L1Event ev, NodeId node, int slot, Addr line_addr)
+{
+    auto &set = l1Lines[static_cast<std::size_t>(node) * 2 + slot];
+    switch (ev) {
+      case L1Event::Insert:
+        // I3: inclusion at fill time.
+        if (!ms.node(node).presentFor(line_addr, StreamKind::AStream)) {
+            record(line_addr, node, "l1-fill-outside-l2",
+                   "L1 slot " + std::to_string(slot) +
+                       " filled a line its L2 does not hold");
+        }
+        set.insert(line_addr);
+        break;
+      case L1Event::Evict:
+      case L1Event::Invalidate:
+        set.erase(line_addr);
+        break;
+    }
+}
+
+void
+ProtocolChecker::commitStore(NodeId node, Addr line_addr,
+                             std::uint64_t value)
+{
+    ++storesCommitted;
+    Shadow &s = shadow[line_addr];
+    s.value = value;
+    ++s.version;
+    s.writer = node;
+    s.tick = ms.eventq().now();
+}
+
+void
+ProtocolChecker::verifyRLoad(NodeId node, Addr line_addr)
+{
+    if (!trackValues)
+        return;
+    ++rLoadsVerified;
+    auto it = shadow.find(line_addr);
+    const std::uint64_t expected =
+        it == shadow.end() ? 0 : it->second.value;
+    const std::uint64_t actual =
+        ms.functional().read<std::uint64_t>(line_addr);
+    if (actual != expected) {
+        std::ostringstream os;
+        os << "R-stream load observed 0x" << std::hex << actual
+           << " but the latest committed value is 0x" << expected
+           << std::dec;
+        record(line_addr, node, "r-load-value", os.str());
+    }
+}
+
+void
+ProtocolChecker::noteALoad(NodeId node, Addr line_addr)
+{
+    const bool present_r =
+        ms.node(node).presentFor(line_addr, StreamKind::RStream);
+    const bool present_a =
+        ms.node(node).presentFor(line_addr, StreamKind::AStream);
+    if (!present_a || present_r)
+        return;  // coherent (or no) copy: nothing to diverge from
+    auto tv = transparentVersion.find(nodeLineKey(node, line_addr));
+    auto sh = shadow.find(line_addr);
+    const std::uint64_t fill_ver =
+        tv == transparentVersion.end() ? 0 : tv->second;
+    const std::uint64_t cur_ver =
+        sh == shadow.end() ? 0 : sh->second.version;
+    if (fill_ver < cur_ver)
+        ++aDivergences;  // reported, never asserted (paper §3.2)
+}
+
+void
+ProtocolChecker::finalSweep()
+{
+    for (Addr la : linesSeen)
+        sweepLine(la);
+    // I3, globally: every mirrored L1 line is still L2-resident.
+    for (std::size_t idx = 0; idx < l1Lines.size(); ++idx) {
+        const NodeId node = static_cast<NodeId>(idx / 2);
+        for (Addr la : l1Lines[idx]) {
+            if (!ms.node(node).presentFor(la, StreamKind::AStream)) {
+                record(la, node, "l1-inclusion",
+                       "L1 slot " + std::to_string(idx % 2) +
+                           " holds a line absent from its L2");
+            }
+        }
+    }
+}
+
+void
+ProtocolChecker::dumpStats(StatSet &out) const
+{
+    out.add("check.transactions",
+            static_cast<double>(transactionsObserved));
+    out.add("check.sweeps", static_cast<double>(sweepsRun));
+    out.add("check.violations", static_cast<double>(violationCount));
+    out.add("check.aDivergences", static_cast<double>(aDivergences));
+    out.add("check.storesCommitted",
+            static_cast<double>(storesCommitted));
+    out.add("check.rLoadsVerified",
+            static_cast<double>(rLoadsVerified));
+}
+
+} // namespace slipsim

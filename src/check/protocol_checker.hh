@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Runtime protocol verification for the invalidate-directory fabric.
+ *
+ * ProtocolChecker attaches to a MemorySystem through the passive
+ * CoherenceObserver hooks (mem/observer.hh) and re-validates the
+ * global coherence invariants after every directory transaction:
+ *
+ *   I1  single-writer: at most one L2 holds a line Exclusive, and the
+ *       home's owner field names exactly that node.
+ *   I2  sharer-list soundness: every L2 holding a line coherently is
+ *       recorded by the home (no hidden copies, no stale copies
+ *       surviving an invalidation).  The converse is *not* required:
+ *       a recorded sharer's fill may still be in flight.
+ *   I3  L1 inclusion: every L1-resident line is L2-resident, and L2
+ *       evictions/invalidations back-invalidate both L1s first.
+ *   I4  transparent copies are never Exclusive and never appear in
+ *       the sharer list.
+ *   I5  directory-entry well-formedness (Excl has an owner, Shared
+ *       does not).
+ *
+ * With value tracking enabled (the fuzz harness drives this), the
+ * checker also keeps a per-line shadow of the last committed store and
+ * verifies that R-stream loads observe exactly the latest
+ * sequentially-consistent value and that writebacks carry it, while
+ * A-stream (transparent-load) divergence is only counted — the paper's
+ * A-stream is allowed to read stale data, so divergence is a report,
+ * never an assertion.
+ *
+ * Violations are recorded, not thrown: a fuzz run completes and then
+ * asks `clean()`, which keeps shrinking deterministic.
+ */
+
+#ifndef SLIPSIM_CHECK_PROTOCOL_CHECKER_HH
+#define SLIPSIM_CHECK_PROTOCOL_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/memory_system.hh"
+#include "mem/observer.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** Observer that asserts directory-protocol invariants as they evolve. */
+class ProtocolChecker : public CoherenceObserver
+{
+  public:
+    /** One detected invariant violation. */
+    struct Violation
+    {
+        Tick tick = 0;
+        Addr lineAddr = 0;
+        NodeId node = invalidNode;
+        std::string kind;    //!< stable machine-readable tag
+        std::string detail;  //!< human-readable context
+    };
+
+    /** Recorded violations are capped; the count keeps increasing. */
+    static constexpr std::size_t maxRecorded = 100;
+
+    /**
+     * Attach to @p mem_sys (replacing any previous observer).
+     * @param track_values enable the shadow value checker; only the
+     *        fuzz harness drives stores through commitStore(), so this
+     *        must stay off when a real workload owns functional memory.
+     */
+    explicit ProtocolChecker(MemorySystem &mem_sys,
+                             bool track_values = false);
+
+    ~ProtocolChecker() override;
+
+    ProtocolChecker(const ProtocolChecker &) = delete;
+    ProtocolChecker &operator=(const ProtocolChecker &) = delete;
+
+    // --- CoherenceObserver ------------------------------------------------
+
+    void onDirTransaction(const MemReq &req, const ReplyInfo &info,
+                          const DirEntry &e, Tick reply_at) override;
+    void onDirNote(DirNote kind, NodeId node, Addr line_addr,
+                   const DirEntry *e) override;
+    void onL2(L2Event ev, NodeId node, Addr line_addr, bool exclusive,
+              bool transparent) override;
+    void onL1(L1Event ev, NodeId node, int slot, Addr line_addr) override;
+
+    // --- value interface (driven by the traffic generator) ----------------
+
+    /** An R-stream store to @p line_addr committed @p value (the caller
+     *  has already written functional memory). */
+    void commitStore(NodeId node, Addr line_addr, std::uint64_t value);
+
+    /** An R-stream load completed; it must observe the latest committed
+     *  value (sequential consistency at line granularity). */
+    void verifyRLoad(NodeId node, Addr line_addr);
+
+    /** An A-stream load completed; stale (transparent) values are
+     *  counted as divergence, never asserted. */
+    void noteALoad(NodeId node, Addr line_addr);
+
+    // --- sweeps & results -------------------------------------------------
+
+    /** Re-validate every invariant for one line, now. */
+    void sweepLine(Addr line_addr);
+
+    /** Validate every line ever observed plus full L1 inclusion; call
+     *  at quiescence. */
+    void finalSweep();
+
+    bool clean() const { return violationCount == 0; }
+
+    /** Total violations detected (recorded list is capped). */
+    std::uint64_t totalViolations() const { return violationCount; }
+
+    const std::vector<Violation> &violations() const { return found; }
+
+    /** One-line description of the first violation ("" when clean). */
+    std::string firstViolation() const;
+
+    void dumpStats(StatSet &out) const;
+
+    // Counters.
+    std::uint64_t transactionsObserved = 0;
+    std::uint64_t sweepsRun = 0;
+    std::uint64_t aDivergences = 0;
+    std::uint64_t storesCommitted = 0;
+    std::uint64_t rLoadsVerified = 0;
+
+  private:
+    /** Shadow of the last committed store to a line. */
+    struct Shadow
+    {
+        std::uint64_t value = 0;
+        std::uint64_t version = 0;
+        NodeId writer = invalidNode;
+        Tick tick = 0;
+    };
+
+    void record(Addr line_addr, NodeId node, const char *kind,
+                std::string detail);
+
+    /** (node, line) key; line addresses are 64-byte aligned, so the
+     *  low bits are free for the node id (numCmps <= 64). */
+    static std::uint64_t
+    nodeLineKey(NodeId node, Addr line_addr)
+    {
+        return line_addr | static_cast<std::uint64_t>(node);
+    }
+
+    MemorySystem &ms;
+    bool trackValues;
+
+    std::vector<Violation> found;
+    std::uint64_t violationCount = 0;
+
+    std::unordered_set<Addr> linesSeen;
+    std::unordered_map<Addr, Shadow> shadow;
+    /** Shadow version captured when a transparent fill landed. */
+    std::unordered_map<std::uint64_t, std::uint64_t> transparentVersion;
+    /** L1 contents mirror, indexed node*2+slot. */
+    std::vector<std::unordered_set<Addr>> l1Lines;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CHECK_PROTOCOL_CHECKER_HH

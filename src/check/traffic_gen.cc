@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Random-traffic fuzzer implementation: seed expansion, op-list
+ * execution against a fresh System, greedy shrinking, and the JSON
+ * trace format.
+ */
+
+#include "check/traffic_gen.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "check/protocol_checker.hh"
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace slipsim
+{
+
+const char *
+fuzzOpName(FuzzOpKind k)
+{
+    switch (k) {
+      case FuzzOpKind::RLoad:
+        return "RLoad";
+      case FuzzOpKind::RStore:
+        return "RStore";
+      case FuzzOpKind::ALoad:
+        return "ALoad";
+      case FuzzOpKind::ATransLoad:
+        return "ATransLoad";
+      case FuzzOpKind::APrefEx:
+        return "APrefEx";
+      case FuzzOpKind::SiDrain:
+        return "SiDrain";
+      case FuzzOpKind::Advance:
+        return "Advance";
+      default:
+        return "?";
+    }
+}
+
+std::vector<FuzzOp>
+generateFuzzOps(const FuzzConfig &cfg, std::uint64_t seed)
+{
+    Rng rng(seed ^ 0x51195119fu);
+    std::vector<FuzzOp> ops;
+    ops.reserve(static_cast<std::size_t>(cfg.ops));
+
+    const std::uint64_t hot =
+        std::min<std::uint64_t>(8, static_cast<std::uint64_t>(cfg.lines));
+
+    for (int i = 0; i < cfg.ops; ++i) {
+        FuzzOp op;
+        // Weighted kind mix: mostly loads/stores, with enough
+        // transparent and SI traffic to exercise the slipstream paths.
+        std::uint64_t roll = rng.below(100);
+        if (roll < 28)
+            op.kind = FuzzOpKind::RLoad;
+        else if (roll < 52)
+            op.kind = FuzzOpKind::RStore;
+        else if (roll < 62)
+            op.kind = FuzzOpKind::ALoad;
+        else if (roll < 76)
+            op.kind = FuzzOpKind::ATransLoad;
+        else if (roll < 84)
+            op.kind = FuzzOpKind::APrefEx;
+        else if (roll < 90)
+            op.kind = FuzzOpKind::SiDrain;
+        else
+            op.kind = FuzzOpKind::Advance;
+
+        op.node = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(cfg.nodes)));
+        // A hot subset keeps the nodes fighting over the same lines.
+        op.lineIdx = static_cast<std::uint16_t>(
+            rng.below(100) < 70
+                ? rng.below(hot)
+                : rng.below(static_cast<std::uint64_t>(cfg.lines)));
+        op.delay = static_cast<std::uint16_t>(
+            op.kind == FuzzOpKind::Advance ? 64 + rng.below(1024)
+                                           : rng.below(48));
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+FuzzReport
+runFuzzOps(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops)
+{
+    SLIPSIM_ASSERT(cfg.nodes >= 2 && cfg.nodes <= 64,
+            "fuzz node count must be in [2,64]");
+    SLIPSIM_ASSERT(cfg.lines >= 1 && cfg.lines <= 0xffff,
+            "fuzz line pool must fit a uint16 index");
+
+    MachineParams mp;
+    mp.numCmps = cfg.nodes;
+    mp.l2Bytes = cfg.l2KB * 1024;  // tiny: evictions are the point
+    mp.l2Assoc = 2;
+    mp.l1Bytes = 1024;
+
+    RunConfig rc;
+    rc.mode = Mode::Slipstream;  // enables every protocol feature
+    rc.features.transparentLoads = cfg.transparentLoads;
+    rc.features.selfInvalidation = cfg.selfInvalidation;
+
+    System sys(mp, rc);
+    EventQueue &eq = sys.eventq();
+    MemorySystem &msys = sys.memory();
+    ProtocolChecker checker(msys, /*track_values=*/true);
+
+    for (NodeId n = 0; n < cfg.nodes; ++n)
+        msys.dir(n).faults = cfg.faults;
+
+    // Pool: one line per page (homes round-robin across nodes), the
+    // set index stepping through 16 sets so lines both conflict in the
+    // tiny L2 and spread across homes.
+    std::vector<Addr> pool;
+    pool.reserve(static_cast<std::size_t>(cfg.lines));
+    Addr base = sys.allocator().alloc(
+        static_cast<std::size_t>(cfg.lines) * FunctionalMemory::pageBytes,
+        Placement::Interleaved);
+    for (int i = 0; i < cfg.lines; ++i) {
+        pool.push_back(base +
+                       static_cast<Addr>(i) * FunctionalMemory::pageBytes +
+                       static_cast<Addr>(i % 16) * lineBytes);
+    }
+
+    FuzzReport rep;
+    int outstanding = 0;
+
+    for (std::size_t idx = 0; idx < ops.size(); ++idx) {
+        const FuzzOp &op = ops[idx];
+        const Addr la = pool[op.lineIdx % pool.size()];
+        const NodeId node =
+            static_cast<NodeId>(op.node % cfg.nodes);
+
+        if (op.delay)
+            eq.run(eq.now() + op.delay);
+
+        if (op.kind == FuzzOpKind::Advance)
+            continue;
+        if (op.kind == FuzzOpKind::SiDrain) {
+            msys.node(node).drainSiQueue();
+            continue;
+        }
+
+        // Throttle: never keep more than maxOutstanding blocking ops
+        // in flight (mirrors a finite per-node request window).
+        int guard = 0;
+        while (outstanding >= cfg.maxOutstanding && !eq.empty() &&
+               guard++ < 100000) {
+            eq.run(eq.now() + 256);
+        }
+
+        MemReq req;
+        req.lineAddr = la;
+        req.node = node;
+        int slot = 0;
+
+        switch (op.kind) {
+          case FuzzOpKind::RLoad:
+            req.type = ReqType::Read;
+            req.stream = StreamKind::RStream;
+            break;
+          case FuzzOpKind::RStore:
+            req.type = ReqType::Excl;
+            req.stream = StreamKind::RStream;
+            req.inCS = (op.delay & 1) != 0;
+            break;
+          case FuzzOpKind::ALoad:
+            req.type = ReqType::Read;
+            req.stream = StreamKind::AStream;
+            slot = 1;
+            break;
+          case FuzzOpKind::ATransLoad:
+            req.type = ReqType::Read;
+            req.stream = StreamKind::AStream;
+            req.wantTransparent = cfg.transparentLoads;
+            slot = 1;
+            break;
+          case FuzzOpKind::APrefEx:
+            req.type = ReqType::PrefEx;
+            req.stream = StreamKind::AStream;
+            slot = 1;
+            break;
+          default:
+            continue;
+        }
+
+        if (req.type == ReqType::PrefEx) {
+            msys.node(node).access(req, slot, nullptr);
+            continue;
+        }
+
+        ++rep.issued;
+        ++outstanding;
+        // Deterministic per-op value so a shrunk replay recommits the
+        // identical sequence.
+        const std::uint64_t value =
+            (static_cast<std::uint64_t>(idx + 1) << 16) ^
+            static_cast<std::uint64_t>(node + 1);
+        const FuzzOpKind kind = op.kind;
+        msys.node(node).access(req, slot,
+                [&rep, &outstanding, &checker, &sys, kind, node, la,
+                 value]() {
+                    --outstanding;
+                    ++rep.completed;
+                    switch (kind) {
+                      case FuzzOpKind::RLoad:
+                        checker.verifyRLoad(node, la);
+                        break;
+                      case FuzzOpKind::RStore:
+                        sys.functional().write<std::uint64_t>(la, value);
+                        checker.commitStore(node, la, value);
+                        break;
+                      case FuzzOpKind::ALoad:
+                      case FuzzOpKind::ATransLoad:
+                        checker.noteALoad(node, la);
+                        break;
+                      default:
+                        break;
+                    }
+                });
+    }
+
+    // Quiesce and do the global end-of-run sweep.
+    eq.run();
+    checker.finalSweep();
+
+    rep.transactions = checker.transactionsObserved;
+    rep.aDivergences = checker.aDivergences;
+    rep.violations = checker.totalViolations();
+    rep.firstViolation = checker.firstViolation();
+    if (rep.completed != rep.issued) {
+        rep.failed = true;
+        if (rep.firstViolation.empty()) {
+            rep.firstViolation =
+                "lost-completion: " +
+                std::to_string(rep.issued - rep.completed) +
+                " blocking accesses never completed";
+        }
+        ++rep.violations;
+    }
+    if (!checker.clean())
+        rep.failed = true;
+    return rep;
+}
+
+FuzzReport
+runFuzzSeed(const FuzzConfig &cfg, std::uint64_t seed)
+{
+    return runFuzzOps(cfg, generateFuzzOps(cfg, seed));
+}
+
+std::vector<FuzzOp>
+shrinkFuzzOps(const FuzzConfig &cfg, std::vector<FuzzOp> ops,
+              std::size_t max_runs)
+{
+    std::size_t runs = 0;
+    auto fails = [&](const std::vector<FuzzOp> &o) {
+        ++runs;
+        return runFuzzOps(cfg, o).failed;
+    };
+
+    if (ops.empty() || !fails(ops))
+        return ops;
+
+    // Greedy ddmin: delete chunks while the failure reproduces,
+    // halving the chunk size until single ops are irreducible.
+    std::size_t chunk = std::max<std::size_t>(1, ops.size() / 2);
+    while (true) {
+        std::size_t start = 0;
+        while (start < ops.size()) {
+            if (runs >= max_runs)
+                return ops;
+            std::vector<FuzzOp> cand;
+            cand.reserve(ops.size());
+            cand.insert(cand.end(), ops.begin(),
+                        ops.begin() + static_cast<std::ptrdiff_t>(start));
+            cand.insert(cand.end(),
+                        ops.begin() + static_cast<std::ptrdiff_t>(
+                            std::min(start + chunk, ops.size())),
+                        ops.end());
+            if (cand.size() < ops.size() && fails(cand)) {
+                ops = std::move(cand);  // keep deletion, retry in place
+            } else {
+                start += chunk;
+            }
+        }
+        if (chunk == 1)
+            break;
+        chunk /= 2;
+    }
+    return ops;
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping for the violation text. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) >= 0x20)
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** Tiny recursive-descent scanner for the trace's JSON subset. */
+struct JsonScanner
+{
+    std::string s;
+    std::size_t i = 0;
+
+    void
+    ws()
+    {
+        while (i < s.size() &&
+               (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                s[i] == '\r' || s[i] == ',')) {
+            ++i;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        ws();
+        return i < s.size() && s[i] == c;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\' && i + 1 < s.size()) {
+                ++i;
+                switch (s[i]) {
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  default:
+                    out += s[i];
+                }
+            } else {
+                out += s[i];
+            }
+            ++i;
+        }
+        return consume('"');
+    }
+
+    bool
+    parseInt(std::int64_t &out)
+    {
+        ws();
+        std::size_t start = i;
+        if (i < s.size() && s[i] == '-')
+            ++i;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9')
+            ++i;
+        if (i == start)
+            return false;
+        out = std::strtoll(s.substr(start, i - start).c_str(), nullptr,
+                           10);
+        return true;
+    }
+
+    bool
+    parseBool(bool &out)
+    {
+        ws();
+        if (s.compare(i, 4, "true") == 0) {
+            out = true;
+            i += 4;
+            return true;
+        }
+        if (s.compare(i, 5, "false") == 0) {
+            out = false;
+            i += 5;
+            return true;
+        }
+        return false;
+    }
+
+    /** Skip any value of the subset (for unknown keys). */
+    bool
+    skipValue()
+    {
+        ws();
+        if (peek('"')) {
+            std::string tmp;
+            return parseString(tmp);
+        }
+        if (peek('[')) {
+            consume('[');
+            while (!peek(']')) {
+                if (!skipValue())
+                    return false;
+            }
+            return consume(']');
+        }
+        bool b;
+        if (parseBool(b))
+            return true;
+        std::int64_t v;
+        return parseInt(v);
+    }
+};
+
+} // namespace
+
+void
+writeFuzzTrace(std::ostream &os, const FuzzConfig &cfg,
+               std::uint64_t seed, const std::vector<FuzzOp> &ops,
+               const FuzzReport &rep)
+{
+    os << "{\n";
+    os << "  \"seed\": " << seed << ",\n";
+    os << "  \"nodes\": " << cfg.nodes << ",\n";
+    os << "  \"lines\": " << cfg.lines << ",\n";
+    os << "  \"max_outstanding\": " << cfg.maxOutstanding << ",\n";
+    os << "  \"l2_kb\": " << cfg.l2KB << ",\n";
+    os << "  \"transparent_loads\": "
+       << (cfg.transparentLoads ? "true" : "false") << ",\n";
+    os << "  \"self_invalidation\": "
+       << (cfg.selfInvalidation ? "true" : "false") << ",\n";
+    os << "  \"drop_nth_invalidation\": "
+       << cfg.faults.dropNthInvalidation << ",\n";
+    os << "  \"first_violation\": \"" << jsonEscape(rep.firstViolation)
+       << "\",\n";
+    os << "  \"ops\": [";
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (i % 8 == 0)
+            os << "\n    ";
+        os << "[" << static_cast<int>(ops[i].kind) << ","
+           << ops[i].node << "," << ops[i].lineIdx << ","
+           << ops[i].delay << "]";
+        if (i + 1 < ops.size())
+            os << ",";
+    }
+    os << "\n  ]\n}\n";
+}
+
+bool
+readFuzzTrace(std::istream &is, FuzzConfig &cfg, std::uint64_t &seed,
+              std::vector<FuzzOp> &ops)
+{
+    JsonScanner sc;
+    {
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        sc.s = buf.str();
+    }
+
+    if (!sc.consume('{'))
+        return false;
+    ops.clear();
+    seed = 0;
+
+    while (!sc.peek('}')) {
+        std::string key;
+        if (!sc.parseString(key) || !sc.consume(':'))
+            return false;
+
+        std::int64_t v = 0;
+        bool b = false;
+        if (key == "seed" && sc.parseInt(v)) {
+            seed = static_cast<std::uint64_t>(v);
+        } else if (key == "nodes" && sc.parseInt(v)) {
+            cfg.nodes = static_cast<int>(v);
+        } else if (key == "lines" && sc.parseInt(v)) {
+            cfg.lines = static_cast<int>(v);
+        } else if (key == "max_outstanding" && sc.parseInt(v)) {
+            cfg.maxOutstanding = static_cast<int>(v);
+        } else if (key == "l2_kb" && sc.parseInt(v)) {
+            cfg.l2KB = static_cast<std::uint32_t>(v);
+        } else if (key == "transparent_loads" && sc.parseBool(b)) {
+            cfg.transparentLoads = b;
+        } else if (key == "self_invalidation" && sc.parseBool(b)) {
+            cfg.selfInvalidation = b;
+        } else if (key == "drop_nth_invalidation" && sc.parseInt(v)) {
+            cfg.faults.dropNthInvalidation = static_cast<int>(v);
+        } else if (key == "ops") {
+            if (!sc.consume('['))
+                return false;
+            while (!sc.peek(']')) {
+                if (!sc.consume('['))
+                    return false;
+                std::int64_t k, n, l, d;
+                if (!sc.parseInt(k) || !sc.parseInt(n) ||
+                    !sc.parseInt(l) || !sc.parseInt(d) ||
+                    !sc.consume(']')) {
+                    return false;
+                }
+                if (k < 0 ||
+                    k >= static_cast<int>(FuzzOpKind::NumKinds)) {
+                    return false;
+                }
+                FuzzOp op;
+                op.kind = static_cast<FuzzOpKind>(k);
+                op.node = static_cast<NodeId>(n);
+                op.lineIdx = static_cast<std::uint16_t>(l);
+                op.delay = static_cast<std::uint16_t>(d);
+                ops.push_back(op);
+            }
+            if (!sc.consume(']'))
+                return false;
+        } else if (!sc.skipValue()) {
+            return false;
+        }
+    }
+    cfg.ops = static_cast<int>(ops.size());
+    return sc.consume('}');
+}
+
+} // namespace slipsim

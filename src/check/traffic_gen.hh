@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Seeded random-traffic fuzzer for the coherence fabric.
+ *
+ * A fuzz run drives N nodes with a pseudo-random stream of R/A-stream
+ * reads, stores, exclusive prefetches, and self-invalidation drains
+ * over a small, hot address pool, with the ProtocolChecker attached
+ * and value tracking on.  Execution is *op-list driven*: the seed
+ * expands to a concrete std::vector<FuzzOp> up front, and a run is a
+ * pure function of (config, op list).  That makes failures shrinkable
+ * — ops can be deleted and the remainder replayed bit-identically —
+ * and replayable from a JSON trace with no RNG state involved.
+ *
+ * Typical flow (bench/fuzz_coherence.cc):
+ *   ops  = generateFuzzOps(cfg, seed)
+ *   rep  = runFuzzOps(cfg, ops)            // fresh System every run
+ *   if (rep.failed)
+ *       ops = shrinkFuzzOps(cfg, ops)      // greedy delta-debugging
+ *       writeFuzzTrace(file, cfg, seed, ops, rep)
+ */
+
+#ifndef SLIPSIM_CHECK_TRAFFIC_GEN_HH
+#define SLIPSIM_CHECK_TRAFFIC_GEN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mem/directory.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** One fuzzer operation. */
+enum class FuzzOpKind : std::uint8_t
+{
+    RLoad = 0,     //!< R-stream GETS + value verification
+    RStore,        //!< R-stream GETX + value commit
+    ALoad,         //!< A-stream coherent GETS
+    ATransLoad,    //!< A-stream transparent GETS (divergence tracked)
+    APrefEx,       //!< A-stream exclusive prefetch (fire-and-forget)
+    SiDrain,       //!< drain the node's self-invalidation queue
+    Advance,       //!< let simulated time pass
+    NumKinds,
+};
+
+const char *fuzzOpName(FuzzOpKind k);
+
+/** One scheduled operation of an op-list-driven fuzz run. */
+struct FuzzOp
+{
+    FuzzOpKind kind = FuzzOpKind::RLoad;
+    NodeId node = 0;
+    std::uint16_t lineIdx = 0;  //!< index into the run's line pool
+    std::uint16_t delay = 0;    //!< ticks to advance before issuing
+};
+
+/** Parameters of one fuzz run (also serialized into the trace). */
+struct FuzzConfig
+{
+    int nodes = 4;            //!< CMP count
+    int lines = 32;           //!< address-pool size
+    int ops = 1500;           //!< ops per generated seed
+    int maxOutstanding = 24;  //!< issue throttle
+    std::uint32_t l2KB = 8;   //!< tiny L2 so evictions are common
+    bool transparentLoads = true;
+    bool selfInvalidation = true;
+    /** Test-only fault injection, applied to every home. */
+    DirFaults faults;
+};
+
+/** Outcome of one fuzz run. */
+struct FuzzReport
+{
+    bool failed = false;
+    std::uint64_t violations = 0;
+    std::string firstViolation;
+    std::uint64_t transactions = 0;
+    std::uint64_t aDivergences = 0;
+    int issued = 0;
+    int completed = 0;
+};
+
+/** Expand @p seed into a concrete op list for @p cfg. */
+std::vector<FuzzOp> generateFuzzOps(const FuzzConfig &cfg,
+                                    std::uint64_t seed);
+
+/** Execute an op list on a fresh System with the checker attached. */
+FuzzReport runFuzzOps(const FuzzConfig &cfg,
+                      const std::vector<FuzzOp> &ops);
+
+/** generateFuzzOps + runFuzzOps. */
+FuzzReport runFuzzSeed(const FuzzConfig &cfg, std::uint64_t seed);
+
+/**
+ * Greedy delta-debugging shrink: repeatedly delete chunks of ops
+ * (halving the chunk size down to single ops) while the run still
+ * fails.  At most @p max_runs replays.  Returns the smallest failing
+ * op list found (the input if it does not fail at all).
+ */
+std::vector<FuzzOp> shrinkFuzzOps(const FuzzConfig &cfg,
+                                  std::vector<FuzzOp> ops,
+                                  std::size_t max_runs = 400);
+
+/** Dump a replayable failure trace as JSON. */
+void writeFuzzTrace(std::ostream &os, const FuzzConfig &cfg,
+                    std::uint64_t seed, const std::vector<FuzzOp> &ops,
+                    const FuzzReport &rep);
+
+/**
+ * Parse a trace produced by writeFuzzTrace.  @return true on success
+ * with @p cfg / @p seed / @p ops filled in.
+ */
+bool readFuzzTrace(std::istream &is, FuzzConfig &cfg,
+                   std::uint64_t &seed, std::vector<FuzzOp> &ops);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CHECK_TRAFFIC_GEN_HH

@@ -203,6 +203,12 @@ DirectoryController::handle(const MemReq &req, ReplyFn reply)
                 if (!(others & bit(s)))
                     continue;
                 ++invalidationsSent;
+                if (faults.dropNthInvalidation > 0 &&
+                    --faults.dropNthInvalidation == 0) {
+                    // Test-only fault: the invalidation is lost, the
+                    // sharer keeps a stale copy the home forgets.
+                    continue;
+                }
                 Tick iv = ms.oneWay(home, s, t);
                 ms.node(s).invalidateLine(req.lineAddr);
                 Tick ack = ms.oneWay(s, home, iv + params.l2HitTime);
@@ -226,10 +232,28 @@ DirectoryController::handle(const MemReq &req, ReplyFn reply)
         }
     }
 
-    if (extend_busy)
-        e.busyUntil = reply_arrival;
+    if (extend_busy) {
+        // The requester's fill installs via an event AT reply_arrival;
+        // a conflicting request dispatched the same tick could win the
+        // FIFO tie-break and observe pre-fill cache state (two owners
+        // after both fills land).  The window must cover the install
+        // tick, so a deferred competitor reschedules strictly after it.
+        e.busyUntil = reply_arrival + 1;
+    }
+
+    if (CoherenceObserver *o = ms.observer())
+        o->onDirTransaction(req, info, e, reply_arrival);
 
     reply(reply_arrival, info);
+}
+
+void
+DirectoryController::notify(CoherenceObserver::DirNote kind,
+                            NodeId node, Addr line_addr,
+                            const DirEntry *e)
+{
+    if (CoherenceObserver *o = ms.observer())
+        o->onDirNote(kind, node, line_addr, e);
 }
 
 void
@@ -245,6 +269,8 @@ DirectoryController::noteSharedEviction(NodeId node, Addr line_addr)
         if (e.sharers == 0)
             e.state = DirEntry::St::Idle;
     }
+    notify(CoherenceObserver::DirNote::SharedEviction, node, line_addr,
+           &e);
 }
 
 void
@@ -260,6 +286,7 @@ DirectoryController::noteWriteback(NodeId node, Addr line_addr)
         e.owner = invalidNode;
         e.sharers = 0;
     }
+    notify(CoherenceObserver::DirNote::Writeback, node, line_addr, &e);
 }
 
 void
@@ -274,6 +301,7 @@ DirectoryController::noteDowngrade(NodeId node, Addr line_addr)
         e.sharers = bit(node);
         e.owner = invalidNode;
     }
+    notify(CoherenceObserver::DirNote::Downgrade, node, line_addr, &e);
 }
 
 void
@@ -283,6 +311,8 @@ DirectoryController::noteTransparentEviction(NodeId node, Addr line_addr)
     if (it == entries.end())
         return;
     it->second.future &= ~bit(node);
+    notify(CoherenceObserver::DirNote::TransparentEviction, node,
+           line_addr, &it->second);
 }
 
 void

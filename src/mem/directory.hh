@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "mem/mem_req.hh"
+#include "mem/observer.hh"
 #include "mem/params.hh"
 #include "net/resource.hh"
 #include "sim/inline_function.hh"
@@ -39,6 +40,22 @@ struct DirEntry
     NodeId owner = invalidNode;
     std::uint64_t future = 0;    //!< future-sharer bits (Section 4.2)
     Tick busyUntil = 0;          //!< per-line transaction serialization
+};
+
+/**
+ * Test-only fault injection for the protocol checker's self-test
+ * (tests/mem/test_checker.cc, fuzz harness).  All-zero (the default)
+ * is a strict no-op; production code never sets these.
+ */
+struct DirFaults
+{
+    /**
+     * When > 0, counts down once per invalidation this home sends; the
+     * invalidation that reaches 0 is "lost": the sharer bit is cleared
+     * from the directory but the sharer's copy survives — exactly the
+     * silent sharer-list corruption the checker must catch.
+     */
+    int dropNthInvalidation = 0;
 };
 
 /** Directory + memory controller of one node. */
@@ -89,6 +106,9 @@ class DirectoryController
 
     NodeId homeId() const { return home; }
 
+    /** Test-only fault injection (see DirFaults). */
+    DirFaults faults;
+
     // Counters (public for experiment collection).
     std::uint64_t requests = 0;
     std::uint64_t localRequests = 0;
@@ -103,6 +123,9 @@ class DirectoryController
 
   private:
     DirEntry &entry(Addr line_addr) { return entries[line_addr]; }
+
+    void notify(CoherenceObserver::DirNote kind, NodeId node,
+                Addr line_addr, const DirEntry *e);
 
     static std::uint64_t bit(NodeId n)
     { return std::uint64_t(1) << n; }

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "mem/cache_array.hh"
+#include "mem/observer.hh"
 #include "sim/types.hh"
 
 namespace slipsim
@@ -41,6 +42,21 @@ class L1Cache
         : array(bytes, assoc)
     {}
 
+    /**
+     * Wire this L1 to the machine's observer slot (done by the owning
+     * L2 at registration).  The slot is read at event time, so an
+     * observer attached later is still seen; the hot lookup() path has
+     * no hook and stays branch-free.
+     */
+    void
+    attachObserver(CoherenceObserver *const *slot, NodeId node_id,
+                   int slot_id)
+    {
+        obsSlot = slot;
+        node = node_id;
+        slot_ = slot_id;
+    }
+
     /** Probe for @p line_addr; updates recency on hit. */
     bool
     lookup(Addr line_addr)
@@ -64,9 +80,12 @@ class L1Cache
         }
         L1Line *v = array.victimFor(line_addr,
                 [](const L1Line &) { return true; });
+        if (v->valid)
+            notify(CoherenceObserver::L1Event::Evict, v->lineAddr);
         v->valid = true;
         v->lineAddr = line_addr;
         array.touch(v);
+        notify(CoherenceObserver::L1Event::Insert, line_addr);
     }
 
     /** Drop @p line_addr if present (back-invalidation from L2). */
@@ -76,6 +95,7 @@ class L1Cache
         if (L1Line *l = array.find(line_addr)) {
             l->valid = false;
             ++backInvalidations;
+            notify(CoherenceObserver::L1Event::Invalidate, line_addr);
         }
     }
 
@@ -85,7 +105,17 @@ class L1Cache
     { return backInvalidations; }
 
   private:
+    void
+    notify(CoherenceObserver::L1Event ev, Addr line_addr)
+    {
+        if (obsSlot && *obsSlot)
+            (*obsSlot)->onL1(ev, node, slot_, line_addr);
+    }
+
     CacheArray<L1Line> array;
+    CoherenceObserver *const *obsSlot = nullptr;
+    NodeId node = 0;
+    int slot_ = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t backInvalidations = 0;

@@ -13,6 +13,7 @@
 #include "mem/directory.hh"
 #include "mem/functional_mem.hh"
 #include "mem/node_memory.hh"
+#include "mem/observer.hh"
 #include "mem/params.hh"
 #include "net/resource.hh"
 #include "sim/event_queue.hh"
@@ -92,6 +93,22 @@ class MemorySystem
                params.memTime;
     }
 
+    // --- runtime verification hooks (src/check/) -------------------------
+
+    /**
+     * Attach (or with nullptr, detach) a coherence observer.  At most
+     * one observer is active; observers are passive and never change
+     * simulation behavior.  Components test `observer()` before firing
+     * a hook, so detached operation costs one branch per hook site.
+     */
+    void setObserver(CoherenceObserver *o) { obs = o; }
+
+    CoherenceObserver *observer() const { return obs; }
+
+    /** Address of the observer slot, for components (the L1s) that
+     *  are wired up before any observer is attached. */
+    CoherenceObserver *const *observerSlot() const { return &obs; }
+
     /** Final classification sweep + cross-component stats. */
     void finalizeStats();
 
@@ -115,6 +132,8 @@ class MemorySystem
     std::vector<Resource> niOut;
     std::vector<Resource> nodeBus;
     std::vector<Resource> memBank;
+
+    CoherenceObserver *obs = nullptr;
 };
 
 } // namespace slipsim

@@ -22,6 +22,13 @@ NodeMemory::NodeMemory(NodeId node_id, MemorySystem &mem_sys,
 {
 }
 
+void
+NodeMemory::registerL1(int slot, L1Cache *l1)
+{
+    l1s[slot] = l1;
+    l1->attachObserver(ms.observerSlot(), id, slot);
+}
+
 bool
 NodeMemory::storeOwnedFast(Addr line_addr, int proc_slot, bool in_cs,
                            StreamKind stream)
@@ -234,16 +241,23 @@ NodeMemory::evict(L2Line &line)
     ++evictions;
     dropClassify(line);
     backInvalidateL1(line);
-    DirectoryController &home = ms.homeOf(line.lineAddr);
-    if (line.transparent) {
-        home.noteTransparentEviction(id, line.lineAddr);
-    } else if (line.state == L2Line::St::Excl) {
-        home.noteWriteback(id, line.lineAddr);
-    } else {
-        home.noteSharedEviction(id, line.lineAddr);
-    }
+    const Addr la = line.lineAddr;
+    const bool excl = line.state == L2Line::St::Excl;
+    const bool transparent = line.transparent;
     line.valid = false;
     line.siMarked = false;
+    DirectoryController &home = ms.homeOf(la);
+    if (transparent) {
+        home.noteTransparentEviction(id, la);
+    } else if (excl) {
+        home.noteWriteback(id, la);
+    } else {
+        home.noteSharedEviction(id, la);
+    }
+    if (CoherenceObserver *o = ms.observer()) {
+        o->onL2(CoherenceObserver::L2Event::Evict, id, la, excl,
+                transparent);
+    }
 }
 
 void
@@ -305,6 +319,11 @@ NodeMemory::handleFill(const MemReq &req, const ReplyInfo &info)
 
     array.touch(line);
 
+    if (CoherenceObserver *o = ms.observer()) {
+        o->onL2(CoherenceObserver::L2Event::Fill, id, la,
+                info.exclusive, info.transparent);
+    }
+
     for (auto &w : m.waiters) {
         if (w.wasRead && l1s[w.slot]) {
             line->l1Mask |= (1u << w.slot);
@@ -322,8 +341,13 @@ NodeMemory::downgradeToShared(Addr line_addr)
     L2Line *line = array.find(line_addr);
     if (!line || line->transparent)
         return false;
-    if (line->state == L2Line::St::Excl)
+    if (line->state == L2Line::St::Excl) {
         line->state = L2Line::St::Shared;
+        if (CoherenceObserver *o = ms.observer()) {
+            o->onL2(CoherenceObserver::L2Event::Downgrade, id,
+                    line_addr, true, false);
+        }
+    }
     return true;
 }
 
@@ -336,8 +360,13 @@ NodeMemory::invalidateLine(Addr line_addr)
     ++externalInvalidations;
     dropClassify(*line);
     backInvalidateL1(*line);
+    const bool excl = line->state == L2Line::St::Excl;
     line->valid = false;
     line->siMarked = false;
+    if (CoherenceObserver *o = ms.observer()) {
+        o->onL2(CoherenceObserver::L2Event::ExternalInvalidate, id,
+                line_addr, excl, false);
+    }
     return true;
 }
 
@@ -383,17 +412,25 @@ NodeMemory::processSiEntry()
             if (line->writtenInCS) {
                 // Migratory: invalidate so the next writer gets the
                 // line from memory without a remote fetch.
-                ms.homeOf(la).noteWriteback(id, la);
                 dropClassify(*line);
                 backInvalidateL1(*line);
                 line->valid = false;
+                ms.homeOf(la).noteWriteback(id, la);
                 ++siInvalidated;
+                if (CoherenceObserver *o = ms.observer()) {
+                    o->onL2(CoherenceObserver::L2Event::SiInvalidate,
+                            id, la, true, false);
+                }
             } else {
                 // Producer-consumer: write back and keep a shared copy.
                 ms.homeOf(la).noteDowngrade(id, la);
                 line->state = L2Line::St::Shared;
                 line->writtenInCS = false;
                 ++siDowngraded;
+                if (CoherenceObserver *o = ms.observer()) {
+                    o->onL2(CoherenceObserver::L2Event::SiDowngrade,
+                            id, la, true, false);
+                }
             }
         }
     }

@@ -97,12 +97,9 @@ class NodeMemory
     NodeMemory(const NodeMemory &) = delete;
     NodeMemory &operator=(const NodeMemory &) = delete;
 
-    /** Attach processor @p slot's L1 for back-invalidation. */
-    void
-    registerL1(int slot, L1Cache *l1)
-    {
-        l1s[slot] = l1;
-    }
+    /** Attach processor @p slot's L1 for back-invalidation (and wire
+     *  it to the machine's coherence-observer slot). */
+    void registerL1(int slot, L1Cache *l1);
 
     /** Enable Figure-7 A/R fetch classification (slipstream mode). */
     void setClassifyEnabled(bool on) { classifyEnabled = on; }
@@ -121,6 +118,12 @@ class NodeMemory
 
     /** Read-only probe: is the line present and visible to @p stream? */
     bool presentFor(Addr line_addr, StreamKind stream) const;
+
+    /** Read-only probe: is a miss for this line still in flight?  Used
+     *  by the protocol checker to excuse a stale local copy that the
+     *  pending fill will replace. */
+    bool missOutstanding(Addr line_addr) const
+    { return mshrs.count(line_addr) != 0; }
 
     /**
      * Access the L2 (after an L1 miss, or for ownership).  @p done is

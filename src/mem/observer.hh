@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Passive observation points of the coherence fabric.
+ *
+ * A CoherenceObserver attached to the MemorySystem is called after
+ * every directory transaction, replacement hint, L2 state change, and
+ * L1 fill/eviction.  Observers are strictly read-only: they may probe
+ * component state but must not change timing or protocol behavior, so
+ * an attached observer never perturbs simulation results.
+ *
+ * The hooks follow the trace.hh idiom: with no observer attached
+ * (the default for every figure bench) each hook site is a single
+ * pointer-load-and-branch, and the hot L1 lookup path has no hook at
+ * all.  src/check/ builds the runtime protocol checker on top of this
+ * interface.
+ */
+
+#ifndef SLIPSIM_MEM_OBSERVER_HH
+#define SLIPSIM_MEM_OBSERVER_HH
+
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+struct MemReq;
+struct ReplyInfo;
+struct DirEntry;
+
+/** Observer of directory, L2, and L1 coherence events. */
+struct CoherenceObserver
+{
+    virtual ~CoherenceObserver() = default;
+
+    /** Zero-latency replacement hints a node sends its home. */
+    enum class DirNote : std::uint8_t
+    {
+        SharedEviction,       //!< silent eviction of a Shared copy
+        Writeback,            //!< PutX of an Exclusive copy
+        Downgrade,            //!< self-invalidation downgrade to Shared
+        TransparentEviction,  //!< eviction of a non-coherent copy
+    };
+
+    /** L2 line state changes. */
+    enum class L2Event : std::uint8_t
+    {
+        Fill,                //!< miss reply installed
+        Evict,               //!< capacity eviction (home already told)
+        ExternalInvalidate,  //!< invalidation applied by a home
+        Downgrade,           //!< Excl -> Shared for a forwarded GETS
+        SiInvalidate,        //!< self-invalidation (migratory)
+        SiDowngrade,         //!< self-invalidation downgrade
+    };
+
+    /** L1 tag-array changes. */
+    enum class L1Event : std::uint8_t
+    {
+        Insert,      //!< line filled from the L2
+        Evict,       //!< silent LRU replacement
+        Invalidate,  //!< back-invalidation from the L2
+    };
+
+    /**
+     * A home directory finished processing @p req: its entry @p e and
+     * all remote authoritative state are updated; the data reaches the
+     * requesting L2 at @p reply_at (the fill is still in flight).
+     */
+    virtual void
+    onDirTransaction(const MemReq &req, const ReplyInfo &info,
+                     const DirEntry &e, Tick reply_at)
+    {
+        (void)req; (void)info; (void)e; (void)reply_at;
+    }
+
+    /** A home applied a replacement hint; @p e is the updated entry
+     *  (null if the home never saw the line). */
+    virtual void
+    onDirNote(DirNote kind, NodeId node, Addr line_addr,
+              const DirEntry *e)
+    {
+        (void)kind; (void)node; (void)line_addr; (void)e;
+    }
+
+    /** An L2 line changed state.  For Fill, @p exclusive/@p transparent
+     *  describe the installed line; for the other events they describe
+     *  the line as it was. */
+    virtual void
+    onL2(L2Event ev, NodeId node, Addr line_addr, bool exclusive,
+         bool transparent)
+    {
+        (void)ev; (void)node; (void)line_addr;
+        (void)exclusive; (void)transparent;
+    }
+
+    /** An L1 tag changed. */
+    virtual void
+    onL1(L1Event ev, NodeId node, int slot, Addr line_addr)
+    {
+        (void)ev; (void)node; (void)slot; (void)line_addr;
+    }
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_MEM_OBSERVER_HH

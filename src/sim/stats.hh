@@ -11,6 +11,7 @@
 #define SLIPSIM_SIM_STATS_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -32,11 +33,11 @@ class Histogram
     void
     sample(std::uint64_t v)
     {
-        int b = 0;
-        while (b + 1 < numBuckets &&
-               v >= (std::uint64_t(1) << (b + 1))) {
-            ++b;
-        }
+        // bucket(v) = floor(log2 v) clamped to the top bucket; bucket 0
+        // absorbs v in {0, 1}.
+        int b = v < 2 ? 0
+                      : std::min(static_cast<int>(std::bit_width(v)) - 1,
+                                 numBuckets - 1);
         ++buckets[b];
         sum += v;
         ++count;

@@ -71,8 +71,21 @@ TEST(Coro, NestedCallsReturnValues)
     EXPECT_EQ(result, 10 * 2 + 11 * 2);
 }
 
+#if defined(__SANITIZE_ADDRESS__)
+#define SLIPSIM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SLIPSIM_ASAN 1
+#endif
+#endif
+
 TEST(Coro, DeepNestingDoesNotOverflowStack)
 {
+#ifdef SLIPSIM_ASAN
+    // ASan's frame instrumentation defeats the symmetric-transfer tail
+    // call, so each nested resume legitimately consumes host stack.
+    GTEST_SKIP() << "symmetric transfer is not a tail call under ASan";
+#endif
     // 100k nested co_awaits; symmetric transfer keeps host stack flat.
     std::function<Coro<int>(int)> rec = [&](int depth) -> Coro<int> {
         if (depth == 0)

@@ -37,6 +37,32 @@ TEST(Histogram, BucketsByPowerOfTwo)
     EXPECT_EQ(h.maxValue(), 290u);
 }
 
+TEST(Histogram, BucketBoundariesExact)
+{
+    // Pin every bucket boundary: 2^i goes to bucket i, 2^i - 1 to
+    // bucket i-1 (the bit_width fast path must agree with the
+    // documented [2^i, 2^(i+1)) bucketing at both edges).
+    for (int i = 1; i < Histogram::numBuckets; ++i) {
+        Histogram h;
+        h.sample((std::uint64_t(1) << i) - 1);
+        h.sample(std::uint64_t(1) << i);
+        EXPECT_EQ(h.bucket(i - 1), 1u) << "below boundary 2^" << i;
+        EXPECT_EQ(h.bucket(i), 1u) << "at boundary 2^" << i;
+    }
+}
+
+TEST(Histogram, OverflowClampsToTopBucket)
+{
+    Histogram h;
+    const int top = Histogram::numBuckets - 1;
+    h.sample(std::uint64_t(1) << top);         // first value in range
+    h.sample(std::uint64_t(1) << (top + 4));   // beyond the last bucket
+    h.sample(~std::uint64_t(0));               // max representable
+    EXPECT_EQ(h.bucket(top), 3u);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.maxValue(), ~std::uint64_t(0));
+}
+
 TEST(Histogram, MeanAndPercentile)
 {
     Histogram h;
