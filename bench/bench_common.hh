@@ -7,6 +7,10 @@
  *   --paper          Table-2 problem sizes (slow!)
  *   --quick          extra-small sizes for smoke runs
  *   --csv            CSV instead of aligned tables
+ *   stats-json=P     dump every point's stats registry to P
+ *                    (deterministic "slipsim-stats-v1" JSON)
+ *   trace-json=P     write a Chrome trace (Perfetto-loadable) of one
+ *                    point to P; trace-point=I selects which (default 0)
  * plus per-workload size overrides (n=, mol=, ...).
  */
 
@@ -14,6 +18,7 @@
 #define SLIPSIM_BENCH_COMMON_HH
 
 #include <cstddef>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -124,7 +129,11 @@ class Sweep
 {
   public:
     explicit Sweep(const Options &opts)
-        : jobs(static_cast<unsigned>(opts.getInt("jobs", 0)))
+        : jobs(static_cast<unsigned>(opts.getInt("jobs", 0))),
+          statsJsonPath(opts.getString("stats-json")),
+          traceJsonPath(opts.getString("trace-json")),
+          tracePoint(static_cast<std::size_t>(
+                  opts.getInt("trace-point", 0)))
     {
     }
 
@@ -151,6 +160,13 @@ class Sweep
     void
     run()
     {
+        if (!traceJsonPath.empty()) {
+            if (tracePoint >= points.size()) {
+                fatal("trace-point=%zu but the sweep has %zu points",
+                      tracePoint, points.size());
+            }
+            points[tracePoint].cfg.tracePath = traceJsonPath;
+        }
         res = runSweep(points, SweepConfig{jobs});
         for (std::size_t i = 0; i < res.size(); ++i) {
             if (!res[i].verified) {
@@ -159,6 +175,12 @@ class Sweep
                      modeName(points[i].cfg.mode),
                      points[i].machine.numCmps);
             }
+        }
+        if (!statsJsonPath.empty()) {
+            std::ofstream f(statsJsonPath, std::ios::binary);
+            if (!f)
+                fatal("cannot open '%s'", statsJsonPath.c_str());
+            writeSweepStatsJson(f, points, res);
         }
     }
 
@@ -170,6 +192,9 @@ class Sweep
 
   private:
     unsigned jobs;
+    std::string statsJsonPath;
+    std::string traceJsonPath;
+    std::size_t tracePoint;
     std::vector<SweepPoint> points;
     std::vector<ExperimentResult> res;
 };

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Determinism check: the same sweep must produce byte-identical table
+# output, stats-registry JSON, and Chrome trace whatever the worker
+# count, and across repeated runs.
+#
+#   scripts/check_determinism.sh <bench-binary>
+#
+# Runs the bench three times — jobs=1, jobs=8, and jobs=8 again — each
+# with --quick --csv plus stats-json/trace-json dumps, and cmp's all
+# three artifact sets.
+
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+    echo "usage: $0 <bench-binary>" >&2
+    exit 2
+fi
+
+bench="$1"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+run() {
+    local tag="$1" jobs="$2"
+    "$bench" --quick --csv "jobs=$jobs" \
+        "stats-json=$work/$tag.stats.json" \
+        "trace-json=$work/$tag.trace.json" > "$work/$tag.csv"
+}
+
+run serial 1
+run par 8
+run par2 8
+
+fail=0
+for kind in csv stats.json trace.json; do
+    for other in par par2; do
+        if ! cmp -s "$work/serial.$kind" "$work/$other.$kind"; then
+            echo "DETERMINISM FAILURE: serial.$kind != $other.$kind"
+            diff -u "$work/serial.$kind" "$work/$other.$kind" | head -40
+            fail=1
+        fi
+    done
+done
+
+if [[ "$fail" -eq 0 ]]; then
+    echo "determinism OK: table, stats JSON, and trace are" \
+         "byte-identical across jobs=1, jobs=8, and a repeat run"
+fi
+exit "$fail"

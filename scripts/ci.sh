@@ -29,6 +29,13 @@ build_and_test() {
 
 if [[ "$WHAT" == "all" || "$WHAT" == "release" ]]; then
     build_and_test build-release -DCMAKE_BUILD_TYPE=Release
+
+    # Observability artifacts: dump a fresh stats-JSON from a bench run
+    # and validate it against the slipsim-stats-v1 schema.
+    echo "=== stats schema check ==="
+    build-release/bench/fig01_double_vs_single --quick --csv jobs=2 \
+        stats-json=build-release/fig01.stats.json > /dev/null
+    build-release/tools/stats_check build-release/fig01.stats.json
 fi
 
 if [[ "$WHAT" == "all" || "$WHAT" == "sanitize" ]]; then

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Golden-run regression check for one figure bench.
+#
+#   scripts/run_golden.sh <bench-binary> <golden-dir> <name>
+#
+# Runs the bench with the canonical golden invocation
+# (--quick --csv jobs=2), diffs its stdout against
+# <golden-dir>/<name>.csv, and — when <golden-dir>/<name>.stats.json
+# exists — also dumps and diffs the stats registry JSON.  Any
+# difference fails loudly with a unified diff.
+#
+# After an *intentional* output change, refresh the goldens with
+# scripts/update_goldens.sh and commit the result.
+
+set -euo pipefail
+
+if [[ $# -ne 3 ]]; then
+    echo "usage: $0 <bench-binary> <golden-dir> <name>" >&2
+    exit 2
+fi
+
+bench="$1"
+golden_dir="$2"
+name="$3"
+
+golden_csv="$golden_dir/$name.csv"
+golden_stats="$golden_dir/$name.stats.json"
+
+if [[ ! -f "$golden_csv" ]]; then
+    echo "golden missing: $golden_csv (run scripts/update_goldens.sh)" >&2
+    exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+args=(--quick --csv jobs=2)
+if [[ -f "$golden_stats" ]]; then
+    args+=("stats-json=$work/$name.stats.json")
+fi
+
+"$bench" "${args[@]}" > "$work/$name.csv"
+
+fail=0
+check() {
+    local expect="$1" actual="$2" what="$3"
+    if ! diff -u "$expect" "$actual" > "$work/diff.txt"; then
+        echo "========================================================"
+        echo "GOLDEN MISMATCH: $name ($what)"
+        echo "  expected: $expect"
+        echo "  actual:   $actual"
+        echo "--------------------------------------------------------"
+        cat "$work/diff.txt"
+        echo "--------------------------------------------------------"
+        echo "If this change is intentional, refresh the goldens:"
+        echo "  scripts/update_goldens.sh"
+        echo "========================================================"
+        fail=1
+    fi
+}
+
+check "$golden_csv" "$work/$name.csv" "table output"
+if [[ -f "$golden_stats" ]]; then
+    check "$golden_stats" "$work/$name.stats.json" "stats registry JSON"
+fi
+
+if [[ "$fail" -eq 0 ]]; then
+    echo "golden OK: $name"
+fi
+exit "$fail"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Regenerate every golden under tests/golden/ from the current build.
+#
+#   scripts/update_goldens.sh [build-dir]      # default: build
+#
+# Uses the same canonical invocation as scripts/run_golden.sh
+# (--quick --csv jobs=2).  Review the resulting git diff before
+# committing — a golden update is a statement that the new output is
+# the *intended* output.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+golden=tests/golden
+
+if [[ ! -d "$build/bench" ]]; then
+    echo "no bench binaries under '$build' — build first:" >&2
+    echo "  cmake -B $build -S . && cmake --build $build -j" >&2
+    exit 1
+fi
+
+benches=(
+    fig01_double_vs_single
+    fig04_single_scalability
+    fig05_slipstream_speedup
+    fig06_time_breakdown
+    fig07_request_breakdown
+    fig09_transparent_loads
+    fig10_si_speedup
+    ablation_design_choices
+    table1_latency_validation
+)
+
+for b in "${benches[@]}"; do
+    args=(--quick --csv jobs=2)
+    # fig01 additionally pins the stats-registry JSON schema/content.
+    if [[ "$b" == fig01_double_vs_single ]]; then
+        args+=("stats-json=$golden/$b.stats.json")
+    fi
+    echo "regenerating $b ..."
+    "$build/bench/$b" "${args[@]}" > "$golden/$b.csv"
+done
+
+echo "done — review with: git diff $golden"

@@ -5,9 +5,11 @@
 
 #include "core/experiment.hh"
 
+#include <memory>
 #include <ostream>
 
 #include "core/system.hh"
+#include "obs/chrome_trace.hh"
 #include "runtime/parallel_runtime.hh"
 
 namespace slipsim
@@ -71,6 +73,18 @@ runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
               Tick tick_limit)
 {
     System sys(mp, cfg);
+
+    // Observability: a trace path gets a buffering ChromeTracer owned
+    // here; otherwise an externally-owned tracer may be attached.
+    // Attached before setup so fork-time phases are captured too.
+    std::unique_ptr<ChromeTracer> file_tracer;
+    if (!cfg.tracePath.empty()) {
+        file_tracer = std::make_unique<ChromeTracer>();
+        sys.memory().setTracer(file_tracer.get());
+    } else if (cfg.tracer) {
+        sys.memory().setTracer(cfg.tracer);
+    }
+
     ParallelRuntime rt(sys.eventq(), sys.machine(), sys.memory(),
                        sys.procPtrs(), sys.allocator(), sys.functional(),
                        wl, cfg);
@@ -87,13 +101,33 @@ runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
     r.recoveries = rt.totalRecoveries();
     r.verified = cfg.verify ? wl.verify(sys.functional()) : true;
 
-    // Per-task time breakdown, averaged over tasks.
+    // Freeze every registered metric into the hierarchical snapshot.
+    // The Figure 6/7/9 fields below are derived from registry QUERIES,
+    // not from the raw component members, in the same iteration order
+    // the members used to be summed in (float-exactness).
+    MemorySystem &ms = sys.memory();
+    StatsRegistry reg;
+    ms.registerStats(reg);
+    for (Processor *p : sys.procPtrs()) {
+        p->registerStats(reg, "node" + std::to_string(p->nodeId()) +
+                                  ".proc" + std::to_string(p->slotId()));
+    }
+    rt.registerStats(reg);
+    StatsSnapshot snap = reg.snapshot();
+
+    auto proc_prefix = [](const Processor &p) {
+        return "node" + std::to_string(p.nodeId()) + ".proc" +
+               std::to_string(p.slotId());
+    };
+
+    // Per-task time breakdown, averaged over tasks (Figure 6).
     int ntasks = rt.numTasks();
     for (TaskId t = 0; t < ntasks; ++t) {
-        Processor &p = rt.taskCtx(t).processor();
+        std::string base = proc_prefix(rt.taskCtx(t).processor());
         for (int c = 0; c < numTimeCats; ++c) {
-            r.rCats[c] += static_cast<double>(
-                p.catCycles(static_cast<TimeCat>(c)));
+            r.rCats[c] += static_cast<double>(snap.counter(
+                base + ".cycles." +
+                timeCatName(static_cast<TimeCat>(c))));
         }
     }
     for (double &c : r.rCats)
@@ -101,34 +135,37 @@ runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
 
     if (cfg.mode == Mode::Slipstream) {
         for (TaskId t = 0; t < ntasks; ++t) {
-            Processor &p = rt.aCtx(t).processor();
+            std::string base = proc_prefix(rt.aCtx(t).processor());
             for (int c = 0; c < numTimeCats; ++c) {
-                r.aCats[c] += static_cast<double>(
-                    p.catCycles(static_cast<TimeCat>(c)));
+                r.aCats[c] += static_cast<double>(snap.counter(
+                    base + ".cycles." +
+                    timeCatName(static_cast<TimeCat>(c))));
             }
         }
         for (double &c : r.aCats)
             c /= ntasks;
     }
 
-    // Memory-system statistics.
-    MemorySystem &ms = sys.memory();
+    // Memory-system statistics (Figures 7 and 9), per-node queries.
+    static const char *streams[2] = {"A", "R"};
+    static const char *classes[3] = {"Timely", "Late", "Only"};
     for (NodeId n = 0; n < mp.numCmps; ++n) {
-        NodeMemory &nm = ms.node(n);
-        const FetchClassStats &fc = nm.fetchClasses();
+        std::string l2 = "node" + std::to_string(n) + ".l2";
+        std::string dir = "node" + std::to_string(n) + ".dir";
         for (int s = 0; s < 2; ++s) {
             for (int c = 0; c < 3; ++c) {
-                r.clsReads[s][c] += fc.reads[s][c];
-                r.clsExcls[s][c] += fc.excls[s][c];
+                r.clsReads[s][c] += snap.counter(
+                    l2 + ".class.read." + streams[s] + classes[c]);
+                r.clsExcls[s][c] += snap.counter(
+                    l2 + ".class.excl." + streams[s] + classes[c]);
             }
         }
-        r.aReadMisses += nm.aReadMisses;
-        r.siInvalidated += nm.siInvalidated;
-        r.siDowngraded += nm.siDowngraded;
-
-        DirectoryController &d = ms.dir(n);
-        r.transparentReplies += d.transparentReplies;
-        r.upgradedReplies += d.upgradedReplies;
+        r.aReadMisses += snap.counter(l2 + ".aReadMisses");
+        r.siInvalidated += snap.counter(l2 + ".si.invalidated");
+        r.siDowngraded += snap.counter(l2 + ".si.downgraded");
+        r.transparentReplies +=
+            snap.counter(dir + ".transparentReplies");
+        r.upgradedReplies += snap.counter(dir + ".upgradedReplies");
     }
 
     ms.dumpStats(r.stats);
@@ -148,7 +185,16 @@ runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
             switches += static_cast<double>(
                 rt.pair(t).policySwitches);
         r.stats.set("run.policySwitches", switches);
+        snap.setCounter("run.policySwitches",
+                        static_cast<std::uint64_t>(switches));
     }
+    snap.setCounter("run.cycles", end);
+    snap.setCounter("run.events", sys.eventq().processed());
+    snap.setCounter("run.recoveries", r.recoveries);
+    r.snap = std::move(snap);
+
+    if (file_tracer)
+        file_tracer->writeFile(cfg.tracePath);
 
     return r;
 }

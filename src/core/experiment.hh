@@ -14,6 +14,7 @@
 
 #include "cpu/processor.hh"
 #include "mem/params.hh"
+#include "obs/stats_registry.hh"
 #include "runtime/mode.hh"
 #include "sim/stats.hh"
 #include "workloads/workload.hh"
@@ -60,6 +61,12 @@ struct ExperimentResult
 
     /** Full merged statistics from every component. */
     StatSet stats;
+
+    /** Hierarchical typed snapshot of the stats registry
+     *  ("node<N>.l2.*", "node<N>.dir.*", "node<N>.proc<S>.*",
+     *  "sync.*", "net.*", "run.*"); the Figure 6/7 fields above are
+     *  derived from it. */
+    StatsSnapshot snap;
 
     // --- derived helpers ---------------------------------------------------
 

@@ -7,8 +7,12 @@
 
 #include <atomic>
 #include <exception>
+#include <ostream>
 #include <thread>
 #include <utility>
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
 
 namespace slipsim
 {
@@ -89,6 +93,36 @@ runSweep(const std::vector<SweepPoint> &points, const SweepConfig &cfg)
     }
     runParallel(std::move(tasks), cfg.jobs);
     return results;
+}
+
+void
+writeSweepStatsJson(std::ostream &os,
+                    const std::vector<SweepPoint> &points,
+                    const std::vector<ExperimentResult> &results)
+{
+    if (points.size() != results.size()) {
+        fatal("stats json: %zu points but %zu results", points.size(),
+              results.size());
+    }
+
+    os << "{\n\"schema\": \"slipsim-stats-v1\",\n\"points\": [";
+    StatsSnapshot agg;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ExperimentResult &r = results[i];
+        os << (i ? ",\n" : "\n");
+        os << "{\"workload\": \"" << jsonEscape(r.workload)
+           << "\", \"mode\": \"" << modeName(r.mode)
+           << "\", \"policy\": \"" << arPolicyName(r.policy)
+           << "\", \"cmps\": " << r.numCmps
+           << ", \"cycles\": " << r.cycles << ", \"verified\": "
+           << (r.verified ? "true" : "false") << ", \"stats\": ";
+        r.snap.writeJson(os);
+        os << "}";
+        agg.merge(r.snap);
+    }
+    os << "\n],\n\"aggregate\": ";
+    agg.writeJson(os);
+    os << "\n}\n";
 }
 
 } // namespace slipsim

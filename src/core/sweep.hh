@@ -72,6 +72,17 @@ std::vector<ExperimentResult>
 runSweep(const std::vector<SweepPoint> &points,
          const SweepConfig &cfg = {});
 
+/**
+ * Write a "slipsim-stats-v1" JSON document: one entry per point (in
+ * submission order) carrying its registry snapshot, plus an aggregate
+ * snapshot merged across all points in submission order.  Because the
+ * results vector is submission-ordered, the output is byte-identical
+ * for any jobs value.  @p points and @p results must correspond.
+ */
+void writeSweepStatsJson(std::ostream &os,
+                         const std::vector<SweepPoint> &points,
+                         const std::vector<ExperimentResult> &results);
+
 } // namespace slipsim
 
 #endif // SLIPSIM_CORE_SWEEP_HH

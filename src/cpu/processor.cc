@@ -7,6 +7,9 @@
 
 #include <sstream>
 
+#include "mem/memory_system.hh"
+#include "obs/tracer.hh"
+
 namespace slipsim
 {
 
@@ -36,11 +39,18 @@ Processor::Processor(NodeId node_id, int slot_id, StreamKind s,
       l2(l2_cache), params(p), l1(p.l1Bytes, p.l1Assoc)
 {
     l2.registerL1(slot, &l1);
+    trcSlot = l2.sys().tracerSlot();
 }
 
 void
 Processor::flushBusy()
 {
+    if (localAccum == 0)
+        return;
+    if (SimTracer *t = *trcSlot) {
+        t->phase(node, slot, TimeCat::Busy, eq.now(),
+                 eq.now() + localAccum);
+    }
     cats[static_cast<int>(TimeCat::Busy)] += localAccum;
     localAccum = 0;
 }
@@ -134,6 +144,8 @@ Processor::issueMem(MemReq req, std::coroutine_handle<> h,
             if (!tok->alive)
                 return;
             cats[static_cast<int>(suspendCat)] += eq.now() - suspendTick;
+            if (SimTracer *t = *trcSlot)
+                t->phase(node, slot, suspendCat, suspendTick, eq.now());
             resumeTask();
         });
     });
@@ -171,6 +183,8 @@ Processor::wake()
     sleeping = false;
     Tick wake_tick = eq.now() > suspendTick ? eq.now() : suspendTick;
     cats[static_cast<int>(suspendCat)] += wake_tick - suspendTick;
+    if (SimTracer *t = *trcSlot)
+        t->phase(node, slot, suspendCat, suspendTick, wake_tick);
 
     auto tok = token;
     eq.schedule(wake_tick, [this, tok]() {
@@ -216,6 +230,18 @@ Processor::dumpStats(StatSet &out, const std::string &prefix) const
     }
     out.add(prefix + ".l1.hits", static_cast<double>(l1.hitCount()));
     out.add(prefix + ".l1.misses", static_cast<double>(l1.missCount()));
+}
+
+void
+Processor::registerStats(StatsRegistry &reg,
+                         const std::string &prefix) const
+{
+    for (int c = 0; c < numTimeCats; ++c) {
+        reg.addCounter(prefix + ".cycles." +
+                           timeCatName(static_cast<TimeCat>(c)),
+                       cats[c]);
+    }
+    l1.registerStats(reg, prefix + ".l1");
 }
 
 std::string

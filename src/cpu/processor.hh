@@ -21,6 +21,7 @@
 #include "mem/mem_req.hh"
 #include "mem/node_memory.hh"
 #include "mem/params.hh"
+#include "obs/stats_registry.hh"
 #include "sim/coro.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -29,21 +30,7 @@
 namespace slipsim
 {
 
-/** Execution-time categories (Figure 6 of the paper). */
-enum class TimeCat : int
-{
-    Busy = 0,   //!< compute + cache hits
-    Stall,      //!< waiting for memory
-    Barrier,    //!< barrier synchronization
-    Lock,       //!< lock synchronization
-    ArSync,     //!< A-R synchronization (slipstream only)
-    NumCats,
-};
-
-constexpr int numTimeCats = static_cast<int>(TimeCat::NumCats);
-
-/** Printable name of a time category. */
-const char *timeCatName(TimeCat c);
+struct SimTracer;
 
 /**
  * One processor of a CMP.  Owns a private L1 and runs at most one task
@@ -143,6 +130,11 @@ class Processor
 
     void dumpStats(StatSet &out, const std::string &prefix) const;
 
+    /** Register cycle-category and L1 counters under @p prefix
+     *  (e.g. "node3.proc0"). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
     NodeId nodeId() const { return node; }
     int slotId() const { return slot; }
     StreamKind streamKind() const { return stream; }
@@ -178,8 +170,12 @@ class Processor
     TimeCat suspendCat = TimeCat::Stall;
     bool sleeping = false;
 
+    /** The machine's tracer slot, cached at construction; read at
+     *  suspension boundaries only (never on the busy fast path). */
+    SimTracer *const *trcSlot = nullptr;
+
     Tick localAccum = 0;
-    std::array<Tick, numTimeCats> cats{};
+    std::array<Counter, numTimeCats> cats{};
     bool taskFinished = false;
     Tick doneTick = 0;
 };

@@ -7,6 +7,7 @@
 #include "mem/directory.hh"
 
 #include "mem/memory_system.hh"
+#include "obs/tracer.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -54,6 +55,11 @@ DirectoryController::handle(const MemReq &req, ReplyFn reply)
             req.inCS ? " [CS]" : "");
 
     ++requests;
+    switch (req.type) {
+      case ReqType::Read: ++requestsGetS; break;
+      case ReqType::Excl: ++requestsGetX; break;
+      case ReqType::PrefEx: ++requestsPrefEx; break;
+    }
     const bool local = req.node == home;
     if (local)
         ++localRequests;
@@ -244,6 +250,11 @@ DirectoryController::handle(const MemReq &req, ReplyFn reply)
     if (CoherenceObserver *o = ms.observer())
         o->onDirTransaction(req, info, e, reply_arrival);
 
+    if (SimTracer *t = ms.tracer()) {
+        t->dirTransaction(home, req.node, req.lineAddr, req.type, now,
+                          reply_arrival);
+    }
+
     reply(reply_arrival, info);
 }
 
@@ -334,6 +345,26 @@ DirectoryController::dumpStats(StatSet &out) const
     out.add("dir.memoryFetches", static_cast<double>(memoryFetches));
     out.add("dir.busyTicks", static_cast<double>(dc.totalBusy()));
     out.add("dir.waitTicks", static_cast<double>(dc.totalWait()));
+}
+
+void
+DirectoryController::registerStats(StatsRegistry &reg,
+                                   const std::string &prefix) const
+{
+    StatsScope s(reg, prefix);
+    s.counter("requests", requests);
+    s.counter("requests.gets", requestsGetS);
+    s.counter("requests.getx", requestsGetX);
+    s.counter("requests.prefex", requestsPrefEx);
+    s.counter("localRequests", localRequests);
+    s.counter("fwdGetS", fwdGetS);
+    s.counter("fwdGetX", fwdGetX);
+    s.counter("invalidationsSent", invalidationsSent);
+    s.counter("transparentReplies", transparentReplies);
+    s.counter("upgradedReplies", upgradedReplies);
+    s.counter("siHintsToOwner", siHintsToOwner);
+    s.counter("siHintsWithReply", siHintsWithReply);
+    s.counter("memoryFetches", memoryFetches);
 }
 
 } // namespace slipsim

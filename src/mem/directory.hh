@@ -22,6 +22,7 @@
 #include "mem/observer.hh"
 #include "mem/params.hh"
 #include "net/resource.hh"
+#include "obs/stats_registry.hh"
 #include "sim/inline_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -104,22 +105,30 @@ class DirectoryController
 
     void dumpStats(StatSet &out) const;
 
+    /** Register every counter under @p prefix (e.g. "node0.dir"). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
     NodeId homeId() const { return home; }
 
     /** Test-only fault injection (see DirFaults). */
     DirFaults faults;
 
     // Counters (public for experiment collection).
-    std::uint64_t requests = 0;
-    std::uint64_t localRequests = 0;
-    std::uint64_t fwdGetS = 0;
-    std::uint64_t fwdGetX = 0;
-    std::uint64_t invalidationsSent = 0;
-    std::uint64_t transparentReplies = 0;
-    std::uint64_t upgradedReplies = 0;
-    std::uint64_t siHintsToOwner = 0;
-    std::uint64_t siHintsWithReply = 0;
-    std::uint64_t memoryFetches = 0;
+    Counter requests;
+    Counter localRequests;
+    // Per-type request breakdown ("node0.dir.requests.getx").
+    Counter requestsGetS;
+    Counter requestsGetX;
+    Counter requestsPrefEx;
+    Counter fwdGetS;
+    Counter fwdGetX;
+    Counter invalidationsSent;
+    Counter transparentReplies;
+    Counter upgradedReplies;
+    Counter siHintsToOwner;
+    Counter siHintsWithReply;
+    Counter memoryFetches;
 
   private:
     DirEntry &entry(Addr line_addr) { return entries[line_addr]; }

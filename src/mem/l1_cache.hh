@@ -15,6 +15,7 @@
 
 #include "mem/cache_array.hh"
 #include "mem/observer.hh"
+#include "obs/stats_registry.hh"
 #include "sim/types.hh"
 
 namespace slipsim
@@ -104,6 +105,16 @@ class L1Cache
     std::uint64_t backInvalidationCount() const
     { return backInvalidations; }
 
+    /** Register hit/miss counters under @p prefix. */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        StatsScope s(reg, prefix);
+        s.counter("hits", hits);
+        s.counter("misses", misses);
+        s.counter("backInvalidations", backInvalidations);
+    }
+
   private:
     void
     notify(CoherenceObserver::L1Event ev, Addr line_addr)
@@ -116,9 +127,9 @@ class L1Cache
     CoherenceObserver *const *obsSlot = nullptr;
     NodeId node = 0;
     int slot_ = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t backInvalidations = 0;
+    Counter hits;
+    Counter misses;
+    Counter backInvalidations;
 };
 
 } // namespace slipsim

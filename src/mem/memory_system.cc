@@ -46,6 +46,18 @@ MemorySystem::oneWay(NodeId from, NodeId to, Tick earliest)
 }
 
 void
+MemorySystem::registerStats(StatsRegistry &reg) const
+{
+    for (NodeId n = 0; n < params.numCmps; ++n) {
+        std::string base = "node" + std::to_string(n);
+        nodes[n]->registerStats(reg, base + ".l2");
+        dirs[n]->registerStats(reg, base + ".dir");
+    }
+    reg.addCounter("net.messages", messages);
+    reg.addCounter("net.remoteHops", remoteHops);
+}
+
+void
 MemorySystem::finalizeStats()
 {
     for (auto &n : nodes)

@@ -16,12 +16,15 @@
 #include "mem/observer.hh"
 #include "mem/params.hh"
 #include "net/resource.hh"
+#include "obs/stats_registry.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace slipsim
 {
+
+struct SimTracer;
 
 /**
  * Owns every timing component of the memory hierarchy below the L1s
@@ -109,6 +112,25 @@ class MemorySystem
      *  are wired up before any observer is attached. */
     CoherenceObserver *const *observerSlot() const { return &obs; }
 
+    // --- observability hooks (src/obs/) ----------------------------------
+
+    /**
+     * Attach (or with nullptr, detach) a simulation tracer.  Tracers
+     * are passive like observers: components test `tracer()` before
+     * firing a hook, so detached operation costs one branch per site.
+     */
+    void setTracer(SimTracer *t) { trc = t; }
+
+    SimTracer *tracer() const { return trc; }
+
+    /** Address of the tracer slot, for components (the processors)
+     *  that cache it before any tracer is attached. */
+    SimTracer *const *tracerSlot() const { return &trc; }
+
+    /** Register every node/directory/network metric under
+     *  "node<N>.l2.*", "node<N>.dir.*", and "net.*". */
+    void registerStats(StatsRegistry &reg) const;
+
     /** Final classification sweep + cross-component stats. */
     void finalizeStats();
 
@@ -117,8 +139,8 @@ class MemorySystem
     int numNodes() const { return params.numCmps; }
 
     // Network-level counters.
-    std::uint64_t messages = 0;
-    std::uint64_t remoteHops = 0;
+    Counter messages;
+    Counter remoteHops;
 
   private:
     EventQueue &eq;
@@ -134,6 +156,7 @@ class MemorySystem
     std::vector<Resource> memBank;
 
     CoherenceObserver *obs = nullptr;
+    SimTracer *trc = nullptr;
 };
 
 } // namespace slipsim

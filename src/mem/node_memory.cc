@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "mem/memory_system.hh"
+#include "obs/tracer.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -273,6 +274,11 @@ NodeMemory::handleFill(const MemReq &req, const ReplyInfo &info)
     if (m.req.type != ReqType::PrefEx)
         missLatency.sample(eq.now() - m.issueTick);
 
+    if (SimTracer *t = ms.tracer()) {
+        t->memRequest(id, la, m.req.type, m.req.stream, m.issueTick,
+                      eq.now());
+    }
+
     L2Line *line = array.find(la);
     if (!line) {
         line = array.victimFor(la, [](const L2Line &) { return true; });
@@ -389,6 +395,8 @@ NodeMemory::drainSiQueue()
     if (siDrainActive || siQueue.empty())
         return;
     siDrainActive = true;
+    siSweepStart = ms.eventq().now();
+    siSweepProcessed = 0;
     processSiEntry();
 }
 
@@ -397,10 +405,15 @@ NodeMemory::processSiEntry()
 {
     if (siQueue.empty()) {
         siDrainActive = false;
+        if (SimTracer *t = ms.tracer()) {
+            t->siSweep(id, siSweepStart, ms.eventq().now(),
+                       siSweepProcessed);
+        }
         return;
     }
     Addr la = siQueue.front();
     siQueue.pop_front();
+    ++siSweepProcessed;
     SLIPSIM_TRACE_MSG(TraceFlag::Cache, ms.eventq().now(), "l2",
             "node %d self-invalidation drain of line %llx", id,
             (unsigned long long)la);
@@ -421,6 +434,8 @@ NodeMemory::processSiEntry()
                     o->onL2(CoherenceObserver::L2Event::SiInvalidate,
                             id, la, true, false);
                 }
+                if (SimTracer *t = ms.tracer())
+                    t->siAction(id, la, true, ms.eventq().now());
             } else {
                 // Producer-consumer: write back and keep a shared copy.
                 ms.homeOf(la).noteDowngrade(id, la);
@@ -431,6 +446,8 @@ NodeMemory::processSiEntry()
                     o->onL2(CoherenceObserver::L2Event::SiDowngrade,
                             id, la, true, false);
                 }
+                if (SimTracer *t = ms.tracer())
+                    t->siAction(id, la, false, ms.eventq().now());
             }
         }
     }
@@ -489,6 +506,49 @@ NodeMemory::dumpStats(StatSet &out) const
                     static_cast<double>(classStats.reads[s][c]));
             out.add(std::string("class.excl.") + streams[s] + classes[c],
                     static_cast<double>(classStats.excls[s][c]));
+        }
+    }
+}
+
+void
+NodeMemory::registerStats(StatsRegistry &reg,
+                          const std::string &prefix) const
+{
+    StatsScope s(reg, prefix);
+    s.counter("demandHits", demandHits);
+    s.counter("demandMisses", demandMisses);
+    s.counter("readMisses", readMisses);
+    s.counter("exclMisses", exclMisses);
+    s.counter("aReadMisses", aReadMisses);
+    s.counter("prefExIssued", prefExIssued);
+    s.counter("mergedRequests", mergedRequests);
+    s.counter("transparentFills", transparentFills);
+    s.counter("evictions", evictions);
+    s.counter("externalInvalidations", externalInvalidations);
+    s.histogram("missLatency", missLatency);
+
+    StatsScope si = s.sub("si");
+    si.counter("invalidated", siInvalidated);
+    si.counter("downgraded", siDowngraded);
+    si.counter("hintsReceived", siHintsReceived);
+
+    StatsScope pf = s.sub("prefetch");
+    for (int g = 0; g < 4; ++g)
+        pf.counter("gap" + std::to_string(g), aFetchesByGap[g]);
+    pf.counter("timelyDelaySum", timelyDelaySum);
+    pf.counter("timelyDelayCnt", timelyDelayCnt);
+    pf.counter("lateWaitSum", lateWaitSum);
+    pf.counter("lateWaitCnt", lateWaitCnt);
+
+    static const char *streams[2] = {"A", "R"};
+    static const char *classes[3] = {"Timely", "Late", "Only"};
+    StatsScope cl = s.sub("class");
+    for (int st = 0; st < 2; ++st) {
+        for (int c = 0; c < 3; ++c) {
+            cl.counter(std::string("read.") + streams[st] + classes[c],
+                       classStats.reads[st][c]);
+            cl.counter(std::string("excl.") + streams[st] + classes[c],
+                       classStats.excls[st][c]);
         }
     }
 }

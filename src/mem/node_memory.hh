@@ -18,6 +18,7 @@
 #include "mem/mem_req.hh"
 #include "mem/params.hh"
 #include "net/resource.hh"
+#include "obs/stats_registry.hh"
 #include "sim/inline_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -69,8 +70,8 @@ struct L2Line
 struct FetchClassStats
 {
     // [stream A=0 / R=1][Timely, Late, Only]
-    std::uint64_t reads[2][3] = {};
-    std::uint64_t excls[2][3] = {};
+    Counter reads[2][3];
+    Counter excls[2][3];
 
     void
     record(StreamKind s, bool was_read, FetchClass c)
@@ -170,33 +171,41 @@ class NodeMemory
     /** Publish statistics. */
     void dumpStats(StatSet &out) const;
 
+    /** Register every counter/histogram under @p prefix
+     *  (e.g. "node3.l2"). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
+    /** Owning memory system (tracer/observer slots live there). */
+    MemorySystem &sys() const { return ms; }
+
     /** Raw classification counters (Figure 7). */
     const FetchClassStats &fetchClasses() const { return classStats; }
 
     // Aggregate counters, exposed for experiments.
-    std::uint64_t demandHits = 0;
-    std::uint64_t demandMisses = 0;
-    std::uint64_t aReadMisses = 0;
-    std::uint64_t readMisses = 0;
-    std::uint64_t exclMisses = 0;
-    std::uint64_t prefExIssued = 0;
-    std::uint64_t mergedRequests = 0;
-    std::uint64_t transparentFills = 0;
-    std::uint64_t siInvalidated = 0;
-    std::uint64_t siDowngraded = 0;
-    std::uint64_t siHintsReceived = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t externalInvalidations = 0;
+    Counter demandHits;
+    Counter demandMisses;
+    Counter aReadMisses;
+    Counter readMisses;
+    Counter exclMisses;
+    Counter prefExIssued;
+    Counter mergedRequests;
+    Counter transparentFills;
+    Counter siInvalidated;
+    Counter siDowngraded;
+    Counter siHintsReceived;
+    Counter evictions;
+    Counter externalInvalidations;
 
     /** Demand-miss latency distribution (issue -> fill). */
     Histogram missLatency;
 
     // Prefetch-timing diagnostics (A-stream fetches only).
-    std::uint64_t aFetchesByGap[4] = {};
-    std::uint64_t timelyDelaySum = 0;   //!< fill -> first R touch
-    std::uint64_t timelyDelayCnt = 0;
-    std::uint64_t lateWaitSum = 0;      //!< merge -> fill (R's wait)
-    std::uint64_t lateWaitCnt = 0;
+    Counter aFetchesByGap[4];
+    Counter timelyDelaySum;   //!< fill -> first R touch
+    Counter timelyDelayCnt;
+    Counter lateWaitSum;      //!< merge -> fill (R's wait)
+    Counter lateWaitCnt;
 
   private:
     struct Waiter
@@ -255,6 +264,8 @@ class NodeMemory
     std::unordered_map<Addr, Mshr> mshrs;
     std::deque<Addr> siQueue;
     bool siDrainActive = false;
+    Tick siSweepStart = 0;               //!< current drain episode start
+    std::uint64_t siSweepProcessed = 0;  //!< entries drained this episode
 
     bool classifyEnabled = false;
     FetchClassStats classStats;

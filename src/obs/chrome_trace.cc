@@ -1,0 +1,187 @@
+/**
+ * @file
+ * ChromeTracer implementation.
+ */
+
+#include "obs/chrome_trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+const char *
+reqTypeName(ReqType t)
+{
+    switch (t) {
+      case ReqType::Read: return "read";
+      case ReqType::Excl: return "excl";
+      case ReqType::PrefEx: return "prefEx";
+    }
+    return "?";
+}
+
+const char *
+streamName(StreamKind s)
+{
+    return s == StreamKind::AStream ? "A" : "R";
+}
+
+std::string
+hexAddr(Addr a)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "\"0x%" PRIx64 "\"", a);
+    return buf;
+}
+
+} // namespace
+
+void
+ChromeTracer::push(char ph, NodeId pid, int tid, Tick ts, Tick dur,
+                   std::uint64_t id, std::string name, std::string args)
+{
+    if (pid > maxNode)
+        maxNode = pid;
+    events.push_back(Event{ph, pid, tid, ts, dur, id, std::move(name),
+                           std::move(args)});
+}
+
+void
+ChromeTracer::phase(NodeId node, int slot, TimeCat cat, Tick start,
+                    Tick end)
+{
+    if (end <= start)
+        return;
+    push('X', node, slot == 0 ? tidProc0 : tidProc1, start, end - start,
+         0, timeCatName(cat), "");
+}
+
+void
+ChromeTracer::memRequest(NodeId node, Addr line_addr, ReqType type,
+                         StreamKind stream, Tick issue, Tick fill)
+{
+    std::string name = std::string("miss.") + reqTypeName(type);
+    std::string args = std::string("{\"line\": ") + hexAddr(line_addr) +
+                       ", \"stream\": \"" + streamName(stream) + "\"}";
+    std::uint64_t id = nextAsyncId++;
+    push('b', node, tidMem, issue, 0, id, name, args);
+    push('e', node, tidMem, fill, 0, id, std::move(name), "");
+}
+
+void
+ChromeTracer::dirTransaction(NodeId home, NodeId requester,
+                             Addr line_addr, ReqType type, Tick start,
+                             Tick reply)
+{
+    std::string name = std::string("dir.") + reqTypeName(type);
+    char req[16];
+    std::snprintf(req, sizeof(req), "%d", requester);
+    std::string args = std::string("{\"line\": ") + hexAddr(line_addr) +
+                       ", \"requester\": " + req + "}";
+    std::uint64_t id = nextAsyncId++;
+    push('b', home, tidDir, start, 0, id, name, args);
+    push('e', home, tidDir, reply, 0, id, std::move(name), "");
+}
+
+void
+ChromeTracer::siAction(NodeId node, Addr line_addr, bool invalidated,
+                       Tick at)
+{
+    push('i', node, tidSi, at, 0, 0,
+         invalidated ? "si.invalidate" : "si.downgrade",
+         std::string("{\"line\": ") + hexAddr(line_addr) + "}");
+}
+
+void
+ChromeTracer::siSweep(NodeId node, Tick start, Tick end,
+                      std::uint64_t processed)
+{
+    char n[24];
+    std::snprintf(n, sizeof(n), "%" PRIu64, processed);
+    push('X', node, tidSi, start, end > start ? end - start : 1, 0,
+         "si.sweep", std::string("{\"processed\": ") + n + "}");
+}
+
+void
+ChromeTracer::writeTo(std::ostream &os) const
+{
+    // Stable sort by timestamp: record order breaks ties, so the file
+    // depends only on the simulated event sequence.
+    std::vector<const Event *> order;
+    order.reserve(events.size());
+    for (const Event &e : events)
+        order.push_back(&e);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Event *a, const Event *b) {
+                         return a->ts < b->ts;
+                     });
+
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // M metadata first: name each node process and its fixed tracks.
+    static const char *const tidNames[] = {"proc0", "proc1", "mem",
+                                           "dir", "si"};
+    for (NodeId n = 0; n <= maxNode; ++n) {
+        sep();
+        os << "{\"ph\": \"M\", \"pid\": " << n
+           << ", \"name\": \"process_name\", \"args\": {\"name\": "
+              "\"node"
+           << n << "\"}}";
+        for (int t = 0; t < 5; ++t) {
+            sep();
+            os << "{\"ph\": \"M\", \"pid\": " << n << ", \"tid\": " << t
+               << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+               << tidNames[t] << "\"}}";
+        }
+    }
+
+    for (const Event *e : order) {
+        sep();
+        os << "{\"ph\": \"" << e->ph << "\", \"pid\": " << e->pid
+           << ", \"tid\": " << e->tid << ", \"ts\": " << e->ts
+           << ", \"name\": \"" << jsonEscape(e->name) << "\"";
+        if (e->ph == 'X')
+            os << ", \"dur\": " << e->dur;
+        if (e->ph == 'b' || e->ph == 'e') {
+            // Async events need a cat + id to pair up.
+            os << ", \"cat\": \"" << (e->tid == tidMem ? "mem" : "dir")
+               << "\", \"id\": " << e->id;
+        }
+        if (e->ph == 'i')
+            os << ", \"s\": \"t\"";
+        if (!e->args.empty())
+            os << ", \"args\": " << e->args;
+        os << "}";
+    }
+    os << (first ? "]}" : "\n]}");
+    os << "\n";
+}
+
+void
+ChromeTracer::writeFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        fatal("trace: cannot open '%s' for writing", path.c_str());
+    writeTo(f);
+}
+
+} // namespace slipsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Chrome trace-event exporter.
+ *
+ * ChromeTracer buffers SimTracer callbacks and serializes them as a
+ * Chrome trace-event JSON document ({"traceEvents": [...]}) that loads
+ * directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+ *
+ * Track layout: each CMP node is a "process" (pid = node id) named
+ * "node<N>", with fixed "threads":
+ *
+ *   tid 0/1  proc0/proc1   X (complete) events, one per time-category
+ *                          phase, so a processor's timeline tiles into
+ *                          busy/stall/barrier/lock/arSync spans.
+ *   tid 2    mem           async b/e pairs, one per L2 miss lifetime
+ *                          (issue -> fill); async because misses to
+ *                          different lines overlap under the MSHRs.
+ *   tid 3    dir           async b/e pairs, one per home-directory
+ *                          transaction (dispatch -> reply arrival).
+ *   tid 4    si            X events for self-invalidation sweep
+ *                          episodes plus i (instant) events per
+ *                          invalidate/downgrade action.
+ *
+ * Determinism: events are recorded in simulation callback order and
+ * stable-sorted by timestamp at write time, so the byte output depends
+ * only on the simulated run.
+ */
+
+#ifndef SLIPSIM_OBS_CHROME_TRACE_HH
+#define SLIPSIM_OBS_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hh"
+
+namespace slipsim
+{
+
+/** SimTracer that buffers events for Chrome trace-event JSON export. */
+class ChromeTracer : public SimTracer
+{
+  public:
+    void phase(NodeId node, int slot, TimeCat cat, Tick start,
+               Tick end) override;
+    void memRequest(NodeId node, Addr line_addr, ReqType type,
+                    StreamKind stream, Tick issue, Tick fill) override;
+    void dirTransaction(NodeId home, NodeId requester, Addr line_addr,
+                        ReqType type, Tick start, Tick reply) override;
+    void siAction(NodeId node, Addr line_addr, bool invalidated,
+                  Tick at) override;
+    void siSweep(NodeId node, Tick start, Tick end,
+                 std::uint64_t processed) override;
+
+    std::size_t numEvents() const { return events.size(); }
+
+    /**
+     * Serialize the buffered events (plus M metadata naming the
+     * node/track structure).  Does not clear the buffer.
+     */
+    void writeTo(std::ostream &os) const;
+
+    /** writeTo() into @p path; fatal() if the file cannot be opened. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    // Fixed tids within each node's "process".
+    static constexpr int tidProc0 = 0;
+    static constexpr int tidProc1 = 1;
+    static constexpr int tidMem = 2;
+    static constexpr int tidDir = 3;
+    static constexpr int tidSi = 4;
+
+    struct Event
+    {
+        char ph;              //!< 'X', 'b', 'e', or 'i'
+        NodeId pid;
+        int tid;
+        Tick ts;
+        Tick dur;             //!< X only
+        std::uint64_t id;     //!< b/e pairing id
+        std::string name;
+        std::string args;     //!< pre-rendered JSON object ("" = none)
+    };
+
+    void push(char ph, NodeId pid, int tid, Tick ts, Tick dur,
+              std::uint64_t id, std::string name, std::string args);
+
+    std::vector<Event> events;
+    std::uint64_t nextAsyncId = 0;
+    NodeId maxNode = -1;
+};
+
+/**
+ * SimTracer that just counts callbacks — used by perf_smoke to measure
+ * the attached-tracer hot-path overhead without the memory footprint
+ * of buffering a full trace.
+ */
+class CountingTracer : public SimTracer
+{
+  public:
+    void
+    phase(NodeId, int, TimeCat, Tick, Tick) override
+    {
+        ++hooks;
+    }
+
+    void
+    memRequest(NodeId, Addr, ReqType, StreamKind, Tick, Tick) override
+    {
+        ++hooks;
+    }
+
+    void
+    dirTransaction(NodeId, NodeId, Addr, ReqType, Tick, Tick) override
+    {
+        ++hooks;
+    }
+
+    void siAction(NodeId, Addr, bool, Tick) override { ++hooks; }
+    void siSweep(NodeId, Tick, Tick, std::uint64_t) override { ++hooks; }
+
+    std::uint64_t calls() const { return hooks; }
+
+  private:
+    std::uint64_t hooks = 0;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_OBS_CHROME_TRACE_HH

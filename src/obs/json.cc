@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Minimal JSON parser implementation (recursive descent).
+ */
+
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        fatal("json: missing member '%s'", key.c_str());
+    return *v;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string_view with a position. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : s(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value(0);
+        skipWs();
+        if (pos != s.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("json: %s at offset %zu", what, pos);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos >= s.size())
+            fail("unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos >= s.size() || s[pos] != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (pos >= s.size() || s[pos] != *p)
+                fail("bad literal");
+            ++pos;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= s.size())
+                fail("unterminated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    fail("short \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // The writer only ever emits ASCII escapes; decode the
+                // BMP code point as UTF-8.
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+                    out.push_back(static_cast<char>(
+                            0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    number()
+    {
+        std::size_t start = pos;
+        if (consume('-')) {}
+        while (pos < s.size() &&
+               ((s[pos] >= '0' && s[pos] <= '9') || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' ||
+                s[pos] == '-')) {
+            ++pos;
+        }
+        if (pos == start)
+            fail("bad number");
+        std::string text(s.substr(start, pos - start));
+        char *end = nullptr;
+        double v = std::strtod(text.c_str(), &end);
+        if (!end || *end != '\0')
+            fail("bad number");
+        JsonValue out;
+        out.type = JsonValue::Type::Number;
+        out.number = v;
+        return out;
+    }
+
+    JsonValue
+    value(int depth)
+    {
+        if (depth > maxDepth)
+            fail("nesting too deep");
+        skipWs();
+        char c = peek();
+        JsonValue v;
+        switch (c) {
+          case '{': {
+            ++pos;
+            v.type = JsonValue::Type::Object;
+            skipWs();
+            if (consume('}'))
+                return v;
+            while (true) {
+                skipWs();
+                std::string key = string();
+                skipWs();
+                expect(':');
+                v.obj.emplace_back(std::move(key), value(depth + 1));
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect('}');
+                return v;
+            }
+          }
+          case '[': {
+            ++pos;
+            v.type = JsonValue::Type::Array;
+            skipWs();
+            if (consume(']'))
+                return v;
+            while (true) {
+                v.arr.push_back(value(depth + 1));
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect(']');
+                return v;
+            }
+          }
+          case '"':
+            v.type = JsonValue::Type::String;
+            v.str = string();
+            return v;
+          case 't':
+            literal("true");
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return v;
+          case 'f':
+            literal("false");
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            return v;
+          case 'n':
+            literal("null");
+            return v;
+          default:
+            return number();
+        }
+    }
+
+    std::string_view s;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+} // namespace slipsim

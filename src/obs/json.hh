@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal JSON value, parser, and string escaping.
+ *
+ * Just enough JSON to round-trip the observability layer's own output:
+ * stats snapshots (--stats-json), Chrome trace files, and the schema
+ * checker all parse with this.  Numbers are doubles (integers are exact
+ * up to 2^53, far beyond any counter a scaled-down run produces).
+ */
+
+#ifndef SLIPSIM_OBS_JSON_HH
+#define SLIPSIM_OBS_JSON_HH
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace slipsim
+{
+
+/** A parsed JSON value (object keys keep document order). */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null, Bool, Number, String, Array, Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Member lookup on an object; null if absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** find() that fatal()s when the member is missing. */
+    const JsonValue &at(const std::string &key) const;
+};
+
+/**
+ * Parse one JSON document.  Trailing non-whitespace, malformed syntax,
+ * or nesting deeper than an internal guard all fatal() (FatalError).
+ */
+JsonValue parseJson(std::string_view text);
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Format a double the way the observability layer always does:
+ * integral values (within 2^53) print as integers, everything else as
+ * shortest-round-trip "%.17g".  Deterministic, locale-independent.
+ */
+std::string jsonNumber(double v);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_OBS_JSON_HH

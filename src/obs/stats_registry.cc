@@ -1,0 +1,352 @@
+/**
+ * @file
+ * StatsRegistry / StatsSnapshot implementation.
+ */
+
+#include "obs/stats_registry.hh"
+
+#include <ostream>
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+/** Dotted-path validation: non-empty [A-Za-z0-9_-] segments. */
+bool
+validPath(const std::string &path)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (char c : path) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+/** True if @p path is @p prefix or lies under "<prefix>.". */
+bool
+underPrefix(const std::string &path, const std::string &prefix)
+{
+    if (prefix.empty())
+        return true;
+    if (path.size() < prefix.size() ||
+        path.compare(0, prefix.size(), prefix) != 0) {
+        return false;
+    }
+    return path.size() == prefix.size() || path[prefix.size()] == '.';
+}
+
+const char *
+kindName(StatsSnapshot::Kind k)
+{
+    switch (k) {
+      case StatsSnapshot::Kind::Counter: return "counter";
+      case StatsSnapshot::Kind::Gauge: return "gauge";
+      case StatsSnapshot::Kind::Hist: return "histogram";
+    }
+    return "?";
+}
+
+} // namespace
+
+// --- StatsSnapshot ---------------------------------------------------------
+
+bool
+StatsSnapshot::Value::operator==(const Value &o) const
+{
+    if (kind != o.kind)
+        return false;
+    switch (kind) {
+      case Kind::Counter:
+        return count == o.count;
+      case Kind::Gauge:
+        return gauge == o.gauge;
+      case Kind::Hist:
+        return hist == o.hist;
+    }
+    return false;
+}
+
+void
+StatsSnapshot::setCounter(const std::string &path, std::uint64_t v)
+{
+    Value &val = values[path];
+    val.kind = Kind::Counter;
+    val.count = v;
+}
+
+void
+StatsSnapshot::setGauge(const std::string &path, double v)
+{
+    Value &val = values[path];
+    val.kind = Kind::Gauge;
+    val.gauge = v;
+}
+
+void
+StatsSnapshot::setHistogram(const std::string &path, const Histogram &h)
+{
+    Value &val = values[path];
+    val.kind = Kind::Hist;
+    val.hist = h;
+}
+
+std::uint64_t
+StatsSnapshot::counter(const std::string &path) const
+{
+    auto it = values.find(path);
+    return it != values.end() && it->second.kind == Kind::Counter
+               ? it->second.count
+               : 0;
+}
+
+double
+StatsSnapshot::gauge(const std::string &path) const
+{
+    auto it = values.find(path);
+    return it != values.end() && it->second.kind == Kind::Gauge
+               ? it->second.gauge
+               : 0;
+}
+
+const Histogram *
+StatsSnapshot::histogram(const std::string &path) const
+{
+    auto it = values.find(path);
+    return it != values.end() && it->second.kind == Kind::Hist
+               ? &it->second.hist
+               : nullptr;
+}
+
+std::vector<std::pair<std::string, const StatsSnapshot::Value *>>
+StatsSnapshot::queryPrefix(const std::string &prefix) const
+{
+    std::vector<std::pair<std::string, const Value *>> out;
+    // values is sorted: everything under a prefix is contiguous.
+    for (auto it = values.lower_bound(prefix); it != values.end();
+         ++it) {
+        if (!underPrefix(it->first, prefix)) {
+            if (it->first.compare(0, prefix.size(), prefix) != 0)
+                break;
+            continue;  // shares the string prefix but not a segment
+        }
+        out.emplace_back(it->first, &it->second);
+    }
+    return out;
+}
+
+std::uint64_t
+StatsSnapshot::sumCounters(const std::string &prefix) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[path, v] : queryPrefix(prefix)) {
+        if (v->kind == Kind::Counter)
+            total += v->count;
+    }
+    return total;
+}
+
+void
+StatsSnapshot::merge(const StatsSnapshot &o)
+{
+    for (const auto &[path, ov] : o.values) {
+        auto it = values.find(path);
+        if (it == values.end()) {
+            values.emplace(path, ov);
+            continue;
+        }
+        Value &v = it->second;
+        if (v.kind != ov.kind) {
+            fatal("stats: merge of '%s' mixes %s with %s", path.c_str(),
+                  kindName(v.kind), kindName(ov.kind));
+        }
+        switch (v.kind) {
+          case Kind::Counter:
+            v.count += ov.count;
+            break;
+          case Kind::Gauge:
+            v.gauge = ov.gauge;
+            break;
+          case Kind::Hist:
+            v.hist.merge(ov.hist);
+            break;
+        }
+    }
+}
+
+void
+StatsSnapshot::writeJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[path, v] : values) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  \"" << jsonEscape(path) << "\": ";
+        switch (v.kind) {
+          case Kind::Counter:
+            os << v.count;
+            break;
+          case Kind::Gauge:
+            os << "{\"g\": " << jsonNumber(v.gauge) << "}";
+            break;
+          case Kind::Hist: {
+            int last = -1;
+            for (int b = 0; b < Histogram::numBuckets; ++b) {
+                if (v.hist.bucket(b) != 0)
+                    last = b;
+            }
+            os << "{\"h\": {\"buckets\": [";
+            for (int b = 0; b <= last; ++b) {
+                if (b)
+                    os << ", ";
+                os << v.hist.bucket(b);
+            }
+            os << "], \"sum\": " << v.hist.total()
+               << ", \"max\": " << v.hist.maxValue() << "}}";
+            break;
+          }
+        }
+    }
+    os << (values.empty() ? "}" : "\n}");
+}
+
+StatsSnapshot
+StatsSnapshot::fromJson(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        fatal("stats json: document is not an object");
+    StatsSnapshot out;
+    for (const auto &[path, v] : doc.obj) {
+        if (v.isNumber()) {
+            out.setCounter(path, static_cast<std::uint64_t>(v.number));
+            continue;
+        }
+        if (!v.isObject())
+            fatal("stats json: '%s' has an invalid value", path.c_str());
+        if (const JsonValue *g = v.find("g")) {
+            if (!g->isNumber())
+                fatal("stats json: gauge '%s' is not numeric",
+                      path.c_str());
+            out.setGauge(path, g->number);
+            continue;
+        }
+        const JsonValue *h = v.find("h");
+        if (!h || !h->isObject())
+            fatal("stats json: '%s' is neither gauge nor histogram",
+                  path.c_str());
+        const JsonValue &buckets = h->at("buckets");
+        if (!buckets.isArray() ||
+            buckets.arr.size() >
+                static_cast<std::size_t>(Histogram::numBuckets)) {
+            fatal("stats json: histogram '%s' has bad buckets",
+                  path.c_str());
+        }
+        std::uint64_t raw[Histogram::numBuckets] = {};
+        for (std::size_t b = 0; b < buckets.arr.size(); ++b) {
+            if (!buckets.arr[b].isNumber())
+                fatal("stats json: histogram '%s' bucket not numeric",
+                      path.c_str());
+            raw[b] = static_cast<std::uint64_t>(buckets.arr[b].number);
+        }
+        Histogram hist;
+        hist.setRaw(raw, static_cast<int>(buckets.arr.size()),
+                    static_cast<std::uint64_t>(h->at("sum").number),
+                    static_cast<std::uint64_t>(h->at("max").number));
+        Value &val = out.values[path];
+        val.kind = Kind::Hist;
+        val.hist = hist;
+    }
+    return out;
+}
+
+// --- StatsRegistry ---------------------------------------------------------
+
+void
+StatsRegistry::addEntry(const std::string &path, StatsSnapshot::Kind kind,
+                        const void *p)
+{
+    if (!validPath(path))
+        fatal("stats: invalid path '%s'", path.c_str());
+    if (!p)
+        fatal("stats: null metric registered at '%s'", path.c_str());
+    auto [it, inserted] = entries.emplace(path, Entry{kind, p});
+    if (!inserted)
+        fatal("stats: duplicate path '%s'", path.c_str());
+}
+
+void
+StatsRegistry::addCounter(const std::string &path, const Counter &c)
+{
+    addEntry(path, StatsSnapshot::Kind::Counter, &c);
+}
+
+void
+StatsRegistry::addGauge(const std::string &path, const Gauge &g)
+{
+    addEntry(path, StatsSnapshot::Kind::Gauge, &g);
+}
+
+void
+StatsRegistry::addHistogram(const std::string &path, const Histogram &h)
+{
+    addEntry(path, StatsSnapshot::Kind::Hist, &h);
+}
+
+std::vector<std::string>
+StatsRegistry::pathsWithPrefix(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (auto it = entries.lower_bound(prefix); it != entries.end();
+         ++it) {
+        if (!underPrefix(it->first, prefix)) {
+            if (it->first.compare(0, prefix.size(), prefix) != 0)
+                break;
+            continue;
+        }
+        out.push_back(it->first);
+    }
+    return out;
+}
+
+StatsSnapshot
+StatsRegistry::snapshot() const
+{
+    StatsSnapshot out;
+    for (const auto &[path, e] : entries) {
+        switch (e.kind) {
+          case StatsSnapshot::Kind::Counter:
+            out.setCounter(path,
+                           static_cast<const Counter *>(e.p)->value());
+            break;
+          case StatsSnapshot::Kind::Gauge:
+            out.setGauge(path,
+                         static_cast<const Gauge *>(e.p)->value());
+            break;
+          case StatsSnapshot::Kind::Hist:
+            out.setHistogram(path,
+                             *static_cast<const Histogram *>(e.p));
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace slipsim

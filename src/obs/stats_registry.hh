@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Hierarchical typed-statistics registry.
+ *
+ * Components own their metrics as plain members (Counter, Gauge, or the
+ * sim/stats.hh Histogram) so the hot-path cost of an update is exactly
+ * what the ad-hoc std::uint64_t counters used to cost; a StatsRegistry
+ * holds *pointers* to those members under dotted hierarchical paths
+ * ("node3.l2.readMisses", "node0.dir.requests.getx").  At the end of a
+ * run the registry is frozen into a StatsSnapshot — a self-contained
+ * value type that crosses sweep-worker threads, merges with
+ * well-defined per-kind semantics, and serializes to deterministic
+ * JSON (--stats-json).
+ *
+ * Registration rules: paths are [A-Za-z0-9_-] segments joined by '.';
+ * duplicate registration of a path is a fatal() error (caught by unit
+ * tests), as is registering through a null pointer.
+ */
+
+#ifndef SLIPSIM_OBS_STATS_REGISTRY_HH
+#define SLIPSIM_OBS_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace slipsim
+{
+
+/**
+ * Monotonically increasing event count.  Drop-in replacement for the
+ * bare std::uint64_t counters components used to keep: ++, += and
+ * implicit read as std::uint64_t all behave identically.
+ */
+class Counter
+{
+  public:
+    Counter &operator++() { ++v; return *this; }
+    Counter &operator+=(std::uint64_t n) { v += n; return *this; }
+    void inc(std::uint64_t n = 1) { v += n; }
+
+    std::uint64_t value() const { return v; }
+    operator std::uint64_t() const { return v; }
+
+  private:
+    std::uint64_t v = 0;
+};
+
+/** A sampled level (queue depth, high-water mark, ratio). */
+class Gauge
+{
+  public:
+    void
+    set(double x)
+    {
+        v = x;
+        everSet = true;
+    }
+
+    /** Raise to @p x if larger (high-water-mark idiom). */
+    void
+    raise(double x)
+    {
+        if (!everSet || x > v)
+            set(x);
+    }
+
+    double value() const { return v; }
+
+    /** True once set()/raise() has been called; merges only propagate
+     *  set gauges. */
+    bool wasSet() const { return everSet; }
+
+  private:
+    double v = 0;
+    bool everSet = false;
+};
+
+/**
+ * A frozen copy of every registered metric, keyed by path.
+ *
+ * Merge semantics (used by the sweep aggregator and unit-tested):
+ *  - Counter:   values sum.
+ *  - Gauge:     the incoming value wins (merge order is submission
+ *               order, so "last point wins").
+ *  - Histogram: bucket-wise sum (Histogram::merge).
+ * Merging two different kinds under one path is a fatal() error.
+ */
+class StatsSnapshot
+{
+  public:
+    enum class Kind : std::uint8_t { Counter, Gauge, Hist };
+
+    struct Value
+    {
+        Kind kind = Kind::Counter;
+        std::uint64_t count = 0;   //!< Counter payload
+        double gauge = 0;          //!< Gauge payload
+        Histogram hist;            //!< Histogram payload
+
+        bool operator==(const Value &o) const;
+    };
+
+    void setCounter(const std::string &path, std::uint64_t v);
+    void setGauge(const std::string &path, double v);
+    void setHistogram(const std::string &path, const Histogram &h);
+
+    /** Counter value at @p path (0 if absent or not a counter). */
+    std::uint64_t counter(const std::string &path) const;
+
+    /** Gauge value at @p path (0 if absent or not a gauge). */
+    double gauge(const std::string &path) const;
+
+    /** Histogram at @p path; null if absent or not a histogram. */
+    const Histogram *histogram(const std::string &path) const;
+
+    bool has(const std::string &path) const
+    { return values.count(path) != 0; }
+
+    std::size_t size() const { return values.size(); }
+    bool empty() const { return values.empty(); }
+
+    /**
+     * All entries whose path equals @p prefix or starts with
+     * "<prefix>.", in path order.  An empty prefix matches everything.
+     */
+    std::vector<std::pair<std::string, const Value *>>
+    queryPrefix(const std::string &prefix) const;
+
+    /** Sum of every Counter matched by queryPrefix(). */
+    std::uint64_t sumCounters(const std::string &prefix) const;
+
+    /** Merge another snapshot (see class comment for semantics). */
+    void merge(const StatsSnapshot &o);
+
+    /**
+     * Serialize as one JSON object, keys in path order:
+     * counters as bare integers, gauges as {"g": x}, histograms as
+     * {"h": {"buckets": [...], "sum": s, "max": m}} with trailing
+     * zero buckets trimmed.  Byte-deterministic.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Inverse of writeJson(); fatal() on schema violations. */
+    static StatsSnapshot fromJson(const struct JsonValue &v);
+
+    bool operator==(const StatsSnapshot &o) const
+    { return values == o.values; }
+
+    const std::map<std::string, Value> &all() const { return values; }
+
+  private:
+    std::map<std::string, Value> values;
+};
+
+/**
+ * The registry: path -> pointer to a component-owned metric.  Holds no
+ * values itself; snapshot() reads through the pointers, so it must be
+ * taken while the components are alive (runExperiment does this before
+ * the System is torn down).
+ */
+class StatsRegistry
+{
+  public:
+    void addCounter(const std::string &path, const Counter &c);
+    void addGauge(const std::string &path, const Gauge &g);
+    void addHistogram(const std::string &path, const Histogram &h);
+
+    bool has(const std::string &path) const
+    { return entries.count(path) != 0; }
+
+    std::size_t size() const { return entries.size(); }
+
+    /** Registered paths matching a prefix (same rule as snapshots). */
+    std::vector<std::string>
+    pathsWithPrefix(const std::string &prefix) const;
+
+    /** Freeze every registered metric into a snapshot. */
+    StatsSnapshot snapshot() const;
+
+  private:
+    struct Entry
+    {
+        StatsSnapshot::Kind kind;
+        const void *p;
+    };
+
+    void addEntry(const std::string &path, StatsSnapshot::Kind kind,
+                  const void *p);
+
+    std::map<std::string, Entry> entries;
+};
+
+/**
+ * Prefix-scoped view of a registry, so a component can register its
+ * members without knowing where it sits in the hierarchy:
+ *
+ *   StatsScope s(reg, "node3.l2");
+ *   s.counter("readMisses", readMisses);   // -> node3.l2.readMisses
+ */
+class StatsScope
+{
+  public:
+    StatsScope(StatsRegistry &r, std::string prefix)
+        : reg(r), pfx(std::move(prefix))
+    {
+    }
+
+    /** A sub-scope under this one. */
+    StatsScope sub(const std::string &name) const
+    { return StatsScope(reg, pfx + "." + name); }
+
+    void counter(const std::string &name, const Counter &c)
+    { reg.addCounter(pfx + "." + name, c); }
+
+    void gauge(const std::string &name, const Gauge &g)
+    { reg.addGauge(pfx + "." + name, g); }
+
+    void histogram(const std::string &name, const Histogram &h)
+    { reg.addHistogram(pfx + "." + name, h); }
+
+    const std::string &prefix() const { return pfx; }
+
+  private:
+    StatsRegistry &reg;
+    std::string pfx;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_OBS_STATS_REGISTRY_HH

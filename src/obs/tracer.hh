@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Passive simulation-event tracer interface.
+ *
+ * A SimTracer attached to the MemorySystem receives the lifecycle
+ * events the Chrome-trace exporter visualizes: processor time-category
+ * phases (busy, stall, sync waits), memory-request lifetimes
+ * (issue -> fill), directory transaction windows, and self-invalidation
+ * sweeps.  Like CoherenceObserver (mem/observer.hh), tracers are
+ * strictly read-only and every hook site is a single
+ * pointer-load-and-branch when no tracer is attached — the figure
+ * benches run detached and are provably unaffected (guarded by the
+ * golden fig01 run and tests/obs/test_chrome_trace.cc).
+ */
+
+#ifndef SLIPSIM_OBS_TRACER_HH
+#define SLIPSIM_OBS_TRACER_HH
+
+#include "mem/mem_req.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** Observer of phase, memory-request, directory, and SI activity. */
+struct SimTracer
+{
+    virtual ~SimTracer() = default;
+
+    /**
+     * Processor (node, slot) accounted [start, end) to category
+     * @p cat: a busy burst, a memory stall, or a sync wait.
+     */
+    virtual void
+    phase(NodeId node, int slot, TimeCat cat, Tick start, Tick end)
+    {
+        (void)node; (void)slot; (void)cat; (void)start; (void)end;
+    }
+
+    /**
+     * An L2 miss's full lifetime: MSHR allocated at @p issue, fill
+     * installed at @p fill.
+     */
+    virtual void
+    memRequest(NodeId node, Addr line_addr, ReqType type,
+               StreamKind stream, Tick issue, Tick fill)
+    {
+        (void)node; (void)line_addr; (void)type; (void)stream;
+        (void)issue; (void)fill;
+    }
+
+    /**
+     * A home directory's processing window for one transaction: from
+     * dispatch (after any busy-window wait) at @p start until the
+     * reply data reaches the requesting L2 at @p reply.
+     */
+    virtual void
+    dirTransaction(NodeId home, NodeId requester, Addr line_addr,
+                   ReqType type, Tick start, Tick reply)
+    {
+        (void)home; (void)requester; (void)line_addr; (void)type;
+        (void)start; (void)reply;
+    }
+
+    /** One self-invalidation action (invalidate or downgrade). */
+    virtual void
+    siAction(NodeId node, Addr line_addr, bool invalidated, Tick at)
+    {
+        (void)node; (void)line_addr; (void)invalidated; (void)at;
+    }
+
+    /** A full SI-queue drain episode on @p node. */
+    virtual void
+    siSweep(NodeId node, Tick start, Tick end, std::uint64_t processed)
+    {
+        (void)node; (void)start; (void)end; (void)processed;
+    }
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_OBS_TRACER_HH

@@ -14,6 +14,8 @@
 namespace slipsim
 {
 
+struct SimTracer;
+
 /** How the two processors of each CMP are used. */
 enum class Mode
 {
@@ -116,6 +118,16 @@ struct RunConfig
     bool verify = true;
 
     std::uint64_t seed = 1;
+
+    // --- observability (src/obs/) ----------------------------------------
+
+    /** When non-empty, runExperiment attaches a ChromeTracer and
+     *  writes the Chrome trace-event JSON here at the end. */
+    std::string tracePath;
+
+    /** Externally-owned tracer to attach instead (e.g. perf_smoke's
+     *  CountingTracer).  Ignored when tracePath is set. */
+    SimTracer *tracer = nullptr;
 };
 
 } // namespace slipsim

@@ -39,6 +39,19 @@ ParallelRuntime::ParallelRuntime(EventQueue &event_queue,
 
 ParallelRuntime::~ParallelRuntime() = default;
 
+void
+ParallelRuntime::registerStats(StatsRegistry &reg) const
+{
+    for (std::size_t i = 0; i < barriers.size(); ++i) {
+        barriers[i]->registerStats(
+                reg, "sync.barrier" + std::to_string(i));
+    }
+    for (std::size_t i = 0; i < locks.size(); ++i)
+        locks[i]->registerStats(reg, "sync.lock" + std::to_string(i));
+    for (std::size_t i = 0; i < flags.size(); ++i)
+        flags[i]->registerStats(reg, "sync.flag" + std::to_string(i));
+}
+
 int
 ParallelRuntime::makeBarrier(int participants)
 {

@@ -74,6 +74,9 @@ class ParallelRuntime
     Tick endTick() const { return end; }
     std::uint64_t totalRecoveries() const { return recoveries; }
 
+    /** Register sync-object counters under "sync.*". */
+    void registerStats(StatsRegistry &reg) const;
+
     SyncBarrier &barrierObj(int id) { return *barriers.at(id); }
     SyncLock &lockObj(int id) { return *locks.at(id); }
     EventFlag &flagObj(int id) { return *flags.at(id); }

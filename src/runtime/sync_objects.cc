@@ -80,6 +80,7 @@ EventFlag::set(TaskContext &ctx)
 {
     co_await ctx.syncAccess(line, ReqType::Excl);
     isSet = true;
+    ++sets;
     auto ws = std::move(waiters);
     waiters.clear();
     for (auto *p : ws)

@@ -16,6 +16,7 @@
 #include <deque>
 #include <vector>
 
+#include "obs/stats_registry.hh"
 #include "sim/coro.hh"
 #include "sim/types.hh"
 
@@ -45,13 +46,20 @@ class SyncBarrier
 
     std::uint64_t episodes() const { return generation; }
 
+    /** Register under @p prefix (e.g. "sync.barrier0"). */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".episodes", generation);
+    }
+
   private:
     int id_;
     int participants;
     Addr ctrLine;
     Addr flagLine;
     int arrived = 0;
-    std::uint64_t generation = 0;
+    Counter generation;
     std::vector<Processor *> waiters;
 };
 
@@ -72,12 +80,19 @@ class SyncLock
     size_t waiting() const { return q.size(); }
     std::uint64_t acquisitions() const { return acquires; }
 
+    /** Register under @p prefix (e.g. "sync.lock0"). */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".acquisitions", acquires);
+    }
+
   private:
     int id_;
     Addr line;
     bool held = false;
     std::deque<Processor *> q;
-    std::uint64_t acquires = 0;
+    Counter acquires;
 };
 
 /** One-shot (resettable) event flag over one shared line. */
@@ -99,11 +114,20 @@ class EventFlag
     int id() const { return id_; }
     bool set_p() const { return isSet; }
     size_t waiting() const { return waiters.size(); }
+    std::uint64_t setCount() const { return sets; }
+
+    /** Register under @p prefix (e.g. "sync.flag0"). */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".sets", sets);
+    }
 
   private:
     int id_;
     Addr line;
     bool isSet = false;
+    Counter sets;
     std::vector<Processor *> waiters;
 };
 

@@ -88,6 +88,34 @@ class Histogram
         maxSeen = std::max(maxSeen, o.maxSeen);
     }
 
+    /**
+     * Rebuild from serialized raw state (stats-JSON round trip).  The
+     * sample count is implied by the bucket counts; buckets beyond
+     * @p n are cleared.
+     */
+    void
+    setRaw(const std::uint64_t *bucket_counts, int n, std::uint64_t total_sum,
+           std::uint64_t max_value)
+    {
+        count = 0;
+        for (int b = 0; b < numBuckets; ++b) {
+            buckets[b] = b < n ? bucket_counts[b] : 0;
+            count += buckets[b];
+        }
+        sum = total_sum;
+        maxSeen = max_value;
+    }
+
+    bool
+    operator==(const Histogram &o) const
+    {
+        for (int b = 0; b < numBuckets; ++b) {
+            if (buckets[b] != o.buckets[b])
+                return false;
+        }
+        return sum == o.sum && count == o.count && maxSeen == o.maxSeen;
+    }
+
   private:
     std::uint64_t buckets[numBuckets] = {};
     std::uint64_t sum = 0;

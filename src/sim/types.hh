@@ -52,6 +52,24 @@ enum class StreamKind : std::uint8_t
     AStream,    //!< the reduced, speculative advanced task
 };
 
+/** Execution-time categories (Figure 6 of the paper).  Lives here (not
+ *  in cpu/) because the observability layer labels trace spans with it
+ *  from below the processor model. */
+enum class TimeCat : int
+{
+    Busy = 0,   //!< compute + cache hits
+    Stall,      //!< waiting for memory
+    Barrier,    //!< barrier synchronization
+    Lock,       //!< lock synchronization
+    ArSync,     //!< A-R synchronization (slipstream only)
+    NumCats,
+};
+
+constexpr int numTimeCats = static_cast<int>(TimeCat::NumCats);
+
+/** Printable name of a time category. */
+const char *timeCatName(TimeCat c);
+
 } // namespace slipsim
 
 #endif // SLIPSIM_SIM_TYPES_HH

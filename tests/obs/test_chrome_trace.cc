@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Chrome-trace exporter tests: the emitted document is valid JSON with
+ * correctly paired/nested events, tracing is deterministic, and an
+ * attached tracer is inert — it changes nothing about the simulation
+ * it observes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/json.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+MachineParams
+smallMachine(int cmps)
+{
+    MachineParams mp;
+    mp.numCmps = cmps;
+    return mp;
+}
+
+/** Run a small slipstream experiment with @p tracer attached. */
+ExperimentResult
+tracedRun(SimTracer *tracer)
+{
+    RunConfig rc;
+    rc.mode = Mode::Slipstream;
+    rc.tracer = tracer;
+    return runExperiment("stream", {}, smallMachine(4), rc);
+}
+
+} // namespace
+
+TEST(ChromeTrace, EmitsValidJsonWithPairedAndNestedEvents)
+{
+    ChromeTracer tracer;
+    ExperimentResult r = tracedRun(&tracer);
+    ASSERT_TRUE(r.verified);
+    ASSERT_GT(tracer.numEvents(), 0u);
+
+    std::ostringstream os;
+    tracer.writeTo(os);
+    JsonValue doc = parseJson(os.str());
+
+    const JsonValue &events = doc.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_FALSE(events.arr.empty());
+
+    // One process_name metadata record per node that emitted events.
+    std::size_t process_names = 0;
+
+    // Async spans: every 'b' must be closed by exactly one 'e' with
+    // the same (pid, cat, id), never before it opens.
+    std::map<std::tuple<double, std::string, double>, double> open;
+
+    // X events on one (pid, tid) must tile without overlap.
+    std::map<std::pair<double, double>, double> lastEnd;
+
+    for (const JsonValue &e : events.arr) {
+        const std::string &ph = e.at("ph").str;
+        if (ph == "M") {
+            if (e.at("name").str == "process_name")
+                ++process_names;
+            continue;
+        }
+        double pid = e.at("pid").number;
+        double ts = e.at("ts").number;
+        EXPECT_GE(ts, 0.0);
+        EXPECT_LE(ts, static_cast<double>(r.cycles));
+        if (ph == "b" || ph == "e") {
+            auto key = std::make_tuple(pid, e.at("cat").str,
+                                       e.at("id").number);
+            if (ph == "b") {
+                EXPECT_FALSE(open.count(key))
+                    << "async id reused while open";
+                open[key] = ts;
+            } else {
+                ASSERT_TRUE(open.count(key)) << "'e' without 'b'";
+                EXPECT_GE(ts, open[key]);
+                open.erase(key);
+            }
+        } else if (ph == "X") {
+            double dur = e.at("dur").number;
+            EXPECT_GT(dur, 0.0);
+            auto track = std::make_pair(pid, e.at("tid").number);
+            auto it = lastEnd.find(track);
+            if (it != lastEnd.end()) {
+                EXPECT_GE(ts, it->second) << "overlapping X events";
+            }
+            lastEnd[track] = ts + dur;
+        } else {
+            EXPECT_EQ(ph, "i");  // instants are the only other kind
+        }
+    }
+    EXPECT_TRUE(open.empty()) << open.size() << " unclosed async spans";
+    EXPECT_EQ(process_names, 4u);
+    EXPECT_FALSE(lastEnd.empty());  // some processor phases recorded
+}
+
+TEST(ChromeTrace, TracingIsDeterministic)
+{
+    ChromeTracer t1, t2;
+    tracedRun(&t1);
+    tracedRun(&t2);
+    std::ostringstream os1, os2;
+    t1.writeTo(os1);
+    t2.writeTo(os2);
+    EXPECT_EQ(os1.str(), os2.str());
+}
+
+TEST(ChromeTrace, AttachedTracerIsInert)
+{
+    ExperimentResult plain = tracedRun(nullptr);
+
+    ChromeTracer tracer;
+    ExperimentResult traced = tracedRun(&tracer);
+
+    // The observed run is indistinguishable from the unobserved one.
+    EXPECT_EQ(plain.cycles, traced.cycles);
+    EXPECT_EQ(plain.recoveries, traced.recoveries);
+    EXPECT_TRUE(plain.snap == traced.snap);
+
+    // And the same holds for a counting tracer (perf_smoke's probe).
+    CountingTracer counting;
+    ExperimentResult counted = tracedRun(&counting);
+    EXPECT_EQ(plain.cycles, counted.cycles);
+    EXPECT_TRUE(plain.snap == counted.snap);
+    EXPECT_GT(counting.calls(), 0u);
+}
+
+TEST(ChromeTrace, SnapshotExposesHierarchicalPaths)
+{
+    ExperimentResult r = tracedRun(nullptr);
+    // Spot-check the path families the observability layer promises.
+    EXPECT_TRUE(r.snap.has("node0.l2.demandMisses"));
+    EXPECT_TRUE(r.snap.has("node0.dir.requests.getx"));
+    EXPECT_TRUE(r.snap.has("node0.proc0.cycles.busy"));
+    EXPECT_TRUE(r.snap.has("net.messages"));
+    EXPECT_TRUE(r.snap.has("run.cycles"));
+    EXPECT_NE(r.snap.histogram("node0.l2.missLatency"), nullptr);
+    EXPECT_EQ(r.snap.counter("run.cycles"), r.cycles);
+    // Registry totals agree with the legacy StatSet dump.
+    EXPECT_EQ(static_cast<double>(r.snap.counter("net.messages")),
+              r.stats.get("net.messages"));
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the hierarchical stats registry: registration rules,
+ * prefix queries, snapshot/merge semantics, and the stats-JSON round
+ * trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/stats_registry.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+TEST(Counter, BehavesLikeBareUint64)
+{
+    Counter c;
+    EXPECT_EQ(c, 0u);
+    ++c;
+    c += 5;
+    c.inc();
+    c.inc(3);
+    EXPECT_EQ(c, 10u);
+    EXPECT_EQ(c.value(), 10u);
+    EXPECT_DOUBLE_EQ(static_cast<double>(c), 10.0);
+}
+
+TEST(Gauge, RaiseIsHighWaterMark)
+{
+    Gauge g;
+    EXPECT_FALSE(g.wasSet());
+    g.raise(4.0);
+    g.raise(2.0);  // lower: ignored
+    EXPECT_TRUE(g.wasSet());
+    EXPECT_DOUBLE_EQ(g.value(), 4.0);
+    g.set(1.0);    // set always overwrites
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+
+    Gauge neg;
+    neg.raise(-3.0);  // first raise sets even below the default 0
+    EXPECT_DOUBLE_EQ(neg.value(), -3.0);
+}
+
+TEST(StatsRegistry, DuplicatePathIsFatal)
+{
+    StatsRegistry reg;
+    Counter a, b;
+    reg.addCounter("node0.l2.misses", a);
+    EXPECT_THROW(reg.addCounter("node0.l2.misses", b), FatalError);
+    // Duplicates across kinds are rejected too.
+    Gauge g;
+    EXPECT_THROW(reg.addGauge("node0.l2.misses", g), FatalError);
+}
+
+TEST(StatsRegistry, InvalidPathsAreFatal)
+{
+    StatsRegistry reg;
+    Counter c;
+    EXPECT_THROW(reg.addCounter("", c), FatalError);
+    EXPECT_THROW(reg.addCounter(".leading", c), FatalError);
+    EXPECT_THROW(reg.addCounter("trailing.", c), FatalError);
+    EXPECT_THROW(reg.addCounter("a..b", c), FatalError);
+    EXPECT_THROW(reg.addCounter("has space", c), FatalError);
+    // Valid characters all pass.
+    reg.addCounter("A-Z_09.ok", c);
+    EXPECT_TRUE(reg.has("A-Z_09.ok"));
+}
+
+TEST(StatsRegistry, PrefixQueryRespectsSegments)
+{
+    StatsRegistry reg;
+    Counter a, b, c, d;
+    reg.addCounter("node1.l2.misses", a);
+    reg.addCounter("node1.dir.requests", b);
+    reg.addCounter("node10.l2.misses", c);  // shares chars, not a segment
+    reg.addCounter("node2.l2.misses", d);
+
+    auto paths = reg.pathsWithPrefix("node1");
+    ASSERT_EQ(paths.size(), 2u);
+    EXPECT_EQ(paths[0], "node1.dir.requests");
+    EXPECT_EQ(paths[1], "node1.l2.misses");
+
+    EXPECT_EQ(reg.pathsWithPrefix("").size(), 4u);
+    EXPECT_EQ(reg.pathsWithPrefix("node1.l2.misses").size(), 1u);
+    EXPECT_TRUE(reg.pathsWithPrefix("node3").empty());
+}
+
+TEST(StatsRegistry, SnapshotReadsThroughPointers)
+{
+    StatsRegistry reg;
+    Counter c;
+    Gauge g;
+    Histogram h;
+    reg.addCounter("c", c);
+    reg.addGauge("g", g);
+    reg.addHistogram("lat", h);
+
+    // Updates after registration are visible: the registry holds
+    // pointers, not copies.
+    ++c;
+    ++c;
+    g.set(2.5);
+    h.sample(7);
+
+    StatsSnapshot s = reg.snapshot();
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.counter("c"), 2u);
+    EXPECT_DOUBLE_EQ(s.gauge("g"), 2.5);
+    ASSERT_NE(s.histogram("lat"), nullptr);
+    EXPECT_EQ(s.histogram("lat")->samples(), 1u);
+    EXPECT_EQ(s.histogram("lat")->total(), 7u);
+
+    // Kind-mismatched accessors return the neutral value, not garbage.
+    EXPECT_EQ(s.counter("g"), 0u);
+    EXPECT_EQ(s.histogram("c"), nullptr);
+}
+
+TEST(StatsScope, PrefixesCompose)
+{
+    StatsRegistry reg;
+    Counter c;
+    StatsScope node(reg, "node3");
+    StatsScope l2 = node.sub("l2");
+    l2.counter("misses", c);
+    EXPECT_TRUE(reg.has("node3.l2.misses"));
+    EXPECT_EQ(l2.prefix(), "node3.l2");
+}
+
+TEST(StatsSnapshot, MergeSemanticsPerKind)
+{
+    StatsSnapshot a, b;
+    a.setCounter("c", 3);
+    b.setCounter("c", 4);
+    a.setGauge("g", 1.0);
+    b.setGauge("g", 9.0);
+
+    Histogram h1, h2;
+    h1.sample(2);
+    h2.sample(100);
+    a.setHistogram("h", h1);
+    b.setHistogram("h", h2);
+
+    b.setCounter("only_b", 7);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("c"), 7u);           // counters sum
+    EXPECT_DOUBLE_EQ(a.gauge("g"), 9.0);     // incoming gauge wins
+    ASSERT_NE(a.histogram("h"), nullptr);
+    EXPECT_EQ(a.histogram("h")->samples(), 2u);  // bucket-wise merge
+    EXPECT_EQ(a.histogram("h")->total(), 102u);
+    EXPECT_EQ(a.histogram("h")->maxValue(), 100u);
+    EXPECT_EQ(a.counter("only_b"), 7u);      // absent paths copy over
+}
+
+TEST(StatsSnapshot, MergeKindMismatchIsFatal)
+{
+    StatsSnapshot a, b;
+    a.setCounter("x", 1);
+    b.setGauge("x", 1.0);
+    EXPECT_THROW(a.merge(b), FatalError);
+}
+
+TEST(StatsSnapshot, SumCountersSkipsOtherKinds)
+{
+    StatsSnapshot s;
+    s.setCounter("n.a", 2);
+    s.setCounter("n.b", 3);
+    s.setGauge("n.g", 100.0);
+    s.setCounter("m.a", 50);
+    EXPECT_EQ(s.sumCounters("n"), 5u);
+    EXPECT_EQ(s.sumCounters(""), 55u);
+}
+
+TEST(StatsSnapshot, JsonRoundTripIsExact)
+{
+    StatsSnapshot s;
+    s.setCounter("node0.l2.misses", 12345);
+    s.setCounter("zero", 0);
+    s.setGauge("occupancy", 0.375);
+    Histogram h;
+    h.sample(0);
+    h.sample(3);
+    h.sample(1000);
+    s.setHistogram("node0.l2.missLatency", h);
+
+    std::ostringstream os;
+    s.writeJson(os);
+
+    StatsSnapshot back = StatsSnapshot::fromJson(parseJson(os.str()));
+    EXPECT_TRUE(back == s);
+
+    // And the re-serialization is byte-identical (determinism).
+    std::ostringstream os2;
+    back.writeJson(os2);
+    EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(StatsSnapshot, EmptyJsonRoundTrip)
+{
+    StatsSnapshot s;
+    std::ostringstream os;
+    s.writeJson(os);
+    EXPECT_EQ(os.str(), "{}");
+    EXPECT_TRUE(StatsSnapshot::fromJson(parseJson("{}")).empty());
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson(""), FatalError);
+    EXPECT_THROW(parseJson("{"), FatalError);
+    EXPECT_THROW(parseJson("{\"a\": 1} trailing"), FatalError);
+    EXPECT_THROW(parseJson("{'single': 1}"), FatalError);
+}
+
+TEST(Json, NumbersAndEscapes)
+{
+    EXPECT_EQ(jsonNumber(3.0), "3");
+    EXPECT_EQ(jsonNumber(-42.0), "-42");
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    EXPECT_EQ(jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+
+    JsonValue v = parseJson("{\"k\": [1, true, \"s\", null]}");
+    const JsonValue &arr = v.at("k");
+    ASSERT_TRUE(arr.isArray());
+    ASSERT_EQ(arr.arr.size(), 4u);
+    EXPECT_DOUBLE_EQ(arr.arr[0].number, 1.0);
+    EXPECT_TRUE(arr.arr[1].boolean);
+    EXPECT_EQ(arr.arr[2].str, "s");
+    EXPECT_TRUE(arr.arr[3].isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}

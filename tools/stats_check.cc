@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Schema checker for "slipsim-stats-v1" documents (--stats-json /
+ * stats-json= dumps).
+ *
+ *   tools/stats_check <file.json>
+ *
+ * Validates the document shape — schema tag, per-point metadata
+ * fields, every "stats" object parseable as a snapshot — and then
+ * re-derives the aggregate from the points, checking that every
+ * aggregate counter equals the sum over points (the documented merge
+ * semantics).  Exit 0 on success, 1 with a diagnostic otherwise.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/stats_registry.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+void
+requireString(const JsonValue &point, const char *key)
+{
+    if (!point.at(key).isString())
+        fatal("point field '%s' is not a string", key);
+}
+
+void
+checkDocument(const std::string &text)
+{
+    JsonValue doc = parseJson(text);
+    if (!doc.isObject())
+        fatal("document is not a JSON object");
+
+    const JsonValue &schema = doc.at("schema");
+    if (!schema.isString() || schema.str != "slipsim-stats-v1")
+        fatal("schema tag is not \"slipsim-stats-v1\"");
+
+    const JsonValue &points = doc.at("points");
+    if (!points.isArray())
+        fatal("\"points\" is not an array");
+
+    std::vector<StatsSnapshot> snaps;
+    snaps.reserve(points.arr.size());
+    for (std::size_t i = 0; i < points.arr.size(); ++i) {
+        const JsonValue &p = points.arr[i];
+        if (!p.isObject())
+            fatal("point %zu is not an object", i);
+        requireString(p, "workload");
+        requireString(p, "mode");
+        requireString(p, "policy");
+        if (!p.at("cmps").isNumber() || !p.at("cycles").isNumber())
+            fatal("point %zu: cmps/cycles not numeric", i);
+        if (!p.at("verified").isBool())
+            fatal("point %zu: verified not boolean", i);
+        const JsonValue &stats = p.at("stats");
+        if (!stats.isObject())
+            fatal("point %zu: stats not an object", i);
+        snaps.push_back(StatsSnapshot::fromJson(stats));
+        if (snaps.back().empty())
+            fatal("point %zu: stats object is empty", i);
+    }
+
+    const JsonValue &agg_json = doc.at("aggregate");
+    if (!agg_json.isObject())
+        fatal("\"aggregate\" is not an object");
+    StatsSnapshot agg = StatsSnapshot::fromJson(agg_json);
+
+    // Re-derive the aggregate with the documented merge semantics;
+    // counters must match exactly.  (Gauges are last-wins and
+    // histograms bucket-sum, both covered by the merge itself.)
+    StatsSnapshot derived;
+    for (const StatsSnapshot &s : snaps)
+        derived.merge(s);
+    for (const auto &[path, v] : agg.all()) {
+        if (v.kind != StatsSnapshot::Kind::Counter)
+            continue;
+        std::uint64_t want = derived.counter(path);
+        if (v.count != want) {
+            fatal("aggregate counter '%s' is %llu, sum of points is "
+                  "%llu",
+                  path.c_str(),
+                  static_cast<unsigned long long>(v.count),
+                  static_cast<unsigned long long>(want));
+        }
+    }
+    if (derived.size() != agg.size())
+        fatal("aggregate has %zu paths, merge of points has %zu",
+              agg.size(), derived.size());
+
+    std::printf("stats-json OK: %zu points, %zu aggregate paths\n",
+                snaps.size(), agg.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <stats.json>\n", argv[0]);
+        return 2;
+    }
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "stats_check: cannot open '%s'\n",
+                     argv[1]);
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+        checkDocument(ss.str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "stats_check: %s: %s\n", argv[1],
+                     e.what());
+        return 1;
+    }
+    return 0;
+}
