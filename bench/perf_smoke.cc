@@ -1,25 +1,37 @@
 /**
  * @file
- * Perf smoke check: time a small fixed sweep and report event
+ * Perf smoke check: time a small fixed sweep and report hot-path
  * throughput as one line of JSON, so CI (or a human) can spot
- * hot-path regressions without running the full figure benches.
+ * regressions without running the full figure benches.
  *
- *   {"events_per_sec": ..., "wall_ms": ..., "sweep_jobs": ...,
+ *   {"events_per_sec": ..., "accesses_per_sec": ...,
+ *    "sim_ticks_per_sec": ..., "wall_ms": ..., "sweep_jobs": ...,
  *    "events_per_sec_traced": ..., "tracer_overhead_pct": ...,
- *    "build_type": "...", "git_rev": "..."}
+ *    "quick": ..., "build_type": "...", "git_rev": "...",
+ *    "host": "...", "timestamp": "..."}
  *
- * The sweep is run twice: once detached (the headline number — the
+ * Three rates triangulate where a regression lives: events/sec is the
+ * event-queue core, accesses/sec (all L1 lookups, hit or miss) tracks
+ * the memory datapath including the synchronous hit fast path — which
+ * retires most L2 hits without any event at all — and simulated
+ * ticks/sec is the end-to-end "simulated time per wall time" figure
+ * users actually feel.
+ *
+ * The sweep is run twice: once detached (the headline numbers — the
  * tracer hook must compile down to a never-taken branch) and once with
  * a CountingTracer attached to every point, so the observability
  * layer's hot-path cost is itself a tracked quantity.
  *
  * Defaults to jobs=1 so the headline number is single-thread
- * events/sec of the simulator core; pass jobs=N to smoke the sweep
- * engine instead.
+ * throughput of the simulator core; pass jobs=N to smoke the sweep
+ * engine instead.  --quick shrinks the grid for CI (the result is
+ * appended with "quick": true so history comparisons never mix the
+ * two populations).
  */
 
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 
 #include "bench_common.hh"
@@ -32,8 +44,55 @@
 #define SLIPSIM_BUILD_TYPE "unknown"
 #endif
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 using namespace slipsim;
 using namespace slipsim::bench;
+
+namespace
+{
+
+std::string
+hostName()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0])
+        return buf;
+#endif
+    return "unknown";
+}
+
+std::string
+utcTimestamp()
+{
+    std::time_t t = std::time(nullptr);
+    char buf[32] = {};
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&t));
+    return buf;
+}
+
+/** Sum of all per-processor L1 lookups (hits + misses) in a result. */
+double
+totalAccesses(const ExperimentResult &r)
+{
+    double n = 0;
+    for (const auto &[k, v] : r.stats.all()) {
+        auto ends_with = [&](const char *suffix) {
+            std::string_view sv = k, sf = suffix;
+            return sv.size() >= sf.size() &&
+                   sv.substr(sv.size() - sf.size()) == sf;
+        };
+        if (ends_with(".l1.hits") || ends_with(".l1.misses"))
+            n += v;
+    }
+    return n;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -43,16 +102,21 @@ main(int argc, char **argv)
 
     unsigned jobs =
         static_cast<unsigned>(opts.getInt("jobs", 1));
+    const bool quick = opts.getBool("quick", false);
 
     // The Figure-1 grid — six kernels with different sharing patterns
     // at 2..16 CMPs in single and double mode — plus one slipstream
     // run.  Several seconds of simulation, long enough that the
-    // throughput number is stable against scheduler noise.
+    // throughput number is stable against scheduler noise.  --quick
+    // keeps two CMP counts (and the smaller workload sizes figOptions
+    // derives from the flag) for a CI-speed pass.
     std::vector<SweepPoint> points;
+    std::vector<int> cmpGrid =
+        quick ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8, 16};
     for (const char *wl :
          {"water-sp", "mg", "sor", "cg", "water-ns", "ocean"}) {
         Options o = figOptions(wl, opts);
-        for (int cmps : {2, 4, 8, 16}) {
+        for (int cmps : cmpGrid) {
             MachineParams mp = figMachine(wl, opts, cmps);
             RunConfig single;
             points.push_back(SweepPoint{wl, o, mp, single, maxTick});
@@ -63,7 +127,7 @@ main(int argc, char **argv)
     }
     {
         Options o = figOptions("mg", opts);
-        MachineParams mp = figMachine("mg", opts, 16);
+        MachineParams mp = figMachine("mg", opts, quick ? 4 : 16);
         RunConfig slip;
         slip.mode = Mode::Slipstream;
         slip.arPolicy = ArPolicy::ZeroTokenGlobal;
@@ -71,14 +135,18 @@ main(int argc, char **argv)
     }
 
     auto timedSweep = [&](const std::vector<SweepPoint> &pts,
-                          double &events_out) {
+                          double &events_out, double &accesses_out,
+                          double &ticks_out) {
         auto t0 = std::chrono::steady_clock::now();
         std::vector<ExperimentResult> res =
             runSweep(pts, SweepConfig{jobs});
         auto t1 = std::chrono::steady_clock::now();
-        events_out = 0;
-        for (const ExperimentResult &r : res)
+        events_out = accesses_out = ticks_out = 0;
+        for (const ExperimentResult &r : res) {
             events_out += r.stats.get("run.events");
+            accesses_out += totalAccesses(r);
+            ticks_out += r.stats.get("run.cycles");
+        }
         return std::chrono::duration<double, std::milli>(t1 - t0)
             .count();
     };
@@ -87,14 +155,17 @@ main(int argc, char **argv)
     // coroutine frame-pool growth, allocator arenas, page faults —
     // that would otherwise skew whichever timed pass runs first.
     {
-        double ignored = 0;
-        timedSweep(points, ignored);
+        double a = 0, b = 0, c = 0;
+        timedSweep(points, a, b, c);
     }
 
     // Detached pass: the headline throughput.
-    double events = 0;
-    double wall_ms = timedSweep(points, events);
-    double eps = wall_ms > 0 ? events / (wall_ms / 1000.0) : 0;
+    double events = 0, accesses = 0, ticks = 0;
+    double wall_ms = timedSweep(points, events, accesses, ticks);
+    double secs = wall_ms / 1000.0;
+    double eps = secs > 0 ? events / secs : 0;
+    double aps = secs > 0 ? accesses / secs : 0;
+    double tps = secs > 0 ? ticks / secs : 0;
 
     // Attached pass: one CountingTracer per point (points run on
     // worker threads, so the probes must not be shared).
@@ -102,26 +173,33 @@ main(int argc, char **argv)
     std::vector<SweepPoint> traced = points;
     for (std::size_t i = 0; i < traced.size(); ++i)
         traced[i].cfg.tracer = &probes[i];
-    double traced_events = 0;
-    double traced_ms = timedSweep(traced, traced_events);
+    double traced_events = 0, tr_a = 0, tr_t = 0;
+    double traced_ms = timedSweep(traced, traced_events, tr_a, tr_t);
     double traced_eps =
         traced_ms > 0 ? traced_events / (traced_ms / 1000.0) : 0;
     double overhead_pct =
         eps > 0 ? (1.0 - traced_eps / eps) * 100.0 : 0;
 
-    char line[320];
+    char line[512];
     std::snprintf(line, sizeof(line),
-                  "{\"events_per_sec\": %.0f, \"wall_ms\": %.1f, "
-                  "\"sweep_jobs\": %u, "
+                  "{\"events_per_sec\": %.0f, "
+                  "\"accesses_per_sec\": %.0f, "
+                  "\"sim_ticks_per_sec\": %.0f, "
+                  "\"wall_ms\": %.1f, \"sweep_jobs\": %u, "
                   "\"events_per_sec_traced\": %.0f, "
                   "\"tracer_overhead_pct\": %.2f, "
-                  "\"build_type\": \"%s\", \"git_rev\": \"%s\"}",
-                  eps, wall_ms, resolveJobs(jobs), traced_eps,
-                  overhead_pct, SLIPSIM_BUILD_TYPE, SLIPSIM_GIT_REV);
+                  "\"quick\": %s, "
+                  "\"build_type\": \"%s\", \"git_rev\": \"%s\", "
+                  "\"host\": \"%s\", \"timestamp\": \"%s\"}",
+                  eps, aps, tps, wall_ms, resolveJobs(jobs),
+                  traced_eps, overhead_pct, quick ? "true" : "false",
+                  SLIPSIM_BUILD_TYPE, SLIPSIM_GIT_REV,
+                  hostName().c_str(), utcTimestamp().c_str());
     std::printf("%s\n", line);
 
     // Append to the perf log (one JSON object per line) so successive
-    // runs accumulate a throughput history CI can diff.
+    // runs accumulate a throughput history CI can diff
+    // (scripts/perf_compare.sh reads the last two comparable entries).
     std::string log = opts.getString("perf-out", "BENCH_perf.json");
     std::ofstream os(log, std::ios::app);
     if (os)

@@ -36,6 +36,20 @@ if [[ "$WHAT" == "all" || "$WHAT" == "release" ]]; then
     build-release/bench/fig01_double_vs_single --quick --csv jobs=2 \
         stats-json=build-release/fig01.stats.json > /dev/null
     build-release/tools/stats_check build-release/fig01.stats.json
+
+    # Byte-exact figure outputs (also part of the full suite above;
+    # repeated by label so a golden break is called out unmistakably).
+    echo "=== golden suite ==="
+    ctest --test-dir build-release -L golden --output-on-failure \
+        -j "$JOBS"
+
+    # Hot-path throughput gate: append one quick perf_smoke record to
+    # the tracked history and fail if events/sec regressed >15%
+    # against the previous comparable record from this host.
+    echo "=== perf smoke + regression gate ==="
+    build-release/bench/perf_smoke --quick jobs=2 \
+        perf-out=BENCH_perf.json
+    scripts/perf_compare.sh --check BENCH_perf.json
 fi
 
 if [[ "$WHAT" == "all" || "$WHAT" == "sanitize" ]]; then

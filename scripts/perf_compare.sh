@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Compare the last two comparable perf_smoke records in a JSONL log.
+#
+#   scripts/perf_compare.sh [--check] [--threshold PCT] [log]
+#
+# "Comparable" means same host, build_type, quick flag, and sweep_jobs
+# as the newest record — numbers from different machines or build
+# configurations never race each other.  Records predating the extra
+# metadata fields (older logs) are skipped.
+#
+# Default mode prints the delta table.  With --check, exits 1 if
+# events_per_sec regressed by more than PCT percent (default 15) —
+# wired into scripts/ci.sh so an accidental hot-path pessimisation
+# fails the build on the machine that introduced it.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+check=0
+threshold=15
+log=BENCH_perf.json
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --check) check=1 ;;
+        --threshold) threshold="$2"; shift ;;
+        *) log="$1" ;;
+    esac
+    shift
+done
+
+if [[ ! -f "$log" ]]; then
+    echo "perf_compare: no log at $log" >&2
+    exit 0
+fi
+
+python3 - "$log" "$check" "$threshold" <<'EOF'
+import json
+import sys
+
+log, check, threshold = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
+
+records = []
+with open(log) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            pass
+
+# Only records carrying the comparison keys participate.
+keyed = [r for r in records
+         if all(k in r for k in ("host", "build_type", "quick",
+                                 "sweep_jobs", "events_per_sec"))]
+if not keyed:
+    print("perf_compare: no records with comparison metadata yet")
+    sys.exit(0)
+
+new = keyed[-1]
+sig = lambda r: (r["host"], r["build_type"], r["quick"], r["sweep_jobs"])
+prior = [r for r in keyed[:-1] if sig(r) == sig(new)]
+if not prior:
+    print("perf_compare: no prior comparable record "
+          f"(host={new['host']}, build={new['build_type']}, "
+          f"quick={new['quick']}) — nothing to compare")
+    sys.exit(0)
+old = prior[-1]
+
+rates = ["events_per_sec", "accesses_per_sec", "sim_ticks_per_sec",
+         "events_per_sec_traced"]
+print(f"perf_compare: {old.get('git_rev', '?')} "
+      f"({old.get('timestamp', '?')}) -> "
+      f"{new.get('git_rev', '?')} ({new.get('timestamp', '?')})")
+print(f"{'metric':<24}{'old':>14}{'new':>14}{'delta':>9}")
+worst = 0.0
+for k in rates:
+    if k not in old or k not in new or not old[k]:
+        continue
+    pct = (new[k] - old[k]) / old[k] * 100.0
+    print(f"{k:<24}{old[k]:>14.0f}{new[k]:>14.0f}{pct:>+8.1f}%")
+    if k == "events_per_sec":
+        worst = pct
+
+if check and worst < -threshold:
+    print(f"perf_compare: FAIL — events_per_sec regressed "
+          f"{-worst:.1f}% (> {threshold:.0f}% threshold)")
+    sys.exit(1)
+EOF

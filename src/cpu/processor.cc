@@ -48,8 +48,8 @@ Processor::flushBusy()
     if (localAccum == 0)
         return;
     if (SimTracer *t = *trcSlot) {
-        t->phase(node, slot, TimeCat::Busy, eq.now(),
-                 eq.now() + localAccum);
+        Tick start = eq.now();
+        t->phase(node, slot, TimeCat::Busy, start, start + localAccum);
     }
     cats[static_cast<int>(TimeCat::Busy)] += localAccum;
     localAccum = 0;
@@ -83,8 +83,8 @@ Processor::maybeFinish()
     if (!root.done() || taskFinished)
         return;
     // Trailing busy work accumulated after the last suspension is
-    // part of the task's execution time: retire at now + localAccum.
-    Tick finish = eq.now() + localAccum;
+    // part of the task's execution time: retire at local time.
+    Tick finish = localNow();
     flushBusy();
     if (finish > eq.now()) {
         auto tok = token;
@@ -126,17 +126,68 @@ Processor::resumeTask()
     maybeFinish();
 }
 
+bool
+Processor::tryFastMem(const MemReq &req, TimeCat wait_cat)
+{
+    Tick proc_now = localNow();
+    // Quick reject: an event pending at or before local time always
+    // disqualifies the fast path (the full bound check is inside
+    // accessFast, against the hit's completion tick).
+    if (eq.nextTick() <= proc_now)
+        return false;
+    Tick completion = l2.accessFast(req, slot, proc_now, eq.nextTick());
+    if (completion == 0)
+        return false;
+
+    // The inline hit replays the slow path's accounting exactly: the
+    // Busy span ends at proc_now (issueMem would flush here) and the
+    // wait span covers [proc_now, completion].
+    flushBusy();
+    cats[static_cast<int>(wait_cat)] += completion - proc_now;
+    if (SimTracer *t = *trcSlot)
+        t->phase(node, slot, wait_cat, proc_now, completion);
+    // A slow-path hit dispatches two events (the access at proc_now
+    // and the done callback at completion); keep run.events identical
+    // and move the clock to where the done callback would have left it,
+    // so everything executed after this point — wake ticks, drain
+    // scheduling, merge timestamps — observes the same now().
+    eq.creditSynthetic(2);
+    eq.advanceTo(completion);
+    return true;
+}
+
 void
 Processor::issueMem(MemReq req, std::coroutine_handle<> h,
                     TimeCat wait_cat)
 {
-    Tick proc_now = eq.now() + localAccum;
+    Tick proc_now = localNow();
     flushBusy();
     suspendedHandle = h;
     suspendTick = proc_now;
     suspendCat = wait_cat;
 
     auto tok = token;
+    if (eq.nextTick() > proc_now) {
+        // Nothing is pending at or before proc_now, so the access event
+        // the slow path schedules below would be the very next dispatch,
+        // running with now() == proc_now.  Run it inline instead: credit
+        // the skipped dispatch so run.events stays identical, and move
+        // the clock to where that dispatch would have put it.  Memory
+        // completions are always delivered through scheduled events
+        // (never synchronously), so the task cannot resume from inside
+        // its own suspension here.
+        eq.creditSynthetic(1);
+        eq.advanceTo(proc_now);
+        l2.access(req, slot, [this, tok]() {
+            if (!tok->alive)
+                return;
+            cats[static_cast<int>(suspendCat)] += eq.now() - suspendTick;
+            if (SimTracer *t = *trcSlot)
+                t->phase(node, slot, suspendCat, suspendTick, eq.now());
+            resumeTask();
+        });
+        return;
+    }
     eq.schedule(proc_now, [this, req, tok]() {
         if (!tok->alive)
             return;
@@ -154,7 +205,9 @@ Processor::issueMem(MemReq req, std::coroutine_handle<> h,
 void
 Processor::issuePrefetch(MemReq req)
 {
-    Tick proc_now = eq.now() + localAccum;
+    // No suspension: the prefetch event is scheduled at local time and
+    // the task keeps running inline.
+    Tick proc_now = localNow();
     auto tok = token;
     eq.schedule(proc_now, [this, req, tok]() {
         // Prefetches issued by a since-killed A-stream are still in the
@@ -167,7 +220,7 @@ Processor::issuePrefetch(MemReq req)
 void
 Processor::sleepOn(std::coroutine_handle<> h, TimeCat wait_cat)
 {
-    Tick proc_now = eq.now() + localAccum;
+    Tick proc_now = localNow();
     flushBusy();
     suspendedHandle = h;
     suspendTick = proc_now;
@@ -194,10 +247,26 @@ Processor::wake()
     });
 }
 
+bool
+Processor::tryFastYield()
+{
+    Tick proc_now = localNow();
+    if (eq.nextTick() <= proc_now)
+        return false;
+    // A quiescent yield is a pure clock synchronization: the resume
+    // event yieldNow would schedule at proc_now is guaranteed to be the
+    // very next dispatch.  Flush the busy span, credit the skipped
+    // event, move the clock, and let the task keep running inline.
+    flushBusy();
+    eq.creditSynthetic(1);
+    eq.advanceTo(proc_now);
+    return true;
+}
+
 void
 Processor::yieldNow(std::coroutine_handle<> h)
 {
-    Tick proc_now = eq.now() + localAccum;
+    Tick proc_now = localNow();
     flushBusy();
     suspendedHandle = h;
     suspendTick = proc_now;

@@ -86,6 +86,34 @@ class Processor
         return l2.storeOwnedFast(line_addr, slot, in_cs, stream);
     }
 
+    /**
+     * Synchronous L2-hit fast path: try to resolve @p req inline,
+     * advancing the processor's local clock past the hit latency
+     * without suspending or scheduling events.  @return true if the
+     * access completed (the awaiter must not suspend).
+     *
+     * Only taken when the event queue is quiescent through the hit's
+     * completion tick (no pending event at tick <= completion), which
+     * makes inline execution provably order-identical to the
+     * event-driven path: every stat, span, and port reservation the
+     * slow path would produce is reproduced exactly, the two events a
+     * slow-path hit would have dispatched are credited to the queue's
+     * processed count, and the queue clock is advanced to the
+     * completion tick — exactly where the done event would have left
+     * it.
+     */
+    bool tryFastMem(const MemReq &req, TimeCat wait_cat);
+
+    /**
+     * Elide a quantum yield when the event queue is quiescent at the
+     * processor's local time: the resume event yieldNow() would
+     * schedule would be the very next dispatch, so flushing the busy
+     * span and advancing the clock inline is order-identical.  Returns
+     * false (take yieldNow()) when any event is pending at or before
+     * local time.
+     */
+    bool tryFastYield();
+
     // --- suspension primitives (called from awaiters) -----------------------
 
     /**

@@ -21,6 +21,9 @@ namespace slipsim
 /**
  * Set-associative array of LineT.  LineT must provide:
  *   bool valid;  Addr lineAddr;  void reset();
+ * and default-construct to the same invalid state reset() produces
+ * (construction relies on it: systems are built per sweep point, so
+ * the arrays must come up in one pass over the line storage).
  */
 template <typename LineT>
 class CacheArray
@@ -36,13 +39,10 @@ class CacheArray
         numSets = lines / assoc;
         SLIPSIM_ASSERT((numSets & (numSets - 1)) == 0,
                 "set count must be a power of two");
-        sets.resize(lines);
+        sets.resize(lines);  // value-init == invalid (see class doc)
         lru.resize(lines);
-        for (std::uint32_t i = 0; i < lines; ++i) {
-            sets[i].reset();
-            sets[i].valid = false;
+        for (std::uint32_t i = 0; i < lines; ++i)
             lru[i] = i % assoc;
-        }
     }
 
     /** Find a valid line; does not update recency. */

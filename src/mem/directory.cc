@@ -24,8 +24,7 @@ DirectoryController::DirectoryController(NodeId home_node,
 const DirEntry *
 DirectoryController::probe(Addr line_addr) const
 {
-    auto it = entries.find(line_addr);
-    return it == entries.end() ? nullptr : &it->second;
+    return entries.find(line_addr);
 }
 
 void
@@ -270,10 +269,10 @@ DirectoryController::notify(CoherenceObserver::DirNote kind,
 void
 DirectoryController::noteSharedEviction(NodeId node, Addr line_addr)
 {
-    auto it = entries.find(line_addr);
-    if (it == entries.end())
+    DirEntry *ep = entries.find(line_addr);
+    if (!ep)
         return;
-    DirEntry &e = it->second;
+    DirEntry &e = *ep;
     e.future &= ~bit(node);
     if (e.state == DirEntry::St::Shared) {
         e.sharers &= ~bit(node);
@@ -287,10 +286,10 @@ DirectoryController::noteSharedEviction(NodeId node, Addr line_addr)
 void
 DirectoryController::noteWriteback(NodeId node, Addr line_addr)
 {
-    auto it = entries.find(line_addr);
-    if (it == entries.end())
+    DirEntry *ep = entries.find(line_addr);
+    if (!ep)
         return;
-    DirEntry &e = it->second;
+    DirEntry &e = *ep;
     e.future &= ~bit(node);
     if (e.state == DirEntry::St::Excl && e.owner == node) {
         e.state = DirEntry::St::Idle;
@@ -303,10 +302,10 @@ DirectoryController::noteWriteback(NodeId node, Addr line_addr)
 void
 DirectoryController::noteDowngrade(NodeId node, Addr line_addr)
 {
-    auto it = entries.find(line_addr);
-    if (it == entries.end())
+    DirEntry *ep = entries.find(line_addr);
+    if (!ep)
         return;
-    DirEntry &e = it->second;
+    DirEntry &e = *ep;
     if (e.state == DirEntry::St::Excl && e.owner == node) {
         e.state = DirEntry::St::Shared;
         e.sharers = bit(node);
@@ -318,12 +317,12 @@ DirectoryController::noteDowngrade(NodeId node, Addr line_addr)
 void
 DirectoryController::noteTransparentEviction(NodeId node, Addr line_addr)
 {
-    auto it = entries.find(line_addr);
-    if (it == entries.end())
+    DirEntry *ep = entries.find(line_addr);
+    if (!ep)
         return;
-    it->second.future &= ~bit(node);
+    ep->future &= ~bit(node);
     notify(CoherenceObserver::DirNote::TransparentEviction, node,
-           line_addr, &it->second);
+           line_addr, ep);
 }
 
 void

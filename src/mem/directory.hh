@@ -16,13 +16,13 @@
 #define SLIPSIM_MEM_DIRECTORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "mem/mem_req.hh"
 #include "mem/observer.hh"
 #include "mem/params.hh"
 #include "net/resource.hh"
 #include "obs/stats_registry.hh"
+#include "sim/flat_table.hh"
 #include "sim/inline_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -131,7 +131,8 @@ class DirectoryController
     Counter memoryFetches;
 
   private:
-    DirEntry &entry(Addr line_addr) { return entries[line_addr]; }
+    DirEntry &entry(Addr line_addr)
+    { return entries.getOrCreate(line_addr); }
 
     void notify(CoherenceObserver::DirNote kind, NodeId node,
                 Addr line_addr, const DirEntry *e);
@@ -143,7 +144,11 @@ class DirectoryController
     MemorySystem &ms;
     const MachineParams &params;
     Resource dc;
-    std::unordered_map<Addr, DirEntry> entries;
+    /** Home-side line state.  The flat table's slab storage gives the
+     *  same reference stability handle() relies on (it holds a
+     *  DirEntry& across nested remote-L2 calls), with open-addressing
+     *  lookup cost instead of unordered_map's bucket chains. */
+    FlatTable<DirEntry> entries;
 };
 
 } // namespace slipsim

@@ -22,10 +22,17 @@ SharedAllocator::alloc(size_t bytes, Placement place, int parts,
         pages = 1;
     nextAddr = base + pages * pb;
 
+    // Allocations are contiguous, so this region extends the dense
+    // home array exactly at its end.
+    size_t first = homes.size();
+    SLIPSIM_ASSERT(base / pb - sharedBasePage == first,
+            "home array out of sync with allocator");
+    homes.resize(first + pages);
+
     switch (place) {
       case Placement::Interleaved:
         for (size_t i = 0; i < pages; ++i) {
-            homeMap[base / pb + i] =
+            homes[first + i] =
                 static_cast<NodeId>(i % static_cast<size_t>(numNodes));
         }
         break;
@@ -40,7 +47,7 @@ SharedAllocator::alloc(size_t bytes, Placement place, int parts,
                 (i * static_cast<size_t>(parts)) / pages);
             NodeId home = static_cast<NodeId>(
                 (part / tasksPerNode) % numNodes);
-            homeMap[base / pb + i] = home;
+            homes[first + i] = home;
         }
         break;
       }
@@ -48,7 +55,7 @@ SharedAllocator::alloc(size_t bytes, Placement place, int parts,
       case Placement::Fixed:
         SLIPSIM_ASSERT(node >= 0 && node < numNodes, "bad fixed home");
         for (size_t i = 0; i < pages; ++i)
-            homeMap[base / pb + i] = node;
+            homes[first + i] = node;
         break;
     }
 

@@ -17,7 +17,6 @@
 
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -39,6 +38,12 @@ class FunctionalMemory
     {
         static_assert(std::is_trivially_copyable_v<T>);
         T out{};
+        size_t off = addr % pageBytes;
+        if (off + sizeof(T) <= pageBytes) {  // no page straddle
+            if (const Page *p = findPage(addr / pageBytes))
+                std::memcpy(&out, p->data() + off, sizeof(T));
+            return out;
+        }
         readBytes(addr, &out, sizeof(T));
         return out;
     }
@@ -49,6 +54,12 @@ class FunctionalMemory
     write(Addr addr, const T &v)
     {
         static_assert(std::is_trivially_copyable_v<T>);
+        size_t off = addr % pageBytes;
+        if (off + sizeof(T) <= pageBytes) {  // no page straddle
+            std::memcpy(ensurePage(addr / pageBytes).data() + off, &v,
+                        sizeof(T));
+            return;
+        }
         writeBytes(addr, &v, sizeof(T));
     }
 
@@ -60,11 +71,11 @@ class FunctionalMemory
             Addr page = addr / pageBytes;
             size_t off = addr % pageBytes;
             size_t chunk = std::min(n, pageBytes - off);
-            auto it = pages.find(page);
-            if (it == pages.end()) {
+            const Page *p = findPage(page);
+            if (!p) {
                 std::memset(dst, 0, chunk);
             } else {
-                std::memcpy(dst, it->second->data() + off, chunk);
+                std::memcpy(dst, p->data() + off, chunk);
             }
             dst += chunk;
             addr += chunk;
@@ -80,10 +91,7 @@ class FunctionalMemory
             Addr page = addr / pageBytes;
             size_t off = addr % pageBytes;
             size_t chunk = std::min(n, pageBytes - off);
-            auto &p = pages[page];
-            if (!p)
-                p = std::make_unique<Page>(pageBytes, 0);
-            std::memcpy(p->data() + off, src, chunk);
+            std::memcpy(ensurePage(page).data() + off, src, chunk);
             src += chunk;
             addr += chunk;
             n -= chunk;
@@ -91,14 +99,62 @@ class FunctionalMemory
     }
 
     /** Number of touched 4 KB pages. */
-    size_t touchedPages() const { return pages.size(); }
+    size_t touchedPages() const { return touched; }
 
-    void clear() { pages.clear(); }
+    void
+    clear()
+    {
+        pages.clear();
+        firstPage = 0;
+        touched = 0;
+    }
 
   private:
     using Page = std::vector<unsigned char>;
 
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+    /**
+     * The page table is a dense pointer vector over the span of pages
+     * seen so far (the shared segment is handed out contiguously, so
+     * the span is tight): page lookup on the access hot path is a
+     * bounds check plus an index instead of a hash probe.
+     */
+    const Page *
+    findPage(Addr page) const
+    {
+        if (page < firstPage || page - firstPage >= pages.size())
+            return nullptr;
+        return pages[page - firstPage].get();
+    }
+
+    Page &
+    ensurePage(Addr page)
+    {
+        if (pages.empty()) {
+            firstPage = page;
+            pages.resize(1);
+        } else if (page < firstPage) {
+            // Rare (only sub-segment test traffic); pay the shift.
+            std::vector<std::unique_ptr<Page>> grown(
+                pages.size() + (firstPage - page));
+            std::move(pages.begin(), pages.end(),
+                      grown.begin() +
+                          static_cast<std::ptrdiff_t>(firstPage - page));
+            pages = std::move(grown);
+            firstPage = page;
+        } else if (page - firstPage >= pages.size()) {
+            pages.resize(page - firstPage + 1);
+        }
+        auto &p = pages[page - firstPage];
+        if (!p) {
+            p = std::make_unique<Page>(pageBytes, 0);
+            ++touched;
+        }
+        return *p;
+    }
+
+    Addr firstPage = 0;
+    std::vector<std::unique_ptr<Page>> pages;
+    size_t touched = 0;
 };
 
 /** Page-placement policy for a shared allocation. */
@@ -141,12 +197,12 @@ class SharedAllocator
     NodeId
     homeOf(Addr addr) const
     {
-        Addr page = addr / FunctionalMemory::pageBytes;
-        auto it = homeMap.find(page);
-        SLIPSIM_ASSERT(it != homeMap.end(),
+        Addr page =
+            addr / FunctionalMemory::pageBytes - sharedBasePage;
+        SLIPSIM_ASSERT(page < homes.size(),
                 "address %llx outside any shared allocation",
                 (unsigned long long)addr);
-        return it->second;
+        return homes[page];
     }
 
     /** True if @p addr lies in the shared segment handed out so far. */
@@ -164,10 +220,16 @@ class SharedAllocator
     void setTasksPerNode(int tpn) { tasksPerNode = tpn; }
 
   private:
+    static constexpr Addr sharedBasePage =
+        sharedBase / FunctionalMemory::pageBytes;
+
     int numNodes;
     int tasksPerNode = 1;
     Addr nextAddr;
-    std::unordered_map<Addr, NodeId> homeMap;  // page -> home
+    // Home of page sharedBasePage + i; allocations are contiguous from
+    // sharedBase, so this is a dense append-only array and the per-
+    // access homeOf() lookup is a plain index.
+    std::vector<NodeId> homes;
 };
 
 } // namespace slipsim

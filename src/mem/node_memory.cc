@@ -35,18 +35,18 @@ NodeMemory::storeOwnedFast(Addr line_addr, int proc_slot, bool in_cs,
                            StreamKind stream)
 {
     L2Line *line = array.find(line_addr);
-    if (!line || line->transparent || line->state != L2Line::St::Excl)
+    if (!line || line->transparent() || line->state() != L2Line::St::Excl)
         return false;
 
-    touchClassify(*line, stream);
+    touchClassify(*line, stream, ms.eventq().now());
     if (stream == StreamKind::RStream && in_cs)
-        line->writtenInCS = true;
+        line->setWrittenInCS(true);
 
     // A store makes the peer L1 copy stale within the node.
     int peer = proc_slot ^ 1;
-    if ((line->l1Mask & (1u << peer)) && l1s[peer]) {
+    if (line->inL1(peer) && l1s[peer]) {
         l1s[peer]->invalidate(line_addr);
-        line->l1Mask &= ~(1u << peer);
+        line->removeL1(peer);
     }
     array.touch(line);
     return true;
@@ -56,8 +56,8 @@ bool
 NodeMemory::ownedInL2(Addr line_addr) const
 {
     const L2Line *line = array.find(line_addr);
-    return line && !line->transparent &&
-           line->state == L2Line::St::Excl;
+    return line && !line->transparent() &&
+           line->state() == L2Line::St::Excl;
 }
 
 bool
@@ -65,20 +65,20 @@ NodeMemory::presentFor(Addr line_addr, StreamKind stream) const
 {
     const L2Line *line = array.find(line_addr);
     return line &&
-           (!line->transparent || stream == StreamKind::AStream);
+           (!line->transparent() || stream == StreamKind::AStream);
 }
 
 void
-NodeMemory::touchClassify(L2Line &line, StreamKind stream)
+NodeMemory::touchClassify(L2Line &line, StreamKind stream, Tick at)
 {
-    if (!classifyEnabled || !line.slipTracked || line.classified)
+    if (!classifyEnabled || !line.slipTracked() || line.classified())
         return;
-    if (line.fetchedBy != stream) {
-        classStats.record(line.fetchedBy, line.fetchWasRead,
+    if (line.fetchedBy() != stream) {
+        classStats.record(line.fetchedBy(), line.fetchWasRead(),
                           FetchClass::Timely);
-        line.classified = true;
-        if (line.fetchedBy == StreamKind::AStream) {
-            timelyDelaySum += ms.eventq().now() - line.fillTick;
+        line.setClassified(true);
+        if (line.fetchedBy() == StreamKind::AStream) {
+            timelyDelaySum += at - line.fillTick;
             ++timelyDelayCnt;
         }
     }
@@ -87,11 +87,55 @@ NodeMemory::touchClassify(L2Line &line, StreamKind stream)
 void
 NodeMemory::dropClassify(L2Line &line)
 {
-    if (!classifyEnabled || !line.slipTracked || line.classified)
+    if (!classifyEnabled || !line.slipTracked() || line.classified())
         return;
-    classStats.record(line.fetchedBy, line.fetchWasRead,
+    classStats.record(line.fetchedBy(), line.fetchWasRead(),
                       FetchClass::Only);
-    line.classified = true;
+    line.setClassified(true);
+}
+
+Tick
+NodeMemory::accessFast(const MemReq &req, int proc_slot, Tick at,
+                       Tick quiesce_bound)
+{
+    L2Line *line = array.find(req.lineAddr);
+    if (!line)
+        return 0;
+    if (line->transparent() && req.stream != StreamKind::AStream)
+        return 0;
+    const bool hit = req.isRead() ||
+        (line->state() == L2Line::St::Excl && !line->transparent());
+    if (!hit)
+        return 0;
+
+    // In the event-driven path an event pending anywhere in
+    // [at, completion] runs before the done callback resumes the task,
+    // and the resumed task would observe its effects.  Refuse (without
+    // mutating anything) unless the whole window is clear; the caller
+    // then advances the queue clock to the completion tick, making the
+    // inline resolution indistinguishable from the two slow-path
+    // events.
+    Tick start = at > l2Port.availableAt() ? at : l2Port.availableAt();
+    Tick completion = start + params.l2HitTime;
+    if (completion >= quiesce_bound)
+        return 0;
+
+    // Commit: exactly the event-driven hit path's bookkeeping, with
+    // @p at standing in for the event clock.
+    touchClassify(*line, req.stream, at);
+    ++demandHits;
+    ++fastHits;
+    array.touch(line);
+    if (req.isRead() && l1s[proc_slot]) {
+        line->addL1(proc_slot);
+        l1s[proc_slot]->insert(req.lineAddr);
+    }
+    if (req.type == ReqType::Excl &&
+        req.stream == StreamKind::RStream && req.inCS) {
+        line->setWrittenInCS(true);
+    }
+    l2Port.reserveCutThrough(at, params.l2PortOccupancy);
+    return completion;
 }
 
 void
@@ -105,25 +149,27 @@ NodeMemory::access(const MemReq &req, int proc_slot,
     // Any reference by the companion stream resolves a tracked fill as
     // Timely, whether or not this access itself hits.
     if (line)
-        touchClassify(*line, req.stream);
+        touchClassify(*line, req.stream, eq.now());
 
     const bool visible =
-        line && (!line->transparent || req.stream == StreamKind::AStream);
+        line &&
+        (!line->transparent() || req.stream == StreamKind::AStream);
 
     if (visible) {
         bool hit = req.isRead() ||
-                   (line->state == L2Line::St::Excl && !line->transparent);
+                   (line->state() == L2Line::St::Excl &&
+                    !line->transparent());
         if (hit) {
             if (req.type != ReqType::PrefEx)
                 ++demandHits;
             array.touch(line);
             if (req.isRead() && l1s[proc_slot]) {
-                line->l1Mask |= (1u << proc_slot);
+                line->addL1(proc_slot);
                 l1s[proc_slot]->insert(la);
             }
             if (req.type == ReqType::Excl &&
                 req.stream == StreamKind::RStream && req.inCS) {
-                line->writtenInCS = true;
+                line->setWrittenInCS(true);
             }
             Tick start = l2Port.reserveCutThrough(eq.now(),
                                                   params.l2PortOccupancy);
@@ -135,9 +181,8 @@ NodeMemory::access(const MemReq &req, int proc_slot,
 
     // --- miss path -------------------------------------------------------
 
-    auto it = mshrs.find(la);
-    if (it != mshrs.end()) {
-        Mshr &m = it->second;
+    if (Mshr *mp = mshrs.find(la)) {
+        Mshr &m = *mp;
 
         // Decide whether this access can merge into the outstanding
         // fetch or must re-issue after it lands.
@@ -179,18 +224,16 @@ NodeMemory::access(const MemReq &req, int proc_slot,
         return;
     }
 
-    // New miss: allocate an MSHR (retry later when full).
+    // New miss: all MSHRs busy => park the access on the retry FIFO (a
+    // fill drains it; no polling).
     if (mshrs.size() >= params.l2Mshrs) {
         if (req.type == ReqType::PrefEx)
             return;  // prefetches are droppable
-        eq.scheduleIn(params.l2HitTime,
-                [this, req, proc_slot, done = std::move(done)]() mutable {
-                    access(req, proc_slot, std::move(done));
-                });
+        parked.push_back(Parked{req, proc_slot, std::move(done)});
         return;
     }
 
-    Mshr &m = mshrs[la];
+    Mshr &m = mshrs.getOrCreate(la);
     m.req = req;
     m.issueTick = eq.now();
     if (req.type == ReqType::PrefEx) {
@@ -243,10 +286,10 @@ NodeMemory::evict(L2Line &line)
     dropClassify(line);
     backInvalidateL1(line);
     const Addr la = line.lineAddr;
-    const bool excl = line.state == L2Line::St::Excl;
-    const bool transparent = line.transparent;
+    const bool excl = line.state() == L2Line::St::Excl;
+    const bool transparent = line.transparent();
     line.valid = false;
-    line.siMarked = false;
+    line.setSiMarked(false);
     DirectoryController &home = ms.homeOf(la);
     if (transparent) {
         home.noteTransparentEviction(id, la);
@@ -267,10 +310,10 @@ NodeMemory::handleFill(const MemReq &req, const ReplyInfo &info)
     EventQueue &eq = ms.eventq();
     const Addr la = req.lineAddr;
 
-    auto it = mshrs.find(la);
-    SLIPSIM_ASSERT(it != mshrs.end(), "fill without MSHR");
-    Mshr m = std::move(it->second);
-    mshrs.erase(it);
+    Mshr *mp = mshrs.find(la);
+    SLIPSIM_ASSERT(mp, "fill without MSHR");
+    Mshr m = std::move(*mp);
+    mshrs.erase(la);
     if (m.req.type != ReqType::PrefEx)
         missLatency.sample(eq.now() - m.issueTick);
 
@@ -288,25 +331,26 @@ NodeMemory::handleFill(const MemReq &req, const ReplyInfo &info)
     } else {
         // In-place upgrade or transparent-line replacement: the old
         // fill's classification resolves now.
-        if (line->transparent && !info.transparent)
+        if (line->transparent() && !info.transparent)
             dropClassify(*line);
         backInvalidateL1(*line);
     }
 
     bool was_valid_same = line->valid && line->lineAddr == la;
-    bool kept_written = was_valid_same && line->writtenInCS;
+    bool kept_written = was_valid_same && line->writtenInCS();
 
     line->valid = true;
     line->lineAddr = la;
-    line->state = info.exclusive ? L2Line::St::Excl : L2Line::St::Shared;
-    line->transparent = info.transparent;
-    line->writtenInCS = kept_written ||
+    line->setState(info.exclusive ? L2Line::St::Excl
+                                  : L2Line::St::Shared);
+    line->setTransparent(info.transparent);
+    line->setWrittenInCS(kept_written ||
         (req.type == ReqType::Excl &&
-         req.stream == StreamKind::RStream && req.inCS);
-    line->l1Mask = 0;
+         req.stream == StreamKind::RStream && req.inCS));
+    line->clearL1Mask();
 
-    if (info.siHint && !line->siMarked) {
-        line->siMarked = true;
+    if (info.siHint && !line->siMarked()) {
+        line->setSiMarked(true);
         siQueue.push_back(la);
         ++siHintsReceived;
     }
@@ -316,10 +360,10 @@ NodeMemory::handleFill(const MemReq &req, const ReplyInfo &info)
         lateWaitSum += eq.now() - m.mergeTick;
         ++lateWaitCnt;
     }
-    line->slipTracked = classifyEnabled && !req.statsExempt;
-    line->fetchedBy = req.stream;
-    line->fetchWasRead = req.isRead();
-    line->classified = m.classifiedLate;
+    line->setSlipTracked(classifyEnabled && !req.statsExempt);
+    line->setFetchedBy(req.stream);
+    line->setFetchWasRead(req.isRead());
+    line->setClassified(m.classifiedLate);
     if (info.transparent)
         ++transparentFills;
 
@@ -332,23 +376,45 @@ NodeMemory::handleFill(const MemReq &req, const ReplyInfo &info)
 
     for (auto &w : m.waiters) {
         if (w.wasRead && l1s[w.slot]) {
-            line->l1Mask |= (1u << w.slot);
+            line->addL1(w.slot);
             l1s[w.slot]->insert(la);
         }
         eq.scheduleIn(0, std::move(w.done));
     }
     for (auto &r : m.reissues)
         eq.scheduleIn(1, std::move(r));
+
+    // An MSHR was released: give parked accesses their deterministic
+    // retry slot, FIFO, one tick after the reissues above (so a parked
+    // access never jumps ahead of a same-line reissue).
+    if (!parked.empty() && !drainScheduled) {
+        drainScheduled = true;
+        eq.scheduleIn(1, [this]() { drainParked(); });
+    }
+}
+
+void
+NodeMemory::drainParked()
+{
+    drainScheduled = false;
+    while (!parked.empty() && mshrs.size() < params.l2Mshrs) {
+        Parked p = std::move(parked.front());
+        parked.pop_front();
+        // May hit, merge, or allocate a fresh MSHR; the loop guard
+        // re-checks capacity before each retry, so an access parked
+        // behind this one simply waits for the next fill.
+        access(p.req, p.slot, std::move(p.done));
+    }
 }
 
 bool
 NodeMemory::downgradeToShared(Addr line_addr)
 {
     L2Line *line = array.find(line_addr);
-    if (!line || line->transparent)
+    if (!line || line->transparent())
         return false;
-    if (line->state == L2Line::St::Excl) {
-        line->state = L2Line::St::Shared;
+    if (line->state() == L2Line::St::Excl) {
+        line->setState(L2Line::St::Shared);
         if (CoherenceObserver *o = ms.observer()) {
             o->onL2(CoherenceObserver::L2Event::Downgrade, id,
                     line_addr, true, false);
@@ -361,14 +427,14 @@ bool
 NodeMemory::invalidateLine(Addr line_addr)
 {
     L2Line *line = array.find(line_addr);
-    if (!line || line->transparent)
+    if (!line || line->transparent())
         return false;
     ++externalInvalidations;
     dropClassify(*line);
     backInvalidateL1(*line);
-    const bool excl = line->state == L2Line::St::Excl;
+    const bool excl = line->state() == L2Line::St::Excl;
     line->valid = false;
-    line->siMarked = false;
+    line->setSiMarked(false);
     if (CoherenceObserver *o = ms.observer()) {
         o->onL2(CoherenceObserver::L2Event::ExternalInvalidate, id,
                 line_addr, excl, false);
@@ -380,11 +446,11 @@ void
 NodeMemory::markSiHint(Addr line_addr)
 {
     L2Line *line = array.find(line_addr);
-    if (!line || line->transparent ||
-        line->state != L2Line::St::Excl || line->siMarked) {
+    if (!line || line->transparent() ||
+        line->state() != L2Line::St::Excl || line->siMarked()) {
         return;
     }
-    line->siMarked = true;
+    line->setSiMarked(true);
     siQueue.push_back(line_addr);
     ++siHintsReceived;
 }
@@ -419,10 +485,10 @@ NodeMemory::processSiEntry()
             (unsigned long long)la);
 
     L2Line *line = array.find(la);
-    if (line && line->siMarked) {
-        line->siMarked = false;
-        if (line->state == L2Line::St::Excl && !line->transparent) {
-            if (line->writtenInCS) {
+    if (line && line->siMarked()) {
+        line->setSiMarked(false);
+        if (line->state() == L2Line::St::Excl && !line->transparent()) {
+            if (line->writtenInCS()) {
                 // Migratory: invalidate so the next writer gets the
                 // line from memory without a remote fetch.
                 dropClassify(*line);
@@ -439,8 +505,8 @@ NodeMemory::processSiEntry()
             } else {
                 // Producer-consumer: write back and keep a shared copy.
                 ms.homeOf(la).noteDowngrade(id, la);
-                line->state = L2Line::St::Shared;
-                line->writtenInCS = false;
+                line->setState(L2Line::St::Shared);
+                line->setWrittenInCS(false);
                 ++siDowngraded;
                 if (CoherenceObserver *o = ms.observer()) {
                     o->onL2(CoherenceObserver::L2Event::SiDowngrade,
@@ -462,14 +528,14 @@ void
 NodeMemory::finalizeClassification()
 {
     array.forEach([this](L2Line &l) { dropClassify(l); });
-    for (auto &[la, m] : mshrs) {
+    mshrs.forEach([this](Addr, Mshr &m) {
         if (classifyEnabled && !m.req.statsExempt && !m.classifiedLate &&
             m.req.type != ReqType::PrefEx) {
             classStats.record(m.req.stream, m.req.isRead(),
                               FetchClass::Only);
             m.classifiedLate = true;
         }
-    }
+    });
 }
 
 void

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/cache_array.hh"
@@ -19,7 +18,9 @@
 #include "mem/params.hh"
 #include "net/resource.hh"
 #include "obs/stats_registry.hh"
+#include "sim/flat_table.hh"
 #include "sim/inline_function.hh"
+#include "sim/small_vec.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -28,41 +29,109 @@ namespace slipsim
 
 class MemorySystem;
 
-/** L2 line with coherence + slipstream bookkeeping. */
+/**
+ * L2 line with coherence + slipstream bookkeeping.
+ *
+ * All protocol/slipstream metadata is bit-packed into one 16-bit word:
+ * the tag array scans lines linearly on every access, so a line is
+ * kept to 24 bytes (tag + fill tick + meta) instead of the ~40 the
+ * unpacked bool-per-flag layout cost — one line per two cache-array
+ * probes fits in a cache line of host memory.  `valid` and `lineAddr`
+ * stay plain members (the CacheArray<LineT> contract).
+ */
 struct L2Line
 {
-    bool valid = false;
     Addr lineAddr = 0;
     /** Tick the current fill landed (diagnostics). */
     Tick fillTick = 0;
 
     enum class St : std::uint8_t { Shared, Excl };
-    St state = St::Shared;
+
+    // meta bit layout
+    static constexpr std::uint16_t exclBit        = 1u << 0;
+    static constexpr std::uint16_t transparentBit = 1u << 1;
+    static constexpr std::uint16_t writtenInCSBit = 1u << 2;
+    static constexpr std::uint16_t siMarkedBit    = 1u << 3;
+    static constexpr std::uint16_t slipTrackedBit = 1u << 4;
+    static constexpr std::uint16_t fetchedByABit  = 1u << 5;
+    static constexpr std::uint16_t fetchReadBit   = 1u << 6;
+    static constexpr std::uint16_t classifiedBit  = 1u << 7;
+    static constexpr unsigned l1MaskShift = 8;  //!< bits 8..9
+    static constexpr std::uint16_t l1MaskBits = 0x3u << l1MaskShift;
+
+    /** A fresh line defaults to fetchWasRead=true, like the old
+     *  bool-per-flag layout did. */
+    static constexpr std::uint16_t metaDefault = fetchReadBit;
+
+    std::uint16_t meta = metaDefault;
+    bool valid = false;
+
+    St state() const
+    { return (meta & exclBit) ? St::Excl : St::Shared; }
+    void setState(St s) { setBit(exclBit, s == St::Excl); }
 
     /** Non-coherent copy visible only to the A-stream. */
-    bool transparent = false;
+    bool transparent() const { return meta & transparentBit; }
+    void setTransparent(bool v) { setBit(transparentBit, v); }
+
     /** The line has been written inside a critical section (migratory
      *  heuristic input for self-invalidation). */
-    bool writtenInCS = false;
-    /** Marked for self-invalidation at the next sync point. */
-    bool siMarked = false;
-    /** Which of the two local L1s hold a copy (bitmask). */
-    std::uint8_t l1Mask = 0;
+    bool writtenInCS() const { return meta & writtenInCSBit; }
+    void setWrittenInCS(bool v) { setBit(writtenInCSBit, v); }
 
-    // --- fetch classification (Figure 7) ---------------------------------
+    /** Marked for self-invalidation at the next sync point. */
+    bool siMarked() const { return meta & siMarkedBit; }
+    void setSiMarked(bool v) { setBit(siMarkedBit, v); }
+
+    // --- fetch classification (Figure 7) ------------------------------
+
     /** Fill is tracked for A/R classification. */
-    bool slipTracked = false;
+    bool slipTracked() const { return meta & slipTrackedBit; }
+    void setSlipTracked(bool v) { setBit(slipTrackedBit, v); }
+
     /** Stream whose request fetched the line. */
-    StreamKind fetchedBy = StreamKind::RStream;
+    StreamKind fetchedBy() const
+    {
+        return (meta & fetchedByABit) ? StreamKind::AStream
+                                      : StreamKind::RStream;
+    }
+    void setFetchedBy(StreamKind s)
+    { setBit(fetchedByABit, s == StreamKind::AStream); }
+
     /** The fetch was a read (vs exclusive). */
-    bool fetchWasRead = true;
+    bool fetchWasRead() const { return meta & fetchReadBit; }
+    void setFetchWasRead(bool v) { setBit(fetchReadBit, v); }
+
     /** The fetch has already been classified. */
-    bool classified = false;
+    bool classified() const { return meta & classifiedBit; }
+    void setClassified(bool v) { setBit(classifiedBit, v); }
+
+    // --- L1 presence --------------------------------------------------
+
+    /** Which of the two local L1s hold a copy (bitmask). */
+    std::uint8_t l1Mask() const
+    { return (meta >> l1MaskShift) & 0x3u; }
+    bool inL1(int slot) const
+    { return meta & (1u << (l1MaskShift + slot)); }
+    void addL1(int slot) { meta |= 1u << (l1MaskShift + slot); }
+    void removeL1(int slot)
+    { meta &= ~(1u << (l1MaskShift + slot)); }
+    void clearL1Mask() { meta &= ~l1MaskBits; }
 
     void
     reset()
     {
         *this = L2Line{};
+    }
+
+  private:
+    void
+    setBit(std::uint16_t b, bool v)
+    {
+        if (v)
+            meta |= b;
+        else
+            meta &= static_cast<std::uint16_t>(~b);
     }
 };
 
@@ -124,7 +193,7 @@ class NodeMemory
      *  by the protocol checker to excuse a stale local copy that the
      *  pending fill will replace. */
     bool missOutstanding(Addr line_addr) const
-    { return mshrs.count(line_addr) != 0; }
+    { return mshrs.contains(line_addr); }
 
     /**
      * Access the L2 (after an L1 miss, or for ownership).  @p done is
@@ -133,6 +202,29 @@ class NodeMemory
      */
     void access(const MemReq &req, int proc_slot,
                 InlineCallback done);
+
+    /**
+     * Synchronous hit fast path: resolve a visible L2 hit inline at
+     * processor-local time @p at, without an event-queue round trip.
+     *
+     * On a hit, performs exactly the bookkeeping the event-driven hit
+     * path would (classification touch, counters, LRU, L1 install,
+     * migratory flag, L2 port reservation) and returns the completion
+     * tick (start + l2HitTime, always > 0).  On anything that is not a
+     * plain visible hit — miss, transparent-invisibility, ownership
+     * needed — returns 0 and MUTATES NOTHING, so the caller can fall
+     * back to the event-driven access() with identical behavior.
+     *
+     * @p quiesce_bound is the tick of the earliest pending event
+     * (EventQueue::nextTick()).  If the hit would complete at or after
+     * it, the fast path refuses (returns 0, no mutation): in the
+     * event-driven execution that pending event would run before the
+     * done callback, and the resumed task could observe its effects.
+     * When the window is clear the caller advances the queue clock to
+     * the returned completion tick.
+     */
+    Tick accessFast(const MemReq &req, int proc_slot, Tick at,
+                    Tick quiesce_bound);
 
     /**
      * Drain the self-invalidation queue: called when the local R-stream
@@ -165,6 +257,9 @@ class NodeMemory
     /** Number of L2 lines currently marked for self-invalidation. */
     size_t siPendingCount() const { return siQueue.size(); }
 
+    /** Accesses parked because all MSHRs were busy (tests). */
+    size_t parkedCount() const { return parked.size(); }
+
     /** Classify still-unclassified tracked fills at end of simulation. */
     void finalizeClassification();
 
@@ -196,6 +291,10 @@ class NodeMemory
     Counter siHintsReceived;
     Counter evictions;
     Counter externalInvalidations;
+    /** Hits resolved synchronously by accessFast (diagnostic only; a
+     *  fast hit also counts in demandHits so every pinned stat is
+     *  unchanged by the fast path). */
+    Counter fastHits;
 
     /** Demand-miss latency distribution (issue -> fill). */
     Histogram missLatency;
@@ -215,21 +314,40 @@ class NodeMemory
         InlineCallback done;
     };
 
+    /**
+     * One outstanding miss.  The waiter/reissue lists use inline
+     * storage sized for the node's two processors (each can block on
+     * at most one access), so a steady-state miss allocates nothing:
+     * the Mshr value cell comes from the flat table's slab pool and
+     * the callbacks live in InlineFunction SBO buffers inside these
+     * inline arrays.
+     */
     struct Mshr
     {
         MemReq req;
         bool classifiedLate = false;
         Tick mergeTick = 0;
         Tick issueTick = 0;
-        std::vector<Waiter> waiters;
+        SmallVec<Waiter, 2> waiters;
         /** Accesses that must re-issue once this fill lands (stream
          *  visibility or type mismatch). */
-        std::vector<InlineCallback> reissues;
+        SmallVec<InlineCallback, 2> reissues;
+    };
+
+    /** An access that found every MSHR busy: parked FIFO until a fill
+     *  releases one (no polling). */
+    struct Parked
+    {
+        MemReq req;
+        int slot;
+        InlineCallback done;
     };
 
     /** Touch-side classification: a companion-stream reference to a
-     *  tracked line resolves its fetch as Timely. */
-    void touchClassify(L2Line &line, StreamKind stream);
+     *  tracked line resolves its fetch as Timely.  @p at is the
+     *  reference's simulated time (the fast path runs ahead of the
+     *  event clock, so it cannot be read from the queue). */
+    void touchClassify(L2Line &line, StreamKind stream, Tick at);
 
     /** Classify a tracked fill as Only when its line is dropped. */
     void dropClassify(L2Line &line);
@@ -240,15 +358,18 @@ class NodeMemory
     /** Evict @p line (notifying its home). */
     void evict(L2Line &line);
 
+    /** Re-run parked accesses (FIFO) while MSHRs are available. */
+    void drainParked();
+
     /** Invalidate both L1 copies of a line. */
     void
     backInvalidateL1(L2Line &line)
     {
         for (int s = 0; s < 2; ++s) {
-            if ((line.l1Mask & (1u << s)) && l1s[s])
+            if (line.inL1(s) && l1s[s])
                 l1s[s]->invalidate(line.lineAddr);
         }
-        line.l1Mask = 0;
+        line.clearL1Mask();
     }
 
     void processSiEntry();
@@ -261,7 +382,9 @@ class NodeMemory
     Resource l2Port;
     L1Cache *l1s[2] = {nullptr, nullptr};
 
-    std::unordered_map<Addr, Mshr> mshrs;
+    FlatTable<Mshr, 64> mshrs;
+    std::deque<Parked> parked;
+    bool drainScheduled = false;
     std::deque<Addr> siQueue;
     bool siDrainActive = false;
     Tick siSweepStart = 0;               //!< current drain episode start

@@ -86,7 +86,12 @@ class TaskContext
             await_ready()
             {
                 miss = ctx->prepLoad(addr, req);
-                return !miss && !ctx->proc->needYield();
+                // Visible L2 hit with a quiescent queue: resolve
+                // inline, no suspension.
+                if (miss && ctx->proc->tryFastMem(req, ctx->waitCat()))
+                    miss = false;
+                return !miss && (!ctx->proc->needYield() ||
+                                 ctx->proc->tryFastYield());
             }
 
             void
@@ -124,7 +129,10 @@ class TaskContext
             await_ready()
             {
                 miss = ctx->prepStore(addr, req);
-                return !miss && !ctx->proc->needYield();
+                if (miss && ctx->proc->tryFastMem(req, ctx->waitCat()))
+                    miss = false;
+                return !miss && (!ctx->proc->needYield() ||
+                                 ctx->proc->tryFastYield());
             }
 
             void
@@ -164,7 +172,12 @@ class TaskContext
         {
             TaskContext *ctx;
 
-            bool await_ready() const { return !ctx->proc->needYield(); }
+            bool
+            await_ready() const
+            {
+                return !ctx->proc->needYield() ||
+                       ctx->proc->tryFastYield();
+            }
 
             void
             await_suspend(std::coroutine_handle<> h) const
@@ -264,6 +277,8 @@ class TaskContext
             await_ready()
             {
                 miss = ctx->prepSync(req);
+                if (miss && ctx->proc->tryFastMem(req, ctx->waitCat()))
+                    miss = false;
                 return !miss;
             }
 

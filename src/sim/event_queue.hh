@@ -98,6 +98,50 @@ class EventQueue
     std::uint64_t processed() const { return nProcessed; }
 
     /**
+     * Tick of the earliest pending event, or maxTick if the queue is
+     * empty.  O(1): two ctz steps over the ring occupancy bitmap plus a
+     * heap-top peek.  The synchronous memory fast path uses this as its
+     * quiescence bound — inline execution is only order-identical to
+     * the event-driven path when nothing is pending at or before the
+     * hit's completion tick.
+     */
+    Tick
+    nextTick() const
+    {
+        Tick when;
+        bool fromRing;
+        std::size_t slot;
+        return peekNext(when, fromRing, slot) ? when : maxTick;
+    }
+
+    /**
+     * Account for @p n events resolved inline without being scheduled.
+     * The fast path retires hits synchronously but must keep the
+     * `run.events` stat identical to the event-driven execution, so it
+     * credits the events the slow path would have dispatched.
+     */
+    void creditSynthetic(std::uint64_t n) { nProcessed += n; }
+
+    /**
+     * Advance the clock to @p t without dispatching anything.  Only
+     * legal when no event is pending at or before @p t (the fast path
+     * checks this before committing), which also preserves the ring's
+     * [_now, _now + horizon) window invariant.  Advancing the clock is
+     * what makes inline hit resolution indistinguishable from the
+     * event-driven path: everything executed after the inline hit sees
+     * now() == completion, exactly as it would inside the done event.
+     */
+    void
+    advanceTo(Tick t)
+    {
+        SLIPSIM_ASSERT(t >= _now && nextTick() > t,
+                "advanceTo out of order (t=%llu now=%llu next=%llu)",
+                (unsigned long long)t, (unsigned long long)_now,
+                (unsigned long long)nextTick());
+        _now = t;
+    }
+
+    /**
      * Run until the queue is empty or @p limit is reached.
      * @return the tick of the last processed event.
      */

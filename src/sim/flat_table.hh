@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Open-addressing address-keyed table backed by pooled slabs: the flat
+ * replacement for the `std::unordered_map<Addr, T>`s that used to hold
+ * the memory datapath's hottest coherence state (directory entries,
+ * MSHRs).
+ *
+ * Layout: a power-of-two slot array of (key, ref) pairs probed
+ * linearly, where `ref` indexes into slab-allocated value storage.
+ * Values never move once constructed — the slot array rehashes, the
+ * slabs do not — so references handed out by find()/getOrCreate()
+ * stay valid across unrelated inserts (the same stability guarantee
+ * node-local code relied on with unordered_map).
+ *
+ * Deletion is tombstone-free: erase() uses the classic backward-shift
+ * algorithm (relocate any displaced cluster member whose probe path
+ * crosses the gap), so probe chains never accumulate dead slots and
+ * lookup cost stays bounded by cluster length regardless of churn.
+ *
+ * Determinism: the hash is a fixed multiplicative mix (no pointers, no
+ * per-process salt), growth rehashes by scanning the old slot array in
+ * index order, and freed value cells are recycled LIFO — so for any
+ * fixed operation sequence the table's layout, iteration order, and
+ * allocation pattern are bit-for-bit reproducible across runs and
+ * platforms.
+ *
+ * Steady-state inserts after the high-water mark perform zero heap
+ * allocations: the value cell comes off the free list and the slot
+ * array is already sized.
+ */
+
+#ifndef SLIPSIM_SIM_FLAT_TABLE_HH
+#define SLIPSIM_SIM_FLAT_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/**
+ * Addr -> V open-addressing table with slab-pooled, address-stable
+ * values.  V must be default-constructible and move-assignable (the
+ * erased cell is reset to V{} so pooled capacity is reusable).
+ */
+template <typename V, std::size_t SlabSize = 256>
+class FlatTable
+{
+  public:
+    explicit FlatTable(std::size_t min_slots = 64)
+    {
+        std::size_t cap = 16;
+        while (cap < min_slots)
+            cap <<= 1;
+        slots.assign(cap, Slot{});
+        shift = 64 - log2of(cap);
+    }
+
+    FlatTable(const FlatTable &) = delete;
+    FlatTable &operator=(const FlatTable &) = delete;
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Slot-array capacity (tests/diagnostics). */
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Number of value slabs allocated so far (tests/diagnostics). */
+    std::size_t slabCount() const { return slabs.size(); }
+
+    V *
+    find(Addr key)
+    {
+        const Slot &s = slots[probeFor(key)];
+        return s.ref == npos ? nullptr : &item(s.ref).value;
+    }
+
+    const V *
+    find(Addr key) const
+    {
+        const Slot &s = slots[probeFor(key)];
+        return s.ref == npos ? nullptr : &item(s.ref).value;
+    }
+
+    bool contains(Addr key) const { return find(key) != nullptr; }
+
+    /**
+     * Find @p key, inserting a default-constructed value if absent
+     * (unordered_map::operator[] semantics).  The returned reference
+     * is stable until the entry is erased.
+     */
+    V &
+    getOrCreate(Addr key)
+    {
+        std::size_t i = probeFor(key);
+        if (slots[i].ref != npos)
+            return item(slots[i].ref).value;
+        if (count + 1 > (slots.size() * 7) / 10) {
+            grow();
+            i = probeFor(key);
+        }
+        std::uint32_t ref = allocItem(key);
+        slots[i] = Slot{key, ref};
+        ++count;
+        return item(ref).value;
+    }
+
+    /**
+     * Remove @p key.  The value cell is reset to V{} and recycled;
+     * the displaced probe cluster is compacted in place (no
+     * tombstones).  @return true if the key was present.
+     */
+    bool
+    erase(Addr key)
+    {
+        std::size_t i = probeFor(key);
+        if (slots[i].ref == npos)
+            return false;
+        releaseItem(slots[i].ref);
+
+        // Backward-shift: walk the cluster after the gap; any entry
+        // whose home position lies cyclically at or before the gap
+        // would become unreachable, so move it into the gap and
+        // continue with the new gap.
+        const std::size_t mask = slots.size() - 1;
+        std::size_t j = i;
+        while (true) {
+            j = (j + 1) & mask;
+            if (slots[j].ref == npos)
+                break;
+            std::size_t h = homeSlot(slots[j].key);
+            if (((j - h) & mask) >= ((j - i) & mask)) {
+                slots[i] = slots[j];
+                i = j;
+            }
+        }
+        slots[i] = Slot{};
+        --count;
+        return true;
+    }
+
+    /**
+     * Visit every live (key, value) pair.  Order is slab-cell order:
+     * deterministic for a fixed operation sequence (cells are handed
+     * out in index order and recycled LIFO), though not insertion
+     * order after erasures.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn fn)
+    {
+        for (std::uint32_t r = 0; r < nextCell; ++r) {
+            Item &it = item(r);
+            if (it.live)
+                fn(it.key, it.value);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (std::uint32_t r = 0; r < nextCell; ++r) {
+            const Item &it = item(r);
+            if (it.live)
+                fn(it.key, it.value);
+        }
+    }
+
+  private:
+    static constexpr std::uint32_t npos = 0xffffffffu;
+
+    struct Slot
+    {
+        Addr key = 0;
+        std::uint32_t ref = npos;
+    };
+
+    struct Item
+    {
+        Addr key = 0;
+        bool live = false;
+        V value{};
+    };
+
+    static std::size_t
+    log2of(std::size_t v)
+    {
+        std::size_t n = 0;
+        while ((std::size_t(1) << n) < v)
+            ++n;
+        return n;
+    }
+
+    /** Fixed Fibonacci mix; top bits index the power-of-two array. */
+    std::size_t
+    homeSlot(Addr key) const
+    {
+        return static_cast<std::size_t>(
+            (key * 0x9E3779B97F4A7C15ull) >> shift);
+    }
+
+    /** Slot holding @p key, or the first empty slot of its chain. */
+    std::size_t
+    probeFor(Addr key) const
+    {
+        const std::size_t mask = slots.size() - 1;
+        std::size_t i = homeSlot(key);
+        while (slots[i].ref != npos && slots[i].key != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    Item &
+    item(std::uint32_t ref)
+    {
+        return slabs[ref / SlabSize][ref % SlabSize];
+    }
+
+    const Item &
+    item(std::uint32_t ref) const
+    {
+        return slabs[ref / SlabSize][ref % SlabSize];
+    }
+
+    std::uint32_t
+    allocItem(Addr key)
+    {
+        std::uint32_t ref;
+        if (freeHead != npos) {
+            ref = freeHead;
+            freeHead = freeNext[ref];
+        } else {
+            ref = nextCell++;
+            if (ref / SlabSize >= slabs.size())
+                slabs.push_back(std::make_unique<Item[]>(SlabSize));
+            if (freeNext.size() <= ref)
+                freeNext.resize(ref + 1, npos);
+        }
+        Item &it = item(ref);
+        it.key = key;
+        it.live = true;
+        return ref;
+    }
+
+    void
+    releaseItem(std::uint32_t ref)
+    {
+        Item &it = item(ref);
+        it.live = false;
+        it.value = V{};
+        freeNext[ref] = freeHead;
+        freeHead = ref;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots);
+        slots.assign(old.size() * 2, Slot{});
+        shift = 64 - log2of(slots.size());
+        const std::size_t mask = slots.size() - 1;
+        for (const Slot &s : old) {
+            if (s.ref == npos)
+                continue;
+            std::size_t i = homeSlot(s.key);
+            while (slots[i].ref != npos)
+                i = (i + 1) & mask;
+            slots[i] = s;
+        }
+    }
+
+    std::vector<Slot> slots;
+    std::size_t shift = 58;
+    std::size_t count = 0;
+
+    std::vector<std::unique_ptr<Item[]>> slabs;
+    std::vector<std::uint32_t> freeNext;
+    std::uint32_t freeHead = npos;
+    std::uint32_t nextCell = 0;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_FLAT_TABLE_HH

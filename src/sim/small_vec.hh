@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only vector, the container companion to
+ * InlineFunction: a sequence whose first N elements live inside the
+ * object, spilling to the heap only beyond that.
+ *
+ * MSHR waiter and reissue lists hold at most one entry per local
+ * processor in steady state, so with N sized to the processor count a
+ * miss's whole completion bookkeeping — the callbacks (InlineFunction
+ * SBO) and the lists holding them (this) — performs zero heap
+ * allocations.  Move-only so it can carry InlineCallback elements.
+ */
+
+#ifndef SLIPSIM_SIM_SMALL_VEC_HH
+#define SLIPSIM_SIM_SMALL_VEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace slipsim
+{
+
+/** A move-only vector of T with inline storage for N elements. */
+template <typename T, std::size_t N>
+class SmallVec
+{
+  public:
+    SmallVec() = default;
+
+    SmallVec(SmallVec &&o) noexcept { moveFrom(o); }
+
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        if (this != &o) {
+            destroyAll();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    SmallVec(const SmallVec &) = delete;
+    SmallVec &operator=(const SmallVec &) = delete;
+
+    ~SmallVec() { destroyAll(); }
+
+    std::size_t size() const { return cnt; }
+    bool empty() const { return cnt == 0; }
+
+    /** True while the elements live in the inline buffer (tests). */
+    bool usesInlineStorage() const { return heap == nullptr; }
+
+    std::size_t capacity() const { return heap ? cap : N; }
+
+    T *begin() { return data(); }
+    T *end() { return data() + cnt; }
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + cnt; }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    T &front() { return data()[0]; }
+    T &back() { return data()[cnt - 1]; }
+
+    void
+    push_back(T &&v)
+    {
+        emplace_back(std::move(v));
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (cnt == capacity())
+            spill(capacity() * 2);
+        T *p = ::new (static_cast<void *>(data() + cnt))
+            T(std::forward<Args>(args)...);
+        ++cnt;
+        return *p;
+    }
+
+    /** Destroy all elements; keeps any heap capacity for reuse. */
+    void
+    clear()
+    {
+        T *d = data();
+        for (std::size_t i = 0; i < cnt; ++i)
+            d[i].~T();
+        cnt = 0;
+    }
+
+  private:
+    T *
+    data()
+    {
+        return heap ? heap
+                    : std::launder(reinterpret_cast<T *>(inlineBuf));
+    }
+
+    const T *
+    data() const
+    {
+        return heap
+                   ? heap
+                   : std::launder(reinterpret_cast<const T *>(inlineBuf));
+    }
+
+    void
+    spill(std::size_t new_cap)
+    {
+        T *fresh = static_cast<T *>(
+            ::operator new(new_cap * sizeof(T), std::align_val_t{
+                               alignof(T)}));
+        T *d = data();
+        for (std::size_t i = 0; i < cnt; ++i) {
+            ::new (static_cast<void *>(fresh + i)) T(std::move(d[i]));
+            d[i].~T();
+        }
+        freeHeap();
+        heap = fresh;
+        cap = static_cast<std::uint32_t>(new_cap);
+    }
+
+    void
+    freeHeap()
+    {
+        if (heap) {
+            ::operator delete(heap, std::align_val_t{alignof(T)});
+            heap = nullptr;
+        }
+    }
+
+    void
+    destroyAll()
+    {
+        clear();
+        freeHeap();
+    }
+
+    void
+    moveFrom(SmallVec &o) noexcept
+    {
+        if (o.heap) {
+            // Steal the spill buffer outright.
+            heap = o.heap;
+            cap = o.cap;
+            cnt = o.cnt;
+            o.heap = nullptr;
+            o.cnt = 0;
+        } else {
+            T *src = std::launder(reinterpret_cast<T *>(o.inlineBuf));
+            for (std::size_t i = 0; i < o.cnt; ++i) {
+                ::new (static_cast<void *>(
+                    reinterpret_cast<T *>(inlineBuf) + i))
+                    T(std::move(src[i]));
+                src[i].~T();
+            }
+            cnt = o.cnt;
+            o.cnt = 0;
+        }
+    }
+
+    alignas(T) unsigned char inlineBuf[N * sizeof(T)];
+    T *heap = nullptr;
+    std::uint32_t cnt = 0;
+    std::uint32_t cap = N;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_SMALL_VEC_HH

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the memory-datapath hot path: the bit-packed L2Line
+ * metadata word, the synchronous hit fast path (NodeMemory::accessFast
+ * refusing — without side effects — whenever inline resolution could
+ * diverge from the event-driven ordering), and the deterministic
+ * FIFO parking of accesses that arrive while every MSHR is busy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+
+using namespace slipsim;
+
+// --- L2Line bit-packing ------------------------------------------------
+
+TEST(L2Line, MetaBitsRoundTripIndependently)
+{
+    L2Line l;
+    // Defaults mirror the old bool-per-flag layout.
+    EXPECT_EQ(l.state(), L2Line::St::Shared);
+    EXPECT_FALSE(l.transparent());
+    EXPECT_FALSE(l.writtenInCS());
+    EXPECT_FALSE(l.siMarked());
+    EXPECT_FALSE(l.slipTracked());
+    EXPECT_EQ(l.fetchedBy(), StreamKind::RStream);
+    EXPECT_TRUE(l.fetchWasRead());
+    EXPECT_FALSE(l.classified());
+    EXPECT_EQ(l.l1Mask(), 0u);
+
+    l.setState(L2Line::St::Excl);
+    l.setTransparent(true);
+    l.setWrittenInCS(true);
+    l.setSiMarked(true);
+    l.setSlipTracked(true);
+    l.setFetchedBy(StreamKind::AStream);
+    l.setFetchWasRead(false);
+    l.setClassified(true);
+    l.addL1(0);
+    l.addL1(1);
+
+    EXPECT_EQ(l.state(), L2Line::St::Excl);
+    EXPECT_TRUE(l.transparent());
+    EXPECT_TRUE(l.writtenInCS());
+    EXPECT_TRUE(l.siMarked());
+    EXPECT_TRUE(l.slipTracked());
+    EXPECT_EQ(l.fetchedBy(), StreamKind::AStream);
+    EXPECT_FALSE(l.fetchWasRead());
+    EXPECT_TRUE(l.classified());
+    EXPECT_EQ(l.l1Mask(), 0x3u);
+    EXPECT_TRUE(l.inL1(0));
+    EXPECT_TRUE(l.inL1(1));
+
+    // Clearing one bit must not disturb its neighbors.
+    l.setTransparent(false);
+    EXPECT_FALSE(l.transparent());
+    EXPECT_EQ(l.state(), L2Line::St::Excl);
+    EXPECT_TRUE(l.writtenInCS());
+    l.removeL1(0);
+    EXPECT_FALSE(l.inL1(0));
+    EXPECT_TRUE(l.inL1(1));
+    l.clearL1Mask();
+    EXPECT_EQ(l.l1Mask(), 0u);
+    EXPECT_TRUE(l.siMarked());
+
+    l.reset();
+    EXPECT_EQ(l.state(), L2Line::St::Shared);
+    EXPECT_TRUE(l.fetchWasRead());
+    EXPECT_FALSE(l.valid);
+}
+
+TEST(L2Line, PackedLineIsCompact)
+{
+    // The point of the packing: tag + fill tick + one metadata word.
+    EXPECT_LE(sizeof(L2Line), 24u);
+}
+
+// --- harness -----------------------------------------------------------
+
+namespace
+{
+
+class FastPathTest : public ::testing::Test
+{
+  protected:
+    FastPathTest()
+    {
+        mp.numCmps = 4;
+        sys = std::make_unique<System>(mp, rc);
+    }
+
+    Addr
+    lineHomedAt(NodeId n)
+    {
+        return sys->allocator().alloc(FunctionalMemory::pageBytes,
+                                      Placement::Fixed, 1, n);
+    }
+
+    MemReq
+    readReq(Addr line, NodeId node = 0)
+    {
+        MemReq req;
+        req.lineAddr = line;
+        req.type = ReqType::Read;
+        req.node = node;
+        req.stream = StreamKind::RStream;
+        return req;
+    }
+
+    /** Complete a blocking slow-path access (fills the line). */
+    void
+    fill(NodeId node, Addr line, ReqType type = ReqType::Read)
+    {
+        MemReq req = readReq(line, node);
+        req.type = type;
+        bool done = false;
+        sys->memory().node(node).access(req, 0, [&] { done = true; });
+        sys->eventq().run();
+        ASSERT_TRUE(done);
+    }
+
+    MachineParams mp;
+    RunConfig rc;
+    std::unique_ptr<System> sys;
+};
+
+} // namespace
+
+// --- synchronous hit fast path -----------------------------------------
+
+TEST_F(FastPathTest, FastHitResolvesInlineWithHitLatency)
+{
+    Addr a = lineHomedAt(0);
+    fill(0, a);
+    NodeMemory &l2 = sys->memory().node(0);
+
+    Tick now = sys->eventq().now();
+    Tick done = l2.accessFast(readReq(a), 0, now + 5, maxTick);
+    ASSERT_NE(done, 0u);
+    // Port idle => start == at, completion == at + l2HitTime.
+    EXPECT_EQ(done, now + 5 + mp.l2HitTime);
+    EXPECT_EQ(l2.fastHits, 1u);
+}
+
+TEST_F(FastPathTest, FastPathRefusesMissesWithoutSideEffects)
+{
+    Addr present = lineHomedAt(0);
+    Addr absent = present + 64;
+    fill(0, present);
+    NodeMemory &l2 = sys->memory().node(0);
+    Counter hits_before = l2.demandHits;
+    Tick port_before = l2.port().availableAt();
+
+    EXPECT_EQ(l2.accessFast(readReq(absent), 0,
+                            sys->eventq().now(), maxTick), 0u);
+    EXPECT_EQ(l2.fastHits, 0u);
+    EXPECT_EQ(l2.demandHits, hits_before);
+    EXPECT_EQ(l2.port().availableAt(), port_before);
+}
+
+TEST_F(FastPathTest, FastPathRefusesWhenOwnershipIsNeeded)
+{
+    Addr a = lineHomedAt(0);
+    fill(0, a);  // sole reader: granted exclusive
+    fill(1, a);  // second sharer downgrades node 0 to Shared
+    NodeMemory &l2 = sys->memory().node(0);
+    MemReq req = readReq(a);
+    req.type = ReqType::Excl;
+    EXPECT_EQ(l2.accessFast(req, 0, sys->eventq().now(), maxTick), 0u);
+
+    // After an exclusive fill the store hits the fast path.
+    fill(0, a, ReqType::Excl);
+    EXPECT_NE(l2.accessFast(req, 0, sys->eventq().now(), maxTick), 0u);
+}
+
+TEST_F(FastPathTest, FastPathRefusesWhenAnEventPrecedesCompletion)
+{
+    Addr a = lineHomedAt(0);
+    fill(0, a);
+    NodeMemory &l2 = sys->memory().node(0);
+    EventQueue &eq = sys->eventq();
+
+    // A pending event inside (at, completion] forbids inline
+    // resolution: in the event-driven path it would run before the
+    // done callback, and the resumed task could observe its effects.
+    Tick at = eq.now();
+    eq.scheduleIn(mp.l2HitTime, [] {});
+    Counter hits_before = l2.demandHits;
+    Tick port_before = l2.port().availableAt();
+    EXPECT_EQ(l2.accessFast(readReq(a), 0, at, eq.nextTick()), 0u);
+    EXPECT_EQ(l2.fastHits, 0u);
+    EXPECT_EQ(l2.demandHits, hits_before);
+    EXPECT_EQ(l2.port().availableAt(), port_before);
+    eq.run();
+
+    // With the bound beyond the completion tick the same access hits.
+    EXPECT_NE(l2.accessFast(readReq(a), 0, eq.now(), maxTick), 0u);
+}
+
+TEST(EventQueue, AdvanceToMovesClockWithoutDispatching)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    std::uint64_t processed = eq.processed();
+    eq.advanceTo(99);
+    EXPECT_EQ(eq.now(), 99u);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.processed(), processed);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+// --- MSHR-full parking --------------------------------------------------
+
+TEST_F(FastPathTest, MshrFullParksAndDrainsFifo)
+{
+    // Saturate every MSHR with outstanding remote misses, then issue
+    // two more: they must park (no MSHR, no event traffic) and later
+    // complete in FIFO order as fills free MSHRs.
+    NodeMemory &l2 = sys->memory().node(0);
+    Addr page = lineHomedAt(1);
+
+    std::vector<Tick> doneAt(mp.l2Mshrs + 2, 0);
+    for (std::uint32_t i = 0; i < mp.l2Mshrs + 2; ++i) {
+        MemReq req = readReq(page + 64 * i);
+        l2.access(req, 0, [this, &doneAt, i] {
+            doneAt[i] = sys->eventq().now();
+        });
+    }
+    EXPECT_EQ(l2.parkedCount(), 2u);
+
+    sys->eventq().run();
+    EXPECT_EQ(l2.parkedCount(), 0u);
+    for (std::uint32_t i = 0; i < mp.l2Mshrs + 2; ++i)
+        EXPECT_GT(doneAt[i], 0u) << "access " << i << " never completed";
+
+    // The two parked accesses retire after at least one original miss
+    // has freed its MSHR, and in the order they were parked.
+    Tick firstFill = doneAt[0];
+    for (std::uint32_t i = 1; i < mp.l2Mshrs; ++i)
+        firstFill = std::min(firstFill, doneAt[i]);
+    EXPECT_GT(doneAt[mp.l2Mshrs], firstFill);
+    EXPECT_LE(doneAt[mp.l2Mshrs], doneAt[mp.l2Mshrs + 1]);
+}

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * FlatTable and SmallVec unit tests: the pooled containers under the
+ * memory datapath's coherence state (directory entries, MSHRs, waiter
+ * lists).  Exercises exactly the properties that code depends on —
+ * collision-chain probing, backward-shift deletion under a live chain,
+ * slab growth and LIFO recycling, deterministic iteration, reference
+ * stability — plus a randomized differential check against
+ * std::unordered_map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/flat_table.hh"
+#include "sim/small_vec.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+/** Mirror of FlatTable's fixed multiplicative hash (documented as part
+ *  of the determinism contract), used to engineer collisions. */
+std::size_t
+homeOf(Addr key, std::size_t capacity)
+{
+    std::size_t shift = 64;
+    while ((std::size_t(1) << (64 - shift)) < capacity)
+        --shift;
+    return static_cast<std::size_t>(
+        (key * 0x9E3779B97F4A7C15ull) >> shift);
+}
+
+/** First @p n keys (multiples of 64, like line addresses) whose home
+ *  slot is @p slot in a table of @p capacity slots. */
+std::vector<Addr>
+collidingKeys(std::size_t slot, std::size_t capacity, int n)
+{
+    std::vector<Addr> keys;
+    for (Addr k = 64; keys.size() < static_cast<std::size_t>(n);
+         k += 64) {
+        if (homeOf(k, capacity) == slot)
+            keys.push_back(k);
+    }
+    return keys;
+}
+
+} // namespace
+
+TEST(FlatTable, BasicInsertFindErase)
+{
+    FlatTable<int> t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.find(0x40), nullptr);
+
+    t.getOrCreate(0x40) = 7;
+    t.getOrCreate(0x80) = 9;
+    EXPECT_EQ(t.size(), 2u);
+    ASSERT_NE(t.find(0x40), nullptr);
+    EXPECT_EQ(*t.find(0x40), 7);
+    EXPECT_EQ(*t.find(0x80), 9);
+    EXPECT_TRUE(t.contains(0x40));
+    EXPECT_FALSE(t.contains(0xc0));
+
+    // getOrCreate on a present key must not reset the value.
+    EXPECT_EQ(t.getOrCreate(0x40), 7);
+    EXPECT_EQ(t.size(), 2u);
+
+    EXPECT_TRUE(t.erase(0x40));
+    EXPECT_FALSE(t.erase(0x40));
+    EXPECT_EQ(t.find(0x40), nullptr);
+    EXPECT_EQ(*t.find(0x80), 9);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatTable, CollisionChainStaysResolvableAfterMiddleErase)
+{
+    FlatTable<int> t(16);
+    ASSERT_EQ(t.capacity(), 16u);
+    std::vector<Addr> keys = collidingKeys(5, 16, 5);
+    for (int i = 0; i < 5; ++i)
+        t.getOrCreate(keys[i]) = i;
+
+    // Deleting from the middle of the probe cluster must backward-shift
+    // the tail so every remaining key stays reachable.
+    EXPECT_TRUE(t.erase(keys[2]));
+    for (int i = 0; i < 5; ++i) {
+        if (i == 2) {
+            EXPECT_EQ(t.find(keys[i]), nullptr);
+        } else {
+            ASSERT_NE(t.find(keys[i]), nullptr) << "key " << i;
+            EXPECT_EQ(*t.find(keys[i]), i);
+        }
+    }
+
+    // Head deletion next: the whole remaining chain shifts again.
+    EXPECT_TRUE(t.erase(keys[0]));
+    for (int i : {1, 3, 4})
+        EXPECT_EQ(*t.find(keys[i]), i);
+}
+
+TEST(FlatTable, BackwardShiftHandlesWrappedChains)
+{
+    FlatTable<int> t(16);
+    // A cluster homed at the last slot wraps to slot 0; deletion there
+    // exercises the cyclic-distance move predicate.
+    std::vector<Addr> keys = collidingKeys(15, 16, 4);
+    for (int i = 0; i < 4; ++i)
+        t.getOrCreate(keys[i]) = 100 + i;
+    EXPECT_TRUE(t.erase(keys[0]));
+    for (int i = 1; i < 4; ++i) {
+        ASSERT_NE(t.find(keys[i]), nullptr);
+        EXPECT_EQ(*t.find(keys[i]), 100 + i);
+    }
+}
+
+TEST(FlatTable, GrowthRehashesEverything)
+{
+    FlatTable<int> t;  // 64 slots
+    std::size_t cap0 = t.capacity();
+    for (Addr k = 64; k <= 64 * 200; k += 64)
+        t.getOrCreate(k) = static_cast<int>(k);
+    EXPECT_GT(t.capacity(), cap0);
+    EXPECT_EQ(t.size(), 200u);
+    for (Addr k = 64; k <= 64 * 200; k += 64) {
+        ASSERT_NE(t.find(k), nullptr) << "lost key " << k;
+        EXPECT_EQ(*t.find(k), static_cast<int>(k));
+    }
+}
+
+TEST(FlatTable, SlabPoolGrowsThenRecyclesWithoutNewSlabs)
+{
+    FlatTable<int, 4> t;  // 4 values per slab
+    for (Addr k = 64; k <= 64 * 9; k += 64)
+        t.getOrCreate(k) = 1;
+    EXPECT_EQ(t.slabCount(), 3u);  // 9 cells -> ceil(9/4) slabs
+
+    // Full churn: erase everything, insert a fresh working set of the
+    // same size.  Freed cells recycle LIFO; no new slab may appear.
+    for (Addr k = 64; k <= 64 * 9; k += 64)
+        EXPECT_TRUE(t.erase(k));
+    EXPECT_TRUE(t.empty());
+    for (Addr k = 64 * 100; k < 64 * 109; k += 64)
+        t.getOrCreate(k) = 2;
+    EXPECT_EQ(t.slabCount(), 3u);
+    EXPECT_EQ(t.size(), 9u);
+}
+
+TEST(FlatTable, ErasedCellsResetToDefaultValue)
+{
+    FlatTable<std::vector<int>, 4> t;
+    t.getOrCreate(0x40).assign(100, 42);
+    EXPECT_TRUE(t.erase(0x40));
+    // The recycled cell must come back default-constructed, not
+    // carrying the previous tenant's contents.
+    std::vector<int> &v = t.getOrCreate(0x80);
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(FlatTable, IterationOrderIsDeterministicForSameOpSequence)
+{
+    auto run = [] {
+        FlatTable<int> t;
+        for (Addr k = 64; k <= 64 * 40; k += 64)
+            t.getOrCreate(k) = static_cast<int>(k / 64);
+        for (Addr k = 64 * 3; k <= 64 * 30; k += 64 * 3)
+            t.erase(k);
+        for (Addr k = 64 * 50; k <= 64 * 60; k += 64)
+            t.getOrCreate(k) = static_cast<int>(k);
+        std::vector<Addr> order;
+        t.forEach([&](Addr key, int &) { order.push_back(key); });
+        return order;
+    };
+    std::vector<Addr> a = run();
+    std::vector<Addr> b = run();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(FlatTable, ValueReferencesSurviveGrowth)
+{
+    FlatTable<int> t;
+    int *p = &t.getOrCreate(0x40);
+    *p = 77;
+    // Force several slot-array growths; slabs never move.
+    for (Addr k = 0x1000; k < 0x1000 + 64 * 500; k += 64)
+        t.getOrCreate(k) = 0;
+    EXPECT_EQ(*p, 77);
+    EXPECT_EQ(t.find(0x40), p);
+}
+
+TEST(FlatTable, RandomizedDifferentialAgainstUnorderedMap)
+{
+    FlatTable<int, 8> t(16);
+    std::unordered_map<Addr, int> ref;
+    std::mt19937 rng(12345);
+
+    for (int step = 0; step < 20000; ++step) {
+        Addr key = 64 * (1 + rng() % 256);  // small space => churn
+        switch (rng() % 3) {
+          case 0: {
+            int v = static_cast<int>(rng());
+            t.getOrCreate(key) = v;
+            ref[key] = v;
+            break;
+          }
+          case 1:
+            EXPECT_EQ(t.erase(key), ref.erase(key) == 1u);
+            break;
+          default: {
+            auto it = ref.find(key);
+            int *p = t.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(p, nullptr);
+            } else {
+                ASSERT_NE(p, nullptr);
+                EXPECT_EQ(*p, it->second);
+            }
+          }
+        }
+        ASSERT_EQ(t.size(), ref.size());
+    }
+    // Final full sweep both directions.
+    std::size_t seen = 0;
+    t.forEach([&](Addr key, int &v) {
+        ++seen;
+        auto it = ref.find(key);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(v, it->second);
+    });
+    EXPECT_EQ(seen, ref.size());
+}
+
+// --- SmallVec ----------------------------------------------------------
+
+TEST(SmallVec, StaysInlineUpToNThenSpills)
+{
+    SmallVec<int, 2> v;
+    EXPECT_TRUE(v.usesInlineStorage());
+    EXPECT_EQ(v.capacity(), 2u);
+    v.push_back(1);
+    v.push_back(2);
+    EXPECT_TRUE(v.usesInlineStorage());
+    v.push_back(3);  // spill
+    EXPECT_FALSE(v.usesInlineStorage());
+    EXPECT_GE(v.capacity(), 3u);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 1);
+    EXPECT_EQ(v[1], 2);
+    EXPECT_EQ(v[2], 3);
+    EXPECT_EQ(v.front(), 1);
+    EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVec, MoveStealsHeapAndCopiesInline)
+{
+    SmallVec<int, 2> spilled;
+    for (int i = 0; i < 5; ++i)
+        spilled.emplace_back(i);
+    SmallVec<int, 2> stole(std::move(spilled));
+    EXPECT_FALSE(stole.usesInlineStorage());
+    ASSERT_EQ(stole.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(stole[i], i);
+    EXPECT_TRUE(spilled.empty());
+
+    SmallVec<int, 2> inline_v;
+    inline_v.push_back(8);
+    SmallVec<int, 2> moved;
+    moved = std::move(inline_v);
+    EXPECT_TRUE(moved.usesInlineStorage());
+    ASSERT_EQ(moved.size(), 1u);
+    EXPECT_EQ(moved[0], 8);
+    EXPECT_TRUE(inline_v.empty());
+}
+
+TEST(SmallVec, CarriesMoveOnlyElements)
+{
+    SmallVec<std::unique_ptr<int>, 2> v;
+    for (int i = 0; i < 4; ++i)
+        v.emplace_back(std::make_unique<int>(i));
+    SmallVec<std::unique_ptr<int>, 2> w(std::move(v));
+    ASSERT_EQ(w.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(*w[i], i);
+}
+
+TEST(SmallVec, ClearKeepsSpilledCapacityForReuse)
+{
+    SmallVec<int, 2> v;
+    for (int i = 0; i < 10; ++i)
+        v.emplace_back(i);
+    std::size_t cap = v.capacity();
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.capacity(), cap);
+    for (int i = 0; i < 10; ++i)
+        v.emplace_back(i * 2);
+    EXPECT_EQ(v.capacity(), cap);
+    EXPECT_EQ(v[9], 18);
+}
