@@ -9,6 +9,9 @@
  *   --csv            CSV instead of aligned tables
  *   stats-json=P     dump every point's stats registry to P
  *                    (deterministic "slipsim-stats-v1" JSON)
+ *   sim-jobs=N       intra-run parallel engine: N worker threads per
+ *                    simulation (0 = sequential engine; any N >= 1
+ *                    produces byte-identical output for a given N>=1)
  *   trace-json=P     write a Chrome trace (Perfetto-loadable) of one
  *                    point to P; trace-point=I selects which (default 0)
  * plus per-workload size overrides (n=, mol=, ...).
@@ -130,6 +133,7 @@ class Sweep
   public:
     explicit Sweep(const Options &opts)
         : jobs(static_cast<unsigned>(opts.getInt("jobs", 0))),
+          simJobs(static_cast<int>(opts.getInt("sim-jobs", 0))),
           statsJsonPath(opts.getString("stats-json")),
           traceJsonPath(opts.getString("trace-json")),
           tracePoint(static_cast<std::size_t>(
@@ -150,8 +154,9 @@ class Sweep
     addMachine(const std::string &wl, const Options &user,
                const MachineParams &mp, const RunConfig &rc)
     {
-        points.push_back(SweepPoint{wl, figOptions(wl, user), mp, rc,
-                                    maxTick});
+        SweepPoint pt{wl, figOptions(wl, user), mp, rc, maxTick};
+        pt.cfg.simJobs = simJobs;
+        points.push_back(std::move(pt));
         return points.size() - 1;
     }
 
@@ -192,6 +197,7 @@ class Sweep
 
   private:
     unsigned jobs;
+    int simJobs;
     std::string statsJsonPath;
     std::string traceJsonPath;
     std::size_t tracePoint;

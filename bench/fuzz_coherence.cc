@@ -16,6 +16,7 @@
  *   seeds=N   number of seeds to run              (default 100)
  *   seed0=N   first seed                          (default 1)
  *   jobs=N    worker threads, 0 = all hardware    (default 0)
+ *   sim-jobs=N  intra-run parallel engine workers (default 0 = off)
  *   ops=N     ops per seed                        (default 1500)
  *   nodes=N   CMP count                           (default 4)
  *   lines=N   address-pool size                   (default 32)
@@ -53,7 +54,7 @@ Options
 parseArgs(int argc, char **argv)
 {
     static const char *const valueKeys[] = {
-        "seeds", "seed0", "jobs", "ops", "nodes", "lines",
+        "seeds", "seed0", "jobs", "sim-jobs", "ops", "nodes", "lines",
         "l2kb", "inject", "out", "replay", "shrink-runs",
     };
     std::vector<std::string> folded;
@@ -93,6 +94,7 @@ configFromOptions(const Options &opts)
     cfg.selfInvalidation = !opts.getBool("no-si", false);
     cfg.faults.dropNthInvalidation =
         static_cast<int>(opts.getInt("inject", 0));
+    cfg.simJobs = static_cast<int>(opts.getInt("sim-jobs", 0));
     return cfg;
 }
 

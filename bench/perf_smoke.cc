@@ -22,6 +22,20 @@
  * a CountingTracer attached to every point, so the observability
  * layer's hot-path cost is itself a tracked quantity.
  *
+ * A third section sweeps the intra-run parallel engine: one
+ * fig05-class slipstream point run at sim-jobs 1, 2, 4, and 8, each
+ * appending its own record with a "sim_jobs" field plus the wall-clock
+ * speedup over the sim-jobs=1 run of the same invocation:
+ *
+ *   {"sim_jobs": ..., "events_per_sec": ..., "accesses_per_sec": ...,
+ *    "speedup_vs_sj1": ..., "wall_ms": ..., "sweep_jobs": ...,
+ *    "quick": ..., "build_type": "...", "git_rev": "...",
+ *    "host": "...", "timestamp": "..."}
+ *
+ * Speedup is measured within the sweep because sim-jobs>=1 selects the
+ * partitioned engine — its own deterministic timing model — so the
+ * sequential headline record is not its baseline.
+ *
  * Defaults to jobs=1 so the headline number is single-thread
  * throughput of the simulator core; pass jobs=N to smoke the sweep
  * engine instead.  --quick shrinks the grid for CI (the result is
@@ -197,13 +211,61 @@ main(int argc, char **argv)
                   hostName().c_str(), utcTimestamp().c_str());
     std::printf("%s\n", line);
 
+    std::vector<std::string> records;
+    records.emplace_back(line);
+
+    // Parallel-engine scaling: the fig05-class slipstream point (mg,
+    // zero-token global A-R) once per intra-run worker count.  One
+    // record per thread count lets perf_compare.sh track each worker
+    // count's throughput against its own history.
+    {
+        Options o = figOptions("mg", opts);
+        MachineParams mp = figMachine("mg", opts, quick ? 4 : 16);
+        RunConfig slip;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = ArPolicy::ZeroTokenGlobal;
+
+        double base_ms = 0;
+        for (int sj : {1, 2, 4, 8}) {
+            slip.simJobs = sj;
+            std::vector<SweepPoint> pt{
+                SweepPoint{"mg", o, mp, slip, maxTick}};
+            double ev = 0, ac = 0, tk = 0;
+            if (sj == 1)
+                timedSweep(pt, ev, ac, tk); // engine warm-up
+            double ms = timedSweep(pt, ev, ac, tk);
+            if (sj == 1)
+                base_ms = ms;
+            double s = ms / 1000.0;
+            char rec[512];
+            std::snprintf(rec, sizeof(rec),
+                          "{\"sim_jobs\": %d, "
+                          "\"events_per_sec\": %.0f, "
+                          "\"accesses_per_sec\": %.0f, "
+                          "\"speedup_vs_sj1\": %.3f, "
+                          "\"wall_ms\": %.1f, \"sweep_jobs\": %u, "
+                          "\"quick\": %s, "
+                          "\"build_type\": \"%s\", "
+                          "\"git_rev\": \"%s\", "
+                          "\"host\": \"%s\", \"timestamp\": \"%s\"}",
+                          sj, s > 0 ? ev / s : 0, s > 0 ? ac / s : 0,
+                          ms > 0 ? base_ms / ms : 0, ms,
+                          resolveJobs(jobs), quick ? "true" : "false",
+                          SLIPSIM_BUILD_TYPE, SLIPSIM_GIT_REV,
+                          hostName().c_str(), utcTimestamp().c_str());
+            std::printf("%s\n", rec);
+            records.emplace_back(rec);
+        }
+    }
+
     // Append to the perf log (one JSON object per line) so successive
     // runs accumulate a throughput history CI can diff
-    // (scripts/perf_compare.sh reads the last two comparable entries).
+    // (scripts/perf_compare.sh reads the last comparable entry pairs).
     std::string log = opts.getString("perf-out", "BENCH_perf.json");
     std::ofstream os(log, std::ios::app);
     if (os)
-        os << line << "\n";
+        for (const std::string &r : records)
+            os << r << "\n";
     else
         warn("perf_smoke: cannot append to %s", log.c_str());
     return 0;

@@ -3,47 +3,104 @@
 # output, stats-registry JSON, and Chrome trace whatever the worker
 # count, and across repeated runs.
 #
-#   scripts/check_determinism.sh <bench-binary>
+#   scripts/check_determinism.sh <bench-binary> [fuzz-binary]
 #
-# Runs the bench three times — jobs=1, jobs=8, and jobs=8 again — each
-# with --quick --csv plus stats-json/trace-json dumps, and cmp's all
-# three artifact sets.
+# Two layers:
+#
+#  1. Sweep-level workers (jobs=N): the bench runs with jobs=1, jobs=8,
+#     and jobs=8 again; all artifacts must match byte-for-byte.
+#  2. Intra-run engine workers (sim-jobs=N): the full jobs x sim-jobs
+#     matrix {1,2,8} x {1,2,4} must produce one identical artifact set —
+#     the epoch executor's worker count may never leak into simulated
+#     behaviour.  The same matrix is replayed on a fixed fuzz seed with
+#     the ProtocolChecker attached when a fuzz binary is given (or
+#     found next to the bench).
+#
+# Note the two layers are compared within themselves, not against each
+# other: sim-jobs>=1 selects the partitioned engine, which is its own
+# (deterministic) timing model distinct from the sequential one.
 
 set -euo pipefail
 
-if [[ $# -ne 1 ]]; then
-    echo "usage: $0 <bench-binary>" >&2
+if [[ $# -lt 1 || $# -gt 2 ]]; then
+    echo "usage: $0 <bench-binary> [fuzz-binary]" >&2
     exit 2
 fi
 
 bench="$1"
+fuzz="${2:-$(dirname "$bench")/fuzz_coherence}"
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
 
 run() {
-    local tag="$1" jobs="$2"
-    "$bench" --quick --csv "jobs=$jobs" \
+    local tag="$1" jobs="$2" simjobs="$3"
+    "$bench" --quick --csv "jobs=$jobs" "sim-jobs=$simjobs" \
         "stats-json=$work/$tag.stats.json" \
         "trace-json=$work/$tag.trace.json" > "$work/$tag.csv"
 }
 
-run serial 1
-run par 8
-run par2 8
-
 fail=0
-for kind in csv stats.json trace.json; do
-    for other in par par2; do
-        if ! cmp -s "$work/serial.$kind" "$work/$other.$kind"; then
-            echo "DETERMINISM FAILURE: serial.$kind != $other.$kind"
-            diff -u "$work/serial.$kind" "$work/$other.$kind" | head -40
+
+compare() {
+    local ref="$1" other="$2"
+    for kind in csv stats.json trace.json; do
+        if ! cmp -s "$work/$ref.$kind" "$work/$other.$kind"; then
+            echo "DETERMINISM FAILURE: $ref.$kind != $other.$kind"
+            diff -u "$work/$ref.$kind" "$work/$other.$kind" | head -40
             fail=1
         fi
     done
+}
+
+# --- layer 1: sweep workers on the sequential engine --------------------
+
+run serial 1 0
+run par 8 0
+run par2 8 0
+compare serial par
+compare serial par2
+
+# --- layer 2: the jobs x sim-jobs matrix on the parallel engine ---------
+
+run m-1-1 1 1
+for jobs in 1 2 8; do
+    for sj in 1 2 4; do
+        [[ "$jobs" == 1 && "$sj" == 1 ]] && continue
+        run "m-$jobs-$sj" "$jobs" "$sj"
+        compare m-1-1 "m-$jobs-$sj"
+    done
 done
 
+# --- layer 2b: fixed fuzz seed under the checker ------------------------
+
+if [[ -x "$fuzz" ]]; then
+    for jobs in 1 2 8; do
+        for sj in 1 2 4; do
+            # Drop the banner line: it echoes the requested jobs value.
+            "$fuzz" --seeds 1 --seed0 7 --jobs "$jobs" \
+                --sim-jobs "$sj" | tail -n +2 \
+                > "$work/fuzz-$jobs-$sj.txt"
+        done
+    done
+    for jobs in 1 2 8; do
+        for sj in 1 2 4; do
+            [[ "$jobs" == 1 && "$sj" == 1 ]] && continue
+            if ! cmp -s "$work/fuzz-1-1.txt" "$work/fuzz-$jobs-$sj.txt"
+            then
+                echo "DETERMINISM FAILURE:" \
+                     "fuzz report differs at jobs=$jobs sim-jobs=$sj"
+                diff -u "$work/fuzz-1-1.txt" \
+                    "$work/fuzz-$jobs-$sj.txt" | head -20
+                fail=1
+            fi
+        done
+    done
+else
+    echo "note: $fuzz not found; skipping the fuzz-seed matrix"
+fi
+
 if [[ "$fail" -eq 0 ]]; then
-    echo "determinism OK: table, stats JSON, and trace are" \
-         "byte-identical across jobs=1, jobs=8, and a repeat run"
+    echo "determinism OK: artifacts byte-identical across jobs=1/8" \
+         "and the jobs x sim-jobs matrix {1,2,8}x{1,2,4}"
 fi
 exit "$fail"

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# CI driver: build and test slipsim in a Release configuration and an
-# address+undefined sanitizer configuration.
+# CI driver: build and test slipsim in a Release configuration, an
+# address+undefined sanitizer configuration, and a ThreadSanitizer
+# configuration that exercises the parallel (sim-jobs) engine.
 #
-#   scripts/ci.sh              # both configs
+#   scripts/ci.sh              # all configs
 #   scripts/ci.sh release      # Release only
-#   scripts/ci.sh sanitize     # sanitizers only
+#   scripts/ci.sh sanitize     # address+undefined only
+#   scripts/ci.sh tsan         # ThreadSanitizer only
 #
-# Each config runs the full default ctest suite (which includes the
-# fixed-seed fuzz smoke).  The 1000-seed fuzz sweep stays opt-in:
+# Each of the first two configs runs the full default ctest suite
+# (which includes the fixed-seed fuzz smoke); the tsan config runs the
+# `tsan`-labelled parallel-engine tests plus a short sim-jobs=4 bench
+# smoke.  The 1000-seed fuzz sweep stays opt-in:
 #   ctest --test-dir build-release -L fuzz-long
 
 set -euo pipefail
@@ -43,10 +47,18 @@ if [[ "$WHAT" == "all" || "$WHAT" == "release" ]]; then
     ctest --test-dir build-release -L golden --output-on-failure \
         -j "$JOBS"
 
-    # Hot-path throughput gate: append one quick perf_smoke record to
-    # the tracked history and fail if events/sec regressed >15%
-    # against the previous comparable record from this host.
+    # Hot-path throughput gate: append quick perf_smoke records (the
+    # sequential headline plus the sim-jobs={1,2,4,8} scaling sweep)
+    # to the history and fail if events/sec regressed >15% against the
+    # previous comparable record from this host.  perf_compare --check
+    # errors out on a missing/empty baseline, so a fresh host seeds
+    # one first.
     echo "=== perf smoke + regression gate ==="
+    if [[ ! -s BENCH_perf.json ]]; then
+        echo "--- no perf baseline on this host; seeding one ---"
+        build-release/bench/perf_smoke --quick jobs=2 \
+            perf-out=BENCH_perf.json
+    fi
     build-release/bench/perf_smoke --quick jobs=2 \
         perf-out=BENCH_perf.json
     scripts/perf_compare.sh --check BENCH_perf.json
@@ -56,6 +68,24 @@ if [[ "$WHAT" == "all" || "$WHAT" == "sanitize" ]]; then
     build_and_test build-san \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DSLIPSIM_SANITIZE=address,undefined
+fi
+
+if [[ "$WHAT" == "all" || "$WHAT" == "tsan" ]]; then
+    # ThreadSanitizer: only the multi-threaded engine is interesting,
+    # so build once and run the `tsan`-labelled subset (channel +
+    # executor units and the 50-seed sim-jobs={1,2,4} fuzz matrix),
+    # then a short real-workload smoke with 4 workers.
+    echo "=== configure build-tsan ==="
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSLIPSIM_SANITIZE=thread
+    echo "=== build build-tsan ==="
+    cmake --build build-tsan -j "$JOBS"
+    echo "=== test build-tsan (ctest -L tsan) ==="
+    ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
+    echo "=== sim-jobs=4 bench smoke under tsan ==="
+    build-tsan/bench/fig01_double_vs_single --quick sim-jobs=4 \
+        > /dev/null
 fi
 
 echo "=== ci.sh: all requested configurations passed ==="

@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
-# Compare the last two comparable perf_smoke records in a JSONL log.
+# Compare the newest perf_smoke records in a JSONL log against the
+# previous comparable records.
 #
 #   scripts/perf_compare.sh [--check] [--threshold PCT] [log]
 #
-# "Comparable" means same host, build_type, quick flag, and sweep_jobs
-# as the newest record — numbers from different machines or build
-# configurations never race each other.  Records predating the extra
-# metadata fields (older logs) are skipped.
+# perf_smoke appends two record shapes: the sequential headline record
+# (no "sim_jobs" field) and one parallel-engine scaling record per
+# sim-jobs value in {1,2,4,8}.  Records are grouped by signature —
+# host, build_type, quick flag, sweep_jobs, and sim_jobs — so numbers
+# from different machines, build configurations, or worker counts
+# never race each other.  For every group matching the newest record's
+# machine/config, the last two entries are diffed.
 #
-# Default mode prints the delta table.  With --check, exits 1 if
-# events_per_sec regressed by more than PCT percent (default 15) —
-# wired into scripts/ci.sh so an accidental hot-path pessimisation
+# Default mode prints the delta tables and the sim-jobs scaling
+# summary.  With --check, exits nonzero if
+#   - the log is missing or holds no parseable records, or
+#   - no group has a prior record to compare against (no baseline), or
+#   - any group's events_per_sec regressed by more than PCT percent
+#     (default 15).
+# Wired into scripts/ci.sh so an accidental hot-path pessimisation
 # fails the build on the machine that introduced it.
 
 set -euo pipefail
@@ -28,7 +36,12 @@ while [[ $# -gt 0 ]]; do
     shift
 done
 
-if [[ ! -f "$log" ]]; then
+if [[ ! -f "$log" || ! -s "$log" ]]; then
+    if [[ "$check" -eq 1 ]]; then
+        echo "perf_compare: FAIL — no baseline: $log is missing or" \
+             "empty (run bench/perf_smoke to seed it)" >&2
+        exit 1
+    fi
     echo "perf_compare: no log at $log" >&2
     exit 0
 fi
@@ -55,36 +68,68 @@ keyed = [r for r in records
          if all(k in r for k in ("host", "build_type", "quick",
                                  "sweep_jobs", "events_per_sec"))]
 if not keyed:
-    print("perf_compare: no records with comparison metadata yet")
+    msg = "perf_compare: no records with comparison metadata"
+    if check:
+        print(msg + " — FAIL: nothing to gate on")
+        sys.exit(1)
+    print(msg + " yet")
     sys.exit(0)
 
-new = keyed[-1]
-sig = lambda r: (r["host"], r["build_type"], r["quick"], r["sweep_jobs"])
-prior = [r for r in keyed[:-1] if sig(r) == sig(new)]
-if not prior:
-    print("perf_compare: no prior comparable record "
-          f"(host={new['host']}, build={new['build_type']}, "
-          f"quick={new['quick']}) — nothing to compare")
-    sys.exit(0)
-old = prior[-1]
+# sim_jobs=0 marks the sequential headline record; scaling records
+# carry their worker count.
+sig = lambda r: (r["host"], r["build_type"], r["quick"],
+                 r["sweep_jobs"], r.get("sim_jobs", 0))
+newest = keyed[-1]
+machine = (newest["host"], newest["build_type"], newest["quick"])
+
+groups = {}
+for r in keyed:
+    if (r["host"], r["build_type"], r["quick"]) == machine:
+        groups.setdefault(sig(r), []).append(r)
 
 rates = ["events_per_sec", "accesses_per_sec", "sim_ticks_per_sec",
          "events_per_sec_traced"]
-print(f"perf_compare: {old.get('git_rev', '?')} "
-      f"({old.get('timestamp', '?')}) -> "
-      f"{new.get('git_rev', '?')} ({new.get('timestamp', '?')})")
-print(f"{'metric':<24}{'old':>14}{'new':>14}{'delta':>9}")
-worst = 0.0
-for k in rates:
-    if k not in old or k not in new or not old[k]:
+compared = 0
+failed = []
+for s in sorted(groups):
+    hist = groups[s]
+    label = ("headline" if s[4] == 0 else f"sim-jobs={s[4]}")
+    if len(hist) < 2:
+        print(f"[{label}] no prior comparable record — "
+              "nothing to compare")
         continue
-    pct = (new[k] - old[k]) / old[k] * 100.0
-    print(f"{k:<24}{old[k]:>14.0f}{new[k]:>14.0f}{pct:>+8.1f}%")
-    if k == "events_per_sec":
-        worst = pct
+    old, new = hist[-2], hist[-1]
+    compared += 1
+    print(f"[{label}] {old.get('git_rev', '?')} "
+          f"({old.get('timestamp', '?')}) -> "
+          f"{new.get('git_rev', '?')} ({new.get('timestamp', '?')})")
+    print(f"{'metric':<24}{'old':>14}{'new':>14}{'delta':>9}")
+    for k in rates:
+        if k not in old or k not in new or not old[k]:
+            continue
+        pct = (new[k] - old[k]) / old[k] * 100.0
+        print(f"{k:<24}{old[k]:>14.0f}{new[k]:>14.0f}{pct:>+8.1f}%")
+        if k == "events_per_sec" and pct < -threshold:
+            failed.append((label, -pct))
 
-if check and worst < -threshold:
-    print(f"perf_compare: FAIL — events_per_sec regressed "
-          f"{-worst:.1f}% (> {threshold:.0f}% threshold)")
+# Scaling summary: the newest record per sim-jobs value.
+scaling = [g[-1] for s, g in sorted(groups.items()) if s[4] > 0]
+if scaling:
+    print("sim-jobs scaling (newest records):")
+    print(f"{'sim_jobs':<10}{'events/s':>14}{'accesses/s':>14}"
+          f"{'speedup':>10}")
+    for r in scaling:
+        print(f"{r['sim_jobs']:<10}{r['events_per_sec']:>14.0f}"
+              f"{r['accesses_per_sec']:>14.0f}"
+              f"{r.get('speedup_vs_sj1', 0):>10.2f}")
+
+if check and compared == 0:
+    print("perf_compare: FAIL — no prior comparable records on this "
+          "host/config: baseline missing (run bench/perf_smoke twice)")
+    sys.exit(1)
+if check and failed:
+    for label, drop in failed:
+        print(f"perf_compare: FAIL — [{label}] events_per_sec "
+              f"regressed {drop:.1f}% (> {threshold:.0f}% threshold)")
     sys.exit(1)
 EOF

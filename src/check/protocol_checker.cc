@@ -167,6 +167,7 @@ void
 ProtocolChecker::onDirTransaction(const MemReq &req, const ReplyInfo &,
                                   const DirEntry &, Tick)
 {
+    std::lock_guard<std::mutex> lk(mu);
     ++transactionsObserved;
     linesSeen.insert(req.lineAddr);
     sweepLine(req.lineAddr);
@@ -176,6 +177,7 @@ void
 ProtocolChecker::onDirNote(DirNote kind, NodeId node, Addr line_addr,
                            const DirEntry *)
 {
+    std::lock_guard<std::mutex> lk(mu);
     linesSeen.insert(line_addr);
     if (kind == DirNote::Writeback && trackValues) {
         // The writeback must carry the last committed value; since
@@ -201,6 +203,7 @@ void
 ProtocolChecker::onL2(L2Event ev, NodeId node, Addr line_addr, bool,
                       bool transparent)
 {
+    std::lock_guard<std::mutex> lk(mu);
     linesSeen.insert(line_addr);
     switch (ev) {
       case L2Event::Fill:
@@ -233,6 +236,7 @@ ProtocolChecker::onL2(L2Event ev, NodeId node, Addr line_addr, bool,
 void
 ProtocolChecker::onL1(L1Event ev, NodeId node, int slot, Addr line_addr)
 {
+    std::lock_guard<std::mutex> lk(mu);
     auto &set = l1Lines[static_cast<std::size_t>(node) * 2 + slot];
     switch (ev) {
       case L1Event::Insert:
@@ -255,6 +259,7 @@ void
 ProtocolChecker::commitStore(NodeId node, Addr line_addr,
                              std::uint64_t value)
 {
+    std::lock_guard<std::mutex> lk(mu);
     ++storesCommitted;
     Shadow &s = shadow[line_addr];
     s.value = value;
@@ -268,6 +273,7 @@ ProtocolChecker::verifyRLoad(NodeId node, Addr line_addr)
 {
     if (!trackValues)
         return;
+    std::lock_guard<std::mutex> lk(mu);
     ++rLoadsVerified;
     auto it = shadow.find(line_addr);
     const std::uint64_t expected =
@@ -286,6 +292,7 @@ ProtocolChecker::verifyRLoad(NodeId node, Addr line_addr)
 void
 ProtocolChecker::noteALoad(NodeId node, Addr line_addr)
 {
+    std::lock_guard<std::mutex> lk(mu);
     const bool present_r =
         ms.node(node).presentFor(line_addr, StreamKind::RStream);
     const bool present_a =

@@ -35,6 +35,7 @@
 #define SLIPSIM_CHECK_PROTOCOL_CHECKER_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -154,6 +155,11 @@ class ProtocolChecker : public CoherenceObserver
 
     MemorySystem &ms;
     bool trackValues;
+
+    /** Serializes the observer hooks: under the parallel engine they
+     *  fire concurrently from worker threads.  sweepLine()/finalSweep()
+     *  are quiescence-time calls and take it through the hooks only. */
+    std::mutex mu;
 
     std::vector<Violation> found;
     std::uint64_t violationCount = 0;

@@ -9,13 +9,16 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "check/protocol_checker.hh"
 #include "core/system.hh"
 #include "sim/logging.hh"
+#include "sim/parallel_exec.hh"
 #include "sim/random.hh"
 
 namespace slipsim
@@ -89,48 +92,247 @@ generateFuzzOps(const FuzzConfig &cfg, std::uint64_t seed)
     return ops;
 }
 
-FuzzReport
-runFuzzOps(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops)
+namespace
 {
-    SLIPSIM_ASSERT(cfg.nodes >= 2 && cfg.nodes <= 64,
-            "fuzz node count must be in [2,64]");
-    SLIPSIM_ASSERT(cfg.lines >= 1 && cfg.lines <= 0xffff,
-            "fuzz line pool must fit a uint16 index");
 
-    MachineParams mp;
-    mp.numCmps = cfg.nodes;
-    mp.l2Bytes = cfg.l2KB * 1024;  // tiny: evictions are the point
-    mp.l2Assoc = 2;
-    mp.l1Bytes = 1024;
+/** Ops that issue a blocking access (completion callback + throttle). */
+bool
+fuzzOpBlocks(FuzzOpKind k)
+{
+    return k == FuzzOpKind::RLoad || k == FuzzOpKind::RStore ||
+           k == FuzzOpKind::ALoad || k == FuzzOpKind::ATransLoad;
+}
 
-    RunConfig rc;
-    rc.mode = Mode::Slipstream;  // enables every protocol feature
-    rc.features.transparentLoads = cfg.transparentLoads;
-    rc.features.selfInvalidation = cfg.selfInvalidation;
+/** Translate an access op into a MemReq; false for non-access ops. */
+bool
+buildFuzzReq(const FuzzConfig &cfg, const FuzzOp &op, Addr la,
+             NodeId node, MemReq &req, int &slot)
+{
+    req.lineAddr = la;
+    req.node = node;
+    slot = 0;
+    switch (op.kind) {
+      case FuzzOpKind::RLoad:
+        req.type = ReqType::Read;
+        req.stream = StreamKind::RStream;
+        return true;
+      case FuzzOpKind::RStore:
+        req.type = ReqType::Excl;
+        req.stream = StreamKind::RStream;
+        req.inCS = (op.delay & 1) != 0;
+        return true;
+      case FuzzOpKind::ALoad:
+        req.type = ReqType::Read;
+        req.stream = StreamKind::AStream;
+        slot = 1;
+        return true;
+      case FuzzOpKind::ATransLoad:
+        req.type = ReqType::Read;
+        req.stream = StreamKind::AStream;
+        req.wantTransparent = cfg.transparentLoads;
+        slot = 1;
+        return true;
+      case FuzzOpKind::APrefEx:
+        req.type = ReqType::PrefEx;
+        req.stream = StreamKind::AStream;
+        slot = 1;
+        return true;
+      default:
+        return false;
+    }
+}
 
-    System sys(mp, rc);
-    EventQueue &eq = sys.eventq();
+/** Deterministic per-op store value, keyed by the op's index in the
+ *  original (pre-partition) list so both engines commit the same
+ *  sequence per line. */
+std::uint64_t
+fuzzStoreValue(std::size_t global_idx, NodeId node)
+{
+    return (static_cast<std::uint64_t>(global_idx + 1) << 16) ^
+           static_cast<std::uint64_t>(node + 1);
+}
+
+/**
+ * Parallel-engine fuzz driver: ops partition by node and each node
+ * replays its sub-list in order on its own event queue — a pump event
+ * per node issues the next op after the op's declared delay, stalling
+ * (and retrying) while the node's issue window is full.  The epoch
+ * executor runs the queues; completions land node-locally, so every
+ * counter below has a single writer and the coordinator only reads
+ * them at epoch barriers.
+ */
+void
+runFuzzParallel(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops,
+                System &sys, ProtocolChecker &checker,
+                const std::vector<Addr> &pool, FuzzReport &rep)
+{
     MemorySystem &msys = sys.memory();
-    ProtocolChecker checker(msys, /*track_values=*/true);
 
-    for (NodeId n = 0; n < cfg.nodes; ++n)
-        msys.dir(n).faults = cfg.faults;
+    struct NodeDrv
+    {
+        std::vector<std::pair<FuzzOp, std::size_t>> ops;
+        std::size_t next = 0;
+        int outstanding = 0;
+        int issued = 0;
+        int completed = 0;
+    };
+    std::vector<NodeDrv> drv(static_cast<std::size_t>(cfg.nodes));
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const NodeId n = static_cast<NodeId>(ops[i].node % cfg.nodes);
+        drv[static_cast<std::size_t>(n)].ops.emplace_back(ops[i], i);
+    }
+    const int window = std::max(1, cfg.maxOutstanding / cfg.nodes);
 
-    // Pool: one line per page (homes round-robin across nodes), the
-    // set index stepping through 16 sets so lines both conflict in the
-    // tiny L2 and spread across homes.
-    std::vector<Addr> pool;
-    pool.reserve(static_cast<std::size_t>(cfg.lines));
-    Addr base = sys.allocator().alloc(
-        static_cast<std::size_t>(cfg.lines) * FunctionalMemory::pageBytes,
-        Placement::Interleaved);
-    for (int i = 0; i < cfg.lines; ++i) {
-        pool.push_back(base +
-                       static_cast<Addr>(i) * FunctionalMemory::pageBytes +
-                       static_cast<Addr>(i % 16) * lineBytes);
+    std::vector<std::function<void()>> pumps(
+            static_cast<std::size_t>(cfg.nodes));
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+        pumps[static_cast<std::size_t>(n)] = [&, n]() {
+            NodeDrv &d = drv[static_cast<std::size_t>(n)];
+            EventQueue &q = msys.eventq(n);
+            while (d.next < d.ops.size()) {
+                const FuzzOp &op = d.ops[d.next].first;
+                const std::size_t gidx = d.ops[d.next].second;
+                if (fuzzOpBlocks(op.kind) && d.outstanding >= window) {
+                    q.scheduleIn(256, pumps[static_cast<std::size_t>(n)]);
+                    return;
+                }
+                ++d.next;
+
+                const Addr la = pool[op.lineIdx % pool.size()];
+                MemReq req;
+                int slot = 0;
+                if (op.kind == FuzzOpKind::SiDrain) {
+                    msys.node(n).drainSiQueue();
+                } else if (buildFuzzReq(cfg, op, la, n, req, slot)) {
+                    if (req.type == ReqType::PrefEx) {
+                        msys.node(n).access(req, slot, nullptr);
+                    } else {
+                        ++d.issued;
+                        ++d.outstanding;
+                        const std::uint64_t value =
+                            fuzzStoreValue(gidx, n);
+                        const FuzzOpKind kind = op.kind;
+                        msys.node(n).access(req, slot,
+                                [&d, &msys, &checker, &sys, kind, n,
+                                 la, value]() {
+                                    --d.outstanding;
+                                    ++d.completed;
+                                    // Value commits and checks mutate
+                                    // cross-node checker state; ride
+                                    // the channel so they apply at the
+                                    // epoch barrier in canonical
+                                    // (tick, node, seq) order — the
+                                    // counts stay byte-identical for
+                                    // every sim-jobs value.
+                                    Tick now = msys.eventq(n).now();
+                                    msys.channel(n).send(now, now,
+                                            MsgKind::SyncOp,
+                                            [&checker, &sys, kind, n,
+                                             la, value](Tick,
+                                                        Tick) -> Tick {
+                                        switch (kind) {
+                                          case FuzzOpKind::RLoad:
+                                            checker.verifyRLoad(n, la);
+                                            break;
+                                          case FuzzOpKind::RStore:
+                                            sys.functional()
+                                                .write<std::uint64_t>(
+                                                        la, value);
+                                            checker.commitStore(n, la,
+                                                                value);
+                                            break;
+                                          case FuzzOpKind::ALoad:
+                                          case FuzzOpKind::ATransLoad:
+                                            checker.noteALoad(n, la);
+                                            break;
+                                          default:
+                                            break;
+                                        }
+                                        return 0;
+                                    });
+                                });
+                    }
+                }
+
+                // Spacing to the next op (its declared pre-issue
+                // delay); zero-delay ops chain inline at this tick.
+                if (d.next < d.ops.size()) {
+                    const Tick delay = d.ops[d.next].first.delay;
+                    if (delay) {
+                        q.scheduleIn(delay,
+                                     pumps[static_cast<std::size_t>(n)]);
+                        return;
+                    }
+                }
+            }
+        };
+    }
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+        NodeDrv &d = drv[static_cast<std::size_t>(n)];
+        if (!d.ops.empty()) {
+            msys.eventq(n).scheduleIn(
+                    d.ops.front().first.delay,
+                    pumps[static_cast<std::size_t>(n)]);
+        }
     }
 
-    FuzzReport rep;
+    std::vector<EventQueue *> qs;
+    std::vector<Channel *> chs;
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+        qs.push_back(&msys.eventq(n));
+        chs.push_back(&msys.channel(n));
+    }
+    const Tick epoch = std::min<Tick>(ParallelExecutor::defaultEpochLen,
+                                      msys.lookahead());
+    ParallelExecutor exec(std::move(qs), std::move(chs), epoch,
+                          cfg.simJobs);
+    exec.run(
+            [&]() {
+                // Done only at full quiescence: every op issued, every
+                // blocking access completed, every queue drained (so
+                // fire-and-forget prefetch fills have landed, exactly
+                // like the sequential driver's final eq.run()).
+                for (NodeId n = 0; n < cfg.nodes; ++n) {
+                    const NodeDrv &d =
+                        drv[static_cast<std::size_t>(n)];
+                    if (d.next < d.ops.size() || d.outstanding > 0)
+                        return false;
+                    if (!msys.eventq(n).empty())
+                        return false;
+                }
+                return true;
+            },
+            [&]() {
+                std::ostringstream os;
+                for (NodeId n = 0; n < cfg.nodes; ++n) {
+                    const NodeDrv &d =
+                        drv[static_cast<std::size_t>(n)];
+                    os << "node" << n << ": op " << d.next << "/"
+                       << d.ops.size() << " outstanding="
+                       << d.outstanding << "; ";
+                }
+                return os.str();
+            });
+
+    for (const NodeDrv &d : drv) {
+        rep.issued += d.issued;
+        rep.completed += d.completed;
+    }
+}
+
+/**
+ * Sequential driver: issues the op list inline against the single
+ * global event queue, interleaving eq.run() slices for delays and
+ * throttling.  This is the legacy engine, bit-exact with every run
+ * recorded before the parallel engine existed.
+ */
+void
+runFuzzSequential(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops,
+                  System &sys, ProtocolChecker &checker,
+                  const std::vector<Addr> &pool, FuzzReport &rep)
+{
+    EventQueue &eq = sys.eventq();
+    MemorySystem &msys = sys.memory();
     int outstanding = 0;
 
     for (std::size_t idx = 0; idx < ops.size(); ++idx) {
@@ -158,39 +360,9 @@ runFuzzOps(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops)
         }
 
         MemReq req;
-        req.lineAddr = la;
-        req.node = node;
         int slot = 0;
-
-        switch (op.kind) {
-          case FuzzOpKind::RLoad:
-            req.type = ReqType::Read;
-            req.stream = StreamKind::RStream;
-            break;
-          case FuzzOpKind::RStore:
-            req.type = ReqType::Excl;
-            req.stream = StreamKind::RStream;
-            req.inCS = (op.delay & 1) != 0;
-            break;
-          case FuzzOpKind::ALoad:
-            req.type = ReqType::Read;
-            req.stream = StreamKind::AStream;
-            slot = 1;
-            break;
-          case FuzzOpKind::ATransLoad:
-            req.type = ReqType::Read;
-            req.stream = StreamKind::AStream;
-            req.wantTransparent = cfg.transparentLoads;
-            slot = 1;
-            break;
-          case FuzzOpKind::APrefEx:
-            req.type = ReqType::PrefEx;
-            req.stream = StreamKind::AStream;
-            slot = 1;
-            break;
-          default:
+        if (!buildFuzzReq(cfg, op, la, node, req, slot))
             continue;
-        }
 
         if (req.type == ReqType::PrefEx) {
             msys.node(node).access(req, slot, nullptr);
@@ -201,9 +373,7 @@ runFuzzOps(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops)
         ++outstanding;
         // Deterministic per-op value so a shrunk replay recommits the
         // identical sequence.
-        const std::uint64_t value =
-            (static_cast<std::uint64_t>(idx + 1) << 16) ^
-            static_cast<std::uint64_t>(node + 1);
+        const std::uint64_t value = fuzzStoreValue(idx, node);
         const FuzzOpKind kind = op.kind;
         msys.node(node).access(req, slot,
                 [&rep, &outstanding, &checker, &sys, kind, node, la,
@@ -228,8 +398,61 @@ runFuzzOps(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops)
                 });
     }
 
-    // Quiesce and do the global end-of-run sweep.
+    // Quiesce.
     eq.run();
+}
+
+} // namespace
+
+FuzzReport
+runFuzzOps(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops)
+{
+    SLIPSIM_ASSERT(cfg.nodes >= 2 && cfg.nodes <= 64,
+            "fuzz node count must be in [2,64]");
+    SLIPSIM_ASSERT(cfg.lines >= 1 && cfg.lines <= 0xffff,
+            "fuzz line pool must fit a uint16 index");
+
+    MachineParams mp;
+    mp.numCmps = cfg.nodes;
+    mp.l2Bytes = cfg.l2KB * 1024;  // tiny: evictions are the point
+    mp.l2Assoc = 2;
+    mp.l1Bytes = 1024;
+
+    RunConfig rc;
+    rc.mode = Mode::Slipstream;  // enables every protocol feature
+    rc.features.transparentLoads = cfg.transparentLoads;
+    rc.features.selfInvalidation = cfg.selfInvalidation;
+    rc.simJobs = cfg.simJobs;
+
+    System sys(mp, rc);
+    MemorySystem &msys = sys.memory();
+    ProtocolChecker checker(msys, /*track_values=*/true);
+
+    for (NodeId n = 0; n < cfg.nodes; ++n)
+        msys.dir(n).faults = cfg.faults;
+
+    // Pool: one line per page (homes round-robin across nodes), the
+    // set index stepping through 16 sets so lines both conflict in the
+    // tiny L2 and spread across homes.
+    std::vector<Addr> pool;
+    pool.reserve(static_cast<std::size_t>(cfg.lines));
+    Addr base = sys.allocator().alloc(
+        static_cast<std::size_t>(cfg.lines) * FunctionalMemory::pageBytes,
+        Placement::Interleaved);
+    for (int i = 0; i < cfg.lines; ++i) {
+        pool.push_back(base +
+                       static_cast<Addr>(i) * FunctionalMemory::pageBytes +
+                       static_cast<Addr>(i % 16) * lineBytes);
+    }
+
+    FuzzReport rep;
+
+    if (cfg.simJobs > 0)
+        runFuzzParallel(cfg, ops, sys, checker, pool, rep);
+    else
+        runFuzzSequential(cfg, ops, sys, checker, pool, rep);
+
+    // Global end-of-run sweep at quiescence.
     checker.finalSweep();
 
     rep.transactions = checker.transactionsObserved;

@@ -67,6 +67,15 @@ struct FuzzConfig
     std::uint32_t l2KB = 8;   //!< tiny L2 so evictions are common
     bool transparentLoads = true;
     bool selfInvalidation = true;
+    /**
+     * Intra-run parallel engine: 0 drives the single global event
+     * queue (sequential, bit-exact legacy behavior); N >= 1 drives
+     * per-node queues under the epoch executor with N workers.  Ops
+     * partition by node (each node replays its own sub-list in order,
+     * with a per-node issue window), so for a given config the run is
+     * byte-identical for every N >= 1.
+     */
+    int simJobs = 0;
     /** Test-only fault injection, applied to every home. */
     DirFaults faults;
 };

@@ -80,6 +80,8 @@ runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
     std::unique_ptr<ChromeTracer> file_tracer;
     if (!cfg.tracePath.empty()) {
         file_tracer = std::make_unique<ChromeTracer>();
+        if (cfg.simJobs > 0)
+            file_tracer->enablePartitioned(mp.numCmps);
         sys.memory().setTracer(file_tracer.get());
     } else if (cfg.tracer) {
         sys.memory().setTracer(cfg.tracer);
@@ -175,9 +177,17 @@ runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
         for (TaskId t = 0; t < ntasks; ++t)
             rt.aCtx(t).processor().dumpStats(r.stats, "aproc");
     }
+    // Under the parallel engine the global queue is idle; the event
+    // count is the sum over the per-node queues (worker-count
+    // independent: the same events dispatch whatever sim-jobs is).
+    std::uint64_t run_events = sys.eventq().processed();
+    if (cfg.simJobs > 0) {
+        run_events = 0;
+        for (NodeId n = 0; n < mp.numCmps; ++n)
+            run_events += sys.nodeEventq(n).processed();
+    }
     r.stats.set("run.cycles", static_cast<double>(end));
-    r.stats.set("run.events",
-                static_cast<double>(sys.eventq().processed()));
+    r.stats.set("run.events", static_cast<double>(run_events));
     r.stats.set("run.recoveries", static_cast<double>(r.recoveries));
     if (cfg.mode == Mode::Slipstream) {
         double switches = 0;
@@ -189,7 +199,7 @@ runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
                         static_cast<std::uint64_t>(switches));
     }
     snap.setCounter("run.cycles", end);
-    snap.setCounter("run.events", sys.eventq().processed());
+    snap.setCounter("run.events", run_events);
     snap.setCounter("run.recoveries", r.recoveries);
     r.snap = std::move(snap);
 

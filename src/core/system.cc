@@ -16,6 +16,18 @@ System::System(const MachineParams &p, const RunConfig &cfg)
 
     ms = std::make_unique<MemorySystem>(eq, params, alloc, fmem);
 
+    if (cfg.simJobs > 0) {
+        // Parallel engine: one event queue per node, connected by the
+        // typed channel layer; the global queue goes unused.
+        nodeQs.reserve(params.numCmps);
+        std::vector<EventQueue *> qptrs;
+        for (NodeId n = 0; n < params.numCmps; ++n) {
+            nodeQs.push_back(std::make_unique<EventQueue>());
+            qptrs.push_back(nodeQs.back().get());
+        }
+        ms->enableParallel(qptrs);
+    }
+
     const bool slip = cfg.mode == Mode::Slipstream;
     procs.reserve(static_cast<size_t>(params.numCmps) * 2);
     for (NodeId n = 0; n < params.numCmps; ++n) {
@@ -24,7 +36,7 @@ System::System(const MachineParams &p, const RunConfig &cfg)
             StreamKind s = (slip && slot == 1) ? StreamKind::AStream
                                                : StreamKind::RStream;
             procs.push_back(std::make_unique<Processor>(
-                    n, slot, s, eq, ms->node(n), params));
+                    n, slot, s, nodeEventq(n), ms->node(n), params));
         }
     }
 }

@@ -43,9 +43,23 @@ class System
     /** All processors, indexed node*2+slot. */
     std::vector<Processor *> procPtrs();
 
+    /** Per-node event queue (parallel engine; node must be a valid
+     *  index only when sim-jobs >= 1 built the machine partitioned). */
+    EventQueue &
+    nodeEventq(NodeId node)
+    {
+        return nodeQs.empty() ? eq : *nodeQs[node];
+    }
+
+    /** True when the machine was built with per-node queues. */
+    bool partitioned() const { return !nodeQs.empty(); }
+
   private:
     MachineParams params;
     EventQueue eq;
+    /** Non-empty only under the parallel engine (cfg.simJobs >= 1):
+     *  one queue per node; `eq` is then unused. */
+    std::vector<std::unique_ptr<EventQueue>> nodeQs;
     FunctionalMemory fmem;
     SharedAllocator alloc;
     std::unique_ptr<MemorySystem> ms;

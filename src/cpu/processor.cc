@@ -132,10 +132,15 @@ Processor::tryFastMem(const MemReq &req, TimeCat wait_cat)
     Tick proc_now = localNow();
     // Quick reject: an event pending at or before local time always
     // disqualifies the fast path (the full bound check is inside
-    // accessFast, against the hit's completion tick).
-    if (eq.nextTick() <= proc_now)
+    // accessFast, against the hit's completion tick).  Under the
+    // parallel engine the epoch horizon bounds the window too: the
+    // clock must never advance past it inline.
+    Tick bound = eq.nextTick();
+    if (eq.runBound() < bound)
+        bound = eq.runBound();
+    if (bound <= proc_now)
         return false;
-    Tick completion = l2.accessFast(req, slot, proc_now, eq.nextTick());
+    Tick completion = l2.accessFast(req, slot, proc_now, bound);
     if (completion == 0)
         return false;
 
@@ -167,7 +172,7 @@ Processor::issueMem(MemReq req, std::coroutine_handle<> h,
     suspendCat = wait_cat;
 
     auto tok = token;
-    if (eq.nextTick() > proc_now) {
+    if (eq.nextTick() > proc_now && proc_now < eq.runBound()) {
         // Nothing is pending at or before proc_now, so the access event
         // the slow path schedules below would be the very next dispatch,
         // running with now() == proc_now.  Run it inline instead: credit
@@ -229,12 +234,12 @@ Processor::sleepOn(std::coroutine_handle<> h, TimeCat wait_cat)
 }
 
 void
-Processor::wake()
+Processor::wakeAt(Tick at)
 {
     SLIPSIM_ASSERT(sleeping && suspendedHandle,
             "wake() on a processor that is not sleeping");
     sleeping = false;
-    Tick wake_tick = eq.now() > suspendTick ? eq.now() : suspendTick;
+    Tick wake_tick = at > suspendTick ? at : suspendTick;
     cats[static_cast<int>(suspendCat)] += wake_tick - suspendTick;
     if (SimTracer *t = *trcSlot)
         t->phase(node, slot, suspendCat, suspendTick, wake_tick);
@@ -251,7 +256,7 @@ bool
 Processor::tryFastYield()
 {
     Tick proc_now = localNow();
-    if (eq.nextTick() <= proc_now)
+    if (eq.nextTick() <= proc_now || proc_now >= eq.runBound())
         return false;
     // A quiescent yield is a pure clock synchronization: the resume
     // event yieldNow would schedule at proc_now is guaranteed to be the

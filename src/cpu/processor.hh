@@ -133,7 +133,15 @@ class Processor
     void sleepOn(std::coroutine_handle<> h, TimeCat wait_cat);
 
     /** Wake a task suspended with sleepOn(). */
-    void wake();
+    void wake() { wakeAt(eq.now()); }
+
+    /**
+     * Wake a task suspended with sleepOn(), resuming no earlier than
+     * @p at (and never before the suspension tick).  The parallel
+     * engine's barrier replay uses this to resume waiters at the next
+     * epoch start; wake() is the sequential special case at = now().
+     */
+    void wakeAt(Tick at);
 
     /** Quantum yield: resynchronize local time with the event queue. */
     void yieldNow(std::coroutine_handle<> h);

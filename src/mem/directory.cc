@@ -30,18 +30,23 @@ DirectoryController::probe(Addr line_addr) const
 void
 DirectoryController::handle(const MemReq &req, ReplyFn reply)
 {
-    EventQueue &eq = ms.eventq();
-    DirEntry &e = entry(req.lineAddr);
-    Tick now = eq.now();
-
+    Tick redo = handleAt(ms.eventq(home).now(), req, reply);
     // Per-line transaction serialization: wait out the busy window.
-    if (now < e.busyUntil) {
-        eq.schedule(e.busyUntil,
+    if (redo != 0) {
+        ms.eventq(home).schedule(redo,
                 [this, req, reply = std::move(reply)]() mutable {
                     handle(req, std::move(reply));
                 });
-        return;
     }
+}
+
+Tick
+DirectoryController::handleAt(Tick now, const MemReq &req, ReplyFn &reply)
+{
+    DirEntry &e = entry(req.lineAddr);
+
+    if (now < e.busyUntil)
+        return e.busyUntil;
 
     SLIPSIM_TRACE_MSG(TraceFlag::Coherence, now, "dir",
             "home %d handles %s line %llx from node %d%s%s",
@@ -255,6 +260,7 @@ DirectoryController::handle(const MemReq &req, ReplyFn reply)
     }
 
     reply(reply_arrival, info);
+    return 0;
 }
 
 void

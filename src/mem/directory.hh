@@ -81,6 +81,17 @@ class DirectoryController
      */
     void handle(const MemReq &req, ReplyFn reply);
 
+    /**
+     * Tick-parameterized transaction core, shared by handle() (which
+     * passes the event queue's now and reschedules deferrals) and the
+     * parallel engine's barrier replay (which passes the message's
+     * apply tick and reinserts deferrals into the epoch calendar).
+     * @p reply is left intact when the request is deferred.
+     * @return 0 when the transaction executed, or the line's busyUntil
+     *         tick at which to retry.
+     */
+    Tick handleAt(Tick now, const MemReq &req, ReplyFn &reply);
+
     // --- zero-latency notifications (replacement hints etc.) -------------
 
     /** A node silently evicted a Shared copy. */

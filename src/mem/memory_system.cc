@@ -5,6 +5,8 @@
 
 #include "mem/memory_system.hh"
 
+#include "sim/parallel_exec.hh"
+
 namespace slipsim
 {
 
@@ -28,7 +30,109 @@ MemorySystem::MemorySystem(EventQueue &event_queue,
         niOut.emplace_back("niOut");
         nodeBus.emplace_back("bus");
         memBank.emplace_back("mem");
+        qs.push_back(&eq);
     }
+}
+
+Tick
+MemorySystem::lookahead() const
+{
+    return ParallelExecutor::lookaheadFor(params.busTime,
+                                          params.piLocalDCTime,
+                                          params.niLocalDCTime);
+}
+
+void
+MemorySystem::enableParallel(const std::vector<EventQueue *> &node_queues)
+{
+    SLIPSIM_ASSERT(node_queues.size() ==
+                           static_cast<std::size_t>(params.numCmps),
+            "need one event queue per node");
+    pdes = true;
+    qs = node_queues;
+    netShards.resize(params.numCmps);
+
+    // Declared channel minimums, derived from Table 1: a directory
+    // request leaves its node no sooner than one L2<->DC bus crossing
+    // after issue.  Notes and sync operations ride latency-free, as
+    // they do (synchronously) under the sequential engine.
+    std::array<Tick, numMsgKinds> min_lat{};
+    min_lat[static_cast<int>(MsgKind::DirRequest)] = params.busTime;
+    min_lat[static_cast<int>(MsgKind::DirNote)] = 0;
+    min_lat[static_cast<int>(MsgKind::SyncOp)] = 0;
+    channels.clear();
+    channels.reserve(params.numCmps);
+    for (NodeId n = 0; n < params.numCmps; ++n)
+        channels.push_back(std::make_unique<Channel>(n, min_lat));
+
+    for (auto &node : nodes)
+        node->enableParallel();
+}
+
+Tick
+MemorySystem::oneWaySend(NodeId from, NodeId to, Tick earliest)
+{
+    ++netShards[from].messages;
+    if (from == to)
+        return earliest + params.busTime;
+    ++netShards[from].remoteHops;
+    Tick t = niOut[from].reserveCutThrough(earliest,
+                                           params.netPortOccupancy);
+    return t + params.netTime;
+}
+
+void
+MemorySystem::sendDirRequest(NodeId from, NodeId home, Tick ready,
+                             const MemReq &req)
+{
+    // The receiver-side NI input is priced once, on first delivery;
+    // busy-window redeliveries re-enter with the network hop already
+    // paid.
+    channel(from).send(eventq(from).now(), ready, MsgKind::DirRequest,
+        [this, home, req, remote = from != home, adjusted = false](
+                Tick at, Tick horizon) mutable -> Tick {
+            if (remote && !adjusted) {
+                at = niInArrival(home, at);
+                adjusted = true;
+            }
+            // If the NI input pushed the arrival past this window,
+            // executing now could leap a line's busy window before the
+            // covered fill has installed (the fill event always lands
+            // beyond the current horizon).  Redeliver at the true
+            // arrival tick, once every earlier event has run.
+            if (at >= horizon)
+                return at;
+            DirectoryController::ReplyFn reply =
+                [this, req](Tick t, const ReplyInfo &info) {
+                    nodes[req.node]->pdesDeliverFill(t, req, info);
+                };
+            return dirs[home]->handleAt(at, req, reply);
+        });
+}
+
+void
+MemorySystem::sendDirNote(NodeId from, Addr line_addr, DirNoteKind kind)
+{
+    Tick now = eventq(from).now();
+    channel(from).send(now, now, MsgKind::DirNote,
+        [this, from, line_addr, kind](Tick, Tick) -> Tick {
+            DirectoryController &home = homeOf(line_addr);
+            switch (kind) {
+              case DirNoteKind::SharedEviction:
+                home.noteSharedEviction(from, line_addr);
+                break;
+              case DirNoteKind::Writeback:
+                home.noteWriteback(from, line_addr);
+                break;
+              case DirNoteKind::Downgrade:
+                home.noteDowngrade(from, line_addr);
+                break;
+              case DirNoteKind::TransparentEviction:
+                home.noteTransparentEviction(from, line_addr);
+                break;
+            }
+            return 0;
+        });
 }
 
 Tick
@@ -62,6 +166,13 @@ MemorySystem::finalizeStats()
 {
     for (auto &n : nodes)
         n->finalizeClassification();
+    // Fold the parallel engine's per-node net shards into the plain
+    // counters the registry points at (single-threaded, post-run).
+    for (auto &s : netShards) {
+        messages += s.messages;
+        remoteHops += s.remoteHops;
+        s = NetShard{};
+    }
 }
 
 void

@@ -15,6 +15,7 @@
 #include "mem/node_memory.hh"
 #include "mem/observer.hh"
 #include "mem/params.hh"
+#include "net/channel.hh"
 #include "net/resource.hh"
 #include "obs/stats_registry.hh"
 #include "sim/event_queue.hh"
@@ -53,7 +54,13 @@ class MemorySystem
     NodeId homeNodeOf(Addr line_addr) const
     { return alloc.homeOf(line_addr); }
 
+    /** The global (sequential-engine) event queue. */
     EventQueue &eventq() { return eq; }
+
+    /** Node @p n's event queue: the per-node queue under the parallel
+     *  engine, the global queue otherwise. */
+    EventQueue &eventq(NodeId n) { return *qs[n]; }
+
     const MachineParams &machine() const { return params; }
     SharedAllocator &allocator() { return alloc; }
     FunctionalMemory &functional() { return fmem; }
@@ -95,6 +102,65 @@ class MemorySystem
                                             params.memBankOccupancy) +
                params.memTime;
     }
+
+    // --- parallel (epoch-windowed) execution, DESIGN.md §2.9 -------------
+
+    /**
+     * Switch the fabric to the parallel engine: node @p n uses
+     * @p node_queues[n], every cross-node interaction is buffered into
+     * a per-source Channel, and the net counters are sharded per node.
+     * Must be called before any traffic; the sequential engine never
+     * calls it.
+     */
+    void enableParallel(const std::vector<EventQueue *> &node_queues);
+
+    /** True when the epoch-windowed engine is active. */
+    bool parallel() const { return pdes; }
+
+    /** Node @p n's message outbox (parallel engine only). */
+    Channel &channel(NodeId n) { return *channels[n]; }
+
+    /** Cross-node directory state notes carried as channel messages. */
+    enum class DirNoteKind : std::uint8_t
+    {
+        SharedEviction,
+        Writeback,
+        Downgrade,
+        TransparentEviction,
+    };
+
+    /**
+     * Parallel-engine send of an L2 miss request to its home: prices
+     * the sender-side hop (NI output + network transit; the receiver
+     * NI input is reserved at replay, keeping it single-writer) and
+     * buffers a DirRequest message applying at @p ready.  The reply is
+     * delivered through NodeMemory::pdesDeliverFill.
+     */
+    void sendDirRequest(NodeId from, NodeId home, Tick ready,
+                        const MemReq &req);
+
+    /** Parallel-engine send of a writeback/eviction/downgrade note to
+     *  @p line_addr's home directory, applying at the sender's now. */
+    void sendDirNote(NodeId from, Addr line_addr, DirNoteKind kind);
+
+    /**
+     * Sender-side half of oneWay() for the parallel engine: NI output
+     * and network transit only.  The receiver's NI input belongs to
+     * the home node and is reserved at replay (niInArrival), so no two
+     * workers ever touch the same Resource.
+     */
+    Tick oneWaySend(NodeId from, NodeId to, Tick earliest);
+
+    /** Replay-side NI input reservation at @p to, message ready at
+     *  @p t.  @return arrival tick. */
+    Tick
+    niInArrival(NodeId to, Tick t)
+    {
+        return niIn[to].reserveCutThrough(t, params.netPortOccupancy);
+    }
+
+    /** Conservative cross-node lookahead of this machine (ticks). */
+    Tick lookahead() const;
 
     // --- runtime verification hooks (src/check/) -------------------------
 
@@ -154,6 +220,21 @@ class MemorySystem
     std::vector<Resource> niOut;
     std::vector<Resource> nodeBus;
     std::vector<Resource> memBank;
+
+    /** Per-node queue pointers; all alias `eq` under the sequential
+     *  engine. */
+    std::vector<EventQueue *> qs;
+    /** Per-source outboxes (parallel engine only). */
+    std::vector<std::unique_ptr<Channel>> channels;
+    /** Per-node shards of messages/remoteHops: workers bump their own
+     *  cache line, finalizeStats() folds them into the Counters. */
+    struct alignas(64) NetShard
+    {
+        Counter messages;
+        Counter remoteHops;
+    };
+    std::vector<NetShard> netShards;
+    bool pdes = false;
 
     CoherenceObserver *obs = nullptr;
     SimTracer *trc = nullptr;

@@ -5,6 +5,7 @@
 
 #include "mem/node_memory.hh"
 
+#include <cstring>
 #include <utility>
 
 #include "mem/memory_system.hh"
@@ -38,7 +39,7 @@ NodeMemory::storeOwnedFast(Addr line_addr, int proc_slot, bool in_cs,
     if (!line || line->transparent() || line->state() != L2Line::St::Excl)
         return false;
 
-    touchClassify(*line, stream, ms.eventq().now());
+    touchClassify(*line, stream, ms.eventq(id).now());
     if (stream == StreamKind::RStream && in_cs)
         line->setWrittenInCS(true);
 
@@ -142,7 +143,7 @@ void
 NodeMemory::access(const MemReq &req, int proc_slot,
                    InlineCallback done)
 {
-    EventQueue &eq = ms.eventq();
+    EventQueue &eq = ms.eventq(id);
     const Addr la = req.lineAddr;
     L2Line *line = array.find(la);
 
@@ -262,7 +263,16 @@ NodeMemory::access(const MemReq &req, int proc_slot,
     NodeId home_node = ms.homeNodeOf(la);
     if (home_node != id) {
         t = ms.dir(id).server().reserve(t, params.piRemoteDCTime);
-        t = ms.oneWay(id, home_node, t);
+        t = pdes ? ms.oneWaySend(id, home_node, t)
+                 : ms.oneWay(id, home_node, t);
+    }
+
+    if (pdes) {
+        // Parallel engine: the request becomes a channel message that
+        // the epoch barrier replays in canonical order; the reply comes
+        // back through pdesDeliverFill.
+        ms.sendDirRequest(id, home_node, t, req);
+        return;
     }
 
     eq.schedule(t, [this, req, home_node]() {
@@ -272,11 +282,46 @@ NodeMemory::access(const MemReq &req, int proc_slot,
         // info fit inline).
         ms.dir(home_node).handle(req,
                 [this, req](Tick at, const ReplyInfo &info) {
-                    ms.eventq().schedule(at, [this, req, info]() {
+                    ms.eventq(id).schedule(at, [this, req, info]() {
                         handleFill(req, info);
                     });
                 });
     });
+}
+
+void
+NodeMemory::pdesDeliverFill(Tick at, const MemReq &req,
+                            const ReplyInfo &info)
+{
+    if (info.transparent) {
+        // Transparent replies carry a stale memory image.  Under the
+        // parallel engine the functional store may be written by other
+        // nodes' workers while this node reads the copy, so the image
+        // is materialized here, at the (single-threaded, deterministic)
+        // barrier; A-stream loads of transparent lines read it instead
+        // of the live functional memory.
+        auto &snap = shadow.getOrCreate(req.lineAddr);
+        ms.functional().readBytes(req.lineAddr, snap.data(), lineBytes);
+    }
+    ms.eventq(id).schedule(at, [this, req, info]() {
+        handleFill(req, info);
+    });
+}
+
+bool
+NodeMemory::transparentShadowRead(Addr addr, void *out,
+                                  unsigned bytes) const
+{
+    const Addr la = lineAlign(addr);
+    const L2Line *line = array.find(la);
+    if (!line || !line->transparent())
+        return false;
+    const auto *snap = shadow.find(la);
+    SLIPSIM_ASSERT(snap, "transparent line without a shadow image");
+    SLIPSIM_ASSERT(addr - la + bytes <= lineBytes,
+            "shadow read crosses a line boundary");
+    std::memcpy(out, snap->data() + (addr - la), bytes);
+    return true;
 }
 
 void
@@ -290,13 +335,21 @@ NodeMemory::evict(L2Line &line)
     const bool transparent = line.transparent();
     line.valid = false;
     line.setSiMarked(false);
-    DirectoryController &home = ms.homeOf(la);
-    if (transparent) {
-        home.noteTransparentEviction(id, la);
-    } else if (excl) {
-        home.noteWriteback(id, la);
+    if (pdes) {
+        using K = MemorySystem::DirNoteKind;
+        ms.sendDirNote(id, la,
+                       transparent ? K::TransparentEviction
+                                   : excl ? K::Writeback
+                                          : K::SharedEviction);
     } else {
-        home.noteSharedEviction(id, la);
+        DirectoryController &home = ms.homeOf(la);
+        if (transparent) {
+            home.noteTransparentEviction(id, la);
+        } else if (excl) {
+            home.noteWriteback(id, la);
+        } else {
+            home.noteSharedEviction(id, la);
+        }
     }
     if (CoherenceObserver *o = ms.observer()) {
         o->onL2(CoherenceObserver::L2Event::Evict, id, la, excl,
@@ -307,7 +360,7 @@ NodeMemory::evict(L2Line &line)
 void
 NodeMemory::handleFill(const MemReq &req, const ReplyInfo &info)
 {
-    EventQueue &eq = ms.eventq();
+    EventQueue &eq = ms.eventq(id);
     const Addr la = req.lineAddr;
 
     Mshr *mp = mshrs.find(la);
@@ -461,7 +514,7 @@ NodeMemory::drainSiQueue()
     if (siDrainActive || siQueue.empty())
         return;
     siDrainActive = true;
-    siSweepStart = ms.eventq().now();
+    siSweepStart = ms.eventq(id).now();
     siSweepProcessed = 0;
     processSiEntry();
 }
@@ -472,7 +525,7 @@ NodeMemory::processSiEntry()
     if (siQueue.empty()) {
         siDrainActive = false;
         if (SimTracer *t = ms.tracer()) {
-            t->siSweep(id, siSweepStart, ms.eventq().now(),
+            t->siSweep(id, siSweepStart, ms.eventq(id).now(),
                        siSweepProcessed);
         }
         return;
@@ -480,7 +533,7 @@ NodeMemory::processSiEntry()
     Addr la = siQueue.front();
     siQueue.pop_front();
     ++siSweepProcessed;
-    SLIPSIM_TRACE_MSG(TraceFlag::Cache, ms.eventq().now(), "l2",
+    SLIPSIM_TRACE_MSG(TraceFlag::Cache, ms.eventq(id).now(), "l2",
             "node %d self-invalidation drain of line %llx", id,
             (unsigned long long)la);
 
@@ -494,17 +547,27 @@ NodeMemory::processSiEntry()
                 dropClassify(*line);
                 backInvalidateL1(*line);
                 line->valid = false;
-                ms.homeOf(la).noteWriteback(id, la);
+                if (pdes) {
+                    ms.sendDirNote(id, la,
+                                   MemorySystem::DirNoteKind::Writeback);
+                } else {
+                    ms.homeOf(la).noteWriteback(id, la);
+                }
                 ++siInvalidated;
                 if (CoherenceObserver *o = ms.observer()) {
                     o->onL2(CoherenceObserver::L2Event::SiInvalidate,
                             id, la, true, false);
                 }
                 if (SimTracer *t = ms.tracer())
-                    t->siAction(id, la, true, ms.eventq().now());
+                    t->siAction(id, la, true, ms.eventq(id).now());
             } else {
                 // Producer-consumer: write back and keep a shared copy.
-                ms.homeOf(la).noteDowngrade(id, la);
+                if (pdes) {
+                    ms.sendDirNote(id, la,
+                                   MemorySystem::DirNoteKind::Downgrade);
+                } else {
+                    ms.homeOf(la).noteDowngrade(id, la);
+                }
                 line->setState(L2Line::St::Shared);
                 line->setWrittenInCS(false);
                 ++siDowngraded;
@@ -513,14 +576,14 @@ NodeMemory::processSiEntry()
                             id, la, true, false);
                 }
                 if (SimTracer *t = ms.tracer())
-                    t->siAction(id, la, false, ms.eventq().now());
+                    t->siAction(id, la, false, ms.eventq(id).now());
             }
         }
     }
 
     // Peak rate: one action every siDrainInterval cycles, overlapped
     // with the synchronization the R-stream is performing.
-    ms.eventq().scheduleIn(params.siDrainInterval,
+    ms.eventq(id).scheduleIn(params.siDrainInterval,
                            [this]() { processSiEntry(); });
 }
 

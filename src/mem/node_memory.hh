@@ -8,6 +8,7 @@
 #ifndef SLIPSIM_MEM_NODE_MEMORY_HH
 #define SLIPSIM_MEM_NODE_MEMORY_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -173,6 +174,28 @@ class NodeMemory
 
     /** Enable Figure-7 A/R fetch classification (slipstream mode). */
     void setClassifyEnabled(bool on) { classifyEnabled = on; }
+
+    /** Switch miss requests and directory notes onto the channel
+     *  fabric (parallel engine, DESIGN.md §2.9). */
+    void enableParallel() { pdes = true; }
+
+    /**
+     * Parallel-engine reply delivery (barrier-time): materializes the
+     * transparent-fill memory image into the shadow table and schedules
+     * the fill event on this node's queue at @p at.
+     */
+    void pdesDeliverFill(Tick at, const MemReq &req,
+                         const ReplyInfo &info);
+
+    /**
+     * Parallel-engine A-stream load redirection: when @p addr falls in
+     * a transparently-held line, copy @p bytes from the barrier-time
+     * shadow image into @p out and return true.  Otherwise the caller
+     * reads live functional memory (coherence orders those accesses
+     * across epoch barriers).
+     */
+    bool transparentShadowRead(Addr addr, void *out,
+                               unsigned bytes) const;
 
     /**
      * Fast-path ownership probe for stores: true if the node holds the
@@ -392,6 +415,13 @@ class NodeMemory
 
     bool classifyEnabled = false;
     FetchClassStats classStats;
+
+    /** Parallel engine active (set once before traffic). */
+    bool pdes = false;
+    /** Barrier-time images of transparent fills, keyed by line address.
+     *  Entries go stale when the line stops being transparent; reads
+     *  check the live line state first, so stale images are inert. */
+    FlatTable<std::array<std::uint8_t, lineBytes>> shadow;
 };
 
 } // namespace slipsim

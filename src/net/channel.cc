@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Channel implementation.
+ */
+
+#include "net/channel.hh"
+
+namespace slipsim
+{
+
+const char *
+Channel::msgKindName(MsgKind k)
+{
+    switch (k) {
+      case MsgKind::DirRequest: return "DirRequest";
+      case MsgKind::DirNote: return "DirNote";
+      case MsgKind::SyncOp: return "SyncOp";
+    }
+    return "?";
+}
+
+} // namespace slipsim

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Typed inter-node message channels for parallel (epoch-windowed)
+ * execution.
+ *
+ * Under `sim-jobs >= 1` every cross-node interaction — directory
+ * requests, directory notes (writeback / eviction / downgrade hints)
+ * and synchronization-object operations — is carried by a per-source
+ * Channel instead of being applied synchronously.  A channel message
+ * declares the tick at which its effect becomes visible (`applyTick`),
+ * and the channel enforces a per-kind minimum latency derived from the
+ * Table 1 machine parameters: a directory request cannot arrive at its
+ * home sooner than one bus crossing after issue, which is exactly the
+ * conservative lookahead the epoch executor exploits (DESIGN.md §2.9).
+ *
+ * Messages buffered during an epoch are merged into an EpochCalendar
+ * at the epoch barrier and replayed single-threaded in the canonical
+ * order (applyTick, source node, per-source sequence) — the same
+ * tick-then-tie-break contract the event queue uses — so the merge is
+ * deterministic for any worker count.
+ */
+
+#ifndef SLIPSIM_NET_CHANNEL_HH
+#define SLIPSIM_NET_CHANNEL_HH
+
+#include <array>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/inline_function.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** Classes of cross-node message carried by a Channel. */
+enum class MsgKind : std::uint8_t
+{
+    DirRequest = 0,  //!< L2 miss request travelling to a home directory
+    DirNote = 1,     //!< writeback / eviction / downgrade state note
+    SyncOp = 2,      //!< synchronization-object operation (host op)
+};
+
+constexpr int numMsgKinds = 3;
+
+/**
+ * Barrier-time delivery callback.  Invoked single-threaded by the
+ * epoch executor with the message's apply tick and the tick at which
+ * suspended processors may safely be resumed (the next epoch start).
+ * @return 0 when the message is fully consumed, or a strictly later
+ *         tick to re-deliver at (directory busy-window deferral).
+ */
+using DeliverFn = InlineFunction<Tick(Tick at, Tick resumeAt)>;
+
+/** One in-flight cross-node message. */
+struct Envelope
+{
+    Tick applyTick = 0;
+    NodeId src = 0;
+    std::uint64_t seq = 0;
+    MsgKind kind = MsgKind::DirRequest;
+    DeliverFn deliver;
+};
+
+/** Canonical replay order: tick, then source node, then sequence. */
+inline bool
+envelopeBefore(const Envelope &a, const Envelope &b)
+{
+    if (a.applyTick != b.applyTick)
+        return a.applyTick < b.applyTick;
+    if (a.src != b.src)
+        return a.src < b.src;
+    return a.seq < b.seq;
+}
+
+/**
+ * Per-source-node outbox.  Only the worker that owns the source node
+ * writes to it during an epoch; the coordinator drains it at the
+ * barrier, so no locking is needed.
+ */
+class Channel
+{
+  public:
+    Channel(NodeId src, const std::array<Tick, numMsgKinds> &min_latency)
+        : src_(src), minLat(min_latency)
+    {}
+
+    /** Declared minimum latency for @p kind messages. */
+    Tick minLatency(MsgKind kind) const
+    { return minLat[static_cast<int>(kind)]; }
+
+    /**
+     * Buffer a message whose effect becomes visible at @p applyTick.
+     * Enforces `applyTick >= now + minLatency(kind)`.
+     */
+    void
+    send(Tick now, Tick applyTick, MsgKind kind, DeliverFn fn)
+    {
+        SLIPSIM_ASSERT(applyTick >= now + minLatency(kind),
+                "channel %d: %s message violates declared min latency "
+                "(now=%llu apply=%llu min=%llu)",
+                (int)src_, msgKindName(kind),
+                (unsigned long long)now, (unsigned long long)applyTick,
+                (unsigned long long)minLatency(kind));
+        outbox.push_back(Envelope{applyTick, src_, nextSeq++, kind,
+                                  std::move(fn)});
+    }
+
+    /** Move all buffered messages into @p out (barrier-time). */
+    void
+    drainTo(std::vector<Envelope> &out)
+    {
+        for (auto &e : outbox)
+            out.push_back(std::move(e));
+        outbox.clear();
+    }
+
+    bool pendingEmpty() const { return outbox.empty(); }
+    std::size_t pending() const { return outbox.size(); }
+    NodeId source() const { return src_; }
+
+    static const char *msgKindName(MsgKind k);
+
+  private:
+    NodeId src_;
+    std::uint64_t nextSeq = 0;
+    std::array<Tick, numMsgKinds> minLat{};
+    std::vector<Envelope> outbox;
+};
+
+/**
+ * The barrier-side merge structure: a min-heap over envelopes in
+ * canonical order.  Re-deferred messages are reinserted with their
+ * original (src, seq) identity so the tie-break stays stable.
+ */
+class EpochCalendar
+{
+  public:
+    void
+    push(Envelope e)
+    {
+        heap.push(std::move(e));
+    }
+
+    /** Drain @p ch into the calendar. */
+    void
+    collect(Channel &ch)
+    {
+        staging.clear();
+        ch.drainTo(staging);
+        for (auto &e : staging)
+            heap.push(std::move(e));
+        staging.clear();
+    }
+
+    /**
+     * Pop the canonically-first message with applyTick < @p horizon.
+     * @return true and fill @p out, or false if none is ready.
+     */
+    bool
+    popBefore(Tick horizon, Envelope &out)
+    {
+        if (heap.empty() || heap.top().applyTick >= horizon)
+            return false;
+        // priority_queue::top() is const; the move-only callback must
+        // be moved out before pop (same idiom as EventQueue's far lane).
+        out = std::move(const_cast<Envelope &>(heap.top()));
+        heap.pop();
+        return true;
+    }
+
+    /** Apply tick of the earliest pending message (maxTick if none). */
+    Tick
+    nextApplyTick() const
+    {
+        return heap.empty() ? maxTick : heap.top().applyTick;
+    }
+
+    bool empty() const { return heap.empty(); }
+    std::size_t size() const { return heap.size(); }
+
+  private:
+    struct After
+    {
+        bool
+        operator()(const Envelope &a, const Envelope &b) const
+        {
+            return envelopeBefore(b, a);
+        }
+    };
+
+    std::priority_queue<Envelope, std::vector<Envelope>, After> heap;
+    std::vector<Envelope> staging;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_NET_CHANNEL_HH

@@ -48,13 +48,39 @@ hexAddr(Addr a)
 } // namespace
 
 void
+ChromeTracer::enablePartitioned(int num_nodes)
+{
+    SLIPSIM_ASSERT(events.empty() && shards.empty(),
+            "enablePartitioned must precede any recording");
+    shards.resize(static_cast<std::size_t>(num_nodes));
+    maxNode = static_cast<NodeId>(num_nodes) - 1;
+}
+
+void
 ChromeTracer::push(char ph, NodeId pid, int tid, Tick ts, Tick dur,
                    std::uint64_t id, std::string name, std::string args)
 {
+    if (!shards.empty()) {
+        shards[static_cast<std::size_t>(pid)].events.push_back(
+                Event{ph, pid, tid, ts, dur, id, std::move(name),
+                      std::move(args)});
+        return;
+    }
     if (pid > maxNode)
         maxNode = pid;
     events.push_back(Event{ph, pid, tid, ts, dur, id, std::move(name),
                            std::move(args)});
+}
+
+std::uint64_t
+ChromeTracer::allocAsyncId(NodeId node)
+{
+    if (shards.empty())
+        return nextAsyncId++;
+    // Node-prefixed: unique across shards and independent of worker
+    // interleaving (each node numbers its own async pairs).
+    return (static_cast<std::uint64_t>(node) << 40) |
+           shards[static_cast<std::size_t>(node)].asyncSeq++;
 }
 
 void
@@ -74,7 +100,7 @@ ChromeTracer::memRequest(NodeId node, Addr line_addr, ReqType type,
     std::string name = std::string("miss.") + reqTypeName(type);
     std::string args = std::string("{\"line\": ") + hexAddr(line_addr) +
                        ", \"stream\": \"" + streamName(stream) + "\"}";
-    std::uint64_t id = nextAsyncId++;
+    std::uint64_t id = allocAsyncId(node);
     push('b', node, tidMem, issue, 0, id, name, args);
     push('e', node, tidMem, fill, 0, id, std::move(name), "");
 }
@@ -89,7 +115,7 @@ ChromeTracer::dirTransaction(NodeId home, NodeId requester,
     std::snprintf(req, sizeof(req), "%d", requester);
     std::string args = std::string("{\"line\": ") + hexAddr(line_addr) +
                        ", \"requester\": " + req + "}";
-    std::uint64_t id = nextAsyncId++;
+    std::uint64_t id = allocAsyncId(home);
     push('b', home, tidDir, start, 0, id, name, args);
     push('e', home, tidDir, reply, 0, id, std::move(name), "");
 }
@@ -118,10 +144,17 @@ ChromeTracer::writeTo(std::ostream &os) const
 {
     // Stable sort by timestamp: record order breaks ties, so the file
     // depends only on the simulated event sequence.
+    // Partitioned shards merge in node order ahead of the sort, so the
+    // record sequence — and therefore the tie-broken output — depends
+    // only on each node's deterministic simulation, not on sim-jobs.
     std::vector<const Event *> order;
-    order.reserve(events.size());
+    order.reserve(numEvents());
     for (const Event &e : events)
         order.push_back(&e);
+    for (const Shard &s : shards) {
+        for (const Event &e : s.events)
+            order.push_back(&e);
+    }
     std::stable_sort(order.begin(), order.end(),
                      [](const Event *a, const Event *b) {
                          return a->ts < b->ts;

@@ -29,6 +29,7 @@
 #ifndef SLIPSIM_OBS_CHROME_TRACE_HH
 #define SLIPSIM_OBS_CHROME_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -54,7 +55,25 @@ class ChromeTracer : public SimTracer
     void siSweep(NodeId node, Tick start, Tick end,
                  std::uint64_t processed) override;
 
-    std::size_t numEvents() const { return events.size(); }
+    std::size_t
+    numEvents() const
+    {
+        std::size_t n = events.size();
+        for (const Shard &s : shards)
+            n += s.events.size();
+        return n;
+    }
+
+    /**
+     * Partitioned recording for the parallel engine: one event buffer
+     * per node, so the hooks (which always fire on the thread driving
+     * the event's node, or at an epoch barrier) never contend.  Async
+     * ids become node-prefixed and per-node event order is the node's
+     * deterministic simulation order, so writeTo()'s node-ordered merge
+     * produces byte-identical JSON for every sim-jobs value.  The
+     * default single-buffer mode is untouched (golden traces).
+     */
+    void enablePartitioned(int num_nodes);
 
     /**
      * Serialize the buffered events (plus M metadata naming the
@@ -88,7 +107,20 @@ class ChromeTracer : public SimTracer
     void push(char ph, NodeId pid, int tid, Tick ts, Tick dur,
               std::uint64_t id, std::string name, std::string args);
 
+    /** Async-pair id: global counter, or node-prefixed when
+     *  partitioned. */
+    std::uint64_t allocAsyncId(NodeId node);
+
+    /** One node's private buffer under partitioned recording; padded
+     *  so concurrently-recording nodes never share a cache line. */
+    struct alignas(64) Shard
+    {
+        std::vector<Event> events;
+        std::uint64_t asyncSeq = 0;
+    };
+
     std::vector<Event> events;
+    std::vector<Shard> shards;  //!< non-empty iff partitioned
     std::uint64_t nextAsyncId = 0;
     NodeId maxNode = -1;
 };
@@ -125,7 +157,8 @@ class CountingTracer : public SimTracer
     std::uint64_t calls() const { return hooks; }
 
   private:
-    std::uint64_t hooks = 0;
+    /** Relaxed atomic: hooks fire from parallel-engine workers. */
+    std::atomic<std::uint64_t> hooks{0};
 };
 
 } // namespace slipsim

@@ -119,6 +119,19 @@ struct RunConfig
 
     std::uint64_t seed = 1;
 
+    /**
+     * Intra-run parallel simulation (DESIGN.md §2.9).  0 (the default)
+     * selects the sequential engine: one global event queue, bit-exact
+     * with every prior release.  N >= 1 selects the epoch-windowed
+     * parallel engine with N worker threads and per-node event queues;
+     * its output is byte-identical for every N (the worker count only
+     * changes wall-clock time), but it is a distinct — equally
+     * deterministic — timing model from the sequential engine, because
+     * cross-node effects land at conservative epoch barriers instead
+     * of synchronously.
+     */
+    int simJobs = 0;
+
     // --- observability (src/obs/) ----------------------------------------
 
     /** When non-empty, runExperiment attaches a ChromeTracer and

@@ -5,8 +5,10 @@
 
 #include "runtime/parallel_runtime.hh"
 
+#include <algorithm>
 #include <sstream>
 
+#include "sim/parallel_exec.hh"
 #include "sim/trace.hh"
 #include "workloads/workload.hh"
 
@@ -147,6 +149,9 @@ ParallelRuntime::run(Tick limit)
         }
     }
 
+    if (cfg.simJobs > 0)
+        return runParallel(limit);
+
     while (rDone < nTasks) {
         if (eq.now() > limit) {
             fatal("simulation exceeded tick limit %llu",
@@ -173,12 +178,56 @@ ParallelRuntime::run(Tick limit)
     return end;
 }
 
+Tick
+ParallelRuntime::runParallel(Tick limit)
+{
+    std::vector<EventQueue *> qs;
+    std::vector<Channel *> chs;
+    for (NodeId n = 0; n < params.numCmps; ++n) {
+        qs.push_back(&ms.eventq(n));
+        chs.push_back(&ms.channel(n));
+    }
+
+    // The epoch window must stay within the conservative lookahead
+    // (the minimum latency of any cross-node interaction) or a
+    // message could land inside the epoch that produced it.
+    Tick lookahead = ms.lookahead();
+    Tick epoch = std::min<Tick>(ParallelExecutor::defaultEpochLen,
+                                lookahead);
+    SLIPSIM_ASSERT(epoch >= 1 && epoch <= lookahead,
+            "epoch window exceeds the conservative lookahead");
+
+    ParallelExecutor exec(std::move(qs), std::move(chs), epoch,
+                          cfg.simJobs);
+    exec.run(
+            [this]() {
+                return rDone.load(std::memory_order_relaxed) >= nTasks;
+            },
+            [this]() { return stuckDiagnostic(); }, limit);
+
+    // Completion tick: when the last R task retired (the executor's
+    // final horizon overshoots by up to one epoch).
+    Tick last = 0;
+    for (auto &rctx : rCtxs)
+        last = std::max(last, rctx->processor().finishTick());
+    end = last;
+
+    // Surviving A-streams are torn down with the program.
+    for (auto &actx : aCtxs) {
+        if (actx->processor().running())
+            actx->processor().killTask();
+    }
+
+    ms.finalizeStats();
+    return end;
+}
+
 void
 ParallelRuntime::recoverAStream(SlipPair &pr)
 {
     ++pr.recoveries;
-    ++recoveries;
-    SLIPSIM_TRACE_MSG(TraceFlag::Slipstream, eq.now(), "runtime",
+    SLIPSIM_TRACE_MSG(TraceFlag::Slipstream,
+            aCtxs[pr.tid]->processor().eventq().now(), "runtime",
             "deviation: killing and re-forking A-stream of task %d "
             "(rSession=%d aSession=%d)", pr.tid, pr.rSession,
             pr.aSession);

@@ -8,6 +8,7 @@
 #ifndef SLIPSIM_RUNTIME_PARALLEL_RUNTIME_HH
 #define SLIPSIM_RUNTIME_PARALLEL_RUNTIME_HH
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -52,6 +53,7 @@ class ParallelRuntime
 
     SharedAllocator &alloc() { return allocator; }
     FunctionalMemory &fmem() { return functional; }
+    MemorySystem &memSys() { return ms; }
     const MachineParams &machine() const { return params; }
     int numTasks() const { return nTasks; }
     Mode mode() const { return cfg.mode; }
@@ -72,7 +74,18 @@ class ParallelRuntime
     // --- results ----------------------------------------------------------------
 
     Tick endTick() const { return end; }
-    std::uint64_t totalRecoveries() const { return recoveries; }
+
+    /** Total A-stream recoveries (summed over pairs — pair counters
+     *  are node-local, so no shared counter is mutated from worker
+     *  threads under the parallel engine). */
+    std::uint64_t
+    totalRecoveries() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &p : pairs)
+            n += p->recoveries;
+        return n;
+    }
 
     /** Register sync-object counters under "sync.*". */
     void registerStats(StatsRegistry &reg) const;
@@ -94,6 +107,10 @@ class ParallelRuntime
   private:
     std::string stuckDiagnostic() const;
 
+    /** Drive the run on the epoch-windowed parallel executor
+     *  (cfg.simJobs >= 1). */
+    Tick runParallel(Tick limit);
+
     EventQueue &eq;
     const MachineParams &params;
     MemorySystem &ms;
@@ -104,7 +121,8 @@ class ParallelRuntime
     RunConfig cfg;
 
     int nTasks = 0;
-    int rDone = 0;
+    /** Atomic: R tasks can finish on different worker threads. */
+    std::atomic<int> rDone{0};
 
     std::vector<std::unique_ptr<SyncBarrier>> barriers;
     std::vector<std::unique_ptr<SyncLock>> locks;
@@ -116,7 +134,6 @@ class ParallelRuntime
 
     int nextLockHome = 0;
     Tick end = 0;
-    std::uint64_t recoveries = 0;
     bool ran = false;
 };
 

@@ -1,6 +1,13 @@
 /**
  * @file
  * Synchronization object implementations.
+ *
+ * All bookkeeping on the (host-side) object state — arrival counters,
+ * wake lists, hold flags — goes through TaskContext::hostOp so the
+ * parallel engine can serialize cross-node mutations at epoch barriers
+ * in canonical order.  Under the sequential engine hostOp runs the
+ * operation inline, which reproduces the original direct-mutation code
+ * path byte for byte.
  */
 
 #include "runtime/sync_objects.hh"
@@ -17,20 +24,34 @@ SyncBarrier::enter(TaskContext &ctx)
     // line migrates from arrival to arrival — classic ANL barrier).
     co_await ctx.syncAccess(ctrLine, ReqType::Excl);
     ctx.processor().addBusy(4);  // macro bookkeeping
-    ++arrived;
 
-    if (arrived == participants) {
-        arrived = 0;
-        ++generation;
+    Processor *self = &ctx.processor();
+    bool release = false;
+    co_await ctx.hostOp(TimeCat::Barrier,
+            [this, self, &release](Tick, Tick) {
+                ++arrived;
+                if (arrived == participants) {
+                    arrived = 0;
+                    ++generation;
+                    release = true;
+                    return true;
+                }
+                waiters.push_back(self);
+                return false;  // blocked until the releaser's wake
+            });
+
+    if (release) {
         // Release: write the flag line, then wake everyone.
         co_await ctx.syncAccess(flagLine, ReqType::Excl);
-        auto ws = std::move(waiters);
-        waiters.clear();
-        for (auto *p : ws)
-            p->wake();
+        co_await ctx.hostOp(TimeCat::Barrier,
+                [this](Tick, Tick resume_at) {
+                    auto ws = std::move(waiters);
+                    waiters.clear();
+                    for (auto *p : ws)
+                        p->wakeAt(resume_at);
+                    return true;
+                });
     } else {
-        waiters.push_back(&ctx.processor());
-        co_await ctx.sleep(TimeCat::Barrier);
         // Woken: observe the release flag (a shared fetch — every
         // waiter pulls the line the releaser just wrote).
         co_await ctx.syncAccess(flagLine, ReqType::Read);
@@ -40,12 +61,21 @@ SyncBarrier::enter(TaskContext &ctx)
 Coro<void>
 SyncLock::acquire(TaskContext &ctx)
 {
-    while (held) {
-        q.push_back(&ctx.processor());
-        co_await ctx.sleep(TimeCat::Lock);
+    Processor *self = &ctx.processor();
+    bool got = false;
+    while (!got) {
+        co_await ctx.hostOp(TimeCat::Lock,
+                [this, self, &got](Tick, Tick) {
+                    if (!held) {
+                        held = true;
+                        ++acquires;
+                        got = true;
+                        return true;
+                    }
+                    q.push_back(self);
+                    return false;  // blocked until a release wakes us
+                });
     }
-    held = true;
-    ++acquires;
     // Test-and-set on the lock line (exclusive access migrates it
     // from the previous holder).
     co_await ctx.syncAccess(line, ReqType::Excl);
@@ -57,21 +87,27 @@ SyncLock::release(TaskContext &ctx)
 {
     // Clear the lock word; the holder normally still owns the line.
     co_await ctx.syncAccess(line, ReqType::Excl);
-    held = false;
-    if (!q.empty()) {
-        Processor *next = q.front();
-        q.pop_front();
-        next->wake();
-    }
+    co_await ctx.hostOp(TimeCat::Lock, [this](Tick, Tick resume_at) {
+        held = false;
+        if (!q.empty()) {
+            Processor *next = q.front();
+            q.pop_front();
+            next->wakeAt(resume_at);
+        }
+        return true;
+    });
 }
 
 Coro<void>
 EventFlag::wait(TaskContext &ctx)
 {
-    if (!isSet) {
-        waiters.push_back(&ctx.processor());
-        co_await ctx.sleep(TimeCat::Barrier);
-    }
+    Processor *self = &ctx.processor();
+    co_await ctx.hostOp(TimeCat::Barrier, [this, self](Tick, Tick) {
+        if (isSet)
+            return true;
+        waiters.push_back(self);
+        return false;  // blocked until set() wakes us
+    });
     co_await ctx.syncAccess(line, ReqType::Read);
 }
 
@@ -79,12 +115,15 @@ Coro<void>
 EventFlag::set(TaskContext &ctx)
 {
     co_await ctx.syncAccess(line, ReqType::Excl);
-    isSet = true;
-    ++sets;
-    auto ws = std::move(waiters);
-    waiters.clear();
-    for (auto *p : ws)
-        p->wake();
+    co_await ctx.hostOp(TimeCat::Barrier, [this](Tick, Tick resume_at) {
+        isSet = true;
+        ++sets;
+        auto ws = std::move(waiters);
+        waiters.clear();
+        for (auto *p : ws)
+            p->wakeAt(resume_at);
+        return true;
+    });
 }
 
 } // namespace slipsim

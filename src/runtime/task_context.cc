@@ -16,10 +16,43 @@ TaskContext::TaskContext(ParallelRuntime &runtime, Processor &processor,
                          SlipPair *slip_pair)
     : rt(runtime), proc(&processor), fmem(&runtime.fmem()),
       taskId(task_id), nTasks(ntasks), stream(s), pair(slip_pair),
+      pdes_(runtime.config().simJobs > 0),
       rng_(runtime.config().seed * 1000003 +
            static_cast<std::uint64_t>(task_id) * 2 +
            (s == StreamKind::AStream ? 1 : 0))
 {
+}
+
+void
+TaskContext::submitEnvelope(Tick at, DeliverFn fn)
+{
+    MemorySystem &msys = rt.memSys();
+    NodeId n = proc->nodeId();
+    msys.channel(n).send(proc->eventq().now(), at, MsgKind::SyncOp,
+                         std::move(fn));
+}
+
+void
+TaskContext::readMemBytes(Addr addr, void *out, size_t bytes)
+{
+    if (!pdes_ || !isAStream()) {
+        fmem->readBytes(addr, out, bytes);
+        return;
+    }
+    auto *dst = static_cast<unsigned char *>(out);
+    Addr a = addr;
+    size_t left = bytes;
+    while (left > 0) {
+        Addr la = lineAlign(a);
+        size_t chunk = la + lineBytes - a;
+        if (chunk > left)
+            chunk = left;
+        if (!proc->l2Cache().transparentShadowRead(a, dst, chunk))
+            fmem->readBytes(a, dst, chunk);
+        a += chunk;
+        dst += chunk;
+        left -= chunk;
+    }
 }
 
 bool
@@ -131,7 +164,7 @@ TaskContext::ldBuf(Addr addr, void *out, size_t bytes)
         if (!fastForward)
             proc->addBusy(lineBytes / 8 - 1);
     }
-    fmem->readBytes(addr, out, bytes);
+    readMemBytes(addr, out, bytes);
 }
 
 Coro<void>
@@ -342,7 +375,14 @@ TaskContext::globalOp(std::function<std::uint64_t()> fn, Tick cost)
     }
     if (!fastForward)
         proc->addBusy(cost);
-    std::uint64_t v = fn();
+    // The operation may touch host-side workload state shared across
+    // nodes; hostOp serializes it (inline in the sequential engine,
+    // at the epoch barrier in the parallel one).
+    std::uint64_t v = 0;
+    co_await hostOp(routineCat, [&v, &fn](Tick, Tick) {
+        v = fn();
+        return true;
+    });
     if (pair) {
         pair->published.push_back(v);
         if (pair->publishWaiter) {

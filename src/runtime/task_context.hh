@@ -25,6 +25,7 @@
 
 #include "cpu/processor.hh"
 #include "mem/functional_mem.hh"
+#include "net/channel.hh"
 #include "runtime/ar_sync.hh"
 #include "runtime/mode.hh"
 #include "sim/coro.hh"
@@ -106,7 +107,7 @@ class TaskContext
             T
             await_resume()
             {
-                return ctx->fmem->read<T>(addr);
+                return ctx->readMem<T>(addr);
             }
         };
         return Awaiter{this, addr, {}, false};
@@ -306,6 +307,67 @@ class TaskContext
         return SleepAwaiter{proc, cat};
     }
 
+    /**
+     * Host-side operation on runtime state that is shared across nodes
+     * (sync-object bookkeeping, wake lists, published-value logs).
+     *
+     * @p fn has signature `bool(Tick at, Tick resume_at)`: it mutates
+     * the shared state and returns true when the calling task should
+     * continue, or false when the task must stay blocked until a later
+     * operation wakes its processor (with wakeAt(resume_at)).
+     *
+     * Sequential engine: @p fn runs inline at the current tick with
+     * at == resume_at == now() — byte-identical to mutating the state
+     * directly.  Parallel engine: the operation is shipped as a SyncOp
+     * channel message and replayed at the next epoch barrier in
+     * canonical (tick, node, sequence) order, which serializes every
+     * cross-node mutation deterministically regardless of worker
+     * count; the task resumes no earlier than the next epoch start.
+     */
+    template <typename Fn>
+    auto
+    hostOp(TimeCat cat, Fn fn)
+    {
+        struct Awaiter
+        {
+            TaskContext *ctx;
+            TimeCat cat;
+            Fn fn;
+
+            bool
+            await_ready()
+            {
+                if (ctx->pdes())
+                    return false;
+                Tick now = ctx->proc->eventq().now();
+                return fn(now, now);
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                Tick at = ctx->proc->localNow();
+                ctx->proc->sleepOn(h, cat);
+                if (!ctx->pdes())
+                    return;  // legacy: fn said block; await a wake()
+                ctx->submitEnvelope(at, DeliverFn(
+                        [fn = std::move(fn), p = ctx->proc](
+                                Tick apply_at,
+                                Tick resume_at) mutable -> Tick {
+                            if (fn(apply_at, resume_at))
+                                p->wakeAt(resume_at);
+                            return 0;
+                        }));
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{this, cat, std::move(fn)};
+    }
+
+    /** True when this run uses the parallel (epoch) engine. */
+    bool pdes() const { return pdes_; }
+
     /** Enter fast-forward replay up to session @p target (recovery). */
     void
     beginFastForward(int target)
@@ -355,6 +417,33 @@ class TaskContext
     /** Wait for and return published value @p idx. */
     Coro<std::uint64_t> consumePublished();
 
+    /** Ship a SyncOp envelope on this node's channel (parallel engine
+     *  only); @p at is the operation's canonical apply tick. */
+    void submitEnvelope(Tick at, DeliverFn fn);
+
+    /**
+     * Value read backing a completed load.  A-stream loads under the
+     * parallel engine read transparent lines from the line image
+     * snapshotted at fill replay (the live functional memory may be
+     * mutated concurrently by remote R-streams); everything else reads
+     * functional memory, exactly as the sequential engine does.
+     */
+    template <typename T>
+    T
+    readMem(Addr addr)
+    {
+        if (pdes_ && isAStream()) {
+            T v;
+            if (proc->l2Cache().transparentShadowRead(addr, &v,
+                                                      sizeof(T)))
+                return v;
+        }
+        return fmem->read<T>(addr);
+    }
+
+    /** Block-read equivalent of readMem (used by ldBuf). */
+    void readMemBytes(Addr addr, void *out, size_t bytes);
+
     ParallelRuntime &rt;
     Processor *proc;
     FunctionalMemory *fmem;
@@ -364,6 +453,7 @@ class TaskContext
     SlipPair *pair;
 
     TimeCat routineCat = TimeCat::Stall;
+    bool pdes_ = false;
     int lockDepth = 0;
     bool fastForward = false;
     int ffTarget = 0;

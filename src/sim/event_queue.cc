@@ -130,6 +130,20 @@ EventQueue::dispatch(bool fromRing, std::size_t slot)
     cb();
 }
 
+Tick
+EventQueue::runToBound()
+{
+    while (true) {
+        Tick when;
+        bool fromRing = false;
+        std::size_t slot = 0;
+        if (!peekNext(when, fromRing, slot) || when >= runBound_)
+            break;
+        dispatch(fromRing, slot);
+    }
+    return _now;
+}
+
 bool
 EventQueue::step()
 {

@@ -150,6 +150,29 @@ class EventQueue
     /** Process exactly one event, if any.  @return true if one ran. */
     bool step();
 
+    // --- epoch windowing (parallel execution, DESIGN.md §2.9) -------------
+
+    /**
+     * Exclusive upper bound on how far this queue may advance within
+     * the current epoch.  maxTick (the default) disables the bound;
+     * the sequential engine never sets it, so legacy behaviour is
+     * untouched.  The parallel executor sets it to the epoch horizon
+     * before each window and the processor fast paths consult it so
+     * that no inline advance pushes now() past the horizon.
+     */
+    Tick runBound() const { return runBound_; }
+    void setRunBound(Tick bound) { runBound_ = bound; }
+
+    /**
+     * Dispatch every event with tick strictly below runBound().
+     * Unlike run(), this neither treats an empty queue as a drain
+     * (the epoch barrier decides liveness globally) nor dispatches
+     * events at the bound itself — the bound is the next epoch's
+     * start and those events belong to it.
+     * @return the queue's clock after the window.
+     */
+    Tick runToBound();
+
     /**
      * Register a diagnostic callback invoked if the queue drains; it
      * should return a non-empty description if the simulation is
@@ -220,6 +243,7 @@ class EventQueue
     std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                         std::greater<>> heap;
     Tick _now = 0;
+    Tick runBound_ = maxTick;
     std::uint64_t seq = 0;
     std::uint64_t nProcessed = 0;
     std::vector<std::function<std::string()>> drainChecks;

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * ParallelExecutor implementation.
+ */
+
+#include "sim/parallel_exec.hh"
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+ParallelExecutor::ParallelExecutor(std::vector<EventQueue *> qs,
+                                   std::vector<Channel *> chs,
+                                   Tick epoch_len, int workers)
+    : queues(std::move(qs)), channels(std::move(chs)),
+      epochLen(epoch_len), nWorkers(workers)
+{
+    SLIPSIM_ASSERT(!queues.empty() && queues.size() == channels.size(),
+            "executor needs one queue and one channel per node");
+    SLIPSIM_ASSERT(epochLen >= 1, "epoch length must be positive");
+    if (nWorkers < 1)
+        nWorkers = 1;
+    if (nWorkers > static_cast<int>(queues.size()))
+        nWorkers = static_cast<int>(queues.size());
+}
+
+void
+ParallelExecutor::runPartition(int w, Tick horizon)
+{
+    // Round-robin node ownership spreads neighbouring (and therefore
+    // often similarly-loaded) nodes across workers.  The assignment is
+    // fixed for the whole run, so each queue is only ever touched by
+    // one thread between barriers.
+    for (std::size_t n = static_cast<std::size_t>(w); n < queues.size();
+         n += static_cast<std::size_t>(nWorkers)) {
+        queues[n]->setRunBound(horizon);
+        queues[n]->runToBound();
+    }
+}
+
+Tick
+ParallelExecutor::globalNextTick() const
+{
+    Tick next = calendar.nextApplyTick();
+    for (const EventQueue *q : queues) {
+        Tick t = q->nextTick();
+        if (t < next)
+            next = t;
+    }
+    return next;
+}
+
+void
+ParallelExecutor::replayWindow(Tick horizon)
+{
+    for (Channel *ch : channels)
+        calendar.collect(*ch);
+
+    Envelope e;
+    while (calendar.popBefore(horizon, e)) {
+        Tick redo = e.deliver(e.applyTick, horizon);
+        ++nReplayed;
+        if (redo != 0) {
+            SLIPSIM_ASSERT(redo > e.applyTick,
+                    "channel redelivery must move forward "
+                    "(apply=%llu redo=%llu)",
+                    (unsigned long long)e.applyTick,
+                    (unsigned long long)redo);
+            e.applyTick = redo;
+            calendar.push(std::move(e));
+        }
+    }
+}
+
+Tick
+ParallelExecutor::run(const std::function<bool()> &done,
+                      const std::function<std::string()> &stuck_diag,
+                      Tick limit)
+{
+    Tick lastHorizon = 0;
+
+    // Shared epoch state.  `horizon` is written by the coordinator
+    // strictly before the start barrier and read by workers strictly
+    // after it; the barriers provide the happens-before edges, so no
+    // atomics are needed on the tick itself.
+    Tick horizon = 0;
+    std::atomic<bool> stop{false};
+
+    auto coordinate = [&]() -> bool {
+        // Runs with every worker parked at the start barrier.
+        if (done())
+            return false;
+        Tick next = globalNextTick();
+        if (next == maxTick) {
+            std::string diag = stuck_diag ? stuck_diag() : std::string();
+            fatal("parallel executor idle with incomplete simulation "
+                  "(deadlock?) after %llu epochs at tick %llu: %s",
+                  (unsigned long long)nEpochs,
+                  (unsigned long long)lastHorizon, diag.c_str());
+        }
+        if (next > limit) {
+            fatal("parallel executor passed tick limit %llu "
+                  "(next event at %llu)",
+                  (unsigned long long)limit, (unsigned long long)next);
+        }
+        horizon = next + epochLen;
+        return true;
+    };
+
+    auto finishEpoch = [&]() {
+        replayWindow(horizon);
+        lastHorizon = horizon;
+        ++nEpochs;
+    };
+
+    if (nWorkers == 1) {
+        // Single worker: no threads, no barriers — the minimal-overhead
+        // path the sim-jobs=1 perf gate measures.
+        while (coordinate()) {
+            runPartition(0, horizon);
+            finishEpoch();
+        }
+    } else {
+        std::barrier startBar(nWorkers);
+        std::barrier endBar(nWorkers);
+
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(nWorkers) - 1);
+        for (int w = 1; w < nWorkers; ++w) {
+            pool.emplace_back([this, w, &startBar, &endBar, &stop,
+                               &horizon]() {
+                while (true) {
+                    startBar.arrive_and_wait();
+                    if (stop.load(std::memory_order_relaxed))
+                        return;
+                    runPartition(w, horizon);
+                    endBar.arrive_and_wait();
+                }
+            });
+        }
+
+        while (true) {
+            if (!coordinate()) {
+                stop.store(true, std::memory_order_relaxed);
+                startBar.arrive_and_wait();
+                break;
+            }
+            startBar.arrive_and_wait();
+            runPartition(0, horizon);
+            endBar.arrive_and_wait();
+            finishEpoch();
+        }
+
+        for (auto &t : pool)
+            t.join();
+    }
+
+    // Leave the queues unbounded for any post-run (single-threaded)
+    // cleanup events.
+    for (EventQueue *q : queues)
+        q->setRunBound(maxTick);
+
+    return lastHorizon;
+}
+
+} // namespace slipsim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Conservative epoch-windowed parallel executor (DESIGN.md §2.9).
+ *
+ * The simulation is partitioned by node: each node owns a private
+ * EventQueue, and all cross-node interaction flows through per-source
+ * Channels (net/channel.hh).  Table 1's fixed minimum latencies bound
+ * how soon one node's action can become visible to another — a
+ * directory transaction dispatched at tick t cannot complete a reply
+ * before t + (directory occupancy + bus crossing), 90 cycles at the
+ * default parameters — so every node can safely advance through the
+ * window [T, T + L) without observing the others, provided L does not
+ * exceed that lookahead.
+ *
+ * One epoch:
+ *   1. workers advance their partition of node queues to the horizon
+ *      T + L, buffering outbound messages in their channels;
+ *   2. barrier; the coordinator merges all channels into the
+ *      EpochCalendar and replays every message with applyTick < T + L
+ *      single-threaded in canonical (tick, source node, sequence)
+ *      order, scheduling replies and wake-ups into the target queues
+ *      (always at or beyond the horizon, by the lookahead bound);
+ *   3. the next window starts at the earliest pending tick across all
+ *      queues and the calendar, so idle stretches cost no barriers.
+ *
+ * Because each node's intra-window execution depends only on its own
+ * queue and the replay order is canonical, the result is byte-identical
+ * for every worker count — `sim-jobs` selects wall-clock parallelism,
+ * never simulated behaviour.
+ */
+
+#ifndef SLIPSIM_SIM_PARALLEL_EXEC_HH
+#define SLIPSIM_SIM_PARALLEL_EXEC_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/channel.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** Drives per-node event queues through conservative epoch windows. */
+class ParallelExecutor
+{
+  public:
+    /**
+     * @param queues    per-node event queues (index = NodeId).
+     * @param channels  per-node outboxes (index = NodeId).
+     * @param epoch_len window length L in ticks; must not exceed the
+     *                  model's cross-node reply lookahead.
+     * @param workers   worker threads (clamped to [1, queues.size()]).
+     */
+    ParallelExecutor(std::vector<EventQueue *> queues,
+                     std::vector<Channel *> channels,
+                     Tick epoch_len, int workers);
+
+    /**
+     * Run epochs until @p done returns true at a barrier.
+     * @param done       termination predicate, evaluated between epochs.
+     * @param stuck_diag invoked for the fatal() message if the whole
+     *                   system goes idle while done() is still false.
+     * @param limit      fatal if simulated time would pass this tick.
+     * @return the horizon of the last executed epoch.
+     */
+    Tick run(const std::function<bool()> &done,
+             const std::function<std::string()> &stuck_diag,
+             Tick limit = maxTick);
+
+    Tick epochLength() const { return epochLen; }
+    int workerCount() const { return nWorkers; }
+
+    /** Epoch windows executed (diagnostics / tests). */
+    std::uint64_t epochs() const { return nEpochs; }
+    /** Channel messages replayed at barriers (diagnostics / tests). */
+    std::uint64_t replayed() const { return nReplayed; }
+
+    /**
+     * The conservative lookahead for a machine: the minimum delay
+     * between a directory request's apply tick and the earliest tick
+     * its reply can reach any node — directory server occupancy plus
+     * the requester-side bus crossing (Table 1).
+     */
+    static Tick
+    lookaheadFor(Tick bus_time, Tick dc_local_occ, Tick dc_remote_occ)
+    {
+        Tick dc = dc_local_occ < dc_remote_occ ? dc_local_occ
+                                               : dc_remote_occ;
+        return dc + bus_time;
+    }
+
+    /** Default window length; clamped to the machine's lookahead. */
+    static constexpr Tick defaultEpochLen = 64;
+
+  private:
+    /** Advance worker @p w's nodes to @p horizon (round-robin parts). */
+    void runPartition(int w, Tick horizon);
+
+    /** Earliest pending tick across all queues and the calendar. */
+    Tick globalNextTick() const;
+
+    /** Merge channels and replay everything below @p horizon. */
+    void replayWindow(Tick horizon);
+
+    std::vector<EventQueue *> queues;
+    std::vector<Channel *> channels;
+    EpochCalendar calendar;
+    Tick epochLen;
+    int nWorkers;
+    std::uint64_t nEpochs = 0;
+    std::uint64_t nReplayed = 0;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_PARALLEL_EXEC_HH
