@@ -14,6 +14,9 @@
  *                    produces byte-identical output for a given N>=1)
  *   trace-json=P     write a Chrome trace (Perfetto-loadable) of one
  *                    point to P; trace-point=I selects which (default 0)
+ *   print-cells=true print every queued point as a canonical config
+ *                    line (core/cell.hh) instead of simulating — the
+ *                    lines feed tools/slipsim_client submit
  * plus per-workload size overrides (n=, mol=, ...).
  */
 
@@ -21,11 +24,13 @@
 #define SLIPSIM_BENCH_COMMON_HH
 
 #include <cstddef>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/cell.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "core/sweep.hh"
@@ -36,89 +41,13 @@ namespace slipsim
 namespace bench
 {
 
-/** The nine Table-2 benchmarks, in the paper's habitual order. */
-inline const std::vector<std::string> &
-paperWorkloads()
-{
-    static const std::vector<std::string> v = {
-        "cg", "fft", "lu", "mg", "ocean",
-        "sor", "sp", "water-ns", "water-sp",
-    };
-    return v;
-}
-
-/** Figure-6..10 subset: benchmarks with slipstream potential. */
-inline const std::vector<std::string> &
-slipWorkloads()
-{
-    static const std::vector<std::string> v = {
-        "cg", "fft", "mg", "ocean", "sor", "sp", "water-ns",
-    };
-    return v;
-}
-
-/**
- * Calibrated per-benchmark run options: "fig" sizes keep the paper's
- * communication/computation regime at bench-friendly runtimes;
- * --paper switches to Table 2 sizes; --quick shrinks further.
- * User-provided options override everything.
- */
-inline Options
-figOptions(const std::string &wl, const Options &user)
-{
-    Options o = user;
-    auto def = [&](const char *k, const char *v) {
-        if (!user.has(k))
-            o.set(k, v);
-    };
-
-    const bool paper = user.getBool("paper", false);
-    const bool quick = user.getBool("quick", false);
-
-    if (paper)
-        def("paper", "true");
-
-    if (wl == "sor") {
-        def("n", paper ? "1024" : (quick ? "66" : "258"));
-        def("iters", quick ? "2" : "4");
-    } else if (wl == "lu") {
-        def("n", paper ? "512" : (quick ? "64" : "256"));
-        def("block", "16");
-    } else if (wl == "fft") {
-        def("m", paper ? "65536" : (quick ? "1024" : "16384"));
-    } else if (wl == "ocean") {
-        def("n", paper ? "258" : (quick ? "66" : "130"));
-        def("steps", quick ? "1" : "2");
-    } else if (wl == "water-ns") {
-        def("mol", paper ? "512" : (quick ? "64" : "512"));
-        def("steps", "1");
-        def("l2kb", "128");  // Table 1 footnote: Water uses 128 KB
-    } else if (wl == "water-sp") {
-        def("mol", paper ? "512" : (quick ? "64" : "512"));
-        def("steps", quick ? "1" : "2");
-        def("l2kb", "128");
-    } else if (wl == "cg") {
-        def("n", paper ? "1400" : (quick ? "256" : "1400"));
-        def("iters", quick ? "3" : "5");
-    } else if (wl == "mg") {
-        def("n", paper ? "32" : (quick ? "8" : "32"));
-        def("cycles", "1");
-    } else if (wl == "sp") {
-        def("n", "16");
-        def("iters", quick ? "1" : "2");
-    }
-    return o;
-}
-
-/** Machine for a workload: applies the workload's L2 override. */
-inline MachineParams
-figMachine(const std::string &wl, const Options &user, int cmps)
-{
-    Options o = figOptions(wl, user);
-    MachineParams mp = machineFromOptions(o);
-    mp.numCmps = cmps;
-    return mp;
-}
+// The per-workload figure calibration moved to core/cell.{hh,cc} so
+// the simulation service expands problem sizes exactly like the
+// benches do; re-export the names benches have always used.
+using slipsim::figMachine;
+using slipsim::figOptions;
+using slipsim::paperWorkloads;
+using slipsim::slipWorkloads;
 
 /**
  * Deferred sweep builder: the bench enqueues every configuration it
@@ -137,7 +66,8 @@ class Sweep
           statsJsonPath(opts.getString("stats-json")),
           traceJsonPath(opts.getString("trace-json")),
           tracePoint(static_cast<std::size_t>(
-                  opts.getInt("trace-point", 0)))
+                  opts.getInt("trace-point", 0))),
+          printCells(opts.getBool("print-cells", false))
     {
     }
 
@@ -165,6 +95,14 @@ class Sweep
     void
     run()
     {
+        if (printCells) {
+            // Emit the sweep grid as canonical config lines (one
+            // cell per line, client-submittable) and stop: the bench
+            // never simulates in this mode.
+            for (const SweepPoint &pt : points)
+                std::cout << renderCell(pt) << "\n";
+            std::exit(0);
+        }
         if (!traceJsonPath.empty()) {
             if (tracePoint >= points.size()) {
                 fatal("trace-point=%zu but the sweep has %zu points",
@@ -201,6 +139,7 @@ class Sweep
     std::string statsJsonPath;
     std::string traceJsonPath;
     std::size_t tracePoint;
+    bool printCells;
     std::vector<SweepPoint> points;
     std::vector<ExperimentResult> res;
 };

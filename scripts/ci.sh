@@ -7,6 +7,7 @@
 #   scripts/ci.sh release      # Release only
 #   scripts/ci.sh sanitize     # address+undefined only
 #   scripts/ci.sh tsan         # ThreadSanitizer only
+#   scripts/ci.sh serve        # simulation-service e2e smoke only
 #
 # Each of the first two configs runs the full default ctest suite
 # (which includes the fixed-seed fuzz smoke); the tsan config runs the
@@ -50,18 +51,28 @@ if [[ "$WHAT" == "all" || "$WHAT" == "release" ]]; then
     # Hot-path throughput gate: append quick perf_smoke records (the
     # sequential headline plus the sim-jobs={1,2,4,8} scaling sweep)
     # to the history and fail if events/sec regressed >15% against the
-    # previous comparable record from this host.  perf_compare --check
-    # errors out on a missing/empty baseline, so a fresh host seeds
-    # one first.
+    # previous comparable record from this host *at this revision*.
+    # The first record at a new host/revision just seeds the baseline
+    # (perf_compare groups by git_rev, so cross-revision records never
+    # gate against each other).
     echo "=== perf smoke + regression gate ==="
-    if [[ ! -s BENCH_perf.json ]]; then
-        echo "--- no perf baseline on this host; seeding one ---"
-        build-release/bench/perf_smoke --quick jobs=2 \
-            perf-out=BENCH_perf.json
-    fi
     build-release/bench/perf_smoke --quick jobs=2 \
         perf-out=BENCH_perf.json
     scripts/perf_compare.sh --check BENCH_perf.json
+fi
+
+if [[ "$WHAT" == "all" || "$WHAT" == "serve" ]]; then
+    # Simulation-service end-to-end smoke: daemon up, fig01 grid
+    # through the socket twice (cold = byte-identical to the offline
+    # golden, warm = all cache hits), two concurrent clients, graceful
+    # shutdown.  Also part of the full default ctest suite above;
+    # repeated by label so a service break is called out unmistakably.
+    if [[ "$WHAT" == "serve" ]]; then
+        cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+        cmake --build build-release -j "$JOBS"
+    fi
+    echo "=== simulation service smoke (ctest -L serve) ==="
+    ctest --test-dir build-release -L serve --output-on-failure
 fi
 
 if [[ "$WHAT" == "all" || "$WHAT" == "sanitize" ]]; then

@@ -7,17 +7,21 @@
 # perf_smoke appends two record shapes: the sequential headline record
 # (no "sim_jobs" field) and one parallel-engine scaling record per
 # sim-jobs value in {1,2,4,8}.  Records are grouped by signature —
-# host, build_type, quick flag, sweep_jobs, and sim_jobs — so numbers
-# from different machines, build configurations, or worker counts
-# never race each other.  For every group matching the newest record's
-# machine/config, the last two entries are diffed.
+# host, build_type, quick flag, sweep_jobs, sim_jobs, AND git_rev — so
+# numbers from different machines, build configurations, worker
+# counts, or source revisions never gate against each other: a commit
+# that legitimately trades hot-path speed for a feature must not poison
+# the next commit's baseline, and a rebase must not be failed by a
+# faster ancestor.  Cross-revision deltas are still printed, but as
+# informational lines only.
 #
 # Default mode prints the delta tables and the sim-jobs scaling
 # summary.  With --check, exits nonzero if
 #   - the log is missing or holds no parseable records, or
-#   - no group has a prior record to compare against (no baseline), or
-#   - any group's events_per_sec regressed by more than PCT percent
-#     (default 15).
+#   - any same-revision group's events_per_sec regressed by more than
+#     PCT percent (default 15).
+# The first record at a new revision seeds that revision's baseline
+# and passes the check (there is nothing comparable to gate against).
 # Wired into scripts/ci.sh so an accidental hot-path pessimisation
 # fails the build on the machine that introduced it.
 
@@ -76,41 +80,61 @@ if not keyed:
     sys.exit(0)
 
 # sim_jobs=0 marks the sequential headline record; scaling records
-# carry their worker count.
-sig = lambda r: (r["host"], r["build_type"], r["quick"],
+# carry their worker count.  git_rev is part of the gating signature:
+# only same-revision records race each other.
+cfg = lambda r: (r["host"], r["build_type"], r["quick"],
                  r["sweep_jobs"], r.get("sim_jobs", 0))
+sig = lambda r: cfg(r) + (r.get("git_rev", "?"),)
 newest = keyed[-1]
 machine = (newest["host"], newest["build_type"], newest["quick"])
+newest_rev = newest.get("git_rev", "?")
 
-groups = {}
+groups = {}       # gating groups: same config AND same revision
+cfg_groups = {}   # cross-revision history per config (informational)
 for r in keyed:
     if (r["host"], r["build_type"], r["quick"]) == machine:
         groups.setdefault(sig(r), []).append(r)
+        cfg_groups.setdefault(cfg(r), []).append(r)
 
 rates = ["events_per_sec", "accesses_per_sec", "sim_ticks_per_sec",
          "events_per_sec_traced"]
-compared = 0
-failed = []
-for s in sorted(groups):
-    hist = groups[s]
-    label = ("headline" if s[4] == 0 else f"sim-jobs={s[4]}")
-    if len(hist) < 2:
-        print(f"[{label}] no prior comparable record — "
-              "nothing to compare")
-        continue
-    old, new = hist[-2], hist[-1]
-    compared += 1
+
+def delta_table(label, old, new):
     print(f"[{label}] {old.get('git_rev', '?')} "
           f"({old.get('timestamp', '?')}) -> "
           f"{new.get('git_rev', '?')} ({new.get('timestamp', '?')})")
     print(f"{'metric':<24}{'old':>14}{'new':>14}{'delta':>9}")
+    drops = []
     for k in rates:
         if k not in old or k not in new or not old[k]:
             continue
         pct = (new[k] - old[k]) / old[k] * 100.0
         print(f"{k:<24}{old[k]:>14.0f}{new[k]:>14.0f}{pct:>+8.1f}%")
         if k == "events_per_sec" and pct < -threshold:
-            failed.append((label, -pct))
+            drops.append(-pct)
+    return drops
+
+compared = 0
+failed = []
+for s in sorted(groups):
+    hist = groups[s]
+    label = ("headline" if s[4] == 0 else f"sim-jobs={s[4]}")
+    if len(hist) < 2:
+        # First record at this revision: look for the same config at
+        # an earlier revision and show the delta, but never gate on it.
+        prior = [r for r in cfg_groups[s[:5]] if r is not hist[-1]]
+        if prior and s[5] == newest_rev:
+            delta_table(f"{label} vs {prior[-1].get('git_rev', '?')} "
+                        "(cross-revision, informational)",
+                        prior[-1], hist[-1])
+        else:
+            print(f"[{label}] no prior record at revision {s[5]} — "
+                  "seeding baseline")
+        continue
+    old, new = hist[-2], hist[-1]
+    compared += 1
+    for drop in delta_table(label, old, new):
+        failed.append((label, drop))
 
 # Scaling summary: the newest record per sim-jobs value.
 scaling = [g[-1] for s, g in sorted(groups.items()) if s[4] > 0]
@@ -124,9 +148,10 @@ if scaling:
               f"{r.get('speedup_vs_sj1', 0):>10.2f}")
 
 if check and compared == 0:
-    print("perf_compare: FAIL — no prior comparable records on this "
-          "host/config: baseline missing (run bench/perf_smoke twice)")
-    sys.exit(1)
+    # Nothing gateable is fine: the first run at a new revision (or on
+    # a fresh host) seeds the baseline the next run will gate against.
+    print(f"perf_compare: seeded baseline at revision {newest_rev} — "
+          "nothing to gate against yet")
 if check and failed:
     for label, drop in failed:
         print(f"perf_compare: FAIL — [{label}] events_per_sec "

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the simulation service (ctest label `serve`).
+#
+#   serve_smoke.sh SERVER CLIENT FIG01_BENCH STATS_CHECK GOLDEN_JSON
+#
+# Exercises the full acceptance path:
+#   1. daemon starts on a Unix socket and answers ping;
+#   2. the fig01 --quick cell grid (printed by the bench itself with
+#      print-cells=true) is submitted; the reassembled
+#      slipsim-stats-v1 document must be byte-identical to the
+#      committed offline golden;
+#   3. the same request again must be served entirely from the result
+#      cache: hit counter +48, zero new simulations, and still
+#      byte-identical output;
+#   4. two clients submitting concurrently both complete and both
+#      match the golden;
+#   5. `shutdown` drains gracefully and the daemon exits 0.
+set -u
+
+SERVER=$1
+CLIENT=$2
+FIG01=$3
+STATS_CHECK=$4
+GOLDEN=$5
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/slipsim_serve.XXXXXX")
+SOCK="$TMP/s.sock"
+SERVER_PID=
+
+fail() {
+    echo "serve_smoke: FAIL: $*" >&2
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+    exit 1
+}
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# --- 1. daemon up -----------------------------------------------------
+"$SERVER" socket="$SOCK" workers=2 > "$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    if "$CLIENT" socket="$SOCK" ping > "$TMP/ping.json" 2>/dev/null; then
+        break
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died at startup"
+    sleep 0.1
+done
+grep -q '"ok": true' "$TMP/ping.json" || fail "ping did not answer ok"
+
+# --- 2. cold run vs offline golden ------------------------------------
+"$FIG01" --quick --csv jobs=2 print-cells=true \
+    | grep 'workload=' > "$TMP/cells.txt" \
+    || fail "fig01 print-cells produced no cells"
+N_CELLS=$(wc -l < "$TMP/cells.txt")
+[ "$N_CELLS" -gt 0 ] || fail "empty cell grid"
+
+"$CLIENT" socket="$SOCK" submit "$TMP/cells.txt" jobs=2 quiet=true \
+    stats-v1="$TMP/cold.json" > /dev/null 2> "$TMP/cold.t" \
+    || fail "cold submit failed"
+cmp -s "$TMP/cold.json" "$GOLDEN" \
+    || fail "cold run is not byte-identical to the golden"
+"$STATS_CHECK" - < "$TMP/cold.json" > /dev/null \
+    || fail "cold run fails schema check via stdin"
+
+# --- 3. warm run: all cache hits, no new simulations ------------------
+"$CLIENT" socket="$SOCK" stats > "$TMP/stats1.json" \
+    || fail "stats op failed"
+"$CLIENT" socket="$SOCK" submit "$TMP/cells.txt" jobs=2 quiet=true \
+    stats-v1="$TMP/warm.json" > /dev/null 2> "$TMP/warm.t" \
+    || fail "warm submit failed"
+cmp -s "$TMP/warm.json" "$GOLDEN" \
+    || fail "warm (cached) run is not byte-identical to the golden"
+"$CLIENT" socket="$SOCK" stats > "$TMP/stats2.json" \
+    || fail "stats op failed after warm run"
+
+count() { grep -o "\"$2\": [0-9]*" "$1" | grep -o '[0-9]*$'; }
+HITS1=$(count "$TMP/stats1.json" serve.cache.hits)
+HITS2=$(count "$TMP/stats2.json" serve.cache.hits)
+SIM1=$(count "$TMP/stats1.json" serve.cellsSimulated)
+SIM2=$(count "$TMP/stats2.json" serve.cellsSimulated)
+[ "$HITS2" -eq "$((HITS1 + N_CELLS))" ] \
+    || fail "expected $N_CELLS new cache hits, got $((HITS2 - HITS1))"
+[ "$SIM2" -eq "$SIM1" ] \
+    || fail "warm run simulated $((SIM2 - SIM1)) cells; expected 0"
+
+# The cached pass must be fast: no simulation events at all, so well
+# under a second even on a loaded host (the cold run took seconds).
+MS=$(grep -o '[0-9]* ms' "$TMP/warm.t" | grep -o '^[0-9]*')
+[ -n "$MS" ] && [ "$MS" -lt 5000 ] \
+    || fail "cached pass took ${MS:-?} ms — not served from cache?"
+
+# --- 4. two concurrent clients ----------------------------------------
+# Half the grid is evicted-free cache hits, half forced cold by a
+# fresh seed: both clients finish and match their own offline runs.
+sed 's/$/ seed=7/' "$TMP/cells.txt" > "$TMP/cells7.txt"
+"$CLIENT" socket="$SOCK" submit "$TMP/cells.txt" jobs=1 quiet=true \
+    stats-v1="$TMP/c1.json" > /dev/null 2>&1 &
+C1=$!
+"$CLIENT" socket="$SOCK" submit "$TMP/cells7.txt" jobs=1 quiet=true \
+    stats-v1="$TMP/c2.json" > /dev/null 2>&1 &
+C2=$!
+wait "$C1" || fail "concurrent client 1 failed"
+wait "$C2" || fail "concurrent client 2 failed"
+cmp -s "$TMP/c1.json" "$GOLDEN" \
+    || fail "concurrent client 1 output diverged"
+"$STATS_CHECK" "$TMP/c2.json" > /dev/null \
+    || fail "concurrent client 2 output fails schema check"
+
+# --- 5. graceful shutdown ---------------------------------------------
+"$CLIENT" socket="$SOCK" shutdown wait=true > /dev/null \
+    || fail "shutdown op failed"
+wait "$SERVER_PID"
+RC=$?
+SERVER_PID=
+[ "$RC" -eq 0 ] || fail "server exited with status $RC"
+grep -q 'stopped' "$TMP/server.log" || fail "server never logged stop"
+
+echo "serve_smoke: OK ($N_CELLS cells; warm pass ${MS} ms)"

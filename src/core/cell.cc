@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Sweep-cell construction, canonical rendering, and figure
+ * calibration.
+ */
+
+#include "core/cell.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "core/experiment.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+/** Keys that select/configure the run rather than the workload. */
+const std::set<std::string> &
+schemaKeys()
+{
+    static const std::set<std::string> keys = {
+        "workload", "mode", "policy",
+        "store-convert", "transparent-loads", "self-invalidation",
+        "adaptive-ar", "adapt-interval",
+        "recovery", "recovery-lag",
+        "verify", "seed", "tick-limit",
+        "engine", "sim-jobs",
+        // machineFromOptions() keys:
+        "cmps", "l1kb", "l2kb", "l2assoc", "mshrs",
+        "busTime", "netTime", "memTime", "dcLocal", "dcRemote",
+        "portOcc", "busCtrlOcc", "busDataOcc", "memBankOcc",
+        "l2occ", "quantum", "mesiE",
+    };
+    return keys;
+}
+
+/** Presentation/driver keys with no effect on the simulated result. */
+const std::set<std::string> &
+droppedKeys()
+{
+    static const std::set<std::string> keys = {
+        "jobs", "csv", "stats-json", "trace-json", "trace-point",
+        "print-cells", "perf-out",
+    };
+    return keys;
+}
+
+/** Canonical value of a pass-through workload option: full-string
+ *  integers re-render as canonical decimal (066 == 66 == 0x42),
+ *  boolean synonyms collapse onto true/false, everything else is
+ *  kept verbatim. */
+std::string
+normalizeValue(const std::string &v)
+{
+    if (!v.empty()) {
+        char *end = nullptr;
+        long long n = std::strtoll(v.c_str(), &end, 0);
+        if (end != v.c_str() && *end == '\0')
+            return std::to_string(n);
+    }
+    if (v == "yes" || v == "on")
+        return "true";
+    if (v == "no" || v == "off")
+        return "false";
+    return v;
+}
+
+} // namespace
+
+Mode
+modeFromName(const std::string &name)
+{
+    if (name == "single")
+        return Mode::Single;
+    if (name == "double")
+        return Mode::Double;
+    if (name == "slipstream")
+        return Mode::Slipstream;
+    fatal("unknown mode '%s' (use single, double, or slipstream)",
+          name.c_str());
+}
+
+SweepPoint
+cellFromOptions(const Options &opts)
+{
+    SweepPoint pt;
+    pt.workload = opts.getString("workload");
+    if (pt.workload.empty())
+        fatal("cell config needs workload=NAME");
+    const auto &names = workloadNames();
+    if (std::find(names.begin(), names.end(), pt.workload) ==
+        names.end()) {
+        fatal("unknown workload '%s'", pt.workload.c_str());
+    }
+
+    pt.opts = opts;
+    pt.machine = machineFromOptions(opts);
+
+    RunConfig &cfg = pt.cfg;
+    cfg.mode = modeFromName(opts.getString("mode", "single"));
+    cfg.arPolicy = arPolicyFromName(opts.getString("policy", "L1"));
+    cfg.features.storeConvert =
+        opts.getBool("store-convert", cfg.features.storeConvert);
+    cfg.features.transparentLoads = opts.getBool(
+        "transparent-loads", cfg.features.transparentLoads);
+    cfg.features.selfInvalidation = opts.getBool(
+        "self-invalidation", cfg.features.selfInvalidation);
+    cfg.adaptiveAr = opts.getBool("adaptive-ar", cfg.adaptiveAr);
+    cfg.adaptInterval = static_cast<int>(
+        opts.getInt("adapt-interval", cfg.adaptInterval));
+    cfg.recoveryEnabled = opts.getBool("recovery", cfg.recoveryEnabled);
+    cfg.recoveryLagSessions = static_cast<int>(
+        opts.getInt("recovery-lag", cfg.recoveryLagSessions));
+    cfg.verify = opts.getBool("verify", cfg.verify);
+    cfg.seed = static_cast<std::uint64_t>(
+        opts.getInt("seed", static_cast<std::int64_t>(cfg.seed)));
+
+    cfg.simJobs = static_cast<int>(opts.getInt("sim-jobs", 0));
+    if (cfg.simJobs < 0)
+        fatal("sim-jobs=%d: must be >= 0", cfg.simJobs);
+    std::string engine = opts.getString("engine", "");
+    if (engine == "parallel") {
+        if (cfg.simJobs == 0)
+            cfg.simJobs = 1;
+    } else if (engine == "seq") {
+        if (cfg.simJobs > 0) {
+            fatal("engine=seq contradicts sim-jobs=%d", cfg.simJobs);
+        }
+    } else if (!engine.empty()) {
+        fatal("unknown engine '%s' (use seq or parallel)",
+              engine.c_str());
+    }
+
+    pt.tickLimit = static_cast<Tick>(opts.getInt(
+        "tick-limit", static_cast<std::int64_t>(maxTick)));
+    return pt;
+}
+
+std::string
+renderCell(const SweepPoint &pt)
+{
+    std::vector<std::string> toks;
+    auto tok = [&](const std::string &k, const std::string &v) {
+        toks.push_back(k + "=" + v);
+    };
+    auto num = [&](const std::string &k, long long v, long long def) {
+        if (v != def)
+            tok(k, std::to_string(v));
+    };
+    auto flag = [&](const std::string &k, bool v, bool def) {
+        if (v != def)
+            tok(k, v ? "true" : "false");
+    };
+
+    tok("workload", pt.workload);
+
+    // Machine parameters: every machineFromOptions() key, folded
+    // against the Table-1 defaults.  Fields the key=value language
+    // cannot express must still be at their defaults.
+    const MachineParams def;
+    const MachineParams &m = pt.machine;
+    num("cmps", m.numCmps, def.numCmps);
+    num("l1kb", m.l1Bytes / 1024, def.l1Bytes / 1024);
+    num("l2kb", m.l2Bytes / 1024, def.l2Bytes / 1024);
+    num("l2assoc", m.l2Assoc, def.l2Assoc);
+    num("mshrs", m.l2Mshrs, def.l2Mshrs);
+    num("busTime", static_cast<long long>(m.busTime),
+        static_cast<long long>(def.busTime));
+    num("netTime", static_cast<long long>(m.netTime),
+        static_cast<long long>(def.netTime));
+    num("memTime", static_cast<long long>(m.memTime),
+        static_cast<long long>(def.memTime));
+    num("dcLocal", static_cast<long long>(m.piLocalDCTime),
+        static_cast<long long>(def.piLocalDCTime));
+    num("dcRemote", static_cast<long long>(m.niLocalDCTime),
+        static_cast<long long>(def.niLocalDCTime));
+    num("portOcc", static_cast<long long>(m.netPortOccupancy),
+        static_cast<long long>(def.netPortOccupancy));
+    num("busCtrlOcc", static_cast<long long>(m.busCtrlOccupancy),
+        static_cast<long long>(def.busCtrlOccupancy));
+    num("busDataOcc", static_cast<long long>(m.busDataOccupancy),
+        static_cast<long long>(def.busDataOccupancy));
+    num("memBankOcc", static_cast<long long>(m.memBankOccupancy),
+        static_cast<long long>(def.memBankOccupancy));
+    num("l2occ", static_cast<long long>(m.l2PortOccupancy),
+        static_cast<long long>(def.l2PortOccupancy));
+    num("quantum", static_cast<long long>(m.busyQuantum),
+        static_cast<long long>(def.busyQuantum));
+    flag("mesiE", m.mesiEState, def.mesiEState);
+    if (m.piRemoteDCTime != def.piRemoteDCTime ||
+        m.niRemoteDCTime != def.niRemoteDCTime ||
+        m.l1Assoc != def.l1Assoc || m.l1HitTime != def.l1HitTime ||
+        m.l2HitTime != def.l2HitTime ||
+        m.siDrainInterval != def.siDrainInterval ||
+        m.forkPenalty != def.forkPenalty ||
+        m.arSemaphoreTime != def.arSemaphoreTime) {
+        fatal("renderCell: machine for '%s' tweaks a field the "
+              "key=value config language cannot express",
+              pt.workload.c_str());
+    }
+
+    const RunConfig defCfg;
+    const RunConfig &c = pt.cfg;
+    if (c.mode != Mode::Single)
+        tok("mode", modeName(c.mode));
+    if (c.mode == Mode::Slipstream) {
+        // Policy, feature, and recovery knobs only steer slipstream
+        // pairs; folding them in single/double mode makes equivalent
+        // configs hash identically.
+        if (c.arPolicy != defCfg.arPolicy)
+            tok("policy", arPolicyName(c.arPolicy));
+        flag("store-convert", c.features.storeConvert,
+             defCfg.features.storeConvert);
+        flag("transparent-loads", c.features.transparentLoads,
+             defCfg.features.transparentLoads);
+        flag("self-invalidation", c.features.selfInvalidation,
+             defCfg.features.selfInvalidation);
+        flag("adaptive-ar", c.adaptiveAr, defCfg.adaptiveAr);
+        num("adapt-interval", c.adaptInterval, defCfg.adaptInterval);
+        flag("recovery", c.recoveryEnabled, defCfg.recoveryEnabled);
+        num("recovery-lag", c.recoveryLagSessions,
+            defCfg.recoveryLagSessions);
+    }
+    flag("verify", c.verify, defCfg.verify);
+    num("seed", static_cast<long long>(c.seed),
+        static_cast<long long>(defCfg.seed));
+    if (c.simJobs > 0)
+        tok("engine", "parallel");
+    if (pt.tickLimit != maxTick)
+        tok("tick-limit", std::to_string(pt.tickLimit));
+
+    // Pass-through workload options (n=, iters=, mol=, quick=, ...).
+    for (const auto &[k, v] : pt.opts.all()) {
+        if (schemaKeys().count(k) || droppedKeys().count(k))
+            continue;
+        tok(k, normalizeValue(v));
+    }
+
+    std::sort(toks.begin(), toks.end());
+    std::string line;
+    for (const std::string &t : toks) {
+        if (!line.empty())
+            line += ' ';
+        line += t;
+    }
+    return line;
+}
+
+const std::vector<std::string> &
+paperWorkloads()
+{
+    static const std::vector<std::string> v = {
+        "cg", "fft", "lu", "mg", "ocean",
+        "sor", "sp", "water-ns", "water-sp",
+    };
+    return v;
+}
+
+const std::vector<std::string> &
+slipWorkloads()
+{
+    static const std::vector<std::string> v = {
+        "cg", "fft", "mg", "ocean", "sor", "sp", "water-ns",
+    };
+    return v;
+}
+
+Options
+figOptions(const std::string &wl, const Options &user)
+{
+    Options o = user;
+    auto def = [&](const char *k, const char *v) {
+        if (!user.has(k))
+            o.set(k, v);
+    };
+
+    const bool paper = user.getBool("paper", false);
+    const bool quick = user.getBool("quick", false);
+
+    if (paper)
+        def("paper", "true");
+
+    if (wl == "sor") {
+        def("n", paper ? "1024" : (quick ? "66" : "258"));
+        def("iters", quick ? "2" : "4");
+    } else if (wl == "lu") {
+        def("n", paper ? "512" : (quick ? "64" : "256"));
+        def("block", "16");
+    } else if (wl == "fft") {
+        def("m", paper ? "65536" : (quick ? "1024" : "16384"));
+    } else if (wl == "ocean") {
+        def("n", paper ? "258" : (quick ? "66" : "130"));
+        def("steps", quick ? "1" : "2");
+    } else if (wl == "water-ns") {
+        def("mol", paper ? "512" : (quick ? "64" : "512"));
+        def("steps", "1");
+        def("l2kb", "128");  // Table 1 footnote: Water uses 128 KB
+    } else if (wl == "water-sp") {
+        def("mol", paper ? "512" : (quick ? "64" : "512"));
+        def("steps", quick ? "1" : "2");
+        def("l2kb", "128");
+    } else if (wl == "cg") {
+        def("n", paper ? "1400" : (quick ? "256" : "1400"));
+        def("iters", quick ? "3" : "5");
+    } else if (wl == "mg") {
+        def("n", paper ? "32" : (quick ? "8" : "32"));
+        def("cycles", "1");
+    } else if (wl == "sp") {
+        def("n", "16");
+        def("iters", quick ? "1" : "2");
+    }
+    return o;
+}
+
+MachineParams
+figMachine(const std::string &wl, const Options &user, int cmps)
+{
+    Options o = figOptions(wl, user);
+    MachineParams mp = machineFromOptions(o);
+    mp.numCmps = cmps;
+    return mp;
+}
+
+} // namespace slipsim

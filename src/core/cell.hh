@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sweep cells as a library surface: build a fully-specified SweepPoint
+ * from the `key=value` config language, and render one back as a
+ * canonical config line.
+ *
+ * This is the entry point the simulation service (src/serve/) shares
+ * with the figure benches: a *cell* is one self-contained simulation,
+ * described entirely by a flat key=value string —
+ *
+ *   workload=sor mode=double cmps=8 n=258 iters=4
+ *
+ * cellFromOptions() maps such a parsed string onto the structured
+ * (workload, Options, MachineParams, RunConfig) tuple runExperiment
+ * consumes; renderCell() is its inverse, emitting a canonical
+ * (sorted-key, defaults-folded) line such that
+ * renderCell(cellFromOptions(x)) is a fixed point.  The canonical
+ * form is what src/core/config_hash.{hh,cc} hashes for the server's
+ * result cache.
+ *
+ * The per-workload figure calibration (figOptions/figMachine) lives
+ * here too so benches and the service expand `--quick`/`--paper`
+ * problem sizes identically; bench/bench_common.hh re-exports it.
+ */
+
+#ifndef SLIPSIM_CORE_CELL_HH
+#define SLIPSIM_CORE_CELL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "sim/config.hh"
+
+namespace slipsim
+{
+
+/** Inverse of modeName(); fatal() on an unknown name. */
+Mode modeFromName(const std::string &name);
+
+/**
+ * Build one sweep cell from parsed options.  Recognized keys:
+ *
+ *   workload=NAME            required; must be a registered workload
+ *   mode=single|double|slipstream
+ *   policy=L1|L0|G1|G0       A-R policy (slipstream only)
+ *   store-convert=B, transparent-loads=B, self-invalidation=B
+ *   adaptive-ar=B, adapt-interval=N
+ *   recovery=B, recovery-lag=N
+ *   verify=B, seed=N, tick-limit=N
+ *   engine=seq|parallel      timing-model selector (DESIGN.md §2.9);
+ *   sim-jobs=N               parallel-engine worker count (N>=1
+ *                            implies engine=parallel; byte-identical
+ *                            output for any N>=1)
+ *   cmps=, l1kb=, l2kb=, ... every machineFromOptions() key
+ *
+ * plus arbitrary workload-specific keys (n=, iters=, mol=, ...),
+ * which are passed through to the workload factory.  Presentation
+ * keys (jobs=, csv=, stats-json=, trace-json=, trace-point=,
+ * print-cells=, perf-out=) are ignored.  fatal() on unknown
+ * workloads, modes, or policies.
+ */
+SweepPoint cellFromOptions(const Options &opts);
+
+/**
+ * Render @p pt as its canonical config line: every token `key=value`,
+ * tokens sorted lexicographically, joined by single spaces, with
+ * defaults folded away — a key whose value equals the compiled-in
+ * default is omitted, so equivalent configurations render (and hence
+ * hash) identically.  sim-jobs collapses to `engine=parallel`
+ * (worker count never changes output, DESIGN.md §2.9).  Integer
+ * values of workload keys are normalized to canonical decimal.
+ *
+ * fatal() if the cell tweaks a machine field the key=value language
+ * cannot express (a bench that pokes MachineParams directly).
+ */
+std::string renderCell(const SweepPoint &pt);
+
+// --- per-workload figure calibration (shared with the benches) ---------
+
+/** The nine Table-2 benchmarks, in the paper's habitual order. */
+const std::vector<std::string> &paperWorkloads();
+
+/** Figure-6..10 subset: benchmarks with slipstream potential. */
+const std::vector<std::string> &slipWorkloads();
+
+/**
+ * Calibrated per-benchmark run options: "fig" sizes keep the paper's
+ * communication/computation regime at bench-friendly runtimes;
+ * paper=true switches to Table 2 sizes; quick=true shrinks further.
+ * User-provided options override everything.
+ */
+Options figOptions(const std::string &wl, const Options &user);
+
+/** Machine for a workload: applies the workload's L2 override. */
+MachineParams figMachine(const std::string &wl, const Options &user,
+                         int cmps);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CORE_CELL_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Canonical config formatting and hashing implementation.
+ */
+
+#include "core/config_hash.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+#include "core/cell.hh"
+
+namespace slipsim
+{
+
+Options
+parseConfigLine(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char ch : line) {
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += ch;
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+
+    std::vector<const char *> argv;
+    argv.push_back("cell");  // argv[0] is skipped by Options::parse
+    for (const std::string &t : toks)
+        argv.push_back(t.c_str());
+    return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+std::uint64_t
+fnv1a64(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+canonicalConfig(const Options &opts)
+{
+    return renderCell(cellFromOptions(opts));
+}
+
+std::string
+configHashHex(const Options &opts)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(canonicalConfig(opts))));
+    return buf;
+}
+
+std::string
+cacheKey(const Options &opts, std::string_view gitRev,
+         std::string_view buildType)
+{
+    std::string key = configHashHex(opts);
+    key += ':';
+    key.append(gitRev);
+    key += ':';
+    key.append(buildType);
+    return key;
+}
+
+} // namespace slipsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Canonical config formatting and hashing.
+ *
+ * The simulation service memoizes cell results by configuration, so
+ * two requests that *mean* the same simulation must map to the same
+ * key however they happen to be spelled: key order, redundant
+ * whitespace, explicitly-spelled defaults (`mode=single`), integer
+ * radix/zero-padding, and the parallel-engine worker count
+ * (`sim-jobs=4` vs `sim-jobs=1` — byte-identical output either way)
+ * all fold away.
+ *
+ * canonicalConfig() produces the normal form — a sorted-key,
+ * defaults-folded `key=value` line via cellFromOptions()/renderCell()
+ * — and configHashHex() hashes it with 64-bit FNV-1a.  cacheKey()
+ * appends the git revision and build type, because different builds
+ * of the simulator are different timing models as far as a result
+ * cache is concerned.
+ */
+
+#ifndef SLIPSIM_CORE_CONFIG_HASH_HH
+#define SLIPSIM_CORE_CONFIG_HASH_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/config.hh"
+
+namespace slipsim
+{
+
+/**
+ * Parse one whitespace-separated `key=value ...` config line into
+ * Options (same token rules as the command line: `--flag` becomes
+ * flag=true, dashes are stripped).  Blank-heavy input is fine; there
+ * is no quoting, values cannot contain spaces.
+ */
+Options parseConfigLine(const std::string &line);
+
+/** 64-bit FNV-1a over @p s. */
+std::uint64_t fnv1a64(std::string_view s);
+
+/**
+ * The canonical rendering of a cell config: sorted keys, single
+ * spaces, defaults folded (see renderCell()).  fatal() on invalid
+ * configs (unknown workload/mode/policy, malformed values).
+ */
+std::string canonicalConfig(const Options &opts);
+
+/** 16-hex-digit FNV-1a of canonicalConfig(). */
+std::string configHashHex(const Options &opts);
+
+/**
+ * Full result-cache key: `<config-hash>:<git-rev>:<build-type>`.
+ * Results from different simulator builds never alias.
+ */
+std::string cacheKey(const Options &opts, std::string_view gitRev,
+                     std::string_view buildType);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CORE_CONFIG_HASH_HH

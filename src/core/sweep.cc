@@ -8,6 +8,7 @@
 #include <atomic>
 #include <exception>
 #include <ostream>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -95,6 +96,21 @@ runSweep(const std::vector<SweepPoint> &points, const SweepConfig &cfg)
     return results;
 }
 
+std::string
+sweepPointJson(const ExperimentResult &r)
+{
+    std::ostringstream os;
+    os << "{\"workload\": \"" << jsonEscape(r.workload)
+       << "\", \"mode\": \"" << modeName(r.mode)
+       << "\", \"policy\": \"" << arPolicyName(r.policy)
+       << "\", \"cmps\": " << r.numCmps
+       << ", \"cycles\": " << r.cycles << ", \"verified\": "
+       << (r.verified ? "true" : "false") << ", \"stats\": ";
+    r.snap.writeJson(os);
+    os << "}";
+    return std::move(os).str();
+}
+
 void
 writeSweepStatsJson(std::ostream &os,
                     const std::vector<SweepPoint> &points,
@@ -109,16 +125,26 @@ writeSweepStatsJson(std::ostream &os,
     StatsSnapshot agg;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const ExperimentResult &r = results[i];
-        os << (i ? ",\n" : "\n");
-        os << "{\"workload\": \"" << jsonEscape(r.workload)
-           << "\", \"mode\": \"" << modeName(r.mode)
-           << "\", \"policy\": \"" << arPolicyName(r.policy)
-           << "\", \"cmps\": " << r.numCmps
-           << ", \"cycles\": " << r.cycles << ", \"verified\": "
-           << (r.verified ? "true" : "false") << ", \"stats\": ";
-        r.snap.writeJson(os);
-        os << "}";
+        os << (i ? ",\n" : "\n") << sweepPointJson(r);
         agg.merge(r.snap);
+    }
+    os << "\n],\n\"aggregate\": ";
+    agg.writeJson(os);
+    os << "\n}\n";
+}
+
+void
+writeStatsDoc(std::ostream &os,
+              const std::vector<std::string> &fragments)
+{
+    os << "{\n\"schema\": \"slipsim-stats-v1\",\n\"points\": [";
+    StatsSnapshot agg;
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+        JsonValue point = parseJson(fragments[i]);
+        if (!point.isObject())
+            fatal("stats fragment %zu is not a JSON object", i);
+        agg.merge(StatsSnapshot::fromJson(point.at("stats")));
+        os << (i ? ",\n" : "\n") << fragments[i];
     }
     os << "\n],\n\"aggregate\": ";
     agg.writeJson(os);

@@ -83,6 +83,26 @@ void writeSweepStatsJson(std::ostream &os,
                          const std::vector<SweepPoint> &points,
                          const std::vector<ExperimentResult> &results);
 
+/**
+ * One point of a slipsim-stats-v1 document, as a self-contained JSON
+ * object ({"workload": ..., ..., "stats": {...}}).  These are the
+ * bytes writeSweepStatsJson() emits per point, and the unit the
+ * simulation service streams and memoizes: a document assembled from
+ * cached fragments is byte-identical to one written offline.
+ */
+std::string sweepPointJson(const ExperimentResult &r);
+
+/**
+ * Assemble a full slipsim-stats-v1 document from per-point fragments
+ * (sweepPointJson() outputs, submission order).  The aggregate is
+ * re-derived by parsing each fragment's "stats" member and merging —
+ * byte-identical to writeSweepStatsJson() on the same results
+ * (snapshot JSON round-trips exactly).  fatal() on malformed
+ * fragments.
+ */
+void writeStatsDoc(std::ostream &os,
+                   const std::vector<std::string> &fragments);
+
 } // namespace slipsim
 
 #endif // SLIPSIM_CORE_SWEEP_HH

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Frame codec and socket helpers.
+ */
+
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace slipsim
+{
+namespace serve
+{
+
+const char *
+frameStatusName(FrameStatus s)
+{
+    switch (s) {
+      case FrameStatus::Ok:
+        return "ok";
+      case FrameStatus::Eof:
+        return "eof";
+      case FrameStatus::TooBig:
+        return "too-big";
+      case FrameStatus::Truncated:
+        return "truncated";
+      case FrameStatus::Error:
+        return "error";
+      default:
+        return "?";
+    }
+}
+
+std::string
+encodeFrame(std::string_view payload)
+{
+    std::string out;
+    out.reserve(4 + payload.size());
+    std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    out.push_back(static_cast<char>((n >> 24) & 0xff));
+    out.push_back(static_cast<char>((n >> 16) & 0xff));
+    out.push_back(static_cast<char>((n >> 8) & 0xff));
+    out.push_back(static_cast<char>(n & 0xff));
+    out.append(payload);
+    return out;
+}
+
+FrameStatus
+decodeFrame(std::string_view buf, std::size_t &off,
+            std::string &payload, std::uint32_t maxBytes)
+{
+    if (off == buf.size())
+        return FrameStatus::Eof;
+    if (buf.size() - off < 4)
+        return FrameStatus::Truncated;
+    const unsigned char *p =
+        reinterpret_cast<const unsigned char *>(buf.data() + off);
+    std::uint32_t n = (static_cast<std::uint32_t>(p[0]) << 24) |
+                      (static_cast<std::uint32_t>(p[1]) << 16) |
+                      (static_cast<std::uint32_t>(p[2]) << 8) |
+                      static_cast<std::uint32_t>(p[3]);
+    if (n > maxBytes)
+        return FrameStatus::TooBig;
+    if (buf.size() - off - 4 < n)
+        return FrameStatus::Truncated;
+    payload.assign(buf.data() + off + 4, n);
+    off += 4 + n;
+    return FrameStatus::Ok;
+}
+
+namespace
+{
+
+bool
+writeAll(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** @return bytes read (== len), 0 on clean EOF at the first byte,
+ *  -1 on error or mid-buffer EOF. */
+ssize_t
+readAll(int fd, void *data, std::size_t len)
+{
+    char *p = static_cast<char *>(data);
+    std::size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::read(fd, p + got, len - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (n == 0)
+            return got == 0 ? 0 : -1;
+        got += static_cast<std::size_t>(n);
+    }
+    return static_cast<ssize_t>(got);
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, std::string_view payload)
+{
+    unsigned char hdr[4];
+    std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    hdr[0] = static_cast<unsigned char>((n >> 24) & 0xff);
+    hdr[1] = static_cast<unsigned char>((n >> 16) & 0xff);
+    hdr[2] = static_cast<unsigned char>((n >> 8) & 0xff);
+    hdr[3] = static_cast<unsigned char>(n & 0xff);
+    return writeAll(fd, hdr, 4) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+FrameStatus
+readFrame(int fd, std::string &payload, std::uint32_t maxBytes)
+{
+    unsigned char hdr[4];
+    ssize_t r = readAll(fd, hdr, 4);
+    if (r == 0)
+        return FrameStatus::Eof;
+    if (r < 0)
+        return FrameStatus::Truncated;
+    std::uint32_t n = (static_cast<std::uint32_t>(hdr[0]) << 24) |
+                      (static_cast<std::uint32_t>(hdr[1]) << 16) |
+                      (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                      static_cast<std::uint32_t>(hdr[3]);
+    if (n > maxBytes)
+        return FrameStatus::TooBig;
+    payload.resize(n);
+    if (n > 0 && readAll(fd, payload.data(), n) <= 0)
+        return FrameStatus::Truncated;
+    return FrameStatus::Ok;
+}
+
+int
+listenUnix(const std::string &path, int backlog)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        errno = ENAMETOOLONG;
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(fd, backlog) < 0) {
+        int e = errno;
+        ::close(fd);
+        errno = e;
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenTcp(int port, int backlog)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(fd, backlog) < 0) {
+        int e = errno;
+        ::close(fd);
+        errno = e;
+        return -1;
+    }
+    return fd;
+}
+
+int
+boundPort(int fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) <
+        0) {
+        return -1;
+    }
+    return ntohs(addr.sin_port);
+}
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        errno = ENAMETOOLONG;
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int e = errno;
+        ::close(fd);
+        errno = e;
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int e = errno;
+        ::close(fd);
+        errno = e;
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace serve
+} // namespace slipsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Wire protocol for the simulation service: length-prefixed JSON
+ * frames over a Unix-domain or loopback-TCP stream socket.
+ *
+ * A frame is a 4-byte big-endian payload length followed by that many
+ * bytes of UTF-8 JSON.  Both directions use the same framing; each
+ * payload is one JSON object.  Client->server objects carry an "op"
+ * member ("ping", "run", "stats", "shutdown"); server->client objects
+ * are per-cell results, a final completion object, or {"error": ...}.
+ * The full request/response vocabulary is documented in DESIGN.md
+ * §10.
+ *
+ * Framing is deliberately dumb: no compression, no multiplexing, no
+ * partial frames.  A reader either gets a whole payload, a clean EOF
+ * at a frame boundary, or a hard error (oversized length prefix,
+ * truncated stream) that ends the connection — malformed input can
+ * never desynchronize the stream into misinterpreting bytes.
+ */
+
+#ifndef SLIPSIM_SERVE_PROTOCOL_HH
+#define SLIPSIM_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace slipsim
+{
+namespace serve
+{
+
+/** Default cap on one frame's payload (a full fig01-size stats
+ *  document is under 1 MB; 64 MB leaves room for paper-size sweeps). */
+constexpr std::uint32_t defaultMaxFrameBytes = 64u << 20;
+
+/** Outcome of reading one frame. */
+enum class FrameStatus
+{
+    Ok,         //!< payload delivered
+    Eof,        //!< clean end of stream at a frame boundary
+    TooBig,     //!< length prefix exceeds the reader's cap
+    Truncated,  //!< stream ended mid-prefix or mid-payload
+    Error,      //!< I/O error
+};
+
+const char *frameStatusName(FrameStatus s);
+
+/** Serialize @p payload as one frame (prefix + bytes). */
+std::string encodeFrame(std::string_view payload);
+
+/**
+ * Decode one frame from @p buf starting at @p off.  On Ok, @p off
+ * advances past the frame and @p payload holds the bytes.  Eof when
+ * @p off is exactly at the buffer end; Truncated when a partial frame
+ * remains.  Never consumes bytes on a non-Ok return.
+ */
+FrameStatus decodeFrame(std::string_view buf, std::size_t &off,
+                        std::string &payload,
+                        std::uint32_t maxBytes = defaultMaxFrameBytes);
+
+/** Write one frame to @p fd (loops over short writes; EINTR-safe).
+ *  @return false on any write failure. */
+bool writeFrame(int fd, std::string_view payload);
+
+/** Read one frame from @p fd (blocking; EINTR-safe). */
+FrameStatus readFrame(int fd, std::string &payload,
+                      std::uint32_t maxBytes = defaultMaxFrameBytes);
+
+// --- socket helpers (all return -1 on failure, with errno set) ---------
+
+/** Bind + listen on a Unix-domain socket at @p path (unlinks any
+ *  stale socket file first). */
+int listenUnix(const std::string &path, int backlog = 16);
+
+/** Bind + listen on loopback TCP; @p port 0 picks an ephemeral port
+ *  (read it back with boundPort()). */
+int listenTcp(int port, int backlog = 16);
+
+/** Port a listening TCP socket is bound to. */
+int boundPort(int fd);
+
+/** Connect to a Unix-domain socket. */
+int connectUnix(const std::string &path);
+
+/** Connect to a loopback TCP port. */
+int connectTcp(int port);
+
+} // namespace serve
+} // namespace slipsim
+
+#endif // SLIPSIM_SERVE_PROTOCOL_HH

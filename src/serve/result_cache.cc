@@ -1,0 +1,102 @@
+/**
+ * @file
+ * LRU result cache implementation.
+ */
+
+#include "serve/result_cache.hh"
+
+namespace slipsim
+{
+namespace serve
+{
+
+bool
+ResultCache::lookup(const std::string &key, std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(key);
+    if (it == index.end()) {
+        ++misses;
+        return false;
+    }
+    lru.splice(lru.begin(), lru, it->second);
+    value = it->second->value;
+    ++hits;
+    return true;
+}
+
+void
+ResultCache::insert(const std::string &key, std::string value)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (key.size() + value.size() > capacity) {
+        ++oversized;
+        return;
+    }
+    auto it = index.find(key);
+    if (it != index.end()) {
+        bytes -= entryBytes(*it->second);
+        it->second->value = std::move(value);
+        bytes += entryBytes(*it->second);
+        lru.splice(lru.begin(), lru, it->second);
+    } else {
+        lru.push_front(Entry{key, std::move(value)});
+        index[key] = lru.begin();
+        bytes += entryBytes(lru.front());
+        ++inserts;
+    }
+    evictToFit();
+    bytesGauge.set(static_cast<double>(bytes));
+    entriesGauge.set(static_cast<double>(lru.size()));
+}
+
+void
+ResultCache::evictToFit()
+{
+    while (bytes > capacity && !lru.empty()) {
+        bytes -= entryBytes(lru.back());
+        index.erase(lru.back().key);
+        lru.pop_back();
+        ++evictions;
+    }
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    lru.clear();
+    index.clear();
+    bytes = 0;
+    bytesGauge.set(0);
+    entriesGauge.set(0);
+}
+
+std::size_t
+ResultCache::sizeBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return bytes;
+}
+
+std::size_t
+ResultCache::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return lru.size();
+}
+
+void
+ResultCache::registerStats(StatsScope scope) const
+{
+    scope.counter("hits", hits);
+    scope.counter("misses", misses);
+    scope.counter("evictions", evictions);
+    scope.counter("inserts", inserts);
+    scope.counter("oversized", oversized);
+    scope.gauge("bytes", bytesGauge);
+    scope.gauge("entries", entriesGauge);
+}
+
+} // namespace serve
+} // namespace slipsim

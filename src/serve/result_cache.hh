@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Byte-bounded LRU result cache for the simulation service.
+ *
+ * Maps a cache key (canonical-config hash + git revision + build
+ * type, see core/config_hash.hh) to the memoized slipsim-stats-v1
+ * point fragment for that cell.  Repeated cells — the common case
+ * for golden regeneration and CI — are served from here without
+ * simulating.
+ *
+ * Capacity is accounted in bytes (key + value sizes); inserting past
+ * capacity evicts least-recently-used entries.  An entry larger than
+ * the whole capacity is refused (counted, never cached).  All
+ * operations are thread-safe; hit/miss/eviction counters register in
+ * the server's stats registry under serve.cache.*.
+ */
+
+#ifndef SLIPSIM_SERVE_RESULT_CACHE_HH
+#define SLIPSIM_SERVE_RESULT_CACHE_HH
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/stats_registry.hh"
+
+namespace slipsim
+{
+namespace serve
+{
+
+class ResultCache
+{
+  public:
+    explicit ResultCache(std::size_t capacity_bytes)
+        : capacity(capacity_bytes)
+    {
+    }
+
+    /**
+     * Look @p key up; on a hit copies the value into @p value, marks
+     * the entry most-recently used, and counts a hit.  Counts a miss
+     * and returns false otherwise.
+     */
+    bool lookup(const std::string &key, std::string &value);
+
+    /**
+     * Insert (or refresh) @p key -> @p value, evicting LRU entries
+     * until the byte budget holds.  Oversized values (larger than
+     * the whole cache) are dropped and counted.
+     */
+    void insert(const std::string &key, std::string value);
+
+    /** Drop every entry (counters are kept). */
+    void clear();
+
+    std::size_t sizeBytes() const;
+    std::size_t entryCount() const;
+    std::size_t capacityBytes() const { return capacity; }
+
+    /** Register counters/gauges under @p scope (e.g. "serve.cache"). */
+    void registerStats(StatsScope scope) const;
+
+    /** Held while snapshotting the registry so counter reads are
+     *  consistent with concurrent lookups. */
+    std::mutex &statsMutex() const { return mu; }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string value;
+    };
+
+    std::size_t entryBytes(const Entry &e) const
+    { return e.key.size() + e.value.size(); }
+
+    void evictToFit();  // requires mu held
+
+    const std::size_t capacity;
+    mutable std::mutex mu;
+    std::list<Entry> lru;  //!< front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+
+    Counter hits, misses, evictions, inserts, oversized;
+    Gauge bytesGauge, entriesGauge;
+};
+
+} // namespace serve
+} // namespace slipsim
+
+#endif // SLIPSIM_SERVE_RESULT_CACHE_HH

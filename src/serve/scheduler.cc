@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Fair round-robin scheduler implementation.
+ */
+
+#include "serve/scheduler.hh"
+
+#include "core/sweep.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+namespace serve
+{
+
+FairScheduler::FairScheduler(unsigned workers, bool record_dispatches)
+    : recordDispatches(record_dispatches)
+{
+    unsigned n = resolveJobs(workers);
+    pool.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        pool.emplace_back([this]() { workerLoop(); });
+}
+
+FairScheduler::~FairScheduler()
+{
+    drainAndStop();
+}
+
+FairScheduler::TicketPtr
+FairScheduler::submit(std::size_t num_cells, unsigned cap,
+                      std::function<void(std::size_t)> run)
+{
+    auto t = std::make_shared<Ticket>();
+    t->run = std::move(run);
+    t->cap = cap;
+    t->total = num_cells;
+    for (std::size_t i = 0; i < num_cells; ++i)
+        t->pending.push_back(i);
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping)
+            fatal("scheduler: submit after drainAndStop");
+        t->id = nextTicketId++;
+        active.push_back(t);
+        maxActive.raise(static_cast<double>(active.size()));
+    }
+    if (num_cells == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        removeTicket(t);
+        t->doneCv.notify_all();
+        return t;
+    }
+    workCv.notify_all();
+    return t;
+}
+
+void
+FairScheduler::wait(const TicketPtr &t)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    t->doneCv.wait(lock, [&]() { return t->done == t->total; });
+}
+
+void
+FairScheduler::drainAndStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping && pool.empty())
+            return;
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (auto &th : pool) {
+        if (th.joinable())
+            th.join();
+    }
+    pool.clear();
+}
+
+void
+FairScheduler::removeTicket(const TicketPtr &t)
+{
+    // Keep the cursor pointing at the same *next* ticket: erasing an
+    // entry before it would otherwise shift the rotation and hand the
+    // following ticket a double turn (or skip one).
+    std::size_t idx = 0;
+    for (auto it = active.begin(); it != active.end(); ++it, ++idx) {
+        if (*it == t) {
+            active.erase(it);
+            if (idx < cursor)
+                --cursor;
+            if (cursor >= active.size())
+                cursor = 0;
+            return;
+        }
+    }
+}
+
+FairScheduler::TicketPtr
+FairScheduler::pickRunnable(std::size_t &cell)
+{
+    if (active.empty())
+        return nullptr;
+    // Walk the ring once, starting at the cursor.
+    std::size_t n = active.size();
+    if (cursor >= n)
+        cursor = 0;
+    auto it = active.begin();
+    std::advance(it, cursor);
+    for (std::size_t step = 0; step < n; ++step) {
+        TicketPtr &t = *it;
+        if (!t->pending.empty() &&
+            (t->cap == 0 || t->inflight < t->cap)) {
+            cell = t->pending.front();
+            t->pending.pop_front();
+            ++t->inflight;
+            maxInflight.raise(static_cast<double>(t->inflight));
+            // Advance the cursor past this ticket so the next
+            // dispatch considers the following one first.
+            cursor = (cursor + step + 1) % n;
+            return t;
+        }
+        ++it;
+        if (it == active.end())
+            it = active.begin();
+    }
+    return nullptr;
+}
+
+void
+FairScheduler::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+        std::size_t cell = 0;
+        TicketPtr t = pickRunnable(cell);
+        if (!t) {
+            if (stopping)
+                return;
+            workCv.wait(lock);
+            continue;
+        }
+        if (recordDispatches)
+            dispatches.push_back(t->id);
+        lock.unlock();
+
+        t->run(cell);
+
+        lock.lock();
+        ++cellsRun;
+        --t->inflight;
+        ++t->done;
+        if (t->done == t->total) {
+            ++ticketsDone;
+            removeTicket(t);
+            t->doneCv.notify_all();
+        }
+        // A freed cap slot or finished ticket may unblock peers.
+        workCv.notify_all();
+    }
+}
+
+std::vector<std::uint64_t>
+FairScheduler::dispatchLog() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return dispatches;
+}
+
+void
+FairScheduler::registerStats(StatsScope scope) const
+{
+    scope.counter("cellsRun", cellsRun);
+    scope.counter("ticketsDone", ticketsDone);
+    scope.gauge("maxActiveRequests", maxActive);
+    scope.gauge("maxInflightPerRequest", maxInflight);
+}
+
+} // namespace serve
+} // namespace slipsim

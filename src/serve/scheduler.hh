@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fair round-robin cell scheduler over a shared worker pool.
+ *
+ * Every connected client's request becomes a *ticket*: an ordered set
+ * of cell indices plus a per-request cap on how many of its cells may
+ * run at once (the request's `jobs` field).  A fixed pool of worker
+ * threads serves all tickets; each dispatch takes the next cell from
+ * the next ticket in round-robin order that has pending work and
+ * spare in-flight budget.  Two consequences:
+ *
+ *  - fairness: a 48-cell sweep and a 1-cell probe submitted together
+ *    interleave — the probe does not wait behind the sweep;
+ *  - isolation: a request's cap bounds its worker share, so one
+ *    client cannot monopolize the pool even alone in the queue with
+ *    a large request.
+ *
+ * The run function is supplied per ticket and is called on worker
+ * threads; it must not throw (the server wraps simulation errors into
+ * per-cell error frames).  submit() returns a Ticket handle the
+ * caller waits on; the scheduler never owns result data.
+ */
+
+#ifndef SLIPSIM_SERVE_SCHEDULER_HH
+#define SLIPSIM_SERVE_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/stats_registry.hh"
+
+namespace slipsim
+{
+namespace serve
+{
+
+class FairScheduler
+{
+  public:
+    /** A submitted request; wait() blocks until every cell ran. */
+    struct Ticket
+    {
+        std::deque<std::size_t> pending;
+        std::function<void(std::size_t)> run;
+        unsigned cap = 0;       //!< max in-flight cells (0 = no cap)
+        unsigned inflight = 0;
+        std::size_t total = 0;
+        std::size_t done = 0;
+        std::uint64_t id = 0;
+        std::condition_variable doneCv;
+    };
+    using TicketPtr = std::shared_ptr<Ticket>;
+
+    /** @param workers pool size; 0 selects hardware concurrency.
+     *  @param record_dispatches keep a dispatch log (tests only). */
+    explicit FairScheduler(unsigned workers,
+                           bool record_dispatches = false);
+    ~FairScheduler();
+
+    FairScheduler(const FairScheduler &) = delete;
+    FairScheduler &operator=(const FairScheduler &) = delete;
+
+    /**
+     * Enqueue a request of @p num_cells cells.  @p run is invoked as
+     * run(i) for each i in [0, num_cells) from worker threads, at
+     * most @p cap concurrently.  Returns immediately.
+     */
+    TicketPtr submit(std::size_t num_cells, unsigned cap,
+                     std::function<void(std::size_t)> run);
+
+    /** Block until every cell of @p t has completed. */
+    void wait(const TicketPtr &t);
+
+    /** Stop accepting work, finish in-flight + pending cells of
+     *  already-submitted tickets, join the pool. */
+    void drainAndStop();
+
+    unsigned workerCount() const
+    { return static_cast<unsigned>(pool.size()); }
+
+    /** Ticket-id sequence of every dispatch, in dispatch order (only
+     *  recorded when the constructor asked for it). */
+    std::vector<std::uint64_t> dispatchLog() const;
+
+    /** Register counters under @p scope (e.g. "serve.sched"). */
+    void registerStats(StatsScope scope) const;
+
+    /** See ResultCache::statsMutex(). */
+    std::mutex &statsMutex() const { return mu; }
+
+  private:
+    void workerLoop();
+
+    /** Pick the next runnable ticket round-robin; requires mu held.
+     *  Returns nullptr when nothing is runnable. */
+    TicketPtr pickRunnable(std::size_t &cell);
+
+    /** Erase @p t from the ring, keeping the cursor on the same next
+     *  ticket; requires mu held. */
+    void removeTicket(const TicketPtr &t);
+
+    mutable std::mutex mu;
+    std::condition_variable workCv;
+    std::list<TicketPtr> active;  //!< round-robin ring, FIFO arrival
+    std::size_t cursor = 0;       //!< ring position of the next pick
+    bool stopping = false;
+    std::uint64_t nextTicketId = 1;
+
+    std::vector<std::thread> pool;
+
+    bool recordDispatches;
+    std::vector<std::uint64_t> dispatches;
+
+    Counter cellsRun, ticketsDone;
+    Gauge maxActive, maxInflight;
+};
+
+} // namespace serve
+} // namespace slipsim
+
+#endif // SLIPSIM_SERVE_SCHEDULER_HH

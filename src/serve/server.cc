@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Simulation-service server implementation.
+ */
+
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <csignal>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/cell.hh"
+#include "core/config_hash.hh"
+#include "core/experiment.hh"
+#include "core/sweep.hh"
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+namespace serve
+{
+
+Server::Server(ServeConfig config)
+    : cfg(std::move(config)), cache(cfg.cacheBytes)
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    // A client vanishing mid-stream must surface as a write error on
+    // its connection, not kill the whole daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!cfg.unixPath.empty()) {
+        unixFd = listenUnix(cfg.unixPath);
+        if (unixFd < 0) {
+            fatal("cannot listen on unix socket '%s'",
+                  cfg.unixPath.c_str());
+        }
+    }
+    if (cfg.tcpPort >= 0) {
+        tcpFd = listenTcp(cfg.tcpPort);
+        if (tcpFd < 0)
+            fatal("cannot listen on 127.0.0.1:%d", cfg.tcpPort);
+        boundTcpPort = boundPort(tcpFd);
+    }
+    if (unixFd < 0 && tcpFd < 0)
+        fatal("server needs a unix socket path or a TCP port");
+
+    if (::pipe(stopPipe) != 0)
+        fatal("cannot create stop pipe");
+
+    sched = std::make_unique<FairScheduler>(cfg.workers);
+    acceptThread = std::thread([this]() { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    while (true) {
+        pollfd fds[3];
+        int n = 0;
+        fds[n++] = pollfd{stopPipe[0], POLLIN, 0};
+        if (unixFd >= 0)
+            fds[n++] = pollfd{unixFd, POLLIN, 0};
+        if (tcpFd >= 0)
+            fds[n++] = pollfd{tcpFd, POLLIN, 0};
+
+        if (::poll(fds, static_cast<nfds_t>(n), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (fds[0].revents)
+            return;  // stop requested
+
+        for (int i = 1; i < n; ++i) {
+            if (!(fds[i].revents & POLLIN))
+                continue;
+            int cfd = ::accept(fds[i].fd, nullptr, nullptr);
+            if (cfd < 0)
+                continue;
+            std::lock_guard<std::mutex> lock(connMu);
+            if (stopping) {
+                ::close(cfd);
+                continue;
+            }
+            {
+                std::lock_guard<std::mutex> clock(countMu);
+                ++connectionsAccepted;
+            }
+            auto conn = std::make_unique<Connection>();
+            conn->fd = cfd;
+            Connection *raw = conn.get();
+            conn->thread =
+                std::thread([this, raw]() { connectionLoop(raw); });
+            conns.push_back(std::move(conn));
+        }
+    }
+}
+
+void
+Server::connectionLoop(Connection *conn)
+{
+    while (true) {
+        std::string payload;
+        FrameStatus st =
+            readFrame(conn->fd, payload, cfg.maxFrameBytes);
+        if (st == FrameStatus::TooBig) {
+            sendError(conn, "frame too large");
+            break;
+        }
+        if (st != FrameStatus::Ok)
+            break;  // EOF / truncated / error: drop the connection
+        if (!handleFrame(conn, payload))
+            break;
+    }
+    ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+bool
+Server::handleFrame(Connection *conn, const std::string &payload)
+{
+    JsonValue req;
+    try {
+        req = parseJson(payload);
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(countMu);
+        ++badRequests;
+        // fall through to the error reply below
+        return sendError(conn,
+                         std::string("bad request JSON: ") + e.what());
+    }
+    if (!req.isObject() || !req.find("op") ||
+        !req.at("op").isString()) {
+        std::lock_guard<std::mutex> lock(countMu);
+        ++badRequests;
+        return sendError(conn, "request needs a string \"op\"");
+    }
+
+    const std::string &op = req.at("op").str;
+    if (op == "ping") {
+        handlePing(conn);
+        return true;
+    }
+    if (op == "stats") {
+        handleStats(conn);
+        return true;
+    }
+    if (op == "run") {
+        try {
+            handleRun(conn, req);
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(countMu);
+            ++badRequests;
+            return sendError(conn, e.what());
+        }
+        return true;
+    }
+    if (op == "shutdown") {
+        sendFrame(conn, "{\"ok\": true, \"draining\": true}");
+        requestStop();
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(countMu);
+        ++badRequests;
+    }
+    return sendError(conn, "unknown op '" + op + "'");
+}
+
+void
+Server::handlePing(Connection *conn)
+{
+    std::ostringstream os;
+    os << "{\"ok\": true, \"server\": \"slipsim\", \"protocol\": 1"
+       << ", \"git_rev\": \"" << jsonEscape(cfg.gitRev)
+       << "\", \"build_type\": \"" << jsonEscape(cfg.buildType)
+       << "\", \"workers\": " << sched->workerCount() << "}";
+    sendFrame(conn, os.str());
+}
+
+void
+Server::handleStats(Connection *conn)
+{
+    std::ostringstream os;
+    os << "{\"ok\": true, \"stats\": ";
+    statsSnapshot().writeJson(os);
+    os << "}";
+    sendFrame(conn, os.str());
+}
+
+void
+Server::handleRun(Connection *conn, const JsonValue &req)
+{
+    const JsonValue *cells = req.find("cells");
+    if (!cells || !cells->isArray() || cells->arr.empty())
+        fatal("run request needs a non-empty \"cells\" array");
+
+    unsigned jobs_cap = 0;
+    if (const JsonValue *j = req.find("jobs")) {
+        if (!j->isNumber() || j->number < 0)
+            fatal("run request: \"jobs\" must be a number >= 0");
+        jobs_cap = static_cast<unsigned>(j->number);
+    }
+    if (cfg.maxJobsPerRequest > 0 &&
+        (jobs_cap == 0 || jobs_cap > cfg.maxJobsPerRequest)) {
+        jobs_cap = cfg.maxJobsPerRequest;
+    }
+
+    int sim_jobs = 0;
+    if (const JsonValue *sj = req.find("sim-jobs")) {
+        if (!sj->isNumber() || sj->number < 0)
+            fatal("run request: \"sim-jobs\" must be a number >= 0");
+        sim_jobs = static_cast<int>(sj->number);
+    }
+    if (cfg.maxSimJobs > 0 && sim_jobs > cfg.maxSimJobs)
+        sim_jobs = cfg.maxSimJobs;
+
+    // Validate, build, and hash every cell before running anything:
+    // a bad cell rejects the whole request cheaply.
+    const std::size_t n = cells->arr.size();
+    std::vector<SweepPoint> pts(n);
+    std::vector<std::string> keys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!cells->arr[i].isString())
+            fatal("cell %zu is not a string", i);
+        Options opts;
+        try {
+            opts = parseConfigLine(cells->arr[i].str);
+            pts[i] = cellFromOptions(opts);
+        } catch (const std::exception &e) {
+            fatal("cell %zu: %s", i, e.what());
+        }
+        // The request-level sim-jobs only resizes the worker pool of
+        // cells that already chose the parallel engine; it never
+        // switches a cell's timing model (and so never its hash).
+        if (pts[i].cfg.simJobs > 0 && sim_jobs > 0)
+            pts[i].cfg.simJobs = sim_jobs;
+        keys[i] = cacheKey(opts, cfg.gitRev, cfg.buildType);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(countMu);
+        ++requests;
+        cellsRequested += n;
+    }
+
+    // Serve hits immediately, in submission order.
+    std::vector<std::size_t> miss_idx;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::string frag;
+        if (cache.lookup(keys[i], frag)) {
+            ++hits;
+            std::ostringstream os;
+            os << "{\"cell\": " << i
+               << ", \"cached\": true, \"point\": " << frag << "}";
+            sendFrame(conn, os.str());
+        } else {
+            miss_idx.push_back(i);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(countMu);
+        cellsFromCache += hits;
+    }
+
+    // Simulate the misses on the shared pool.
+    std::mutex err_mu;
+    std::size_t errors = 0;
+    if (!miss_idx.empty()) {
+        auto run_one = [&](std::size_t k) {
+            std::size_t i = miss_idx[k];
+            const SweepPoint &pt = pts[i];
+            std::ostringstream os;
+            try {
+                ExperimentResult res =
+                    runExperiment(pt.workload, pt.opts, pt.machine,
+                                  pt.cfg, pt.tickLimit);
+                std::string frag = sweepPointJson(res);
+                cache.insert(keys[i], frag);
+                {
+                    std::lock_guard<std::mutex> lock(countMu);
+                    ++cellsSimulated;
+                }
+                os << "{\"cell\": " << i
+                   << ", \"cached\": false, \"point\": " << frag
+                   << "}";
+            } catch (const std::exception &e) {
+                {
+                    std::lock_guard<std::mutex> lock(err_mu);
+                    ++errors;
+                }
+                std::lock_guard<std::mutex> lock(countMu);
+                ++cellErrors;
+                os.str("");
+                os << "{\"cell\": " << i << ", \"error\": \""
+                   << jsonEscape(e.what()) << "\"}";
+            }
+            sendFrame(conn, os.str());
+        };
+        FairScheduler::TicketPtr ticket =
+            sched->submit(miss_idx.size(), jobs_cap, run_one);
+        sched->wait(ticket);
+    }
+
+    std::ostringstream os;
+    os << "{\"done\": true, \"cells\": " << n << ", \"hits\": " << hits
+       << ", \"misses\": " << miss_idx.size()
+       << ", \"errors\": " << errors << "}";
+    sendFrame(conn, os.str());
+}
+
+bool
+Server::sendFrame(Connection *conn, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(conn->writeMu);
+    return writeFrame(conn->fd, payload);
+}
+
+bool
+Server::sendError(Connection *conn, const std::string &msg)
+{
+    return sendFrame(conn,
+                     "{\"error\": \"" + jsonEscape(msg) + "\"}");
+}
+
+void
+Server::waitShutdownRequested()
+{
+    std::unique_lock<std::mutex> lock(stopMu);
+    stopCv.wait(lock, [&]() { return stopRequested; });
+}
+
+void
+Server::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stopMu);
+        if (stopRequested)
+            return;
+        stopRequested = true;
+    }
+    stopCv.notify_all();
+    if (stopPipe[1] >= 0) {
+        char b = 'x';
+        [[maybe_unused]] ssize_t r = ::write(stopPipe[1], &b, 1);
+    }
+}
+
+void
+Server::stop()
+{
+    requestStop();
+    {
+        std::lock_guard<std::mutex> lock(stopMu);
+        if (stopped)
+            return;
+        stopped = true;
+    }
+
+    if (acceptThread.joinable())
+        acceptThread.join();
+    if (unixFd >= 0) {
+        ::close(unixFd);
+        unixFd = -1;
+    }
+    if (tcpFd >= 0) {
+        ::close(tcpFd);
+        tcpFd = -1;
+    }
+    if (!cfg.unixPath.empty())
+        ::unlink(cfg.unixPath.c_str());
+
+    // Unblock idle connection readers; handlers mid-request finish
+    // streaming their results first (SHUT_RD leaves writes intact).
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        stopping = true;
+        for (auto &c : conns)
+            ::shutdown(c->fd, SHUT_RD);
+    }
+    for (auto &c : conns) {
+        if (c->thread.joinable())
+            c->thread.join();
+        if (c->fd >= 0)
+            ::close(c->fd);
+    }
+    conns.clear();
+
+    if (sched)
+        sched->drainAndStop();
+
+    for (int &fd : stopPipe) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+}
+
+StatsSnapshot
+Server::statsSnapshot() const
+{
+    StatsRegistry reg;
+    StatsScope root(reg, "serve");
+    {
+        std::lock_guard<std::mutex> lock(countMu);
+        root.counter("requests", requests);
+        root.counter("cellsRequested", cellsRequested);
+        root.counter("cellsFromCache", cellsFromCache);
+        root.counter("cellsSimulated", cellsSimulated);
+        root.counter("cellErrors", cellErrors);
+        root.counter("badRequests", badRequests);
+        root.counter("connections", connectionsAccepted);
+    }
+    cache.registerStats(root.sub("cache"));
+    if (sched)
+        sched->registerStats(root.sub("sched"));
+
+    // Freeze under every component's lock so counters are coherent.
+    std::lock_guard<std::mutex> l1(countMu);
+    std::lock_guard<std::mutex> l2(cache.statsMutex());
+    if (sched) {
+        std::lock_guard<std::mutex> l3(sched->statsMutex());
+        return reg.snapshot();
+    }
+    return reg.snapshot();
+}
+
+} // namespace serve
+} // namespace slipsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The simulation service: a long-running daemon wrapping the sweep
+ * engine behind the frame protocol, with fair scheduling and a
+ * config-hash result cache.
+ *
+ * One Server owns:
+ *  - up to two listeners (Unix-domain socket and/or loopback TCP);
+ *  - one connection thread per client, reading request frames;
+ *  - a FairScheduler worker pool shared by every client, sized by
+ *    ServeConfig::workers;
+ *  - a ResultCache memoizing each cell's slipsim-stats-v1 point
+ *    fragment under canonical-config-hash + git-rev + build-type.
+ *
+ * Request handling ("run" op): every cell is validated and hashed up
+ * front; cache hits stream back immediately (submission order,
+ * "cached": true) without touching the scheduler, misses are
+ * simulated on the shared pool (completion order) and inserted into
+ * the cache, and a final {"done": ...} frame summarizes the request.
+ * Because cached fragments are the exact bytes sweepPointJson()
+ * produced, a document reassembled from any mix of hits and misses
+ * is byte-identical to an offline bench run of the same cells.
+ *
+ * The Server object is usable in-process (tests construct one and
+ * connect over a socketpair-equivalent Unix path); tools/slipsim_server
+ * is a thin main() around it.
+ */
+
+#ifndef SLIPSIM_SERVE_SERVER_HH
+#define SLIPSIM_SERVE_SERVER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/stats_registry.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/scheduler.hh"
+
+namespace slipsim
+{
+namespace serve
+{
+
+struct ServeConfig
+{
+    /** Unix-domain socket path ("" = no Unix listener). */
+    std::string unixPath;
+
+    /** Loopback TCP port (-1 = no TCP listener, 0 = ephemeral). */
+    int tcpPort = -1;
+
+    /** Worker pool size (0 = hardware concurrency). */
+    unsigned workers = 0;
+
+    /** Result-cache budget in bytes. */
+    std::size_t cacheBytes = 256u << 20;
+
+    /** Server-wide ceiling on a request's in-flight cells (its
+     *  `jobs` field is clamped to this; 0 = no ceiling). */
+    unsigned maxJobsPerRequest = 0;
+
+    /** Ceiling on a request's `sim-jobs` (parallel-engine worker
+     *  count per cell; 0 = no ceiling).  Only applies to cells that
+     *  selected engine=parallel — the server never switches a cell's
+     *  timing model. */
+    int maxSimJobs = 0;
+
+    /** Per-frame payload cap for this server's connections. */
+    std::uint32_t maxFrameBytes = defaultMaxFrameBytes;
+
+    /** Build identity baked into every cache key. */
+    std::string gitRev = "unknown";
+    std::string buildType = "unknown";
+};
+
+class Server
+{
+  public:
+    explicit Server(ServeConfig cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind listeners and spawn the accept thread + worker pool.
+     *  fatal() if no listener could be bound. */
+    void start();
+
+    /** Block until a client's "shutdown" op (or requestStop()). */
+    void waitShutdownRequested();
+
+    /** Flag the server to stop; returns immediately. */
+    void requestStop();
+
+    /** Graceful teardown: stop accepting, let in-flight requests
+     *  finish streaming, drain the pool, join every thread.
+     *  Idempotent. */
+    void stop();
+
+    /** Actual TCP port (after start(), when tcpPort was 0). */
+    int tcpPort() const { return boundTcpPort; }
+
+    /** Consistent snapshot of every serve.* metric. */
+    StatsSnapshot statsSnapshot() const;
+
+    const ServeConfig &config() const { return cfg; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::mutex writeMu;
+        std::thread thread;
+    };
+
+    void acceptLoop();
+    void connectionLoop(Connection *conn);
+
+    /** Dispatch one parsed request frame; @return false to close. */
+    bool handleFrame(Connection *conn, const std::string &payload);
+
+    void handleRun(Connection *conn, const struct JsonValue &req);
+    void handlePing(Connection *conn);
+    void handleStats(Connection *conn);
+
+    bool sendFrame(Connection *conn, const std::string &payload);
+    bool sendError(Connection *conn, const std::string &msg);
+
+    ServeConfig cfg;
+    ResultCache cache;
+    std::unique_ptr<FairScheduler> sched;
+
+    int unixFd = -1;
+    int tcpFd = -1;
+    int boundTcpPort = -1;
+    int stopPipe[2] = {-1, -1};
+
+    std::thread acceptThread;
+
+    std::mutex connMu;
+    std::vector<std::unique_ptr<Connection>> conns;
+    bool stopping = false;
+
+    std::mutex stopMu;
+    std::condition_variable stopCv;
+    bool stopRequested = false;
+    bool stopped = false;
+
+    mutable std::mutex countMu;
+    Counter requests, cellsRequested, cellsFromCache, cellsSimulated,
+        cellErrors, badRequests, connectionsAccepted;
+};
+
+} // namespace serve
+} // namespace slipsim
+
+#endif // SLIPSIM_SERVE_SERVER_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Canonical config formatting + hashing: configs that mean the same
+ * simulation must render (and hash) identically however spelled.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cell.hh"
+#include "core/config_hash.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+std::string
+canon(const std::string &line)
+{
+    return canonicalConfig(parseConfigLine(line));
+}
+
+TEST(ConfigHash, OrderingInvariance)
+{
+    EXPECT_EQ(canon("workload=sor n=66 iters=2 cmps=4"),
+              canon("cmps=4 iters=2 n=66 workload=sor"));
+    EXPECT_EQ(configHashHex(parseConfigLine("workload=sor n=66 cmps=4")),
+              configHashHex(parseConfigLine("cmps=4 n=66 workload=sor")));
+}
+
+TEST(ConfigHash, WhitespaceInvariance)
+{
+    EXPECT_EQ(canon("workload=sor   n=66 \t iters=2"),
+              canon("workload=sor n=66 iters=2"));
+    EXPECT_EQ(canon("  workload=sor n=66  "),
+              canon("workload=sor n=66"));
+}
+
+TEST(ConfigHash, ExplicitDefaultsFold)
+{
+    // Spelling out a compiled-in default changes nothing.
+    EXPECT_EQ(canon("workload=sor mode=single verify=true seed=1 "
+                    "cmps=4 store-convert=true"),
+              canon("workload=sor cmps=4"));
+    // A non-default value survives.
+    EXPECT_NE(canon("workload=sor cmps=4 seed=2"),
+              canon("workload=sor cmps=4"));
+}
+
+TEST(ConfigHash, IntegerAndBoolNormalization)
+{
+    // Radix and zero-padding of pass-through workload sizes.
+    EXPECT_EQ(canon("workload=sor n=0x42"), canon("workload=sor n=66"));
+    EXPECT_EQ(canon("workload=sor n=066"), canon("workload=sor n=54"));
+    // Boolean synonyms, on a schema key and on a pass-through key.
+    EXPECT_EQ(canon("workload=sor verify=no"),
+              canon("workload=sor verify=false"));
+    EXPECT_EQ(canon("workload=sor contig=yes"),
+              canon("workload=sor contig=true"));
+}
+
+TEST(ConfigHash, SimJobsFoldsToEngine)
+{
+    // Any parallel-engine worker count is the same simulation
+    // (byte-identical output, DESIGN.md §2.9): only the seq/parallel
+    // engine choice is a timing-model distinction.
+    const std::string par = canon("workload=sor engine=parallel");
+    EXPECT_EQ(canon("workload=sor sim-jobs=1"), par);
+    EXPECT_EQ(canon("workload=sor sim-jobs=4"), par);
+    EXPECT_NE(canon("workload=sor"), par);
+}
+
+TEST(ConfigHash, SlipstreamKnobsFoldOutsideSlipstream)
+{
+    // Policy/feature knobs only steer slipstream pairs; in single or
+    // double mode they are inert and must not affect the key.
+    EXPECT_EQ(canon("workload=sor policy=G0 adaptive-ar=true"),
+              canon("workload=sor"));
+    EXPECT_NE(canon("workload=sor mode=slipstream policy=G0"),
+              canon("workload=sor mode=slipstream"));
+}
+
+TEST(ConfigHash, CanonicalFormIsAFixedPoint)
+{
+    const std::string lines[] = {
+        "workload=sor n=66 iters=2 cmps=8 mode=double",
+        "workload=water-ns mol=64 l2kb=128 mode=slipstream policy=G1 "
+        "transparent-loads=true sim-jobs=2",
+        "workload=stream seed=3 tick-limit=100000",
+    };
+    for (const std::string &l : lines) {
+        const std::string c = canon(l);
+        EXPECT_EQ(canon(c), c) << "not a fixed point: " << l;
+    }
+}
+
+TEST(ConfigHash, RenderCellRoundTripsThroughCellFromOptions)
+{
+    SweepPoint pt = cellFromOptions(parseConfigLine(
+        "workload=ocean n=66 steps=1 cmps=16 mode=double seed=5"));
+    const std::string line = renderCell(pt);
+    SweepPoint back = cellFromOptions(parseConfigLine(line));
+    EXPECT_EQ(renderCell(back), line);
+    EXPECT_EQ(back.workload, pt.workload);
+    EXPECT_EQ(back.machine.numCmps, pt.machine.numCmps);
+    EXPECT_EQ(back.cfg.mode, pt.cfg.mode);
+    EXPECT_EQ(back.cfg.seed, pt.cfg.seed);
+}
+
+TEST(ConfigHash, DriverKeysAreDropped)
+{
+    EXPECT_EQ(canon("workload=sor jobs=8 csv=true stats-json=x.json "
+                    "print-cells=true"),
+              canon("workload=sor"));
+}
+
+TEST(ConfigHash, Fnv1a64KnownValues)
+{
+    // Published FNV-1a test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(ConfigHash, HashAndCacheKeyShape)
+{
+    Options o = parseConfigLine("workload=sor n=66");
+    const std::string h = configHashHex(o);
+    EXPECT_EQ(h.size(), 16u);
+    EXPECT_EQ(h.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    EXPECT_EQ(cacheKey(o, "deadbeef", "Release"),
+              h + ":deadbeef:Release");
+    // Same config, different build → different key.
+    EXPECT_NE(cacheKey(o, "deadbeef", "Release"),
+              cacheKey(o, "cafef00d", "Release"));
+}
+
+TEST(ConfigHash, InvalidConfigsAreFatal)
+{
+    EXPECT_THROW(canon("n=66"), FatalError);              // no workload
+    EXPECT_THROW(canon("workload=nope"), FatalError);
+    EXPECT_THROW(canon("workload=sor mode=triple"), FatalError);
+    EXPECT_THROW(canon("workload=sor engine=warp"), FatalError);
+    EXPECT_THROW(canon("workload=sor engine=seq sim-jobs=2"),
+                 FatalError);
+}
+
+} // namespace

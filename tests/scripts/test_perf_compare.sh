@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Dry-run tests for scripts/perf_compare.sh (and syntax checks for the
+# other CI shell scripts).  No simulator build needed: the perf log is
+# synthesized, so this pins the gating semantics —
+#   - same-revision regressions > threshold fail --check;
+#   - cross-revision drops are informational, never a failure;
+#   - the first record at a new revision seeds a baseline and passes.
+set -u
+
+REPO="$(cd "$(dirname "$0")/../.." && pwd)"
+PC="$REPO/scripts/perf_compare.sh"
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/slipsim_pc.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+    echo "test_perf_compare: FAIL: $*" >&2
+    exit 1
+}
+
+# --- 0. every CI shell script must at least parse -----------------------
+for s in perf_compare.sh ci.sh serve_smoke.sh run_golden.sh \
+         check_determinism.sh update_goldens.sh; do
+    [ -f "$REPO/scripts/$s" ] || continue
+    bash -n "$REPO/scripts/$s" || fail "scripts/$s does not parse"
+done
+
+# A record generator: rec REV EVENTS [SIM_JOBS]
+rec() {
+    local sj=""
+    [ $# -ge 3 ] && sj=", \"sim_jobs\": $3"
+    echo "{\"host\": \"h1\", \"build_type\": \"Release\"," \
+         "\"quick\": true, \"sweep_jobs\": 2, \"git_rev\": \"$1\"," \
+         "\"events_per_sec\": $2, \"accesses_per_sec\": $2$sj}"
+}
+
+# --- 1. same-revision regression must fail --check ----------------------
+LOG="$TMP/regress.json"
+{
+    rec aaaa 1000000
+    rec aaaa 500000   # -50% at the same revision
+} > "$LOG"
+if bash "$PC" --check "$LOG" > "$TMP/out1" 2>&1; then
+    cat "$TMP/out1" >&2
+    fail "50% same-revision regression passed the gate"
+fi
+grep -q "regressed" "$TMP/out1" || fail "no regression diagnostic"
+
+# --- 2. the same drop across revisions must NOT gate --------------------
+LOG="$TMP/crossrev.json"
+{
+    rec aaaa 1000000
+    rec bbbb 500000   # new revision: different timing model, no gate
+} > "$LOG"
+bash "$PC" --check "$LOG" > "$TMP/out2" 2>&1 \
+    || { cat "$TMP/out2" >&2
+         fail "cross-revision drop failed the gate"; }
+grep -q "informational\|seeding baseline\|seeded baseline" "$TMP/out2" \
+    || fail "cross-revision comparison not reported"
+
+# --- 3. same-revision recovery within threshold passes ------------------
+LOG="$TMP/ok.json"
+{
+    rec cccc 1000000
+    rec cccc 950000   # -5%: inside the 15% threshold
+} > "$LOG"
+bash "$PC" --check "$LOG" > "$TMP/out3" 2>&1 \
+    || { cat "$TMP/out3" >&2; fail "-5% failed the 15% gate"; }
+
+# --- 4. scaling records gate independently per sim-jobs -----------------
+LOG="$TMP/scaling.json"
+{
+    rec dddd 1000000
+    rec dddd 1000000 2
+    rec dddd 990000
+    rec dddd 400000 2   # only the sim-jobs=2 group regressed
+} > "$LOG"
+if bash "$PC" --check "$LOG" > "$TMP/out4" 2>&1; then
+    cat "$TMP/out4" >&2
+    fail "sim-jobs=2 regression passed the gate"
+fi
+grep -q "sim-jobs=2" "$TMP/out4" \
+    || fail "regression not attributed to the sim-jobs=2 group"
+
+# --- 5. custom threshold is honoured ------------------------------------
+bash "$PC" --check --threshold 60 "$TMP/regress.json" \
+    > "$TMP/out5" 2>&1 \
+    || { cat "$TMP/out5" >&2
+         fail "-50% failed a 60% threshold gate"; }
+
+# --- 6. empty/missing logs still fail --check ---------------------------
+bash "$PC" --check "$TMP/nonexistent.json" > /dev/null 2>&1 \
+    && fail "missing log passed --check"
+
+echo "test_perf_compare: OK"

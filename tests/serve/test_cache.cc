@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Result-cache tests: LRU eviction order, byte accounting, refresh
+ * semantics, oversized refusal, and counter bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/stats_registry.hh"
+#include "serve/result_cache.hh"
+
+using namespace slipsim;
+using namespace slipsim::serve;
+
+namespace
+{
+
+/** Snapshot helper: read one serve.cache.* counter. */
+std::uint64_t
+counter(const ResultCache &c, const std::string &name)
+{
+    StatsRegistry reg;
+    c.registerStats(StatsScope(reg, "cache"));
+    return reg.snapshot().counter("cache." + name);
+}
+
+TEST(ResultCache, HitAfterInsertMissBefore)
+{
+    ResultCache c(1024);
+    std::string v;
+    EXPECT_FALSE(c.lookup("k", v));
+    c.insert("k", "value");
+    ASSERT_TRUE(c.lookup("k", v));
+    EXPECT_EQ(v, "value");
+    EXPECT_EQ(counter(c, "hits"), 1u);
+    EXPECT_EQ(counter(c, "misses"), 1u);
+    EXPECT_EQ(c.sizeBytes(), 1u + 5u);
+    EXPECT_EQ(c.entryCount(), 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedFirst)
+{
+    // Three entries of 10 bytes each in a 30-byte cache; touching "a"
+    // makes "b" the LRU victim when "d" arrives.
+    ResultCache c(30);
+    c.insert("a", std::string(9, 'A'));
+    c.insert("b", std::string(9, 'B'));
+    c.insert("c", std::string(9, 'C'));
+    std::string v;
+    ASSERT_TRUE(c.lookup("a", v));
+
+    c.insert("d", std::string(9, 'D'));
+    EXPECT_FALSE(c.lookup("b", v));  // evicted
+    EXPECT_TRUE(c.lookup("a", v));
+    EXPECT_TRUE(c.lookup("c", v));
+    EXPECT_TRUE(c.lookup("d", v));
+    EXPECT_EQ(counter(c, "evictions"), 1u);
+    EXPECT_EQ(c.entryCount(), 3u);
+}
+
+TEST(ResultCache, EvictsMultipleToFitLargeInsert)
+{
+    ResultCache c(30);
+    c.insert("a", std::string(9, 'A'));
+    c.insert("b", std::string(9, 'B'));
+    c.insert("c", std::string(9, 'C'));
+    c.insert("big", std::string(24, 'X'));  // needs 27 of 30 bytes
+
+    std::string v;
+    EXPECT_FALSE(c.lookup("a", v));
+    EXPECT_FALSE(c.lookup("b", v));
+    EXPECT_FALSE(c.lookup("c", v));
+    EXPECT_TRUE(c.lookup("big", v));
+    EXPECT_EQ(counter(c, "evictions"), 3u);
+    EXPECT_LE(c.sizeBytes(), c.capacityBytes());
+}
+
+TEST(ResultCache, RefreshUpdatesValueAndBytes)
+{
+    ResultCache c(100);
+    c.insert("k", "short");
+    c.insert("k", "a considerably longer value");
+    std::string v;
+    ASSERT_TRUE(c.lookup("k", v));
+    EXPECT_EQ(v, "a considerably longer value");
+    EXPECT_EQ(c.entryCount(), 1u);
+    EXPECT_EQ(c.sizeBytes(), 1u + v.size());
+}
+
+TEST(ResultCache, OversizedValueRefusedNotCached)
+{
+    ResultCache c(10);
+    c.insert("k", std::string(100, 'x'));
+    std::string v;
+    EXPECT_FALSE(c.lookup("k", v));
+    EXPECT_EQ(counter(c, "oversized"), 1u);
+    EXPECT_EQ(c.sizeBytes(), 0u);
+    // The refusal must not have evicted resident entries' budget.
+    c.insert("ok", "fits");
+    EXPECT_TRUE(c.lookup("ok", v));
+}
+
+TEST(ResultCache, ClearKeepsCounters)
+{
+    ResultCache c(1024);
+    c.insert("k", "v");
+    std::string v;
+    ASSERT_TRUE(c.lookup("k", v));
+    c.clear();
+    EXPECT_EQ(c.entryCount(), 0u);
+    EXPECT_EQ(c.sizeBytes(), 0u);
+    EXPECT_FALSE(c.lookup("k", v));
+    EXPECT_EQ(counter(c, "hits"), 1u);
+    EXPECT_EQ(counter(c, "inserts"), 1u);
+}
+
+} // namespace

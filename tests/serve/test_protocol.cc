@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Frame codec tests: round-trips, rejection of oversized / truncated
+ * / garbage input, and fd-based transport over a socketpair.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+
+using namespace slipsim;
+using namespace slipsim::serve;
+
+namespace
+{
+
+TEST(Protocol, EncodeDecodeRoundTrip)
+{
+    const std::string payloads[] = {
+        "{}", "{\"op\": \"ping\"}", std::string(100000, 'x'), "",
+    };
+    std::string buf;
+    for (const std::string &p : payloads)
+        buf += encodeFrame(p);
+
+    std::size_t off = 0;
+    for (const std::string &p : payloads) {
+        std::string out;
+        ASSERT_EQ(decodeFrame(buf, off, out), FrameStatus::Ok);
+        EXPECT_EQ(out, p);
+    }
+    std::string out;
+    EXPECT_EQ(decodeFrame(buf, off, out), FrameStatus::Eof);
+    EXPECT_EQ(off, buf.size());
+}
+
+TEST(Protocol, PrefixIsBigEndian)
+{
+    std::string f = encodeFrame("abc");
+    ASSERT_EQ(f.size(), 7u);
+    EXPECT_EQ(static_cast<unsigned char>(f[0]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(f[1]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(f[2]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(f[3]), 3);
+}
+
+TEST(Protocol, OversizedFrameRejectedWithoutConsuming)
+{
+    std::string f = encodeFrame(std::string(1000, 'x'));
+    std::size_t off = 0;
+    std::string out;
+    EXPECT_EQ(decodeFrame(f, off, out, /*maxBytes=*/999),
+              FrameStatus::TooBig);
+    EXPECT_EQ(off, 0u);  // non-Ok never consumes
+    // A generous cap accepts the identical bytes.
+    EXPECT_EQ(decodeFrame(f, off, out, 1000), FrameStatus::Ok);
+}
+
+TEST(Protocol, TruncatedFramesRejected)
+{
+    std::string f = encodeFrame("hello world");
+    std::string out;
+    // Cut mid-prefix and mid-payload.
+    for (std::size_t cut : std::vector<std::size_t>{1, 3, 5,
+                                                    f.size() - 1}) {
+        std::size_t off = 0;
+        EXPECT_EQ(decodeFrame(f.substr(0, cut), off, out),
+                  FrameStatus::Truncated)
+            << "cut at " << cut;
+        EXPECT_EQ(off, 0u);
+    }
+}
+
+TEST(Protocol, GarbagePrefixReadsAsTooBig)
+{
+    // A client that speaks raw text instead of frames produces an
+    // absurd length prefix; the reader must refuse rather than wait
+    // for gigabytes.  ("GET " spells a ~1.2 GB length.)
+    std::string garbage = "GET / HTTP/1.0\r\n\r\n";
+    std::size_t off = 0;
+    std::string out;
+    EXPECT_EQ(decodeFrame(garbage, off, out), FrameStatus::TooBig);
+}
+
+TEST(Protocol, FdRoundTripOverSocketpair)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    const std::string msg = "{\"op\": \"stats\"}";
+    ASSERT_TRUE(writeFrame(sv[0], msg));
+    std::string out;
+    EXPECT_EQ(readFrame(sv[1], out), FrameStatus::Ok);
+    EXPECT_EQ(out, msg);
+
+    // Clean close at a frame boundary is Eof, not an error.
+    ::close(sv[0]);
+    EXPECT_EQ(readFrame(sv[1], out), FrameStatus::Eof);
+    ::close(sv[1]);
+}
+
+TEST(Protocol, MidFrameCloseIsTruncated)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    std::string f = encodeFrame("abcdef");
+    std::string half = f.substr(0, f.size() - 2);
+    ASSERT_EQ(::write(sv[0], half.data(), half.size()),
+              static_cast<ssize_t>(half.size()));
+    ::close(sv[0]);
+
+    std::string out;
+    EXPECT_EQ(readFrame(sv[1], out), FrameStatus::Truncated);
+    ::close(sv[1]);
+}
+
+TEST(Protocol, ListenConnectUnix)
+{
+    std::string path = testing::TempDir() + "slipsim_proto_test.sock";
+    ::unlink(path.c_str());
+    int lfd = listenUnix(path);
+    ASSERT_GE(lfd, 0);
+
+    int cfd = connectUnix(path);
+    ASSERT_GE(cfd, 0);
+    int afd = ::accept(lfd, nullptr, nullptr);
+    ASSERT_GE(afd, 0);
+
+    ASSERT_TRUE(writeFrame(cfd, "hi"));
+    std::string out;
+    EXPECT_EQ(readFrame(afd, out), FrameStatus::Ok);
+    EXPECT_EQ(out, "hi");
+
+    ::close(cfd);
+    ::close(afd);
+    ::close(lfd);
+    ::unlink(path.c_str());
+}
+
+TEST(Protocol, ListenConnectTcpEphemeral)
+{
+    int lfd = listenTcp(0);
+    ASSERT_GE(lfd, 0);
+    int port = boundPort(lfd);
+    ASSERT_GT(port, 0);
+
+    int cfd = connectTcp(port);
+    ASSERT_GE(cfd, 0);
+    int afd = ::accept(lfd, nullptr, nullptr);
+    ASSERT_GE(afd, 0);
+
+    ASSERT_TRUE(writeFrame(afd, "pong"));
+    std::string out;
+    EXPECT_EQ(readFrame(cfd, out), FrameStatus::Ok);
+    EXPECT_EQ(out, "pong");
+
+    ::close(cfd);
+    ::close(afd);
+    ::close(lfd);
+}
+
+} // namespace

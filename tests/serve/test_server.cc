@@ -1,0 +1,297 @@
+/**
+ * @file
+ * In-process server integration tests: a real Server on a Unix socket
+ * in the test temp dir, driven through the frame protocol exactly as
+ * tools/slipsim_client would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/json.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+using namespace slipsim::serve;
+
+namespace
+{
+
+class ServerTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setQuiet(true);
+        path = testing::TempDir() + "slipsim_server_test.sock";
+        ::unlink(path.c_str());
+        cfg.unixPath = path;
+        cfg.workers = 2;
+        cfg.cacheBytes = 4u << 20;
+        cfg.gitRev = "testrev";
+        cfg.buildType = "Test";
+    }
+
+    void
+    TearDown() override
+    {
+        if (server) {
+            server->stop();
+            server.reset();
+        }
+        ::unlink(path.c_str());
+    }
+
+    void
+    startServer()
+    {
+        server = std::make_unique<Server>(cfg);
+        server->start();
+    }
+
+    int
+    connect()
+    {
+        int fd = connectUnix(path);
+        EXPECT_GE(fd, 0);
+        return fd;
+    }
+
+    /** One request frame in, one response frame out. */
+    JsonValue
+    roundTrip(int fd, const std::string &req)
+    {
+        EXPECT_TRUE(writeFrame(fd, req));
+        std::string reply;
+        EXPECT_EQ(readFrame(fd, reply), FrameStatus::Ok);
+        return parseJson(reply);
+    }
+
+    /** Send a run request and collect frames until {"done": ...}. */
+    std::vector<JsonValue>
+    runCells(int fd, const std::vector<std::string> &cells,
+             const std::string &extra = "")
+    {
+        std::string req = "{\"op\": \"run\", \"cells\": [";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            req += (i ? ", " : "") + ("\"" + jsonEscape(cells[i]) +
+                                      "\"");
+        }
+        req += "]" + extra + "}";
+        EXPECT_TRUE(writeFrame(fd, req));
+
+        std::vector<JsonValue> frames;
+        while (true) {
+            std::string payload;
+            if (readFrame(fd, payload) != FrameStatus::Ok) {
+                ADD_FAILURE() << "stream ended before done frame";
+                break;
+            }
+            frames.push_back(parseJson(payload));
+            if (frames.back().find("done") ||
+                (frames.back().find("error") &&
+                 !frames.back().find("cell"))) {
+                break;
+            }
+        }
+        return frames;
+    }
+
+    std::uint64_t
+    serveCounter(const std::string &name)
+    {
+        return server->statsSnapshot().counter(name);
+    }
+
+    std::string path;
+    ServeConfig cfg;
+    std::unique_ptr<Server> server;
+};
+
+TEST_F(ServerTest, PingReportsIdentity)
+{
+    startServer();
+    int fd = connect();
+    JsonValue r = roundTrip(fd, "{\"op\": \"ping\"}");
+    EXPECT_TRUE(r.at("ok").boolean);
+    EXPECT_EQ(r.at("git_rev").str, "testrev");
+    EXPECT_EQ(r.at("protocol").number, 1);
+    EXPECT_EQ(r.at("workers").number, 2);
+    ::close(fd);
+}
+
+TEST_F(ServerTest, RunStreamsPointsThenDone)
+{
+    startServer();
+    int fd = connect();
+    std::vector<JsonValue> frames =
+        runCells(fd, {"workload=stream cmps=2", "workload=neighbor "
+                                                "cmps=2"});
+    ASSERT_EQ(frames.size(), 3u);
+    const JsonValue &done = frames.back();
+    EXPECT_EQ(done.at("cells").number, 2);
+    EXPECT_EQ(done.at("hits").number, 0);
+    EXPECT_EQ(done.at("misses").number, 2);
+    EXPECT_EQ(done.at("errors").number, 0);
+
+    // Both cells streamed a point with the standard metadata.
+    std::vector<bool> seen(2, false);
+    for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+        const JsonValue &f = frames[i];
+        EXPECT_FALSE(f.at("cached").boolean);
+        const JsonValue &pt = f.at("point");
+        EXPECT_TRUE(pt.at("stats").isObject());
+        EXPECT_TRUE(pt.at("verified").boolean);
+        seen[static_cast<std::size_t>(f.at("cell").number)] = true;
+    }
+    EXPECT_TRUE(seen[0]);
+    EXPECT_TRUE(seen[1]);
+    ::close(fd);
+}
+
+TEST_F(ServerTest, SecondIdenticalRunIsAllCacheHits)
+{
+    startServer();
+    int fd = connect();
+    // Spelled differently on purpose: key order and an explicit
+    // default must still hit the canonical-config cache.
+    runCells(fd, {"workload=stream cmps=2 seed=1"});
+    std::vector<JsonValue> frames =
+        runCells(fd, {"cmps=2 workload=stream"});
+
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_TRUE(frames[0].at("cached").boolean);
+    EXPECT_EQ(frames.back().at("hits").number, 1);
+    EXPECT_EQ(frames.back().at("misses").number, 0);
+    EXPECT_EQ(serveCounter("serve.cache.hits"), 1u);
+    EXPECT_EQ(serveCounter("serve.cellsSimulated"), 1u);
+    ::close(fd);
+}
+
+TEST_F(ServerTest, BadCellRejectsWholeRequestCheaply)
+{
+    startServer();
+    int fd = connect();
+    std::vector<JsonValue> frames =
+        runCells(fd, {"workload=stream cmps=2", "workload=nope"});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_NE(frames[0].at("error").str.find("cell 1"),
+              std::string::npos);
+    // Validation happens before any simulation.
+    EXPECT_EQ(serveCounter("serve.cellsSimulated"), 0u);
+    EXPECT_EQ(serveCounter("serve.badRequests"), 1u);
+    ::close(fd);
+}
+
+TEST_F(ServerTest, GarbageFrameGetsErrorConnectionSurvives)
+{
+    startServer();
+    int fd = connect();
+    JsonValue r = roundTrip(fd, "this is not json");
+    EXPECT_TRUE(r.find("error"));
+    // Same connection still serves valid requests afterwards.
+    JsonValue ping = roundTrip(fd, "{\"op\": \"ping\"}");
+    EXPECT_TRUE(ping.at("ok").boolean);
+    EXPECT_EQ(serveCounter("serve.badRequests"), 1u);
+    ::close(fd);
+}
+
+TEST_F(ServerTest, OversizedFrameRejected)
+{
+    cfg.maxFrameBytes = 1024;
+    startServer();
+    int fd = connect();
+    std::string big(4096, 'x');
+    ASSERT_TRUE(writeFrame(fd, big));
+    std::string reply;
+    ASSERT_EQ(readFrame(fd, reply), FrameStatus::Ok);
+    EXPECT_NE(reply.find("frame too large"), std::string::npos);
+    // The server closes the stream after an oversized frame (it can
+    // no longer trust the framing).
+    EXPECT_NE(readFrame(fd, reply), FrameStatus::Ok);
+    ::close(fd);
+}
+
+TEST_F(ServerTest, ConcurrentClientsBothComplete)
+{
+    cfg.workers = 2;
+    startServer();
+
+    auto client = [&](int seed, std::size_t &points) {
+        int fd = connect();
+        std::vector<std::string> cells;
+        for (const char *wl : {"stream", "neighbor", "migratory"}) {
+            cells.push_back(std::string("workload=") + wl +
+                            " cmps=2 seed=" + std::to_string(seed));
+        }
+        std::vector<JsonValue> frames = runCells(fd, cells);
+        const JsonValue &done = frames.back();
+        EXPECT_EQ(done.at("cells").number, 3);
+        EXPECT_EQ(done.at("errors").number, 0);
+        points = frames.size() - 1;
+        ::close(fd);
+    };
+
+    std::size_t p1 = 0, p2 = 0;
+    std::thread t1([&]() { client(11, p1); });
+    std::thread t2([&]() { client(12, p2); });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(p1, 3u);
+    EXPECT_EQ(p2, 3u);
+    EXPECT_EQ(serveCounter("serve.requests"), 2u);
+    EXPECT_EQ(serveCounter("serve.cellsRequested"), 6u);
+}
+
+TEST_F(ServerTest, StatsOpReportsCounters)
+{
+    startServer();
+    int fd = connect();
+    runCells(fd, {"workload=stream cmps=2"});
+    JsonValue r = roundTrip(fd, "{\"op\": \"stats\"}");
+    EXPECT_TRUE(r.at("ok").boolean);
+    const JsonValue &stats = r.at("stats");
+    EXPECT_EQ(stats.at("serve.requests").number, 1);
+    EXPECT_EQ(stats.at("serve.cellsSimulated").number, 1);
+    EXPECT_TRUE(stats.find("serve.cache.misses"));
+    EXPECT_TRUE(stats.find("serve.sched.cellsRun"));
+    ::close(fd);
+}
+
+TEST_F(ServerTest, ShutdownOpDrainsAndStops)
+{
+    startServer();
+    int fd = connect();
+    JsonValue r = roundTrip(fd, "{\"op\": \"shutdown\"}");
+    EXPECT_TRUE(r.at("draining").boolean);
+    server->waitShutdownRequested();  // must already be signalled
+    server->stop();
+    // The socket is gone: new connections are refused.
+    EXPECT_LT(connectUnix(path), 0);
+    ::close(fd);
+    server.reset();
+}
+
+TEST_F(ServerTest, TcpListenerWorksToo)
+{
+    cfg.unixPath.clear();
+    cfg.tcpPort = 0;  // ephemeral
+    startServer();
+    ASSERT_GT(server->tcpPort(), 0);
+    int fd = connectTcp(server->tcpPort());
+    ASSERT_GE(fd, 0);
+    JsonValue r = roundTrip(fd, "{\"op\": \"ping\"}");
+    EXPECT_TRUE(r.at("ok").boolean);
+    ::close(fd);
+}
+
+} // namespace

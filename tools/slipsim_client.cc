@@ -1,0 +1,294 @@
+/**
+ * @file
+ * slipsim_client — CLI for the simulation service.
+ *
+ *   tools/slipsim_client socket=/tmp/slipsim.sock ping
+ *   tools/slipsim_client port=4173 stats
+ *   tools/slipsim_client socket=... submit cells.txt \
+ *       [jobs=N] [sim-jobs=N] [stats-v1=FILE|-] [quiet=true]
+ *   tools/slipsim_client socket=... shutdown [--wait]
+ *
+ * `submit` reads one cell config per line from FILE ('-' for stdin;
+ * blank lines and '#' comments skipped), sends a single "run" request
+ * and streams every response frame to stdout as JSON lines until the
+ * final {"done": ...} frame.  With stats-v1=OUT the per-cell point
+ * fragments are reassembled — in submission order, regardless of the
+ * completion order the server streamed them in — into a complete
+ * slipsim-stats-v1 document that is byte-identical to what the
+ * offline bench writes for the same cells.
+ *
+ * Exit codes: 0 success, 1 transport/protocol error, 2 usage,
+ * 3 one or more cells failed to simulate.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/sweep.hh"
+#include "obs/json.hh"
+#include "serve/protocol.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+using namespace slipsim::serve;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s socket=PATH|port=N "
+                 "ping|stats|shutdown [--wait]\n"
+                 "       %s socket=PATH|port=N submit FILE "
+                 "[jobs=N] [sim-jobs=N] [stats-v1=OUT] [quiet=true]\n",
+                 argv0, argv0);
+    return 2;
+}
+
+int
+connectServer(const Options &opts)
+{
+    std::string path = opts.getString("socket");
+    if (!path.empty())
+        return connectUnix(path);
+    int port = static_cast<int>(opts.getInt("port", -1));
+    if (port >= 0)
+        return connectTcp(port);
+    return -1;
+}
+
+/** Send one request frame and read one reply frame. */
+bool
+roundTrip(int fd, const std::string &req, std::string &reply)
+{
+    if (!writeFrame(fd, req))
+        return false;
+    return readFrame(fd, reply) == FrameStatus::Ok;
+}
+
+/**
+ * Pull the raw bytes of the "point" member out of a per-cell frame.
+ * The server always emits "point" as the last member, so the fragment
+ * is everything between `"point": ` and the closing '}': exactly the
+ * bytes sweepPointJson() produced, no reserialization.
+ */
+bool
+extractPoint(const std::string &payload, std::string &frag)
+{
+    static const std::string tag = "\"point\": ";
+    std::size_t at = payload.find(tag);
+    if (at == std::string::npos || payload.empty() ||
+        payload.back() != '}') {
+        return false;
+    }
+    at += tag.size();
+    frag = payload.substr(at, payload.size() - 1 - at);
+    return true;
+}
+
+int
+cmdSubmit(int fd, const Options &opts,
+          const std::vector<std::string> &pos)
+{
+    if (pos.size() < 2) {
+        std::fprintf(stderr, "submit: missing cells file\n");
+        return 2;
+    }
+    std::vector<std::string> cells;
+    {
+        std::ifstream file;
+        std::istream *in = &std::cin;
+        if (pos[1] != "-") {
+            file.open(pos[1]);
+            if (!file) {
+                std::fprintf(stderr, "submit: cannot open '%s'\n",
+                             pos[1].c_str());
+                return 2;
+            }
+            in = &file;
+        }
+        std::string line;
+        while (std::getline(*in, line)) {
+            std::size_t start = line.find_first_not_of(" \t");
+            if (start == std::string::npos || line[start] == '#')
+                continue;
+            cells.push_back(line);
+        }
+    }
+    if (cells.empty()) {
+        std::fprintf(stderr, "submit: no cells in '%s'\n",
+                     pos[1].c_str());
+        return 2;
+    }
+
+    std::ostringstream req;
+    req << "{\"op\": \"run\", \"cells\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        req << (i ? ", " : "") << "\"" << jsonEscape(cells[i])
+            << "\"";
+    }
+    req << "]";
+    if (opts.has("jobs"))
+        req << ", \"jobs\": " << opts.getInt("jobs", 0);
+    if (opts.has("sim-jobs"))
+        req << ", \"sim-jobs\": " << opts.getInt("sim-jobs", 0);
+    req << "}";
+
+    const bool quiet = opts.getBool("quiet", false);
+    const std::string stats_out = opts.getString("stats-v1");
+    std::vector<std::string> frags(cells.size());
+    std::vector<bool> have(cells.size(), false);
+
+    auto t0 = std::chrono::steady_clock::now();
+    if (!writeFrame(fd, req.str())) {
+        std::fprintf(stderr, "submit: cannot send request\n");
+        return 1;
+    }
+
+    std::size_t n_errors = 0;
+    bool done = false;
+    while (!done) {
+        std::string payload;
+        FrameStatus st = readFrame(fd, payload);
+        if (st != FrameStatus::Ok) {
+            std::fprintf(stderr,
+                         "submit: connection lost mid-stream (%s)\n",
+                         frameStatusName(st));
+            return 1;
+        }
+        if (!quiet)
+            std::cout << payload << "\n";
+
+        JsonValue v;
+        try {
+            v = parseJson(payload);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "submit: bad frame: %s\n", e.what());
+            return 1;
+        }
+        if (v.find("error") && !v.find("cell")) {
+            std::fprintf(stderr, "submit: server rejected: %s\n",
+                         v.at("error").str.c_str());
+            return 1;
+        }
+        if (v.find("done")) {
+            done = true;
+            if (const JsonValue *e = v.find("errors"))
+                n_errors = static_cast<std::size_t>(e->number);
+            continue;
+        }
+        if (const JsonValue *c = v.find("cell")) {
+            auto i = static_cast<std::size_t>(c->number);
+            if (v.find("error")) {
+                std::fprintf(stderr, "submit: cell %zu: %s\n", i,
+                             v.at("error").str.c_str());
+            } else if (i < cells.size()) {
+                have[i] = extractPoint(payload, frags[i]);
+            }
+        }
+    }
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    std::fprintf(stderr, "submit: %zu cells in %lld ms\n",
+                 cells.size(), static_cast<long long>(ms));
+
+    if (!stats_out.empty()) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (!have[i]) {
+                std::fprintf(stderr,
+                             "submit: cell %zu missing, not writing "
+                             "'%s'\n",
+                             i, stats_out.c_str());
+                return n_errors ? 3 : 1;
+            }
+        }
+        if (stats_out == "-") {
+            writeStatsDoc(std::cout, frags);
+        } else {
+            std::ofstream out(stats_out, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr, "submit: cannot write '%s'\n",
+                             stats_out.c_str());
+                return 1;
+            }
+            writeStatsDoc(out, frags);
+        }
+    }
+    return n_errors ? 3 : 0;
+}
+
+int
+cmdShutdown(int fd, const Options &opts)
+{
+    std::string reply;
+    if (!roundTrip(fd, "{\"op\": \"shutdown\"}", reply)) {
+        std::fprintf(stderr, "shutdown: no reply\n");
+        return 1;
+    }
+    std::cout << reply << "\n";
+    if (!opts.getBool("wait", false))
+        return 0;
+    // Poll until the server actually stops accepting connections.
+    for (int i = 0; i < 200; ++i) {
+        int probe = connectServer(opts);
+        if (probe < 0)
+            return 0;
+        ::close(probe);
+        ::usleep(50 * 1000);
+    }
+    std::fprintf(stderr, "shutdown: server still up after wait\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    Options opts = Options::parse(argc, argv);
+    const std::vector<std::string> &pos = opts.positional();
+    if (pos.empty())
+        return usage(argv[0]);
+
+    int fd = connectServer(opts);
+    if (fd < 0) {
+        std::fprintf(stderr, "%s: cannot connect (socket=%s port=%s)\n",
+                     argv[0], opts.getString("socket", "?").c_str(),
+                     opts.getString("port", "?").c_str());
+        return 1;
+    }
+
+    const std::string &cmd = pos[0];
+    int rc;
+    if (cmd == "ping" || cmd == "stats") {
+        std::string reply;
+        if (roundTrip(fd, "{\"op\": \"" + cmd + "\"}", reply)) {
+            std::cout << reply << "\n";
+            rc = 0;
+        } else {
+            std::fprintf(stderr, "%s: no reply\n", cmd.c_str());
+            rc = 1;
+        }
+    } else if (cmd == "submit") {
+        rc = cmdSubmit(fd, opts, pos);
+    } else if (cmd == "shutdown") {
+        rc = cmdShutdown(fd, opts);
+    } else {
+        rc = usage(argv[0]);
+    }
+    ::close(fd);
+    return rc;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * slipsim_server — the simulation-service daemon.
+ *
+ *   tools/slipsim_server socket=/tmp/slipsim.sock [options]
+ *   tools/slipsim_server port=4173 [options]
+ *
+ * Options:
+ *   socket=PATH       Unix-domain listener (unlinked on exit)
+ *   port=N            loopback TCP listener (0 = ephemeral; the
+ *                     chosen port is printed on the ready line)
+ *   workers=N         shared worker-pool size (0 = hw concurrency)
+ *   cache-mb=N        result-cache budget in MiB (default 256)
+ *   jobs-cap=N        ceiling on any request's in-flight cells
+ *   max-sim-jobs=N    ceiling on per-cell parallel-engine workers
+ *   max-frame-mb=N    per-frame payload cap in MiB (default 64)
+ *
+ * The daemon prints one "ready" line to stdout once listening, then
+ * serves until a client sends {"op": "shutdown"} or it receives
+ * SIGINT/SIGTERM; either way it finishes streaming every accepted
+ * request before exiting 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include <unistd.h>
+
+#include "serve/server.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+#ifndef SLIPSIM_GIT_REV
+#define SLIPSIM_GIT_REV "unknown"
+#endif
+#ifndef SLIPSIM_BUILD_TYPE
+#define SLIPSIM_BUILD_TYPE "unknown"
+#endif
+
+using namespace slipsim;
+
+namespace
+{
+
+int sigPipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    char b = 's';
+    [[maybe_unused]] ssize_t r = ::write(sigPipe[1], &b, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    setQuiet(true);
+
+    serve::ServeConfig cfg;
+    cfg.unixPath = opts.getString("socket");
+    cfg.tcpPort = static_cast<int>(opts.getInt("port", -1));
+    cfg.workers = static_cast<unsigned>(opts.getInt("workers", 0));
+    cfg.cacheBytes = static_cast<std::size_t>(
+                         opts.getInt("cache-mb", 256)) << 20;
+    cfg.maxJobsPerRequest =
+        static_cast<unsigned>(opts.getInt("jobs-cap", 0));
+    cfg.maxSimJobs = static_cast<int>(opts.getInt("max-sim-jobs", 0));
+    cfg.maxFrameBytes = static_cast<std::uint32_t>(
+                            opts.getInt("max-frame-mb", 64)) << 20;
+    cfg.gitRev = SLIPSIM_GIT_REV;
+    cfg.buildType = SLIPSIM_BUILD_TYPE;
+
+    if (cfg.unixPath.empty() && cfg.tcpPort < 0) {
+        std::fprintf(stderr,
+                     "usage: %s socket=PATH | port=N [workers=N] "
+                     "[cache-mb=N] [jobs-cap=N] [max-sim-jobs=N]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    serve::Server server(cfg);
+    try {
+        server.start();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "slipsim_server: %s\n", e.what());
+        return 1;
+    }
+
+    // SIGINT/SIGTERM request the same graceful drain a shutdown op
+    // does; the handler only pokes a pipe (async-signal-safe).
+    if (::pipe(sigPipe) == 0) {
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+    }
+    std::thread sig_thread([&server]() {
+        char b;
+        if (::read(sigPipe[0], &b, 1) > 0)
+            server.requestStop();
+    });
+
+    std::printf("slipsim_server: ready");
+    if (!cfg.unixPath.empty())
+        std::printf(" unix:%s", cfg.unixPath.c_str());
+    if (server.tcpPort() >= 0)
+        std::printf(" tcp:%d", server.tcpPort());
+    std::printf(" workers=%u git_rev=%s build=%s\n",
+                cfg.workers ? cfg.workers
+                            : std::thread::hardware_concurrency(),
+                SLIPSIM_GIT_REV, SLIPSIM_BUILD_TYPE);
+    std::fflush(stdout);
+
+    server.waitShutdownRequested();
+    server.stop();
+
+    // Unblock the signal thread if no signal ever arrived.
+    char b = 'q';
+    [[maybe_unused]] ssize_t r = ::write(sigPipe[1], &b, 1);
+    sig_thread.join();
+    ::close(sigPipe[0]);
+    ::close(sigPipe[1]);
+
+    std::printf("slipsim_server: stopped\n");
+    return 0;
+}

@@ -4,6 +4,7 @@
  * stats-json= dumps).
  *
  *   tools/stats_check <file.json>
+ *   ... | tools/stats_check -
  *
  * Validates the document shape — schema tag, per-point metadata
  * fields, every "stats" object parseable as a snapshot — and then
@@ -13,7 +14,9 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -107,17 +110,21 @@ int
 main(int argc, char **argv)
 {
     if (argc != 2) {
-        std::fprintf(stderr, "usage: %s <stats.json>\n", argv[0]);
+        std::fprintf(stderr, "usage: %s <stats.json> | -\n", argv[0]);
         return 2;
     }
-    std::ifstream in(argv[1], std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr, "stats_check: cannot open '%s'\n",
-                     argv[1]);
-        return 1;
-    }
     std::ostringstream ss;
-    ss << in.rdbuf();
+    if (std::strcmp(argv[1], "-") == 0) {
+        ss << std::cin.rdbuf();
+    } else {
+        std::ifstream in(argv[1], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "stats_check: cannot open '%s'\n",
+                         argv[1]);
+            return 1;
+        }
+        ss << in.rdbuf();
+    }
     try {
         checkDocument(ss.str());
     } catch (const std::exception &e) {
