@@ -21,10 +21,12 @@
  *   nodes=N   CMP count                           (default 4)
  *   lines=N   address-pool size                   (default 32)
  *   l2kb=N    per-node L2 size in KB              (default 8)
+ *   protocol=msi|moesi  coherence backend          (default msi)
  *   inject=N  drop the Nth invalidation per home  (default 0 = off)
  *   out=FILE  failure-trace path                  (default fuzz_failure.json)
  *   replay=FILE  replay a trace instead of fuzzing
  *   --no-transparent / --no-si   disable those features
+ *   --single-writer   pin each line's stores to one node
  *
  * Exit status: 0 when every run is clean, 1 on any violation.
  */
@@ -38,6 +40,7 @@
 
 #include "check/traffic_gen.hh"
 #include "core/sweep.hh"
+#include "mem/protocol.hh"
 #include "sim/config.hh"
 
 using namespace slipsim;
@@ -55,7 +58,7 @@ parseArgs(int argc, char **argv)
 {
     static const char *const valueKeys[] = {
         "seeds", "seed0", "jobs", "sim-jobs", "ops", "nodes", "lines",
-        "l2kb", "inject", "out", "replay", "shrink-runs",
+        "l2kb", "inject", "out", "replay", "shrink-runs", "protocol",
     };
     std::vector<std::string> folded;
     for (int i = 1; i < argc; ++i) {
@@ -95,6 +98,8 @@ configFromOptions(const Options &opts)
     cfg.faults.dropNthInvalidation =
         static_cast<int>(opts.getInt("inject", 0));
     cfg.simJobs = static_cast<int>(opts.getInt("sim-jobs", 0));
+    cfg.protocol = protocolFromName(opts.getString("protocol", "msi"));
+    cfg.singleWriter = opts.getBool("single-writer", false);
     return cfg;
 }
 
@@ -158,9 +163,10 @@ main(int argc, char **argv)
         opts.getString("out", "fuzz_failure.json");
 
     std::printf("fuzz_coherence: %d seeds from %llu, %d nodes, "
-                "%d lines, %d ops/seed, %u jobs%s\n",
+                "%d lines, %d ops/seed, %u jobs%s%s\n",
                 seeds, (unsigned long long)seed0, cfg.nodes, cfg.lines,
                 cfg.ops, resolveJobs(jobs),
+                cfg.protocol == ProtocolKind::MOESI ? " [moesi]" : "",
                 cfg.faults.dropNthInvalidation
                     ? " [fault injection on]" : "");
 

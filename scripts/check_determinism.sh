@@ -34,7 +34,8 @@ trap 'rm -rf "$work"' EXIT
 
 run() {
     local tag="$1" jobs="$2" simjobs="$3"
-    "$bench" --quick --csv "jobs=$jobs" "sim-jobs=$simjobs" \
+    shift 3
+    "$bench" --quick --csv "jobs=$jobs" "sim-jobs=$simjobs" "$@" \
         "stats-json=$work/$tag.stats.json" \
         "trace-json=$work/$tag.trace.json" > "$work/$tag.csv"
 }
@@ -71,6 +72,19 @@ for jobs in 1 2 8; do
     done
 done
 
+# --- layer 2c (run first, see 2b): moesi jobs x sim-jobs subset ---------
+#
+# The MOESI backend must be exactly as engine-agnostic as msi: a
+# reduced matrix under protocol=moesi, compared within itself.
+
+run moesi-1-1 1 1 protocol=moesi
+for jobs in 2 8; do
+    for sj in 2 4; do
+        run "moesi-$jobs-$sj" "$jobs" "$sj" protocol=moesi
+        compare moesi-1-1 "moesi-$jobs-$sj"
+    done
+done
+
 # --- layer 2b: fixed fuzz seed under the checker ------------------------
 
 if [[ -x "$fuzz" ]]; then
@@ -80,6 +94,9 @@ if [[ -x "$fuzz" ]]; then
             "$fuzz" --seeds 1 --seed0 7 --jobs "$jobs" \
                 --sim-jobs "$sj" | tail -n +2 \
                 > "$work/fuzz-$jobs-$sj.txt"
+            "$fuzz" --seeds 1 --seed0 7 --jobs "$jobs" \
+                --sim-jobs "$sj" --protocol moesi | tail -n +2 \
+                > "$work/fuzz-moesi-$jobs-$sj.txt"
         done
     done
     for jobs in 1 2 8; do
@@ -93,6 +110,15 @@ if [[ -x "$fuzz" ]]; then
                     "$work/fuzz-$jobs-$sj.txt" | head -20
                 fail=1
             fi
+            if ! cmp -s "$work/fuzz-moesi-1-1.txt" \
+                "$work/fuzz-moesi-$jobs-$sj.txt"
+            then
+                echo "DETERMINISM FAILURE: moesi fuzz report differs" \
+                     "at jobs=$jobs sim-jobs=$sj"
+                diff -u "$work/fuzz-moesi-1-1.txt" \
+                    "$work/fuzz-moesi-$jobs-$sj.txt" | head -20
+                fail=1
+            fi
         done
     done
 else
@@ -101,6 +127,7 @@ fi
 
 if [[ "$fail" -eq 0 ]]; then
     echo "determinism OK: artifacts byte-identical across jobs=1/8" \
-         "and the jobs x sim-jobs matrix {1,2,8}x{1,2,4}"
+         "and the jobs x sim-jobs matrix {1,2,8}x{1,2,4}" \
+         "(msi + moesi)"
 fi
 exit "$fail"

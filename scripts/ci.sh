@@ -48,6 +48,14 @@ if [[ "$WHAT" == "all" || "$WHAT" == "release" ]]; then
     ctest --test-dir build-release -L golden --output-on-failure \
         -j "$JOBS"
 
+    # MOESI pass: the owner-forwarding backend's pinned goldens
+    # (fig01/fig05 .moesi files), the unrestricted-traffic fuzz smoke,
+    # and the cross-protocol differential harness (msi vs moesi value
+    # equivalence across both engines).
+    echo "=== moesi pass: goldens + differential smoke ==="
+    ctest --test-dir build-release --output-on-failure -j "$JOBS" \
+        -R 'golden_.*_moesi|fuzz_smoke_moesi|ProtocolDiff\.'
+
     # Hot-path throughput gate: append quick perf_smoke records (the
     # sequential headline plus the sim-jobs={1,2,4,8} scaling sweep)
     # to the history and fail if events/sec regressed >15% against the

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Golden-run regression check for one figure bench.
 #
-#   scripts/run_golden.sh <bench-binary> <golden-dir> <name>
+#   scripts/run_golden.sh <bench-binary> <golden-dir> <name> [protocol]
 #
 # Runs the bench with the canonical golden invocation
 # (--quick --csv jobs=2), diffs its stdout against
@@ -9,22 +9,34 @@
 # exists — also dumps and diffs the stats registry JSON.  Any
 # difference fails loudly with a unified diff.
 #
+# With a [protocol] argument other than "msi", the bench runs under
+# that coherence backend (protocol=<p> appended to the invocation) and
+# the goldens get a .<p> suffix: <name>.<p>.csv / <name>.<p>.stats.json.
+#
 # After an *intentional* output change, refresh the goldens with
 # scripts/update_goldens.sh and commit the result.
 
 set -euo pipefail
 
-if [[ $# -ne 3 ]]; then
-    echo "usage: $0 <bench-binary> <golden-dir> <name>" >&2
+if [[ $# -lt 3 || $# -gt 4 ]]; then
+    echo "usage: $0 <bench-binary> <golden-dir> <name> [protocol]" >&2
     exit 2
 fi
 
 bench="$1"
 golden_dir="$2"
 name="$3"
+protocol="${4:-msi}"
 
-golden_csv="$golden_dir/$name.csv"
-golden_stats="$golden_dir/$name.stats.json"
+suffix=""
+extra_args=()
+if [[ "$protocol" != msi ]]; then
+    suffix=".$protocol"
+    extra_args=("protocol=$protocol")
+fi
+
+golden_csv="$golden_dir/$name$suffix.csv"
+golden_stats="$golden_dir/$name$suffix.stats.json"
 
 if [[ ! -f "$golden_csv" ]]; then
     echo "golden missing: $golden_csv (run scripts/update_goldens.sh)" >&2
@@ -34,19 +46,19 @@ fi
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
 
-args=(--quick --csv jobs=2)
+args=(--quick --csv jobs=2 "${extra_args[@]}")
 if [[ -f "$golden_stats" ]]; then
-    args+=("stats-json=$work/$name.stats.json")
+    args+=("stats-json=$work/$name$suffix.stats.json")
 fi
 
-"$bench" "${args[@]}" > "$work/$name.csv"
+"$bench" "${args[@]}" > "$work/$name$suffix.csv"
 
 fail=0
 check() {
     local expect="$1" actual="$2" what="$3"
     if ! diff -u "$expect" "$actual" > "$work/diff.txt"; then
         echo "========================================================"
-        echo "GOLDEN MISMATCH: $name ($what)"
+        echo "GOLDEN MISMATCH: $name$suffix ($what)"
         echo "  expected: $expect"
         echo "  actual:   $actual"
         echo "--------------------------------------------------------"
@@ -59,12 +71,13 @@ check() {
     fi
 }
 
-check "$golden_csv" "$work/$name.csv" "table output"
+check "$golden_csv" "$work/$name$suffix.csv" "table output"
 if [[ -f "$golden_stats" ]]; then
-    check "$golden_stats" "$work/$name.stats.json" "stats registry JSON"
+    check "$golden_stats" "$work/$name$suffix.stats.json" \
+          "stats registry JSON"
 fi
 
 if [[ "$fail" -eq 0 ]]; then
-    echo "golden OK: $name"
+    echo "golden OK: $name$suffix"
 fi
 exit "$fail"

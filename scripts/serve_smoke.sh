@@ -94,6 +94,25 @@ MS=$(grep -o '[0-9]* ms' "$TMP/warm.t" | grep -o '^[0-9]*')
 [ -n "$MS" ] && [ "$MS" -lt 5000 ] \
     || fail "cached pass took ${MS:-?} ms — not served from cache?"
 
+# --- 3b. protocol-distinct cache keys ---------------------------------
+# One cell re-submitted under protocol=moesi must MISS the warm msi
+# cache (the canonical form includes protocol= when non-default, so
+# the config hashes differ) and simulate fresh.
+head -n 1 "$TMP/cells.txt" | sed 's/$/ protocol=moesi/' \
+    > "$TMP/cell_moesi.txt"
+"$CLIENT" socket="$SOCK" submit "$TMP/cell_moesi.txt" jobs=1 quiet=true \
+    stats-v1="$TMP/moesi.json" > /dev/null 2>&1 \
+    || fail "moesi cell submit failed"
+"$CLIENT" socket="$SOCK" stats > "$TMP/stats3.json" \
+    || fail "stats op failed after moesi cell"
+SIM3=$(count "$TMP/stats3.json" serve.cellsSimulated)
+[ "$SIM3" -eq "$((SIM2 + 1))" ] \
+    || fail "moesi cell aliased the msi cache (simulated $((SIM3 - SIM2)) cells; expected 1)"
+grep -q '"protocol": "moesi"' "$TMP/moesi.json" \
+    || fail "moesi cell result lacks the protocol field"
+"$STATS_CHECK" "$TMP/moesi.json" > /dev/null \
+    || fail "moesi cell result fails schema check"
+
 # --- 4. two concurrent clients ----------------------------------------
 # Half the grid is evicted-free cache hits, half forced cold by a
 # fresh seed: both clients finish and match their own offline runs.

@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
 # Regenerate every golden under tests/golden/ from the current build.
 #
-#   scripts/update_goldens.sh [build-dir]      # default: build
+#   scripts/update_goldens.sh [build-dir]             # default: build
+#   scripts/update_goldens.sh --protocol moesi [build-dir]
 #
 # Uses the same canonical invocation as scripts/run_golden.sh
 # (--quick --csv jobs=2).  Review the resulting git diff before
 # committing — a golden update is a statement that the new output is
 # the *intended* output.
+#
+# The default pass regenerates the msi goldens for every figure bench.
+# With --protocol <p> (p != msi), only the protocol-covered subset
+# (fig01, fig05) is regenerated, into <name>.<p>.csv suffixed files,
+# with protocol=<p> appended to the bench invocation.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+protocol=msi
+if [[ "${1:-}" == --protocol ]]; then
+    protocol="${2:?--protocol needs a value}"
+    shift 2
+fi
 
 build="${1:-build}"
 golden=tests/golden
@@ -20,26 +32,40 @@ if [[ ! -d "$build/bench" ]]; then
     exit 1
 fi
 
-benches=(
-    fig01_double_vs_single
-    fig04_single_scalability
-    fig05_slipstream_speedup
-    fig06_time_breakdown
-    fig07_request_breakdown
-    fig09_transparent_loads
-    fig10_si_speedup
-    ablation_design_choices
-    table1_latency_validation
-)
+if [[ "$protocol" == msi ]]; then
+    benches=(
+        fig01_double_vs_single
+        fig04_single_scalability
+        fig05_slipstream_speedup
+        fig06_time_breakdown
+        fig07_request_breakdown
+        fig09_transparent_loads
+        fig10_si_speedup
+        ablation_design_choices
+        table1_latency_validation
+    )
+    suffix=""
+    extra_args=()
+else
+    # Non-default backends pin the two benches the golden suite
+    # tracks per-protocol: the headline figure (fig01) with its stats
+    # schema, and the slipstream-speedup sweep (fig05).
+    benches=(
+        fig01_double_vs_single
+        fig05_slipstream_speedup
+    )
+    suffix=".$protocol"
+    extra_args=("protocol=$protocol")
+fi
 
 for b in "${benches[@]}"; do
-    args=(--quick --csv jobs=2)
+    args=(--quick --csv jobs=2 "${extra_args[@]}")
     # fig01 additionally pins the stats-registry JSON schema/content.
     if [[ "$b" == fig01_double_vs_single ]]; then
-        args+=("stats-json=$golden/$b.stats.json")
+        args+=("stats-json=$golden/$b$suffix.stats.json")
     fi
-    echo "regenerating $b ..."
-    "$build/bench/$b" "${args[@]}" > "$golden/$b.csv"
+    echo "regenerating $b$suffix ..."
+    "$build/bench/$b" "${args[@]}" > "$golden/$b$suffix.csv"
 done
 
 echo "done — review with: git diff $golden"

@@ -26,6 +26,8 @@ stateName(DirEntry::St s)
         return "Shared";
       case DirEntry::St::Excl:
         return "Excl";
+      case DirEntry::St::Owned:
+        return "Owned";
     }
     return "?";
 }
@@ -82,34 +84,67 @@ ProtocolChecker::sweepLine(Addr line_addr)
     const int nodes = ms.numNodes();
 
     // I5: entry well-formedness.
+    const bool moesi = ms.protocolKind() == ProtocolKind::MOESI;
     if (e) {
+        const bool has_owner_state = e->state == DirEntry::St::Excl ||
+                                     e->state == DirEntry::St::Owned;
         if (e->state == DirEntry::St::Excl && e->owner == invalidNode) {
             record(line_addr, invalidNode, "excl-without-owner",
                    "home entry Excl but owner unset");
         }
-        if (e->state != DirEntry::St::Excl && e->owner != invalidNode) {
+        if (e->state == DirEntry::St::Owned && e->owner == invalidNode) {
+            record(line_addr, invalidNode, "owned-without-owner",
+                   "home entry Owned but owner unset");
+        }
+        if (!has_owner_state && e->owner != invalidNode) {
             record(line_addr, e->owner, "owner-outside-excl",
                    std::string("home entry ") + stateName(e->state) +
                        " still names an owner");
+        }
+        if (!moesi && e->state == DirEntry::St::Owned) {
+            record(line_addr, e->owner, "owned-under-msi",
+                   "Owned home entry under the msi backend");
         }
     }
 
     int owners = 0;
     for (NodeId n = 0; n < nodes; ++n) {
-        const bool owned = ms.node(n).ownedInL2(line_addr);
+        const bool owned_m = ms.node(n).ownedInL2(line_addr);
+        const bool owned_o = ms.node(n).heldOwnedInL2(line_addr);
+        const bool owner_local = owned_m || owned_o;
         const bool present_r =
             ms.node(n).presentFor(line_addr, StreamKind::RStream);
         const bool present_a =
             ms.node(n).presentFor(line_addr, StreamKind::AStream);
         const bool transparent_copy = present_a && !present_r;
 
-        if (owned) {
+        if (owner_local) {
             ++owners;
-            // I1: the home must agree about the owner.
-            if (!e || e->state != DirEntry::St::Excl) {
+            // An O->M upgrade granted at the home leaves the local
+            // line Owned until the exclusive fill lands; exempt, like
+            // every other fill-in-flight asymmetry (I2's converse).
+            const bool upgrade_in_flight = owned_o && e &&
+                e->state == DirEntry::St::Excl && e->owner == n &&
+                ms.node(n).missOutstanding(line_addr);
+            if (upgrade_in_flight) {
+                // I6 exemption.
+            } else if (e && e->state == DirEntry::St::Owned &&
+                       e->owner != n) {
+                // I7: every non-owner copy under an Owned entry must
+                // be clean.
+                record(line_addr, n, "dirty-under-owned",
+                       std::string("non-owner holds the line ") +
+                           (owned_m ? "Excl" : "Owned") +
+                           " under an Owned home entry naming node " +
+                           std::to_string(e->owner));
+            } else if (!e ||
+                       e->state != (owned_m ? DirEntry::St::Excl
+                                            : DirEntry::St::Owned)) {
+                // I1/I6: the home must agree about the owner.
                 record(line_addr, n, "owner-not-recorded",
-                       std::string("L2 holds the line Excl but home "
-                                   "entry is ") +
+                       std::string("L2 holds the line ") +
+                           (owned_m ? "Excl" : "Owned") +
+                           " but home entry is " +
                            (e ? stateName(e->state) : "absent"));
             } else if (e->owner != n) {
                 record(line_addr, n, "owner-mismatch",
@@ -118,7 +153,7 @@ ProtocolChecker::sweepLine(Addr line_addr)
             }
         }
 
-        if (present_r && !owned) {
+        if (present_r && !owner_local) {
             // I2: every coherent copy is known to the home.
             if (!e || e->state == DirEntry::St::Idle) {
                 record(line_addr, n, "hidden-copy",
@@ -134,6 +169,14 @@ ProtocolChecker::sweepLine(Addr line_addr)
                        "L2 still holds a copy after exclusivity moved "
                        "to node " + std::to_string(e->owner) +
                        " (lost invalidation)");
+            } else if (e->state == DirEntry::St::Owned &&
+                       e->owner != n &&
+                       !(e->sharers & (std::uint64_t(1) << n))) {
+                // I7: clean copies under an Owned entry must be on
+                // the sharer list.
+                record(line_addr, n, "hidden-sharer",
+                       "L2 holds a Shared copy missing from the "
+                       "sharer list (Owned entry)");
             }
         }
 
@@ -153,32 +196,65 @@ ProtocolChecker::sweepLine(Addr line_addr)
                 record(line_addr, n, "transparent-owner",
                        "transparent copy recorded as exclusive owner");
             }
+            if (e->state == DirEntry::St::Owned) {
+                if (e->sharers & (std::uint64_t(1) << n)) {
+                    record(line_addr, n, "transparent-sharer",
+                           "transparent copy recorded in the sharer "
+                           "list (Owned entry)");
+                }
+                if (e->owner == n) {
+                    record(line_addr, n, "transparent-owner",
+                           "transparent copy recorded as the Owned "
+                           "entry's owner");
+                }
+            }
         }
     }
 
-    // I1: global single-writer.
+    // I1/I6: global single-writer / owner-uniqueness.
     if (owners > 1) {
         record(line_addr, invalidNode, "multiple-owners",
-               std::to_string(owners) + " L2s hold the line Excl");
+               std::to_string(owners) + " L2s hold the line dirty");
     }
 }
 
 void
-ProtocolChecker::onDirTransaction(const MemReq &req, const ReplyInfo &,
-                                  const DirEntry &, Tick)
+ProtocolChecker::onDirTransaction(const MemReq &req,
+                                  const ReplyInfo &info,
+                                  const DirEntry &e, Tick)
 {
     std::lock_guard<std::mutex> lk(mu);
     ++transactionsObserved;
     linesSeen.insert(req.lineAddr);
+
+    // I8 (forward-not-fetch), against the pre-transaction mirror: a
+    // coherent reply for a line somebody held dirty must come from the
+    // owner (or the raced-eviction memory fallback), never from a
+    // plain authoritative memory fetch.  Transparent replies are the
+    // documented exception: they *want* the stale memory image.
+    auto mit = homeMirror.find(req.lineAddr);
+    if (mit != homeMirror.end() && !info.transparent &&
+        (mit->second.state == DirEntry::St::Excl ||
+         mit->second.state == DirEntry::St::Owned) &&
+        info.dataSrc == DataSource::Memory) {
+        record(req.lineAddr, req.node, "forward-not-fetch",
+               std::string("reply sourced from memory while home was ") +
+                   stateName(mit->second.state) + " (owner node " +
+                   std::to_string(mit->second.owner) + ")");
+    }
+    homeMirror[req.lineAddr] = HomeMirror{e.state, e.owner};
+
     sweepLine(req.lineAddr);
 }
 
 void
 ProtocolChecker::onDirNote(DirNote kind, NodeId node, Addr line_addr,
-                           const DirEntry *)
+                           const DirEntry *e)
 {
     std::lock_guard<std::mutex> lk(mu);
     linesSeen.insert(line_addr);
+    if (e)
+        homeMirror[line_addr] = HomeMirror{e->state, e->owner};
     if (kind == DirNote::Writeback && trackValues) {
         // The writeback must carry the last committed value; since
         // functional memory is the single value copy, this catches any

@@ -16,8 +16,24 @@
  *       evictions/invalidations back-invalidate both L1s first.
  *   I4  transparent copies are never Exclusive and never appear in
  *       the sharer list.
- *   I5  directory-entry well-formedness (Excl has an owner, Shared
- *       does not).
+ *   I5  directory-entry well-formedness (Excl/Owned have an owner,
+ *       Shared does not; Owned never appears under the msi backend).
+ *
+ * The MOESI backend (mem/protocol_moesi.cc) adds three invariants:
+ *
+ *   I6  owner-uniqueness: at most one L2 holds a line dirty (Excl or
+ *       Owned), and an Excl/Owned home entry names exactly that node.
+ *       An O->M upgrade whose exclusive fill is still in flight is
+ *       exempt (the local line stays Owned until the fill lands).
+ *   I7  O-implies-sharers-clean: under an Owned home entry every
+ *       non-owner coherent copy is clean (locally Shared and on the
+ *       sharer list); a non-owner dirty copy is a violation.
+ *   I8  forward-not-fetch: a non-transparent reply for a line whose
+ *       home entry was Excl/Owned must not be sourced from plain
+ *       memory — the owner forwards (DataSource::Owner) or the
+ *       documented raced fallback applies (DataSource::MemoryRaced).
+ *       Tracked through a home-entry mirror updated at every
+ *       transaction and note.
  *
  * With value tracking enabled (the fuzz harness drives this), the
  * checker also keeps a per-line shadow of the last committed store and
@@ -153,6 +169,14 @@ class ProtocolChecker : public CoherenceObserver
         return line_addr | static_cast<std::uint64_t>(node);
     }
 
+    /** Pre-transaction home state, for I8 (the observer hook only
+     *  sees the post-transaction entry). */
+    struct HomeMirror
+    {
+        DirEntry::St state = DirEntry::St::Idle;
+        NodeId owner = invalidNode;
+    };
+
     MemorySystem &ms;
     bool trackValues;
 
@@ -165,6 +189,7 @@ class ProtocolChecker : public CoherenceObserver
     std::uint64_t violationCount = 0;
 
     std::unordered_set<Addr> linesSeen;
+    std::unordered_map<Addr, HomeMirror> homeMirror;
     std::unordered_map<Addr, Shadow> shadow;
     /** Shadow version captured when a transparent fill landed. */
     std::unordered_map<std::uint64_t, std::uint64_t> transparentVersion;

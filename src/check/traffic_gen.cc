@@ -17,6 +17,7 @@
 
 #include "check/protocol_checker.hh"
 #include "core/system.hh"
+#include "mem/protocol.hh"
 #include "sim/logging.hh"
 #include "sim/parallel_exec.hh"
 #include "sim/random.hh"
@@ -212,9 +213,11 @@ runFuzzParallel(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops,
                         const std::uint64_t value =
                             fuzzStoreValue(gidx, n);
                         const FuzzOpKind kind = op.kind;
+                        const std::size_t li =
+                            op.lineIdx % pool.size();
                         msys.node(n).access(req, slot,
-                                [&d, &msys, &checker, &sys, kind, n,
-                                 la, value]() {
+                                [&d, &msys, &checker, &sys, &rep, kind,
+                                 n, la, li, value]() {
                                     --d.outstanding;
                                     ++d.completed;
                                     // Value commits and checks mutate
@@ -227,9 +230,9 @@ runFuzzParallel(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops,
                                     Tick now = msys.eventq(n).now();
                                     msys.channel(n).send(now, now,
                                             MsgKind::SyncOp,
-                                            [&checker, &sys, kind, n,
-                                             la, value](Tick,
-                                                        Tick) -> Tick {
+                                            [&checker, &sys, &rep, kind,
+                                             n, la, li, value](
+                                                    Tick, Tick) -> Tick {
                                         switch (kind) {
                                           case FuzzOpKind::RLoad:
                                             checker.verifyRLoad(n, la);
@@ -240,6 +243,8 @@ runFuzzParallel(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops,
                                                         la, value);
                                             checker.commitStore(n, la,
                                                                 value);
+                                            rep.valueStreams[li]
+                                                .push_back(value);
                                             break;
                                           case FuzzOpKind::ALoad:
                                           case FuzzOpKind::ATransLoad:
@@ -375,9 +380,10 @@ runFuzzSequential(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops,
         // identical sequence.
         const std::uint64_t value = fuzzStoreValue(idx, node);
         const FuzzOpKind kind = op.kind;
+        const std::size_t li = op.lineIdx % pool.size();
         msys.node(node).access(req, slot,
                 [&rep, &outstanding, &checker, &sys, kind, node, la,
-                 value]() {
+                 li, value]() {
                     --outstanding;
                     ++rep.completed;
                     switch (kind) {
@@ -387,6 +393,7 @@ runFuzzSequential(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops,
                       case FuzzOpKind::RStore:
                         sys.functional().write<std::uint64_t>(la, value);
                         checker.commitStore(node, la, value);
+                        rep.valueStreams[li].push_back(value);
                         break;
                       case FuzzOpKind::ALoad:
                       case FuzzOpKind::ATransLoad:
@@ -413,6 +420,7 @@ runFuzzOps(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops)
             "fuzz line pool must fit a uint16 index");
 
     MachineParams mp;
+    mp.protocol = cfg.protocol;
     mp.numCmps = cfg.nodes;
     mp.l2Bytes = cfg.l2KB * 1024;  // tiny: evictions are the point
     mp.l2Assoc = 2;
@@ -446,14 +454,35 @@ runFuzzOps(const FuzzConfig &cfg, const std::vector<FuzzOp> &ops)
     }
 
     FuzzReport rep;
+    rep.valueStreams.assign(pool.size(), {});
+
+    // Single-writer mode pins every store to a per-line fixed node
+    // *before* engine partitioning, so both engines (and both
+    // protocols) see the identical remapped list.
+    const std::vector<FuzzOp> *run_ops = &ops;
+    std::vector<FuzzOp> remapped;
+    if (cfg.singleWriter) {
+        remapped = ops;
+        for (FuzzOp &op : remapped) {
+            if (op.kind == FuzzOpKind::RStore) {
+                op.node = static_cast<NodeId>(
+                    (op.lineIdx % cfg.lines) % cfg.nodes);
+            }
+        }
+        run_ops = &remapped;
+    }
 
     if (cfg.simJobs > 0)
-        runFuzzParallel(cfg, ops, sys, checker, pool, rep);
+        runFuzzParallel(cfg, *run_ops, sys, checker, pool, rep);
     else
-        runFuzzSequential(cfg, ops, sys, checker, pool, rep);
+        runFuzzSequential(cfg, *run_ops, sys, checker, pool, rep);
 
     // Global end-of-run sweep at quiescence.
     checker.finalSweep();
+
+    rep.finalValues.reserve(pool.size());
+    for (Addr la : pool)
+        rep.finalValues.push_back(sys.functional().read<std::uint64_t>(la));
 
     rep.transactions = checker.transactionsObserved;
     rep.aDivergences = checker.aDivergences;
@@ -689,6 +718,10 @@ writeFuzzTrace(std::ostream &os, const FuzzConfig &cfg,
        << (cfg.transparentLoads ? "true" : "false") << ",\n";
     os << "  \"self_invalidation\": "
        << (cfg.selfInvalidation ? "true" : "false") << ",\n";
+    os << "  \"protocol\": \"" << protocolName(cfg.protocol)
+       << "\",\n";
+    os << "  \"single_writer\": "
+       << (cfg.singleWriter ? "true" : "false") << ",\n";
     os << "  \"drop_nth_invalidation\": "
        << cfg.faults.dropNthInvalidation << ",\n";
     os << "  \"first_violation\": \"" << jsonEscape(rep.firstViolation)
@@ -743,6 +776,18 @@ readFuzzTrace(std::istream &is, FuzzConfig &cfg, std::uint64_t &seed,
             cfg.transparentLoads = b;
         } else if (key == "self_invalidation" && sc.parseBool(b)) {
             cfg.selfInvalidation = b;
+        } else if (key == "protocol") {
+            std::string name;
+            if (!sc.parseString(name))
+                return false;
+            if (name == "moesi")
+                cfg.protocol = ProtocolKind::MOESI;
+            else if (name == "msi")
+                cfg.protocol = ProtocolKind::MSI;
+            else
+                return false;
+        } else if (key == "single_writer" && sc.parseBool(b)) {
+            cfg.singleWriter = b;
         } else if (key == "drop_nth_invalidation" && sc.parseInt(v)) {
             cfg.faults.dropNthInvalidation = static_cast<int>(v);
         } else if (key == "ops") {

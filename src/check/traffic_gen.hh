@@ -76,6 +76,18 @@ struct FuzzConfig
      * byte-identical for every N >= 1.
      */
     int simJobs = 0;
+    /** Coherence-protocol backend driving the run. */
+    ProtocolKind protocol = ProtocolKind::MSI;
+    /**
+     * Remap every RStore to a per-line fixed writer node
+     * ((lineIdx % lines) % nodes) before execution.  With a single
+     * writer per line, same-node same-line stores commit in issue
+     * order (MSHR waiter FIFO), so the per-line committed value
+     * stream and the final functional-memory image are identical
+     * across engines *and* protocol backends — the property the
+     * differential harness asserts.
+     */
+    bool singleWriter = false;
     /** Test-only fault injection, applied to every home. */
     DirFaults faults;
 };
@@ -90,6 +102,13 @@ struct FuzzReport
     std::uint64_t aDivergences = 0;
     int issued = 0;
     int completed = 0;
+    /** Per pool-line committed store values, in commit order
+     *  (canonical across engines; cross-protocol-comparable when the
+     *  run used cfg.singleWriter). */
+    std::vector<std::vector<std::uint64_t>> valueStreams;
+    /** Final functional-memory word of each pool line, read at
+     *  quiescence. */
+    std::vector<std::uint64_t> finalValues;
 };
 
 /** Expand @p seed into a concrete op list for @p cfg. */

@@ -6,6 +6,8 @@
 
 #include "core/cell.hh"
 
+#include "mem/protocol.hh"
+
 #include <algorithm>
 #include <cstdlib>
 #include <set>
@@ -35,7 +37,7 @@ schemaKeys()
         "cmps", "l1kb", "l2kb", "l2assoc", "mshrs",
         "busTime", "netTime", "memTime", "dcLocal", "dcRemote",
         "portOcc", "busCtrlOcc", "busDataOcc", "memBankOcc",
-        "l2occ", "quantum", "mesiE",
+        "l2occ", "quantum", "mesiE", "protocol",
     };
     return keys;
 }
@@ -193,6 +195,8 @@ renderCell(const SweepPoint &pt)
     num("quantum", static_cast<long long>(m.busyQuantum),
         static_cast<long long>(def.busyQuantum));
     flag("mesiE", m.mesiEState, def.mesiEState);
+    if (m.protocol != def.protocol)
+        tok("protocol", protocolName(m.protocol));
     if (m.piRemoteDCTime != def.piRemoteDCTime ||
         m.niRemoteDCTime != def.niRemoteDCTime ||
         m.l1Assoc != def.l1Assoc || m.l1HitTime != def.l1HitTime ||

@@ -5,6 +5,8 @@
 
 #include "core/experiment.hh"
 
+#include "mem/protocol.hh"
+
 #include <memory>
 #include <ostream>
 
@@ -99,6 +101,7 @@ runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
     r.policy = cfg.arPolicy;
     r.features = cfg.features;
     r.numCmps = mp.numCmps;
+    r.protocol = mp.protocol;
     r.cycles = end;
     r.recoveries = rt.totalRecoveries();
     r.verified = cfg.verify ? wl.verify(sys.functional()) : true;
@@ -242,6 +245,7 @@ machineFromOptions(const Options &opts)
     mp.busyQuantum = static_cast<Tick>(
         opts.getInt("quantum", mp.busyQuantum));
     mp.mesiEState = opts.getBool("mesiE", mp.mesiEState);
+    mp.protocol = protocolFromName(opts.getString("protocol", "msi"));
     return mp;
 }
 

@@ -30,6 +30,7 @@ struct ExperimentResult
     ArPolicy policy = ArPolicy::OneTokenLocal;
     SlipFeatures features;
     int numCmps = 0;
+    ProtocolKind protocol = ProtocolKind::MSI;
 
     /** Program completion time (cycles). */
     Tick cycles = 0;

@@ -5,6 +5,8 @@
 
 #include "core/sweep.hh"
 
+#include "mem/protocol.hh"
+
 #include <atomic>
 #include <exception>
 #include <ostream>
@@ -102,8 +104,10 @@ sweepPointJson(const ExperimentResult &r)
     std::ostringstream os;
     os << "{\"workload\": \"" << jsonEscape(r.workload)
        << "\", \"mode\": \"" << modeName(r.mode)
-       << "\", \"policy\": \"" << arPolicyName(r.policy)
-       << "\", \"cmps\": " << r.numCmps
+       << "\", \"policy\": \"" << arPolicyName(r.policy) << "\"";
+    if (r.protocol != ProtocolKind::MSI)
+        os << ", \"protocol\": \"" << protocolName(r.protocol) << "\"";
+    os << ", \"cmps\": " << r.numCmps
        << ", \"cycles\": " << r.cycles << ", \"verified\": "
        << (r.verified ? "true" : "false") << ", \"stats\": ";
     r.snap.writeJson(os);

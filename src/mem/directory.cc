@@ -1,12 +1,16 @@
 /**
  * @file
- * DirectoryController implementation: the fully-mapped invalidate
- * protocol with transparent loads, future sharers, and SI hints.
+ * DirectoryController implementation: the generic transaction engine
+ * (busy windows, DC occupancy, counters, observer/tracer hooks, reply
+ * delivery).  The protocol-specific state machine lives in the
+ * CoherenceProtocol backend (mem/protocol.hh) selected by
+ * MachineParams::protocol.
  */
 
 #include "mem/directory.hh"
 
 #include "mem/memory_system.hh"
+#include "mem/protocol.hh"
 #include "obs/tracer.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -17,7 +21,8 @@ namespace slipsim
 DirectoryController::DirectoryController(NodeId home_node,
                                          MemorySystem &mem_sys,
                                          const MachineParams &p)
-    : home(home_node), ms(mem_sys), params(p), dc("dc")
+    : home(home_node), ms(mem_sys), params(p),
+      proto(protocolBackend(p.protocol)), dc("dc")
 {
 }
 
@@ -71,195 +76,46 @@ DirectoryController::handleAt(Tick now, const MemReq &req, ReplyFn &reply)
     const Tick occ = local ? params.piLocalDCTime : params.niLocalDCTime;
     Tick t = dc.reserve(now, occ);
 
-    ReplyInfo info;
-    Tick reply_arrival = 0;
-    bool extend_busy = true;
-
-    // Delivery of the reply data into the requesting node's L2,
-    // starting from @p from with data ready at @p ready.
-    auto deliver = [&](NodeId from, Tick ready) -> Tick {
-        if (from == req.node)
-            return ms.busCross(req.node, ready, true);
-        Tick a = ms.oneWay(from, req.node, ready);
-        a = ms.dir(req.node).server().reserve(a, params.niRemoteDCTime);
-        return ms.busCross(req.node, a, true);
-    };
+    DirTxn tx{*this, ms, params, req, t};
 
     if (req.isRead()) {
-        if (e.state == DirEntry::St::Excl) {
-            SLIPSIM_ASSERT(e.owner != req.node,
-                    "read miss from the exclusive owner");
-            if (req.wantTransparent) {
-                // Transparent reply: stale copy from memory; owner
-                // keeps exclusivity but is advised to self-invalidate.
-                ++memoryFetches;
-                ++transparentReplies;
-                if (params.siHintsEnabled) {
-                    ++siHintsToOwner;
-                    ms.node(e.owner).markSiHint(req.lineAddr);
-                }
-                e.future |= bit(req.node);
-                info.transparent = true;
-                reply_arrival = deliver(home, ms.memAccess(home, t));
-                extend_busy = false;  // no coherence state change
-            } else {
-                // 3-hop: forward to owner; owner downgrades and sends
-                // the data directly to the requester (plus a writeback
-                // to home, off the critical path).
-                ++fwdGetS;
-                NodeId owner = e.owner;
-                Tick fwd = ms.oneWay(home, owner, t);
-                Tick at_owner = ms.dir(owner).server().reserve(
-                        fwd, params.niRemoteDCTime);
-                bool had = ms.node(owner).downgradeToShared(req.lineAddr);
-                Tick served;
-                if (had) {
-                    served = ms.busCross(owner, at_owner, false);
-                    served = ms.busCross(owner,
-                                         served + params.l2HitTime,
-                                         true);
-                } else {
-                    served = at_owner + params.memTime;
-                }
-                if (owner == req.node) {
-                    // Cannot happen (asserted above), but keep deliver
-                    // semantics total.
-                    reply_arrival = served + params.busTime;
-                } else {
-                    Tick a = ms.oneWay(owner, req.node, served);
-                    a = ms.dir(req.node).server().reserve(
-                            a, params.niRemoteDCTime);
-                    reply_arrival = a + params.busTime;
-                }
-                e.state = DirEntry::St::Shared;
-                e.sharers = bit(owner) | bit(req.node);
-                e.owner = invalidNode;
-                if (req.stream == StreamKind::RStream)
-                    e.future &= ~bit(req.node);
-            }
-        } else {
-            // Idle or Shared: serve from memory.
-            ++memoryFetches;
-            if (req.wantTransparent) {
-                // Upgraded to a normal load; recorded as a sharer AND
-                // a future sharer.
-                ++upgradedReplies;
-                e.future |= bit(req.node);
-            }
-            if (params.mesiEState && e.state == DirEntry::St::Idle &&
-                !req.wantTransparent) {
-                // MESI E state: sole reader takes the line exclusive,
-                // so a subsequent store by the same node is free —
-                // this is what makes self-invalidation pay off for
-                // migratory data on the Origin-like protocol.
-                e.state = DirEntry::St::Excl;
-                e.owner = req.node;
-                e.sharers = 0;
-                info.exclusive = true;
-            } else {
-                e.state = DirEntry::St::Shared;
-                e.sharers |= bit(req.node);
-            }
-            if (req.stream == StreamKind::RStream &&
-                !req.wantTransparent) {
-                e.future &= ~bit(req.node);
-            }
-            reply_arrival = deliver(home, ms.memAccess(home, t));
-        }
+        proto.handleRead(tx, e);
     } else {
         // Exclusive request (GETX / upgrade / exclusive prefetch).
         if (req.stream == StreamKind::RStream)
             e.future &= ~bit(req.node);
 
-        if (e.state == DirEntry::St::Excl) {
-            SLIPSIM_ASSERT(e.owner != req.node,
-                    "exclusive miss from the exclusive owner");
-            // 3-hop ownership transfer.
-            ++fwdGetX;
-            NodeId owner = e.owner;
-            Tick fwd = ms.oneWay(home, owner, t);
-            Tick at_owner = ms.dir(owner).server().reserve(
-                    fwd, params.niRemoteDCTime);
-            bool had = ms.node(owner).invalidateLine(req.lineAddr);
-            Tick served;
-            NodeId data_from;
-            if (had) {
-                served = ms.busCross(owner, at_owner, false);
-                served = ms.busCross(owner, served + params.l2HitTime,
-                                     true);
-                data_from = owner;
-            } else {
-                // Owner raced a writeback; serve from memory.
-                ++memoryFetches;
-                served = ms.memAccess(home, t);
-                data_from = home;
-            }
-            reply_arrival = deliver(data_from, served);
-            e.owner = req.node;
-            e.sharers = 0;
-        } else {
-            // Idle/Shared: invalidate other sharers, grant ownership.
-            bool is_upgrade = e.state == DirEntry::St::Shared &&
-                              (e.sharers & bit(req.node));
-            Tick data_ready = t;
-            if (!is_upgrade) {
-                ++memoryFetches;
-                data_ready = ms.memAccess(home, t);
-            }
+        proto.handleExcl(tx, e);
 
-            std::uint64_t others = e.sharers & ~bit(req.node);
-            Tick ack_done = data_ready;
-            for (NodeId s = 0; s < ms.numNodes(); ++s) {
-                if (!(others & bit(s)))
-                    continue;
-                ++invalidationsSent;
-                if (faults.dropNthInvalidation > 0 &&
-                    --faults.dropNthInvalidation == 0) {
-                    // Test-only fault: the invalidation is lost, the
-                    // sharer keeps a stale copy the home forgets.
-                    continue;
-                }
-                Tick iv = ms.oneWay(home, s, t);
-                ms.node(s).invalidateLine(req.lineAddr);
-                Tick ack = ms.oneWay(s, home, iv + params.l2HitTime);
-                if (ack > ack_done)
-                    ack_done = ack;
-            }
-            e.state = DirEntry::St::Excl;
-            e.owner = req.node;
-            e.sharers = 0;
-            reply_arrival = deliver(home, ack_done);
-        }
-
-        info.exclusive = true;
+        tx.info.exclusive = true;
         // Future-sharing knowledge travels with the exclusive reply as
         // a self-invalidation hint (Figure 8, right).
         if (params.siHintsEnabled &&
             req.stream == StreamKind::RStream &&
             (e.future & ~bit(req.node))) {
-            info.siHint = true;
+            tx.info.siHint = true;
             ++siHintsWithReply;
         }
     }
 
-    if (extend_busy) {
+    if (tx.extendBusy) {
         // The requester's fill installs via an event AT reply_arrival;
         // a conflicting request dispatched the same tick could win the
         // FIFO tie-break and observe pre-fill cache state (two owners
         // after both fills land).  The window must cover the install
         // tick, so a deferred competitor reschedules strictly after it.
-        e.busyUntil = reply_arrival + 1;
+        e.busyUntil = tx.replyArrival + 1;
     }
 
     if (CoherenceObserver *o = ms.observer())
-        o->onDirTransaction(req, info, e, reply_arrival);
+        o->onDirTransaction(req, tx.info, e, tx.replyArrival);
 
-    if (SimTracer *t = ms.tracer()) {
-        t->dirTransaction(home, req.node, req.lineAddr, req.type, now,
-                          reply_arrival);
+    if (SimTracer *t2 = ms.tracer()) {
+        t2->dirTransaction(home, req.node, req.lineAddr, req.type, now,
+                           tx.replyArrival);
     }
 
-    reply(reply_arrival, info);
+    reply(tx.replyArrival, tx.info);
     return 0;
 }
 
@@ -278,15 +134,10 @@ DirectoryController::noteSharedEviction(NodeId node, Addr line_addr)
     DirEntry *ep = entries.find(line_addr);
     if (!ep)
         return;
-    DirEntry &e = *ep;
-    e.future &= ~bit(node);
-    if (e.state == DirEntry::St::Shared) {
-        e.sharers &= ~bit(node);
-        if (e.sharers == 0)
-            e.state = DirEntry::St::Idle;
-    }
+    ep->future &= ~bit(node);
+    proto.noteSharedEviction(*ep, node);
     notify(CoherenceObserver::DirNote::SharedEviction, node, line_addr,
-           &e);
+           ep);
 }
 
 void
@@ -295,14 +146,21 @@ DirectoryController::noteWriteback(NodeId node, Addr line_addr)
     DirEntry *ep = entries.find(line_addr);
     if (!ep)
         return;
-    DirEntry &e = *ep;
-    e.future &= ~bit(node);
-    if (e.state == DirEntry::St::Excl && e.owner == node) {
-        e.state = DirEntry::St::Idle;
-        e.owner = invalidNode;
-        e.sharers = 0;
-    }
-    notify(CoherenceObserver::DirNote::Writeback, node, line_addr, &e);
+    ep->future &= ~bit(node);
+    proto.noteWriteback(*ep, node);
+    notify(CoherenceObserver::DirNote::Writeback, node, line_addr, ep);
+}
+
+void
+DirectoryController::noteOwnerWriteback(NodeId node, Addr line_addr)
+{
+    DirEntry *ep = entries.find(line_addr);
+    if (!ep)
+        return;
+    ep->future &= ~bit(node);
+    proto.noteOwnerWriteback(*ep, node);
+    notify(CoherenceObserver::DirNote::OwnerWriteback, node, line_addr,
+           ep);
 }
 
 void
@@ -311,13 +169,8 @@ DirectoryController::noteDowngrade(NodeId node, Addr line_addr)
     DirEntry *ep = entries.find(line_addr);
     if (!ep)
         return;
-    DirEntry &e = *ep;
-    if (e.state == DirEntry::St::Excl && e.owner == node) {
-        e.state = DirEntry::St::Shared;
-        e.sharers = bit(node);
-        e.owner = invalidNode;
-    }
-    notify(CoherenceObserver::DirNote::Downgrade, node, line_addr, &e);
+    proto.noteDowngrade(*ep, node);
+    notify(CoherenceObserver::DirNote::Downgrade, node, line_addr, ep);
 }
 
 void
@@ -348,6 +201,14 @@ DirectoryController::dumpStats(StatSet &out) const
     out.add("dir.siHintsWithReply",
             static_cast<double>(siHintsWithReply));
     out.add("dir.memoryFetches", static_cast<double>(memoryFetches));
+    if (params.protocol == ProtocolKind::MOESI) {
+        // MOESI-only: absent under msi so pre-protocol stat sets (and
+        // everything derived from them) are byte-identical.
+        out.add("dir.ownerForwards",
+                static_cast<double>(ownerForwards));
+        out.add("dir.ownerUpgrades",
+                static_cast<double>(ownerUpgrades));
+    }
     out.add("dir.busyTicks", static_cast<double>(dc.totalBusy()));
     out.add("dir.waitTicks", static_cast<double>(dc.totalWait()));
 }
@@ -370,6 +231,10 @@ DirectoryController::registerStats(StatsRegistry &reg,
     s.counter("siHintsToOwner", siHintsToOwner);
     s.counter("siHintsWithReply", siHintsWithReply);
     s.counter("memoryFetches", memoryFetches);
+    if (params.protocol == ProtocolKind::MOESI) {
+        s.counter("ownerForwards", ownerForwards);
+        s.counter("ownerUpgrades", ownerUpgrades);
+    }
 }
 
 } // namespace slipsim

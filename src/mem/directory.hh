@@ -31,16 +31,36 @@ namespace slipsim
 {
 
 class MemorySystem;
+class CoherenceProtocol;
 
 /** Home-side state of one cache line. */
 struct DirEntry
 {
-    enum class St : std::uint8_t { Idle, Shared, Excl };
+    /** Owned (MOESI only): a node holds the line dirty and sources it
+     *  cache-to-cache; memory is stale and other nodes may hold clean
+     *  Shared copies. */
+    enum class St : std::uint8_t { Idle, Shared, Excl, Owned };
     St state = St::Idle;
     std::uint64_t sharers = 0;   //!< bitmask over nodes
     NodeId owner = invalidNode;
     std::uint64_t future = 0;    //!< future-sharer bits (Section 4.2)
     Tick busyUntil = 0;          //!< per-line transaction serialization
+
+    /**
+     * Atomically (from the checker's point of view) move the entry to
+     * @p s with @p new_owner and @p new_sharers.  The state, owner
+     * field, and sharer vector are one logical record: updating them
+     * piecewise leaves windows where an observer sweep sees e.g. an
+     * Excl entry still carrying the previous holder's sharer bits.
+     * Both protocol backends route every transition through here.
+     */
+    void
+    setOwnerState(St s, NodeId new_owner, std::uint64_t new_sharers)
+    {
+        state = s;
+        owner = new_owner;
+        sharers = new_sharers;
+    }
 };
 
 /**
@@ -100,6 +120,10 @@ class DirectoryController
     /** A node wrote back / invalidated its Exclusive copy (PutX). */
     void noteWriteback(NodeId node, Addr line_addr);
 
+    /** A node evicted an Owned (MOESI) copy, writing the dirty data
+     *  back to memory; remaining Shared copies stay valid. */
+    void noteOwnerWriteback(NodeId node, Addr line_addr);
+
     /** A node self-invalidation-downgraded its Exclusive copy to
      *  Shared (data written back to memory). */
     void noteDowngrade(NodeId node, Addr line_addr);
@@ -140,6 +164,10 @@ class DirectoryController
     Counter siHintsToOwner;
     Counter siHintsWithReply;
     Counter memoryFetches;
+    // MOESI-only counters; registered/dumped only when the backend is
+    // MOESI so msi stats documents stay byte-identical.
+    Counter ownerForwards;
+    Counter ownerUpgrades;
 
   private:
     DirEntry &entry(Addr line_addr)
@@ -154,6 +182,10 @@ class DirectoryController
     NodeId home;
     MemorySystem &ms;
     const MachineParams &params;
+    /** Protocol backend: owns the state machine; this controller owns
+     *  the generic transaction engine (busy windows, DC occupancy,
+     *  counters, observer/tracer hooks, reply delivery). */
+    const CoherenceProtocol &proto;
     Resource dc;
     /** Home-side line state.  The flat table's slab storage gives the
      *  same reference stability handle() relies on (it holds a

@@ -38,6 +38,17 @@ struct MemReq
     bool isRead() const { return type == ReqType::Read; }
 };
 
+/** Where a directory reply's data was sourced from (timing model
+ *  bookkeeping; the functional value always lives in FunctionalMemory).
+ *  The checker's forward-not-fetch invariant (I8) keys off this. */
+enum class DataSource : std::uint8_t
+{
+    None,        //!< no data transfer (ownership upgrade)
+    Memory,      //!< home memory, authoritative copy
+    Owner,       //!< cache-to-cache from the exclusive/owning node
+    MemoryRaced, //!< memory fallback: the owner raced an eviction
+};
+
 /** Reply metadata returned by the directory with the data. */
 struct ReplyInfo
 {
@@ -47,6 +58,8 @@ struct ReplyInfo
     bool siHint = false;
     /** The fill grants exclusive ownership. */
     bool exclusive = false;
+    /** Data source of the reply (DataSource). */
+    DataSource dataSrc = DataSource::None;
 };
 
 /** Classification of a shared-data fetch (Figure 7 of the paper). */

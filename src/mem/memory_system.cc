@@ -130,6 +130,9 @@ MemorySystem::sendDirNote(NodeId from, Addr line_addr, DirNoteKind kind)
               case DirNoteKind::TransparentEviction:
                 home.noteTransparentEviction(from, line_addr);
                 break;
+              case DirNoteKind::OwnerWriteback:
+                home.noteOwnerWriteback(from, line_addr);
+                break;
             }
             return 0;
         });

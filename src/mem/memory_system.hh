@@ -62,6 +62,9 @@ class MemorySystem
     EventQueue &eventq(NodeId n) { return *qs[n]; }
 
     const MachineParams &machine() const { return params; }
+
+    /** Coherence-protocol backend this machine runs (mem/protocol.hh). */
+    ProtocolKind protocolKind() const { return params.protocol; }
     SharedAllocator &allocator() { return alloc; }
     FunctionalMemory &functional() { return fmem; }
 
@@ -127,6 +130,7 @@ class MemorySystem
         Writeback,
         Downgrade,
         TransparentEviction,
+        OwnerWriteback,
     };
 
     /**

@@ -331,7 +331,9 @@ NodeMemory::evict(L2Line &line)
     dropClassify(line);
     backInvalidateL1(line);
     const Addr la = line.lineAddr;
-    const bool excl = line.state() == L2Line::St::Excl;
+    const L2Line::St st = line.state();
+    const bool excl = st == L2Line::St::Excl;
+    const bool owned = st == L2Line::St::Owned;
     const bool transparent = line.transparent();
     line.valid = false;
     line.setSiMarked(false);
@@ -340,13 +342,16 @@ NodeMemory::evict(L2Line &line)
         ms.sendDirNote(id, la,
                        transparent ? K::TransparentEviction
                                    : excl ? K::Writeback
-                                          : K::SharedEviction);
+                                          : owned ? K::OwnerWriteback
+                                                  : K::SharedEviction);
     } else {
         DirectoryController &home = ms.homeOf(la);
         if (transparent) {
             home.noteTransparentEviction(id, la);
         } else if (excl) {
             home.noteWriteback(id, la);
+        } else if (owned) {
+            home.noteOwnerWriteback(id, la);
         } else {
             home.noteSharedEviction(id, la);
         }
@@ -474,6 +479,30 @@ NodeMemory::downgradeToShared(Addr line_addr)
         }
     }
     return true;
+}
+
+bool
+NodeMemory::downgradeToOwned(Addr line_addr)
+{
+    L2Line *line = array.find(line_addr);
+    if (!line || line->transparent())
+        return false;
+    if (line->state() == L2Line::St::Excl) {
+        line->setState(L2Line::St::Owned);
+        if (CoherenceObserver *o = ms.observer()) {
+            o->onL2(CoherenceObserver::L2Event::Downgrade, id,
+                    line_addr, true, false);
+        }
+    }
+    return true;
+}
+
+bool
+NodeMemory::heldOwnedInL2(Addr line_addr) const
+{
+    const L2Line *line = array.find(line_addr);
+    return line && !line->transparent() &&
+           line->state() == L2Line::St::Owned;
 }
 
 bool

@@ -46,7 +46,10 @@ struct L2Line
     /** Tick the current fill landed (diagnostics). */
     Tick fillTick = 0;
 
-    enum class St : std::uint8_t { Shared, Excl };
+    /** Owned (MOESI backend only): dirty, sourced cache-to-cache to
+     *  readers, memory stale.  Read hits behave like Shared; a store
+     *  needs an O->M upgrade transaction. */
+    enum class St : std::uint8_t { Shared, Excl, Owned };
 
     // meta bit layout
     static constexpr std::uint16_t exclBit        = 1u << 0;
@@ -59,6 +62,7 @@ struct L2Line
     static constexpr std::uint16_t classifiedBit  = 1u << 7;
     static constexpr unsigned l1MaskShift = 8;  //!< bits 8..9
     static constexpr std::uint16_t l1MaskBits = 0x3u << l1MaskShift;
+    static constexpr std::uint16_t ownedBit       = 1u << 10;
 
     /** A fresh line defaults to fetchWasRead=true, like the old
      *  bool-per-flag layout did. */
@@ -67,9 +71,19 @@ struct L2Line
     std::uint16_t meta = metaDefault;
     bool valid = false;
 
-    St state() const
-    { return (meta & exclBit) ? St::Excl : St::Shared; }
-    void setState(St s) { setBit(exclBit, s == St::Excl); }
+    St
+    state() const
+    {
+        if (meta & ownedBit)
+            return St::Owned;
+        return (meta & exclBit) ? St::Excl : St::Shared;
+    }
+    void
+    setState(St s)
+    {
+        setBit(exclBit, s == St::Excl);
+        setBit(ownedBit, s == St::Owned);
+    }
 
     /** Non-coherent copy visible only to the A-stream. */
     bool transparent() const { return meta & transparentBit; }
@@ -264,6 +278,16 @@ class NodeMemory
     /** Owner downgrade for a forwarded GETS.  @return true if the line
      *  was present (owner supplies data). */
     bool downgradeToShared(Addr line_addr);
+
+    /** MOESI owner downgrade for a forwarded GETS: Excl -> Owned, the
+     *  node keeps sourcing the dirty line cache-to-cache and no data
+     *  is written back to memory.  @return true if the line was
+     *  present (owner supplies data). */
+    bool downgradeToOwned(Addr line_addr);
+
+    /** Read-only probe: does the L2 hold this line in the Owned
+     *  (MOESI) state? */
+    bool heldOwnedInL2(Addr line_addr) const;
 
     /** Invalidate the line (forwarded GETX / sharer invalidation).
      *  @return true if the line was present. */

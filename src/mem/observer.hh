@@ -39,6 +39,7 @@ struct CoherenceObserver
         Writeback,            //!< PutX of an Exclusive copy
         Downgrade,            //!< self-invalidation downgrade to Shared
         TransparentEviction,  //!< eviction of a non-coherent copy
+        OwnerWriteback,       //!< eviction of an Owned (MOESI) copy
     };
 
     /** L2 line state changes. */

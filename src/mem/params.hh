@@ -15,6 +15,14 @@ namespace slipsim
 {
 
 /**
+ * Coherence-protocol backend selection (mem/protocol.hh).  MSI is the
+ * paper's protocol (with the optional MESI E state, see mesiEState
+ * below); MOESI adds an Owned state with cache-to-cache sourcing of
+ * dirty lines (owner-forwarding, no memory writeback on a read).
+ */
+enum class ProtocolKind : std::uint8_t { MSI, MOESI };
+
+/**
  * Full machine description.  Defaults reproduce Table 1: the minimum
  * latency to bring data into the L2 on a remote miss is 290 cycles and a
  * local miss requires 170 cycles (validated by
@@ -83,6 +91,11 @@ struct MachineParams
      *  sequences cost two transactions and self-invalidation loses
      *  most of its benefit. */
     bool mesiEState = true;
+
+    /** Coherence-protocol backend (config key `protocol=`; canonical
+     *  form omits the default, so msi cells hash identically to
+     *  pre-protocol-aware ones). */
+    ProtocolKind protocol = ProtocolKind::MSI;
 
     // --- Slipstream support ---------------------------------------------
     /** Directory issues self-invalidation hints (Section 4.2); set by

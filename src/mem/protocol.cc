@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Protocol-interface plumbing: name <-> kind mapping, the DirTxn
+ * latency helpers, the transition fragments both backends share, and
+ * the backend singleton registry.
+ */
+
+#include "mem/protocol.hh"
+
+#include "mem/memory_system.hh"
+#include "mem/node_memory.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+const char *
+protocolName(ProtocolKind k)
+{
+    switch (k) {
+      case ProtocolKind::MSI: return "msi";
+      case ProtocolKind::MOESI: return "moesi";
+    }
+    return "?";
+}
+
+ProtocolKind
+protocolFromName(const std::string &name)
+{
+    if (name == "msi")
+        return ProtocolKind::MSI;
+    if (name == "moesi")
+        return ProtocolKind::MOESI;
+    fatal("unknown protocol '%s' (expected msi or moesi)", name.c_str());
+}
+
+Tick
+DirTxn::deliver(NodeId from, Tick ready) const
+{
+    if (from == req.node)
+        return ms.busCross(req.node, ready, true);
+    Tick a = ms.oneWay(from, req.node, ready);
+    a = ms.dir(req.node).server().reserve(a, params.niRemoteDCTime);
+    return ms.busCross(req.node, a, true);
+}
+
+NodeId
+DirTxn::home() const
+{
+    return dc.homeId();
+}
+
+void
+CoherenceProtocol::transparentExclRead(DirTxn &tx, DirEntry &e) const
+{
+    DirectoryController &dc = tx.dc;
+    const MemReq &req = tx.req;
+    // Transparent reply: stale copy from memory; owner keeps
+    // exclusivity but is advised to self-invalidate.
+    ++dc.memoryFetches;
+    ++dc.transparentReplies;
+    if (tx.params.siHintsEnabled) {
+        ++dc.siHintsToOwner;
+        tx.ms.node(e.owner).markSiHint(req.lineAddr);
+    }
+    e.future |= bit(req.node);
+    tx.info.transparent = true;
+    tx.info.dataSrc = DataSource::Memory;
+    tx.replyArrival = tx.deliver(tx.home(),
+                                 tx.ms.memAccess(tx.home(), tx.t));
+    tx.extendBusy = false;  // no coherence state change
+}
+
+void
+CoherenceProtocol::readFromHome(DirTxn &tx, DirEntry &e) const
+{
+    DirectoryController &dc = tx.dc;
+    const MemReq &req = tx.req;
+    // Idle or Shared: serve from memory.
+    ++dc.memoryFetches;
+    if (req.wantTransparent) {
+        // Upgraded to a normal load; recorded as a sharer AND a
+        // future sharer.
+        ++dc.upgradedReplies;
+        e.future |= bit(req.node);
+    }
+    if (tx.params.mesiEState && e.state == DirEntry::St::Idle &&
+        !req.wantTransparent) {
+        // MESI E state: sole reader takes the line exclusive, so a
+        // subsequent store by the same node is free — this is what
+        // makes self-invalidation pay off for migratory data on the
+        // Origin-like protocol.
+        e.setOwnerState(DirEntry::St::Excl, req.node, 0);
+        tx.info.exclusive = true;
+    } else {
+        e.setOwnerState(DirEntry::St::Shared, invalidNode,
+                        e.sharers | bit(req.node));
+    }
+    if (req.stream == StreamKind::RStream && !req.wantTransparent)
+        e.future &= ~bit(req.node);
+    tx.info.dataSrc = DataSource::Memory;
+    tx.replyArrival = tx.deliver(tx.home(),
+                                 tx.ms.memAccess(tx.home(), tx.t));
+}
+
+Tick
+CoherenceProtocol::invalidateSharers(DirTxn &tx, std::uint64_t others,
+                                     Tick floor) const
+{
+    DirectoryController &dc = tx.dc;
+    MemorySystem &ms = tx.ms;
+    Tick ack_done = floor;
+    for (NodeId s = 0; s < ms.numNodes(); ++s) {
+        if (!(others & bit(s)))
+            continue;
+        ++dc.invalidationsSent;
+        if (dc.faults.dropNthInvalidation > 0 &&
+            --dc.faults.dropNthInvalidation == 0) {
+            // Test-only fault: the invalidation is lost, the sharer
+            // keeps a stale copy the home forgets.
+            continue;
+        }
+        Tick iv = ms.oneWay(tx.home(), s, tx.t);
+        ms.node(s).invalidateLine(tx.req.lineAddr);
+        Tick ack = ms.oneWay(s, tx.home(), iv + tx.params.l2HitTime);
+        if (ack > ack_done)
+            ack_done = ack;
+    }
+    return ack_done;
+}
+
+void
+CoherenceProtocol::exclFromHome(DirTxn &tx, DirEntry &e) const
+{
+    DirectoryController &dc = tx.dc;
+    const MemReq &req = tx.req;
+    // Idle/Shared: invalidate other sharers, grant ownership.
+    bool is_upgrade = e.state == DirEntry::St::Shared &&
+                      (e.sharers & bit(req.node));
+    Tick data_ready = tx.t;
+    if (!is_upgrade) {
+        ++dc.memoryFetches;
+        data_ready = tx.ms.memAccess(tx.home(), tx.t);
+        tx.info.dataSrc = DataSource::Memory;
+    }
+    Tick ack_done = invalidateSharers(tx, e.sharers & ~bit(req.node),
+                                      data_ready);
+    e.setOwnerState(DirEntry::St::Excl, req.node, 0);
+    tx.replyArrival = tx.deliver(tx.home(), ack_done);
+}
+
+void
+CoherenceProtocol::noteSharedEviction(DirEntry &e, NodeId node) const
+{
+    if (e.state == DirEntry::St::Shared) {
+        const std::uint64_t rest = e.sharers & ~bit(node);
+        e.setOwnerState(rest ? DirEntry::St::Shared : DirEntry::St::Idle,
+                        invalidNode, rest);
+    }
+}
+
+void
+CoherenceProtocol::noteWriteback(DirEntry &e, NodeId node) const
+{
+    if (e.state == DirEntry::St::Excl && e.owner == node)
+        e.setOwnerState(DirEntry::St::Idle, invalidNode, 0);
+}
+
+void
+CoherenceProtocol::noteOwnerWriteback(DirEntry &e, NodeId node) const
+{
+    (void)e;
+    (void)node;
+    SLIPSIM_ASSERT(false, "OwnerWriteback note outside the MOESI backend");
+}
+
+void
+CoherenceProtocol::noteDowngrade(DirEntry &e, NodeId node) const
+{
+    if (e.state == DirEntry::St::Excl && e.owner == node)
+        e.setOwnerState(DirEntry::St::Shared, invalidNode, bit(node));
+}
+
+namespace detail
+{
+const CoherenceProtocol &msiBackend();
+const CoherenceProtocol &moesiBackend();
+} // namespace detail
+
+const CoherenceProtocol &
+protocolBackend(ProtocolKind k)
+{
+    if (k == ProtocolKind::MOESI)
+        return detail::moesiBackend();
+    return detail::msiBackend();
+}
+
+} // namespace slipsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Coherence-protocol interface: the protocol-specific state machine
+ * (line states, directory transaction handling, reply/forward
+ * generation) factored out of DirectoryController behind a backend
+ * chosen per-cell with the `protocol=` config key.
+ *
+ * The split of responsibilities (DESIGN.md §12):
+ *  - DirectoryController keeps the generic transaction engine: the
+ *    per-line busy window, DC occupancy reservation, request counters,
+ *    observer/tracer hooks, and the final reply callback.
+ *  - The CoherenceProtocol backend decides what a GETS/GETX does to
+ *    the entry (DirEntry::setOwnerState transitions), which remote L2s
+ *    are probed/downgraded/invalidated, and how the reply's arrival
+ *    tick flows through the machine's Resources.
+ *
+ * Backends are stateless singletons (all per-line state lives in the
+ * DirEntry and the L2 arrays), so one instance serves every
+ * DirectoryController of a simulation and protocolBackend() can hand
+ * out process-wide statics.
+ */
+
+#ifndef SLIPSIM_MEM_PROTOCOL_HH
+#define SLIPSIM_MEM_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/directory.hh"
+#include "mem/mem_req.hh"
+#include "mem/params.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+class MemorySystem;
+
+/** Canonical config-key spelling ("msi" / "moesi"). */
+const char *protocolName(ProtocolKind k);
+
+/** Parse a `protocol=` value; fatal()s on anything unknown. */
+ProtocolKind protocolFromName(const std::string &name);
+
+/**
+ * One directory transaction in flight: the request, the tick at which
+ * the home DC finished its occupancy, and the reply fields the backend
+ * fills in.  Lives on DirectoryController::handleAt's stack.
+ */
+struct DirTxn
+{
+    DirectoryController &dc;     //!< home controller (counters, faults)
+    MemorySystem &ms;            //!< machine fabric (latency pricing)
+    const MachineParams &params;
+    const MemReq &req;
+    const Tick t;                //!< tick after home-DC occupancy
+
+    ReplyInfo info;
+    Tick replyArrival = 0;
+    bool extendBusy = true;      //!< extend the line's busy window
+
+    /** Deliver reply data into the requester's L2, starting from node
+     *  @p from with the data ready at @p ready. */
+    Tick deliver(NodeId from, Tick ready) const;
+
+    NodeId home() const;
+};
+
+/**
+ * A coherence-protocol backend.  Implementations must keep every
+ * transition inside DirEntry::setOwnerState so the entry is never
+ * observable in a half-updated state.
+ */
+class CoherenceProtocol
+{
+  public:
+    virtual ~CoherenceProtocol() = default;
+
+    virtual ProtocolKind kind() const = 0;
+
+    /** GETS (including transparent loads) on @p e. */
+    virtual void handleRead(DirTxn &tx, DirEntry &e) const = 0;
+
+    /** GETX / upgrade / exclusive prefetch on @p e.  The engine sets
+     *  info.exclusive and the SI-hint piggyback afterwards. */
+    virtual void handleExcl(DirTxn &tx, DirEntry &e) const = 0;
+
+    // --- zero-latency replacement/downgrade notifications ----------------
+    // Future-sharer bookkeeping and observer notification stay in the
+    // controller; these apply only the entry transition.
+
+    virtual void noteSharedEviction(DirEntry &e, NodeId node) const;
+    virtual void noteWriteback(DirEntry &e, NodeId node) const;
+    virtual void noteOwnerWriteback(DirEntry &e, NodeId node) const;
+    virtual void noteDowngrade(DirEntry &e, NodeId node) const;
+
+  protected:
+    static std::uint64_t bit(NodeId n)
+    { return std::uint64_t(1) << n; }
+
+    // Transition fragments shared verbatim by both backends.
+
+    /** Transparent GETS on an Excl entry: stale copy from memory, the
+     *  owner keeps exclusivity but may be advised to self-invalidate. */
+    void transparentExclRead(DirTxn &tx, DirEntry &e) const;
+
+    /** GETS on an Idle/Shared entry: serve from home memory (with the
+     *  optional MESI E grant to a sole reader). */
+    void readFromHome(DirTxn &tx, DirEntry &e) const;
+
+    /** GETX on an Idle/Shared entry: invalidate other sharers, grant
+     *  ownership; data from home memory unless it is an upgrade. */
+    void exclFromHome(DirTxn &tx, DirEntry &e) const;
+
+    /** Price the sharer-invalidation fan-out for @p others: one
+     *  invalidation per set bit (honouring the drop-Nth fault hook),
+     *  acks collected at home.  @return the last-ack tick (at least
+     *  @p floor). */
+    Tick invalidateSharers(DirTxn &tx, std::uint64_t others,
+                           Tick floor) const;
+};
+
+/** The process-wide backend singleton for @p k. */
+const CoherenceProtocol &protocolBackend(ProtocolKind k);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_MEM_PROTOCOL_HH

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * MOESI backend with owner-forwarding: a dirty line is sourced
+ * cache-to-cache by its Owner without a memory writeback.
+ *
+ * Differences from the MSI backend (DESIGN.md §12.3):
+ *  - GETS on an Excl entry downgrades the owner M -> O (not M -> S):
+ *    the entry moves to Owned{owner, sharers={requester}} and memory
+ *    is never touched — neither for the reply data nor for a
+ *    writeback.
+ *  - GETS on an Owned entry is forwarded to the owner, which sources
+ *    the data without any local state change; the requester joins the
+ *    sharer vector.  Transparent loads on an Owned entry are upgraded
+ *    to coherent loads (memory is stale under O, so the MSI-style
+ *    stale-memory transparent reply is unavailable).
+ *  - GETX on an Owned entry from the owner itself is an O -> M
+ *    upgrade: sharers are invalidated, no data moves.  From any other
+ *    node it is an ownership transfer: data comes cache-to-cache from
+ *    the owner, every other copy is invalidated, and the reply waits
+ *    for max(data arrival, invalidation-ack grant).
+ *  - Evicting an O line writes the dirty data back (OwnerWriteback
+ *    note); the entry falls back to Shared over the remaining sharers
+ *    (memory is current again), or Idle if there are none.
+ *
+ * All raced-owner fallbacks (reachable only if an eviction note could
+ * overtake a request; canonical message ordering prevents that) serve
+ * from memory and drop the entry to Shared, so every invariant the
+ * checker sweeps stays sound.
+ */
+
+#include "mem/memory_system.hh"
+#include "mem/node_memory.hh"
+#include "mem/protocol.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+namespace
+{
+
+class ProtocolMoesi final : public CoherenceProtocol
+{
+  public:
+    ProtocolKind kind() const override { return ProtocolKind::MOESI; }
+
+    void
+    handleRead(DirTxn &tx, DirEntry &e) const override
+    {
+        DirectoryController &dc = tx.dc;
+        const MemReq &req = tx.req;
+
+        switch (e.state) {
+          case DirEntry::St::Excl:
+            SLIPSIM_ASSERT(e.owner != req.node,
+                    "read miss from the exclusive owner");
+            if (req.wantTransparent) {
+                // Memory is still current under M (nothing was
+                // written back yet, but nothing was forwarded
+                // either), so the MSI-style stale transparent reply
+                // works unchanged.
+                transparentExclRead(tx, e);
+            } else {
+                forwardReadFromOwner(tx, e, /*from_excl=*/true);
+            }
+            return;
+          case DirEntry::St::Owned:
+            SLIPSIM_ASSERT(e.owner != req.node,
+                    "read miss from the owning node");
+            if (req.wantTransparent) {
+                // Memory is stale under O: upgrade the transparent
+                // load to a coherent one (the MSI Idle/Shared path
+                // does the same for its own reasons).
+                ++dc.upgradedReplies;
+                e.future |= bit(req.node);
+            }
+            forwardReadFromOwner(tx, e, /*from_excl=*/false);
+            return;
+          case DirEntry::St::Idle:
+          case DirEntry::St::Shared:
+            readFromHome(tx, e);
+            return;
+        }
+    }
+
+    void
+    handleExcl(DirTxn &tx, DirEntry &e) const override
+    {
+        DirectoryController &dc = tx.dc;
+        const MemReq &req = tx.req;
+
+        if (e.state == DirEntry::St::Excl) {
+            SLIPSIM_ASSERT(e.owner != req.node,
+                    "exclusive miss from the exclusive owner");
+            transferFromOwner(tx, e, 0);
+            return;
+        }
+
+        if (e.state != DirEntry::St::Owned) {
+            exclFromHome(tx, e);
+            return;
+        }
+
+        if (e.owner == req.node) {
+            // O -> M upgrade: the owner already has the only dirty
+            // copy; invalidate the sharers and grant, no data moves.
+            ++dc.ownerUpgrades;
+            Tick ack_done = invalidateSharers(
+                    tx, e.sharers & ~bit(req.node), tx.t);
+            e.setOwnerState(DirEntry::St::Excl, req.node, 0);
+            tx.info.dataSrc = DataSource::None;
+            tx.replyArrival = tx.deliver(tx.home(), ack_done);
+            return;
+        }
+
+        // Ownership transfer from an Owned entry: sharers other than
+        // the requester (whose own copy upgrades in place with the
+        // fill) are invalidated from home while the owner sources the
+        // data; the requester holds M only once both the data and the
+        // all-acks grant have arrived.
+        transferFromOwner(tx, e, e.sharers & ~bit(req.node));
+    }
+
+    void
+    noteSharedEviction(DirEntry &e, NodeId node) const override
+    {
+        if (e.state == DirEntry::St::Owned) {
+            // A clean sharer under an Owned entry left silently; the
+            // owner keeps sourcing the line.
+            e.sharers &= ~bit(node);
+            return;
+        }
+        CoherenceProtocol::noteSharedEviction(e, node);
+    }
+
+    void
+    noteOwnerWriteback(DirEntry &e, NodeId node) const override
+    {
+        if (e.state != DirEntry::St::Owned || e.owner != node)
+            return;
+        // The dirty data went back to memory; surviving sharers keep
+        // clean copies of a now-current memory line.
+        e.setOwnerState(e.sharers ? DirEntry::St::Shared
+                                  : DirEntry::St::Idle,
+                        invalidNode, e.sharers);
+    }
+
+  private:
+    /**
+     * GETS forwarded to the owner of an Excl (@p from_excl) or Owned
+     * entry.  The owner sources the dirty line cache-to-cache — no
+     * memory access, no writeback — and keeps it: M owners downgrade
+     * to O, O owners are left untouched.
+     */
+    void
+    forwardReadFromOwner(DirTxn &tx, DirEntry &e, bool from_excl) const
+    {
+        DirectoryController &dc = tx.dc;
+        MemorySystem &ms = tx.ms;
+        const MemReq &req = tx.req;
+
+        ++dc.fwdGetS;
+        NodeId owner = e.owner;
+        Tick fwd = ms.oneWay(tx.home(), owner, tx.t);
+        Tick at_owner = ms.dir(owner).server().reserve(
+                fwd, tx.params.niRemoteDCTime);
+        bool had = from_excl
+                ? ms.node(owner).downgradeToOwned(req.lineAddr)
+                : ms.node(owner).presentFor(req.lineAddr,
+                                            StreamKind::RStream);
+        Tick served;
+        if (had) {
+            ++dc.ownerForwards;
+            served = ms.busCross(owner, at_owner, false);
+            served = ms.busCross(owner, served + tx.params.l2HitTime,
+                                 true);
+            tx.info.dataSrc = DataSource::Owner;
+        } else {
+            // Owner raced an eviction; its writeback made memory
+            // current again.
+            ++dc.memoryFetches;
+            served = at_owner + tx.params.memTime;
+            tx.info.dataSrc = DataSource::MemoryRaced;
+        }
+        if (owner == req.node) {
+            // Cannot happen (asserted by the callers), but keep the
+            // delivery semantics total.
+            tx.replyArrival = served + tx.params.busTime;
+        } else {
+            Tick a = ms.oneWay(owner, req.node, served);
+            a = ms.dir(req.node).server().reserve(
+                    a, tx.params.niRemoteDCTime);
+            tx.replyArrival = a + tx.params.busTime;
+        }
+        std::uint64_t sharers =
+                (from_excl ? 0 : e.sharers) | bit(req.node);
+        if (had)
+            e.setOwnerState(DirEntry::St::Owned, owner, sharers);
+        else
+            e.setOwnerState(DirEntry::St::Shared, invalidNode, sharers);
+        if (req.stream == StreamKind::RStream && !req.wantTransparent)
+            e.future &= ~bit(req.node);
+    }
+
+    /**
+     * GETX ownership transfer from the current owner (Excl or Owned
+     * entry) to the requester, invalidating the clean sharers in
+     * @p others in parallel.  Timing matches the MSI 3-hop transfer
+     * when @p others is empty.
+     */
+    void
+    transferFromOwner(DirTxn &tx, DirEntry &e,
+                      std::uint64_t others) const
+    {
+        DirectoryController &dc = tx.dc;
+        MemorySystem &ms = tx.ms;
+        const MemReq &req = tx.req;
+
+        ++dc.fwdGetX;
+        NodeId owner = e.owner;
+        Tick ack_done = invalidateSharers(tx, others, tx.t);
+        Tick fwd = ms.oneWay(tx.home(), owner, tx.t);
+        Tick at_owner = ms.dir(owner).server().reserve(
+                fwd, tx.params.niRemoteDCTime);
+        bool had = ms.node(owner).invalidateLine(req.lineAddr);
+        Tick served;
+        NodeId data_from;
+        if (had) {
+            if (e.state == DirEntry::St::Owned)
+                ++dc.ownerForwards;
+            served = ms.busCross(owner, at_owner, false);
+            served = ms.busCross(owner, served + tx.params.l2HitTime,
+                                 true);
+            data_from = owner;
+            tx.info.dataSrc = DataSource::Owner;
+        } else {
+            // Owner raced a writeback; serve from memory.
+            ++dc.memoryFetches;
+            served = ms.memAccess(tx.home(), tx.t);
+            data_from = tx.home();
+            tx.info.dataSrc = DataSource::MemoryRaced;
+        }
+        Tick arrival = tx.deliver(data_from, served);
+        if (others != 0) {
+            Tick grant = tx.deliver(tx.home(), ack_done);
+            if (grant > arrival)
+                arrival = grant;
+        }
+        tx.replyArrival = arrival;
+        e.setOwnerState(DirEntry::St::Excl, req.node, 0);
+    }
+};
+
+} // namespace
+
+namespace detail
+{
+
+const CoherenceProtocol &
+moesiBackend()
+{
+    static const ProtocolMoesi backend;
+    return backend;
+}
+
+} // namespace detail
+} // namespace slipsim

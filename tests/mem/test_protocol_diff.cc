@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Differential cross-protocol fuzzing: every seed runs under both
+ * coherence backends (msi, moesi) and both engines (sequential-ish
+ * sim-jobs=1 and sim-jobs=4), in single-writer mode, and the runs
+ * must agree on
+ *
+ *   - the per-line committed store-value streams (commit order), and
+ *   - the final functional-memory image of the whole pool,
+ *
+ * despite completely different timing.  Each run also carries the
+ * full per-protocol ProtocolChecker invariant set (I1-I5 everywhere,
+ * I6-I8 under moesi), so a run must individually be violation-free
+ * before it is compared.
+ *
+ * The smoke subset here is tier-1; the 50-seed sweep runs as
+ * `ctest -L fuzz-long` (gated on SLIPSIM_FUZZ_LONG=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/traffic_gen.hh"
+#include "mem/protocol.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+struct DiffRun
+{
+    ProtocolKind protocol;
+    int simJobs;
+};
+
+const DiffRun diffMatrix[] = {
+    {ProtocolKind::MSI, 1},
+    {ProtocolKind::MSI, 4},
+    {ProtocolKind::MOESI, 1},
+    {ProtocolKind::MOESI, 4},
+};
+
+FuzzConfig
+diffConfig(const DiffRun &run, int ops)
+{
+    FuzzConfig cfg;
+    cfg.nodes = 4;
+    cfg.lines = 32;
+    cfg.ops = ops;
+    cfg.protocol = run.protocol;
+    cfg.simJobs = run.simJobs;
+    cfg.singleWriter = true;  // makes value streams protocol-invariant
+    return cfg;
+}
+
+std::string
+runTag(const DiffRun &run)
+{
+    return std::string(protocolName(run.protocol)) + "/sim-jobs=" +
+           std::to_string(run.simJobs);
+}
+
+/** Run one seed across the whole matrix and cross-compare. */
+void
+checkSeed(std::uint64_t seed, int ops)
+{
+    const std::vector<FuzzOp> op_list =
+        generateFuzzOps(diffConfig(diffMatrix[0], ops), seed);
+
+    FuzzReport ref;
+    bool have_ref = false;
+    for (const DiffRun &run : diffMatrix) {
+        SCOPED_TRACE("seed " + std::to_string(seed) + " " + runTag(run));
+        FuzzReport rep = runFuzzOps(diffConfig(run, ops), op_list);
+        ASSERT_FALSE(rep.failed) << rep.firstViolation;
+        ASSERT_GT(rep.transactions, 0u);
+
+        if (!have_ref) {
+            ref = rep;
+            have_ref = true;
+            continue;
+        }
+        // Identical op list + single writer per line: issue/commit
+        // counts, value streams, and the final memory image must all
+        // match the msi/sim-jobs=1 reference bit-for-bit.
+        EXPECT_EQ(rep.issued, ref.issued);
+        EXPECT_EQ(rep.completed, ref.completed);
+        ASSERT_EQ(rep.valueStreams.size(), ref.valueStreams.size());
+        for (std::size_t li = 0; li < ref.valueStreams.size(); ++li) {
+            EXPECT_EQ(rep.valueStreams[li], ref.valueStreams[li])
+                << "value stream diverged on pool line " << li;
+        }
+        EXPECT_EQ(rep.finalValues, ref.finalValues);
+    }
+}
+
+bool
+fuzzLongEnabled()
+{
+    const char *v = std::getenv("SLIPSIM_FUZZ_LONG");
+    return v && v[0] == '1';
+}
+
+} // namespace
+
+TEST(ProtocolDiff, SmokeSeedsAgreeAcrossProtocolsAndEngines)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed)
+        checkSeed(seed, /*ops=*/800);
+}
+
+TEST(ProtocolDiff, MoesiAloneIsCleanWithoutSingleWriter)
+{
+    // The invariant set (I1-I8) must hold on unrestricted traffic too;
+    // only the cross-protocol value comparison needs single-writer.
+    FuzzConfig cfg;
+    cfg.nodes = 4;
+    cfg.lines = 32;
+    cfg.ops = 1200;
+    cfg.protocol = ProtocolKind::MOESI;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        for (int sim_jobs : {0, 4}) {
+            cfg.simJobs = sim_jobs;
+            FuzzReport rep = runFuzzSeed(cfg, seed);
+            EXPECT_FALSE(rep.failed)
+                << "seed " << seed << " sim-jobs " << sim_jobs << ": "
+                << rep.firstViolation;
+            EXPECT_GT(rep.transactions, 0u);
+        }
+    }
+}
+
+TEST(ProtocolDiffLong, FiftySeedsAgreeAcrossProtocolsAndEngines)
+{
+    if (!fuzzLongEnabled())
+        GTEST_SKIP() << "set SLIPSIM_FUZZ_LONG=1 to run the full sweep";
+    for (std::uint64_t seed = 1; seed <= 50; ++seed)
+        checkSeed(seed, /*ops=*/1500);
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Schema tests for tools/stats_check on synthesized slipsim-stats-v1
+# documents, covering the optional per-point "protocol" field: absent
+# (= msi), present-and-valid, unknown names, non-string values, and
+# mixed-protocol documents (rejected: cross-protocol aggregates are
+# meaningless).
+set -euo pipefail
+
+STATS_CHECK=${1:?usage: test_stats_check.sh <path-to-stats_check>}
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+fails=0
+
+expect_ok() {
+    local name=$1 file=$2
+    if "$STATS_CHECK" "$file" >/dev/null 2>&1; then
+        echo "ok: $name"
+    else
+        echo "FAIL: $name (expected accept)"
+        fails=$((fails + 1))
+    fi
+}
+
+expect_reject() {
+    local name=$1 file=$2 pattern=$3
+    local out
+    if out=$("$STATS_CHECK" "$file" 2>&1); then
+        echo "FAIL: $name (expected reject)"
+        fails=$((fails + 1))
+    elif ! grep -q "$pattern" <<<"$out"; then
+        echo "FAIL: $name (wrong diagnostic: $out)"
+        fails=$((fails + 1))
+    else
+        echo "ok: $name"
+    fi
+}
+
+point() {
+    local extra=$1
+    cat <<EOF
+    {"workload": "synthetic", "mode": "single", "policy": "one-token-local"${extra},
+     "cmps": 4, "cycles": 1000, "verified": true,
+     "stats": {"node0.dir.requests": 5}}
+EOF
+}
+
+doc() {
+    local p1=$1 p2=$2
+    cat <<EOF
+{"schema": "slipsim-stats-v1",
+ "points": [
+$(point "$p1"),
+$(point "$p2")
+ ],
+ "aggregate": {"node0.dir.requests": 10}}
+EOF
+}
+
+doc ''                        ''                        > "$tmpdir/plain.json"
+doc ', "protocol": "moesi"'   ', "protocol": "moesi"'   > "$tmpdir/moesi.json"
+doc ', "protocol": "msi"'     ''                        > "$tmpdir/msi_mixed_spelling.json"
+doc ', "protocol": "mosi"'    ', "protocol": "mosi"'    > "$tmpdir/unknown.json"
+doc ', "protocol": 7'         ', "protocol": 7'         > "$tmpdir/nonstring.json"
+doc ', "protocol": "msi"'     ', "protocol": "moesi"'   > "$tmpdir/mixed.json"
+
+expect_ok     "no protocol field (defaults to msi)"  "$tmpdir/plain.json"
+expect_ok     "uniform moesi document"               "$tmpdir/moesi.json"
+expect_ok     "explicit msi mixes with absent"       "$tmpdir/msi_mixed_spelling.json"
+expect_reject "unknown protocol name"   "$tmpdir/unknown.json"   'unknown protocol'
+expect_reject "non-string protocol"     "$tmpdir/nonstring.json" 'not a string'
+expect_reject "mixed-protocol document" "$tmpdir/mixed.json"     'mixed with'
+
+if [ "$fails" -ne 0 ]; then
+    echo "test_stats_check: $fails failure(s)"
+    exit 1
+fi
+echo "test_stats_check: all checks passed"

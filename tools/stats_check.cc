@@ -54,6 +54,7 @@ checkDocument(const std::string &text)
 
     std::vector<StatsSnapshot> snaps;
     snaps.reserve(points.arr.size());
+    std::string doc_protocol;
     for (std::size_t i = 0; i < points.arr.size(); ++i) {
         const JsonValue &p = points.arr[i];
         if (!p.isObject())
@@ -61,6 +62,25 @@ checkDocument(const std::string &text)
         requireString(p, "workload");
         requireString(p, "mode");
         requireString(p, "policy");
+        // "protocol" is optional (absent means msi — the canonical
+        // form folds the default), but when present must name a real
+        // backend, and a document must not mix backends: cross-protocol
+        // aggregates are meaningless.
+        std::string proto = "msi";
+        if (const JsonValue *pp = p.find("protocol")) {
+            if (!pp->isString())
+                fatal("point %zu: protocol is not a string", i);
+            proto = pp->str;
+            if (proto != "msi" && proto != "moesi")
+                fatal("point %zu: unknown protocol \"%s\"", i,
+                      proto.c_str());
+        }
+        if (doc_protocol.empty())
+            doc_protocol = proto;
+        else if (proto != doc_protocol)
+            fatal("point %zu: protocol \"%s\" mixed with \"%s\" in "
+                  "one document",
+                  i, proto.c_str(), doc_protocol.c_str());
         if (!p.at("cmps").isNumber() || !p.at("cycles").isNumber())
             fatal("point %zu: cmps/cycles not numeric", i);
         if (!p.at("verified").isBool())
