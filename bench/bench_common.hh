@@ -14,6 +14,13 @@
  *                    produces byte-identical output for a given N>=1)
  *   trace-json=P     write a Chrome trace (Perfetto-loadable) of one
  *                    point to P; trace-point=I selects which (default 0)
+ *   checkpoint-at=T  snapshot one point's state at tick T (run control,
+ *                    not canonical config: goldens are unaffected);
+ *                    checkpoint-out=P names the file, ckpt-point=I
+ *                    selects the point (default 0)
+ *   restore-from=P   resume the selected point from a checkpoint file
+ *                    instead of simulating its prefix (replay-verified,
+ *                    byte-identical results; see DESIGN.md §13)
  *   print-cells=true print every queued point as a canonical config
  *                    line (core/cell.hh) instead of simulating — the
  *                    lines feed tools/slipsim_client submit
@@ -67,8 +74,19 @@ class Sweep
           traceJsonPath(opts.getString("trace-json")),
           tracePoint(static_cast<std::size_t>(
                   opts.getInt("trace-point", 0))),
+          ckptAt(static_cast<Tick>(opts.getInt("checkpoint-at", 0))),
+          ckptOut(opts.getString("checkpoint-out")),
+          restoreFrom(opts.getString("restore-from")),
+          ckptPoint(static_cast<std::size_t>(
+                  opts.getInt("ckpt-point", 0))),
           printCells(opts.getBool("print-cells", false))
     {
+        if (ckptAt > 0 && !restoreFrom.empty()) {
+            fatal("checkpoint-at and restore-from are mutually "
+                  "exclusive");
+        }
+        if (!ckptOut.empty() && ckptAt == 0)
+            fatal("checkpoint-out needs checkpoint-at=<tick>");
     }
 
     /** Enqueue one bench-calibrated run; @return its result index. */
@@ -84,7 +102,11 @@ class Sweep
     addMachine(const std::string &wl, const Options &user,
                const MachineParams &mp, const RunConfig &rc)
     {
-        SweepPoint pt{wl, figOptions(wl, user), mp, rc, maxTick};
+        SweepPoint pt;
+        pt.workload = wl;
+        pt.opts = figOptions(wl, user);
+        pt.machine = mp;
+        pt.cfg = rc;
         pt.cfg.simJobs = simJobs;
         points.push_back(std::move(pt));
         return points.size() - 1;
@@ -109,6 +131,16 @@ class Sweep
                       tracePoint, points.size());
             }
             points[tracePoint].cfg.tracePath = traceJsonPath;
+        }
+        if (ckptAt > 0 || !restoreFrom.empty()) {
+            if (ckptPoint >= points.size()) {
+                fatal("ckpt-point=%zu but the sweep has %zu points",
+                      ckptPoint, points.size());
+            }
+            SweepPoint &p = points[ckptPoint];
+            p.ckptAt = ckptAt;
+            p.ckptOut = ckptOut;
+            p.restoreFrom = restoreFrom;
         }
         res = runSweep(points, SweepConfig{jobs});
         for (std::size_t i = 0; i < res.size(); ++i) {
@@ -139,6 +171,10 @@ class Sweep
     std::string statsJsonPath;
     std::string traceJsonPath;
     std::size_t tracePoint;
+    Tick ckptAt;
+    std::string ckptOut;
+    std::string restoreFrom;
+    std::size_t ckptPoint;
     bool printCells;
     std::vector<SweepPoint> points;
     std::vector<ExperimentResult> res;

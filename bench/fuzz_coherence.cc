@@ -23,7 +23,9 @@
  *   l2kb=N    per-node L2 size in KB              (default 8)
  *   protocol=msi|moesi  coherence backend          (default msi)
  *   inject=N  drop the Nth invalidation per home  (default 0 = off)
- *   out=FILE  failure-trace path                  (default fuzz_failure.json)
+ *   fuzz-out=DIR  failure-trace directory (default: build/ when that
+ *             directory exists under the cwd, else the cwd)
+ *   out=FILE  explicit failure-trace path (overrides fuzz-out)
  *   replay=FILE  replay a trace instead of fuzzing
  *   --no-transparent / --no-si   disable those features
  *   --single-writer   pin each line's stores to one node
@@ -37,6 +39,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include <sys/stat.h>
 
 #include "check/traffic_gen.hh"
 #include "core/sweep.hh"
@@ -159,8 +163,19 @@ main(int argc, char **argv)
         static_cast<unsigned>(opts.getInt("jobs", 0));
     const std::size_t shrinkRuns =
         static_cast<std::size_t>(opts.getInt("shrink-runs", 400));
-    const std::string outPath =
-        opts.getString("out", "fuzz_failure.json");
+    // Failure traces default under build/ so a fuzz run from the repo
+    // root never strews artifacts next to tracked files; fuzz-out=
+    // redirects the directory, an explicit out=FILE wins outright.
+    std::string outPath = opts.getString("out", "");
+    if (outPath.empty()) {
+        std::string dir = opts.getString("fuzz-out", "");
+        if (dir.empty()) {
+            struct stat st;
+            dir = (::stat("build", &st) == 0 && S_ISDIR(st.st_mode))
+                      ? "build" : ".";
+        }
+        outPath = dir + "/fuzz_failure.json";
+    }
 
     std::printf("fuzz_coherence: %d seeds from %llu, %d nodes, "
                 "%d lines, %d ops/seed, %u jobs%s%s\n",

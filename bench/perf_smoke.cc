@@ -36,6 +36,16 @@
  * partitioned engine — its own deterministic timing model — so the
  * sequential headline record is not its baseline.
  *
+ * A final record tracks checkpoint/warm-start latency for the same
+ * fig05-class point, parked at 90% of its cold run:
+ *
+ *   {"ckpt_save_ms": ..., "ckpt_restore_ms": ...,
+ *    "warm_start_speedup": ..., "cold_ms": ..., "warm_ms": ...,
+ *    "ckpt_tick": ..., "quick": ..., ...}
+ *
+ * It carries no events_per_sec, so perf_compare.sh treats it as
+ * informational and never gates on it.
+ *
  * Defaults to jobs=1 so the headline number is single-thread
  * throughput of the simulator core; pass jobs=N to smoke the sweep
  * engine instead.  --quick shrinks the grid for CI (the result is
@@ -49,6 +59,8 @@
 #include <fstream>
 
 #include "bench_common.hh"
+#include "ckpt/cell_run.hh"
+#include "ckpt/ckpt_session.hh"
 #include "obs/chrome_trace.hh"
 
 #ifndef SLIPSIM_GIT_REV
@@ -87,6 +99,18 @@ utcTimestamp()
     std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ",
                   std::gmtime(&t));
     return buf;
+}
+
+SweepPoint
+makePoint(const std::string &wl, const Options &o,
+          const MachineParams &mp, const RunConfig &rc)
+{
+    SweepPoint pt;
+    pt.workload = wl;
+    pt.opts = o;
+    pt.machine = mp;
+    pt.cfg = rc;
+    return pt;
 }
 
 /** Sum of all per-processor L1 lookups (hits + misses) in a result. */
@@ -133,10 +157,10 @@ main(int argc, char **argv)
         for (int cmps : cmpGrid) {
             MachineParams mp = figMachine(wl, opts, cmps);
             RunConfig single;
-            points.push_back(SweepPoint{wl, o, mp, single, maxTick});
+            points.push_back(makePoint(wl, o, mp, single));
             RunConfig dbl;
             dbl.mode = Mode::Double;
-            points.push_back(SweepPoint{wl, o, mp, dbl, maxTick});
+            points.push_back(makePoint(wl, o, mp, dbl));
         }
     }
     {
@@ -145,7 +169,7 @@ main(int argc, char **argv)
         RunConfig slip;
         slip.mode = Mode::Slipstream;
         slip.arPolicy = ArPolicy::ZeroTokenGlobal;
-        points.push_back(SweepPoint{"mg", o, mp, slip, maxTick});
+        points.push_back(makePoint("mg", o, mp, slip));
     }
 
     auto timedSweep = [&](const std::vector<SweepPoint> &pts,
@@ -229,7 +253,7 @@ main(int argc, char **argv)
         for (int sj : {1, 2, 4, 8}) {
             slip.simJobs = sj;
             std::vector<SweepPoint> pt{
-                SweepPoint{"mg", o, mp, slip, maxTick}};
+                makePoint("mg", o, mp, slip)};
             double ev = 0, ac = 0, tk = 0;
             if (sj == 1)
                 timedSweep(pt, ev, ac, tk); // engine warm-up
@@ -251,6 +275,95 @@ main(int argc, char **argv)
                           sj, s > 0 ? ev / s : 0, s > 0 ? ac / s : 0,
                           ms > 0 ? base_ms / ms : 0, ms,
                           resolveJobs(jobs), quick ? "true" : "false",
+                          SLIPSIM_BUILD_TYPE, SLIPSIM_GIT_REV,
+                          hostName().c_str(), utcTimestamp().c_str());
+            std::printf("%s\n", rec);
+            records.emplace_back(rec);
+        }
+    }
+
+    // Checkpoint / warm-start metrics: the fig05-class point, parked
+    // at 90% of its cold run.  ckpt_save_ms is the on-disk snapshot
+    // write, ckpt_restore_ms the full replay-verified restore (by
+    // design it re-simulates the prefix — see DESIGN.md §13 — so it
+    // tracks the cold time), and warm_start_speedup is the
+    // regeneration headline: cold wall time over one fork-from-parked-
+    // prefix run of the identical cell.  Always measured at the
+    // full-size point, --quick or not: on a millisecond-long cell the
+    // constant fork/pipe cost swamps the prefix saving and the number
+    // stops describing real figure regeneration.  The record carries
+    // no events_per_sec/sweep_jobs, so perf_compare.sh never gates on
+    // it.
+    {
+        Options full = opts;
+        full.set("quick", "false");
+        Options o = figOptions("mg", full);
+        MachineParams mp = figMachine("mg", full, 16);
+        RunConfig slip;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = ArPolicy::ZeroTokenGlobal;
+        SweepPoint pt;
+        pt.workload = "mg";
+        pt.opts = o;
+        pt.machine = mp;
+        pt.cfg = slip;
+
+        using clk = std::chrono::steady_clock;
+        auto ms_since = [](clk::time_point t0) {
+            return std::chrono::duration<double, std::milli>(
+                       clk::now() - t0)
+                .count();
+        };
+
+        auto t0 = clk::now();
+        ExperimentResult cold = runExperiment(
+            pt.workload, pt.opts, pt.machine, pt.cfg, pt.tickLimit);
+        double cold_ms = ms_since(t0);
+
+        SweepPoint cp = pt;
+        cp.ckptAt = cold.cycles * 9 / 10;
+        std::string err;
+        std::unique_ptr<CkptSession> sess = CkptSession::spawn(cp, &err);
+        if (!sess) {
+            warn("perf_smoke: warm-start spawn failed (%s); skipping "
+                 "checkpoint record", err.c_str());
+        } else {
+            const char *tmp = std::getenv("TMPDIR");
+            std::string path =
+                std::string(tmp && *tmp ? tmp : "/tmp") +
+                "/slipsim_perf_smoke.ckpt";
+
+            t0 = clk::now();
+            sess->saveFile(path);
+            double save_ms = ms_since(t0);
+
+            SweepPoint rp = pt;
+            rp.restoreFrom = path;
+            t0 = clk::now();
+            runCellCkpt(rp);
+            double restore_ms = ms_since(t0);
+
+            t0 = clk::now();
+            sess->forkRun(maxTick, pt.cfg.verify);
+            double warm_ms = ms_since(t0);
+            std::remove(path.c_str());
+
+            char rec[512];
+            std::snprintf(rec, sizeof(rec),
+                          "{\"ckpt_save_ms\": %.1f, "
+                          "\"ckpt_restore_ms\": %.1f, "
+                          "\"warm_start_speedup\": %.2f, "
+                          "\"cold_ms\": %.1f, \"warm_ms\": %.1f, "
+                          "\"ckpt_tick\": %llu, "
+                          "\"quick\": %s, "
+                          "\"build_type\": \"%s\", "
+                          "\"git_rev\": \"%s\", "
+                          "\"host\": \"%s\", \"timestamp\": \"%s\"}",
+                          save_ms, restore_ms,
+                          warm_ms > 0 ? cold_ms / warm_ms : 0,
+                          cold_ms, warm_ms,
+                          static_cast<unsigned long long>(cp.ckptAt),
+                          quick ? "true" : "false",
                           SLIPSIM_BUILD_TYPE, SLIPSIM_GIT_REV,
                           hostName().c_str(), utcTimestamp().c_str());
             std::printf("%s\n", rec);

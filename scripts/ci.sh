@@ -8,6 +8,7 @@
 #   scripts/ci.sh sanitize     # address+undefined only
 #   scripts/ci.sh tsan         # ThreadSanitizer only
 #   scripts/ci.sh serve        # simulation-service e2e smoke only
+#   scripts/ci.sh ckpt         # checkpoint round-trip smoke (asan)
 #
 # Each of the first two configs runs the full default ctest suite
 # (which includes the fixed-seed fuzz smoke); the tsan config runs the
@@ -87,6 +88,22 @@ if [[ "$WHAT" == "all" || "$WHAT" == "sanitize" ]]; then
     build_and_test build-san \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DSLIPSIM_SANITIZE=address,undefined
+fi
+
+if [[ "$WHAT" == "ckpt" ]]; then
+    # Checkpoint round-trip smoke under address+undefined sanitizers:
+    # the snapshot codec, replay-verified restore, fork-based warm
+    # starts, and the serve checkpoint store (ctest -L ckpt).  The
+    # "all" run already covers this label inside the full build-san
+    # suite; this mode rebuilds only what the label needs.
+    echo "=== configure build-san (ckpt label) ==="
+    cmake -B build-san -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSLIPSIM_SANITIZE=address,undefined
+    echo "=== build build-san ==="
+    cmake --build build-san -j "$JOBS"
+    echo "=== test build-san (ctest -L ckpt) ==="
+    ctest --test-dir build-san -L ckpt --output-on-failure
 fi
 
 if [[ "$WHAT" == "all" || "$WHAT" == "tsan" ]]; then

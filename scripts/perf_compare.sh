@@ -13,7 +13,9 @@
 # that legitimately trades hot-path speed for a feature must not poison
 # the next commit's baseline, and a rebase must not be failed by a
 # faster ancestor.  Cross-revision deltas are still printed, but as
-# informational lines only.
+# informational lines only.  --check names the matched baseline record
+# (host, git_rev, timestamp) on both pass and fail, so cross-host
+# noise is diagnosable at a glance.
 #
 # Default mode prints the delta tables and the sim-jobs scaling
 # summary.  With --check, exits nonzero if
@@ -133,8 +135,15 @@ for s in sorted(groups):
         continue
     old, new = hist[-2], hist[-1]
     compared += 1
+    # Name the record being gated against: cross-host noise (a slower
+    # VM, a different core count) is then diagnosable at a glance
+    # instead of reading as a regression.
+    print(f"perf_compare: baseline [{label}] host={old.get('host', '?')} "
+          f"git_rev={old.get('git_rev', '?')} "
+          f"timestamp={old.get('timestamp', '?')} "
+          f"events_per_sec={old.get('events_per_sec', 0):.0f}")
     for drop in delta_table(label, old, new):
-        failed.append((label, drop))
+        failed.append((label, drop, old))
 
 # Scaling summary: the newest record per sim-jobs value.
 scaling = [g[-1] for s, g in sorted(groups.items()) if s[4] > 0]
@@ -152,9 +161,14 @@ if check and compared == 0:
     # a fresh host) seeds the baseline the next run will gate against.
     print(f"perf_compare: seeded baseline at revision {newest_rev} — "
           "nothing to gate against yet")
+if check and compared and not failed:
+    print(f"perf_compare: PASS — {compared} group(s) gated against "
+          f"host={machine[0]} revision {newest_rev}")
 if check and failed:
-    for label, drop in failed:
+    for label, drop, old in failed:
         print(f"perf_compare: FAIL — [{label}] events_per_sec "
-              f"regressed {drop:.1f}% (> {threshold:.0f}% threshold)")
+              f"regressed {drop:.1f}% (> {threshold:.0f}% threshold) "
+              f"vs baseline host={old.get('host', '?')} "
+              f"git_rev={old.get('git_rev', '?')}")
     sys.exit(1)
 EOF

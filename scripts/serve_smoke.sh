@@ -14,7 +14,11 @@
 #      byte-identical output;
 #   4. two clients submitting concurrently both complete and both
 #      match the golden;
-#   5. `shutdown` drains gracefully and the daemon exits 0.
+#   5. checkpoint store evict-and-resume: warm-hinted cells fork from
+#      a parked prefix session, a second prefix evicts it (capacity
+#      1), and re-requesting the first prefix respawns it — all
+#      counted in serve.ckpt.*;
+#   6. `shutdown` drains gracefully and the daemon exits 0.
 set -u
 
 SERVER=$1
@@ -40,7 +44,8 @@ cleanup() {
 trap cleanup EXIT
 
 # --- 1. daemon up -----------------------------------------------------
-"$SERVER" socket="$SOCK" workers=2 > "$TMP/server.log" 2>&1 &
+"$SERVER" socket="$SOCK" workers=2 ckpt-sessions=1 \
+    > "$TMP/server.log" 2>&1 &
 SERVER_PID=$!
 
 for _ in $(seq 1 100); do
@@ -130,7 +135,60 @@ cmp -s "$TMP/c1.json" "$GOLDEN" \
 "$STATS_CHECK" "$TMP/c2.json" > /dev/null \
     || fail "concurrent client 2 output fails schema check"
 
-# --- 5. graceful shutdown ---------------------------------------------
+# --- 5. checkpoint store: evict and resume ----------------------------
+# Warm-start hints (checkpoint-at as run control) share one parked
+# prefix per canonical config; distinct beyond-completion tick-limits
+# keep every cell a result-cache miss without changing the prefix.
+# With ckpt-sessions=1, prefix B evicts A, and re-requesting A must
+# respawn it transparently.
+CELL_A=$(head -n 1 "$TMP/cells.txt")
+CELL_B=$(sed -n 2p "$TMP/cells.txt")
+{
+    echo "$CELL_A checkpoint-at=200 tick-limit=$((1 << 40))"
+    echo "$CELL_A checkpoint-at=200 tick-limit=$((1 << 41))"
+} > "$TMP/warm_a1.txt"
+{
+    echo "$CELL_B checkpoint-at=200 tick-limit=$((1 << 40))"
+    echo "$CELL_B checkpoint-at=200 tick-limit=$((1 << 41))"
+} > "$TMP/warm_b.txt"
+{
+    echo "$CELL_A checkpoint-at=200 tick-limit=$((1 << 42))"
+    echo "$CELL_A checkpoint-at=200 tick-limit=$((1 << 43))"
+} > "$TMP/warm_a2.txt"
+
+"$CLIENT" socket="$SOCK" submit "$TMP/warm_a1.txt" jobs=1 quiet=true \
+    > /dev/null 2>&1 || fail "warm prefix A submit failed"
+"$CLIENT" socket="$SOCK" submit "$TMP/warm_b.txt" jobs=1 quiet=true \
+    > /dev/null 2>&1 || fail "warm prefix B submit failed"
+"$CLIENT" socket="$SOCK" submit "$TMP/warm_a2.txt" jobs=1 quiet=true \
+    > /dev/null 2>&1 || fail "warm prefix A resume submit failed"
+"$CLIENT" socket="$SOCK" stats > "$TMP/stats4.json" \
+    || fail "stats op failed after warm submits"
+
+CK_SPAWNS=$(count "$TMP/stats4.json" serve.ckpt.spawns)
+CK_EVICT=$(count "$TMP/stats4.json" serve.ckpt.evictions)
+CK_FORKS=$(count "$TMP/stats4.json" serve.ckpt.forks)
+CK_SPAWN_FAIL=$(count "$TMP/stats4.json" serve.ckpt.spawnFailures)
+[ "$CK_SPAWN_FAIL" -eq 0 ] \
+    || fail "warm-start prefix spawns failed $CK_SPAWN_FAIL time(s)"
+[ "$CK_SPAWNS" -eq 3 ] \
+    || fail "expected 3 prefix spawns (A, B, A-respawn), got $CK_SPAWNS"
+[ "$CK_EVICT" -eq 2 ] \
+    || fail "expected 2 evictions at capacity 1, got $CK_EVICT"
+[ "$CK_FORKS" -eq 6 ] \
+    || fail "expected 6 warm forks, got $CK_FORKS"
+
+# A hinted re-submission of an already-cached cell must stay a cache
+# hit: the hint is run control, never part of the canonical key.
+echo "$CELL_A checkpoint-at=200" > "$TMP/warm_hit.txt"
+"$CLIENT" socket="$SOCK" submit "$TMP/warm_hit.txt" jobs=1 quiet=true \
+    > /dev/null 2>&1 || fail "hinted cached-cell submit failed"
+"$CLIENT" socket="$SOCK" stats > "$TMP/stats5.json" \
+    || fail "stats op failed after hinted cached cell"
+[ "$(count "$TMP/stats5.json" serve.ckpt.forks)" -eq 6 ] \
+    || fail "a cached cell went through the checkpoint store"
+
+# --- 6. graceful shutdown ---------------------------------------------
 "$CLIENT" socket="$SOCK" shutdown wait=true > /dev/null \
     || fail "shutdown op failed"
 wait "$SERVER_PID"

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * CellRun implementation plus the checkpoint-at / restore-from run
+ * paths (DESIGN.md §13).
+ */
+
+#include "ckpt/cell_run.hh"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "ckpt/snapshot.hh"
+#include "core/build_info.hh"
+#include "core/cell.hh"
+#include "obs/chrome_trace.hh"
+#include "sim/serialize.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+/**
+ * Observability: a trace path gets a buffering ChromeTracer owned by
+ * the CellRun; otherwise an externally-owned tracer may be attached.
+ * Runs between System construction and ParallelRuntime construction
+ * (member order) so fork-time phases are captured too.
+ */
+std::unique_ptr<ChromeTracer>
+attachTracer(System &sys, const MachineParams &mp, const RunConfig &cfg)
+{
+    std::unique_ptr<ChromeTracer> file_tracer;
+    if (!cfg.tracePath.empty()) {
+        file_tracer = std::make_unique<ChromeTracer>();
+        if (cfg.simJobs > 0)
+            file_tracer->enablePartitioned(mp.numCmps);
+        sys.memory().setTracer(file_tracer.get());
+    } else if (cfg.tracer) {
+        sys.memory().setTracer(cfg.tracer);
+    }
+    return file_tracer;
+}
+
+} // namespace
+
+CellRun::CellRun(Workload &workload, const MachineParams &machine,
+                 const RunConfig &config, Tick tick_limit)
+    : wl(workload), mp(machine), cfg(config), tickLimit(tick_limit),
+      sys(mp, cfg), fileTracer(attachTracer(sys, mp, cfg)),
+      rt(sys.eventq(), sys.machine(), sys.memory(), sys.procPtrs(),
+         sys.allocator(), sys.functional(), wl, cfg)
+{
+    rt.setup();
+}
+
+CellRun::CellRun(const SweepPoint &pt)
+    : ownedWl(makeWorkload(pt.workload, pt.opts)), wl(*ownedWl),
+      mp(pt.machine), cfg(pt.cfg), tickLimit(pt.tickLimit),
+      sys(mp, cfg), fileTracer(attachTracer(sys, mp, cfg)),
+      rt(sys.eventq(), sys.machine(), sys.memory(), sys.procPtrs(),
+         sys.allocator(), sys.functional(), wl, cfg)
+{
+    rt.setup();
+}
+
+CellRun::~CellRun() = default;
+
+bool
+CellRun::runTo(Tick bound)
+{
+    if (done)
+        return true;
+    done = rt.runTo(bound, tickLimit);
+    return done;
+}
+
+Tick
+CellRun::now()
+{
+    if (done)
+        return rt.endTick();
+    if (!sys.partitioned())
+        return sys.eventq().now();
+    Tick t = 0;
+    for (NodeId n = 0; n < static_cast<NodeId>(mp.numCmps); ++n)
+        t = std::max(t, sys.nodeEventq(n).now());
+    return t;
+}
+
+ExperimentResult
+CellRun::finish()
+{
+    SLIPSIM_ASSERT(done, "CellRun::finish before completion");
+    SLIPSIM_ASSERT(!collected, "CellRun::finish called twice");
+    collected = true;
+    Tick end = rt.endTick();
+
+    ExperimentResult r;
+    r.workload = wl.name();
+    r.mode = cfg.mode;
+    r.policy = cfg.arPolicy;
+    r.features = cfg.features;
+    r.numCmps = mp.numCmps;
+    r.protocol = mp.protocol;
+    r.cycles = end;
+    r.recoveries = rt.totalRecoveries();
+    r.verified = cfg.verify ? wl.verify(sys.functional()) : true;
+
+    // Freeze every registered metric into the hierarchical snapshot.
+    // The Figure 6/7/9 fields below are derived from registry QUERIES,
+    // not from the raw component members, in the same iteration order
+    // the members used to be summed in (float-exactness).
+    MemorySystem &ms = sys.memory();
+    StatsRegistry reg;
+    ms.registerStats(reg);
+    for (Processor *p : sys.procPtrs()) {
+        p->registerStats(reg, "node" + std::to_string(p->nodeId()) +
+                                  ".proc" + std::to_string(p->slotId()));
+    }
+    rt.registerStats(reg);
+    StatsSnapshot snap = reg.snapshot();
+
+    auto proc_prefix = [](const Processor &p) {
+        return "node" + std::to_string(p.nodeId()) + ".proc" +
+               std::to_string(p.slotId());
+    };
+
+    // Per-task time breakdown, averaged over tasks (Figure 6).
+    int ntasks = rt.numTasks();
+    for (TaskId t = 0; t < ntasks; ++t) {
+        std::string base = proc_prefix(rt.taskCtx(t).processor());
+        for (int c = 0; c < numTimeCats; ++c) {
+            r.rCats[c] += static_cast<double>(snap.counter(
+                base + ".cycles." +
+                timeCatName(static_cast<TimeCat>(c))));
+        }
+    }
+    for (double &c : r.rCats)
+        c /= ntasks;
+
+    if (cfg.mode == Mode::Slipstream) {
+        for (TaskId t = 0; t < ntasks; ++t) {
+            std::string base = proc_prefix(rt.aCtx(t).processor());
+            for (int c = 0; c < numTimeCats; ++c) {
+                r.aCats[c] += static_cast<double>(snap.counter(
+                    base + ".cycles." +
+                    timeCatName(static_cast<TimeCat>(c))));
+            }
+        }
+        for (double &c : r.aCats)
+            c /= ntasks;
+    }
+
+    // Memory-system statistics (Figures 7 and 9), per-node queries.
+    static const char *streams[2] = {"A", "R"};
+    static const char *classes[3] = {"Timely", "Late", "Only"};
+    for (NodeId n = 0; n < static_cast<NodeId>(mp.numCmps); ++n) {
+        std::string l2 = "node" + std::to_string(n) + ".l2";
+        std::string dir = "node" + std::to_string(n) + ".dir";
+        for (int s = 0; s < 2; ++s) {
+            for (int c = 0; c < 3; ++c) {
+                r.clsReads[s][c] += snap.counter(
+                    l2 + ".class.read." + streams[s] + classes[c]);
+                r.clsExcls[s][c] += snap.counter(
+                    l2 + ".class.excl." + streams[s] + classes[c]);
+            }
+        }
+        r.aReadMisses += snap.counter(l2 + ".aReadMisses");
+        r.siInvalidated += snap.counter(l2 + ".si.invalidated");
+        r.siDowngraded += snap.counter(l2 + ".si.downgraded");
+        r.transparentReplies +=
+            snap.counter(dir + ".transparentReplies");
+        r.upgradedReplies += snap.counter(dir + ".upgradedReplies");
+    }
+
+    ms.dumpStats(r.stats);
+    for (TaskId t = 0; t < ntasks; ++t)
+        rt.taskCtx(t).processor().dumpStats(r.stats, "rproc");
+    if (cfg.mode == Mode::Slipstream) {
+        for (TaskId t = 0; t < ntasks; ++t)
+            rt.aCtx(t).processor().dumpStats(r.stats, "aproc");
+    }
+    // Under the parallel engine the global queue is idle; the event
+    // count is the sum over the per-node queues (worker-count
+    // independent: the same events dispatch whatever sim-jobs is).
+    std::uint64_t run_events = sys.eventq().processed();
+    if (cfg.simJobs > 0) {
+        run_events = 0;
+        for (NodeId n = 0; n < static_cast<NodeId>(mp.numCmps); ++n)
+            run_events += sys.nodeEventq(n).processed();
+    }
+    r.stats.set("run.cycles", static_cast<double>(end));
+    r.stats.set("run.events", static_cast<double>(run_events));
+    r.stats.set("run.recoveries", static_cast<double>(r.recoveries));
+    if (cfg.mode == Mode::Slipstream) {
+        double switches = 0;
+        for (TaskId t = 0; t < ntasks; ++t)
+            switches += static_cast<double>(
+                rt.pair(t).policySwitches);
+        r.stats.set("run.policySwitches", switches);
+        snap.setCounter("run.policySwitches",
+                        static_cast<std::uint64_t>(switches));
+    }
+    snap.setCounter("run.cycles", end);
+    snap.setCounter("run.events", run_events);
+    snap.setCounter("run.recoveries", r.recoveries);
+    r.snap = std::move(snap);
+
+    if (fileTracer)
+        fileTracer->writeFile(cfg.tracePath);
+
+    return r;
+}
+
+std::vector<std::uint8_t>
+CellRun::statePayload()
+{
+    SLIPSIM_ASSERT(!done,
+            "statePayload is a pause-time capture, not a post-run one");
+    Ser s;
+
+    s.section("meta");
+    s.u32(cfg.simJobs > 0 ? 1u : 0u);
+    s.u64(now());
+
+    s.section("fmem");
+    sys.functional().serializeState(s);
+    s.section("alloc");
+    sys.allocator().serializeState(s);
+
+    sys.memory().serializeState(s);
+
+    s.section("procs");
+    for (Processor *p : sys.procPtrs())
+        p->serializeState(s);
+
+    s.section("events");
+    if (!sys.partitioned()) {
+        sys.eventq().serializePending(s);
+    } else {
+        for (NodeId n = 0; n < static_cast<NodeId>(mp.numCmps); ++n)
+            sys.nodeEventq(n).serializePending(s);
+    }
+
+    rt.serializeState(s);
+
+    // Every registered counter as the canonical stats JSON — the same
+    // rendering finish() snapshots, minus finalizeStats() (which
+    // mutates and runs exactly once, at completion).
+    s.section("stats");
+    StatsRegistry reg;
+    sys.memory().registerStats(reg);
+    for (Processor *p : sys.procPtrs()) {
+        p->registerStats(reg, "node" + std::to_string(p->nodeId()) +
+                                  ".proc" + std::to_string(p->slotId()));
+    }
+    rt.registerStats(reg);
+    std::ostringstream os;
+    reg.snapshot().writeJson(os);
+    s.str(os.str());
+
+    return s.take();
+}
+
+// --- checkpoint-at / restore-from run paths ----------------------------
+
+namespace
+{
+
+CkptEngine
+engineOf(const SweepPoint &pt)
+{
+    return pt.cfg.simJobs > 0 ? CkptEngine::Parallel
+                              : CkptEngine::Sequential;
+}
+
+const char *
+engineName(CkptEngine e)
+{
+    return e == CkptEngine::Parallel ? "parallel" : "sequential";
+}
+
+/** First differing byte offset, for replay-verify diagnostics. */
+std::size_t
+firstMismatch(const std::vector<std::uint8_t> &a,
+              const std::vector<std::uint8_t> &b)
+{
+    std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] != b[i])
+            return i;
+    }
+    return n;
+}
+
+ExperimentResult
+runWithCheckpoint(const SweepPoint &pt)
+{
+    CellRun run(pt);
+    if (run.runTo(pt.ckptAt)) {
+        fatal("checkpoint-at=%llu: program completed (tick %llu) "
+              "before reaching the checkpoint tick",
+              static_cast<unsigned long long>(pt.ckptAt),
+              static_cast<unsigned long long>(run.runtime().endTick()));
+    }
+
+    CkptHeader hdr;
+    hdr.version = ckptVersion;
+    hdr.gitRev = buildGitRev();
+    hdr.config = renderPrefixCell(pt);
+    hdr.engine = engineOf(pt);
+    hdr.tick = pt.ckptAt;
+    writeCkptFile(pt.ckptOut.empty() ? "slipsim.ckpt" : pt.ckptOut, hdr,
+                  run.statePayload());
+
+    run.runTo(maxTick);
+    return run.finish();
+}
+
+ExperimentResult
+runFromCheckpoint(const SweepPoint &pt)
+{
+    CkptFile f = readCkptFile(pt.restoreFrom);
+
+    // Fail closed on any provenance mismatch: a checkpoint is only
+    // valid for the exact build and prefix config that produced it.
+    if (f.header.gitRev != buildGitRev()) {
+        fatal("checkpoint '%s' was taken at git revision %s but this "
+              "binary is %s; refusing to restore",
+              pt.restoreFrom.c_str(), f.header.gitRev.c_str(),
+              buildGitRev());
+    }
+    std::string want = renderPrefixCell(pt);
+    if (f.header.config != want) {
+        fatal("checkpoint '%s' was taken for config\n  %s\nbut this "
+              "run is\n  %s\nrefusing to restore",
+              pt.restoreFrom.c_str(), f.header.config.c_str(),
+              want.c_str());
+    }
+    if (f.header.engine != engineOf(pt)) {
+        fatal("checkpoint '%s' was taken under the %s engine but this "
+              "run uses the %s engine; refusing to restore",
+              pt.restoreFrom.c_str(), engineName(f.header.engine),
+              engineName(engineOf(pt)));
+    }
+
+    // Replay-verify: re-run the prefix and demand byte-identity with
+    // the stored payload.  Any divergence — nondeterminism, a stale
+    // file, a state field the serializer misses — is fatal here,
+    // before a single post-restore event runs, so a restored run can
+    // never silently desynchronize.
+    CellRun run(pt);
+    if (run.runTo(f.header.tick)) {
+        fatal("checkpoint '%s': program completed (tick %llu) before "
+              "the checkpoint tick %llu; file does not match this run",
+              pt.restoreFrom.c_str(),
+              static_cast<unsigned long long>(run.runtime().endTick()),
+              static_cast<unsigned long long>(f.header.tick));
+    }
+    std::vector<std::uint8_t> replayed = run.statePayload();
+    if (replayed != f.payload) {
+        fatal("replay-verify failed restoring '%s': recomputed state "
+              "(%zu bytes) diverges from the checkpoint payload "
+              "(%zu bytes) at byte %zu; refusing to resume a "
+              "desynchronized simulation",
+              pt.restoreFrom.c_str(), replayed.size(),
+              f.payload.size(),
+              firstMismatch(replayed, f.payload));
+    }
+
+    run.runTo(maxTick);
+    return run.finish();
+}
+
+} // namespace
+
+ExperimentResult
+runCellCkpt(const SweepPoint &pt)
+{
+    if (!pt.restoreFrom.empty())
+        return runFromCheckpoint(pt);
+    SLIPSIM_ASSERT(pt.ckptAt > 0,
+            "runCellCkpt on a point with no checkpoint run-control");
+    return runWithCheckpoint(pt);
+}
+
+} // namespace slipsim

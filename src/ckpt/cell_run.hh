@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Resumable cell execution: one simulation held open between bounded
+ * advances, so callers can pause at a tick, capture the simulator's
+ * serialized state, and continue to completion.
+ *
+ * CellRun is the unit both checkpoint flavors build on (DESIGN.md §13):
+ *
+ *  - The on-disk flavor pairs statePayload() with ckpt/snapshot.hh:
+ *    runCellCkpt() snapshots at `checkpoint-at=T`, and a later
+ *    `restore-from=` run *replay-verifies* — it re-runs the prefix
+ *    deterministically, byte-compares the recomputed payload against
+ *    the file, and only then continues.  Restore-then-run is therefore
+ *    bit-identical to straight-through by construction, and every
+ *    restore doubles as a determinism check that fails closed.
+ *
+ *  - The in-memory flavor (ckpt/ckpt_session.hh) parks a CellRun at
+ *    the pause tick inside a forked incubator process and clones it
+ *    with fork(); the OS copy-on-write duplicates what no serializer
+ *    can — live coroutine frames and callback closures.
+ *
+ * runExperiment() itself is now a trivial CellRun wrapper (construct,
+ * runTo(maxTick), finish()), so the ordinary path and the checkpoint
+ * paths execute identical code.
+ */
+
+#ifndef SLIPSIM_CKPT_CELL_RUN_HH
+#define SLIPSIM_CKPT_CELL_RUN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/sweep.hh"
+#include "core/system.hh"
+#include "runtime/parallel_runtime.hh"
+
+namespace slipsim
+{
+
+class ChromeTracer;
+
+/** One cell's simulation, resumable between bounded advances. */
+class CellRun
+{
+  public:
+    /** Run @p wl on an externally-owned workload (the historical
+     *  runExperiment(Workload&, ...) surface). */
+    CellRun(Workload &workload, const MachineParams &machine,
+            const RunConfig &config, Tick tick_limit = maxTick);
+
+    /** Build the workload from @p pt (name + options) and own it. */
+    explicit CellRun(const SweepPoint &pt);
+
+    CellRun(const CellRun &) = delete;
+    CellRun &operator=(const CellRun &) = delete;
+    ~CellRun();
+
+    /**
+     * Advance until the program completes (returns true) or the next
+     * event/epoch would land at or beyond @p bound (returns false).
+     * The pause point for a given bound is a deterministic function of
+     * the configuration — under the parallel engine it is the first
+     * epoch boundary at or past the bound, independent of sim-jobs.
+     */
+    bool runTo(Tick bound);
+
+    /** True once runTo() reported completion. */
+    bool finished() const { return done; }
+
+    /** Current simulated tick (max over node queues when
+     *  partitioned). */
+    Tick now();
+
+    /**
+     * Collect the full ExperimentResult (verification, registry
+     * snapshot, figure fields, trace file).  Only valid after
+     * runTo() returned true; call at most once.
+     */
+    ExperimentResult finish();
+
+    /**
+     * Serialize the complete deterministic simulator state: functional
+     * memory, allocator, L2s + MSHRs, directories, network resources,
+     * channels, processors + L1s, pending event queues, runtime/sync
+     * state, and a stats-JSON section.  Non-serializable live objects
+     * (coroutine frames, callback closures) contribute presence
+     * markers; restore rebuilds them by replaying the prefix, and the
+     * byte-compare over this payload is what proves the replay landed
+     * in the same state.
+     */
+    std::vector<std::uint8_t> statePayload();
+
+    /**
+     * Suffix overrides for forked warm-start children: tick-limit and
+     * verify are the only knobs the canonical *prefix* config folds
+     * away (renderPrefixCell), so they are the only legal differences
+     * between cells sharing one parked prefix.
+     */
+    void setTickLimit(Tick t) { tickLimit = t; }
+    void setVerify(bool v) { cfg.verify = v; }
+
+    System &system() { return sys; }
+    ParallelRuntime &runtime() { return rt; }
+    const RunConfig &config() const { return cfg; }
+    const MachineParams &machineParams() const { return mp; }
+
+  private:
+    std::unique_ptr<Workload> ownedWl;
+    Workload &wl;
+    MachineParams mp;
+    RunConfig cfg;
+    Tick tickLimit;
+    System sys;
+    /** Owned buffering tracer when cfg.tracePath is set (attached to
+     *  the memory system before runtime setup, as runExperiment always
+     *  did). */
+    std::unique_ptr<ChromeTracer> fileTracer;
+    ParallelRuntime rt;
+    bool done = false;
+    bool collected = false;
+};
+
+/**
+ * Run one sweep point that carries checkpoint run-control
+ * (checkpoint-at / restore-from); runSweep() routes such points here.
+ * Both paths finish the run to completion and return the ordinary
+ * ExperimentResult — byte-identical to a straight-through run of the
+ * same cell.  fatal() (never a desynchronized resume) on any header or
+ * replay-verify mismatch.
+ */
+ExperimentResult runCellCkpt(const SweepPoint &pt);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CKPT_CELL_RUN_HH

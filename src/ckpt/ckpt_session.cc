@@ -1,0 +1,450 @@
+/**
+ * @file
+ * CkptSession implementation: incubator process, fork protocol.
+ *
+ * Wire protocol (newline-delimited text on a socketpair; bodies are
+ * raw bytes after an `ok <len>` line):
+ *
+ *   incubator -> parent   ready <tick>        prefix parked
+ *                         err <msg>           spawn failed
+ *   parent -> incubator   fork <limit> <v>    -> ok <id> | err <msg>
+ *                         join <id>           -> ok <len> + fragment
+ *                         save <path>         -> ok 0
+ *                         payload             -> ok <len> + bytes
+ *                         quit / EOF          incubator exits
+ *
+ * Grandchildren report over a private pipe: one tag byte ('J' result /
+ * 'E' error) followed by the fragment or message.
+ */
+
+#include "ckpt/ckpt_session.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "ckpt/cell_run.hh"
+#include "ckpt/snapshot.hh"
+#include "core/build_info.hh"
+#include "core/cell.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+/** Squash an exception message onto the one-line wire format. */
+std::string
+oneLine(std::string s)
+{
+    for (char &c : s) {
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    }
+    return s;
+}
+
+/**
+ * Buffered line/byte I/O over one socket fd.  All sends use
+ * MSG_NOSIGNAL so a vanished peer surfaces as an error return, never
+ * as SIGPIPE.  The read buffer lives in the caller so partial reads
+ * survive across calls.
+ */
+struct SockIO
+{
+    int fd;
+    std::string &buf;
+
+    bool
+    writeAll(const void *src, std::size_t n)
+    {
+        const char *p = static_cast<const char *>(src);
+        while (n > 0) {
+            ssize_t w = send(fd, p, n, MSG_NOSIGNAL);
+            if (w < 0 && errno == EINTR)
+                continue;
+            if (w <= 0)
+                return false;
+            p += w;
+            n -= static_cast<std::size_t>(w);
+        }
+        return true;
+    }
+
+    bool
+    writeLine(const std::string &s)
+    {
+        std::string t = s + "\n";
+        return writeAll(t.data(), t.size());
+    }
+
+    bool
+    fill()
+    {
+        char tmp[4096];
+        ssize_t r = recv(fd, tmp, sizeof tmp, 0);
+        if (r < 0 && errno == EINTR)
+            return true;
+        if (r <= 0)
+            return false;
+        buf.append(tmp, static_cast<std::size_t>(r));
+        return true;
+    }
+
+    bool
+    readLine(std::string &line)
+    {
+        for (;;) {
+            std::size_t nl = buf.find('\n');
+            if (nl != std::string::npos) {
+                line = buf.substr(0, nl);
+                buf.erase(0, nl + 1);
+                return true;
+            }
+            if (!fill())
+                return false;
+        }
+    }
+
+    bool
+    readExact(void *dst, std::size_t n)
+    {
+        while (buf.size() < n) {
+            if (!fill())
+                return false;
+        }
+        std::memcpy(dst, buf.data(), n);
+        buf.erase(0, n);
+        return true;
+    }
+};
+
+struct ForkChild
+{
+    pid_t pid;
+    int fd;
+};
+
+/** Run one forked suffix to completion; never returns. */
+[[noreturn]] void
+suffixChildMain(int out_fd, CellRun &run, Tick tick_limit, bool verify)
+{
+    std::string out;
+    try {
+        run.setTickLimit(tick_limit);
+        run.setVerify(verify);
+        run.runTo(maxTick);
+        out = "J" + sweepPointJson(run.finish());
+    } catch (const std::exception &e) {
+        out = std::string("E") + e.what();
+    }
+    std::size_t off = 0;
+    while (off < out.size()) {
+        ssize_t w = write(out_fd, out.data() + off, out.size() - off);
+        if (w < 0 && errno == EINTR)
+            continue;
+        if (w <= 0)
+            break;
+        off += static_cast<std::size_t>(w);
+    }
+    _exit(0);
+}
+
+/** The incubator: park the prefix, serve fork/save/payload commands;
+ *  never returns. */
+[[noreturn]] void
+incubatorMain(int sock, const SweepPoint &pt)
+{
+    std::string rd;
+    SockIO io{sock, rd};
+    std::map<int, ForkChild> kids;
+    int next_id = 0;
+
+    try {
+        // The parked prefix runs unbounded (cells sharing it may carry
+        // any tick-limit; each forked child applies its own) and with
+        // run-control stripped.
+        SweepPoint prefix_pt = pt;
+        prefix_pt.ckptAt = 0;
+        prefix_pt.ckptOut.clear();
+        prefix_pt.restoreFrom.clear();
+        prefix_pt.tickLimit = maxTick;
+        CellRun run(prefix_pt);
+
+        if (run.runTo(pt.ckptAt)) {
+            io.writeLine("err program completed (tick " +
+                         std::to_string(run.runtime().endTick()) +
+                         ") before checkpoint tick " +
+                         std::to_string(pt.ckptAt));
+            _exit(1);
+        }
+        io.writeLine("ready " + std::to_string(run.now()));
+
+        std::string line;
+        while (io.readLine(line)) {
+            std::istringstream cmd(line);
+            std::string op;
+            cmd >> op;
+
+            if (op == "quit")
+                break;
+
+            if (op == "fork") {
+                unsigned long long lim = 0;
+                int verify = 1;
+                cmd >> lim >> verify;
+                int pfd[2];
+                if (pipe(pfd) != 0) {
+                    io.writeLine("err pipe failed");
+                    continue;
+                }
+                std::fflush(stdout);
+                std::fflush(stderr);
+                pid_t pid = fork();
+                if (pid < 0) {
+                    close(pfd[0]);
+                    close(pfd[1]);
+                    io.writeLine("err fork failed");
+                    continue;
+                }
+                if (pid == 0) {
+                    close(sock);
+                    close(pfd[0]);
+                    for (auto &k : kids)
+                        close(k.second.fd);
+                    suffixChildMain(pfd[1], run,
+                                    static_cast<Tick>(lim),
+                                    verify != 0);
+                }
+                close(pfd[1]);
+                int id = next_id++;
+                kids[id] = ForkChild{pid, pfd[0]};
+                io.writeLine("ok " + std::to_string(id));
+            } else if (op == "join") {
+                int id = -1;
+                cmd >> id;
+                auto it = kids.find(id);
+                if (it == kids.end()) {
+                    io.writeLine("err unknown fork id");
+                    continue;
+                }
+                std::string data;
+                char tmp[4096];
+                ssize_t r;
+                while ((r = read(it->second.fd, tmp, sizeof tmp)) != 0) {
+                    if (r < 0) {
+                        if (errno == EINTR)
+                            continue;
+                        break;
+                    }
+                    data.append(tmp, static_cast<std::size_t>(r));
+                }
+                close(it->second.fd);
+                int status = 0;
+                waitpid(it->second.pid, &status, 0);
+                kids.erase(it);
+                if (!data.empty() && data[0] == 'J' &&
+                        WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                    io.writeLine("ok " +
+                                 std::to_string(data.size() - 1));
+                    io.writeAll(data.data() + 1, data.size() - 1);
+                } else if (!data.empty() && data[0] == 'E') {
+                    io.writeLine("err " + oneLine(data.substr(1)));
+                } else {
+                    io.writeLine("err fork child died without a result");
+                }
+            } else if (op == "save") {
+                std::string path;
+                std::getline(cmd >> std::ws, path);
+                try {
+                    CkptHeader hdr;
+                    hdr.gitRev = buildGitRev();
+                    hdr.config = renderPrefixCell(pt);
+                    hdr.engine = pt.cfg.simJobs > 0
+                                         ? CkptEngine::Parallel
+                                         : CkptEngine::Sequential;
+                    hdr.tick = pt.ckptAt;
+                    writeCkptFile(path, hdr, run.statePayload());
+                    io.writeLine("ok 0");
+                } catch (const std::exception &e) {
+                    io.writeLine("err " + oneLine(e.what()));
+                }
+            } else if (op == "payload") {
+                try {
+                    std::vector<std::uint8_t> p = run.statePayload();
+                    io.writeLine("ok " + std::to_string(p.size()));
+                    io.writeAll(p.data(), p.size());
+                } catch (const std::exception &e) {
+                    io.writeLine("err " + oneLine(e.what()));
+                }
+            } else {
+                io.writeLine("err unknown command");
+            }
+        }
+    } catch (const std::exception &e) {
+        io.writeLine("err " + oneLine(e.what()));
+        _exit(1);
+    }
+    _exit(0);
+}
+
+} // namespace
+
+std::unique_ptr<CkptSession>
+CkptSession::spawn(const SweepPoint &pt, std::string *err)
+{
+    auto fail = [&err](const std::string &m) -> std::unique_ptr<CkptSession> {
+        if (err)
+            *err = m;
+        return nullptr;
+    };
+
+    if (pt.ckptAt == 0)
+        return fail("sweep point has no checkpoint tick");
+
+    // Render (and thereby validate) the canonical prefix before
+    // forking, so config errors surface in the parent.
+    std::string prefix_cfg = renderPrefixCell(pt);
+
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+        return fail("socketpair failed");
+
+    std::fflush(stdout);
+    std::fflush(stderr);
+    pid_t pid = fork();
+    if (pid < 0) {
+        close(sv[0]);
+        close(sv[1]);
+        return fail("fork failed");
+    }
+    if (pid == 0) {
+        close(sv[0]);
+        incubatorMain(sv[1], pt);
+    }
+    close(sv[1]);
+
+    std::unique_ptr<CkptSession> s(new CkptSession);
+    s->fd = sv[0];
+    s->child = pid;
+    s->ckptTick = pt.ckptAt;
+    s->prefix = std::move(prefix_cfg);
+
+    SockIO io{s->fd, s->rdBuf};
+    std::string line;
+    if (!io.readLine(line))
+        return fail("incubator died before parking the prefix");
+    if (line.rfind("ready ", 0) == 0) {
+        s->live = true;
+        return s;
+    }
+    return fail(line.rfind("err ", 0) == 0 ? line.substr(4)
+                                           : "unexpected reply: " + line);
+}
+
+CkptSession::~CkptSession()
+{
+    if (fd >= 0) {
+        if (live) {
+            SockIO io{fd, rdBuf};
+            io.writeLine("quit");
+        }
+        close(fd);
+    }
+    if (child > 0)
+        waitpid(child, nullptr, 0);
+}
+
+bool
+CkptSession::transact(const std::string &cmd, std::string &body,
+                      const char *what)
+{
+    body.clear();
+    if (!live) {
+        if (what)
+            fatal("ckpt session: %s on a dead session", what);
+        return false;
+    }
+    SockIO io{fd, rdBuf};
+    std::string line;
+    if (!io.writeLine(cmd) || !io.readLine(line)) {
+        live = false;
+        if (what)
+            fatal("ckpt session: incubator vanished during %s", what);
+        return false;
+    }
+    if (line.rfind("ok ", 0) == 0) {
+        body = line.substr(3);
+        return true;
+    }
+    std::string msg = line.rfind("err ", 0) == 0
+                              ? line.substr(4)
+                              : "unexpected reply: " + line;
+    if (what)
+        fatal("ckpt session %s failed: %s", what, msg.c_str());
+    body = msg;
+    return false;
+}
+
+int
+CkptSession::forkStart(Tick tick_limit, bool verify)
+{
+    std::string body;
+    transact("fork " + std::to_string(tick_limit) + " " +
+                     (verify ? "1" : "0"),
+             body, "fork");
+    return static_cast<int>(std::stol(body));
+}
+
+std::string
+CkptSession::forkJoin(int id)
+{
+    std::string body;
+    transact("join " + std::to_string(id), body, "join");
+    std::size_t len = static_cast<std::size_t>(std::stoull(body));
+    std::string frag(len, '\0');
+    SockIO io{fd, rdBuf};
+    if (!io.readExact(frag.data(), len)) {
+        live = false;
+        fatal("ckpt session: incubator vanished mid-fragment");
+    }
+    return frag;
+}
+
+std::string
+CkptSession::forkRun(Tick tick_limit, bool verify)
+{
+    return forkJoin(forkStart(tick_limit, verify));
+}
+
+void
+CkptSession::saveFile(const std::string &path)
+{
+    std::string body;
+    transact("save " + path, body, "save");
+}
+
+std::vector<std::uint8_t>
+CkptSession::payload()
+{
+    std::string body;
+    transact("payload", body, "payload");
+    std::size_t len = static_cast<std::size_t>(std::stoull(body));
+    std::vector<std::uint8_t> p(len);
+    SockIO io{fd, rdBuf};
+    if (len > 0 && !io.readExact(p.data(), len)) {
+        live = false;
+        fatal("ckpt session: incubator vanished mid-payload");
+    }
+    return p;
+}
+
+} // namespace slipsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * In-memory checkpoint sessions: a parked simulation prefix in a child
+ * process, cloned with fork() per consumer (DESIGN.md §13).
+ *
+ * A CkptSession spawns an *incubator* process that simulates a cell's
+ * prefix to the checkpoint tick and then parks, holding the complete
+ * live simulator — including the two things no serializer can capture,
+ * suspended coroutine frames and callback closures — as ordinary
+ * process memory.  Each forkRun() asks the incubator to fork() a
+ * grandchild; copy-on-write gives the grandchild a perfect clone of
+ * the parked state, which it runs to completion, returning the cell's
+ * sweepPointJson() fragment over a pipe.  Fork children therefore
+ * produce output byte-identical to a straight-through run of the same
+ * cell, at the cost of only the suffix's simulation time.
+ *
+ * Fork safety: the parallel engine's worker threads are created and
+ * joined inside each bounded advance, so the incubator is
+ * single-threaded whenever it is parked — fork() from the incubator is
+ * always clean.  Spawning the *session itself* from a threaded caller
+ * (the serve daemon) relies on glibc's fork handlers for allocator
+ * consistency; see DESIGN.md §13 for the accepted trade-off.
+ *
+ * Everything fails closed: any protocol violation, incubator death, or
+ * in-child fatal surfaces as an error here — never as a silently
+ * diverged simulation.
+ */
+
+#ifndef SLIPSIM_CKPT_CKPT_SESSION_HH
+#define SLIPSIM_CKPT_CKPT_SESSION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "core/sweep.hh"
+
+namespace slipsim
+{
+
+/** A parked simulation prefix, forkable into suffix runs. */
+class CkptSession
+{
+  public:
+    /**
+     * Simulate @p pt's prefix to @p pt.ckptAt in an incubator process
+     * and park it.  Blocks until the prefix is parked (ready) or the
+     * incubator reports failure — in which case nullptr is returned
+     * and @p err (if non-null) receives the reason.  A failed spawn
+     * never throws: callers fall back to a cold run.
+     */
+    static std::unique_ptr<CkptSession> spawn(const SweepPoint &pt,
+                                              std::string *err = nullptr);
+
+    CkptSession(const CkptSession &) = delete;
+    CkptSession &operator=(const CkptSession &) = delete;
+
+    /** Shuts the incubator down and reaps it. */
+    ~CkptSession();
+
+    /** The parked checkpoint tick. */
+    Tick tick() const { return ckptTick; }
+
+    /** Canonical prefix config the session was spawned for. */
+    const std::string &prefixConfig() const { return prefix; }
+
+    /** True while the incubator is known responsive; flips false on
+     *  the first protocol or I/O failure. */
+    bool alive() const { return live; }
+
+    /**
+     * Fork one suffix run with the given cell-specific overrides and
+     * block for its fragment.  fatal() on any failure (including a
+     * fatal inside the child — e.g. a genuine tick-limit overrun the
+     * straight-through run would also have hit).
+     */
+    std::string forkRun(Tick tick_limit, bool verify);
+
+    /**
+     * Overlapped variant: start a suffix child without waiting.
+     * Children simulate concurrently as processes; join in any order.
+     */
+    int forkStart(Tick tick_limit, bool verify);
+    std::string forkJoin(int id);
+
+    /** Write an on-disk checkpoint of the parked state (fatal on
+     *  failure). */
+    void saveFile(const std::string &path);
+
+    /** The parked state's serialized payload (fatal on failure). */
+    std::vector<std::uint8_t> payload();
+
+  private:
+    CkptSession() = default;
+
+    /** Send a command line; read the `ok <len>` / `err` reply and the
+     *  trailing body.  fatal() on err when @p what is non-null. */
+    bool transact(const std::string &cmd, std::string &body,
+                  const char *what);
+
+    int fd = -1;
+    pid_t child = -1;
+    Tick ckptTick = 0;
+    std::string prefix;
+    bool live = false;
+    std::string rdBuf;
+};
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CKPT_CKPT_SESSION_HH

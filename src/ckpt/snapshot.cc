@@ -1,0 +1,127 @@
+#include "ckpt/snapshot.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/config_hash.hh"
+#include "sim/logging.hh"
+#include "sim/serialize.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+constexpr char ckptMagic[8] = {'S', 'L', 'I', 'P', 'C', 'K', 'P', 'T'};
+
+std::uint64_t
+fnv1a64Bytes(const std::vector<std::uint8_t> &v)
+{
+    return fnv1a64(std::string_view(
+        reinterpret_cast<const char *>(v.data()), v.size()));
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeCkptFile(const CkptHeader &hdr, const std::vector<std::uint8_t> &payload)
+{
+    Ser s;
+    s.bytes(ckptMagic, sizeof(ckptMagic));
+    s.u32(hdr.version);
+    s.str(hdr.gitRev);
+    s.str(hdr.config);
+    s.u32(static_cast<std::uint32_t>(hdr.engine));
+    s.u64(hdr.tick);
+    s.u64(payload.size());
+    s.u64(fnv1a64Bytes(payload));
+    s.bytes(payload.data(), payload.size());
+    return s.take();
+}
+
+void
+writeCkptFile(const std::string &path, const CkptHeader &hdr,
+              const std::vector<std::uint8_t> &payload)
+{
+    auto bytes = encodeCkptFile(hdr, payload);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open checkpoint file '%s' for writing",
+              path.c_str());
+    std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool ok = (wrote == bytes.size()) && (std::fclose(f) == 0);
+    if (!ok)
+        fatal("short write to checkpoint file '%s'", path.c_str());
+}
+
+CkptFile
+decodeCkptFile(const std::vector<std::uint8_t> &bytes,
+               const std::string &what)
+{
+    if (bytes.size() < sizeof(ckptMagic) ||
+        std::memcmp(bytes.data(), ckptMagic, sizeof(ckptMagic)) != 0)
+        fatal("'%s' is not a slipsim checkpoint (bad magic)",
+              what.c_str());
+
+    Deser d(bytes.data() + sizeof(ckptMagic),
+            bytes.size() - sizeof(ckptMagic));
+    CkptFile f;
+    f.header.version = d.u32();
+    if (f.header.version != ckptVersion)
+        fatal("checkpoint '%s' has unsupported version %u (this build "
+              "reads version %u)",
+              what.c_str(), f.header.version, ckptVersion);
+    f.header.gitRev = d.str();
+    f.header.config = d.str();
+    std::uint32_t eng = d.u32();
+    if (eng > 1)
+        fatal("checkpoint '%s' has unknown engine id %u", what.c_str(),
+              eng);
+    f.header.engine = static_cast<CkptEngine>(eng);
+    f.header.tick = d.u64();
+    f.header.payloadSize = d.u64();
+    f.header.payloadDigest = d.u64();
+    if (d.remaining() != f.header.payloadSize)
+        fatal("checkpoint '%s' is truncated or padded: header promises "
+              "%llu payload bytes, file holds %zu",
+              what.c_str(),
+              static_cast<unsigned long long>(f.header.payloadSize),
+              d.remaining());
+    f.payload.resize(f.header.payloadSize);
+    d.bytes(f.payload.data(), f.payload.size());
+    if (fnv1a64Bytes(f.payload) != f.header.payloadDigest)
+        fatal("checkpoint '%s' failed its payload digest check "
+              "(corrupt file)",
+              what.c_str());
+    return f;
+}
+
+CkptFile
+readCkptFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open checkpoint file '%s'", path.c_str());
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    std::fclose(f);
+    return decodeCkptFile(bytes, path);
+}
+
+std::string
+ckptStoreKey(const std::string &canonical_prefix, Tick tick,
+             const std::string &git_rev)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%016llx:%llu:",
+                  static_cast<unsigned long long>(
+                      fnv1a64(canonical_prefix)),
+                  static_cast<unsigned long long>(tick));
+    return std::string(buf) + git_rev;
+}
+
+} // namespace slipsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * On-disk checkpoint container: versioned header + opaque state
+ * payload (DESIGN.md §13).
+ *
+ * Layout (all integers little-endian):
+ *
+ *   magic          8 bytes  "SLIPCKPT"
+ *   version        u32      ckptVersion
+ *   gitRev         str      short revision of the producing build
+ *   config         str      canonical *prefix* cell config (tick-limit
+ *                           and verify folded out)
+ *   engine         u32      0 = sequential, 1 = parallel (sim-jobs>0)
+ *   tick           u64      pause tick the payload was captured at
+ *   payloadSize    u64
+ *   payloadDigest  u64      fnv1a64 over the payload bytes
+ *   payload        payloadSize bytes (see CellRun::statePayload)
+ *
+ * Validation is fail-closed: a bad magic, unknown version, short file,
+ * or digest mismatch is a fatal() — a checkpoint the simulator cannot
+ * prove intact is never applied.  Revision/config/engine checks are the
+ * caller's job (the error messages differ per use).
+ */
+
+#ifndef SLIPSIM_CKPT_SNAPSHOT_HH
+#define SLIPSIM_CKPT_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+/** Current checkpoint container version. */
+constexpr std::uint32_t ckptVersion = 1;
+
+/** Engine discriminator stored in the header. */
+enum class CkptEngine : std::uint32_t
+{
+    Sequential = 0,
+    Parallel = 1,
+};
+
+struct CkptHeader
+{
+    std::uint32_t version = ckptVersion;
+    std::string gitRev;
+    std::string config;  //!< canonical prefix cell config
+    CkptEngine engine = CkptEngine::Sequential;
+    Tick tick = 0;
+    std::uint64_t payloadSize = 0;
+    std::uint64_t payloadDigest = 0;
+};
+
+struct CkptFile
+{
+    CkptHeader header;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Serialize header+payload and write to @p path (fatal on I/O error). */
+void writeCkptFile(const std::string &path, const CkptHeader &hdr,
+                   const std::vector<std::uint8_t> &payload);
+
+/** Serialize header+payload into a byte buffer (for tests / stores). */
+std::vector<std::uint8_t> encodeCkptFile(const CkptHeader &hdr,
+                                         const std::vector<std::uint8_t> &payload);
+
+/**
+ * Read and validate a checkpoint container: magic, version, size
+ * framing, and payload digest are all checked here (fatal on any
+ * mismatch).  gitRev/config/engine are returned for the caller to
+ * check against the run being restored.
+ */
+CkptFile readCkptFile(const std::string &path);
+
+/** Decode from memory (same validation as readCkptFile). */
+CkptFile decodeCkptFile(const std::vector<std::uint8_t> &bytes,
+                        const std::string &what);
+
+/**
+ * Key for checkpoint stores: `fnv1a64(canonicalPrefixConfig):tick:rev`
+ * (hex hash, decimal tick, short git revision).
+ */
+std::string ckptStoreKey(const std::string &canonical_prefix, Tick tick,
+                         const std::string &git_rev);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CKPT_SNAPSHOT_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Warm-start sweep implementation.
+ */
+
+#include "ckpt/warm_sweep.hh"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "ckpt/cell_run.hh"
+#include "ckpt/ckpt_session.hh"
+#include "core/cell.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+/** Cold path: exactly what runSweep() does for one point — except
+ *  that for warm-*eligible* points (checkpoint tick set, no output
+ *  path) ckptAt is purely a prefix-sharing hint, so a cold run strips
+ *  it rather than snapshotting to the default file. */
+std::string
+coldFragment(const SweepPoint &pt)
+{
+    SweepPoint p = pt;
+    if (warmEligible(p))
+        p.ckptAt = 0;
+    if (p.ckptAt > 0 || !p.restoreFrom.empty())
+        return sweepPointJson(runCellCkpt(p));
+    return sweepPointJson(runExperiment(p.workload, p.opts, p.machine,
+                                        p.cfg, p.tickLimit));
+}
+
+} // namespace
+
+bool
+warmEligible(const SweepPoint &pt)
+{
+    // No checkpoint tick means no prefix to park; tracers capture the
+    // whole run and cannot span a fork; restore-from/checkpoint-out
+    // carry their own on-disk protocol; a tick-limit at or below the
+    // checkpoint tick would fatal *inside* the prefix, which a shared
+    // unbounded prefix cannot reproduce.
+    return pt.ckptAt > 0 && pt.restoreFrom.empty() &&
+           pt.ckptOut.empty() && pt.cfg.tracePath.empty() &&
+           pt.cfg.tracer == nullptr && pt.tickLimit > pt.ckptAt;
+}
+
+std::vector<std::string>
+runSweepWarmFragments(const std::vector<SweepPoint> &points,
+                      unsigned jobs, WarmSweepStats *stats)
+{
+    std::vector<std::string> frags(points.size());
+    WarmSweepStats local;
+
+    // Group eligible points by (canonical prefix, checkpoint tick);
+    // std::map keeps group order deterministic.
+    std::map<std::string, std::vector<std::size_t>> groups;
+    std::vector<std::size_t> cold;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (warmEligible(points[i])) {
+            groups[renderPrefixCell(points[i]) + "\n@" +
+                   std::to_string(points[i].ckptAt)]
+                    .push_back(i);
+        } else {
+            cold.push_back(i);
+        }
+    }
+
+    std::vector<const std::vector<std::size_t> *> warm_groups;
+    for (const auto &g : groups) {
+        if (g.second.size() >= 2)
+            warm_groups.push_back(&g.second);
+        else
+            cold.push_back(g.second.front());
+    }
+
+    auto runCold = [&points, &frags](const std::vector<std::size_t> &idxs,
+                                     unsigned j) {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(idxs.size());
+        for (std::size_t i : idxs) {
+            tasks.push_back([&points, &frags, i]() {
+                frags[i] = coldFragment(points[i]);
+            });
+        }
+        runParallel(std::move(tasks), j);
+    };
+
+    runCold(cold, jobs);
+    local.coldPoints += cold.size();
+
+    const unsigned window = resolveJobs(jobs);
+    for (const std::vector<std::size_t> *gp : warm_groups) {
+        const std::vector<std::size_t> &g = *gp;
+        std::string err;
+        std::unique_ptr<CkptSession> sess =
+                CkptSession::spawn(points[g.front()], &err);
+        if (!sess) {
+            // A failed spawn (e.g. the program completes before the
+            // checkpoint tick) is not an error a straight-through run
+            // would hit: fall back to cold, keep going.
+            warn("warm-start prefix spawn failed (%s); running %zu "
+                 "point(s) cold",
+                 err.c_str(), g.size());
+            ++local.spawnFailures;
+            runCold(g, jobs);
+            local.coldPoints += g.size();
+            continue;
+        }
+
+        // Forked suffix children simulate concurrently as processes;
+        // keep at most `window` in flight, joining in issue order.
+        std::deque<std::pair<std::size_t, int>> inflight;
+        for (std::size_t i : g) {
+            if (inflight.size() >= window) {
+                auto [idx, id] = inflight.front();
+                inflight.pop_front();
+                frags[idx] = sess->forkJoin(id);
+            }
+            inflight.emplace_back(
+                    i, sess->forkStart(points[i].tickLimit,
+                                       points[i].cfg.verify));
+        }
+        while (!inflight.empty()) {
+            auto [idx, id] = inflight.front();
+            inflight.pop_front();
+            frags[idx] = sess->forkJoin(id);
+        }
+        ++local.groups;
+        local.warmPoints += g.size();
+    }
+
+    if (stats)
+        *stats = local;
+    return frags;
+}
+
+} // namespace slipsim

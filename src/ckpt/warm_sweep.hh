@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Warm-start sweeps: cells that share a canonical config prefix up to
+ * a common checkpoint tick simulate that prefix ONCE, in a parked
+ * incubator, and each cell forks from the in-memory checkpoint
+ * (DESIGN.md §13).
+ *
+ * Two cells share a prefix exactly when their renderPrefixCell()
+ * strings match — i.e. they differ only in tick-limit and verify, the
+ * two knobs that cannot influence the simulation before the checkpoint
+ * tick.  For a group of k such cells with the prefix covering fraction
+ * f of the run, warm-start costs ~(1-f)·k + f prefix-equivalents
+ * instead of k; the fig05-style regeneration case (k cells, f ~ 0.9)
+ * is the headline win recorded in BENCH_perf.json.
+ *
+ * Output discipline: fork children produce sweepPointJson() fragments
+ * byte-identical to a straight-through runSweep() of the same points —
+ * the fragments slot into writeStatsDoc() and the serve cache without
+ * any caller-visible difference.  Ineligible points (no checkpoint
+ * tick, attached tracers, restore-from, or a tick-limit at/below the
+ * checkpoint tick) and singleton groups run cold via the ordinary
+ * path; nothing is silently skipped.
+ */
+
+#ifndef SLIPSIM_CKPT_WARM_SWEEP_HH
+#define SLIPSIM_CKPT_WARM_SWEEP_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+
+namespace slipsim
+{
+
+/** Accounting for one warm sweep (observability/tests). */
+struct WarmSweepStats
+{
+    /** Prefix groups that actually ran warm (>= 2 members). */
+    std::size_t groups = 0;
+    /** Points forked from a parked prefix. */
+    std::size_t warmPoints = 0;
+    /** Points simulated from tick 0 (ineligible, singleton, or
+     *  fallback after a failed spawn). */
+    std::size_t coldPoints = 0;
+    /** Prefix spawns that failed and fell back to cold runs. */
+    std::size_t spawnFailures = 0;
+};
+
+/** True when @p pt can fork from a parked prefix. */
+bool warmEligible(const SweepPoint &pt);
+
+/**
+ * Run every point, sharing parked prefixes where possible, and return
+ * sweepPointJson() fragments in submission order — byte-identical to
+ * mapping sweepPointJson over runSweep() of the same cells.  For
+ * warm-eligible points ckptAt is a prefix-sharing *hint*, not run
+ * control: a point that falls back cold (singleton group, failed
+ * spawn) runs plainly instead of snapshotting, so an unreachable hint
+ * degrades to a cold sweep rather than an error.  @p jobs bounds both
+ * the cold-point worker pool and the number of concurrently forked
+ * suffix children per group (0 = hardware concurrency).
+ */
+std::vector<std::string>
+runSweepWarmFragments(const std::vector<SweepPoint> &points,
+                      unsigned jobs = 0,
+                      WarmSweepStats *stats = nullptr);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CKPT_WARM_SWEEP_HH

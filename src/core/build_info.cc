@@ -1,0 +1,25 @@
+#include "core/build_info.hh"
+
+#ifndef SLIPSIM_GIT_REV
+#define SLIPSIM_GIT_REV "unknown"
+#endif
+#ifndef SLIPSIM_BUILD_TYPE
+#define SLIPSIM_BUILD_TYPE "unknown"
+#endif
+
+namespace slipsim
+{
+
+const char *
+buildGitRev()
+{
+    return SLIPSIM_GIT_REV;
+}
+
+const char *
+buildTypeName()
+{
+    return SLIPSIM_BUILD_TYPE;
+}
+
+} // namespace slipsim

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Build identity (git revision, build type) available to library code.
+ *
+ * The SLIPSIM_GIT_REV / SLIPSIM_BUILD_TYPE macros are compile
+ * definitions scoped to this one translation unit (see
+ * src/CMakeLists.txt), so the rest of the library does not recompile
+ * when the revision changes.
+ */
+
+#ifndef SLIPSIM_CORE_BUILD_INFO_HH
+#define SLIPSIM_CORE_BUILD_INFO_HH
+
+namespace slipsim
+{
+
+/** Short git revision the library was built from ("unknown" outside
+ *  a checkout). */
+const char *buildGitRev();
+
+/** CMake build type ("Release", "RelWithDebInfo", ...). */
+const char *buildTypeName();
+
+} // namespace slipsim
+
+#endif // SLIPSIM_CORE_BUILD_INFO_HH

@@ -48,7 +48,23 @@ droppedKeys()
 {
     static const std::set<std::string> keys = {
         "jobs", "csv", "stats-json", "trace-json", "trace-point",
-        "print-cells", "perf-out",
+        "print-cells", "perf-out", "ckpt-point", "fuzz-out",
+    };
+    return keys;
+}
+
+/**
+ * Run-control keys: where a run starts and whether it snapshots along
+ * the way.  Like droppedKeys() they never enter the canonical form (a
+ * checkpointed run produces byte-identical results, so existing config
+ * hashes are untouched), but unlike them they are parsed into the
+ * SweepPoint and steer execution.
+ */
+const std::set<std::string> &
+runControlKeys()
+{
+    static const std::set<std::string> keys = {
+        "checkpoint-at", "checkpoint-out", "restore-from",
     };
     return keys;
 }
@@ -141,6 +157,17 @@ cellFromOptions(const Options &opts)
 
     pt.tickLimit = static_cast<Tick>(opts.getInt(
         "tick-limit", static_cast<std::int64_t>(maxTick)));
+
+    pt.ckptAt = static_cast<Tick>(opts.getInt("checkpoint-at", 0));
+    pt.ckptOut = opts.getString("checkpoint-out", "");
+    pt.restoreFrom = opts.getString("restore-from", "");
+    if (pt.ckptAt > 0 && !pt.restoreFrom.empty()) {
+        fatal("checkpoint-at and restore-from are mutually exclusive "
+              "(save on the straight-through run, restore on a later "
+              "one)");
+    }
+    if (!pt.ckptOut.empty() && pt.ckptAt == 0)
+        fatal("checkpoint-out requires checkpoint-at=<tick>");
     return pt;
 }
 
@@ -241,7 +268,8 @@ renderCell(const SweepPoint &pt)
 
     // Pass-through workload options (n=, iters=, mol=, quick=, ...).
     for (const auto &[k, v] : pt.opts.all()) {
-        if (schemaKeys().count(k) || droppedKeys().count(k))
+        if (schemaKeys().count(k) || droppedKeys().count(k) ||
+            runControlKeys().count(k))
             continue;
         tok(k, normalizeValue(v));
     }
@@ -254,6 +282,15 @@ renderCell(const SweepPoint &pt)
         line += t;
     }
     return line;
+}
+
+std::string
+renderPrefixCell(const SweepPoint &pt)
+{
+    SweepPoint prefix = pt;
+    prefix.tickLimit = maxTick;
+    prefix.cfg.verify = RunConfig{}.verify;
+    return renderCell(prefix);
 }
 
 const std::vector<std::string> &

@@ -52,6 +52,11 @@ Mode modeFromName(const std::string &name);
  *   sim-jobs=N               parallel-engine worker count (N>=1
  *                            implies engine=parallel; byte-identical
  *                            output for any N>=1)
+ *   checkpoint-at=T          snapshot simulator state at tick T
+ *   checkpoint-out=PATH      snapshot destination (default
+ *                            slipsim.ckpt); requires checkpoint-at
+ *   restore-from=PATH        start from a checkpoint file instead of
+ *                            tick 0 (exclusive with checkpoint-at)
  *   cmps=, l1kb=, l2kb=, ... every machineFromOptions() key
  *
  * plus arbitrary workload-specific keys (n=, iters=, mol=, ...),
@@ -75,6 +80,17 @@ SweepPoint cellFromOptions(const Options &opts);
  * cannot express (a bench that pokes MachineParams directly).
  */
 std::string renderCell(const SweepPoint &pt);
+
+/**
+ * Canonical config of @p pt's *checkpoint prefix*: the simulation up
+ * to a pause tick, which is independent of when the run would stop
+ * (tick-limit) and of late-binding post-run work (verify).  Those two
+ * keys are folded to their defaults before rendering; everything else
+ * (including the engine) stays.  Two cells share a warm-start prefix
+ * exactly when their renderPrefixCell() strings match — this is the
+ * string ckptStoreKey() hashes.
+ */
+std::string renderPrefixCell(const SweepPoint &pt);
 
 // --- per-workload figure calibration (shared with the benches) ---------
 

@@ -7,12 +7,9 @@
 
 #include "mem/protocol.hh"
 
-#include <memory>
 #include <ostream>
 
-#include "core/system.hh"
-#include "obs/chrome_trace.hh"
-#include "runtime/parallel_runtime.hh"
+#include "ckpt/cell_run.hh"
 
 namespace slipsim
 {
@@ -74,142 +71,12 @@ ExperimentResult
 runExperiment(Workload &wl, const MachineParams &mp, const RunConfig &cfg,
               Tick tick_limit)
 {
-    System sys(mp, cfg);
-
-    // Observability: a trace path gets a buffering ChromeTracer owned
-    // here; otherwise an externally-owned tracer may be attached.
-    // Attached before setup so fork-time phases are captured too.
-    std::unique_ptr<ChromeTracer> file_tracer;
-    if (!cfg.tracePath.empty()) {
-        file_tracer = std::make_unique<ChromeTracer>();
-        if (cfg.simJobs > 0)
-            file_tracer->enablePartitioned(mp.numCmps);
-        sys.memory().setTracer(file_tracer.get());
-    } else if (cfg.tracer) {
-        sys.memory().setTracer(cfg.tracer);
-    }
-
-    ParallelRuntime rt(sys.eventq(), sys.machine(), sys.memory(),
-                       sys.procPtrs(), sys.allocator(), sys.functional(),
-                       wl, cfg);
-    rt.setup();
-    Tick end = rt.run(tick_limit);
-
-    ExperimentResult r;
-    r.workload = wl.name();
-    r.mode = cfg.mode;
-    r.policy = cfg.arPolicy;
-    r.features = cfg.features;
-    r.numCmps = mp.numCmps;
-    r.protocol = mp.protocol;
-    r.cycles = end;
-    r.recoveries = rt.totalRecoveries();
-    r.verified = cfg.verify ? wl.verify(sys.functional()) : true;
-
-    // Freeze every registered metric into the hierarchical snapshot.
-    // The Figure 6/7/9 fields below are derived from registry QUERIES,
-    // not from the raw component members, in the same iteration order
-    // the members used to be summed in (float-exactness).
-    MemorySystem &ms = sys.memory();
-    StatsRegistry reg;
-    ms.registerStats(reg);
-    for (Processor *p : sys.procPtrs()) {
-        p->registerStats(reg, "node" + std::to_string(p->nodeId()) +
-                                  ".proc" + std::to_string(p->slotId()));
-    }
-    rt.registerStats(reg);
-    StatsSnapshot snap = reg.snapshot();
-
-    auto proc_prefix = [](const Processor &p) {
-        return "node" + std::to_string(p.nodeId()) + ".proc" +
-               std::to_string(p.slotId());
-    };
-
-    // Per-task time breakdown, averaged over tasks (Figure 6).
-    int ntasks = rt.numTasks();
-    for (TaskId t = 0; t < ntasks; ++t) {
-        std::string base = proc_prefix(rt.taskCtx(t).processor());
-        for (int c = 0; c < numTimeCats; ++c) {
-            r.rCats[c] += static_cast<double>(snap.counter(
-                base + ".cycles." +
-                timeCatName(static_cast<TimeCat>(c))));
-        }
-    }
-    for (double &c : r.rCats)
-        c /= ntasks;
-
-    if (cfg.mode == Mode::Slipstream) {
-        for (TaskId t = 0; t < ntasks; ++t) {
-            std::string base = proc_prefix(rt.aCtx(t).processor());
-            for (int c = 0; c < numTimeCats; ++c) {
-                r.aCats[c] += static_cast<double>(snap.counter(
-                    base + ".cycles." +
-                    timeCatName(static_cast<TimeCat>(c))));
-            }
-        }
-        for (double &c : r.aCats)
-            c /= ntasks;
-    }
-
-    // Memory-system statistics (Figures 7 and 9), per-node queries.
-    static const char *streams[2] = {"A", "R"};
-    static const char *classes[3] = {"Timely", "Late", "Only"};
-    for (NodeId n = 0; n < mp.numCmps; ++n) {
-        std::string l2 = "node" + std::to_string(n) + ".l2";
-        std::string dir = "node" + std::to_string(n) + ".dir";
-        for (int s = 0; s < 2; ++s) {
-            for (int c = 0; c < 3; ++c) {
-                r.clsReads[s][c] += snap.counter(
-                    l2 + ".class.read." + streams[s] + classes[c]);
-                r.clsExcls[s][c] += snap.counter(
-                    l2 + ".class.excl." + streams[s] + classes[c]);
-            }
-        }
-        r.aReadMisses += snap.counter(l2 + ".aReadMisses");
-        r.siInvalidated += snap.counter(l2 + ".si.invalidated");
-        r.siDowngraded += snap.counter(l2 + ".si.downgraded");
-        r.transparentReplies +=
-            snap.counter(dir + ".transparentReplies");
-        r.upgradedReplies += snap.counter(dir + ".upgradedReplies");
-    }
-
-    ms.dumpStats(r.stats);
-    for (TaskId t = 0; t < ntasks; ++t)
-        rt.taskCtx(t).processor().dumpStats(r.stats, "rproc");
-    if (cfg.mode == Mode::Slipstream) {
-        for (TaskId t = 0; t < ntasks; ++t)
-            rt.aCtx(t).processor().dumpStats(r.stats, "aproc");
-    }
-    // Under the parallel engine the global queue is idle; the event
-    // count is the sum over the per-node queues (worker-count
-    // independent: the same events dispatch whatever sim-jobs is).
-    std::uint64_t run_events = sys.eventq().processed();
-    if (cfg.simJobs > 0) {
-        run_events = 0;
-        for (NodeId n = 0; n < mp.numCmps; ++n)
-            run_events += sys.nodeEventq(n).processed();
-    }
-    r.stats.set("run.cycles", static_cast<double>(end));
-    r.stats.set("run.events", static_cast<double>(run_events));
-    r.stats.set("run.recoveries", static_cast<double>(r.recoveries));
-    if (cfg.mode == Mode::Slipstream) {
-        double switches = 0;
-        for (TaskId t = 0; t < ntasks; ++t)
-            switches += static_cast<double>(
-                rt.pair(t).policySwitches);
-        r.stats.set("run.policySwitches", switches);
-        snap.setCounter("run.policySwitches",
-                        static_cast<std::uint64_t>(switches));
-    }
-    snap.setCounter("run.cycles", end);
-    snap.setCounter("run.events", run_events);
-    snap.setCounter("run.recoveries", r.recoveries);
-    r.snap = std::move(snap);
-
-    if (file_tracer)
-        file_tracer->writeFile(cfg.tracePath);
-
-    return r;
+    // CellRun carries the machinery (System + tracer + runtime +
+    // result collection) so the checkpoint paths in ckpt/cell_run.cc
+    // execute exactly this code.
+    CellRun run(wl, mp, cfg, tick_limit);
+    run.runTo(maxTick);
+    return run.finish();
 }
 
 MachineParams

@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "ckpt/cell_run.hh"
 #include "obs/json.hh"
 #include "sim/logging.hh"
 
@@ -90,8 +91,14 @@ runSweep(const std::vector<SweepPoint> &points, const SweepConfig &cfg)
     for (std::size_t i = 0; i < points.size(); ++i) {
         tasks.push_back([&points, &results, i]() {
             const SweepPoint &p = points[i];
-            results[i] = runExperiment(p.workload, p.opts, p.machine,
-                                       p.cfg, p.tickLimit);
+            // Checkpoint run-control routes through the replay-verified
+            // paths; the results are byte-identical to a plain run.
+            if (p.ckptAt > 0 || !p.restoreFrom.empty())
+                results[i] = runCellCkpt(p);
+            else
+                results[i] = runExperiment(p.workload, p.opts,
+                                           p.machine, p.cfg,
+                                           p.tickLimit);
         });
     }
     runParallel(std::move(tasks), cfg.jobs);

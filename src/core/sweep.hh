@@ -42,6 +42,17 @@ struct SweepPoint
     MachineParams machine;
     RunConfig cfg;
     Tick tickLimit = maxTick;
+
+    // --- run control (checkpoint/restore; never part of the canonical
+    //     config, see runControlKeys() in core/cell.cc) ------------------
+    /** Snapshot full simulator state when simulated time reaches this
+     *  tick (0 = disabled). */
+    Tick ckptAt = 0;
+    /** Snapshot destination ("slipsim.ckpt" when empty). */
+    std::string ckptOut;
+    /** Start from this checkpoint file instead of tick 0 (replay-
+     *  verified: see DESIGN.md §13). */
+    std::string restoreFrom;
 };
 
 /** Sweep execution parameters. */

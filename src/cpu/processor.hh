@@ -184,6 +184,31 @@ class Processor
     /** Description of a stuck task, for deadlock diagnostics. */
     std::string stuckDescription() const;
 
+    /**
+     * Checkpoint payload contribution: architectural/accounting state
+     * plus the L1.  The coroutine frame itself is not serializable —
+     * restore replays the prefix to rebuild it — so its footprint here
+     * is the run/sleep flags and suspension metadata.
+     */
+    void
+    serializeState(Ser &s) const
+    {
+        s.u32(node);
+        s.u32(static_cast<std::uint32_t>(slot));
+        s.u8(static_cast<std::uint8_t>(stream));
+        s.b(static_cast<bool>(root));
+        s.b(suspendedHandle != nullptr);
+        s.u64(suspendTick);
+        s.u8(static_cast<std::uint8_t>(suspendCat));
+        s.b(sleeping);
+        s.u64(localAccum);
+        for (const Counter &c : cats)
+            s.u64(c.value());
+        s.b(taskFinished);
+        s.u64(doneTick);
+        l1.serializeState(s);
+    }
+
   private:
     void flushBusy();
     void resumeTask();

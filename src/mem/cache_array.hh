@@ -129,6 +129,12 @@ class CacheArray
     std::uint32_t assoc() const { return associativity; }
     std::uint32_t setCount() const { return numSets; }
 
+    // --- storage-order access (checkpoint serialization) ------------------
+    std::uint32_t lineCount() const
+    { return static_cast<std::uint32_t>(sets.size()); }
+    const LineT &lineAt(std::uint32_t i) const { return sets[i]; }
+    std::uint32_t lruAt(std::uint32_t i) const { return lru[i]; }
+
   private:
     std::uint32_t
     setBase(Addr line_addr) const

@@ -9,10 +9,15 @@
 
 #include "mem/directory.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "mem/memory_system.hh"
 #include "mem/protocol.hh"
 #include "obs/tracer.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 #include "sim/trace.hh"
 
 namespace slipsim
@@ -235,6 +240,32 @@ DirectoryController::registerStats(StatsRegistry &reg,
         s.counter("ownerForwards", ownerForwards);
         s.counter("ownerUpgrades", ownerUpgrades);
     }
+}
+
+void
+DirectoryController::serializeState(Ser &s) const
+{
+    std::vector<std::pair<Addr, const DirEntry *>> es;
+    entries.forEach([&](Addr k, const DirEntry &e) {
+        es.emplace_back(k, &e);
+    });
+    std::sort(es.begin(), es.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    s.u32(static_cast<std::uint32_t>(es.size()));
+    for (const auto &[k, e] : es) {
+        s.u64(k);
+        s.u8(static_cast<std::uint8_t>(e->state));
+        s.u64(e->sharers);
+        s.u32(e->owner);
+        s.u64(e->future);
+        s.u64(e->busyUntil);
+    }
+    s.u64(dc.availableAt());
+    s.u64(dc.totalBusy());
+    s.u64(dc.totalWait());
+    s.u64(dc.totalUses());
 }
 
 } // namespace slipsim

@@ -32,6 +32,7 @@ namespace slipsim
 
 class MemorySystem;
 class CoherenceProtocol;
+class Ser;
 
 /** Home-side state of one cache line. */
 struct DirEntry
@@ -143,6 +144,13 @@ class DirectoryController
     /** Register every counter under @p prefix (e.g. "node0.dir"). */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint payload contribution: every directory entry (state,
+     *  sharers, owner, future-sharer bits, busy window) sorted by line
+     *  address, plus the DC server occupancy.  Covers both protocol
+     *  backends — MOESI's Owned state and owner field are entry
+     *  fields, and the backends themselves hold no mutable state. */
+    void serializeState(Ser &s) const;
 
     NodeId homeId() const { return home; }
 

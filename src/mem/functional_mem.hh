@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace slipsim
@@ -100,6 +101,25 @@ class FunctionalMemory
 
     /** Number of touched 4 KB pages. */
     size_t touchedPages() const { return touched; }
+
+    /** Checkpoint payload contribution: every present page's index and
+     *  full 4 KB of data, in page order. */
+    void
+    serializeState(Ser &s) const
+    {
+        s.u64(firstPage);
+        s.u64(touched);
+        std::uint32_t present = 0;
+        for (const auto &p : pages)
+            present += p ? 1 : 0;
+        s.u32(present);
+        for (std::size_t i = 0; i < pages.size(); ++i) {
+            if (!pages[i])
+                continue;
+            s.u64(firstPage + i);
+            s.bytes(pages[i]->data(), pageBytes);
+        }
+    }
 
     void
     clear()
@@ -218,6 +238,19 @@ class SharedAllocator
     /** Map task index to the node that runs it (identity by default;
      *  double mode maps two tasks per node). */
     void setTasksPerNode(int tpn) { tasksPerNode = tpn; }
+
+    /** Checkpoint payload contribution: allocation cursor and the
+     *  per-page home map. */
+    void
+    serializeState(Ser &s) const
+    {
+        s.u32(static_cast<std::uint32_t>(numNodes));
+        s.u32(static_cast<std::uint32_t>(tasksPerNode));
+        s.u64(nextAddr);
+        s.u32(static_cast<std::uint32_t>(homes.size()));
+        for (NodeId h : homes)
+            s.u32(h);
+    }
 
   private:
     static constexpr Addr sharedBasePage =

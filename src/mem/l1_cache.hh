@@ -16,6 +16,7 @@
 #include "mem/cache_array.hh"
 #include "mem/observer.hh"
 #include "obs/stats_registry.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace slipsim
@@ -104,6 +105,22 @@ class L1Cache
     std::uint64_t missCount() const { return misses; }
     std::uint64_t backInvalidationCount() const
     { return backInvalidations; }
+
+    /** Checkpoint payload contribution: tags, recency, counters. */
+    void
+    serializeState(Ser &s) const
+    {
+        s.u32(array.lineCount());
+        for (std::uint32_t i = 0; i < array.lineCount(); ++i) {
+            const L1Line &l = array.lineAt(i);
+            s.b(l.valid);
+            s.u64(l.lineAddr);
+            s.u32(array.lruAt(i));
+        }
+        s.u64(hits.value());
+        s.u64(misses.value());
+        s.u64(backInvalidations.value());
+    }
 
     /** Register hit/miss counters under @p prefix. */
     void

@@ -202,4 +202,45 @@ MemorySystem::dumpStats(StatSet &out) const
     out.add("mem.bankWaitTicks", mem_wait);
 }
 
+void
+MemorySystem::serializeState(Ser &s) const
+{
+    auto res = [&s](const Resource &r) {
+        s.u64(r.availableAt());
+        s.u64(r.totalBusy());
+        s.u64(r.totalWait());
+        s.u64(r.totalUses());
+    };
+
+    for (NodeId n = 0; n < static_cast<NodeId>(params.numCmps); ++n) {
+        s.section("node" + std::to_string(n) + ".l2");
+        nodes[n]->serializeState(s);
+        s.section("node" + std::to_string(n) + ".dir");
+        dirs[n]->serializeState(s);
+    }
+
+    s.section("net");
+    for (const Resource &r : niIn)
+        res(r);
+    for (const Resource &r : niOut)
+        res(r);
+    for (const Resource &r : nodeBus)
+        res(r);
+    for (const Resource &r : memBank)
+        res(r);
+    s.u64(messages.value());
+    s.u64(remoteHops.value());
+    s.u32(static_cast<std::uint32_t>(netShards.size()));
+    for (const NetShard &sh : netShards) {
+        s.u64(sh.messages.value());
+        s.u64(sh.remoteHops.value());
+    }
+    s.b(pdes);
+    if (pdes) {
+        s.section("channels");
+        for (const auto &ch : channels)
+            ch->serializeState(s);
+    }
+}
+
 } // namespace slipsim

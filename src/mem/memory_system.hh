@@ -206,6 +206,11 @@ class MemorySystem
 
     void dumpStats(StatSet &out) const;
 
+    /** Checkpoint payload contribution: every node's L2 and directory,
+     *  all network resources, channel outboxes (parallel engine), and
+     *  the net counters/shards. */
+    void serializeState(Ser &s) const;
+
     int numNodes() const { return params.numCmps; }
 
     // Network-level counters.

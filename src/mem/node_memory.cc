@@ -5,8 +5,10 @@
 
 #include "mem/node_memory.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "mem/memory_system.hh"
 #include "obs/tracer.hh"
@@ -708,6 +710,114 @@ NodeMemory::registerStats(StatsRegistry &reg,
             cl.counter(std::string("excl.") + streams[st] + classes[c],
                        classStats.excls[st][c]);
         }
+    }
+}
+
+namespace
+{
+
+void
+serializeMemReq(Ser &s, const MemReq &r)
+{
+    s.u64(r.lineAddr);
+    s.u8(static_cast<std::uint8_t>(r.type));
+    s.u32(r.node);
+    s.u8(static_cast<std::uint8_t>(r.stream));
+    s.b(r.wantTransparent);
+    s.b(r.inCS);
+    s.b(r.statsExempt);
+    s.u8(r.gap);
+}
+
+void
+serializeResource(Ser &s, const Resource &r)
+{
+    s.u64(r.availableAt());
+    s.u64(r.totalBusy());
+    s.u64(r.totalWait());
+    s.u64(r.totalUses());
+}
+
+} // namespace
+
+void
+NodeMemory::serializeState(Ser &s) const
+{
+    // Tag array + recency in storage order (set-major, way-minor) —
+    // deterministic because placement is.
+    s.u32(array.lineCount());
+    for (std::uint32_t i = 0; i < array.lineCount(); ++i) {
+        const L2Line &l = array.lineAt(i);
+        s.b(l.valid);
+        s.u64(l.lineAddr);
+        s.u64(l.fillTick);
+        s.u16(l.meta);
+        s.u32(array.lruAt(i));
+    }
+
+    serializeResource(s, l2Port);
+
+    // MSHRs sorted by line address (slab order depends on the pool's
+    // free-list history, which is deterministic too, but key order is
+    // robust against future table changes).  Waiter/reissue callbacks
+    // are closures; their counts are the comparable footprint.
+    std::vector<const Mshr *> ms_sorted;
+    mshrs.forEach([&](Addr, const Mshr &m) { ms_sorted.push_back(&m); });
+    std::sort(ms_sorted.begin(), ms_sorted.end(),
+              [](const Mshr *a, const Mshr *b) {
+                  return a->req.lineAddr < b->req.lineAddr;
+              });
+    s.u32(static_cast<std::uint32_t>(ms_sorted.size()));
+    for (const Mshr *m : ms_sorted) {
+        serializeMemReq(s, m->req);
+        s.b(m->classifiedLate);
+        s.u64(m->mergeTick);
+        s.u64(m->issueTick);
+        s.u32(static_cast<std::uint32_t>(m->waiters.size()));
+        for (const Waiter &w : m->waiters) {
+            s.u32(static_cast<std::uint32_t>(w.slot));
+            s.b(w.wasRead);
+        }
+        s.u32(static_cast<std::uint32_t>(m->reissues.size()));
+    }
+
+    s.u32(static_cast<std::uint32_t>(parked.size()));
+    for (const Parked &p : parked) {
+        serializeMemReq(s, p.req);
+        s.u32(static_cast<std::uint32_t>(p.slot));
+    }
+    s.b(drainScheduled);
+
+    s.u32(static_cast<std::uint32_t>(siQueue.size()));
+    for (Addr a : siQueue)
+        s.u64(a);
+    s.b(siDrainActive);
+    s.u64(siSweepStart);
+    s.u64(siSweepProcessed);
+
+    s.b(classifyEnabled);
+    for (int st = 0; st < 2; ++st) {
+        for (int c = 0; c < 3; ++c) {
+            s.u64(classStats.reads[st][c].value());
+            s.u64(classStats.excls[st][c].value());
+        }
+    }
+
+    // Transparent-fill shadow images, sorted by line address.
+    std::vector<std::pair<Addr, const std::array<std::uint8_t,
+                                                 lineBytes> *>> sh;
+    shadow.forEach([&](Addr k,
+                       const std::array<std::uint8_t, lineBytes> &v) {
+        sh.emplace_back(k, &v);
+    });
+    std::sort(sh.begin(), sh.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    s.u32(static_cast<std::uint32_t>(sh.size()));
+    for (const auto &[k, v] : sh) {
+        s.u64(k);
+        s.bytes(v->data(), v->size());
     }
 }
 

@@ -232,6 +232,10 @@ class NodeMemory
     bool missOutstanding(Addr line_addr) const
     { return mshrs.contains(line_addr); }
 
+    /** Number of misses in flight (checkpoint tests use this to prove
+     *  a pause tick landed mid-transaction). */
+    std::size_t mshrsInFlight() const { return mshrs.size(); }
+
     /**
      * Access the L2 (after an L1 miss, or for ownership).  @p done is
      * called (via the event queue) when the access completes; for
@@ -317,6 +321,10 @@ class NodeMemory
      *  (e.g. "node3.l2"). */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint payload contribution: tag array, MSHRs, parked and
+     *  self-invalidation queues, classification state, shadow table. */
+    void serializeState(Ser &s) const;
 
     /** Owning memory system (tracer/observer slots live there). */
     MemorySystem &sys() const { return ms; }

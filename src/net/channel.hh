@@ -23,6 +23,7 @@
 #ifndef SLIPSIM_NET_CHANNEL_HH
 #define SLIPSIM_NET_CHANNEL_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <queue>
@@ -30,6 +31,7 @@
 
 #include "sim/inline_function.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace slipsim
@@ -121,6 +123,26 @@ class Channel
     std::size_t pending() const { return outbox.size(); }
     NodeId source() const { return src_; }
 
+    /**
+     * Checkpoint payload contribution: the sequence cursor plus the
+     * identity (applyTick, src, seq, kind) of every buffered envelope.
+     * Delivery closures are not serializable — restore replays the
+     * prefix to rebuild them — so this is the byte-compare footprint,
+     * not a reconstruction format.
+     */
+    void
+    serializeState(Ser &s) const
+    {
+        s.u64(nextSeq);
+        s.u32(static_cast<std::uint32_t>(outbox.size()));
+        for (const Envelope &e : outbox) {
+            s.u64(e.applyTick);
+            s.u32(e.src);
+            s.u64(e.seq);
+            s.u8(static_cast<std::uint8_t>(e.kind));
+        }
+    }
+
     static const char *msgKindName(MsgKind k);
 
   private:
@@ -180,6 +202,29 @@ class EpochCalendar
 
     bool empty() const { return heap.empty(); }
     std::size_t size() const { return heap.size(); }
+
+    /** Checkpoint payload contribution: staged envelope identities in
+     *  canonical order (heap storage order is not canonical). */
+    void
+    serializeState(Ser &s) const
+    {
+        const auto &c = pqContainer(heap);
+        std::vector<const Envelope *> order;
+        order.reserve(c.size());
+        for (const Envelope &e : c)
+            order.push_back(&e);
+        std::sort(order.begin(), order.end(),
+                  [](const Envelope *a, const Envelope *b) {
+                      return envelopeBefore(*a, *b);
+                  });
+        s.u32(static_cast<std::uint32_t>(order.size()));
+        for (const Envelope *e : order) {
+            s.u64(e->applyTick);
+            s.u32(e->src);
+            s.u64(e->seq);
+            s.u8(static_cast<std::uint8_t>(e->kind));
+        }
+    }
 
   private:
     struct After

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "sim/parallel_exec.hh"
+#include "sim/serialize.hh"
 #include "sim/trace.hh"
 #include "workloads/workload.hh"
 
@@ -127,8 +128,8 @@ ParallelRuntime::setup()
     }
 }
 
-Tick
-ParallelRuntime::run(Tick limit)
+void
+ParallelRuntime::startTasks()
 {
     SLIPSIM_ASSERT(!ran, "runtime can only run once");
     ran = true;
@@ -148,11 +149,45 @@ ParallelRuntime::run(Tick limit)
                     [pr]() { pr->aFinished = true; });
         }
     }
+}
+
+void
+ParallelRuntime::finishRun(Tick end_tick)
+{
+    end = end_tick;
+
+    // Surviving A-streams are torn down with the program.
+    for (auto &actx : aCtxs) {
+        if (actx->processor().running())
+            actx->processor().killTask();
+    }
+
+    ms.finalizeStats();
+}
+
+Tick
+ParallelRuntime::run(Tick limit)
+{
+    runTo(maxTick, limit);
+    return end;
+}
+
+bool
+ParallelRuntime::runTo(Tick bound, Tick limit)
+{
+    if (!ran)
+        startTasks();
 
     if (cfg.simJobs > 0)
-        return runParallel(limit);
+        return runParallelTo(bound, limit);
 
     while (rDone < nTasks) {
+        // Checkpoint pause: stop with every event below the bound
+        // dispatched and nothing at or past it touched.  Gated on a
+        // real bound so an unbounded run keeps the legacy deadlock
+        // fatal below (a drained queue reports nextTick == maxTick).
+        if (bound != maxTick && eq.nextTick() >= bound)
+            return false;
         if (eq.now() > limit) {
             fatal("simulation exceeded tick limit %llu",
                   (unsigned long long)limit);
@@ -166,60 +201,100 @@ ParallelRuntime::run(Tick limit)
         }
     }
 
-    end = eq.now();
-
-    // Surviving A-streams are torn down with the program.
-    for (auto &actx : aCtxs) {
-        if (actx->processor().running())
-            actx->processor().killTask();
-    }
-
-    ms.finalizeStats();
-    return end;
+    finishRun(eq.now());
+    return true;
 }
 
-Tick
-ParallelRuntime::runParallel(Tick limit)
+bool
+ParallelRuntime::runParallelTo(Tick bound, Tick limit)
 {
-    std::vector<EventQueue *> qs;
-    std::vector<Channel *> chs;
-    for (NodeId n = 0; n < params.numCmps; ++n) {
-        qs.push_back(&ms.eventq(n));
-        chs.push_back(&ms.channel(n));
+    if (!exec) {
+        std::vector<EventQueue *> qs;
+        std::vector<Channel *> chs;
+        for (NodeId n = 0; n < params.numCmps; ++n) {
+            qs.push_back(&ms.eventq(n));
+            chs.push_back(&ms.channel(n));
+        }
+
+        // The epoch window must stay within the conservative lookahead
+        // (the minimum latency of any cross-node interaction) or a
+        // message could land inside the epoch that produced it.
+        Tick lookahead = ms.lookahead();
+        Tick epoch = std::min<Tick>(ParallelExecutor::defaultEpochLen,
+                                    lookahead);
+        SLIPSIM_ASSERT(epoch >= 1 && epoch <= lookahead,
+                "epoch window exceeds the conservative lookahead");
+
+        exec = std::make_unique<ParallelExecutor>(
+                std::move(qs), std::move(chs), epoch, cfg.simJobs);
     }
 
-    // The epoch window must stay within the conservative lookahead
-    // (the minimum latency of any cross-node interaction) or a
-    // message could land inside the epoch that produced it.
-    Tick lookahead = ms.lookahead();
-    Tick epoch = std::min<Tick>(ParallelExecutor::defaultEpochLen,
-                                lookahead);
-    SLIPSIM_ASSERT(epoch >= 1 && epoch <= lookahead,
-            "epoch window exceeds the conservative lookahead");
-
-    ParallelExecutor exec(std::move(qs), std::move(chs), epoch,
-                          cfg.simJobs);
-    exec.run(
+    exec->run(
             [this]() {
                 return rDone.load(std::memory_order_relaxed) >= nTasks;
             },
-            [this]() { return stuckDiagnostic(); }, limit);
+            [this]() { return stuckDiagnostic(); }, limit, bound);
+    if (exec->pausedLast())
+        return false;
 
     // Completion tick: when the last R task retired (the executor's
     // final horizon overshoots by up to one epoch).
     Tick last = 0;
     for (auto &rctx : rCtxs)
         last = std::max(last, rctx->processor().finishTick());
-    end = last;
 
-    // Surviving A-streams are torn down with the program.
-    for (auto &actx : aCtxs) {
-        if (actx->processor().running())
-            actx->processor().killTask();
+    finishRun(last);
+    return true;
+}
+
+void
+ParallelRuntime::serializeState(Ser &s) const
+{
+    s.section("runtime");
+    s.u32(static_cast<std::uint32_t>(nTasks));
+    s.u32(static_cast<std::uint32_t>(
+            rDone.load(std::memory_order_relaxed)));
+    s.u32(static_cast<std::uint32_t>(pairs.size()));
+    for (const auto &p : pairs) {
+        s.u32(static_cast<std::uint32_t>(p->tid));
+        s.u32(static_cast<std::uint32_t>(p->rSession));
+        s.u32(static_cast<std::uint32_t>(p->aSession));
+        s.u32(static_cast<std::uint32_t>(p->tokens));
+        s.b(p->aAtBarrier);
+        s.b(p->aTokenWaiter != nullptr);
+        s.b(p->aFinished);
+        s.u32(static_cast<std::uint32_t>(p->published.size()));
+        for (std::uint64_t v : p->published)
+            s.u64(v);
+        s.b(p->publishWaiter != nullptr);
+        s.u64(p->recoveries);
+        s.u32(static_cast<std::uint32_t>(p->policyRung));
+        s.u64(p->policySwitches);
+        for (int st = 0; st < 2; ++st) {
+            for (int c = 0; c < 3; ++c)
+                s.u64(p->lastSnap[st][c]);
+        }
+        s.u32(static_cast<std::uint32_t>(p->sessionsSinceAdapt));
     }
-
-    ms.finalizeStats();
-    return end;
+    s.u32(static_cast<std::uint32_t>(barriers.size()));
+    for (const auto &b : barriers) {
+        s.u32(static_cast<std::uint32_t>(b->waiting()));
+        s.u64(b->episodes());
+    }
+    s.u32(static_cast<std::uint32_t>(locks.size()));
+    for (const auto &l : locks) {
+        s.b(l->isHeld());
+        s.u32(static_cast<std::uint32_t>(l->waiting()));
+        s.u64(l->acquisitions());
+    }
+    s.u32(static_cast<std::uint32_t>(flags.size()));
+    for (const auto &f : flags) {
+        s.b(f->set_p());
+        s.u32(static_cast<std::uint32_t>(f->waiting()));
+        s.u64(f->setCount());
+    }
+    if (exec)
+        exec->serializeState(s);
 }
 
 void

@@ -23,6 +23,8 @@ namespace slipsim
 {
 
 class Workload;
+class ParallelExecutor;
+class Ser;
 
 /** Services and orchestration for one program run. */
 class ParallelRuntime
@@ -68,6 +70,23 @@ class ParallelRuntime
     /** Execute the program; @return completion tick. */
     Tick run(Tick limit = maxTick);
 
+    /**
+     * Resumable execution for checkpointing: advance the simulation
+     * until either the program completes (returns true; teardown and
+     * stats finalization have run) or the next event/epoch would land
+     * at or beyond @p bound (returns false; call again with a larger
+     * bound to continue).  Task start happens on the first call.
+     * run() is exactly runTo(maxTick, limit).
+     */
+    bool runTo(Tick bound, Tick limit = maxTick);
+
+    /**
+     * Checkpoint payload contribution: task-completion and slip-pair
+     * state, sync-object occupancy, and (under the parallel engine)
+     * the executor's epoch-merge state.
+     */
+    void serializeState(Ser &s) const;
+
     /** Kill a deviated A-stream and re-fork it (Section 3.2). */
     void recoverAStream(SlipPair &pair);
 
@@ -107,9 +126,16 @@ class ParallelRuntime
   private:
     std::string stuckDiagnostic() const;
 
-    /** Drive the run on the epoch-windowed parallel executor
-     *  (cfg.simJobs >= 1). */
-    Tick runParallel(Tick limit);
+    /** Start all tasks (first runTo call). */
+    void startTasks();
+
+    /** Completion path shared by both engines: record the end tick,
+     *  tear down surviving A-streams, finalize stats. */
+    void finishRun(Tick end_tick);
+
+    /** Drive one bounded window on the epoch-windowed parallel
+     *  executor (cfg.simJobs >= 1); same contract as runTo. */
+    bool runParallelTo(Tick bound, Tick limit);
 
     EventQueue &eq;
     const MachineParams &params;
@@ -135,6 +161,9 @@ class ParallelRuntime
     int nextLockHome = 0;
     Tick end = 0;
     bool ran = false;
+
+    /** Parallel engine state, persistent across runTo pauses. */
+    std::unique_ptr<ParallelExecutor> exec;
 };
 
 } // namespace slipsim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Checkpoint-session store implementation.
+ */
+
+#include "serve/ckpt_store.hh"
+
+#include <utility>
+
+#include "ckpt/warm_sweep.hh"
+#include "core/cell.hh"
+#include "ckpt/snapshot.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+namespace serve
+{
+
+bool
+CkptStore::runWarm(const SweepPoint &pt, const std::string &git_rev,
+                   std::string &frag)
+{
+    if (!enabled() || !warmEligible(pt))
+        return false;
+    const std::string key =
+        ckptStoreKey(renderPrefixCell(pt), pt.ckptAt, git_rev);
+
+    // Find-or-insert under the store lock; spawn (slow) under only the
+    // entry's own lock, so other prefixes stay available meanwhile.
+    std::shared_ptr<Entry> e;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = index.find(key);
+        if (it != index.end()) {
+            lru.splice(lru.begin(), lru, it->second);
+            e = *it->second;
+            ++hits;
+        } else {
+            e = std::make_shared<Entry>();
+            e->key = key;
+            lru.push_front(e);
+            index[key] = lru.begin();
+            ++misses;
+            while (lru.size() > capacity) {
+                std::shared_ptr<Entry> victim = lru.back();
+                index.erase(victim->key);
+                lru.pop_back();
+                ++evictions;
+                // The victim's incubator is reaped when its last
+                // in-flight user releases it.
+            }
+            sessionsGauge.set(static_cast<double>(lru.size()));
+        }
+    }
+
+    std::lock_guard<std::mutex> slock(e->sessMu);
+    if (!e->sess && !e->spawnFailed) {
+        std::string err;
+        e->sess = CkptSession::spawn(pt, &err);
+        std::lock_guard<std::mutex> lock(mu);
+        if (e->sess) {
+            ++spawns;
+        } else {
+            e->spawnFailed = true;
+            ++spawnFailures;
+            warn("ckpt store: prefix spawn failed (%s); serving cold",
+                 err.c_str());
+        }
+    }
+    if (!e->sess)
+        return false;
+
+    try {
+        frag = e->sess->forkRun(pt.tickLimit, pt.cfg.verify);
+    } catch (const FatalError &) {
+        if (e->sess->alive())
+            throw;  // genuine in-cell fatal; a cold run would hit it too
+        // Incubator died mid-protocol: poison the entry for anyone
+        // already queued on it, drop it from the map, serve cold.
+        e->spawnFailed = true;
+        e->sess.reset();
+        std::lock_guard<std::mutex> lock(mu);
+        ++deaths;
+        auto it = index.find(key);
+        if (it != index.end() && *it->second == e) {
+            lru.erase(it->second);
+            index.erase(it);
+            sessionsGauge.set(static_cast<double>(lru.size()));
+        }
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(mu);
+    ++forks;
+    return true;
+}
+
+void
+CkptStore::clear()
+{
+    // Detach under the store lock, shut sessions down outside it so a
+    // slow incubator teardown cannot block concurrent lookups.
+    std::list<std::shared_ptr<Entry>> dead;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        dead.swap(lru);
+        index.clear();
+        sessionsGauge.set(0);
+    }
+    for (const std::shared_ptr<Entry> &e : dead) {
+        std::lock_guard<std::mutex> slock(e->sessMu);
+        e->spawnFailed = true;
+        e->sess.reset();
+    }
+}
+
+std::size_t
+CkptStore::sessionCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return lru.size();
+}
+
+void
+CkptStore::registerStats(StatsScope scope) const
+{
+    scope.counter("hits", hits);
+    scope.counter("misses", misses);
+    scope.counter("spawns", spawns);
+    scope.counter("spawnFailures", spawnFailures);
+    scope.counter("evictions", evictions);
+    scope.counter("forks", forks);
+    scope.counter("deaths", deaths);
+    scope.gauge("sessions", sessionsGauge);
+}
+
+} // namespace serve
+} // namespace slipsim

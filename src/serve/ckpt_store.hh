@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Checkpoint-session store for the simulation service.
+ *
+ * Sits alongside the result cache: where the result cache memoizes
+ * *finished* cells, the checkpoint store keeps *parked prefixes* — live
+ * CkptSession incubators (DESIGN.md §13) keyed by
+ * ckptStoreKey(canonical-prefix-config, checkpoint-tick, git-rev).  A
+ * warm-eligible cell (checkpoint-at set as a prefix-sharing hint) that
+ * misses the result cache forks its suffix from a stored session
+ * instead of simulating from tick 0; the first such cell pays the
+ * prefix once, every later cell sharing the prefix pays only its
+ * suffix.
+ *
+ * Capacity is counted in sessions (each incubator is a whole parked
+ * simulator process); inserting past capacity evicts the
+ * least-recently-used session, whose incubator is shut down and
+ * reaped.  A request for an evicted key simply respawns the prefix —
+ * eviction costs time, never correctness.  Fork children produce
+ * byte-identical output to straight-through runs, so warm results
+ * share the result cache with cold ones under the same key.
+ *
+ * All operations are thread-safe.  Forks on one session serialize on
+ * that session's incubator; distinct sessions fork concurrently.
+ * Counters register under serve.ckpt.*.
+ */
+
+#ifndef SLIPSIM_SERVE_CKPT_STORE_HH
+#define SLIPSIM_SERVE_CKPT_STORE_HH
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "ckpt/ckpt_session.hh"
+#include "core/sweep.hh"
+#include "obs/stats_registry.hh"
+
+namespace slipsim
+{
+namespace serve
+{
+
+class CkptStore
+{
+  public:
+    /** @p max_sessions parked incubators (0 disables the store). */
+    explicit CkptStore(unsigned max_sessions) : capacity(max_sessions) {}
+
+    bool enabled() const { return capacity > 0; }
+
+    /**
+     * Run @p pt warm: fork its suffix from the parked prefix session
+     * for (renderPrefixCell(pt), pt.ckptAt, @p git_rev), spawning the
+     * session first if the store has no live one.  On success @p frag
+     * receives the cell's sweepPointJson() fragment and true is
+     * returned.  Returns false — caller runs the cell cold — when the
+     * store is disabled, @p pt is not warm-eligible, or the spawn
+     * failed.  A fatal *inside* the forked child (one a
+     * straight-through run would also hit) propagates; a dead
+     * incubator is dropped and reported as a cold fallback instead.
+     */
+    bool runWarm(const SweepPoint &pt, const std::string &git_rev,
+                 std::string &frag);
+
+    /** Shut down and reap every parked session. */
+    void clear();
+
+    std::size_t sessionCount() const;
+    unsigned capacitySessions() const { return capacity; }
+
+    /** Register counters/gauges under @p scope (e.g. "serve.ckpt"). */
+    void registerStats(StatsScope scope) const;
+
+    /** Held while snapshotting the registry so counter reads are
+     *  consistent with concurrent forks. */
+    std::mutex &statsMutex() const { return mu; }
+
+  private:
+    /** One parked prefix; sessMu serializes its incubator protocol. */
+    struct Entry
+    {
+        std::string key;
+        std::mutex sessMu;
+        std::unique_ptr<CkptSession> sess;  //!< null while spawning
+        bool spawnFailed = false;
+    };
+
+    const unsigned capacity;
+    mutable std::mutex mu;
+    std::list<std::shared_ptr<Entry>> lru;  //!< front = most recent
+    std::unordered_map<std::string,
+                       std::list<std::shared_ptr<Entry>>::iterator>
+        index;
+
+    Counter hits, misses, spawns, spawnFailures, evictions, forks,
+        deaths;
+    Gauge sessionsGauge;
+};
+
+} // namespace serve
+} // namespace slipsim
+
+#endif // SLIPSIM_SERVE_CKPT_STORE_HH

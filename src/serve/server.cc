@@ -17,6 +17,7 @@
 #include "core/config_hash.hh"
 #include "core/experiment.hh"
 #include "core/sweep.hh"
+#include "ckpt/warm_sweep.hh"
 #include "obs/json.hh"
 #include "sim/logging.hh"
 
@@ -26,7 +27,8 @@ namespace serve
 {
 
 Server::Server(ServeConfig config)
-    : cfg(std::move(config)), cache(cfg.cacheBytes)
+    : cfg(std::move(config)), cache(cfg.cacheBytes),
+      ckpts(cfg.ckptSessions)
 {
 }
 
@@ -243,6 +245,13 @@ Server::handleRun(Connection *conn, const JsonValue &req)
         } catch (const std::exception &e) {
             fatal("cell %zu: %s", i, e.what());
         }
+        // The on-disk checkpoint protocol reads and writes the
+        // *server's* filesystem; only the in-memory warm-start hint
+        // (checkpoint-at alone) is served.
+        if (!pts[i].ckptOut.empty() || !pts[i].restoreFrom.empty()) {
+            fatal("cell %zu: checkpoint-out/restore-from are not "
+                  "served; use checkpoint-at as a warm-start hint", i);
+        }
         // The request-level sim-jobs only resizes the worker pool of
         // cells that already chose the parallel engine; it never
         // switches a cell's timing model (and so never its hash).
@@ -286,18 +295,27 @@ Server::handleRun(Connection *conn, const JsonValue &req)
             const SweepPoint &pt = pts[i];
             std::ostringstream os;
             try {
-                ExperimentResult res =
-                    runExperiment(pt.workload, pt.opts, pt.machine,
-                                  pt.cfg, pt.tickLimit);
-                std::string frag = sweepPointJson(res);
+                // Warm path first: fork the suffix from a parked
+                // prefix session (byte-identical to a cold run, so
+                // either result may land in the cache).  Cold
+                // otherwise, with the warm-start hint stripped — the
+                // server never snapshots to disk on a cell's behalf.
+                std::string frag;
+                bool warm = ckpts.runWarm(pt, cfg.gitRev, frag);
+                if (!warm) {
+                    ExperimentResult res =
+                        runExperiment(pt.workload, pt.opts, pt.machine,
+                                      pt.cfg, pt.tickLimit);
+                    frag = sweepPointJson(res);
+                }
                 cache.insert(keys[i], frag);
                 {
                     std::lock_guard<std::mutex> lock(countMu);
                     ++cellsSimulated;
                 }
-                os << "{\"cell\": " << i
-                   << ", \"cached\": false, \"point\": " << frag
-                   << "}";
+                os << "{\"cell\": " << i << ", \"cached\": false"
+                   << (warm ? ", \"warm\": true" : "")
+                   << ", \"point\": " << frag << "}";
             } catch (const std::exception &e) {
                 {
                     std::lock_guard<std::mutex> lock(err_mu);
@@ -402,6 +420,7 @@ Server::stop()
 
     if (sched)
         sched->drainAndStop();
+    ckpts.clear();
 
     for (int &fd : stopPipe) {
         if (fd >= 0) {
@@ -427,14 +446,16 @@ Server::statsSnapshot() const
         root.counter("connections", connectionsAccepted);
     }
     cache.registerStats(root.sub("cache"));
+    ckpts.registerStats(root.sub("ckpt"));
     if (sched)
         sched->registerStats(root.sub("sched"));
 
     // Freeze under every component's lock so counters are coherent.
     std::lock_guard<std::mutex> l1(countMu);
     std::lock_guard<std::mutex> l2(cache.statsMutex());
+    std::lock_guard<std::mutex> l3(ckpts.statsMutex());
     if (sched) {
-        std::lock_guard<std::mutex> l3(sched->statsMutex());
+        std::lock_guard<std::mutex> l4(sched->statsMutex());
         return reg.snapshot();
     }
     return reg.snapshot();

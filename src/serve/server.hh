@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "obs/stats_registry.hh"
+#include "serve/ckpt_store.hh"
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
 #include "serve/scheduler.hh"
@@ -73,6 +74,12 @@ struct ServeConfig
 
     /** Per-frame payload cap for this server's connections. */
     std::uint32_t maxFrameBytes = defaultMaxFrameBytes;
+
+    /** Parked checkpoint sessions to keep (0 disables warm starts).
+     *  Cells carrying a checkpoint-at warm-start hint fork their
+     *  suffix from a stored prefix incubator instead of simulating
+     *  from tick 0; see serve/ckpt_store.hh. */
+    unsigned ckptSessions = 0;
 
     /** Build identity baked into every cache key. */
     std::string gitRev = "unknown";
@@ -134,6 +141,7 @@ class Server
 
     ServeConfig cfg;
     ResultCache cache;
+    CkptStore ckpts;
     std::unique_ptr<FairScheduler> sched;
 
     int unixFd = -1;

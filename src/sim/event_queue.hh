@@ -10,15 +10,18 @@
 #ifndef SLIPSIM_SIM_EVENT_QUEUE_HH
 #define SLIPSIM_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/inline_function.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace slipsim
@@ -182,6 +185,36 @@ class EventQueue
     addDrainCheck(std::function<std::string()> check)
     {
         drainChecks.push_back(std::move(check));
+    }
+
+    /**
+     * Checkpoint payload contribution: clock, sequence cursor,
+     * processed count, and the (when, seq) identity of every pending
+     * event in dispatch order.  Callbacks are InlineCallback closures
+     * and cannot be serialized — restore replays the prefix to rebuild
+     * them — so this is the byte-compare footprint of the queue.
+     */
+    void
+    serializePending(Ser &s) const
+    {
+        s.u64(_now);
+        s.u64(seq);
+        s.u64(nProcessed);
+        std::vector<std::pair<Tick, std::uint64_t>> ids;
+        ids.reserve(pending());
+        for (std::size_t slot = 0; slot < horizon; ++slot) {
+            for (std::uint32_t i = bucketHead[slot]; i != npos;
+                 i = pool[i].next)
+                ids.emplace_back(pool[i].when, pool[i].seq);
+        }
+        for (const HeapEntry &e : pqContainer(heap))
+            ids.emplace_back(e.when, e.seq);
+        std::sort(ids.begin(), ids.end());
+        s.u32(static_cast<std::uint32_t>(ids.size()));
+        for (const auto &[when, sq] : ids) {
+            s.u64(when);
+            s.u64(sq);
+        }
     }
 
   private:

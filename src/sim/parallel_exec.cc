@@ -78,12 +78,22 @@ ParallelExecutor::replayWindow(Tick horizon)
     }
 }
 
+void
+ParallelExecutor::serializeState(Ser &s) const
+{
+    s.section("executor");
+    s.u64(nEpochs);
+    s.u64(nReplayed);
+    calendar.serializeState(s);
+}
+
 Tick
 ParallelExecutor::run(const std::function<bool()> &done,
                       const std::function<std::string()> &stuck_diag,
-                      Tick limit)
+                      Tick limit, Tick pause_at)
 {
     Tick lastHorizon = 0;
+    paused = false;
 
     // Shared epoch state.  `horizon` is written by the coordinator
     // strictly before the start barrier and read by workers strictly
@@ -97,6 +107,15 @@ ParallelExecutor::run(const std::function<bool()> &done,
         if (done())
             return false;
         Tick next = globalNextTick();
+        // Checkpoint pause: stop before the first window starting at
+        // or beyond the bound.  Checked ahead of the idle fatal so the
+        // decision depends only on (config, bound), but only when a
+        // bound was actually requested — an unbounded run keeps the
+        // deadlock diagnostics intact.
+        if (pause_at != maxTick && next >= pause_at) {
+            paused = true;
+            return false;
+        }
         if (next == maxTick) {
             std::string diag = stuck_diag ? stuck_diag() : std::string();
             fatal("parallel executor idle with incomplete simulation "

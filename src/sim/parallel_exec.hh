@@ -39,6 +39,7 @@
 
 #include "net/channel.hh"
 #include "sim/event_queue.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace slipsim
@@ -60,16 +61,31 @@ class ParallelExecutor
                      Tick epoch_len, int workers);
 
     /**
-     * Run epochs until @p done returns true at a barrier.
+     * Run epochs until @p done returns true at a barrier, or (when
+     * @p pause_at is bounded) until the next epoch would start at or
+     * beyond @p pause_at.
      * @param done       termination predicate, evaluated between epochs.
      * @param stuck_diag invoked for the fatal() message if the whole
      *                   system goes idle while done() is still false.
      * @param limit      fatal if simulated time would pass this tick.
+     * @param pause_at   checkpoint bound: stop *before* executing the
+     *                   first epoch whose window starts at or beyond
+     *                   this tick (a deterministic function of the
+     *                   config and the bound, never of sim-jobs).
+     *                   pausedLast() reports whether the return was a
+     *                   pause rather than completion.
      * @return the horizon of the last executed epoch.
      */
     Tick run(const std::function<bool()> &done,
              const std::function<std::string()> &stuck_diag,
-             Tick limit = maxTick);
+             Tick limit = maxTick, Tick pause_at = maxTick);
+
+    /** True if the previous run() returned at the pause bound. */
+    bool pausedLast() const { return paused; }
+
+    /** Epoch-merge state (staged calendar envelopes + epoch count)
+     *  for checkpoint payloads. */
+    void serializeState(Ser &s) const;
 
     Tick epochLength() const { return epochLen; }
     int workerCount() const { return nWorkers; }
@@ -113,6 +129,7 @@ class ParallelExecutor
     int nWorkers;
     std::uint64_t nEpochs = 0;
     std::uint64_t nReplayed = 0;
+    bool paused = false;
 };
 
 } // namespace slipsim

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Deterministic binary serialization primitives for simulator
+ * checkpoints.
+ *
+ * Ser is a little-endian byte sink; Deser is the matching fail-closed
+ * reader (every bounds violation is a fatal(), never a silent
+ * truncation).  The encoding is deliberately dumb — fixed-width
+ * integers, length-prefixed strings, named section markers — because
+ * the checkpoint payload is consumed in exactly two ways: byte-compared
+ * against a freshly recomputed payload (replay-verify restore) and
+ * decoded by tools/ckpt_inspect for humans.  Determinism of the
+ * *producer* is the load-bearing property; see DESIGN.md §13.
+ */
+
+#ifndef SLIPSIM_SIM_SERIALIZE_HH
+#define SLIPSIM_SIM_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+/** Little-endian byte sink for checkpoint payloads. */
+class Ser
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        for (int i = 0; i < 2; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    b(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(std::string_view s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf.insert(buf.end(), s.begin(), s.end());
+    }
+
+    /** Raw bytes, no length prefix (caller has its own framing). */
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        const auto *c = static_cast<const std::uint8_t *>(p);
+        buf.insert(buf.end(), c, c + n);
+    }
+
+    /**
+     * Named section marker.  Purely structural: lets ckpt_inspect and
+     * payload-diff tooling localize a divergence to a component.
+     */
+    void
+    section(std::string_view name)
+    {
+        u32(0x53454354u);  // "SECT"
+        str(name);
+    }
+
+    const std::vector<std::uint8_t> &data() const { return buf; }
+    std::vector<std::uint8_t> take() { return std::move(buf); }
+    std::size_t size() const { return buf.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+/**
+ * Fail-closed reader over a serialized payload.  Any read past the end
+ * or malformed marker is a fatal() (FatalError) — a checkpoint that
+ * cannot be decoded completely must never be half-applied.
+ */
+class Deser
+{
+  public:
+    Deser(const std::uint8_t *p, std::size_t n) : p(p), n(n) {}
+    explicit Deser(const std::vector<std::uint8_t> &v)
+        : p(v.data()), n(v.size())
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return p[off++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        need(2);
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(p[off++]) << (8 * i);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(p[off++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(p[off++]) << (8 * i);
+        return v;
+    }
+
+    bool b() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        std::uint32_t len = u32();
+        need(len);
+        std::string s(reinterpret_cast<const char *>(p + off), len);
+        off += len;
+        return s;
+    }
+
+    void
+    bytes(void *dst, std::size_t want)
+    {
+        need(want);
+        std::memcpy(dst, p + off, want);
+        off += want;
+    }
+
+    /** Consume a section marker; fatal on mismatch. */
+    void
+    section(std::string_view name)
+    {
+        if (u32() != 0x53454354u)
+            fatal("checkpoint payload corrupt: missing section marker "
+                  "before '%s' at offset %zu",
+                  std::string(name).c_str(), off);
+        std::string got = str();
+        if (got != name)
+            fatal("checkpoint payload corrupt: expected section '%s', "
+                  "found '%s'",
+                  std::string(name).c_str(), got.c_str());
+    }
+
+    std::size_t offset() const { return off; }
+    std::size_t remaining() const { return n - off; }
+    bool atEnd() const { return off == n; }
+
+  private:
+    void
+    need(std::size_t want)
+    {
+        if (n - off < want)
+            fatal("checkpoint payload truncated: need %zu bytes at "
+                  "offset %zu, have %zu",
+                  want, off, n - off);
+    }
+
+    const std::uint8_t *p;
+    std::size_t n;
+    std::size_t off = 0;
+};
+
+namespace detail
+{
+
+/** Read-only access to std::priority_queue's protected container. */
+template <class T, class C, class P>
+const C &
+pqContainer(const std::priority_queue<T, C, P> &q)
+{
+    struct Opened : std::priority_queue<T, C, P>
+    {
+        static const C &
+        get(const std::priority_queue<T, C, P> &q)
+        {
+            return q.*(&Opened::c);
+        }
+    };
+    return Opened::get(q);
+}
+
+} // namespace detail
+
+using detail::pqContainer;
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SIM_SERIALIZE_HH

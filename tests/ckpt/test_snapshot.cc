@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Checkpoint container tests: encode/decode round trip and the
+ * fail-closed validation matrix (bad magic, version skew, truncation,
+ * payload corruption).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+CkptHeader
+sampleHeader()
+{
+    CkptHeader hdr;
+    hdr.gitRev = "abc1234";
+    hdr.config = "cmps=2 n=34 workload=sor";
+    hdr.engine = CkptEngine::Parallel;
+    hdr.tick = 123456;
+    return hdr;
+}
+
+std::vector<std::uint8_t>
+samplePayload()
+{
+    std::vector<std::uint8_t> p;
+    for (int i = 0; i < 1000; ++i)
+        p.push_back(static_cast<std::uint8_t>(i * 7));
+    return p;
+}
+
+void
+writeRaw(const std::string &path, const std::vector<std::uint8_t> &b)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char *>(b.data()),
+             static_cast<std::streamsize>(b.size()));
+}
+
+} // namespace
+
+TEST(CkptSnapshot, EncodeDecodeRoundTrip)
+{
+    std::vector<std::uint8_t> bytes =
+        encodeCkptFile(sampleHeader(), samplePayload());
+    CkptFile f = decodeCkptFile(bytes, "test");
+    EXPECT_EQ(f.header.version, ckptVersion);
+    EXPECT_EQ(f.header.gitRev, "abc1234");
+    EXPECT_EQ(f.header.config, "cmps=2 n=34 workload=sor");
+    EXPECT_EQ(f.header.engine, CkptEngine::Parallel);
+    EXPECT_EQ(f.header.tick, 123456u);
+    EXPECT_EQ(f.payload, samplePayload());
+}
+
+TEST(CkptSnapshot, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "slipsim_snap_rt.ckpt";
+    writeCkptFile(path, sampleHeader(), samplePayload());
+    CkptFile f = readCkptFile(path);
+    EXPECT_EQ(f.header.tick, 123456u);
+    EXPECT_EQ(f.payload, samplePayload());
+    std::remove(path.c_str());
+}
+
+TEST(CkptSnapshot, RejectsBadMagic)
+{
+    std::vector<std::uint8_t> bytes =
+        encodeCkptFile(sampleHeader(), samplePayload());
+    bytes[0] = 'X';
+    EXPECT_THROW(decodeCkptFile(bytes, "test"), FatalError);
+}
+
+TEST(CkptSnapshot, RejectsVersionMismatch)
+{
+    std::vector<std::uint8_t> bytes =
+        encodeCkptFile(sampleHeader(), samplePayload());
+    // The u32 version immediately follows the 8-byte magic.
+    bytes[8] = static_cast<std::uint8_t>(ckptVersion + 1);
+    EXPECT_THROW(decodeCkptFile(bytes, "test"), FatalError);
+}
+
+TEST(CkptSnapshot, RejectsTruncatedAndPadded)
+{
+    std::vector<std::uint8_t> bytes =
+        encodeCkptFile(sampleHeader(), samplePayload());
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 1);
+    EXPECT_THROW(decodeCkptFile(cut, "test"), FatalError);
+    std::vector<std::uint8_t> deep_cut(bytes.begin(),
+                                       bytes.begin() + 16);
+    EXPECT_THROW(decodeCkptFile(deep_cut, "test"), FatalError);
+    std::vector<std::uint8_t> padded = bytes;
+    padded.push_back(0);
+    EXPECT_THROW(decodeCkptFile(padded, "test"), FatalError);
+}
+
+TEST(CkptSnapshot, RejectsCorruptPayload)
+{
+    std::vector<std::uint8_t> bytes =
+        encodeCkptFile(sampleHeader(), samplePayload());
+    bytes[bytes.size() - 10] ^= 0xff;  // inside the payload
+    EXPECT_THROW(decodeCkptFile(bytes, "test"), FatalError);
+}
+
+TEST(CkptSnapshot, RejectsMissingAndGarbageFiles)
+{
+    EXPECT_THROW(readCkptFile(testing::TempDir() + "no_such.ckpt"),
+                 FatalError);
+    std::string path = testing::TempDir() + "slipsim_snap_garbage.ckpt";
+    writeRaw(path, {'n', 'o', 't', ' ', 'c', 'k', 'p', 't', '!'});
+    EXPECT_THROW(readCkptFile(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(CkptSnapshot, StoreKeyFormat)
+{
+    std::string key = ckptStoreKey("workload=sor n=34", 5000, "abc1234");
+    // fnv1a64 hex (16 digits) : decimal tick : git rev.
+    ASSERT_EQ(key.size(), 16u + 1 + 4 + 1 + 7);
+    EXPECT_EQ(key.substr(16), ":5000:abc1234");
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(isxdigit(static_cast<unsigned char>(key[i])));
+    // Key is a pure function of (config, tick, rev), and distinct
+    // configs/ticks yield distinct keys.
+    EXPECT_EQ(key, ckptStoreKey("workload=sor n=34", 5000, "abc1234"));
+    EXPECT_NE(key, ckptStoreKey("workload=sor n=66", 5000, "abc1234"));
+    EXPECT_NE(key, ckptStoreKey("workload=sor n=34", 5001, "abc1234"));
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Warm-start tests: in-memory checkpoint sessions (fork-based) and the
+ * prefix-sharing sweep runner.  Forked suffix runs must be
+ * byte-identical to straight-through runs; failed spawns must fall
+ * back cold rather than fail the sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/cell_run.hh"
+#include "ckpt/ckpt_session.hh"
+#include "ckpt/snapshot.hh"
+#include "ckpt/warm_sweep.hh"
+#include "core/cell.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+SweepPoint
+basePoint()
+{
+    SweepPoint p;
+    p.workload = "sor";
+    p.opts.set("n", "34");
+    p.opts.set("iters", "2");
+    p.machine.numCmps = 2;
+    p.cfg.mode = Mode::Double;
+    return p;
+}
+
+std::string
+straightFragment(const SweepPoint &p)
+{
+    return sweepPointJson(runExperiment(p.workload, p.opts, p.machine,
+                                        p.cfg, p.tickLimit));
+}
+
+} // namespace
+
+TEST(CkptSession, ForkRunMatchesStraightThrough)
+{
+    setQuiet(true);
+    SweepPoint pt = basePoint();
+    std::string want = straightFragment(pt);
+
+    pt.ckptAt = 5000;
+    std::string err;
+    std::unique_ptr<CkptSession> sess = CkptSession::spawn(pt, &err);
+    ASSERT_TRUE(sess) << err;
+    EXPECT_EQ(sess->tick(), 5000u);
+    EXPECT_TRUE(sess->alive());
+
+    // Multiple forks from one parked prefix, all byte-identical.
+    EXPECT_EQ(sess->forkRun(maxTick, true), want);
+    EXPECT_EQ(sess->forkRun(maxTick, true), want);
+
+    // Overlapped children.
+    int a = sess->forkStart(maxTick, true);
+    int b = sess->forkStart(maxTick, true);
+    EXPECT_EQ(sess->forkJoin(b), want);
+    EXPECT_EQ(sess->forkJoin(a), want);
+}
+
+TEST(CkptSession, SaveFileIsRestorable)
+{
+    setQuiet(true);
+    SweepPoint pt = basePoint();
+    std::string want = straightFragment(pt);
+
+    pt.ckptAt = 5000;
+    std::unique_ptr<CkptSession> sess = CkptSession::spawn(pt);
+    ASSERT_TRUE(sess);
+
+    std::string path = testing::TempDir() + "slipsim_warm_save.ckpt";
+    sess->saveFile(path);
+
+    // The session's payload is exactly what landed in the file.
+    CkptFile f = readCkptFile(path);
+    EXPECT_EQ(f.payload, sess->payload());
+    EXPECT_EQ(f.header.tick, 5000u);
+    EXPECT_EQ(f.header.config, sess->prefixConfig());
+
+    // And the file restores into a byte-identical completed run.
+    SweepPoint rp = basePoint();
+    rp.restoreFrom = path;
+    EXPECT_EQ(sweepPointJson(runCellCkpt(rp)), want);
+    std::remove(path.c_str());
+}
+
+TEST(CkptSession, SpawnFailsCleanlyPastCompletion)
+{
+    setQuiet(true);
+    SweepPoint pt = basePoint();
+    pt.ckptAt = 1ull << 60;
+    std::string err;
+    std::unique_ptr<CkptSession> sess = CkptSession::spawn(pt, &err);
+    EXPECT_FALSE(sess);
+    EXPECT_NE(err.find("completed"), std::string::npos) << err;
+}
+
+TEST(WarmSweep, Eligibility)
+{
+    SweepPoint p = basePoint();
+    EXPECT_FALSE(warmEligible(p));  // no checkpoint tick
+    p.ckptAt = 5000;
+    EXPECT_TRUE(warmEligible(p));
+    p.tickLimit = 4000;  // limit inside the prefix
+    EXPECT_FALSE(warmEligible(p));
+    p.tickLimit = maxTick;
+    p.cfg.tracePath = "t.json";
+    EXPECT_FALSE(warmEligible(p));
+    p.cfg.tracePath.clear();
+    p.restoreFrom = "x.ckpt";
+    EXPECT_FALSE(warmEligible(p));
+}
+
+TEST(WarmSweep, FragmentsMatchColdSweep)
+{
+    setQuiet(true);
+    // Four cells sharing one prefix (differing only in the folded
+    // knobs: verify and a beyond-completion tick-limit), plus one
+    // ineligible cold cell with a different config.
+    std::vector<SweepPoint> warm;
+    for (int i = 0; i < 4; ++i) {
+        SweepPoint p = basePoint();
+        p.ckptAt = 5000;
+        p.cfg.verify = i % 2 == 0;
+        if (i >= 2)
+            p.tickLimit = 1ull << 40;
+        warm.push_back(p);
+    }
+    SweepPoint cold = basePoint();
+    cold.opts.set("iters", "3");
+    warm.push_back(cold);
+
+    // Expectation: the plain sweep of the same cells (run-control
+    // stripped — it is non-canonical and must not change results).
+    std::vector<SweepPoint> plain = warm;
+    for (SweepPoint &p : plain)
+        p.ckptAt = 0;
+    std::vector<ExperimentResult> res = runSweep(plain, {2});
+
+    WarmSweepStats stats;
+    std::vector<std::string> frags =
+        runSweepWarmFragments(warm, 2, &stats);
+    ASSERT_EQ(frags.size(), res.size());
+    for (std::size_t i = 0; i < res.size(); ++i)
+        EXPECT_EQ(frags[i], sweepPointJson(res[i])) << "point " << i;
+
+    EXPECT_EQ(stats.groups, 1u);
+    EXPECT_EQ(stats.warmPoints, 4u);
+    EXPECT_EQ(stats.coldPoints, 1u);
+    EXPECT_EQ(stats.spawnFailures, 0u);
+}
+
+TEST(WarmSweep, SpawnFailureFallsBackCold)
+{
+    setQuiet(true);
+    std::vector<SweepPoint> pts;
+    for (int i = 0; i < 2; ++i) {
+        SweepPoint p = basePoint();
+        p.ckptAt = 1ull << 60;  // past completion: spawn must fail
+        p.cfg.verify = i == 0;
+        pts.push_back(p);
+    }
+    std::vector<SweepPoint> plain = pts;
+    for (SweepPoint &p : plain)
+        p.ckptAt = 0;
+    std::vector<ExperimentResult> res = runSweep(plain, {1});
+
+    WarmSweepStats stats;
+    std::vector<std::string> frags = runSweepWarmFragments(pts, 1, &stats);
+    ASSERT_EQ(frags.size(), 2u);
+    EXPECT_EQ(frags[0], sweepPointJson(res[0]));
+    EXPECT_EQ(frags[1], sweepPointJson(res[1]));
+    EXPECT_EQ(stats.spawnFailures, 1u);
+    EXPECT_EQ(stats.groups, 0u);
+    EXPECT_EQ(stats.coldPoints, 2u);
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Serve-layer checkpoint store tests: warm-eligible cells fork from a
+ * parked prefix incubator, warm results share the result cache with
+ * cold cells (byte-identical fragments under one canonical key),
+ * eviction respawns rather than breaks, and the on-disk checkpoint
+ * protocol is refused over the wire.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/cell.hh"
+#include "core/config_hash.hh"
+#include "core/experiment.hh"
+#include "obs/json.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+using namespace slipsim::serve;
+
+namespace
+{
+
+/** The serve cell this suite revolves around (sor, two CMPs). */
+const char *kPlainCell = "workload=sor n=34 iters=2 cmps=2";
+
+class CkptStoreTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setQuiet(true);
+        path = testing::TempDir() + "slipsim_ckpt_store_test.sock";
+        ::unlink(path.c_str());
+        cfg.unixPath = path;
+        cfg.workers = 2;
+        cfg.cacheBytes = 4u << 20;
+        cfg.gitRev = "testrev";
+        cfg.buildType = "Test";
+    }
+
+    void
+    TearDown() override
+    {
+        if (server) {
+            server->stop();
+            server.reset();
+        }
+        ::unlink(path.c_str());
+    }
+
+    void
+    startServer()
+    {
+        server = std::make_unique<Server>(cfg);
+        server->start();
+    }
+
+    int
+    connect()
+    {
+        int fd = connectUnix(path);
+        EXPECT_GE(fd, 0);
+        return fd;
+    }
+
+    /** Send a run request and collect frames until {"done": ...}. */
+    std::vector<JsonValue>
+    runCells(int fd, const std::vector<std::string> &cells)
+    {
+        std::string req = "{\"op\": \"run\", \"cells\": [";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            req += (i ? ", " : "") + ("\"" + jsonEscape(cells[i]) +
+                                      "\"");
+        }
+        req += "]}";
+        EXPECT_TRUE(writeFrame(fd, req));
+
+        std::vector<JsonValue> frames;
+        while (true) {
+            std::string payload;
+            if (readFrame(fd, payload) != FrameStatus::Ok) {
+                ADD_FAILURE() << "stream ended before done frame";
+                break;
+            }
+            frames.push_back(parseJson(payload));
+            if (frames.back().find("done") ||
+                (frames.back().find("error") &&
+                 !frames.back().find("cell"))) {
+                break;
+            }
+        }
+        return frames;
+    }
+
+    std::uint64_t
+    serveCounter(const std::string &name)
+    {
+        return server->statsSnapshot().counter(name);
+    }
+
+    std::string path;
+    ServeConfig cfg;
+    std::unique_ptr<Server> server;
+};
+
+} // namespace
+
+TEST_F(CkptStoreTest, WarmCellsForkAndShareTheResultCache)
+{
+    cfg.ckptSessions = 2;
+    startServer();
+    int fd = connect();
+
+    // Two warm-eligible cells sharing one prefix (they differ only in
+    // verify, which the prefix render folds out).
+    std::string hinted = std::string(kPlainCell) + " checkpoint-at=5000";
+    std::vector<JsonValue> frames =
+        runCells(fd, {hinted, hinted + " verify=0"});
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames.back().at("misses").number, 2);
+    for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+        EXPECT_FALSE(frames[i].at("cached").boolean);
+        EXPECT_TRUE(frames[i].at("warm").boolean);
+    }
+
+    // One prefix spawned; both cells forked from it.
+    EXPECT_EQ(serveCounter("serve.ckpt.spawns"), 1u);
+    EXPECT_EQ(serveCounter("serve.ckpt.forks"), 2u);
+    EXPECT_EQ(serveCounter("serve.ckpt.hits") +
+                  serveCounter("serve.ckpt.misses"),
+              2u);
+    EXPECT_EQ(serveCounter("serve.ckpt.spawnFailures"), 0u);
+
+    // The warm fragment landed under the *canonical* key: the same
+    // cell without the hint is a result-cache hit, and its cycles
+    // match an in-process straight-through run.
+    std::vector<JsonValue> again = runCells(fd, {kPlainCell});
+    ASSERT_EQ(again.size(), 2u);
+    EXPECT_TRUE(again[0].at("cached").boolean);
+
+    SweepPoint pt = cellFromOptions(parseConfigLine(kPlainCell));
+    ExperimentResult res = runExperiment(pt.workload, pt.opts,
+                                         pt.machine, pt.cfg,
+                                         pt.tickLimit);
+    EXPECT_EQ(again[0].at("point").at("cycles").number,
+              static_cast<double>(res.cycles));
+    ::close(fd);
+}
+
+TEST_F(CkptStoreTest, EvictedPrefixRespawnsOnReuse)
+{
+    cfg.ckptSessions = 1;
+    cfg.workers = 1;
+    startServer();
+    int fd = connect();
+
+    std::string a = std::string(kPlainCell) + " checkpoint-at=5000";
+    std::string b = "workload=sor n=34 iters=3 cmps=2 checkpoint-at=5000";
+    // Distinct tick-limits (beyond completion) keep every cell a
+    // result-cache miss while leaving the shared prefixes intact.
+    auto lim = [](const std::string &cell, int i) {
+        return cell + " tick-limit=" + std::to_string(1ll << (40 + i));
+    };
+
+    runCells(fd, {lim(a, 0), lim(a, 1)});           // spawn A
+    runCells(fd, {lim(b, 0), lim(b, 1)});           // spawn B, evict A
+    EXPECT_EQ(serveCounter("serve.ckpt.evictions"), 1u);
+
+    // A again: its session is gone, so the store respawns it and the
+    // cells still come back warm.
+    std::vector<JsonValue> frames = runCells(fd, {lim(a, 2), lim(a, 3)});
+    ASSERT_EQ(frames.size(), 3u);
+    for (std::size_t i = 0; i + 1 < frames.size(); ++i)
+        EXPECT_TRUE(frames[i].at("warm").boolean);
+    EXPECT_EQ(serveCounter("serve.ckpt.spawns"), 3u);
+    EXPECT_EQ(serveCounter("serve.ckpt.evictions"), 2u);
+    EXPECT_EQ(serveCounter("serve.ckpt.forks"), 6u);
+    ::close(fd);
+}
+
+TEST_F(CkptStoreTest, DisabledStoreRunsHintedCellsCold)
+{
+    // cfg.ckptSessions stays 0 (the default).
+    startServer();
+    int fd = connect();
+    std::vector<JsonValue> frames = runCells(
+        fd, {std::string(kPlainCell) + " checkpoint-at=5000"});
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_FALSE(frames[0].find("warm"));
+    EXPECT_TRUE(frames[0].at("point").at("stats").isObject());
+    EXPECT_EQ(serveCounter("serve.ckpt.forks"), 0u);
+    EXPECT_EQ(serveCounter("serve.cellsSimulated"), 1u);
+    ::close(fd);
+}
+
+TEST_F(CkptStoreTest, OnDiskProtocolIsRefusedOverServe)
+{
+    cfg.ckptSessions = 2;
+    startServer();
+    int fd = connect();
+    std::vector<JsonValue> frames = runCells(
+        fd, {std::string(kPlainCell) +
+             " checkpoint-at=100 checkpoint-out=x.ckpt"});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_NE(frames[0].at("error").str.find("not"),
+              std::string::npos);
+    EXPECT_EQ(serveCounter("serve.cellsSimulated"), 0u);
+    ::close(fd);
+}

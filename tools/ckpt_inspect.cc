@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ckpt_inspect — print a checkpoint file's provenance header.
+ *
+ *   tools/ckpt_inspect FILE...
+ *
+ * For each file the container is fully validated (magic, version,
+ * framing, payload digest — the same fail-closed checks a restore
+ * performs) and the header printed: version, producing git revision,
+ * engine, pause tick, payload size/digest, and the canonical prefix
+ * config the payload belongs to.  Also prints the ckptStoreKey() the
+ * serve-layer store would file this checkpoint under for the current
+ * build.  Exits non-zero if any file fails validation, so it doubles
+ * as a standalone integrity check.
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "ckpt/snapshot.hh"
+#include "core/build_info.hh"
+
+using namespace slipsim;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+        return 2;
+    }
+
+    int bad = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char *path = argv[i];
+        try {
+            CkptFile f = readCkptFile(path);
+            const CkptHeader &h = f.header;
+            std::printf("%s:\n", path);
+            std::printf("  version:        %u\n", h.version);
+            std::printf("  git_rev:        %s%s\n", h.gitRev.c_str(),
+                        h.gitRev == buildGitRev() ? ""
+                                                  : "  (NOT this build)");
+            std::printf("  engine:         %s\n",
+                        h.engine == CkptEngine::Parallel ? "parallel"
+                                                         : "sequential");
+            std::printf("  tick:           %llu\n",
+                        static_cast<unsigned long long>(h.tick));
+            std::printf("  payload_bytes:  %llu\n",
+                        static_cast<unsigned long long>(h.payloadSize));
+            std::printf("  payload_digest: %016llx\n",
+                        static_cast<unsigned long long>(h.payloadDigest));
+            std::printf("  store_key:      %s\n",
+                        ckptStoreKey(h.config, h.tick,
+                                     buildGitRev()).c_str());
+            std::printf("  config:         %s\n", h.config.c_str());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s: INVALID: %s\n", path, e.what());
+            ++bad;
+        }
+    }
+    return bad ? 1 : 0;
+}

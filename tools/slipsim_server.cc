@@ -14,6 +14,8 @@
  *   jobs-cap=N        ceiling on any request's in-flight cells
  *   max-sim-jobs=N    ceiling on per-cell parallel-engine workers
  *   max-frame-mb=N    per-frame payload cap in MiB (default 64)
+ *   ckpt-sessions=N   parked warm-start prefix sessions to keep
+ *                     (0 = warm starts disabled, the default)
  *
  * The daemon prints one "ready" line to stdout once listening, then
  * serves until a client sends {"op": "shutdown"} or it receives
@@ -71,6 +73,8 @@ main(int argc, char **argv)
     cfg.maxSimJobs = static_cast<int>(opts.getInt("max-sim-jobs", 0));
     cfg.maxFrameBytes = static_cast<std::uint32_t>(
                             opts.getInt("max-frame-mb", 64)) << 20;
+    cfg.ckptSessions =
+        static_cast<unsigned>(opts.getInt("ckpt-sessions", 0));
     cfg.gitRev = SLIPSIM_GIT_REV;
     cfg.buildType = SLIPSIM_BUILD_TYPE;
 
