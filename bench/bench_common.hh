@@ -21,6 +21,16 @@
  *   restore-from=P   resume the selected point from a checkpoint file
  *                    instead of simulating its prefix (replay-verified,
  *                    byte-identical results; see DESIGN.md §13)
+ *   sample=M         sampled simulation for EVERY queued point
+ *                    (DESIGN.md §14): profile runs full-fidelity and
+ *                    writes each cell's sample plan; replay
+ *                    reconstructs each cell from its plan without
+ *                    simulating (results carry "sampled": true).
+ *                    sample-interval=K / sample-clusters=C shape the
+ *                    estimate (canonical config keys); sample-dir=D
+ *                    places the per-cell plan files, sample-plan=P /
+ *                    sample-ckpt-out=P name one cell's artifacts
+ *                    (single-point sweeps only)
  *   print-cells=true print every queued point as a canonical config
  *                    line (core/cell.hh) instead of simulating — the
  *                    lines feed tools/slipsim_client submit
@@ -79,7 +89,8 @@ class Sweep
           restoreFrom(opts.getString("restore-from")),
           ckptPoint(static_cast<std::size_t>(
                   opts.getInt("ckpt-point", 0))),
-          printCells(opts.getBool("print-cells", false))
+          printCells(opts.getBool("print-cells", false)),
+          benchOpts(opts)
     {
         if (ckptAt > 0 && !restoreFrom.empty()) {
             fatal("checkpoint-at and restore-from are mutually "
@@ -87,6 +98,11 @@ class Sweep
         }
         if (!ckptOut.empty() && ckptAt == 0)
             fatal("checkpoint-out needs checkpoint-at=<tick>");
+        if ((ckptAt > 0 || !restoreFrom.empty()) &&
+            benchOpts.getString("sample", "off") != "off") {
+            fatal("sample= cannot be combined with checkpoint-at/"
+                  "restore-from run control");
+        }
     }
 
     /** Enqueue one bench-calibrated run; @return its result index. */
@@ -108,6 +124,9 @@ class Sweep
         pt.machine = mp;
         pt.cfg = rc;
         pt.cfg.simJobs = simJobs;
+        // Sampling applies to the whole sweep at enqueue time so
+        // print-cells renders sample= into every canonical line.
+        applySampleOptions(benchOpts, pt);
         points.push_back(std::move(pt));
         return points.size() - 1;
     }
@@ -117,6 +136,14 @@ class Sweep
     void
     run()
     {
+        if (points.size() > 1 && !points.empty() &&
+            (!points[0].samplePlan.empty() ||
+             !points[0].sampleCkptOut.empty())) {
+            fatal("sample-plan=/sample-ckpt-out= name ONE cell's "
+                  "artifacts but the sweep has %zu points; use "
+                  "sample-dir= (per-cell file names) instead",
+                  points.size());
+        }
         if (printCells) {
             // Emit the sweep grid as canonical config lines (one
             // cell per line, client-submittable) and stop: the bench
@@ -176,6 +203,7 @@ class Sweep
     std::string restoreFrom;
     std::size_t ckptPoint;
     bool printCells;
+    Options benchOpts;
     std::vector<SweepPoint> points;
     std::vector<ExperimentResult> res;
 };

@@ -46,6 +46,17 @@
  * It carries no events_per_sec, so perf_compare.sh treats it as
  * informational and never gates on it.
  *
+ * A sampled-simulation record follows (DESIGN.md §14): a three-cell
+ * full-size mg/16 subgrid run full-fidelity, profiled, and replayed
+ * from the plans, yielding
+ *
+ *   {"sample_speedup": ..., "sample_max_err_pct": ...,
+ *    "sample_full_ms": ..., "sample_profile_ms": ...,
+ *    "sample_replay_ms": ..., "sample_intervals": ..., ...}
+ *
+ * perf_compare.sh --check gates on sample_max_err_pct growing more
+ * than one percentage point against the previous comparable record.
+ *
  * Defaults to jobs=1 so the headline number is single-thread
  * throughput of the simulator core; pass jobs=N to smoke the sweep
  * engine instead.  --quick shrinks the grid for CI (the result is
@@ -369,6 +380,109 @@ main(int argc, char **argv)
             std::printf("%s\n", rec);
             records.emplace_back(rec);
         }
+    }
+
+    // Sampled-simulation metrics (DESIGN.md §14): a three-cell
+    // full-size mg/16 subgrid (single, double, slipstream zero-token
+    // global) run three ways — full fidelity, sample=profile (writes
+    // each cell's plan), sample=replay (reconstructs from the plans
+    // without simulating).  sample_speedup is full wall time over
+    // replay wall time; sample_max_err_pct is the worst absolute
+    // percentage error across per-cell cycles AND the execution-time
+    // ratios (double/single, slip/single) the figures plot.  Like the
+    // checkpoint record it carries no events_per_sec, but
+    // perf_compare.sh --check gates on sample_max_err_pct growth.
+    {
+        Options full = opts;
+        full.set("quick", "false");
+        Options o = figOptions("mg", full);
+        MachineParams mp = figMachine("mg", full, 16);
+        std::vector<SweepPoint> cells;
+        RunConfig single;
+        cells.push_back(makePoint("mg", o, mp, single));
+        RunConfig dbl;
+        dbl.mode = Mode::Double;
+        cells.push_back(makePoint("mg", o, mp, dbl));
+        RunConfig slip;
+        slip.mode = Mode::Slipstream;
+        slip.arPolicy = ArPolicy::ZeroTokenGlobal;
+        cells.push_back(makePoint("mg", o, mp, slip));
+
+        const char *tmp = std::getenv("TMPDIR");
+        std::string dir = std::string(tmp && *tmp ? tmp : "/tmp") +
+                          "/slipsim_perf_smoke_plans";
+
+        using clk = std::chrono::steady_clock;
+        auto ms_since = [](clk::time_point t0) {
+            return std::chrono::duration<double, std::milli>(
+                       clk::now() - t0)
+                .count();
+        };
+
+        auto t0 = clk::now();
+        std::vector<ExperimentResult> fullRes =
+            runSweep(cells, SweepConfig{jobs});
+        double full_ms = ms_since(t0);
+
+        std::vector<SweepPoint> prof = cells;
+        for (SweepPoint &p : prof) {
+            p.sampleMode = SampleMode::Profile;
+            p.sampleDir = dir;
+        }
+        t0 = clk::now();
+        runSweep(prof, SweepConfig{jobs});
+        double profile_ms = ms_since(t0);
+
+        std::vector<SweepPoint> rep = cells;
+        for (SweepPoint &p : rep) {
+            p.sampleMode = SampleMode::Replay;
+            p.sampleDir = dir;
+        }
+        t0 = clk::now();
+        std::vector<ExperimentResult> est =
+            runSweep(rep, SweepConfig{jobs});
+        double replay_ms = ms_since(t0);
+
+        double max_err = 0;
+        auto track = [&](double got, double want) {
+            if (want > 0) {
+                double e = (got > want ? got - want : want - got) /
+                           want * 100.0;
+                if (e > max_err)
+                    max_err = e;
+            }
+        };
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            track(static_cast<double>(est[i].cycles),
+                  static_cast<double>(fullRes[i].cycles));
+        }
+        for (std::size_t i = 1; i < cells.size(); ++i) {
+            track(static_cast<double>(est[i].cycles) /
+                      static_cast<double>(est[0].cycles),
+                  static_cast<double>(fullRes[i].cycles) /
+                      static_cast<double>(fullRes[0].cycles));
+        }
+
+        char rec[512];
+        std::snprintf(rec, sizeof(rec),
+                      "{\"sample_speedup\": %.1f, "
+                      "\"sample_max_err_pct\": %.3f, "
+                      "\"sample_full_ms\": %.1f, "
+                      "\"sample_profile_ms\": %.1f, "
+                      "\"sample_replay_ms\": %.1f, "
+                      "\"sample_intervals\": %llu, "
+                      "\"quick\": %s, "
+                      "\"build_type\": \"%s\", \"git_rev\": \"%s\", "
+                      "\"host\": \"%s\", \"timestamp\": \"%s\"}",
+                      replay_ms > 0 ? full_ms / replay_ms : 0,
+                      max_err, full_ms, profile_ms, replay_ms,
+                      static_cast<unsigned long long>(
+                          est[0].sampleIntervals),
+                      quick ? "true" : "false",
+                      SLIPSIM_BUILD_TYPE, SLIPSIM_GIT_REV,
+                      hostName().c_str(), utcTimestamp().c_str());
+        std::printf("%s\n", rec);
+        records.emplace_back(rec);
     }
 
     // Append to the perf log (one JSON object per line) so successive

@@ -9,6 +9,7 @@
 #   scripts/ci.sh tsan         # ThreadSanitizer only
 #   scripts/ci.sh serve        # simulation-service e2e smoke only
 #   scripts/ci.sh ckpt         # checkpoint round-trip smoke (asan)
+#   scripts/ci.sh sample       # sampled-simulation suite (asan)
 #
 # Each of the first two configs runs the full default ctest suite
 # (which includes the fixed-seed fuzz smoke); the tsan config runs the
@@ -104,6 +105,23 @@ if [[ "$WHAT" == "ckpt" ]]; then
     cmake --build build-san -j "$JOBS"
     echo "=== test build-san (ctest -L ckpt) ==="
     ctest --test-dir build-san -L ckpt --output-on-failure
+fi
+
+if [[ "$WHAT" == "sample" ]]; then
+    # Sampled-simulation smoke under address+undefined sanitizers: the
+    # interval-delta API, deterministic clustering, plan write/replay,
+    # the exhaustive-sampling byte identity, and the checkpointed
+    # representative audit (ctest -L sample).  The "all" run already
+    # covers this label inside the full build-san suite; this mode
+    # rebuilds only what the label needs.
+    echo "=== configure build-san (sample label) ==="
+    cmake -B build-san -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSLIPSIM_SANITIZE=address,undefined
+    echo "=== build build-san ==="
+    cmake --build build-san -j "$JOBS"
+    echo "=== test build-san (ctest -L sample) ==="
+    ctest --test-dir build-san -L sample --output-on-failure
 fi
 
 if [[ "$WHAT" == "all" || "$WHAT" == "tsan" ]]; then

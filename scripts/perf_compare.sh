@@ -17,11 +17,18 @@
 # (host, git_rev, timestamp) on both pass and fail, so cross-host
 # noise is diagnosable at a glance.
 #
+# perf_smoke also appends one sampled-simulation accuracy record per
+# run (fields sample_speedup / sample_max_err_pct, no events_per_sec),
+# grouped by the same host/build_type/quick/git_rev signature.
+#
 # Default mode prints the delta tables and the sim-jobs scaling
 # summary.  With --check, exits nonzero if
 #   - the log is missing or holds no parseable records, or
 #   - any same-revision group's events_per_sec regressed by more than
-#     PCT percent (default 15).
+#     PCT percent (default 15), or
+#   - the newest sampled-accuracy record's sample_max_err_pct grew by
+#     more than 1 percentage point over the previous comparable
+#     record (a silent sampled-replay accuracy regression).
 # The first record at a new revision seeds that revision's baseline
 # and passes the check (there is nothing comparable to gate against).
 # Wired into scripts/ci.sh so an accidental hot-path pessimisation
@@ -73,7 +80,13 @@ with open(log) as f:
 keyed = [r for r in records
          if all(k in r for k in ("host", "build_type", "quick",
                                  "sweep_jobs", "events_per_sec"))]
-if not keyed:
+# Sampled-simulation accuracy records are a separate shape: no
+# throughput fields, gated on error growth instead of rate drop.
+sampled = [r for r in records
+           if all(k in r for k in ("host", "build_type", "quick",
+                                   "sample_max_err_pct",
+                                   "sample_speedup"))]
+if not keyed and not sampled:
     msg = "perf_compare: no records with comparison metadata"
     if check:
         print(msg + " — FAIL: nothing to gate on")
@@ -87,7 +100,7 @@ if not keyed:
 cfg = lambda r: (r["host"], r["build_type"], r["quick"],
                  r["sweep_jobs"], r.get("sim_jobs", 0))
 sig = lambda r: cfg(r) + (r.get("git_rev", "?"),)
-newest = keyed[-1]
+newest = (keyed or sampled)[-1]
 machine = (newest["host"], newest["build_type"], newest["quick"])
 newest_rev = newest.get("git_rev", "?")
 
@@ -156,6 +169,41 @@ if scaling:
               f"{r['accesses_per_sec']:>14.0f}"
               f"{r.get('speedup_vs_sj1', 0):>10.2f}")
 
+# --- sampled-simulation accuracy gate -------------------------------
+# Same grouping discipline as throughput: only same host/build/quick/
+# revision records gate each other; the first record at a revision
+# seeds the accuracy baseline.  Error growth beyond 1 percentage point
+# means sampled replay silently drifted from full fidelity.
+samp_sig = lambda r: (r["host"], r["build_type"], r["quick"],
+                      r.get("git_rev", "?"))
+samp_groups = {}
+for r in sampled:
+    if (r["host"], r["build_type"], r["quick"]) == machine:
+        samp_groups.setdefault(samp_sig(r), []).append(r)
+samp_failed = None
+samp_compared = 0
+if sampled and (sampled[-1]["host"], sampled[-1]["build_type"],
+                sampled[-1]["quick"]) == machine:
+    s_new = sampled[-1]
+    hist = samp_groups.get(samp_sig(s_new), [])
+    print(f"sampled replay: speedup {s_new['sample_speedup']:.1f}x, "
+          f"max err {s_new['sample_max_err_pct']:.3f}% "
+          f"({s_new.get('sample_intervals', '?')} intervals)")
+    if len(hist) >= 2:
+        old = hist[-2]
+        samp_compared = 1
+        growth = (s_new["sample_max_err_pct"]
+                  - old["sample_max_err_pct"])
+        print(f"sampled replay baseline: "
+              f"git_rev={old.get('git_rev', '?')} "
+              f"max_err={old['sample_max_err_pct']:.3f}% "
+              f"(growth {growth:+.3f} pt)")
+        if growth > 1.0:
+            samp_failed = (growth, old)
+    else:
+        print(f"sampled replay: no prior record at revision "
+              f"{newest_rev} — seeding accuracy baseline")
+
 if check and compared == 0:
     # Nothing gateable is fine: the first run at a new revision (or on
     # a fresh host) seeds the baseline the next run will gate against.
@@ -164,11 +212,21 @@ if check and compared == 0:
 if check and compared and not failed:
     print(f"perf_compare: PASS — {compared} group(s) gated against "
           f"host={machine[0]} revision {newest_rev}")
+if check and samp_compared and samp_failed is None and not failed:
+    print("perf_compare: PASS — sampled-replay accuracy gated "
+          "(error growth <= 1 pt)")
+if check and samp_failed is not None:
+    growth, old = samp_failed
+    print(f"perf_compare: FAIL — sample_max_err_pct grew "
+          f"{growth:.3f} pt (> 1 pt threshold) vs baseline "
+          f"host={old.get('host', '?')} "
+          f"git_rev={old.get('git_rev', '?')}")
 if check and failed:
     for label, drop, old in failed:
         print(f"perf_compare: FAIL — [{label}] events_per_sec "
               f"regressed {drop:.1f}% (> {threshold:.0f}% threshold) "
               f"vs baseline host={old.get('host', '?')} "
               f"git_rev={old.get('git_rev', '?')}")
+if check and (failed or samp_failed is not None):
     sys.exit(1)
 EOF

@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# Sampled-vs-full accuracy and speedup report for the fig05 grid
+# (the EXPERIMENTS.md "Sampled simulation" table).
+#
+#   scripts/sample_report.sh [--quick] [--bench PATH] [--log FILE]
+#                            [--interval K] [--clusters C]
+#
+# Three passes over the fig05 slipstream-speedup grid:
+#   1. full fidelity, timed — the reference cycles per cell;
+#   2. sample=profile — one full-fidelity pass that writes a per-cell
+#      interval plan (not part of the speedup: it is paid once and
+#      amortized over every later replay of the same cells);
+#   3. sample=replay, timed — plan-driven reconstruction, no
+#      simulation.
+# Then prints the per-workload accuracy table: max absolute error on
+# raw cycles and on the figure's headline metric (execution-time
+# ratios vs the single-mode base at the same CMP count), plus the
+# replay speedup, and appends a sampled-accuracy record to the perf
+# history (default BENCH_perf.json) so scripts/perf_compare.sh --check
+# gates later error growth.
+#
+# --quick shrinks the grid (the bench's own --quick) for a fast smoke;
+# the EXPERIMENTS.md numbers come from the full-size default.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+BENCH=""
+LOG=BENCH_perf.json
+INTERVAL=10000
+CLUSTERS=256
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --quick) QUICK="--quick" ;;
+        --bench) BENCH="$2"; shift ;;
+        --log) LOG="$2"; shift ;;
+        --interval) INTERVAL="$2"; shift ;;
+        --clusters) CLUSTERS="$2"; shift ;;
+        *) echo "usage: $0 [--quick] [--bench PATH] [--log FILE]" \
+                "[--interval K] [--clusters C]" >&2
+           exit 2 ;;
+    esac
+    shift
+done
+SAMPLE_OPTS="sample-interval=$INTERVAL sample-clusters=$CLUSTERS"
+
+if [[ -z "$BENCH" ]]; then
+    for d in build-release build; do
+        if [[ -x "$d/bench/fig05_slipstream_speedup" ]]; then
+            BENCH="$d/bench/fig05_slipstream_speedup"
+            break
+        fi
+    done
+fi
+[[ -n "$BENCH" && -x "$BENCH" ]] || {
+    echo "sample_report: no fig05 bench binary (build first, or" \
+         "pass --bench)" >&2
+    exit 1
+}
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/slipsim_sample.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+echo "=== full-fidelity pass ($BENCH $QUICK) ==="
+T0=$(now_ms)
+"$BENCH" $QUICK --csv stats-json="$TMP/full.json" > /dev/null
+FULL_MS=$(( $(now_ms) - T0 ))
+echo "full pass: ${FULL_MS} ms"
+
+echo "=== profiling pass (writes interval plans) ==="
+T0=$(now_ms)
+"$BENCH" $QUICK --csv sample=profile $SAMPLE_OPTS \
+    sample-dir="$TMP/plans" > /dev/null
+PROFILE_MS=$(( $(now_ms) - T0 ))
+echo "profile pass: ${PROFILE_MS} ms," \
+     "$(ls "$TMP/plans" | wc -l) plans"
+
+echo "=== sampled replay pass (no simulation) ==="
+T0=$(now_ms)
+"$BENCH" $QUICK --csv sample=replay $SAMPLE_OPTS \
+    sample-dir="$TMP/plans" stats-json="$TMP/sampled.json" > /dev/null
+REPLAY_MS=$(( $(now_ms) - T0 ))
+echo "replay pass: ${REPLAY_MS} ms"
+
+QUICK_BOOL=false
+[[ -n "$QUICK" ]] && QUICK_BOOL=true
+GITREV=$(git rev-parse --short HEAD 2>/dev/null || echo '?')
+
+python3 - "$TMP/full.json" "$TMP/sampled.json" \
+    "$FULL_MS" "$PROFILE_MS" "$REPLAY_MS" "$LOG" "$QUICK_BOOL" \
+    "$GITREV" "$INTERVAL" "$CLUSTERS" <<'EOF'
+import json
+import socket
+import sys
+import time
+
+(full_f, samp_f, full_ms, prof_ms, replay_ms, log, quick,
+ git_rev) = sys.argv[1:9]
+full_ms, prof_ms, replay_ms = int(full_ms), int(prof_ms), int(replay_ms)
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)["points"]
+
+full = load(full_f)
+samp = load(samp_f)
+assert len(full) == len(samp), "grids differ in size"
+
+def key(p):
+    return (p["workload"], p["cmps"], p["mode"], p.get("policy", ""))
+
+est = {key(p): p for p in samp}
+
+# Group by (workload, cmps); the figure's headline metric is each
+# mode's execution-time ratio against the single-mode base of the
+# same group.
+groups = {}
+for p in full:
+    groups.setdefault((p["workload"], p["cmps"]), []).append(p)
+
+max_cyc_err = 0.0
+max_ratio_err = 0.0
+rows = []
+intervals = min(p.get("sampleIntervals", 0) for p in samp)
+for (wl, cmps), pts in sorted(groups.items()):
+    base_full = next(p for p in pts if p["mode"] == "single")
+    base_est = est[key(base_full)]
+    wl_cyc = wl_ratio = 0.0
+    for p in pts:
+        e = est[key(p)]
+        assert e.get("sampled") is True, "replay point not marked"
+        cyc_err = abs(e["cycles"] - p["cycles"]) / p["cycles"] * 100
+        ratio_full = p["cycles"] / base_full["cycles"]
+        ratio_est = e["cycles"] / base_est["cycles"]
+        ratio_err = abs(ratio_est - ratio_full) / ratio_full * 100
+        wl_cyc = max(wl_cyc, cyc_err)
+        wl_ratio = max(wl_ratio, ratio_err)
+    max_cyc_err = max(max_cyc_err, wl_cyc)
+    max_ratio_err = max(max_ratio_err, wl_ratio)
+    rows.append((wl, cmps, wl_cyc, wl_ratio))
+
+speedup = full_ms / max(1, replay_ms)
+print()
+print(f"{'workload':<12}{'cmps':>6}{'max cycles err':>16}"
+      f"{'max ratio err':>16}")
+for wl, cmps, c, r in rows:
+    print(f"{wl:<12}{cmps:>6}{c:>15.3f}%{r:>15.3f}%")
+print()
+print(f"cells:            {len(full)}")
+print(f"intervals/cell:   >= {intervals}")
+print(f"full pass:        {full_ms} ms")
+print(f"profile pass:     {prof_ms} ms (one-time, amortized)")
+print(f"replay pass:      {replay_ms} ms")
+print(f"replay speedup:   {speedup:.1f}x")
+print(f"max cycles error: {max_cyc_err:.3f}%")
+print(f"max ratio error:  {max_ratio_err:.3f}%")
+
+rec = {
+    "sample_speedup": round(speedup, 2),
+    "sample_max_err_pct": round(max_ratio_err, 3),
+    "sample_max_cycles_err_pct": round(max_cyc_err, 3),
+    "sample_full_ms": full_ms,
+    "sample_profile_ms": prof_ms,
+    "sample_replay_ms": replay_ms,
+    "sample_grid": "fig05",
+    "sample_cells": len(full),
+    "sample_intervals": intervals,
+    "sample_interval_ticks": int(sys.argv[9]),
+    "sample_clusters": int(sys.argv[10]),
+    "quick": quick == "true",
+    "build_type": "Release",
+    "git_rev": git_rev,
+    "host": socket.gethostname(),
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+}
+with open(log, "a") as f:
+    f.write(json.dumps(rec) + "\n")
+print(f"appended sampled-accuracy record to {log}")
+EOF

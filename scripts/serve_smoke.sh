@@ -45,7 +45,7 @@ trap cleanup EXIT
 
 # --- 1. daemon up -----------------------------------------------------
 "$SERVER" socket="$SOCK" workers=2 ckpt-sessions=1 \
-    > "$TMP/server.log" 2>&1 &
+    sample-dir="$TMP/plans" > "$TMP/server.log" 2>&1 &
 SERVER_PID=$!
 
 for _ in $(seq 1 100); do
@@ -187,6 +187,50 @@ echo "$CELL_A checkpoint-at=200" > "$TMP/warm_hit.txt"
     || fail "stats op failed after hinted cached cell"
 [ "$(count "$TMP/stats5.json" serve.ckpt.forks)" -eq 6 ] \
     || fail "a cached cell went through the checkpoint store"
+
+# --- 5b. sampled replay: distinct cache entry, served from a plan -----
+# Profile the quick grid offline into the plan directory the server
+# was started with (sample-dir=), then submit one of its cells as
+# sample=replay.  The sampled cell must MISS the warm full-fidelity
+# cache (sample= is canonical, so the keys differ), reconstruct from
+# the plan, and come back marked "sampled": true; resubmitting it must
+# be a pure cache hit.
+CELL_S=$(head -n 1 "$TMP/cells.txt")
+echo "$CELL_S sample=profile sample-dir=$TMP/plans" \
+    > "$TMP/cell_profile.txt"
+echo "$CELL_S sample=replay" > "$TMP/cell_replay.txt"
+
+# sample=profile writes plan files, so the server refuses it.
+"$CLIENT" socket="$SOCK" submit "$TMP/cell_profile.txt" jobs=1 \
+    quiet=true > /dev/null 2>&1 \
+    && fail "server accepted sample=profile"
+
+"$FIG01" --quick --csv jobs=1 sample=profile \
+    sample-dir="$TMP/plans" > /dev/null 2>&1 \
+    || fail "offline profiling pass failed"
+ls "$TMP/plans"/*.plan.json > /dev/null 2>&1 \
+    || fail "profiling wrote no plan files"
+
+SIM_PRE=$(count "$TMP/stats5.json" serve.cellsSimulated)
+HITS_PRE=$(count "$TMP/stats5.json" serve.cache.hits)
+"$CLIENT" socket="$SOCK" submit "$TMP/cell_replay.txt" jobs=1 \
+    quiet=true stats-v1="$TMP/sampled.json" > /dev/null 2>&1 \
+    || fail "sampled cell submit failed"
+grep -q '"sampled": true' "$TMP/sampled.json" \
+    || fail "sampled cell result not marked sampled"
+"$STATS_CHECK" "$TMP/sampled.json" > /dev/null \
+    || fail "sampled cell result fails schema check"
+"$CLIENT" socket="$SOCK" submit "$TMP/cell_replay.txt" jobs=1 \
+    quiet=true > /dev/null 2>&1 \
+    || fail "sampled cell resubmit failed"
+"$CLIENT" socket="$SOCK" stats > "$TMP/stats6.json" \
+    || fail "stats op failed after sampled cells"
+SIM_POST=$(count "$TMP/stats6.json" serve.cellsSimulated)
+HITS_POST=$(count "$TMP/stats6.json" serve.cache.hits)
+[ "$SIM_POST" -eq "$((SIM_PRE + 1))" ] \
+    || fail "sampled cell aliased the full-fidelity cache (ran $((SIM_POST - SIM_PRE)) cells; expected 1)"
+[ "$HITS_POST" -eq "$((HITS_PRE + 1))" ] \
+    || fail "sampled resubmit was not a cache hit"
 
 # --- 6. graceful shutdown ---------------------------------------------
 "$CLIENT" socket="$SOCK" shutdown wait=true > /dev/null \

@@ -14,12 +14,41 @@ namespace
 {
 
 constexpr char ckptMagic[8] = {'S', 'L', 'I', 'P', 'C', 'K', 'P', 'T'};
+constexpr char ckptSetMagic[8] = {'S', 'L', 'I', 'P', 'C', 'K', 'P', 'S'};
 
 std::uint64_t
 fnv1a64Bytes(const std::vector<std::uint8_t> &v)
 {
     return fnv1a64(std::string_view(
         reinterpret_cast<const char *>(v.data()), v.size()));
+}
+
+std::vector<std::uint8_t>
+readWholeFile(const std::string &path, const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open %s file '%s'", what, path.c_str());
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+writeWholeFile(const std::string &path,
+               const std::vector<std::uint8_t> &bytes, const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open %s file '%s' for writing", what, path.c_str());
+    std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool ok = (wrote == bytes.size()) && (std::fclose(f) == 0);
+    if (!ok)
+        fatal("short write to %s file '%s'", what, path.c_str());
 }
 
 } // namespace
@@ -44,15 +73,7 @@ void
 writeCkptFile(const std::string &path, const CkptHeader &hdr,
               const std::vector<std::uint8_t> &payload)
 {
-    auto bytes = encodeCkptFile(hdr, payload);
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        fatal("cannot open checkpoint file '%s' for writing",
-              path.c_str());
-    std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
-    bool ok = (wrote == bytes.size()) && (std::fclose(f) == 0);
-    if (!ok)
-        fatal("short write to checkpoint file '%s'", path.c_str());
+    writeWholeFile(path, encodeCkptFile(hdr, payload), "checkpoint");
 }
 
 CkptFile
@@ -100,16 +121,119 @@ decodeCkptFile(const std::vector<std::uint8_t> &bytes,
 CkptFile
 readCkptFile(const std::string &path)
 {
+    return decodeCkptFile(readWholeFile(path, "checkpoint"), path);
+}
+
+// --- multi-point checkpoint sets ---------------------------------------
+
+std::vector<std::uint8_t>
+encodeCkptSet(const CkptSet &set)
+{
+    Ser s;
+    s.bytes(ckptSetMagic, sizeof(ckptSetMagic));
+    s.u32(set.version);
+    s.str(set.gitRev);
+    s.str(set.config);
+    s.u32(static_cast<std::uint32_t>(set.engine));
+    s.u32(static_cast<std::uint32_t>(set.points.size()));
+    for (const CkptSet::Point &p : set.points) {
+        s.u64(p.tick);
+        s.u64(p.payload.size());
+        s.u64(fnv1a64Bytes(p.payload));
+        s.bytes(p.payload.data(), p.payload.size());
+    }
+    return s.take();
+}
+
+void
+writeCkptSetFile(const std::string &path, const CkptSet &set)
+{
+    writeWholeFile(path, encodeCkptSet(set), "checkpoint-set");
+}
+
+CkptSet
+decodeCkptSet(const std::vector<std::uint8_t> &bytes,
+              const std::string &what)
+{
+    if (bytes.size() < sizeof(ckptSetMagic) ||
+        std::memcmp(bytes.data(), ckptSetMagic,
+                    sizeof(ckptSetMagic)) != 0) {
+        fatal("'%s' is not a slipsim checkpoint set (bad magic)",
+              what.c_str());
+    }
+
+    Deser d(bytes.data() + sizeof(ckptSetMagic),
+            bytes.size() - sizeof(ckptSetMagic));
+    CkptSet set;
+    set.version = d.u32();
+    if (set.version != ckptSetVersion) {
+        fatal("checkpoint set '%s' has unsupported version %u (this "
+              "build reads version %u)",
+              what.c_str(), set.version, ckptSetVersion);
+    }
+    set.gitRev = d.str();
+    set.config = d.str();
+    std::uint32_t eng = d.u32();
+    if (eng > 1)
+        fatal("checkpoint set '%s' has unknown engine id %u",
+              what.c_str(), eng);
+    set.engine = static_cast<CkptEngine>(eng);
+    std::uint32_t count = d.u32();
+    set.points.resize(count);
+    Tick prev_tick = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        CkptSet::Point &p = set.points[i];
+        p.tick = d.u64();
+        if (i > 0 && p.tick <= prev_tick) {
+            fatal("checkpoint set '%s': point %u tick %llu is not "
+                  "after point %u tick %llu",
+                  what.c_str(), i,
+                  static_cast<unsigned long long>(p.tick), i - 1,
+                  static_cast<unsigned long long>(prev_tick));
+        }
+        prev_tick = p.tick;
+        std::uint64_t size = d.u64();
+        std::uint64_t digest = d.u64();
+        if (d.remaining() < size) {
+            fatal("checkpoint set '%s' is truncated at point %u: "
+                  "%llu payload bytes promised, %zu remain",
+                  what.c_str(), i,
+                  static_cast<unsigned long long>(size), d.remaining());
+        }
+        p.payload.resize(size);
+        d.bytes(p.payload.data(), p.payload.size());
+        if (fnv1a64Bytes(p.payload) != digest) {
+            fatal("checkpoint set '%s': point %u (tick %llu) failed "
+                  "its payload digest check (corrupt file)",
+                  what.c_str(), i,
+                  static_cast<unsigned long long>(p.tick));
+        }
+    }
+    if (d.remaining() != 0) {
+        fatal("checkpoint set '%s' has %zu trailing bytes after the "
+              "last point",
+              what.c_str(), d.remaining());
+    }
+    return set;
+}
+
+CkptSet
+readCkptSetFile(const std::string &path)
+{
+    return decodeCkptSet(readWholeFile(path, "checkpoint-set"), path);
+}
+
+bool
+isCkptSetFile(const std::string &path)
+{
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        fatal("cannot open checkpoint file '%s'", path.c_str());
-    std::vector<std::uint8_t> bytes;
-    std::uint8_t chunk[1 << 16];
-    std::size_t got;
-    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
-        bytes.insert(bytes.end(), chunk, chunk + got);
+        return false;
+    char magic[sizeof(ckptSetMagic)];
+    std::size_t got = std::fread(magic, 1, sizeof(magic), f);
     std::fclose(f);
-    return decodeCkptFile(bytes, path);
+    return got == sizeof(magic) &&
+           std::memcmp(magic, ckptSetMagic, sizeof(magic)) == 0;
 }
 
 std::string

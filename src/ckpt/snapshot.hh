@@ -88,6 +88,69 @@ CkptFile decodeCkptFile(const std::vector<std::uint8_t> &bytes,
 std::string ckptStoreKey(const std::string &canonical_prefix, Tick tick,
                          const std::string &git_rev);
 
+// --- multi-point checkpoint sets ---------------------------------------
+
+/** Current checkpoint-set container version. */
+constexpr std::uint32_t ckptSetVersion = 1;
+
+/**
+ * A multi-point checkpoint set: several pause-tick payloads of ONE
+ * run, sharing one provenance header.  This is what the sampled-
+ * simulation profiler emits (DESIGN.md §14): one payload per
+ * representative interval start, so any representative can later be
+ * restored (replay-verified, like a single-point checkpoint) and
+ * audited in isolation.
+ *
+ * Layout (little-endian; single-point container above for reference):
+ *
+ *   magic          8 bytes  "SLIPCKPS"
+ *   version        u32      ckptSetVersion
+ *   gitRev         str
+ *   config         str      canonical *prefix* cell config
+ *   engine         u32
+ *   count          u32      number of points
+ *   per point:
+ *     tick         u64      pause tick (strictly increasing)
+ *     payloadSize  u64
+ *     payloadDigest u64     fnv1a64 over the payload bytes
+ *     payload      payloadSize bytes
+ *
+ * Validation is fail-closed like the single-point container: bad
+ * magic, version skew, framing violations, non-monotone ticks, or any
+ * per-point digest mismatch is a fatal().
+ */
+struct CkptSet
+{
+    std::uint32_t version = ckptSetVersion;
+    std::string gitRev;
+    std::string config;  //!< canonical prefix cell config
+    CkptEngine engine = CkptEngine::Sequential;
+
+    struct Point
+    {
+        Tick tick = 0;
+        std::vector<std::uint8_t> payload;
+    };
+    std::vector<Point> points;
+};
+
+/** Serialize a checkpoint set and write to @p path (fatal on error). */
+void writeCkptSetFile(const std::string &path, const CkptSet &set);
+
+/** Serialize a checkpoint set into a byte buffer. */
+std::vector<std::uint8_t> encodeCkptSet(const CkptSet &set);
+
+/** Read + validate a checkpoint-set container (fatal on mismatch). */
+CkptSet readCkptSetFile(const std::string &path);
+
+/** Decode from memory (same validation as readCkptSetFile). */
+CkptSet decodeCkptSet(const std::vector<std::uint8_t> &bytes,
+                      const std::string &what);
+
+/** True if @p path starts with the checkpoint-SET magic (sniff for
+ *  tools that accept either container). */
+bool isCkptSetFile(const std::string &path);
+
 } // namespace slipsim
 
 #endif // SLIPSIM_CKPT_SNAPSHOT_HH

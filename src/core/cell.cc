@@ -33,6 +33,7 @@ schemaKeys()
         "recovery", "recovery-lag",
         "verify", "seed", "tick-limit",
         "engine", "sim-jobs",
+        "sample", "sample-interval", "sample-clusters",
         // machineFromOptions() keys:
         "cmps", "l1kb", "l2kb", "l2assoc", "mshrs",
         "busTime", "netTime", "memTime", "dcLocal", "dcRemote",
@@ -65,6 +66,7 @@ runControlKeys()
 {
     static const std::set<std::string> keys = {
         "checkpoint-at", "checkpoint-out", "restore-from",
+        "sample-plan", "sample-dir", "sample-ckpt-out",
     };
     return keys;
 }
@@ -168,7 +170,49 @@ cellFromOptions(const Options &opts)
     }
     if (!pt.ckptOut.empty() && pt.ckptAt == 0)
         fatal("checkpoint-out requires checkpoint-at=<tick>");
+
+    applySampleOptions(opts, pt);
     return pt;
+}
+
+void
+applySampleOptions(const Options &opts, SweepPoint &pt)
+{
+    std::string mode = opts.getString("sample", "off");
+    if (mode == "off")
+        pt.sampleMode = SampleMode::Off;
+    else if (mode == "profile")
+        pt.sampleMode = SampleMode::Profile;
+    else if (mode == "replay")
+        pt.sampleMode = SampleMode::Replay;
+    else
+        fatal("unknown sample mode '%s' (use off, profile, or replay)",
+              mode.c_str());
+
+    pt.sampleInterval = static_cast<Tick>(opts.getInt(
+        "sample-interval",
+        static_cast<std::int64_t>(SweepPoint::defaultSampleInterval)));
+    pt.sampleClusters = static_cast<int>(opts.getInt(
+        "sample-clusters", SweepPoint::defaultSampleClusters));
+    pt.samplePlan = opts.getString("sample-plan", "");
+    pt.sampleDir = opts.getString("sample-dir", "");
+    pt.sampleCkptOut = opts.getString("sample-ckpt-out", "");
+
+    if (pt.sampleMode == SampleMode::Off)
+        return;
+    if (pt.sampleInterval < 1) {
+        fatal("sample-interval=%lld: must be >= 1",
+              static_cast<long long>(pt.sampleInterval));
+    }
+    if (pt.sampleClusters < 1)
+        fatal("sample-clusters=%d: must be >= 1", pt.sampleClusters);
+    if (pt.ckptAt > 0 || !pt.restoreFrom.empty()) {
+        fatal("sample=%s cannot be combined with checkpoint-at/"
+              "restore-from run control",
+              mode.c_str());
+    }
+    if (!pt.sampleCkptOut.empty() && pt.sampleMode != SampleMode::Profile)
+        fatal("sample-ckpt-out requires sample=profile");
 }
 
 std::string
@@ -265,6 +309,20 @@ renderCell(const SweepPoint &pt)
         tok("engine", "parallel");
     if (pt.tickLimit != maxTick)
         tok("tick-limit", std::to_string(pt.tickLimit));
+    if (pt.sampleMode != SampleMode::Off) {
+        // A sampled result is an estimate: sample= (and the knobs that
+        // shape the estimate) enter the canonical form so it can never
+        // alias the full-fidelity result in a cache.  When sampling is
+        // off the knobs have no effect and fold away entirely, keeping
+        // every pre-existing config hash byte-identical.
+        tok("sample", pt.sampleMode == SampleMode::Profile ? "profile"
+                                                           : "replay");
+        num("sample-interval",
+            static_cast<long long>(pt.sampleInterval),
+            static_cast<long long>(SweepPoint::defaultSampleInterval));
+        num("sample-clusters", pt.sampleClusters,
+            SweepPoint::defaultSampleClusters);
+    }
 
     // Pass-through workload options (n=, iters=, mol=, quick=, ...).
     for (const auto &[k, v] : pt.opts.all()) {
@@ -291,6 +349,19 @@ renderPrefixCell(const SweepPoint &pt)
     prefix.tickLimit = maxTick;
     prefix.cfg.verify = RunConfig{}.verify;
     return renderCell(prefix);
+}
+
+std::string
+renderBaseCell(const SweepPoint &pt)
+{
+    SweepPoint base = pt;
+    base.sampleMode = SampleMode::Off;
+    base.sampleInterval = SweepPoint::defaultSampleInterval;
+    base.sampleClusters = SweepPoint::defaultSampleClusters;
+    base.samplePlan.clear();
+    base.sampleDir.clear();
+    base.sampleCkptOut.clear();
+    return renderCell(base);
 }
 
 const std::vector<std::string> &

@@ -57,6 +57,18 @@ Mode modeFromName(const std::string &name);
  *                            slipsim.ckpt); requires checkpoint-at
  *   restore-from=PATH        start from a checkpoint file instead of
  *                            tick 0 (exclusive with checkpoint-at)
+ *   sample=off|profile|replay  sampled simulation (DESIGN.md §14);
+ *                            profile records an interval plan, replay
+ *                            reconstructs stats from it
+ *   sample-interval=K        signature interval in ticks (canonical
+ *                            only while sampling; default 50000)
+ *   sample-clusters=C        k-means cluster count (canonical only
+ *                            while sampling; default 8)
+ *   sample-plan=PATH         explicit plan file (run control; default
+ *                            <sample-dir>/<base-hash>.plan.json)
+ *   sample-dir=DIR           plan directory (default sample-plans)
+ *   sample-ckpt-out=PATH     profile also captures a representative
+ *                            checkpoint set (ckpt/snapshot.hh)
  *   cmps=, l1kb=, l2kb=, ... every machineFromOptions() key
  *
  * plus arbitrary workload-specific keys (n=, iters=, mol=, ...),
@@ -91,6 +103,26 @@ std::string renderCell(const SweepPoint &pt);
  * string ckptStoreKey() hashes.
  */
 std::string renderPrefixCell(const SweepPoint &pt);
+
+/**
+ * Canonical config of @p pt's *full-fidelity base cell*: the same
+ * simulation with every sampling key folded to its default.  This is
+ * the identity a sample plan is keyed by — a profile of the base cell
+ * serves any sampled replay of it — and the string the default plan
+ * path hashes.  For a cell that is not sampling, identical to
+ * renderCell().
+ */
+std::string renderBaseCell(const SweepPoint &pt);
+
+/**
+ * Parse the sample=/sample-interval=/sample-clusters=/sample-plan=/
+ * sample-dir=/sample-ckpt-out= keys of @p opts into @p pt, validating
+ * values and rejecting combinations that cannot work (sampling mixed
+ * with checkpoint run-control; sample-ckpt-out outside profile mode).
+ * Shared by cellFromOptions() and the bench sweep builder so the
+ * service and the benches accept the exact same sampling language.
+ */
+void applySampleOptions(const Options &opts, SweepPoint &pt);
 
 // --- per-workload figure calibration (shared with the benches) ---------
 

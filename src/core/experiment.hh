@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cpu/processor.hh"
 #include "mem/params.hh"
@@ -62,6 +64,18 @@ struct ExperimentResult
 
     /** Full merged statistics from every component. */
     StatSet stats;
+
+    // --- sampled-simulation marking (DESIGN.md §14) ---------------------
+    /** True when this result was reconstructed from a sample plan's
+     *  representative intervals (a weighted estimate, not a simulated
+     *  run); sweepPointJson() marks such points `"sampled": true`. */
+    bool sampled = false;
+    /** Number of profiling intervals the plan covered. */
+    std::uint64_t sampleIntervals = 0;
+    /** Per-cluster (representative interval index, member count),
+     *  ascending by representative index; member counts sum to
+     *  sampleIntervals. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sampleWeights;
 
     /** Hierarchical typed snapshot of the stats registry
      *  ("node<N>.l2.*", "node<N>.dir.*", "node<N>.proc<S>.*",

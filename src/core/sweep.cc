@@ -16,6 +16,7 @@
 
 #include "ckpt/cell_run.hh"
 #include "obs/json.hh"
+#include "sample/sampled_run.hh"
 #include "sim/logging.hh"
 
 namespace slipsim
@@ -91,9 +92,12 @@ runSweep(const std::vector<SweepPoint> &points, const SweepConfig &cfg)
     for (std::size_t i = 0; i < points.size(); ++i) {
         tasks.push_back([&points, &results, i]() {
             const SweepPoint &p = points[i];
-            // Checkpoint run-control routes through the replay-verified
-            // paths; the results are byte-identical to a plain run.
-            if (p.ckptAt > 0 || !p.restoreFrom.empty())
+            // Sampled cells route through the profile/replay paths
+            // (DESIGN.md §14); checkpoint run-control through the
+            // replay-verified paths (byte-identical to a plain run).
+            if (p.sampleMode != SampleMode::Off)
+                results[i] = runCellSampled(p);
+            else if (p.ckptAt > 0 || !p.restoreFrom.empty())
                 results[i] = runCellCkpt(p);
             else
                 results[i] = runExperiment(p.workload, p.opts,
@@ -116,7 +120,22 @@ sweepPointJson(const ExperimentResult &r)
         os << ", \"protocol\": \"" << protocolName(r.protocol) << "\"";
     os << ", \"cmps\": " << r.numCmps
        << ", \"cycles\": " << r.cycles << ", \"verified\": "
-       << (r.verified ? "true" : "false") << ", \"stats\": ";
+       << (r.verified ? "true" : "false");
+    if (r.sampled) {
+        // Sampled points are explicitly marked: the cycles/stats above
+        // are weight-blended estimates, not a simulated run.  Weights
+        // are the fraction of profiling intervals each representative
+        // stands for; they sum to 1 by construction.
+        os << ", \"sampled\": true, \"sampleIntervals\": "
+           << r.sampleIntervals << ", \"sampleWeights\": [";
+        for (std::size_t i = 0; i < r.sampleWeights.size(); ++i) {
+            os << (i ? ", " : "")
+               << jsonNumber(static_cast<double>(r.sampleWeights[i].second) /
+                             static_cast<double>(r.sampleIntervals));
+        }
+        os << "]";
+    }
+    os << ", \"stats\": ";
     r.snap.writeJson(os);
     os << "}";
     return std::move(os).str();

@@ -34,6 +34,20 @@
 namespace slipsim
 {
 
+/**
+ * Sampled-simulation mode of a cell (DESIGN.md §14).  Unlike the
+ * checkpoint run-control keys, `sample=` IS part of the canonical
+ * config: a sampled result is an estimate, so it must never alias a
+ * full-fidelity result in the serve cache.
+ */
+enum class SampleMode : std::uint8_t
+{
+    Off = 0,      //!< full-fidelity run (default; folds out of the
+                  //!< canonical form, so existing hashes are untouched)
+    Profile = 1,  //!< full run + interval signatures -> plan file
+    Replay = 2,   //!< reconstruct stats from the plan's representatives
+};
+
 /** One point of a sweep: a fully-specified experiment. */
 struct SweepPoint
 {
@@ -53,6 +67,29 @@ struct SweepPoint
     /** Start from this checkpoint file instead of tick 0 (replay-
      *  verified: see DESIGN.md §13). */
     std::string restoreFrom;
+
+    // --- sampled simulation (sample=/sample-interval=/sample-clusters=
+    //     are canonical; sample-plan= is run control, sample-dir= and
+    //     sample-ckpt-out= are presentation; see core/cell.cc) ----------
+    /** off / profile / replay (DESIGN.md §14). */
+    SampleMode sampleMode = SampleMode::Off;
+    /** Interval length K in ticks (canonical when sampling). */
+    Tick sampleInterval = defaultSampleInterval;
+    /** Requested cluster count C (canonical when sampling; capped at
+     *  the interval count, so a huge C degenerates to exhaustive
+     *  sampling). */
+    int sampleClusters = defaultSampleClusters;
+    /** Explicit plan file (run control; default is a per-cell path
+     *  under sampleDir, derived from the base-config hash). */
+    std::string samplePlan;
+    /** Plan directory for default plan paths ("sample-plans"). */
+    std::string sampleDir;
+    /** Profile-time destination for the representative checkpoint set
+     *  ("" = don't capture one; see ckpt/snapshot.hh CkptSet). */
+    std::string sampleCkptOut;
+
+    static constexpr Tick defaultSampleInterval = 50000;
+    static constexpr int defaultSampleClusters = 8;
 };
 
 /** Sweep execution parameters. */

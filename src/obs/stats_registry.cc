@@ -190,6 +190,68 @@ StatsSnapshot::merge(const StatsSnapshot &o)
     }
 }
 
+StatsSnapshot
+StatsSnapshot::deltaFrom(const StatsSnapshot &prev) const
+{
+    for (const auto &[path, pv] : prev.values) {
+        if (!values.count(path)) {
+            fatal("stats: delta dropped path '%s' (the registry never "
+                  "shrinks mid-run)",
+                  path.c_str());
+        }
+    }
+
+    StatsSnapshot out;
+    for (const auto &[path, cur] : values) {
+        auto it = prev.values.find(path);
+        const Value *old = it != prev.values.end() ? &it->second : nullptr;
+        if (old && old->kind != cur.kind) {
+            fatal("stats: delta of '%s' mixes %s with %s", path.c_str(),
+                  kindName(cur.kind), kindName(old->kind));
+        }
+        switch (cur.kind) {
+          case Kind::Counter: {
+            std::uint64_t base = old ? old->count : 0;
+            if (cur.count < base) {
+                fatal("stats: counter '%s' went backwards (%llu -> "
+                      "%llu); not a later snapshot of the same run",
+                      path.c_str(),
+                      static_cast<unsigned long long>(base),
+                      static_cast<unsigned long long>(cur.count));
+            }
+            out.setCounter(path, cur.count - base);
+            break;
+          }
+          case Kind::Gauge:
+            out.setGauge(path, cur.gauge);
+            break;
+          case Kind::Hist: {
+            std::uint64_t buckets[Histogram::numBuckets];
+            for (int b = 0; b < Histogram::numBuckets; ++b) {
+                std::uint64_t base = old ? old->hist.bucket(b) : 0;
+                if (cur.hist.bucket(b) < base) {
+                    fatal("stats: histogram '%s' bucket %d went "
+                          "backwards",
+                          path.c_str(), b);
+                }
+                buckets[b] = cur.hist.bucket(b) - base;
+            }
+            std::uint64_t base_sum = old ? old->hist.total() : 0;
+            if (cur.hist.total() < base_sum) {
+                fatal("stats: histogram '%s' sum went backwards",
+                      path.c_str());
+            }
+            Histogram h;
+            h.setRaw(buckets, Histogram::numBuckets,
+                     cur.hist.total() - base_sum, cur.hist.maxValue());
+            out.setHistogram(path, h);
+            break;
+          }
+        }
+    }
+    return out;
+}
+
 void
 StatsSnapshot::writeJson(std::ostream &os) const
 {

@@ -138,6 +138,24 @@ class StatsSnapshot
     void merge(const StatsSnapshot &o);
 
     /**
+     * Interval delta: what happened between cumulative snapshot
+     * @p prev and this (later) cumulative snapshot, per kind:
+     *  - Counter:   this - prev (fatal if a counter went backwards —
+     *               counters are monotone by contract).
+     *  - Gauge:     this interval ends with the current value (levels
+     *               don't subtract; matches merge()'s last-wins).
+     *  - Histogram: bucket-wise and sum subtraction; `max` carries the
+     *               cumulative max (monotone, like merge()'s max-of).
+     * Every path of @p prev must exist here with the same kind (the
+     * registry never shrinks mid-run); paths new in `this` delta
+     * against an implicit zero.  The defining identity, unit-tested
+     * and relied on by sampled replay (DESIGN.md §14): merging the
+     * deltas of consecutive intervals in order reproduces the final
+     * cumulative snapshot exactly.
+     */
+    StatsSnapshot deltaFrom(const StatsSnapshot &prev) const;
+
+    /**
      * Serialize as one JSON object, keys in path order:
      * counters as bare integers, gauges as {"g": x}, histograms as
      * {"h": {"buckets": [...], "sum": s, "max": m}} with trailing

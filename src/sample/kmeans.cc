@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic k-means implementation.
+ */
+
+#include "sample/kmeans.hh"
+
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double x = a[i] - b[i];
+        d += x * x;
+    }
+    return d;
+}
+
+} // namespace
+
+KMeansResult
+kmeansDeterministic(const std::vector<std::vector<double>> &points,
+                    std::size_t k)
+{
+    const std::size_t n = points.size();
+    if (n == 0)
+        fatal("kmeans: no points");
+    if (k < 1)
+        fatal("kmeans: k must be >= 1");
+    const std::size_t dim = points[0].size();
+    for (const auto &p : points) {
+        if (p.size() != dim)
+            fatal("kmeans: ragged point dimensions (%zu vs %zu)",
+                  p.size(), dim);
+    }
+    if (k > n)
+        k = n;
+
+    KMeansResult r;
+    r.centroids.reserve(k);
+
+    // Farthest-point seeding from point 0.  A strict `>` comparison
+    // keeps the lowest index on ties; once every remaining point
+    // coincides with a chosen center (best == 0) further seeds would
+    // duplicate it, so seeding stops early and those clusters stay
+    // empty — the all-identical degenerate case.
+    std::vector<double> min_d(n);
+    r.centroids.push_back(points[0]);
+    for (std::size_t i = 0; i < n; ++i)
+        min_d[i] = sqDist(points[i], r.centroids[0]);
+    while (r.centroids.size() < k) {
+        std::size_t far = 0;
+        double best = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (min_d[i] > best) {
+                best = min_d[i];
+                far = i;
+            }
+        }
+        if (best == 0)
+            break;
+        r.centroids.push_back(points[far]);
+        for (std::size_t i = 0; i < n; ++i) {
+            double d = sqDist(points[i], r.centroids.back());
+            if (d < min_d[i])
+                min_d[i] = d;
+        }
+    }
+    const std::size_t kk = r.centroids.size();
+
+    // Lloyd rounds: assign (ties -> lowest cluster index), recompute
+    // centroids as member means (an empty cluster keeps its centroid),
+    // stop early only on an exactly unchanged assignment.
+    r.assign.assign(n, 0);
+    for (int iter = 0; iter < kmeansIterations; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            int bestc = 0;
+            double bestd = sqDist(points[i], r.centroids[0]);
+            for (std::size_t c = 1; c < kk; ++c) {
+                double d = sqDist(points[i], r.centroids[c]);
+                if (d < bestd) {
+                    bestd = d;
+                    bestc = static_cast<int>(c);
+                }
+            }
+            if (r.assign[i] != bestc) {
+                r.assign[i] = bestc;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+
+        std::vector<std::vector<double>> sums(
+            kk, std::vector<double>(dim, 0));
+        std::vector<std::uint64_t> counts(kk, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t c = static_cast<std::size_t>(r.assign[i]);
+            ++counts[c];
+            for (std::size_t d = 0; d < dim; ++d)
+                sums[c][d] += points[i][d];
+        }
+        for (std::size_t c = 0; c < kk; ++c) {
+            if (counts[c] == 0)
+                continue;
+            for (std::size_t d = 0; d < dim; ++d) {
+                r.centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+            }
+        }
+    }
+
+    r.sizes.assign(kk, 0);
+    r.representative.assign(kk, 0);
+    std::vector<double> repd(kk, 0);
+    std::vector<bool> seen(kk, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t c = static_cast<std::size_t>(r.assign[i]);
+        ++r.sizes[c];
+        double d = sqDist(points[i], r.centroids[c]);
+        // Strict `<` keeps the lowest interval index on ties.
+        if (!seen[c] || d < repd[c]) {
+            seen[c] = true;
+            repd[c] = d;
+            r.representative[c] = i;
+        }
+    }
+    return r;
+}
+
+} // namespace slipsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic k-means for interval signatures (DESIGN.md §14).
+ *
+ * Sampled simulation must pick the same representatives on every
+ * host, build, and thread count, so this clustering is PRNG-free and
+ * fully order-pinned:
+ *
+ *  - Seeding: center 0 is point 0; each further center is the point
+ *    maximizing its distance to the nearest already-chosen center
+ *    (farthest-point traversal), ties broken by lowest point index.
+ *  - Iteration: a fixed cap of kmeansIterations Lloyd rounds, with an
+ *    early exit only when the assignment is exactly unchanged (itself
+ *    a deterministic condition).
+ *  - Assignment: nearest centroid by squared Euclidean distance, ties
+ *    broken by lowest cluster index.
+ *  - Representative: the member closest to its centroid, ties broken
+ *    by lowest point index.
+ *
+ * Degenerate inputs stay pinned: k >= n puts every point in its own
+ * cluster (exhaustive sampling); all-identical points collapse into
+ * cluster 0 and the remaining clusters come back empty.  Empty
+ * clusters are reported with size 0 and no representative; callers
+ * drop them.
+ */
+
+#ifndef SLIPSIM_SAMPLE_KMEANS_HH
+#define SLIPSIM_SAMPLE_KMEANS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slipsim
+{
+
+/** Fixed Lloyd-iteration cap (part of the determinism contract). */
+constexpr int kmeansIterations = 25;
+
+struct KMeansResult
+{
+    /** Cluster id of every input point. */
+    std::vector<int> assign;
+    /** Member count per cluster (0 = empty, dropped by callers). */
+    std::vector<std::uint64_t> sizes;
+    /** Representative point index per cluster (meaningless where
+     *  sizes[c] == 0). */
+    std::vector<std::size_t> representative;
+    /** Final centroids (dimension = input dimension). */
+    std::vector<std::vector<double>> centroids;
+};
+
+/**
+ * Cluster @p points (all the same dimension) into at most @p k
+ * clusters under the determinism rules above.  fatal() on empty
+ * input, k < 1, or ragged dimensions.
+ */
+KMeansResult kmeansDeterministic(
+    const std::vector<std::vector<double>> &points, std::size_t k);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SAMPLE_KMEANS_HH

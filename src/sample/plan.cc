@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Sample-plan JSON serialization (deterministic) and fail-closed
+ * parsing.
+ */
+
+#include "sample/plan.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+constexpr const char *planSchema = "slipsim-sample-plan-v1";
+
+std::vector<std::string>
+stringArray(const JsonValue &v, const char *key)
+{
+    const JsonValue &arr = v.at(key);
+    if (!arr.isArray())
+        fatal("sample plan: \"%s\" is not an array", key);
+    std::vector<std::string> out;
+    out.reserve(arr.arr.size());
+    for (const JsonValue &e : arr.arr) {
+        if (!e.isString())
+            fatal("sample plan: \"%s\" holds a non-string", key);
+        out.push_back(e.str);
+    }
+    return out;
+}
+
+std::uint64_t
+u64Field(const JsonValue &v, const char *key)
+{
+    const JsonValue &f = v.at(key);
+    if (!f.isNumber() || f.number < 0)
+        fatal("sample plan: \"%s\" is not a non-negative number", key);
+    return static_cast<std::uint64_t>(f.number);
+}
+
+std::string
+strField(const JsonValue &v, const char *key)
+{
+    const JsonValue &f = v.at(key);
+    if (!f.isString())
+        fatal("sample plan: \"%s\" is not a string", key);
+    return f.str;
+}
+
+} // namespace
+
+std::string
+planToJson(const SamplePlan &plan)
+{
+    std::ostringstream os;
+    os << "{\n\"schema\": \"" << planSchema << "\",\n"
+       << "\"git_rev\": \"" << jsonEscape(plan.gitRev) << "\",\n"
+       << "\"base_config\": \"" << jsonEscape(plan.baseConfig)
+       << "\",\n"
+       << "\"engine\": \"" << jsonEscape(plan.engine) << "\",\n"
+       << "\"interval\": " << plan.interval << ",\n"
+       << "\"clusters_requested\": " << plan.clustersRequested << ",\n"
+       << "\"num_intervals\": " << plan.numIntervals << ",\n"
+       << "\"end_tick\": " << plan.endTick << ",\n"
+       << "\"verified\": " << (plan.verified ? "true" : "false")
+       << ",\n"
+       << "\"final_cluster\": " << plan.finalCluster << ",\n";
+    auto str_arr = [&](const char *key,
+                       const std::vector<std::string> &v) {
+        os << "\"" << key << "\": [";
+        for (std::size_t i = 0; i < v.size(); ++i)
+            os << (i ? ", " : "") << "\"" << jsonEscape(v[i]) << "\"";
+        os << "],\n";
+    };
+    str_arr("r_procs", plan.rProcs);
+    str_arr("a_procs", plan.aProcs);
+    os << "\"stat_paths\": [";
+    for (std::size_t i = 0; i < plan.statPaths.size(); ++i) {
+        os << (i ? ",\n" : "\n") << "\"" << jsonEscape(plan.statPaths[i])
+           << "\"";
+    }
+    os << "\n],\n\"clusters\": [";
+    for (std::size_t i = 0; i < plan.clusters.size(); ++i) {
+        const SampleCluster &c = plan.clusters[i];
+        os << (i ? ",\n" : "\n") << "{\"rep\": " << c.repIndex
+           << ", \"start_tick\": " << c.startTick
+           << ", \"members\": " << c.members << ", \"counts\": [";
+        for (std::size_t j = 0; j < c.counts.size(); ++j)
+            os << (j ? "," : "") << c.counts[j];
+        os << "], \"other\": ";
+        c.other.writeJson(os);
+        os << "}";
+    }
+    os << "\n]\n}\n";
+    return std::move(os).str();
+}
+
+SamplePlan
+planFromJson(const std::string &text, const std::string &what)
+{
+    JsonValue doc;
+    try {
+        doc = parseJson(text);
+    } catch (const std::exception &e) {
+        fatal("sample plan '%s': %s", what.c_str(), e.what());
+    }
+    if (!doc.isObject())
+        fatal("sample plan '%s' is not a JSON object", what.c_str());
+    if (strField(doc, "schema") != planSchema) {
+        fatal("sample plan '%s': schema tag is not \"%s\"",
+              what.c_str(), planSchema);
+    }
+
+    SamplePlan plan;
+    plan.gitRev = strField(doc, "git_rev");
+    plan.baseConfig = strField(doc, "base_config");
+    plan.engine = strField(doc, "engine");
+    if (plan.engine != "sequential" && plan.engine != "parallel") {
+        fatal("sample plan '%s': unknown engine \"%s\"", what.c_str(),
+              plan.engine.c_str());
+    }
+    plan.interval = static_cast<Tick>(u64Field(doc, "interval"));
+    if (plan.interval < 1)
+        fatal("sample plan '%s': interval must be >= 1", what.c_str());
+    plan.clustersRequested =
+        static_cast<int>(u64Field(doc, "clusters_requested"));
+    plan.numIntervals = u64Field(doc, "num_intervals");
+    if (plan.numIntervals < 1)
+        fatal("sample plan '%s': no intervals", what.c_str());
+    plan.endTick = static_cast<Tick>(u64Field(doc, "end_tick"));
+    const JsonValue &verified = doc.at("verified");
+    if (!verified.isBool())
+        fatal("sample plan '%s': verified is not boolean",
+              what.c_str());
+    plan.verified = verified.boolean;
+    plan.finalCluster = u64Field(doc, "final_cluster");
+    plan.rProcs = stringArray(doc, "r_procs");
+    plan.aProcs = stringArray(doc, "a_procs");
+    if (plan.rProcs.empty())
+        fatal("sample plan '%s': r_procs is empty", what.c_str());
+    if (!plan.aProcs.empty() &&
+        plan.aProcs.size() != plan.rProcs.size()) {
+        fatal("sample plan '%s': a_procs/r_procs length mismatch",
+              what.c_str());
+    }
+    plan.statPaths = stringArray(doc, "stat_paths");
+    if (plan.statPaths.empty())
+        fatal("sample plan '%s': stat_paths is empty", what.c_str());
+    for (std::size_t i = 1; i < plan.statPaths.size(); ++i) {
+        if (!(plan.statPaths[i - 1] < plan.statPaths[i])) {
+            fatal("sample plan '%s': stat_paths not strictly "
+                  "ascending at index %zu",
+                  what.c_str(), i);
+        }
+    }
+
+    const JsonValue &clusters = doc.at("clusters");
+    if (!clusters.isArray() || clusters.arr.empty())
+        fatal("sample plan '%s': clusters missing or empty",
+              what.c_str());
+    std::uint64_t total_members = 0;
+    std::uint64_t prev_rep = 0;
+    for (std::size_t i = 0; i < clusters.arr.size(); ++i) {
+        const JsonValue &cj = clusters.arr[i];
+        if (!cj.isObject())
+            fatal("sample plan '%s': cluster %zu is not an object",
+                  what.c_str(), i);
+        SampleCluster c;
+        c.repIndex = u64Field(cj, "rep");
+        c.startTick = static_cast<Tick>(u64Field(cj, "start_tick"));
+        c.members = u64Field(cj, "members");
+        if (c.members < 1) {
+            fatal("sample plan '%s': cluster %zu has zero members",
+                  what.c_str(), i);
+        }
+        if (c.repIndex >= plan.numIntervals) {
+            fatal("sample plan '%s': cluster %zu representative %llu "
+                  "out of range (%llu intervals)",
+                  what.c_str(), i,
+                  static_cast<unsigned long long>(c.repIndex),
+                  static_cast<unsigned long long>(plan.numIntervals));
+        }
+        if (i > 0 && c.repIndex <= prev_rep) {
+            fatal("sample plan '%s': clusters not ascending by "
+                  "representative index",
+                  what.c_str());
+        }
+        prev_rep = c.repIndex;
+        const JsonValue &counts = cj.at("counts");
+        if (!counts.isArray() ||
+            counts.arr.size() != plan.statPaths.size()) {
+            fatal("sample plan '%s': cluster %zu counts length does "
+                  "not match stat_paths (%zu vs %zu)",
+                  what.c_str(), i,
+                  counts.isArray() ? counts.arr.size() : 0,
+                  plan.statPaths.size());
+        }
+        c.counts.reserve(counts.arr.size());
+        for (const JsonValue &e : counts.arr) {
+            if (!e.isNumber() || e.number < 0) {
+                fatal("sample plan '%s': cluster %zu counts holds a "
+                      "non-numeric or negative entry",
+                      what.c_str(), i);
+            }
+            c.counts.push_back(static_cast<std::uint64_t>(e.number));
+        }
+        c.other = StatsSnapshot::fromJson(cj.at("other"));
+        for (const auto &[path, v] : c.other.all()) {
+            if (v.kind == StatsSnapshot::Kind::Counter) {
+                fatal("sample plan '%s': cluster %zu \"other\" holds "
+                      "counter '%s' (counters are columnar)",
+                      what.c_str(), i, path.c_str());
+            }
+            if (std::binary_search(plan.statPaths.begin(),
+                                   plan.statPaths.end(), path)) {
+                fatal("sample plan '%s': cluster %zu path '%s' is "
+                      "both columnar and keyed",
+                      what.c_str(), i, path.c_str());
+            }
+        }
+        total_members += c.members;
+        plan.clusters.push_back(std::move(c));
+    }
+    if (total_members != plan.numIntervals) {
+        fatal("sample plan '%s': cluster weights sum to %llu but the "
+              "plan covers %llu intervals",
+              what.c_str(),
+              static_cast<unsigned long long>(total_members),
+              static_cast<unsigned long long>(plan.numIntervals));
+    }
+    if (plan.finalCluster >= plan.clusters.size()) {
+        fatal("sample plan '%s': final_cluster %llu out of range "
+              "(%zu clusters)",
+              what.c_str(),
+              static_cast<unsigned long long>(plan.finalCluster),
+              plan.clusters.size());
+    }
+    return plan;
+}
+
+std::vector<std::string>
+counterPathUnion(const std::vector<const StatsSnapshot *> &deltas)
+{
+    std::set<std::string> paths;
+    for (const StatsSnapshot *d : deltas) {
+        for (const auto &[path, v] : d->all()) {
+            if (v.kind == StatsSnapshot::Kind::Counter)
+                paths.insert(path);
+        }
+    }
+    return {paths.begin(), paths.end()};
+}
+
+void
+splitDeltaColumns(const StatsSnapshot &delta,
+                  const std::vector<std::string> &statPaths,
+                  std::vector<std::uint64_t> &counts,
+                  StatsSnapshot &other)
+{
+    counts.assign(statPaths.size(), 0);
+    for (const auto &[path, v] : delta.all()) {
+        if (v.kind != StatsSnapshot::Kind::Counter) {
+            switch (v.kind) {
+              case StatsSnapshot::Kind::Gauge:
+                other.setGauge(path, v.gauge);
+                break;
+              case StatsSnapshot::Kind::Hist:
+                other.setHistogram(path, v.hist);
+                break;
+              default:
+                break;
+            }
+            continue;
+        }
+        auto it = std::lower_bound(statPaths.begin(), statPaths.end(),
+                                   path);
+        if (it == statPaths.end() || *it != path) {
+            fatal("sample plan: counter '%s' missing from the stat "
+                  "path union",
+                  path.c_str());
+        }
+        counts[static_cast<std::size_t>(it - statPaths.begin())] =
+            v.count;
+    }
+}
+
+bool
+clusterMatchesDelta(const SamplePlan &plan, const SampleCluster &c,
+                    const StatsSnapshot &delta)
+{
+    // Counters merge-walk: delta's counter paths and plan.statPaths
+    // are both ascending, so one cursor suffices.  A path only one
+    // side knows must be zero on the side that has it — a zero-valued
+    // counter and an unregistered one describe the same interval.
+    const std::size_t n = plan.statPaths.size();
+    std::size_t i = 0;
+    std::size_t other_matched = 0;
+    for (const auto &[path, v] : delta.all()) {
+        if (v.kind == StatsSnapshot::Kind::Counter) {
+            while (i < n && plan.statPaths[i] < path) {
+                if (c.counts[i] != 0)
+                    return false;
+                ++i;
+            }
+            std::uint64_t want = 0;
+            if (i < n && plan.statPaths[i] == path)
+                want = c.counts[i++];
+            if (v.count != want)
+                return false;
+        } else {
+            const auto &om = c.other.all();
+            auto it = om.find(path);
+            if (it == om.end() || !(it->second == v))
+                return false;
+            ++other_matched;
+        }
+    }
+    while (i < n) {
+        if (c.counts[i++] != 0)
+            return false;
+    }
+    // Every "other" entry must have been claimed by a delta entry —
+    // extras in the plan are a mismatch too.
+    return other_matched == c.other.size();
+}
+
+void
+writeSamplePlan(const std::string &path, const SamplePlan &plan)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        fatal("cannot open sample plan '%s' for writing", path.c_str());
+    f << planToJson(plan);
+    f.flush();
+    if (!f)
+        fatal("short write to sample plan '%s'", path.c_str());
+}
+
+SamplePlan
+readSamplePlan(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        fatal("cannot open sample plan '%s' (run the cell with "
+              "sample=profile first)",
+              path.c_str());
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return planFromJson(ss.str(), path);
+}
+
+} // namespace slipsim

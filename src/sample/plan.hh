@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Sample plans: the on-disk product of a `sample=profile` pass and
+ * the sole input of a `sample=replay` reconstruction (DESIGN.md §14).
+ *
+ * A plan stores, per k-means cluster, the representative interval's
+ * FULL delta snapshot (not just its signature) plus its weight, so a
+ * replay needs no simulation at all: the full-run stats are
+ * reconstructed as the weight-blended sum of representative deltas.
+ *
+ * Deltas are stored COLUMNAR: the sorted union of counter paths
+ * appears once per plan (statPaths) and each cluster carries a bare
+ * numeric array parallel to it.  Plan parse is the replay hot path —
+ * at the cluster counts that hit the accuracy target, per-cluster
+ * keyed objects made JSON parsing ~85% of replay time and sank the
+ * speedup; columnar counters cut both the file size and the token
+ * count by the cluster count.  The handful of non-counter entries
+ * (gauges, histograms) stay keyed per cluster.
+ *
+ * It also stores everything reconstruction needs to rebuild the
+ * figure fields (task -> processor prefixes) and everything
+ * validation needs to fail closed (producing revision, canonical
+ * base config, engine, interval length, cluster request).
+ *
+ * Serialized as deterministic JSON ("slipsim-sample-plan-v1"): two
+ * profiles of the same cell on any host/jobs/sim-jobs produce
+ * byte-identical plan files — unit-tested, like every other artifact
+ * in this repo.
+ */
+
+#ifndef SLIPSIM_SAMPLE_PLAN_HH
+#define SLIPSIM_SAMPLE_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stats_registry.hh"
+#include "sim/types.hh"
+
+namespace slipsim
+{
+
+struct SampleCluster
+{
+    /** Interval index of the representative (0-based). */
+    std::uint64_t repIndex = 0;
+    /** Pause tick at which the representative interval began. */
+    Tick startTick = 0;
+    /** Member count (the cluster's weight; weights sum to
+     *  numIntervals across the plan). */
+    std::uint64_t members = 0;
+    /** Counter values of the representative's interval delta
+     *  (StatsSnapshot::deltaFrom semantics), parallel to
+     *  SamplePlan::statPaths; a counter absent from the delta stores
+     *  0 (absent and zero are the same interval behaviour). */
+    std::vector<std::uint64_t> counts;
+    /** The delta's non-counter entries (gauges, histograms), keyed.
+     *  Never holds a counter and never overlaps statPaths. */
+    StatsSnapshot other;
+};
+
+struct SamplePlan
+{
+    std::string gitRev;
+    /** renderBaseCell() of the profiled cell: the full-fidelity
+     *  simulation this plan describes. */
+    std::string baseConfig;
+    /** "sequential" or "parallel" — interval pause points are
+     *  engine-specific, so a plan only serves its own engine. */
+    std::string engine;
+    /** Interval length K in ticks. */
+    Tick interval = 0;
+    /** sample-clusters= the profile ran with. */
+    int clustersRequested = 0;
+    /** Total profiling intervals (weights sum to this). */
+    std::uint64_t numIntervals = 0;
+    /** Completion tick of the profiled run. */
+    Tick endTick = 0;
+    /** Workload verification outcome of the profiled run. */
+    bool verified = false;
+    /** Index into clusters[] of the cluster holding the LAST interval
+     *  (supplies gauges and histogram maxima at reconstruction). */
+    std::uint64_t finalCluster = 0;
+    /** Task count and per-task processor stat prefixes ("node0.proc1")
+     *  for the R stream and (slipstream only) the A stream — what
+     *  CellRun::finish() queries to build the Figure 6 breakdown. */
+    std::vector<std::string> rProcs;
+    std::vector<std::string> aProcs;
+    /** Strictly ascending union of counter paths across cluster
+     *  deltas; each cluster's counts array is parallel to this. */
+    std::vector<std::string> statPaths;
+    /** Non-empty clusters, ascending by repIndex. */
+    std::vector<SampleCluster> clusters;
+};
+
+/** Sorted union of counter paths across @p deltas (the plan's
+ *  statPaths). */
+std::vector<std::string>
+counterPathUnion(const std::vector<const StatsSnapshot *> &deltas);
+
+/** Split @p delta into columnar form against @p statPaths: counter
+ *  values in statPaths order (absent -> 0) into @p counts, the keyed
+ *  non-counter remainder into @p other.  Fatal if the delta holds a
+ *  counter path missing from @p statPaths. */
+void splitDeltaColumns(const StatsSnapshot &delta,
+                       const std::vector<std::string> &statPaths,
+                       std::vector<std::uint64_t> &counts,
+                       StatsSnapshot &other);
+
+/** Whether @p delta matches cluster @p c of @p plan: counters compare
+ *  as a union with absent = 0, non-counter entries exactly. */
+bool clusterMatchesDelta(const SamplePlan &plan,
+                         const SampleCluster &c,
+                         const StatsSnapshot &delta);
+
+/** Serialize to deterministic "slipsim-sample-plan-v1" JSON. */
+std::string planToJson(const SamplePlan &plan);
+
+/** Parse + validate plan JSON; fatal() on any schema violation,
+ *  including weights that do not sum to numIntervals. */
+SamplePlan planFromJson(const std::string &text, const std::string &what);
+
+/** Write @p plan to @p path (fatal on I/O error). */
+void writeSamplePlan(const std::string &path, const SamplePlan &plan);
+
+/** Read + validate a plan file (fatal on open or schema error). */
+SamplePlan readSamplePlan(const std::string &path);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SAMPLE_PLAN_HH

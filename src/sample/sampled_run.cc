@@ -1,0 +1,559 @@
+/**
+ * @file
+ * Sampled cell execution: profile, replay-reconstruction, and the
+ * checkpoint-backed representative audit (DESIGN.md §14).
+ */
+
+#include "sample/sampled_run.hh"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/cell_run.hh"
+#include "core/build_info.hh"
+#include "core/cell.hh"
+#include "core/config_hash.hh"
+#include "sample/kmeans.hh"
+#include "sample/signature.hh"
+#include "sim/logging.hh"
+
+namespace slipsim
+{
+
+namespace
+{
+
+/** The full-fidelity point a sampled point describes: every sampling
+ *  field folded back to its default.  This is the cell the profile
+ *  pass actually simulates, and the identity (renderBaseCell) plans
+ *  are validated against. */
+SweepPoint
+basePoint(const SweepPoint &pt)
+{
+    SweepPoint base = pt;
+    base.sampleMode = SampleMode::Off;
+    base.sampleInterval = SweepPoint::defaultSampleInterval;
+    base.sampleClusters = SweepPoint::defaultSampleClusters;
+    base.samplePlan.clear();
+    base.sampleDir.clear();
+    base.sampleCkptOut.clear();
+    return base;
+}
+
+const char *
+engineString(const SweepPoint &pt)
+{
+    return pt.cfg.simJobs > 0 ? "parallel" : "sequential";
+}
+
+std::string
+procPrefix(const Processor &p)
+{
+    return "node" + std::to_string(p.nodeId()) + ".proc" +
+           std::to_string(p.slotId());
+}
+
+/**
+ * Cumulative registry snapshot of a paused run, mirroring exactly what
+ * CellRun::finish() freezes at completion: every registered component
+ * metric plus the injected run.cycles / run.events / run.recoveries
+ * (and run.policySwitches under slipstream) counters.  Matching
+ * finish() is what makes the final interval's delta — computed against
+ * finish()'s own snapshot — line up with the pause-time ones, so the
+ * deltas of consecutive intervals merge back into the final snapshot
+ * exactly.
+ */
+StatsSnapshot
+captureCumulative(CellRun &run)
+{
+    System &sys = run.system();
+    ParallelRuntime &rt = run.runtime();
+
+    StatsRegistry reg;
+    sys.memory().registerStats(reg);
+    for (Processor *p : sys.procPtrs())
+        p->registerStats(reg, procPrefix(*p));
+    rt.registerStats(reg);
+    StatsSnapshot snap = reg.snapshot();
+
+    std::uint64_t run_events = sys.eventq().processed();
+    if (run.config().simJobs > 0) {
+        run_events = 0;
+        int cmps = run.machineParams().numCmps;
+        for (NodeId n = 0; n < static_cast<NodeId>(cmps); ++n)
+            run_events += sys.nodeEventq(n).processed();
+    }
+    snap.setCounter("run.cycles", run.now());
+    snap.setCounter("run.events", run_events);
+    snap.setCounter("run.recoveries", rt.totalRecoveries());
+    if (run.config().mode == Mode::Slipstream) {
+        std::uint64_t switches = 0;
+        for (TaskId t = 0; t < rt.numTasks(); ++t)
+            switches += static_cast<std::uint64_t>(
+                rt.pair(t).policySwitches);
+        snap.setCounter("run.policySwitches", switches);
+    }
+    return snap;
+}
+
+/** mkdir -p for the default plan directory (fatal on failure). */
+void
+ensureDir(const std::string &dir)
+{
+    std::size_t pos = 0;
+    while (pos < dir.size()) {
+        std::size_t slash = dir.find('/', pos);
+        if (slash == std::string::npos)
+            slash = dir.size();
+        std::string prefix = dir.substr(0, slash);
+        pos = slash + 1;
+        if (prefix.empty() || prefix == ".")
+            continue;
+        if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+            fatal("cannot create sample directory '%s': %s",
+                  prefix.c_str(), std::strerror(errno));
+        }
+    }
+}
+
+/**
+ * Fail-closed plan validation, in the same spirit as checkpoint
+ * restore: a plan is only usable by the exact build, base config,
+ * engine, and sampling parameters that produced it.
+ */
+void
+validatePlan(const SweepPoint &pt, const SamplePlan &plan,
+             const char *what)
+{
+    if (plan.gitRev != buildGitRev()) {
+        fatal("%s: plan was profiled at git revision %s but this "
+              "binary is %s; re-profile",
+              what, plan.gitRev.c_str(), buildGitRev());
+    }
+    std::string want = renderBaseCell(pt);
+    if (plan.baseConfig != want) {
+        fatal("%s: plan was profiled for config\n  %s\nbut this cell "
+              "is\n  %s\nrefusing to reconstruct",
+              what, plan.baseConfig.c_str(), want.c_str());
+    }
+    if (plan.engine != engineString(pt)) {
+        fatal("%s: plan was profiled under the %s engine but this run "
+              "uses the %s engine (interval pause points differ); "
+              "re-profile",
+              what, plan.engine.c_str(), engineString(pt));
+    }
+    if (plan.interval != pt.sampleInterval) {
+        fatal("%s: plan was profiled with sample-interval=%llu but "
+              "this cell asks for %llu; re-profile or pass the "
+              "matching sample-interval",
+              what,
+              static_cast<unsigned long long>(plan.interval),
+              static_cast<unsigned long long>(pt.sampleInterval));
+    }
+    if (plan.clustersRequested != pt.sampleClusters) {
+        fatal("%s: plan was profiled with sample-clusters=%d but this "
+              "cell asks for %d; re-profile or pass the matching "
+              "sample-clusters",
+              what, plan.clustersRequested, pt.sampleClusters);
+    }
+}
+
+/** First differing byte offset, for replay-verify diagnostics. */
+std::size_t
+firstMismatch(const std::vector<std::uint8_t> &a,
+              const std::vector<std::uint8_t> &b)
+{
+    std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] != b[i])
+            return i;
+    }
+    return n;
+}
+
+/**
+ * Profile pass: run the base cell to completion, pausing every K
+ * ticks for a cumulative snapshot; cluster the interval deltas and
+ * write the plan (plus the optional checkpoint set).  Returns the
+ * ordinary full-fidelity result — a profile IS a full run, so its
+ * stats output is byte-identical to the unsampled cell's.
+ */
+ExperimentResult
+runProfile(const SweepPoint &pt)
+{
+    SweepPoint base = basePoint(pt);
+    const Tick K = pt.sampleInterval;
+
+    CellRun run(base);
+    std::vector<StatsSnapshot> deltas;
+    std::vector<Tick> starts;
+    starts.push_back(0);
+    StatsSnapshot prev;  // empty: interval 0 deltas against zero
+    std::uint64_t bound_idx = 1;
+    while (!run.runTo(bound_idx * K)) {
+        StatsSnapshot cum = captureCumulative(run);
+        deltas.push_back(cum.deltaFrom(prev));
+        prev = std::move(cum);
+        starts.push_back(run.now());
+        ++bound_idx;
+    }
+    ExperimentResult res = run.finish();
+    // The last interval's delta comes off finish()'s own snapshot, so
+    // summing every interval delta reproduces it exactly (the
+    // completion-time finalize passes are purely additive).
+    deltas.push_back(res.snap.deltaFrom(prev));
+    const std::uint64_t n = deltas.size();
+
+    std::vector<std::vector<double>> sigs;
+    sigs.reserve(n);
+    for (const StatsSnapshot &d : deltas)
+        sigs.push_back(signatureVector(d, base.machine.numCmps));
+    normalizeSignatures(sigs);
+    KMeansResult km = kmeansDeterministic(
+        sigs, static_cast<std::size_t>(pt.sampleClusters));
+
+    SamplePlan plan;
+    plan.gitRev = buildGitRev();
+    plan.baseConfig = renderBaseCell(pt);
+    plan.engine = engineString(pt);
+    plan.interval = K;
+    plan.clustersRequested = pt.sampleClusters;
+    plan.numIntervals = n;
+    plan.endTick = res.cycles;
+    plan.verified = res.verified;
+    ParallelRuntime &rt = run.runtime();
+    for (TaskId t = 0; t < rt.numTasks(); ++t)
+        plan.rProcs.push_back(procPrefix(rt.taskCtx(t).processor()));
+    if (base.cfg.mode == Mode::Slipstream) {
+        for (TaskId t = 0; t < rt.numTasks(); ++t)
+            plan.aProcs.push_back(procPrefix(rt.aCtx(t).processor()));
+    }
+    // Non-empty clusters, ascending by representative interval index.
+    std::vector<std::size_t> order;
+    for (std::size_t c = 0; c < km.sizes.size(); ++c) {
+        if (km.sizes[c] > 0)
+            order.push_back(c);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return km.representative[a] < km.representative[b];
+              });
+    std::vector<const StatsSnapshot *> rep_deltas;
+    rep_deltas.reserve(order.size());
+    for (std::size_t c : order)
+        rep_deltas.push_back(&deltas[km.representative[c]]);
+    plan.statPaths = counterPathUnion(rep_deltas);
+    for (std::size_t c : order) {
+        SampleCluster sc;
+        sc.repIndex = km.representative[c];
+        sc.startTick = starts[sc.repIndex];
+        sc.members = km.sizes[c];
+        splitDeltaColumns(deltas[sc.repIndex], plan.statPaths,
+                          sc.counts, sc.other);
+        if (c == static_cast<std::size_t>(km.assign[n - 1]))
+            plan.finalCluster = plan.clusters.size();
+        plan.clusters.push_back(std::move(sc));
+    }
+
+    std::string path = samplePlanPath(pt);
+    if (pt.samplePlan.empty())
+        ensureDir(pt.sampleDir.empty() ? "sample-plans" : pt.sampleDir);
+    writeSamplePlan(path, plan);
+
+    if (!pt.sampleCkptOut.empty()) {
+        // Second deterministic pass of the same run, capturing the
+        // serialized state at every representative's start bound —
+        // the multi-point set auditRepresentative() restores from.
+        CkptSet set;
+        set.gitRev = buildGitRev();
+        set.config = renderPrefixCell(base);
+        set.engine = base.cfg.simJobs > 0 ? CkptEngine::Parallel
+                                          : CkptEngine::Sequential;
+        CellRun pass2(base);
+        for (const SampleCluster &c : plan.clusters) {
+            if (c.repIndex > 0 &&
+                pass2.runTo(c.repIndex * K)) {
+                fatal("sample-ckpt-out: capture pass completed (tick "
+                      "%llu) before representative %llu's start bound; "
+                      "the run is not deterministic",
+                      static_cast<unsigned long long>(
+                          pass2.runtime().endTick()),
+                      static_cast<unsigned long long>(c.repIndex));
+            }
+            if (pass2.now() != c.startTick) {
+                fatal("sample-ckpt-out: capture pass paused at tick "
+                      "%llu for representative %llu but the profile "
+                      "paused at %llu; the run is not deterministic",
+                      static_cast<unsigned long long>(pass2.now()),
+                      static_cast<unsigned long long>(c.repIndex),
+                      static_cast<unsigned long long>(c.startTick));
+            }
+            if (!set.points.empty() &&
+                set.points.back().tick >= c.startTick) {
+                fatal("sample-ckpt-out: representatives %llu and the "
+                      "previous one pause at the same tick %llu "
+                      "(empty interval); decrease sample-interval",
+                      static_cast<unsigned long long>(c.repIndex),
+                      static_cast<unsigned long long>(c.startTick));
+            }
+            set.points.push_back({c.startTick, pass2.statePayload()});
+        }
+        writeCkptSetFile(pt.sampleCkptOut, set);
+    }
+
+    return res;
+}
+
+} // namespace
+
+std::string
+samplePlanPath(const SweepPoint &pt)
+{
+    if (!pt.samplePlan.empty())
+        return pt.samplePlan;
+    std::string dir =
+        pt.sampleDir.empty() ? "sample-plans" : pt.sampleDir;
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(renderBaseCell(pt))));
+    return dir + "/" + hex + ".plan.json";
+}
+
+ExperimentResult
+reconstructFromPlan(const SweepPoint &pt, const SamplePlan &plan)
+{
+    validatePlan(pt, plan, "sample=replay");
+
+    // Weight-blended reconstruction.  All-integer for counters and
+    // histogram mass, so exhaustive sampling (every interval its own
+    // weight-1 cluster) rebuilds the full run's snapshot byte for
+    // byte.  Gauges take the latest representative's end-of-interval
+    // value (clusters are ascending by interval, so last write wins —
+    // the same rule StatsSnapshot::merge applies), and histogram
+    // maxima the max over representatives' cumulative maxima.
+    StatsSnapshot recon;
+    const std::size_t npaths = plan.statPaths.size();
+    std::vector<std::uint64_t> totals(npaths, 0);
+    for (const SampleCluster &c : plan.clusters) {
+        const std::uint64_t w = c.members;
+        // Counters straight off the columnar array — the loop the
+        // whole plan format is shaped around.
+        for (std::size_t i = 0; i < npaths; ++i)
+            totals[i] += c.counts[i] * w;
+        for (const auto &[path, v] : c.other.all()) {
+            switch (v.kind) {
+              case StatsSnapshot::Kind::Gauge:
+                recon.setGauge(path, v.gauge);
+                break;
+              case StatsSnapshot::Kind::Hist: {
+                std::uint64_t buckets[Histogram::numBuckets] = {};
+                std::uint64_t sum = 0;
+                std::uint64_t mx = 0;
+                if (const Histogram *eh = recon.histogram(path)) {
+                    for (int b = 0; b < Histogram::numBuckets; ++b)
+                        buckets[b] = eh->bucket(b);
+                    sum = eh->total();
+                    mx = eh->maxValue();
+                }
+                for (int b = 0; b < Histogram::numBuckets; ++b)
+                    buckets[b] += v.hist.bucket(b) * w;
+                sum += v.hist.total() * w;
+                mx = std::max(mx, v.hist.maxValue());
+                Histogram h;
+                h.setRaw(buckets, Histogram::numBuckets, sum, mx);
+                recon.setHistogram(path, h);
+                break;
+              }
+              default:
+                break;  // counters cannot appear (planFromJson)
+            }
+        }
+    }
+    for (std::size_t i = 0; i < npaths; ++i)
+        recon.setCounter(plan.statPaths[i], totals[i]);
+
+    ExperimentResult r;
+    r.workload = pt.workload;
+    r.mode = pt.cfg.mode;
+    r.policy = pt.cfg.arPolicy;
+    r.features = pt.cfg.features;
+    r.numCmps = pt.machine.numCmps;
+    r.protocol = pt.machine.protocol;
+    r.cycles = recon.counter("run.cycles");
+    r.recoveries = recon.counter("run.recoveries");
+    r.verified = plan.verified;
+
+    // Figure fields re-derived from the reconstructed counters with
+    // the exact queries (and float operation order) finish() uses.
+    const int ntasks = static_cast<int>(plan.rProcs.size());
+    for (int t = 0; t < ntasks; ++t) {
+        for (int c = 0; c < numTimeCats; ++c) {
+            r.rCats[c] += static_cast<double>(recon.counter(
+                plan.rProcs[t] + ".cycles." +
+                timeCatName(static_cast<TimeCat>(c))));
+        }
+    }
+    for (double &c : r.rCats)
+        c /= ntasks;
+    if (!plan.aProcs.empty()) {
+        for (int t = 0; t < ntasks; ++t) {
+            for (int c = 0; c < numTimeCats; ++c) {
+                r.aCats[c] += static_cast<double>(recon.counter(
+                    plan.aProcs[t] + ".cycles." +
+                    timeCatName(static_cast<TimeCat>(c))));
+            }
+        }
+        for (double &c : r.aCats)
+            c /= ntasks;
+    }
+    static const char *streams[2] = {"A", "R"};
+    static const char *classes[3] = {"Timely", "Late", "Only"};
+    for (int n = 0; n < r.numCmps; ++n) {
+        std::string l2 = "node" + std::to_string(n) + ".l2";
+        std::string dir = "node" + std::to_string(n) + ".dir";
+        for (int s = 0; s < 2; ++s) {
+            for (int c = 0; c < 3; ++c) {
+                r.clsReads[s][c] += recon.counter(
+                    l2 + ".class.read." + streams[s] + classes[c]);
+                r.clsExcls[s][c] += recon.counter(
+                    l2 + ".class.excl." + streams[s] + classes[c]);
+            }
+        }
+        r.aReadMisses += recon.counter(l2 + ".aReadMisses");
+        r.siInvalidated += recon.counter(l2 + ".si.invalidated");
+        r.siDowngraded += recon.counter(l2 + ".si.downgraded");
+        r.transparentReplies +=
+            recon.counter(dir + ".transparentReplies");
+        r.upgradedReplies += recon.counter(dir + ".upgradedReplies");
+    }
+    r.stats.set("run.cycles", static_cast<double>(r.cycles));
+    r.stats.set("run.events",
+                static_cast<double>(recon.counter("run.events")));
+    r.stats.set("run.recoveries", static_cast<double>(r.recoveries));
+    if (r.mode == Mode::Slipstream) {
+        r.stats.set("run.policySwitches",
+                    static_cast<double>(
+                        recon.counter("run.policySwitches")));
+    }
+
+    r.sampled = true;
+    r.sampleIntervals = plan.numIntervals;
+    for (const SampleCluster &c : plan.clusters)
+        r.sampleWeights.emplace_back(c.repIndex, c.members);
+    r.snap = std::move(recon);
+    return r;
+}
+
+ExperimentResult
+runCellSampled(const SweepPoint &pt)
+{
+    SLIPSIM_ASSERT(pt.sampleMode != SampleMode::Off,
+                   "runCellSampled on an unsampled point");
+    if (pt.sampleMode == SampleMode::Profile)
+        return runProfile(pt);
+    if (!pt.cfg.tracePath.empty()) {
+        fatal("sample=replay reconstructs statistics without "
+              "simulating; there is no execution to trace "
+              "(drop trace= or profile instead)");
+    }
+    SamplePlan plan = readSamplePlan(samplePlanPath(pt));
+    return reconstructFromPlan(pt, plan);
+}
+
+std::size_t
+auditRepresentative(const SweepPoint &pt, const SamplePlan &plan,
+                    const CkptSet &set, std::size_t cluster_idx)
+{
+    validatePlan(pt, plan, "sample audit");
+    if (cluster_idx >= plan.clusters.size()) {
+        fatal("sample audit: cluster %zu out of range (%zu clusters)",
+              cluster_idx, plan.clusters.size());
+    }
+    const SampleCluster &c = plan.clusters[cluster_idx];
+
+    SweepPoint base = basePoint(pt);
+    if (set.gitRev != buildGitRev()) {
+        fatal("sample audit: checkpoint set was taken at git revision "
+              "%s but this binary is %s; refusing to restore",
+              set.gitRev.c_str(), buildGitRev());
+    }
+    std::string want = renderPrefixCell(base);
+    if (set.config != want) {
+        fatal("sample audit: checkpoint set was taken for config\n"
+              "  %s\nbut this cell is\n  %s\nrefusing to restore",
+              set.config.c_str(), want.c_str());
+    }
+    CkptEngine eng = base.cfg.simJobs > 0 ? CkptEngine::Parallel
+                                          : CkptEngine::Sequential;
+    if (set.engine != eng) {
+        fatal("sample audit: checkpoint set engine does not match "
+              "this run's engine; refusing to restore");
+    }
+    const CkptSet::Point *point = nullptr;
+    for (const CkptSet::Point &p : set.points) {
+        if (p.tick == c.startTick) {
+            point = &p;
+            break;
+        }
+    }
+    if (!point) {
+        fatal("sample audit: checkpoint set has no point at tick %llu "
+              "(representative %llu's start); set and plan are from "
+              "different profiles",
+              static_cast<unsigned long long>(c.startTick),
+              static_cast<unsigned long long>(c.repIndex));
+    }
+
+    // Replay-verify the restore, exactly like restore-from: re-run
+    // the prefix and demand byte-identity with the stored payload
+    // before trusting the state.
+    CellRun run(base);
+    if (c.repIndex > 0 && run.runTo(c.repIndex * plan.interval)) {
+        fatal("sample audit: program completed (tick %llu) before "
+              "representative %llu's start bound; plan does not match "
+              "this run",
+              static_cast<unsigned long long>(run.runtime().endTick()),
+              static_cast<unsigned long long>(c.repIndex));
+    }
+    if (run.now() != c.startTick) {
+        fatal("sample audit: replay paused at tick %llu but the "
+              "profile paused at %llu; plan does not match this run",
+              static_cast<unsigned long long>(run.now()),
+              static_cast<unsigned long long>(c.startTick));
+    }
+    std::vector<std::uint8_t> replayed = run.statePayload();
+    if (replayed != point->payload) {
+        fatal("sample audit: replay-verify failed for representative "
+              "%llu: recomputed state (%zu bytes) diverges from the "
+              "checkpoint payload (%zu bytes) at byte %zu",
+              static_cast<unsigned long long>(c.repIndex),
+              replayed.size(), point->payload.size(),
+              firstMismatch(replayed, point->payload));
+    }
+
+    // Simulate just this representative's interval and demand its
+    // delta match what the plan recorded.
+    StatsSnapshot before = captureCumulative(run);
+    StatsSnapshot after;
+    if (run.runTo((c.repIndex + 1) * plan.interval))
+        after = run.finish().snap;
+    else
+        after = captureCumulative(run);
+    StatsSnapshot delta = after.deltaFrom(before);
+    if (!clusterMatchesDelta(plan, c, delta)) {
+        fatal("sample audit: re-simulated delta for representative "
+              "%llu diverges from the plan's recorded delta",
+              static_cast<unsigned long long>(c.repIndex));
+    }
+    return replayed.size();
+}
+
+} // namespace slipsim

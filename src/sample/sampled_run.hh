@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sampled cell execution (DESIGN.md §14): the profile pass that turns
+ * one full-fidelity run into a sample plan, the replay pass that
+ * reconstructs a full run's statistics from the plan's weighted
+ * representatives without simulating, and the checkpoint-backed audit
+ * that re-simulates one representative interval from its restored
+ * (replay-verified) snapshot and demands its delta match the plan.
+ *
+ * runSweep() routes every SweepPoint with sampleMode != Off here.
+ *
+ *  - sample=profile: run the BASE cell (sampling keys folded) to
+ *    completion, pausing every sample-interval=K ticks to take a
+ *    cumulative registry snapshot; interval deltas
+ *    (StatsSnapshot::deltaFrom) feed signature extraction and
+ *    deterministic k-means; the plan (representative deltas + weights)
+ *    is written to samplePlanPath().  Returns the ordinary
+ *    full-fidelity ExperimentResult — a profile IS a full run.  With
+ *    sample-ckpt-out=, a second deterministic pass of the same run
+ *    captures a multi-point checkpoint set (ckpt/snapshot.hh) with one
+ *    payload per representative start.
+ *
+ *  - sample=replay: load + validate the plan (revision, base config,
+ *    engine, interval, cluster request all must match — fail closed,
+ *    like checkpoint restore) and reconstruct the result as the
+ *    weight-blended sum of representative deltas: counters and
+ *    histogram mass scale by cluster weight and sum; gauges and
+ *    histogram maxima come from the cluster holding the final
+ *    interval.  No simulation happens — this is the >=5x speed path —
+ *    and the result is marked sampled (sweepPointJson() emits
+ *    "sampled": true with the weights).
+ *
+ * The defining identity (unit-tested): with sample-clusters >= the
+ * interval count every interval is its own weight-1 representative,
+ * and the reconstructed registry snapshot — all-integer arithmetic —
+ * is byte-for-byte the straight run's stats JSON.
+ */
+
+#ifndef SLIPSIM_SAMPLE_SAMPLED_RUN_HH
+#define SLIPSIM_SAMPLE_SAMPLED_RUN_HH
+
+#include <string>
+
+#include "ckpt/snapshot.hh"
+#include "core/experiment.hh"
+#include "core/sweep.hh"
+#include "sample/plan.hh"
+
+namespace slipsim
+{
+
+/**
+ * Resolve the plan file of @p pt: sample-plan= verbatim when given,
+ * else <sample-dir>/<fnv1a64 hex of renderBaseCell(pt)>.plan.json
+ * with sample-dir defaulting to "sample-plans".  Keyed by the BASE
+ * config, so one profile serves any replay knob combination of the
+ * same underlying cell.
+ */
+std::string samplePlanPath(const SweepPoint &pt);
+
+/**
+ * Run one sampled sweep point (sampleMode must not be Off).  Profile
+ * points run fully and write their plan (and optional checkpoint
+ * set); replay points reconstruct from the plan without simulating.
+ * fatal() on plan validation failures and on sampling combined with
+ * a trace request in replay mode (nothing is simulated, so there is
+ * nothing to trace).
+ */
+ExperimentResult runCellSampled(const SweepPoint &pt);
+
+/**
+ * Reconstruct a result from an already-loaded plan (the serve daemon
+ * and tests use this to skip the path resolution).  @p pt supplies
+ * the cell identity; the plan must validate against it.
+ */
+ExperimentResult reconstructFromPlan(const SweepPoint &pt,
+                                     const SamplePlan &plan);
+
+/**
+ * Audit one representative against its checkpoint: restore the
+ * cluster's pause-point payload from @p set replay-verified (the
+ * prefix is re-simulated and byte-compared, exactly like a
+ * restore-from run), then simulate just that representative's
+ * interval and require its recomputed delta to equal the plan's
+ * stored delta.  fatal() on any divergence; returns the number of
+ * payload bytes verified on success.  This is the audit path — the
+ * speed path never simulates — and doubles as an end-to-end
+ * determinism check of profile, plan, and checkpoint set.
+ */
+std::size_t auditRepresentative(const SweepPoint &pt,
+                                const SamplePlan &plan,
+                                const CkptSet &set,
+                                std::size_t cluster_idx);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SAMPLE_SAMPLED_RUN_HH

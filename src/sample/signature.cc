@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Interval-signature extraction and normalization.
+ */
+
+#include "sample/signature.hh"
+
+#include <cmath>
+
+namespace slipsim
+{
+
+std::vector<std::string>
+signatureFeatureNames(int num_cmps)
+{
+    std::vector<std::string> names;
+    names.reserve(static_cast<std::size_t>(num_cmps) * 4 + 3);
+    for (int n = 0; n < num_cmps; ++n) {
+        std::string node = "node" + std::to_string(n);
+        names.push_back(node + ".l2Misses");
+        names.push_back(node + ".dirRequests");
+        names.push_back(node + ".siSweeps");
+        names.push_back(node + ".aReadMisses");
+    }
+    names.push_back("run.recoveries");
+    names.push_back("run.events");
+    names.push_back("run.cycles");
+    return names;
+}
+
+std::vector<double>
+signatureVector(const StatsSnapshot &delta, int num_cmps)
+{
+    std::vector<double> v;
+    v.reserve(static_cast<std::size_t>(num_cmps) * 4 + 3);
+    for (int n = 0; n < num_cmps; ++n) {
+        std::string l2 = "node" + std::to_string(n) + ".l2";
+        std::string dir = "node" + std::to_string(n) + ".dir";
+        v.push_back(static_cast<double>(
+            delta.counter(l2 + ".readMisses") +
+            delta.counter(l2 + ".exclMisses")));
+        v.push_back(static_cast<double>(
+            delta.counter(dir + ".requests")));
+        v.push_back(static_cast<double>(
+            delta.counter(l2 + ".si.invalidated") +
+            delta.counter(l2 + ".si.downgraded")));
+        v.push_back(static_cast<double>(
+            delta.counter(l2 + ".aReadMisses")));
+    }
+    v.push_back(static_cast<double>(delta.counter("run.recoveries")));
+    v.push_back(static_cast<double>(delta.counter("run.events")));
+    v.push_back(static_cast<double>(delta.counter("run.cycles")));
+    return v;
+}
+
+void
+normalizeSignatures(std::vector<std::vector<double>> &sigs)
+{
+    if (sigs.empty())
+        return;
+    const std::size_t dim = sigs[0].size();
+    std::vector<double> maxs(dim, 0);
+    for (const auto &s : sigs) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            double a = std::fabs(s[d]);
+            if (a > maxs[d])
+                maxs[d] = a;
+        }
+    }
+    for (auto &s : sigs) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            if (maxs[d] != 0)
+                s[d] /= maxs[d];
+        }
+    }
+}
+
+} // namespace slipsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Interval signatures: the feature vector deterministic k-means
+ * clusters (DESIGN.md §14).
+ *
+ * A signature summarizes ONE profiling interval (an interval-delta
+ * StatsSnapshot, see StatsSnapshot::deltaFrom) by the activity that
+ * tracks slipstream's phase behavior:
+ *
+ *   per node n of the CMP grid, in node order:
+ *     node<n>.l2.readMisses + node<n>.l2.exclMisses   (L2 misses)
+ *     node<n>.dir.requests (+ subcounters)            (dir traffic)
+ *     node<n>.l2.si.invalidated + .si.downgraded      (SI sweeps)
+ *     node<n>.l2.aReadMisses                          (A-stream load)
+ *   then three global features:
+ *     run.recoveries                                  (A-stream kills)
+ *     run.events                                      (event volume)
+ *     run.cycles                                      (interval span;
+ *                                  constant except the last interval)
+ *
+ * Feature order is fixed by construction, so the vector — and hence
+ * the clustering — is deterministic.  Before clustering, each
+ * dimension is scaled by its max over all intervals (all-zero
+ * dimensions are left untouched), which keeps high-volume counters
+ * from drowning the rare-but-telling ones (recoveries).
+ */
+
+#ifndef SLIPSIM_SAMPLE_SIGNATURE_HH
+#define SLIPSIM_SAMPLE_SIGNATURE_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/stats_registry.hh"
+
+namespace slipsim
+{
+
+/** Feature names, in vector order, for @p num_cmps nodes. */
+std::vector<std::string> signatureFeatureNames(int num_cmps);
+
+/** Extract the signature of one interval-delta snapshot. */
+std::vector<double> signatureVector(const StatsSnapshot &delta,
+                                    int num_cmps);
+
+/**
+ * Per-dimension max-abs normalization over a set of signatures (in
+ * place).  Dimensions whose max is zero are left as-is.
+ */
+void normalizeSignatures(std::vector<std::vector<double>> &sigs);
+
+} // namespace slipsim
+
+#endif // SLIPSIM_SAMPLE_SIGNATURE_HH

@@ -19,6 +19,7 @@
 #include "core/sweep.hh"
 #include "ckpt/warm_sweep.hh"
 #include "obs/json.hh"
+#include "sample/sampled_run.hh"
 #include "sim/logging.hh"
 
 namespace slipsim
@@ -252,6 +253,22 @@ Server::handleRun(Connection *conn, const JsonValue &req)
             fatal("cell %zu: checkpoint-out/restore-from are not "
                   "served; use checkpoint-at as a warm-start hint", i);
         }
+        // Profiling simulates fully AND writes plan/checkpoint files
+        // on the server's filesystem; only replay (read-only against
+        // the configured sample-dir) is served.
+        if (pts[i].sampleMode == SampleMode::Profile) {
+            fatal("cell %zu: sample=profile is not served (it writes "
+                  "plan files); profile offline and submit "
+                  "sample=replay", i);
+        }
+        if (!pts[i].samplePlan.empty() || !pts[i].sampleDir.empty() ||
+            !pts[i].sampleCkptOut.empty()) {
+            fatal("cell %zu: sample-plan/sample-dir/sample-ckpt-out "
+                  "name server-side paths and are not served; plans "
+                  "are read from the server's sample-dir", i);
+        }
+        if (pts[i].sampleMode == SampleMode::Replay)
+            pts[i].sampleDir = cfg.sampleDir;
         // The request-level sim-jobs only resizes the worker pool of
         // cells that already chose the parallel engine; it never
         // switches a cell's timing model (and so never its hash).
@@ -301,12 +318,20 @@ Server::handleRun(Connection *conn, const JsonValue &req)
                 // otherwise, with the warm-start hint stripped — the
                 // server never snapshots to disk on a cell's behalf.
                 std::string frag;
-                bool warm = ckpts.runWarm(pt, cfg.gitRev, frag);
-                if (!warm) {
-                    ExperimentResult res =
-                        runExperiment(pt.workload, pt.opts, pt.machine,
-                                      pt.cfg, pt.tickLimit);
-                    frag = sweepPointJson(res);
+                bool warm = false;
+                if (pt.sampleMode == SampleMode::Replay) {
+                    // Reconstructed from the plan, no simulation; its
+                    // canonical form carries sample=, so the cache
+                    // entry can never alias the full-fidelity cell.
+                    frag = sweepPointJson(runCellSampled(pt));
+                } else {
+                    warm = ckpts.runWarm(pt, cfg.gitRev, frag);
+                    if (!warm) {
+                        ExperimentResult res = runExperiment(
+                            pt.workload, pt.opts, pt.machine,
+                            pt.cfg, pt.tickLimit);
+                        frag = sweepPointJson(res);
+                    }
                 }
                 cache.insert(keys[i], frag);
                 {

@@ -81,6 +81,12 @@ struct ServeConfig
      *  from tick 0; see serve/ckpt_store.hh. */
     unsigned ckptSessions = 0;
 
+    /** Directory of sample plans served to sample=replay cells
+     *  (DESIGN.md §14).  Plans are profiled offline (the server never
+     *  writes them); a replay cell whose plan is missing or stale
+     *  fails like any other cell error. */
+    std::string sampleDir = "sample-plans";
+
     /** Build identity baked into every cache key. */
     std::string gitRev = "unknown";
     std::string buildType = "unknown";

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic k-means unit tests: the degenerate inputs sampled
+ * simulation actually hits (k >= n, all-identical signatures), the
+ * pinned tie-break rules, and bitwise run-to-run determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sample/kmeans.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+std::vector<std::vector<double>>
+points1d(std::initializer_list<double> xs)
+{
+    std::vector<std::vector<double>> pts;
+    for (double x : xs)
+        pts.push_back({x});
+    return pts;
+}
+
+} // namespace
+
+TEST(SampleKMeans, KAtLeastNPinsEveryPointToItsOwnCluster)
+{
+    // Exhaustive sampling: more clusters than (distinct) points must
+    // leave every point alone in a weight-1 cluster, whatever k.
+    auto pts = points1d({0.0, 5.0, 1.0, 9.0});
+    for (std::size_t k : {4u, 10u, 1000u}) {
+        KMeansResult r = kmeansDeterministic(pts, k);
+        std::size_t nonempty = 0;
+        std::vector<bool> seen(pts.size(), false);
+        for (std::size_t c = 0; c < r.sizes.size(); ++c) {
+            if (r.sizes[c] == 0)
+                continue;
+            ++nonempty;
+            EXPECT_EQ(r.sizes[c], 1u);
+            std::size_t rep = r.representative[c];
+            ASSERT_LT(rep, pts.size());
+            EXPECT_FALSE(seen[rep]);
+            seen[rep] = true;
+            EXPECT_EQ(r.assign[rep], static_cast<int>(c));
+        }
+        EXPECT_EQ(nonempty, pts.size());
+    }
+}
+
+TEST(SampleKMeans, AllIdenticalPointsCollapseIntoClusterZero)
+{
+    auto pts = points1d({3.0, 3.0, 3.0, 3.0, 3.0});
+    KMeansResult r = kmeansDeterministic(pts, 3);
+    for (int a : r.assign)
+        EXPECT_EQ(a, 0);
+    EXPECT_EQ(r.sizes[0], 5u);
+    EXPECT_EQ(r.representative[0], 0u);
+    for (std::size_t c = 1; c < r.sizes.size(); ++c)
+        EXPECT_EQ(r.sizes[c], 0u);
+}
+
+TEST(SampleKMeans, AssignmentAndRepresentativeTiesPickLowestIndex)
+{
+    // Point 1.0 is equidistant to the converged centroids; it must
+    // land in the lower-indexed cluster.  Within that cluster, points
+    // 0.0 and 1.0 are equidistant from centroid 0.5; the lower
+    // interval index must represent.
+    auto pts = points1d({0.0, 2.0, 1.0});
+    KMeansResult r = kmeansDeterministic(pts, 2);
+    ASSERT_EQ(r.assign.size(), 3u);
+    EXPECT_EQ(r.assign[0], 0);
+    EXPECT_EQ(r.assign[1], 1);
+    EXPECT_EQ(r.assign[2], 0);
+    EXPECT_EQ(r.sizes[0], 2u);
+    EXPECT_EQ(r.sizes[1], 1u);
+    EXPECT_EQ(r.representative[0], 0u);
+    EXPECT_EQ(r.representative[1], 1u);
+}
+
+TEST(SampleKMeans, SeedingIsFarthestPointWithLowestIndexTieBreak)
+{
+    // 9.0 is farthest from point 0; the duplicate of point 0 can
+    // never seed a center, so k=3 on {0, 0, 9, 4} seeds {p0, p2, p3}.
+    auto pts = points1d({0.0, 0.0, 9.0, 4.0});
+    KMeansResult r = kmeansDeterministic(pts, 3);
+    EXPECT_EQ(r.assign[0], 0);
+    EXPECT_EQ(r.assign[1], 0);
+    EXPECT_EQ(r.sizes[0], 2u);
+    EXPECT_EQ(r.representative[0], 0u);
+    // 9 and 4 each sit alone.
+    EXPECT_EQ(r.sizes[r.assign[2]], 1u);
+    EXPECT_EQ(r.sizes[r.assign[3]], 1u);
+    EXPECT_NE(r.assign[2], r.assign[3]);
+}
+
+TEST(SampleKMeans, BitwiseDeterministicAcrossCalls)
+{
+    std::vector<std::vector<double>> pts;
+    // A fixed pseudo-pattern, no PRNG: x_i = (i * 37 % 101, i * 61 % 89).
+    for (int i = 0; i < 40; ++i) {
+        pts.push_back({static_cast<double>(i * 37 % 101),
+                       static_cast<double>(i * 61 % 89)});
+    }
+    KMeansResult a = kmeansDeterministic(pts, 5);
+    KMeansResult b = kmeansDeterministic(pts, 5);
+    EXPECT_EQ(a.assign, b.assign);
+    EXPECT_EQ(a.sizes, b.sizes);
+    EXPECT_EQ(a.representative, b.representative);
+    EXPECT_EQ(a.centroids, b.centroids);
+    // And the weights always cover every point.
+    std::uint64_t total = 0;
+    for (std::uint64_t s : a.sizes)
+        total += s;
+    EXPECT_EQ(total, pts.size());
+}
+
+TEST(SampleKMeans, InvalidInputsAreFatal)
+{
+    EXPECT_THROW(kmeansDeterministic({}, 2), FatalError);
+    EXPECT_THROW(kmeansDeterministic(points1d({1.0, 2.0}), 0),
+                 FatalError);
+    std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {1.0}};
+    EXPECT_THROW(kmeansDeterministic(ragged, 1), FatalError);
+}

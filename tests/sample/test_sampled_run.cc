@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Sampled-simulation integration tests (DESIGN.md §14):
+ *
+ *  - the exhaustive-sampling identity: with clusters >= intervals a
+ *    replay reconstructs the straight run's stats JSON byte for byte,
+ *    under both engines;
+ *  - profile determinism: plan files are byte-identical across
+ *    repeated profiles and across sim-jobs worker counts;
+ *  - non-exhaustive replay sanity (weights, marking);
+ *  - fail-closed plan validation and plan-schema corruption;
+ *  - checkpoint-set capture + the replay-verified representative
+ *    audit, including corruption;
+ *  - canonical-form separation: sample= is canonical (distinct cache
+ *    keys), sample-plan/-dir/-ckpt-out are run control, and
+ *    sample=off folds away entirely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cell.hh"
+#include "core/config_hash.hh"
+#include "sample/plan.hh"
+#include "sample/sampled_run.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+SweepPoint
+smallCell(unsigned sim_jobs)
+{
+    SweepPoint p;
+    p.workload = "sor";
+    p.opts.set("n", "34");
+    p.opts.set("iters", "2");
+    p.machine.numCmps = 2;
+    p.cfg.mode = Mode::Slipstream;
+    p.cfg.arPolicy = ArPolicy::ZeroTokenGlobal;
+    p.cfg.simJobs = static_cast<int>(sim_jobs);
+    return p;
+}
+
+std::string
+tmpPath(const std::string &tag)
+{
+    return testing::TempDir() + "slipsim_sample_" + tag;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(f)) << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return std::move(ss).str();
+}
+
+std::string
+snapJson(const ExperimentResult &r)
+{
+    std::ostringstream os;
+    r.snap.writeJson(os);
+    return std::move(os).str();
+}
+
+/** Sampling knobs for an exhaustive (every-interval) profile of a run
+ *  of @p cycles total ticks. */
+void
+exhaustiveKnobs(SweepPoint &p, Tick cycles, const std::string &plan)
+{
+    p.sampleInterval = std::max<Tick>(1, cycles / 6);
+    p.sampleClusters = 1000000;  // always >= interval count
+    p.samplePlan = plan;
+}
+
+} // namespace
+
+TEST(SampledRun, ExhaustiveReplayIsByteIdenticalSequential)
+{
+    setQuiet(true);
+    SweepPoint base = smallCell(0);
+    ExperimentResult straight = runExperiment(
+        base.workload, base.opts, base.machine, base.cfg,
+        base.tickLimit);
+    ASSERT_GT(straight.cycles, 100u);
+
+    std::string plan_a = tmpPath("seq_a.plan.json");
+    std::string plan_b = tmpPath("seq_b.plan.json");
+
+    // Profile is a full-fidelity run: identical stats output.
+    SweepPoint prof = base;
+    prof.sampleMode = SampleMode::Profile;
+    exhaustiveKnobs(prof, straight.cycles, plan_a);
+    ExperimentResult pr = runCellSampled(prof);
+    EXPECT_FALSE(pr.sampled);
+    EXPECT_EQ(snapJson(pr), snapJson(straight));
+
+    // Re-profiling writes a byte-identical plan.
+    prof.samplePlan = plan_b;
+    runCellSampled(prof);
+    EXPECT_EQ(fileBytes(plan_a), fileBytes(plan_b));
+
+    // Exhaustive replay: every interval its own weight-1 cluster, and
+    // the reconstructed stats JSON is the straight run's, byte for
+    // byte.
+    SweepPoint rep = base;
+    rep.sampleMode = SampleMode::Replay;
+    exhaustiveKnobs(rep, straight.cycles, plan_a);
+    ExperimentResult est = runCellSampled(rep);
+    EXPECT_TRUE(est.sampled);
+    EXPECT_EQ(snapJson(est), snapJson(straight));
+    EXPECT_EQ(est.cycles, straight.cycles);
+    EXPECT_EQ(est.recoveries, straight.recoveries);
+    EXPECT_EQ(est.verified, straight.verified);
+    EXPECT_EQ(est.rCats, straight.rCats);
+    EXPECT_EQ(est.aCats, straight.aCats);
+    EXPECT_EQ(est.aReadMisses, straight.aReadMisses);
+    for (int s = 0; s < 2; ++s) {
+        for (int c = 0; c < 3; ++c) {
+            EXPECT_EQ(est.clsReads[s][c], straight.clsReads[s][c]);
+            EXPECT_EQ(est.clsExcls[s][c], straight.clsExcls[s][c]);
+        }
+    }
+
+    // Every weight is 1 and the point is marked in the JSON envelope.
+    ASSERT_GE(est.sampleIntervals, 2u);
+    EXPECT_EQ(est.sampleWeights.size(), est.sampleIntervals);
+    for (const auto &[repIdx, members] : est.sampleWeights) {
+        EXPECT_EQ(members, 1u);
+    }
+    std::string json = sweepPointJson(est);
+    EXPECT_NE(json.find("\"sampled\": true"), std::string::npos);
+    EXPECT_EQ(sweepPointJson(straight).find("\"sampled\""),
+              std::string::npos);
+
+    std::remove(plan_a.c_str());
+    std::remove(plan_b.c_str());
+}
+
+TEST(SampledRun, ExhaustiveReplayParallelEngineAndSimJobsInvariance)
+{
+    setQuiet(true);
+    SweepPoint base = smallCell(2);
+    ExperimentResult straight = runExperiment(
+        base.workload, base.opts, base.machine, base.cfg,
+        base.tickLimit);
+    ASSERT_GT(straight.cycles, 100u);
+
+    std::string plan_1 = tmpPath("par1.plan.json");
+    std::string plan_2 = tmpPath("par2.plan.json");
+
+    // Same plan bytes whatever the worker count: pause points are
+    // epoch boundaries, a function of the configuration only.
+    SweepPoint prof = smallCell(1);
+    prof.sampleMode = SampleMode::Profile;
+    exhaustiveKnobs(prof, straight.cycles, plan_1);
+    runCellSampled(prof);
+    prof = smallCell(2);
+    prof.sampleMode = SampleMode::Profile;
+    exhaustiveKnobs(prof, straight.cycles, plan_2);
+    runCellSampled(prof);
+    EXPECT_EQ(fileBytes(plan_1), fileBytes(plan_2));
+
+    SweepPoint rep = smallCell(2);
+    rep.sampleMode = SampleMode::Replay;
+    exhaustiveKnobs(rep, straight.cycles, plan_2);
+    ExperimentResult est = runCellSampled(rep);
+    EXPECT_EQ(snapJson(est), snapJson(straight));
+    EXPECT_EQ(est.cycles, straight.cycles);
+
+    std::remove(plan_1.c_str());
+    std::remove(plan_2.c_str());
+}
+
+TEST(SampledRun, NonExhaustiveReplayWeightsAndMarking)
+{
+    setQuiet(true);
+    SweepPoint base = smallCell(0);
+    ExperimentResult straight = runExperiment(
+        base.workload, base.opts, base.machine, base.cfg,
+        base.tickLimit);
+
+    std::string plan = tmpPath("coarse.plan.json");
+    SweepPoint prof = base;
+    prof.sampleMode = SampleMode::Profile;
+    prof.sampleInterval = std::max<Tick>(1, straight.cycles / 8);
+    prof.sampleClusters = 2;
+    prof.samplePlan = plan;
+    runCellSampled(prof);
+
+    SweepPoint rep = prof;
+    rep.sampleMode = SampleMode::Replay;
+    ExperimentResult est = runCellSampled(rep);
+    EXPECT_TRUE(est.sampled);
+    ASSERT_GE(est.sampleIntervals, 4u);
+    ASSERT_LE(est.sampleWeights.size(), 2u);
+    std::uint64_t total = 0;
+    std::uint64_t prev_rep = 0;
+    for (std::size_t i = 0; i < est.sampleWeights.size(); ++i) {
+        const auto &[repIdx, members] = est.sampleWeights[i];
+        EXPECT_GE(members, 1u);
+        if (i > 0)
+            EXPECT_GT(repIdx, prev_rep);
+        prev_rep = repIdx;
+        total += members;
+    }
+    EXPECT_EQ(total, est.sampleIntervals);
+    EXPECT_GT(est.cycles, 0u);
+
+    // A replay never simulates, so a trace request is meaningless.
+    SweepPoint traced = rep;
+    traced.cfg.tracePath = tmpPath("trace.json");
+    EXPECT_THROW(runCellSampled(traced), FatalError);
+
+    std::remove(plan.c_str());
+}
+
+TEST(SampledRun, PlanValidationFailsClosed)
+{
+    setQuiet(true);
+    SweepPoint base = smallCell(0);
+    ExperimentResult straight = runExperiment(
+        base.workload, base.opts, base.machine, base.cfg,
+        base.tickLimit);
+
+    std::string path = tmpPath("valid.plan.json");
+    SweepPoint prof = base;
+    prof.sampleMode = SampleMode::Profile;
+    exhaustiveKnobs(prof, straight.cycles, path);
+    runCellSampled(prof);
+    SamplePlan plan = readSamplePlan(path);
+
+    SweepPoint rep = base;
+    rep.sampleMode = SampleMode::Replay;
+    exhaustiveKnobs(rep, straight.cycles, path);
+
+    {
+        SamplePlan bad = plan;
+        bad.gitRev = "0000bad";
+        EXPECT_THROW(reconstructFromPlan(rep, bad), FatalError);
+    }
+    {
+        // Plan profiled for a different base cell.
+        SweepPoint other = rep;
+        other.opts.set("iters", "3");
+        EXPECT_THROW(reconstructFromPlan(other, plan), FatalError);
+    }
+    {
+        SweepPoint other = rep;
+        other.sampleInterval += 1;
+        EXPECT_THROW(reconstructFromPlan(other, plan), FatalError);
+    }
+    {
+        SweepPoint other = rep;
+        other.sampleClusters += 1;
+        EXPECT_THROW(reconstructFromPlan(other, plan), FatalError);
+    }
+    {
+        SweepPoint other = rep;
+        other.cfg.simJobs = 2;  // wrong engine
+        EXPECT_THROW(reconstructFromPlan(other, plan), FatalError);
+    }
+
+    // Schema corruption is rejected at parse time.
+    {
+        SamplePlan bad = plan;
+        bad.clusters.back().members += 1;  // weights no longer cover
+        EXPECT_THROW(planFromJson(planToJson(bad), "t"), FatalError);
+    }
+    {
+        SamplePlan bad = plan;
+        bad.clusters.clear();
+        EXPECT_THROW(planFromJson(planToJson(bad), "t"), FatalError);
+    }
+    {
+        SamplePlan bad = plan;
+        bad.finalCluster = plan.clusters.size() + 5;
+        EXPECT_THROW(planFromJson(planToJson(bad), "t"), FatalError);
+    }
+
+    // Round trip: parse(serialize(plan)) re-serializes identically.
+    EXPECT_EQ(planToJson(planFromJson(planToJson(plan), "t")),
+              planToJson(plan));
+
+    // Missing plan is a clear error, not a silent full run.
+    SweepPoint missing = rep;
+    missing.samplePlan = tmpPath("nonexistent.plan.json");
+    EXPECT_THROW(runCellSampled(missing), FatalError);
+
+    std::remove(path.c_str());
+}
+
+TEST(SampledRun, CheckpointSetAuditRoundTrip)
+{
+    setQuiet(true);
+    SweepPoint base = smallCell(0);
+    ExperimentResult straight = runExperiment(
+        base.workload, base.opts, base.machine, base.cfg,
+        base.tickLimit);
+
+    std::string plan_path = tmpPath("audit.plan.json");
+    std::string set_path = tmpPath("audit.ckpts");
+    SweepPoint prof = base;
+    prof.sampleMode = SampleMode::Profile;
+    prof.sampleInterval = std::max<Tick>(1, straight.cycles / 6);
+    prof.sampleClusters = 3;
+    prof.samplePlan = plan_path;
+    prof.sampleCkptOut = set_path;
+    runCellSampled(prof);
+
+    SamplePlan plan = readSamplePlan(plan_path);
+    CkptSet set = readCkptSetFile(set_path);
+    EXPECT_EQ(set.points.size(), plan.clusters.size());
+
+    // Every representative restores replay-verified and re-simulates
+    // to exactly its recorded delta.
+    SweepPoint rep = prof;
+    rep.sampleMode = SampleMode::Replay;
+    rep.sampleCkptOut.clear();
+    for (std::size_t c = 0; c < plan.clusters.size(); ++c)
+        EXPECT_GT(auditRepresentative(rep, plan, set, c), 0u);
+
+    // Corrupting any payload byte fails the container digest.
+    {
+        std::string bytes = fileBytes(set_path);
+        bytes[bytes.size() - 1] ^= 0x5a;
+        std::string bad = tmpPath("audit_bad.ckpts");
+        std::ofstream os(bad, std::ios::binary);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+        os.close();
+        EXPECT_THROW(readCkptSetFile(bad), FatalError);
+        std::remove(bad.c_str());
+    }
+
+    // A set whose ticks don't match the plan's representatives is
+    // rejected before any simulation.
+    {
+        CkptSet skewed = set;
+        for (CkptSet::Point &p : skewed.points)
+            p.tick += 1;
+        EXPECT_THROW(auditRepresentative(rep, plan, skewed, 0),
+                     FatalError);
+    }
+
+    std::remove(plan_path.c_str());
+    std::remove(set_path.c_str());
+}
+
+TEST(SampledRun, CanonicalFormSeparation)
+{
+    Options plain;
+    plain.set("workload", "sor");
+    plain.set("n", "34");
+    SweepPoint p0 = cellFromOptions(plain);
+
+    // sample=off (+ inert knobs) folds away entirely: pre-existing
+    // hashes and goldens stay byte-identical.
+    Options off = plain;
+    off.set("sample", "off");
+    off.set("sample-interval", "123");
+    EXPECT_EQ(renderCell(cellFromOptions(off)), renderCell(p0));
+
+    // sample=replay is canonical: a sampled estimate can never alias
+    // the full-fidelity result in the serve cache.
+    Options rep = plain;
+    rep.set("sample", "replay");
+    SweepPoint p1 = cellFromOptions(rep);
+    EXPECT_NE(renderCell(p1), renderCell(p0));
+    EXPECT_NE(cacheKey(rep, "rev", "Release"),
+              cacheKey(plain, "rev", "Release"));
+
+    // Non-default knobs render; defaults fold; the canonical line
+    // round-trips through parse.
+    Options prof = plain;
+    prof.set("sample", "profile");
+    prof.set("sample-interval", "4096");
+    prof.set("sample-clusters", "4");
+    std::string line = renderCell(cellFromOptions(prof));
+    EXPECT_NE(line.find("sample=profile"), std::string::npos);
+    EXPECT_NE(line.find("sample-interval=4096"), std::string::npos);
+    EXPECT_NE(line.find("sample-clusters=4"), std::string::npos);
+    EXPECT_EQ(renderCell(cellFromOptions(parseConfigLine(line))),
+              line);
+    std::string base_line =
+        renderBaseCell(cellFromOptions(parseConfigLine(line)));
+    EXPECT_EQ(base_line, renderCell(p0));
+
+    // Plan/dir/ckpt-out are run control: parsed, never canonical.
+    Options rc = rep;
+    rc.set("sample-plan", "x.plan.json");
+    SweepPoint p2 = cellFromOptions(rc);
+    EXPECT_EQ(renderCell(p2), renderCell(p1));
+    EXPECT_EQ(p2.samplePlan, "x.plan.json");
+
+    // Guards: sampling never mixes with checkpoint run control, and
+    // sample-ckpt-out implies profiling.
+    Options mix = rep;
+    mix.set("checkpoint-at", "100");
+    EXPECT_THROW(cellFromOptions(mix), FatalError);
+    Options rck = rep;
+    rck.set("sample-ckpt-out", "x.ckpts");
+    EXPECT_THROW(cellFromOptions(rck), FatalError);
+    Options interval0 = plain;
+    interval0.set("sample", "profile");
+    interval0.set("sample-interval", "0");
+    EXPECT_THROW(cellFromOptions(interval0), FatalError);
+
+    // Default plan path is keyed by the hash of the base cell.
+    SweepPoint dp = cellFromOptions(rep);
+    std::string path = samplePlanPath(dp);
+    EXPECT_EQ(path.rfind("sample-plans/", 0), 0u);
+    EXPECT_NE(path.find(".plan.json"), std::string::npos);
+    dp.sampleDir = "alt";
+    EXPECT_EQ(samplePlanPath(dp).rfind("alt/", 0), 0u);
+}

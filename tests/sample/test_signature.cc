@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Interval-delta (StatsSnapshot::deltaFrom) and signature-extraction
+ * unit tests: per-kind delta semantics, the merge-back identity
+ * sampled replay relies on, the fail-closed monotonicity checks, and
+ * the fixed feature order of signature vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/stats_registry.hh"
+#include "sample/signature.hh"
+#include "sim/logging.hh"
+
+using namespace slipsim;
+
+namespace
+{
+
+Histogram
+histOf(std::initializer_list<std::uint64_t> samples)
+{
+    Histogram h;
+    for (std::uint64_t v : samples)
+        h.sample(v);
+    return h;
+}
+
+} // namespace
+
+TEST(SampleDelta, PerKindSemantics)
+{
+    StatsSnapshot prev;
+    prev.setCounter("a.events", 10);
+    prev.setGauge("a.depth", 3.5);
+    prev.setHistogram("a.lat", histOf({1, 4}));
+
+    StatsSnapshot cur;
+    cur.setCounter("a.events", 25);
+    cur.setGauge("a.depth", 1.25);
+    cur.setHistogram("a.lat", histOf({1, 4, 100}));
+    cur.setCounter("b.fresh", 7);  // registered after the first pause
+
+    StatsSnapshot d = cur.deltaFrom(prev);
+    EXPECT_EQ(d.counter("a.events"), 15u);
+    EXPECT_EQ(d.gauge("a.depth"), 1.25);  // end-of-interval level
+    EXPECT_EQ(d.counter("b.fresh"), 7u);  // deltas against zero
+    const Histogram *h = d.histogram("a.lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->samples(), 1u);
+    EXPECT_EQ(h->total(), 100u);
+    // The delta's max carries the cumulative max, by design: maxima
+    // don't subtract, and merge()'s max-of-maxes then reproduces the
+    // cumulative value exactly.
+    EXPECT_EQ(h->maxValue(), 100u);
+}
+
+TEST(SampleDelta, MergingDeltasReproducesTheFinalSnapshot)
+{
+    // The defining identity behind exhaustive-sampling byte equality.
+    StatsSnapshot cum1, cum2, cum3;
+    cum1.setCounter("n.c", 5);
+    cum1.setGauge("n.g", 1.0);
+    cum1.setHistogram("n.h", histOf({2}));
+    cum2.setCounter("n.c", 9);
+    cum2.setGauge("n.g", 4.0);
+    cum2.setHistogram("n.h", histOf({2, 30}));
+    cum3.setCounter("n.c", 9);
+    cum3.setGauge("n.g", 2.0);
+    cum3.setHistogram("n.h", histOf({2, 30, 31}));
+
+    StatsSnapshot empty;
+    StatsSnapshot d1 = cum1.deltaFrom(empty);
+    StatsSnapshot d2 = cum2.deltaFrom(cum1);
+    StatsSnapshot d3 = cum3.deltaFrom(cum2);
+
+    StatsSnapshot merged;
+    merged.merge(d1);
+    merged.merge(d2);
+    merged.merge(d3);
+    EXPECT_TRUE(merged == cum3);
+}
+
+TEST(SampleDelta, FailClosed)
+{
+    StatsSnapshot prev;
+    prev.setCounter("x", 10);
+    StatsSnapshot shrunk;  // "x" vanished
+    EXPECT_THROW(shrunk.deltaFrom(prev), FatalError);
+
+    StatsSnapshot backwards;
+    backwards.setCounter("x", 3);
+    EXPECT_THROW(backwards.deltaFrom(prev), FatalError);
+
+    StatsSnapshot kind;
+    kind.setGauge("x", 3.0);
+    EXPECT_THROW(kind.deltaFrom(prev), FatalError);
+
+    StatsSnapshot hprev, hcur;
+    hprev.setHistogram("h", histOf({4, 4}));
+    hcur.setHistogram("h", histOf({4}));
+    EXPECT_THROW(hcur.deltaFrom(hprev), FatalError);
+}
+
+TEST(SampleSignature, FixedFeatureOrder)
+{
+    const int cmps = 2;
+    std::vector<std::string> names = signatureFeatureNames(cmps);
+    ASSERT_EQ(names.size(), static_cast<std::size_t>(cmps) * 4 + 3);
+    EXPECT_EQ(names[0], "node0.l2Misses");
+    EXPECT_EQ(names[4], "node1.l2Misses");
+    EXPECT_EQ(names[8], "run.recoveries");
+    EXPECT_EQ(names[10], "run.cycles");
+
+    StatsSnapshot d;
+    d.setCounter("node0.l2.readMisses", 3);
+    d.setCounter("node0.l2.exclMisses", 4);
+    d.setCounter("node0.dir.requests", 11);
+    d.setCounter("node0.l2.si.invalidated", 1);
+    d.setCounter("node0.l2.si.downgraded", 2);
+    d.setCounter("node0.l2.aReadMisses", 6);
+    d.setCounter("node1.dir.requests", 5);
+    d.setCounter("run.recoveries", 2);
+    d.setCounter("run.events", 1000);
+    d.setCounter("run.cycles", 50000);
+
+    std::vector<double> v = signatureVector(d, cmps);
+    ASSERT_EQ(v.size(), names.size());
+    EXPECT_EQ(v[0], 7.0);   // node0 L2 misses (read + excl)
+    EXPECT_EQ(v[1], 11.0);  // node0 dir requests
+    EXPECT_EQ(v[2], 3.0);   // node0 SI sweeps
+    EXPECT_EQ(v[3], 6.0);   // node0 A-stream read misses
+    EXPECT_EQ(v[4], 0.0);   // node1 has no L2 misses registered
+    EXPECT_EQ(v[5], 5.0);
+    EXPECT_EQ(v[8], 2.0);
+    EXPECT_EQ(v[9], 1000.0);
+    EXPECT_EQ(v[10], 50000.0);
+}
+
+TEST(SampleSignature, NormalizationScalesPerDimensionMax)
+{
+    std::vector<std::vector<double>> sigs = {
+        {10.0, 0.0, 2.0},
+        {5.0, 0.0, 8.0},
+    };
+    normalizeSignatures(sigs);
+    EXPECT_EQ(sigs[0][0], 1.0);
+    EXPECT_EQ(sigs[1][0], 0.5);
+    EXPECT_EQ(sigs[0][1], 0.0);  // all-zero dimension untouched
+    EXPECT_EQ(sigs[0][2], 0.25);
+    EXPECT_EQ(sigs[1][2], 1.0);
+}

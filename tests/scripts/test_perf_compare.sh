@@ -4,7 +4,8 @@
 # synthesized, so this pins the gating semantics —
 #   - same-revision regressions > threshold fail --check;
 #   - cross-revision drops are informational, never a failure;
-#   - the first record at a new revision seeds a baseline and passes.
+#   - the first record at a new revision seeds a baseline and passes;
+#   - sampled-accuracy records gate on >1pt sample_max_err_pct growth.
 set -u
 
 REPO="$(cd "$(dirname "$0")/../.." && pwd)"
@@ -87,7 +88,62 @@ bash "$PC" --check --threshold 60 "$TMP/regress.json" \
     || { cat "$TMP/out5" >&2
          fail "-50% failed a 60% threshold gate"; }
 
-# --- 6. empty/missing logs still fail --check ---------------------------
+# A sampled-accuracy record generator: srec REV MAX_ERR_PCT
+srec() {
+    echo "{\"host\": \"h1\", \"build_type\": \"Release\"," \
+         "\"quick\": true, \"git_rev\": \"$1\"," \
+         "\"sample_speedup\": 8.0, \"sample_max_err_pct\": $2," \
+         "\"sample_intervals\": 40}"
+}
+
+# --- 6. sampled-accuracy growth > 1pt must fail --check -----------------
+LOG="$TMP/samp_regress.json"
+{
+    rec eeee 1000000
+    rec eeee 1000000
+    srec eeee 0.4
+    srec eeee 1.9   # +1.5pt error growth at the same revision
+} > "$LOG"
+if bash "$PC" --check "$LOG" > "$TMP/out6" 2>&1; then
+    cat "$TMP/out6" >&2
+    fail "+1.5pt sampled-accuracy regression passed the gate"
+fi
+grep -q "sample_max_err_pct grew" "$TMP/out6" \
+    || fail "no sampled-accuracy diagnostic"
+
+# --- 7. sampled-accuracy growth <= 1pt passes ---------------------------
+LOG="$TMP/samp_ok.json"
+{
+    rec ffff 1000000
+    rec ffff 1000000
+    srec ffff 0.4
+    srec ffff 0.9   # +0.5pt: inside the 1pt allowance
+} > "$LOG"
+bash "$PC" --check "$LOG" > "$TMP/out7" 2>&1 \
+    || { cat "$TMP/out7" >&2
+         fail "+0.5pt sampled-accuracy growth failed the gate"; }
+grep -q "sampled-replay accuracy gated" "$TMP/out7" \
+    || fail "sampled-accuracy pass not reported"
+
+# --- 8. a sampled record at a new revision seeds, never gates -----------
+LOG="$TMP/samp_seed.json"
+{
+    srec gggg 0.2
+    srec hhhh 5.0   # new revision: different sampling, no gate
+} > "$LOG"
+bash "$PC" --check "$LOG" > "$TMP/out8" 2>&1 \
+    || { cat "$TMP/out8" >&2
+         fail "cross-revision sampled record failed the gate"; }
+grep -q "seeding accuracy baseline" "$TMP/out8" \
+    || fail "sampled baseline seeding not reported"
+
+# --- 9. a sampled-only log is valid input to --check --------------------
+LOG="$TMP/samp_only.json"
+srec iiii 0.3 > "$LOG"
+bash "$PC" --check "$LOG" > "$TMP/out9" 2>&1 \
+    || { cat "$TMP/out9" >&2; fail "sampled-only log failed --check"; }
+
+# --- 10. empty/missing logs still fail --check --------------------------
 bash "$PC" --check "$TMP/nonexistent.json" > /dev/null 2>&1 \
     && fail "missing log passed --check"
 

@@ -3,7 +3,8 @@
 # documents, covering the optional per-point "protocol" field: absent
 # (= msi), present-and-valid, unknown names, non-string values, and
 # mixed-protocol documents (rejected: cross-protocol aggregates are
-# meaningless).
+# meaningless), and the sampled-point marking (weights in (0, 1]
+# summing to 1; no mixing of sampled and full-fidelity points).
 set -euo pipefail
 
 STATS_CHECK=${1:?usage: test_stats_check.sh <path-to-stats_check>}
@@ -70,6 +71,27 @@ expect_ok     "explicit msi mixes with absent"       "$tmpdir/msi_mixed_spelling
 expect_reject "unknown protocol name"   "$tmpdir/unknown.json"   'unknown protocol'
 expect_reject "non-string protocol"     "$tmpdir/nonstring.json" 'not a string'
 expect_reject "mixed-protocol document" "$tmpdir/mixed.json"     'mixed with'
+
+# --- sampled-point marking ----------------------------------------------
+SAMP=', "sampled": true, "sampleIntervals": 40, "sampleWeights": [0.75, 0.25]'
+BADSUM=', "sampled": true, "sampleIntervals": 40, "sampleWeights": [0.75, 0.75]'
+BADRANGE=', "sampled": true, "sampleIntervals": 40, "sampleWeights": [1.5, -0.5]'
+NOWEIGHTS=', "sampled": true, "sampleIntervals": 40'
+FALSEFLAG=', "sampled": false'
+
+doc "$SAMP"      "$SAMP" > "$tmpdir/sampled.json"
+doc "$BADSUM"    "$SAMP" > "$tmpdir/badsum.json"
+doc "$BADRANGE"  "$SAMP" > "$tmpdir/badrange.json"
+doc "$NOWEIGHTS" "$SAMP" > "$tmpdir/noweights.json"
+doc "$FALSEFLAG" "$SAMP" > "$tmpdir/falseflag.json"
+doc "$SAMP"      ''      > "$tmpdir/mixed_sampled.json"
+
+expect_ok     "uniform sampled document"       "$tmpdir/sampled.json"
+expect_reject "weights not summing to 1"       "$tmpdir/badsum.json"   'sum to'
+expect_reject "weight outside (0, 1]"          "$tmpdir/badrange.json" 'not in'
+expect_reject "sampled without weights"        "$tmpdir/noweights.json" 'sampleWeights'
+expect_reject "sampled: false is malformed"    "$tmpdir/falseflag.json" 'boolean true'
+expect_reject "sampled mixed with full points" "$tmpdir/mixed_sampled.json" 'mixed'
 
 if [ "$fails" -ne 0 ]; then
     echo "test_stats_check: $fails failure(s)"

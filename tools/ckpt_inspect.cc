@@ -1,26 +1,92 @@
 /**
  * @file
- * ckpt_inspect — print a checkpoint file's provenance header.
+ * ckpt_inspect — print a checkpoint container's provenance.
  *
  *   tools/ckpt_inspect FILE...
  *
- * For each file the container is fully validated (magic, version,
- * framing, payload digest — the same fail-closed checks a restore
- * performs) and the header printed: version, producing git revision,
- * engine, pause tick, payload size/digest, and the canonical prefix
- * config the payload belongs to.  Also prints the ckptStoreKey() the
- * serve-layer store would file this checkpoint under for the current
- * build.  Exits non-zero if any file fails validation, so it doubles
- * as a standalone integrity check.
+ * Accepts both container flavors (sniffed by magic):
+ *
+ *  - single-point checkpoints (DESIGN.md §13): the header is printed —
+ *    version, producing git revision, engine, pause tick, payload
+ *    size/digest, the canonical prefix config — plus the
+ *    ckptStoreKey() the serve-layer store would file it under;
+ *
+ *  - multi-point checkpoint sets (sampled simulation, DESIGN.md §14):
+ *    the shared header plus one table row per point (pause tick,
+ *    payload bytes, digest).
+ *
+ * Either way the container is fully validated first (magic, version,
+ * framing, every payload digest — the same fail-closed checks a
+ * restore performs), and the tool exits non-zero if any file fails,
+ * so it doubles as a standalone integrity check.
  */
 
 #include <cstdio>
 #include <exception>
+#include <string_view>
 
 #include "ckpt/snapshot.hh"
 #include "core/build_info.hh"
+#include "core/config_hash.hh"
 
 using namespace slipsim;
+
+namespace
+{
+
+void
+printCommon(const std::string &git_rev, CkptEngine engine)
+{
+    std::printf("  git_rev:        %s%s\n", git_rev.c_str(),
+                git_rev == buildGitRev() ? "" : "  (NOT this build)");
+    std::printf("  engine:         %s\n",
+                engine == CkptEngine::Parallel ? "parallel"
+                                               : "sequential");
+}
+
+void
+inspectSingle(const char *path)
+{
+    CkptFile f = readCkptFile(path);
+    const CkptHeader &h = f.header;
+    std::printf("%s: checkpoint\n", path);
+    std::printf("  version:        %u\n", h.version);
+    printCommon(h.gitRev, h.engine);
+    std::printf("  tick:           %llu\n",
+                static_cast<unsigned long long>(h.tick));
+    std::printf("  payload_bytes:  %llu\n",
+                static_cast<unsigned long long>(h.payloadSize));
+    std::printf("  payload_digest: %016llx\n",
+                static_cast<unsigned long long>(h.payloadDigest));
+    std::printf("  store_key:      %s\n",
+                ckptStoreKey(h.config, h.tick, buildGitRev()).c_str());
+    std::printf("  config:         %s\n", h.config.c_str());
+}
+
+void
+inspectSet(const char *path)
+{
+    CkptSet s = readCkptSetFile(path);
+    std::printf("%s: checkpoint set (%zu points)\n", path,
+                s.points.size());
+    std::printf("  version:        %u\n", s.version);
+    printCommon(s.gitRev, s.engine);
+    std::printf("  config:         %s\n", s.config.c_str());
+    std::printf("  %-6s %-14s %-14s %s\n", "point", "tick", "bytes",
+                "digest");
+    for (std::size_t i = 0; i < s.points.size(); ++i) {
+        const CkptSet::Point &p = s.points[i];
+        std::uint64_t digest = fnv1a64(std::string_view(
+            reinterpret_cast<const char *>(p.payload.data()),
+            p.payload.size()));
+        std::printf("  %-6zu %-14llu %-14zu %016llx\n", i,
+                    static_cast<unsigned long long>(p.tick),
+                    p.payload.size(),
+                    static_cast<unsigned long long>(digest));
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -34,26 +100,10 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const char *path = argv[i];
         try {
-            CkptFile f = readCkptFile(path);
-            const CkptHeader &h = f.header;
-            std::printf("%s:\n", path);
-            std::printf("  version:        %u\n", h.version);
-            std::printf("  git_rev:        %s%s\n", h.gitRev.c_str(),
-                        h.gitRev == buildGitRev() ? ""
-                                                  : "  (NOT this build)");
-            std::printf("  engine:         %s\n",
-                        h.engine == CkptEngine::Parallel ? "parallel"
-                                                         : "sequential");
-            std::printf("  tick:           %llu\n",
-                        static_cast<unsigned long long>(h.tick));
-            std::printf("  payload_bytes:  %llu\n",
-                        static_cast<unsigned long long>(h.payloadSize));
-            std::printf("  payload_digest: %016llx\n",
-                        static_cast<unsigned long long>(h.payloadDigest));
-            std::printf("  store_key:      %s\n",
-                        ckptStoreKey(h.config, h.tick,
-                                     buildGitRev()).c_str());
-            std::printf("  config:         %s\n", h.config.c_str());
+            if (isCkptSetFile(path))
+                inspectSet(path);
+            else
+                inspectSingle(path);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "%s: INVALID: %s\n", path, e.what());
             ++bad;

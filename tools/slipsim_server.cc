@@ -16,6 +16,10 @@
  *   max-frame-mb=N    per-frame payload cap in MiB (default 64)
  *   ckpt-sessions=N   parked warm-start prefix sessions to keep
  *                     (0 = warm starts disabled, the default)
+ *   sample-dir=DIR    directory of sample plans served to
+ *                     sample=replay cells (default "sample-plans";
+ *                     plans are profiled offline, the server only
+ *                     reads them)
  *
  * The daemon prints one "ready" line to stdout once listening, then
  * serves until a client sends {"op": "shutdown"} or it receives
@@ -75,6 +79,7 @@ main(int argc, char **argv)
                             opts.getInt("max-frame-mb", 64)) << 20;
     cfg.ckptSessions =
         static_cast<unsigned>(opts.getInt("ckpt-sessions", 0));
+    cfg.sampleDir = opts.getString("sample-dir", "sample-plans");
     cfg.gitRev = SLIPSIM_GIT_REV;
     cfg.buildType = SLIPSIM_BUILD_TYPE;
 

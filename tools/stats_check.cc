@@ -7,7 +7,9 @@
  *   ... | tools/stats_check -
  *
  * Validates the document shape — schema tag, per-point metadata
- * fields, every "stats" object parseable as a snapshot — and then
+ * fields, sampled-point marking (weights in (0, 1] summing to 1, no
+ * mixing of sampled and full-fidelity points), every "stats" object
+ * parseable as a snapshot — and then
  * re-derives the aggregate from the points, checking that every
  * aggregate counter equals the sum over points (the documented merge
  * semantics).  Exit 0 on success, 1 with a diagnostic otherwise.
@@ -55,6 +57,7 @@ checkDocument(const std::string &text)
     std::vector<StatsSnapshot> snaps;
     snaps.reserve(points.arr.size());
     std::string doc_protocol;
+    bool doc_sampled = false;
     for (std::size_t i = 0; i < points.arr.size(); ++i) {
         const JsonValue &p = points.arr[i];
         if (!p.isObject())
@@ -85,6 +88,43 @@ checkDocument(const std::string &text)
             fatal("point %zu: cmps/cycles not numeric", i);
         if (!p.at("verified").isBool())
             fatal("point %zu: verified not boolean", i);
+        // Sampled points (DESIGN.md §14) must be explicitly and
+        // consistently marked: a "sampled": true point carries its
+        // interval count and per-representative weights in (0, 1]
+        // summing to 1, and a document must not mix sampled with
+        // full-fidelity points — blending estimates into a simulated
+        // aggregate is meaningless.
+        bool sampled = false;
+        if (const JsonValue *sp = p.find("sampled")) {
+            if (!sp->isBool() || !sp->boolean)
+                fatal("point %zu: \"sampled\", when present, must be "
+                      "the boolean true", i);
+            sampled = true;
+            const JsonValue &ni = p.at("sampleIntervals");
+            if (!ni.isNumber() || ni.number < 1)
+                fatal("point %zu: sampleIntervals must be a number "
+                      ">= 1", i);
+            const JsonValue &w = p.at("sampleWeights");
+            if (!w.isArray() || w.arr.empty())
+                fatal("point %zu: sampleWeights missing or empty", i);
+            double sum = 0;
+            for (std::size_t j = 0; j < w.arr.size(); ++j) {
+                if (!w.arr[j].isNumber() || w.arr[j].number <= 0 ||
+                    w.arr[j].number > 1) {
+                    fatal("point %zu: sampleWeights[%zu] not in "
+                          "(0, 1]", i, j);
+                }
+                sum += w.arr[j].number;
+            }
+            if (sum < 1 - 1e-6 || sum > 1 + 1e-6)
+                fatal("point %zu: sampleWeights sum to %g, not 1",
+                      i, sum);
+        }
+        if (i == 0)
+            doc_sampled = sampled;
+        else if (sampled != doc_sampled)
+            fatal("point %zu: sampled and full-fidelity points mixed "
+                  "in one document", i);
         const JsonValue &stats = p.at("stats");
         if (!stats.isObject())
             fatal("point %zu: stats not an object", i);
